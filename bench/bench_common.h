@@ -1,0 +1,52 @@
+#ifndef MDQA_BENCH_BENCH_COMMON_H_
+#define MDQA_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment binaries: every bench first prints
+// the rows/series it reproduces from the paper (so `./bench_x` alone
+// regenerates the artifact), then runs google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/result.h"
+
+namespace mdqa::bench {
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+/// Prints the reproduction banner, then hands over to google-benchmark.
+/// `reproduce` is run exactly once, before timings.
+template <typename Fn>
+int RunBench(int argc, char** argv, const char* experiment_id,
+             const char* description, Fn reproduce) {
+  std::cout << "==================================================\n"
+            << "experiment " << experiment_id << ": " << description << "\n"
+            << "==================================================\n";
+  reproduce();
+  std::cout.flush();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mdqa::bench
+
+#endif  // MDQA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,122 @@
+// F1 — Fig. 1: the extended multidimensional model. Regenerates the
+// Hospital/Time/Instrument hierarchies and the categorical-relation
+// links textually; times HM validity checks (strictness, homogeneity),
+// roll-up/drill-down, and Datalog fact emission.
+
+#include "bench_common.h"
+#include "scenarios/hospital.h"
+#include "scenarios/synthetic.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+
+void Reproduce() {
+  auto ontology = Check(
+      scenarios::BuildHospitalOntology(scenarios::HospitalOptions{}),
+      "ontology");
+  for (const std::string& name : ontology->DimensionNames()) {
+    std::cout << "\n" << ontology->FindDimension(name)->ToString();
+  }
+  std::cout << "\ncategorical relations and their category links:\n";
+  for (const std::string& name : ontology->CategoricalRelationNames()) {
+    const md::CategoricalRelation* rel =
+        ontology->FindCategoricalRelation(name);
+    std::cout << "  " << name << "(";
+    bool first = true;
+    for (const md::CategoricalAttribute& a : rel->attributes()) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << a.name;
+      if (a.is_categorical) {
+        std::cout << " -> " << a.dimension << "." << a.category;
+      }
+    }
+    std::cout << ")  [" << rel->data().size() << " rows]\n";
+  }
+  const md::Dimension* hospital = ontology->FindDimension("Hospital");
+  Check(hospital->instance().CheckStrict(), "strictness");
+  std::cout << "\nHM checks: Hospital is strict";
+  Check(hospital->instance().CheckHomogeneous(), "homogeneity");
+  std::cout << " and homogeneous.\n";
+  auto rollup = Check(hospital->instance().RollUp("W1", "Institution"),
+                      "rollup");
+  std::cout << "roll-up W1 -> Institution: " << rollup[0] << "\n";
+  auto drill = Check(hospital->instance().DrillDown("H1", "Ward"), "drill");
+  std::cout << "drill-down H1 -> Ward: " << drill.size() << " wards\n";
+}
+
+void BM_StrictnessCheck(benchmark::State& state) {
+  scenarios::SyntheticSpec spec;
+  spec.institutions = 4;
+  spec.units_per_institution = 4;
+  spec.wards_per_unit = static_cast<int>(state.range(0));
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  const md::Dimension* dim = ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    Status s = dim->instance().CheckStrict();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(std::to_string(dim->instance().NumMembers()) + " members");
+}
+BENCHMARK(BM_StrictnessCheck)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HomogeneityCheck(benchmark::State& state) {
+  scenarios::SyntheticSpec spec;
+  spec.wards_per_unit = static_cast<int>(state.range(0));
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  const md::Dimension* dim = ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    Status s = dim->instance().CheckHomogeneous();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_HomogeneityCheck)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RollUpTransitive(benchmark::State& state) {
+  scenarios::SyntheticSpec spec;
+  spec.wards_per_unit = static_cast<int>(state.range(0));
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  const md::Dimension* dim = ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    auto r = dim->instance().RollUp("sw0", "SInstitution");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RollUpTransitive)->Arg(4)->Arg(64);
+
+void BM_DrillDownFanout(benchmark::State& state) {
+  scenarios::SyntheticSpec spec;
+  spec.wards_per_unit = static_cast<int>(state.range(0));
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  const md::Dimension* dim = ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    auto r = dim->instance().DrillDown("si0", "SWard");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DrillDownFanout)->Arg(4)->Arg(64);
+
+void BM_EmitDimensionFacts(benchmark::State& state) {
+  scenarios::SyntheticSpec spec;
+  spec.wards_per_unit = static_cast<int>(state.range(0));
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  const md::Dimension* dim = ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    datalog::Program program;
+    Status s = dim->EmitFacts(&program);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_EmitDimensionFacts)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "F1",
+      "Fig. 1: dimensions, categorical relations, HM model checks",
+      mdqa::Reproduce);
+}

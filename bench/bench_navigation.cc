@@ -1,0 +1,96 @@
+// C4 — navigation-direction ablation (Examples 1-2): upward navigation
+// collapses children into parents (tuple-preserving), downward
+// navigation fans out one parent tuple into one tuple per child. The
+// series shows derived-fact counts and chase cost as the drill-down
+// fan-out (wards per unit) grows, with the upward direction flat.
+
+#include "bench_common.h"
+#include "datalog/chase.h"
+#include "scenarios/synthetic.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+
+datalog::Program MakeProgram(int wards_per_unit, bool downward) {
+  scenarios::SyntheticSpec spec;
+  spec.patients = 30;
+  spec.days = 5;
+  spec.wards_per_unit = wards_per_unit;
+  spec.include_downward_rules = downward;
+  auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+  return Check(ontology->Compile(), "compile");
+}
+
+struct NavCounts {
+  size_t edb = 0;
+  size_t up = 0;    // SPatientUnit derived
+  size_t down = 0;  // SShifts derived
+};
+
+NavCounts CountDerived(int wards_per_unit) {
+  datalog::Program program = MakeProgram(wards_per_unit, true);
+  datalog::Instance instance = datalog::Instance::FromProgram(program);
+  NavCounts counts;
+  counts.edb = instance.TotalFacts();
+  Check(datalog::Chase::Run(program, &instance, datalog::ChaseOptions())
+            .status(),
+        "chase");
+  counts.up =
+      instance.CountFacts(program.vocab()->FindPredicate("SPatientUnit"));
+  counts.down =
+      instance.CountFacts(program.vocab()->FindPredicate("SShifts"));
+  return counts;
+}
+
+void Reproduce() {
+  std::cout << "\nfan-out ablation (patients and days fixed; wards/unit "
+               "grows):\n"
+            << "  wards/unit   EDB facts   upward-derived   "
+               "downward-derived\n";
+  for (int fanout : {1, 2, 4, 8, 16}) {
+    NavCounts c = CountDerived(fanout);
+    std::printf("  %10d   %9zu   %14zu   %16zu\n", fanout, c.edb, c.up,
+                c.down);
+  }
+  std::cout << "\n(paper shape: upward stays ~|SPatientWard| regardless of "
+               "fan-out; downward grows linearly with wards/unit — one "
+               "Shifts tuple per ward of the nurse's unit)\n";
+}
+
+void BM_UpwardOnlyChase(benchmark::State& state) {
+  datalog::Program program =
+      MakeProgram(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    datalog::Instance instance = datalog::Instance::FromProgram(program);
+    auto stats =
+        datalog::Chase::Run(program, &instance, datalog::ChaseOptions());
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_UpwardOnlyChase)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_UpwardAndDownwardChase(benchmark::State& state) {
+  datalog::Program program =
+      MakeProgram(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    datalog::Instance instance = datalog::Instance::FromProgram(program);
+    auto stats =
+        datalog::Chase::Run(program, &instance, datalog::ChaseOptions());
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_UpwardAndDownwardChase)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "C4",
+      "upward vs. downward navigation cost and drill-down fan-out",
+      mdqa::Reproduce);
+}

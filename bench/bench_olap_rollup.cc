@@ -1,0 +1,164 @@
+// Extension experiments (beyond the paper's figures): OLAP roll-up
+// aggregation over categorical relations with summarizability
+// enforcement (the HM machinery the paper builds on), and CQA-style
+// conflict detection cost. Reported so downstream users can size the
+// model-maintenance layer.
+
+#include "bench_common.h"
+#include "datalog/parser.h"
+#include "md/aggregate.h"
+#include "quality/cqa.h"
+#include "scenarios/hospital.h"
+#include "scenarios/synthetic.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+
+// A synthetic receipts relation over the SynHospital dimension.
+struct RollupFixture {
+  std::shared_ptr<core::MdOntology> ontology;
+  md::CategoricalRelation receipts;
+
+  static RollupFixture Make(int wards_per_unit, int rows_per_ward) {
+    scenarios::SyntheticSpec spec;
+    spec.wards_per_unit = wards_per_unit;
+    auto ontology = Check(scenarios::BuildSyntheticOntology(spec), "onto");
+    auto receipts = Check(
+        md::CategoricalRelation::Create(
+            "Receipts",
+            {md::CategoricalAttribute::Categorical("Ward", "SynHospital",
+                                                   "SWard"),
+             md::CategoricalAttribute::Plain("Seq"),
+             md::CategoricalAttribute::Plain("Amount")}),
+        "schema");
+    const md::DimensionInstance& inst =
+        ontology->FindDimension("SynHospital")->instance();
+    int seq = 0;
+    for (const std::string& ward : inst.Members("SWard")) {
+      for (int r = 0; r < rows_per_ward; ++r) {
+        // `r` is a shared group key (think: day index), so roll-ups
+        // genuinely merge rows from sibling wards.
+        Check(receipts.Insert({Value::Str(ward), Value::Int(r),
+                               Value::Int(10 + (seq * 7) % 90)}),
+              "row");
+        ++seq;
+      }
+    }
+    return RollupFixture{std::move(ontology), std::move(receipts)};
+  }
+};
+
+void Reproduce() {
+  RollupFixture fx = RollupFixture::Make(3, 4);
+  const md::Dimension* dim = fx.ontology->FindDimension("SynHospital");
+  auto by_unit = Check(
+      md::RollUpAggregate(fx.receipts, *dim, "Ward", "SUnit", "Amount",
+                          md::AggFn::kSum),
+      "rollup");
+  std::cout << "\nReceipts rolled up Ward -> Unit (sum), first rows:\n";
+  std::string table = by_unit.ToTable();
+  std::cout << table.substr(0, 420) << "  ...\n";
+  auto by_inst = Check(
+      md::RollUpAggregate(fx.receipts, *dim, "Ward", "SInstitution",
+                          "Amount", md::AggFn::kSum),
+      "rollup");
+  std::cout << "groups at Unit level: " << by_unit.size()
+            << ", at Institution level: " << by_inst.size() << "\n";
+
+  // Summarizability guard in action.
+  md::DimensionInstance dirty = dim->instance();
+  Check(dirty.AddChildParent("sw0", "su1"), "extra parent");
+  auto dirty_dim = Check(md::Dimension::Create(std::move(dirty)), "dim");
+  auto refused = md::RollUpAggregate(fx.receipts, dirty_dim, "Ward",
+                                     "SUnit", "Amount", md::AggFn::kSum);
+  std::cout << "non-summarizable roll-up refused: " << refused.status()
+            << "\n";
+
+  // Conflict detection on the dirty hospital scenario.
+  scenarios::HospitalOptions options;
+  options.include_violating_stay = true;
+  auto hospital = Check(scenarios::BuildHospitalOntology(options), "onto");
+  auto program = Check(hospital->Compile(), "compile");
+  quality::CqaEngine cqa(program);
+  cqa.ProtectDimensionStructure(*hospital);
+  auto conflicts = Check(cqa.FindConflicts(), "conflicts");
+  std::cout << "hospital dirty scenario: " << conflicts.size()
+            << " conflict(s), " << Check(cqa.SuspectFacts(), "s").size()
+            << " suspect fact(s)\n";
+}
+
+void BM_RollUpSum(benchmark::State& state) {
+  RollupFixture fx =
+      RollupFixture::Make(static_cast<int>(state.range(0)), 8);
+  const md::Dimension* dim = fx.ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    auto agg = md::RollUpAggregate(fx.receipts, *dim, "Ward", "SUnit",
+                                   "Amount", md::AggFn::kSum);
+    if (!agg.ok()) state.SkipWithError(agg.status().ToString().c_str());
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetLabel(std::to_string(fx.receipts.data().size()) + " rows");
+}
+BENCHMARK(BM_RollUpSum)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SummarizabilityCheck(benchmark::State& state) {
+  RollupFixture fx =
+      RollupFixture::Make(static_cast<int>(state.range(0)), 1);
+  const md::Dimension* dim = fx.ontology->FindDimension("SynHospital");
+  for (auto _ : state) {
+    Status s = md::CheckSummarizable(dim->instance(), "SWard",
+                                     "SInstitution");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SummarizabilityCheck)->Arg(2)->Arg(32);
+
+void BM_ConflictDetection(benchmark::State& state) {
+  scenarios::HospitalOptions options;
+  options.include_violating_stay = true;
+  auto hospital = Check(scenarios::BuildHospitalOntology(options), "onto");
+  auto program = Check(hospital->Compile(), "compile");
+  for (auto _ : state) {
+    quality::CqaEngine cqa(program);
+    cqa.ProtectDimensionStructure(*hospital);
+    auto conflicts = cqa.FindConflicts();
+    if (!conflicts.ok()) {
+      state.SkipWithError(conflicts.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(conflicts);
+  }
+}
+BENCHMARK(BM_ConflictDetection);
+
+void BM_ConflictFreeAnswers(benchmark::State& state) {
+  scenarios::HospitalOptions options;
+  options.include_violating_stay = true;
+  auto hospital = Check(scenarios::BuildHospitalOntology(options), "onto");
+  auto program = Check(hospital->Compile(), "compile");
+  auto q = Check(datalog::Parser::ParseQuery(
+                     "Q(W, D, P) :- PatientWard(W, D, P).",
+                     program.vocab().get()),
+                 "parse");
+  for (auto _ : state) {
+    quality::CqaEngine cqa(program);
+    cqa.ProtectDimensionStructure(*hospital);
+    auto answers = cqa.ConflictFreeAnswers(q);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(answers);
+  }
+}
+BENCHMARK(BM_ConflictFreeAnswers);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "extension",
+      "OLAP roll-up aggregation, summarizability, CQA conflict detection",
+      mdqa::Reproduce);
+}

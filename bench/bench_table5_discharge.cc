@@ -1,0 +1,115 @@
+// E4 — Table V / Example 6 / rule (9): form-(10) disjunctive downward
+// navigation. Paper expectation: no certain unit for Elvis Costello, but
+// "he was in some unit of H2" holds; patients already placed by rule (7)
+// get no redundant nulls (restricted chase).
+
+#include "bench_common.h"
+#include "datalog/parser.h"
+#include "qa/chase_qa.h"
+#include "qa/deterministic_ws.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+
+datalog::Program MakeProgram() {
+  auto ontology = Check(
+      scenarios::BuildHospitalOntology(scenarios::HospitalOptions{}),
+      "ontology");
+  return Check(ontology->Compile(), "compile");
+}
+
+void Reproduce() {
+  auto ontology = Check(
+      scenarios::BuildHospitalOntology(scenarios::HospitalOptions{}),
+      "ontology");
+  auto program = Check(ontology->Compile(), "compile");
+  auto vocab = program.vocab();
+  std::cout << "\n--- Table V (DischargePatients) ---\n"
+            << ontology->FindCategoricalRelation("DischargePatients")
+                   ->data()
+                   .ToTable();
+  auto chase = Check(qa::ChaseQa::Create(program), "chase");
+  std::cout << "\nPatientUnit after rules (7) + (9):\n"
+            << Check(chase.instance().ExportRelation(
+                         vocab->FindPredicate("PatientUnit"), "PatientUnit",
+                         {"Unit", "Day", "Patient"}, true),
+                     "export")
+                   .ToTable();
+  auto open = Check(
+      datalog::Parser::ParseQuery(
+          "Q(U) :- PatientUnit(U, \"Oct/5\", \"Elvis Costello\").",
+          vocab.get()),
+      "parse");
+  std::cout << "certain units for Elvis on Oct/5: "
+            << Check(chase.Answers(open), "certain").size()
+            << "   (paper: none — disjunctive knowledge)\n";
+  auto boolean = Check(
+      datalog::Parser::ParseQuery(
+          "Q() :- InstitutionUnit(\"H2\", U), "
+          "PatientUnit(U, \"Oct/5\", \"Elvis Costello\").",
+          vocab.get()),
+      "parse");
+  std::cout << "\"Elvis in some unit of H2\" certain: "
+            << (Check(chase.AnswerBoolean(boolean), "bool") ? "yes" : "no")
+            << "   (paper: yes)\n";
+}
+
+void BM_DisjunctiveBoolean_Chase(benchmark::State& state) {
+  datalog::Program program = MakeProgram();
+  auto q = Check(datalog::Parser::ParseQuery(
+                     "Q() :- InstitutionUnit(\"H2\", U), "
+                     "PatientUnit(U, \"Oct/5\", \"Elvis Costello\").",
+                     program.vocab().get()),
+                 "parse");
+  for (auto _ : state) {
+    auto chase = qa::ChaseQa::Create(program);
+    if (!chase.ok()) state.SkipWithError(chase.status().ToString().c_str());
+    auto a = chase->AnswerBoolean(q);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_DisjunctiveBoolean_Chase);
+
+void BM_DisjunctiveBoolean_DeterministicWs(benchmark::State& state) {
+  datalog::Program program = MakeProgram();
+  for (auto _ : state) {
+    qa::DeterministicWsQa qa(program);
+    auto q = Check(datalog::Parser::ParseQuery(
+                       "Q() :- InstitutionUnit(\"H2\", U), "
+                       "PatientUnit(U, \"Oct/5\", \"Elvis Costello\").",
+                       program.vocab().get()),
+                   "parse");
+    auto a = qa.AnswerBoolean(q);
+    if (!a.ok()) state.SkipWithError(a.status().ToString().c_str());
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_DisjunctiveBoolean_DeterministicWs);
+
+void BM_CertainAnswersUnderNulls(benchmark::State& state) {
+  datalog::Program program = MakeProgram();
+  auto chase = Check(qa::ChaseQa::Create(program), "chase");
+  auto q = Check(datalog::Parser::ParseQuery(
+                     "Q(U, D, P) :- PatientUnit(U, D, P).",
+                     program.vocab().get()),
+                 "parse");
+  for (auto _ : state) {
+    auto a = chase.Answers(q);
+    if (!a.ok()) state.SkipWithError(a.status().ToString().c_str());
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_CertainAnswersUnderNulls);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "E4",
+      "Table V: form-(10) disjunctive downward navigation",
+      mdqa::Reproduce);
+}

@@ -1,0 +1,355 @@
+// An interactive Datalog± shell over the mdqa engine: load programs and
+// CSV data, inspect the Datalog± classification, materialize the chase,
+// ask queries with any of the three engines, and explain derived facts
+// (provenance trees).
+//
+// Run:  ./build/examples/mdqa_shell            # interactive
+//       ./build/examples/mdqa_shell script.txt # replay commands
+//
+// Commands:
+//   load <file>            parse a Datalog± program file into the session
+//   parse <statements.>    parse statements given inline
+//   csv <file> [name]      load a CSV file as facts (header = attributes)
+//   rules | facts [pred]   show the program / current instance
+//   analyze                Datalog± classification + stratification
+//   chase                  (re)materialize the chase, with provenance
+//   ask <query>            e.g. ask Q(X) :- P(X, Y), Y > 3.
+//   engine chase|ws|rewrite
+//   explain <ground atom>  derivation tree, e.g. explain T(1, 3)
+//   whynot <ground atom>   why a fact is NOT derivable
+//   save <file>            serialize rules + chased facts (re-loadable)
+//   demo hospital|finance|synthetic   load a built-in scenario
+//   reset | help | quit
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "datalog/analysis.h"
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "datalog/provenance.h"
+#include "datalog/whynot.h"
+#include "qa/engines.h"
+#include "relational/csv.h"
+#include "scenarios/finance.h"
+#include "scenarios/hospital.h"
+#include "scenarios/synthetic.h"
+
+namespace mdqa {
+namespace {
+
+class Shell {
+ public:
+  Shell() { Reset(); }
+
+  // Returns false when the session should end.
+  bool Handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+    if (cmd.empty()) return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "reset") {
+      Reset();
+      std::cout << "session cleared\n";
+    } else if (cmd == "load") {
+      Load(rest);
+    } else if (cmd == "parse") {
+      Report(datalog::Parser::ParseInto(rest, &program_), "parsed");
+      chased_ = false;
+    } else if (cmd == "csv") {
+      Csv(rest);
+    } else if (cmd == "rules") {
+      std::cout << program_.ToString();
+    } else if (cmd == "facts") {
+      Facts(rest);
+    } else if (cmd == "analyze") {
+      Analyze();
+    } else if (cmd == "chase") {
+      RunChase();
+    } else if (cmd == "ask") {
+      Ask(rest);
+    } else if (cmd == "engine") {
+      SetEngine(rest);
+    } else if (cmd == "explain") {
+      Explain(rest);
+    } else if (cmd == "whynot") {
+      WhyNot(rest);
+    } else if (cmd == "save") {
+      Save(rest);
+    } else if (cmd == "demo") {
+      Demo(rest);
+    } else {
+      std::cout << "unknown command '" << cmd << "' (try: help)\n";
+    }
+    return true;
+  }
+
+ private:
+  void Reset() {
+    program_ = datalog::Program();
+    instance_ =
+        std::make_unique<datalog::Instance>(program_.vocab());
+    provenance_ = datalog::ProvenanceStore();
+    chased_ = false;
+  }
+
+  void Help() {
+    std::cout <<
+        "  load <file> | parse <stmts.> | csv <file> [name]\n"
+        "  rules | facts [pred] | analyze | chase\n"
+        "  ask <query>   e.g. ask Q(X) :- P(X, Y), Y > 3.\n"
+        "  engine chase|ws|rewrite   (current: "
+              << qa::EngineToString(engine_) << ")\n"
+        "  explain <ground atom>   derivation tree (after chase)\n"
+        "  whynot <ground atom>    why a fact is NOT derivable\n"
+        "  save <file>   write rules + chased facts (re-loadable;\n"
+        "                labeled nulls serialize as _nK)\n"
+        "  demo hospital|finance|synthetic   load a built-in scenario\n"
+        "  reset | quit\n";
+  }
+
+  void Report(const Status& s, const char* ok_msg) {
+    if (s.ok()) {
+      std::cout << ok_msg << "\n";
+    } else {
+      std::cout << s << "\n";
+    }
+  }
+
+  void Load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cout << "cannot open '" << path << "'\n";
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Report(datalog::Parser::ParseInto(buf.str(), &program_), "loaded");
+    chased_ = false;
+  }
+
+  void Csv(const std::string& args) {
+    std::istringstream in(args);
+    std::string path, name;
+    in >> path >> name;
+    auto rel = ReadCsvFile(path, name);
+    if (!rel.ok()) {
+      std::cout << rel.status() << "\n";
+      return;
+    }
+    datalog::Instance scratch(program_.vocab());
+    Status s = scratch.LoadRelation(*rel);
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      return;
+    }
+    uint32_t pred = program_.vocab()->FindPredicate(rel->name());
+    size_t added = 0;
+    for (const datalog::Atom& f : scratch.Facts(pred)) {
+      if (program_.AddFact(f).ok()) ++added;
+    }
+    std::cout << "loaded " << added << " facts into " << rel->name() << "\n";
+    chased_ = false;
+  }
+
+  void Facts(const std::string& pred_name) {
+    EnsureChased();
+    if (pred_name.empty()) {
+      std::cout << instance_->ToString();
+      return;
+    }
+    uint32_t pred = program_.vocab()->FindPredicate(pred_name);
+    if (pred == StringPool::kNotFound) {
+      std::cout << "unknown predicate '" << pred_name << "'\n";
+      return;
+    }
+    for (const datalog::Atom& f : instance_->Facts(pred)) {
+      std::cout << program_.vocab()->AtomToString(f) << ".\n";
+    }
+  }
+
+  void Analyze() {
+    datalog::ProgramAnalysis analysis(program_);
+    std::cout << analysis.Report(*program_.vocab());
+    auto strata = datalog::StratifyProgram(program_);
+    if (!strata.ok()) {
+      std::cout << strata.status() << "\n";
+    }
+  }
+
+  void RunChase() {
+    instance_ =
+        std::make_unique<datalog::Instance>(
+            datalog::Instance::FromProgram(program_));
+    provenance_ = datalog::ProvenanceStore();
+    datalog::ChaseOptions options;
+    options.provenance = &provenance_;
+    auto stats = datalog::Chase::Run(program_, instance_.get(), options);
+    if (!stats.ok()) {
+      std::cout << stats.status() << "\n";
+      chased_ = stats.status().code() == StatusCode::kInconsistent;
+      return;
+    }
+    std::cout << stats->ToString() << "; instance now holds "
+              << instance_->TotalFacts() << " facts\n";
+    chased_ = true;
+  }
+
+  void EnsureChased() {
+    if (!chased_) RunChase();
+  }
+
+  void SetEngine(const std::string& name) {
+    if (name == "chase") {
+      engine_ = qa::Engine::kChase;
+    } else if (name == "ws") {
+      engine_ = qa::Engine::kDeterministicWs;
+    } else if (name == "rewrite" || name == "rewriting") {
+      engine_ = qa::Engine::kRewriting;
+    } else {
+      std::cout << "engines: chase | ws | rewrite\n";
+      return;
+    }
+    std::cout << "engine = " << qa::EngineToString(engine_) << "\n";
+  }
+
+  void Ask(const std::string& text) {
+    auto query = datalog::Parser::ParseQuery(text, program_.mutable_vocab());
+    if (!query.ok()) {
+      std::cout << query.status() << "\n";
+      return;
+    }
+    auto answers = qa::Answer(engine_, program_, *query);
+    if (!answers.ok()) {
+      std::cout << answers.status() << "\n";
+      return;
+    }
+    std::cout << answers->size() << " answer(s): "
+              << answers->ToString(*program_.vocab()) << "\n";
+  }
+
+  void WhyNot(const std::string& text) {
+    EnsureChased();
+    auto atom =
+        datalog::Parser::ParseGroundAtom(text, program_.mutable_vocab());
+    if (!atom.ok()) {
+      std::cout << atom.status() << "\n";
+      return;
+    }
+    auto report = datalog::ExplainAbsence(program_, *instance_, *atom);
+    if (!report.ok()) {
+      std::cout << report.status() << "\n";
+      return;
+    }
+    std::cout << report->ToString();
+  }
+
+  void Demo(const std::string& which) {
+    Result<datalog::Program> program = [&]() -> Result<datalog::Program> {
+      if (which == "hospital") {
+        MDQA_ASSIGN_OR_RETURN(
+            auto context,
+            scenarios::BuildHospitalContext(scenarios::HospitalOptions{}));
+        return context.BuildProgram();  // ontology + Table I + quality rules
+      }
+      if (which == "finance") {
+        MDQA_ASSIGN_OR_RETURN(
+            auto context,
+            scenarios::BuildFinanceContext(scenarios::FinanceOptions{}));
+        return context.BuildProgram();
+      }
+      if (which == "synthetic") {
+        MDQA_ASSIGN_OR_RETURN(
+            auto ontology,
+            scenarios::BuildSyntheticOntology(scenarios::SyntheticSpec{}));
+        return ontology->Compile();
+      }
+      return Status::InvalidArgument(
+          "demos: hospital | finance | synthetic");
+    }();
+    if (!program.ok()) {
+      std::cout << program.status() << "\n";
+      return;
+    }
+    Reset();
+    program_ = std::move(program).value();
+    chased_ = false;
+    std::cout << "loaded demo '" << which << "': "
+              << program_.rules().size() << " rules, "
+              << program_.facts().size()
+              << " facts (try: analyze, chase, ask ...)\n";
+  }
+
+  void Save(const std::string& path) {
+    EnsureChased();
+    std::ofstream out(path);
+    if (!out) {
+      std::cout << "cannot write '" << path << "'\n";
+      return;
+    }
+    for (const datalog::Rule& r : program_.rules()) {
+      out << program_.vocab()->RuleToString(r) << "\n";
+    }
+    out << instance_->ToString();
+    std::cout << "saved " << program_.rules().size() << " rules and "
+              << instance_->TotalFacts() << " facts to " << path << "\n";
+  }
+
+  void Explain(const std::string& text) {
+    EnsureChased();
+    auto atom =
+        datalog::Parser::ParseGroundAtom(text, program_.mutable_vocab());
+    if (!atom.ok()) {
+      std::cout << atom.status() << "\n";
+      return;
+    }
+    if (!instance_->Contains(*atom)) {
+      std::cout << "fact not in the chased instance\n";
+      return;
+    }
+    std::cout << provenance_.Explain(*atom, *program_.vocab());
+  }
+
+  datalog::Program program_;
+  std::unique_ptr<datalog::Instance> instance_;
+  datalog::ProvenanceStore provenance_;
+  qa::Engine engine_ = qa::Engine::kChase;
+  bool chased_ = false;
+};
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  mdqa::Shell shell;
+  std::istream* in = &std::cin;
+  std::ifstream script;
+  const bool interactive = argc < 2;
+  if (!interactive) {
+    script.open(argv[1]);
+    if (!script) {
+      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      return 1;
+    }
+    in = &script;
+  }
+  if (interactive) {
+    std::cout << "mdqa shell — 'help' for commands\n";
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "> " << std::flush;
+    if (!std::getline(*in, line)) break;
+    if (!interactive) std::cout << "> " << line << "\n";
+    if (!shell.Handle(line)) break;
+  }
+  return 0;
+}

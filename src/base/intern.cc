@@ -1,0 +1,19 @@
+#include "base/intern.h"
+
+namespace mdqa {
+
+uint32_t StringPool::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+uint32_t StringPool::Find(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+}  // namespace mdqa

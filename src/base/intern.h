@@ -1,0 +1,46 @@
+#ifndef MDQA_BASE_INTERN_H_
+#define MDQA_BASE_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mdqa {
+
+/// Maps strings to dense uint32 ids and back. Ids are stable for the
+/// lifetime of the pool and assigned in first-seen order starting at 0.
+/// Not thread-safe; each engine owns its pools.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = default;
+  StringPool& operator=(const StringPool&) = default;
+
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id for `s`, or `kNotFound` if never interned.
+  uint32_t Find(std::string_view s) const;
+
+  /// Returns the string for a previously returned id.
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+/// Combines a hash into a running seed (boost::hash_combine recipe).
+inline void HashCombine(size_t* seed, size_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ull + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_INTERN_H_

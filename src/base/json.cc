@@ -1,0 +1,142 @@
+#include "base/json.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mdqa {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// stack_ encoding: value >= 0 -> array with that many elements so far;
+// value < 0 -> object with (-value - 1) elements, key pending iff the
+// kKeyPending bit pattern is used. Keep it simple with two parallel
+// notions folded into one int: objects store -(2*count + (pending?1:0)) - 1.
+namespace {
+constexpr int64_t EncodeObject(int64_t count, bool pending) {
+  return -(2 * count + (pending ? 1 : 0)) - 1;
+}
+constexpr bool IsObject(int64_t v) { return v < 0; }
+constexpr int64_t ObjectCount(int64_t v) { return (-(v + 1)) / 2; }
+constexpr bool KeyPending(int64_t v) { return ((-(v + 1)) % 2) == 1; }
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  int64_t& top = stack_.back();
+  if (IsObject(top)) {
+    assert(KeyPending(top) && "object value requires a preceding Key()");
+    top = EncodeObject(ObjectCount(top) + 1, false);
+  } else {
+    if (top > 0) out_ += ',';
+    ++top;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(EncodeObject(0, false));
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && IsObject(stack_.back()));
+  assert(!KeyPending(stack_.back()) && "dangling Key() at EndObject");
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && !IsObject(stack_.back()));
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && IsObject(stack_.back()));
+  assert(!KeyPending(stack_.back()) && "two keys in a row");
+  int64_t& top = stack_.back();
+  if (ObjectCount(top) > 0) out_ += ',';
+  top = EncodeObject(ObjectCount(top), true);
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace mdqa

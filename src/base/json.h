@@ -1,0 +1,64 @@
+#ifndef MDQA_BASE_JSON_H_
+#define MDQA_BASE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdqa {
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+/// A minimal streaming JSON writer — enough for exporting assessment
+/// reports and benchmark series; not a general serialization framework.
+/// Keys/values are emitted in call order; the writer tracks nesting and
+/// inserts commas. Misuse (e.g. a value without a key inside an object)
+/// is caught by assertions in debug builds and produces well-formed-but-
+/// wrong output otherwise.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("relation").String("Measurements");
+///   w.Key("precision").Number(0.333);
+///   w.Key("rows").BeginArray();
+///   w.String("a");
+///   w.EndArray();
+///   w.EndObject();
+///   std::string json = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(size_t value) {
+    return Number(static_cast<int64_t>(value));
+  }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The accumulated JSON text (the writer is spent afterwards).
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: number of elements emitted so far;
+  // negative means "inside an object, key pending".
+  std::vector<int64_t> stack_;
+};
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_JSON_H_

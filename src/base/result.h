@@ -1,0 +1,72 @@
+#ifndef MDQA_BASE_RESULT_H_
+#define MDQA_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace mdqa {
+
+/// Either a value of type `T` or a non-OK `Status`. The library's
+/// exception-free analogue of `absl::StatusOr<T>` / `arrow::Result<T>`.
+///
+/// Usage:
+///   Result<Program> r = Parser::Parse(text);
+///   if (!r.ok()) return r.status();
+///   Program p = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding the
+/// value to `lhs`.
+#define MDQA_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  MDQA_ASSIGN_OR_RETURN_IMPL_(                            \
+      MDQA_RESULT_CONCAT_(_mdqa_result_, __LINE__), lhs, rexpr)
+
+#define MDQA_RESULT_CONCAT_INNER_(a, b) a##b
+#define MDQA_RESULT_CONCAT_(a, b) MDQA_RESULT_CONCAT_INNER_(a, b)
+#define MDQA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_RESULT_H_

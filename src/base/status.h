@@ -1,0 +1,92 @@
+#ifndef MDQA_BASE_STATUS_H_
+#define MDQA_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mdqa {
+
+/// Error category for a failed operation. The library does not throw on
+/// expected failure paths; fallible operations return `Status` or
+/// `Result<T>` (see result.h), following the RocksDB/Arrow idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (parse errors, bad schemas, ...)
+  kNotFound,          ///< a named entity does not exist
+  kAlreadyExists,     ///< a named entity is being redefined
+  kFailedPrecondition,///< operation not valid in the current state
+  kInconsistent,      ///< a negative constraint or hard EGD violation fired
+  kResourceExhausted, ///< a chase/search budget (facts, depth, time) ran out
+  kUnimplemented,     ///< feature intentionally not supported
+  kInternal,          ///< invariant breakage; indicates a library bug
+};
+
+/// Returns the canonical spelling of a code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define MDQA_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::mdqa::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef MDQA_BASE_STRING_UTIL_H_
+#define MDQA_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdqa {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` parses completely as a signed decimal integer.
+bool IsInteger(std::string_view s);
+
+/// True if `s` parses completely as a floating-point literal (and is not
+/// already an integer).
+bool IsDouble(std::string_view s);
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_STRING_UTIL_H_

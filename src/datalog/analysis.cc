@@ -1,0 +1,403 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mdqa::datalog {
+
+namespace {
+
+Position Pos(uint32_t pred, size_t idx) {
+  return Position{pred, static_cast<uint32_t>(idx)};
+}
+
+// Body positions of each variable of a rule.
+std::unordered_map<uint32_t, std::vector<Position>> BodyPositionsByVar(
+    const Rule& rule) {
+  std::unordered_map<uint32_t, std::vector<Position>> out;
+  for (const Atom& a : rule.body) {
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (a.terms[i].IsVariable()) {
+        out[a.terms[i].id()].push_back(Pos(a.predicate, i));
+      }
+    }
+  }
+  return out;
+}
+
+std::unordered_map<uint32_t, std::vector<Position>> HeadPositionsByVar(
+    const Rule& rule) {
+  std::unordered_map<uint32_t, std::vector<Position>> out;
+  for (const Atom& a : rule.head) {
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (a.terms[i].IsVariable()) {
+        out[a.terms[i].id()].push_back(Pos(a.predicate, i));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unordered_map<uint32_t, int>> StratifyProgram(
+    const Program& program) {
+  std::unordered_map<uint32_t, int> stratum;
+  auto get = [&stratum](uint32_t pred) -> int& {
+    return stratum.try_emplace(pred, 0).first->second;
+  };
+  // Seed every predicate mentioned anywhere.
+  for (const Rule& r : program.rules()) {
+    for (const Atom& a : r.head) get(a.predicate);
+    for (const Atom& a : r.body) get(a.predicate);
+    for (const Atom& a : r.negated) get(a.predicate);
+  }
+  const size_t n = stratum.size();
+  // Bellman-Ford-style relaxation; more than n rounds of change means a
+  // cycle through a negative edge.
+  for (size_t iter = 0; iter <= n + 1; ++iter) {
+    bool changed = false;
+    for (const Rule& r : program.rules()) {
+      if (!r.IsTgd()) continue;  // EGDs/constraints have no head stratum
+      int floor = 0;
+      for (const Atom& a : r.body) floor = std::max(floor, get(a.predicate));
+      for (const Atom& a : r.negated) {
+        floor = std::max(floor, get(a.predicate) + 1);
+      }
+      for (const Atom& h : r.head) {
+        int& s = get(h.predicate);
+        if (s < floor) {
+          s = floor;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return stratum;
+  }
+  return Status::InvalidArgument(
+      "program is not stratified: negation occurs through recursion");
+}
+
+ProgramAnalysis::ProgramAnalysis(const Program& program)
+    : tgds_(program.Tgds()) {
+  BuildGraph();
+  ComputeRanks();
+  ComputeAffected();
+  ComputeMarking();
+  Classify();
+}
+
+void ProgramAnalysis::BuildGraph() {
+  auto add_node = [this](Position p) { nodes_.emplace(p.Key(), p); };
+  auto add_edge = [this, &add_node](Position from, Position to, bool special) {
+    add_node(from);
+    add_node(to);
+    edges_[from.Key()].push_back(to.Key());
+    if (special) special_edges_.emplace_back(from.Key(), to.Key());
+  };
+
+  for (const Rule& rule : tgds_) {
+    auto body_pos = BodyPositionsByVar(rule);
+    auto head_pos = HeadPositionsByVar(rule);
+    std::vector<uint32_t> existential = rule.ExistentialVariables();
+    std::unordered_set<uint32_t> exist_set(existential.begin(),
+                                           existential.end());
+
+    // Collect the head positions of existential variables once.
+    std::vector<Position> exist_positions;
+    for (uint32_t z : existential) {
+      for (Position p : head_pos[z]) exist_positions.push_back(p);
+    }
+
+    for (const auto& [var, from_list] : body_pos) {
+      auto it = head_pos.find(var);
+      for (Position from : from_list) {
+        if (it != head_pos.end()) {
+          for (Position to : it->second) add_edge(from, to, /*special=*/false);
+        }
+        // Special edges: from every body position of every frontier
+        // variable into every existential head position of the same rule.
+        if (it != head_pos.end()) {
+          for (Position to : exist_positions) add_edge(from, to, true);
+        }
+      }
+    }
+    // Ensure isolated positions still appear as nodes (for reports).
+    for (const Atom& a : rule.body) {
+      for (size_t i = 0; i < a.terms.size(); ++i) add_node(Pos(a.predicate, i));
+    }
+    for (const Atom& a : rule.head) {
+      for (size_t i = 0; i < a.terms.size(); ++i) add_node(Pos(a.predicate, i));
+    }
+  }
+}
+
+void ProgramAnalysis::ComputeRanks() {
+  // Tarjan SCC over the position graph, then: a position has infinite rank
+  // iff it is reachable from an SCC that contains a special edge (a cycle
+  // through a special edge pumps unboundedly many nulls into everything
+  // downstream).
+  std::unordered_map<uint64_t, int> index, low, comp;
+  std::vector<uint64_t> stack;
+  std::unordered_set<uint64_t> on_stack;
+  int next_index = 0, next_comp = 0;
+
+  std::function<void(uint64_t)> strongconnect = [&](uint64_t v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = edges_.find(v);
+    if (it != edges_.end()) {
+      for (uint64_t w : it->second) {
+        if (index.find(w) == index.end()) {
+          strongconnect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w) > 0) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      while (true) {
+        uint64_t w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        comp[w] = next_comp;
+        if (w == v) break;
+      }
+      ++next_comp;
+    }
+  };
+  for (const auto& [key, _] : nodes_) {
+    if (index.find(key) == index.end()) strongconnect(key);
+  }
+
+  // SCCs containing a special edge (both ends in the same component).
+  std::unordered_set<int> bad_comps;
+  for (const auto& [from, to] : special_edges_) {
+    if (comp[from] == comp[to]) bad_comps.insert(comp[from]);
+  }
+  weakly_acyclic_ = bad_comps.empty();
+
+  // Infinite rank = reachable from any node of a bad SCC.
+  std::vector<uint64_t> frontier;
+  std::unordered_set<uint64_t> infinite;
+  for (const auto& [key, _] : nodes_) {
+    if (bad_comps.count(comp[key]) > 0) {
+      if (infinite.insert(key).second) frontier.push_back(key);
+    }
+  }
+  while (!frontier.empty()) {
+    uint64_t v = frontier.back();
+    frontier.pop_back();
+    auto it = edges_.find(v);
+    if (it == edges_.end()) continue;
+    for (uint64_t w : it->second) {
+      if (infinite.insert(w).second) frontier.push_back(w);
+    }
+  }
+  for (uint64_t key : infinite) infinite_rank_.insert(nodes_[key]);
+}
+
+void ProgramAnalysis::ComputeAffected() {
+  // Base: head positions of existential variables.
+  for (const Rule& rule : tgds_) {
+    auto head_pos = HeadPositionsByVar(rule);
+    for (uint32_t z : rule.ExistentialVariables()) {
+      for (Position p : head_pos[z]) affected_.insert(p);
+    }
+  }
+  // Propagate: a head position of frontier variable x becomes affected
+  // when every body occurrence of x is at an affected position.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : tgds_) {
+      auto body_pos = BodyPositionsByVar(rule);
+      auto head_pos = HeadPositionsByVar(rule);
+      for (uint32_t x : rule.FrontierVariables()) {
+        bool all_affected = true;
+        for (Position p : body_pos[x]) {
+          if (affected_.count(p) == 0) {
+            all_affected = false;
+            break;
+          }
+        }
+        if (!all_affected) continue;
+        for (Position p : head_pos[x]) {
+          if (affected_.insert(p).second) changed = true;
+        }
+      }
+    }
+  }
+}
+
+void ProgramAnalysis::ComputeMarking() {
+  marked_.assign(tgds_.size(), {});
+  // Initial step: variables that do not propagate to the head are marked.
+  for (size_t i = 0; i < tgds_.size(); ++i) {
+    std::vector<uint32_t> head_vars = tgds_[i].HeadVariables();
+    std::unordered_set<uint32_t> head_set(head_vars.begin(), head_vars.end());
+    for (uint32_t v : tgds_[i].BodyVariables()) {
+      if (head_set.count(v) == 0) marked_[i].insert(v);
+    }
+  }
+  // Propagation: if a frontier variable lands (in the head) on a position
+  // where *any* rule has a marked body occurrence, it becomes marked too.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Positions carrying a marked occurrence in some body.
+    std::unordered_set<uint64_t> marked_positions;
+    for (size_t i = 0; i < tgds_.size(); ++i) {
+      auto body_pos = BodyPositionsByVar(tgds_[i]);
+      for (uint32_t v : marked_[i]) {
+        for (Position p : body_pos[v]) marked_positions.insert(p.Key());
+      }
+    }
+    for (size_t i = 0; i < tgds_.size(); ++i) {
+      auto head_pos = HeadPositionsByVar(tgds_[i]);
+      for (uint32_t x : tgds_[i].FrontierVariables()) {
+        if (marked_[i].count(x) > 0) continue;
+        for (Position p : head_pos[x]) {
+          if (marked_positions.count(p.Key()) > 0) {
+            marked_[i].insert(x);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void ProgramAnalysis::Classify() {
+  linear_ = true;
+  guarded_ = true;
+  weakly_guarded_ = true;
+  sticky_ = true;
+  weakly_sticky_ = true;
+
+  for (size_t i = 0; i < tgds_.size(); ++i) {
+    const Rule& rule = tgds_[i];
+    if (rule.body.size() != 1) linear_ = false;
+
+    // Guarded: some body atom contains every body variable.
+    // Weakly guarded: some body atom contains every *harmful* body
+    // variable — one occurring only at affected positions.
+    std::vector<uint32_t> body_vars = rule.BodyVariables();
+    auto body_pos = BodyPositionsByVar(rule);
+    std::vector<uint32_t> harmful;
+    for (uint32_t v : body_vars) {
+      bool all_affected = true;
+      for (Position p : body_pos[v]) {
+        if (affected_.count(p) == 0) {
+          all_affected = false;
+          break;
+        }
+      }
+      if (all_affected) harmful.push_back(v);
+    }
+    bool has_guard = false;
+    bool has_weak_guard = false;
+    for (const Atom& a : rule.body) {
+      std::unordered_set<uint32_t> in_atom;
+      for (Term t : a.terms) {
+        if (t.IsVariable()) in_atom.insert(t.id());
+      }
+      auto contains_all = [&in_atom](const std::vector<uint32_t>& vars) {
+        return std::all_of(vars.begin(), vars.end(), [&](uint32_t v) {
+          return in_atom.count(v) > 0;
+        });
+      };
+      if (contains_all(body_vars)) has_guard = true;
+      if (contains_all(harmful)) has_weak_guard = true;
+    }
+    if (!has_guard) guarded_ = false;
+    if (!has_weak_guard) weakly_guarded_ = false;
+
+    for (uint32_t v : body_vars) {
+      if (rule.BodyOccurrences(v) < 2) continue;
+      if (marked_[i].count(v) == 0) continue;
+      // Repeated marked variable: breaks stickiness.
+      sticky_ = false;
+      // Weak stickiness survives if some occurrence sits at a finite-rank
+      // position.
+      bool touches_finite = false;
+      for (Position p : body_pos[v]) {
+        if (infinite_rank_.count(p) == 0) {
+          touches_finite = true;
+          break;
+        }
+      }
+      if (!touches_finite) {
+        weakly_sticky_ = false;
+        violations_.push_back("rule #" + std::to_string(i) +
+                              ": repeated marked variable only at "
+                              "infinite-rank positions");
+      }
+    }
+  }
+}
+
+std::string ProgramAnalysis::ClassName() const {
+  std::vector<std::string> names;
+  if (linear_) names.push_back("linear");
+  if (guarded_ && !linear_) names.push_back("guarded");
+  if (weakly_guarded_ && !guarded_) names.push_back("weakly-guarded");
+  if (sticky_) names.push_back("sticky");
+  if (weakly_sticky_ && !sticky_) names.push_back("weakly-sticky");
+  if (weakly_acyclic_) names.push_back("weakly-acyclic");
+  if (names.empty()) return "(none of the tractable classes)";
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += "+";
+    out += names[i];
+  }
+  return out;
+}
+
+std::vector<Position> ProgramAnalysis::InfiniteRankPositions() const {
+  std::vector<Position> out(infinite_rank_.begin(), infinite_rank_.end());
+  std::sort(out.begin(), out.end(), [](Position a, Position b) {
+    return a.Key() < b.Key();
+  });
+  return out;
+}
+
+std::vector<Position> ProgramAnalysis::AffectedPositions() const {
+  std::vector<Position> out(affected_.begin(), affected_.end());
+  std::sort(out.begin(), out.end(), [](Position a, Position b) {
+    return a.Key() < b.Key();
+  });
+  return out;
+}
+
+bool ProgramAnalysis::IsMarkedIn(size_t tgd_index, uint32_t var) const {
+  return tgd_index < marked_.size() && marked_[tgd_index].count(var) > 0;
+}
+
+std::string ProgramAnalysis::Report(const Vocabulary& vocab) const {
+  auto pos_str = [&vocab](Position p) {
+    return vocab.PredicateName(p.predicate) + "[" + std::to_string(p.index) +
+           "]";
+  };
+  std::string out;
+  out += "class: " + ClassName() + "\n";
+  out += "linear=" + std::string(linear_ ? "yes" : "no");
+  out += " guarded=" + std::string(guarded_ ? "yes" : "no");
+  out += " weakly-guarded=" + std::string(weakly_guarded_ ? "yes" : "no");
+  out += " weakly-acyclic=" + std::string(weakly_acyclic_ ? "yes" : "no");
+  out += " sticky=" + std::string(sticky_ ? "yes" : "no");
+  out += " weakly-sticky=" + std::string(weakly_sticky_ ? "yes" : "no");
+  out += "\n";
+  out += "infinite-rank positions:";
+  for (Position p : InfiniteRankPositions()) out += " " + pos_str(p);
+  out += "\naffected positions:";
+  for (Position p : AffectedPositions()) out += " " + pos_str(p);
+  out += "\n";
+  for (const std::string& v : violations_) out += "violation: " + v + "\n";
+  return out;
+}
+
+}  // namespace mdqa::datalog

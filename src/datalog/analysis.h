@@ -1,0 +1,138 @@
+#ifndef MDQA_DATALOG_ANALYSIS_H_
+#define MDQA_DATALOG_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// Stratification for programs with negated body atoms: assigns each
+/// predicate a stratum such that a rule's head stratum is ≥ every
+/// positive body predicate's stratum and > every negated body
+/// predicate's stratum. Fails with kInvalidArgument when negation occurs
+/// through recursion (no stratification exists). Negation-free programs
+/// get the all-zero stratification. Returned as predicate-id → stratum;
+/// predicates never used in a rule head stay at stratum 0.
+Result<std::unordered_map<uint32_t, int>> StratifyProgram(
+    const Program& program);
+
+/// A predicate position (predicate id, argument index) — the node type of
+/// the TGD dependency graph used by the acyclicity/stickiness analyses.
+struct Position {
+  uint32_t predicate = 0;
+  uint32_t index = 0;
+
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(predicate) << 32) | index;
+  }
+  friend bool operator==(Position a, Position b) {
+    return a.predicate == b.predicate && a.index == b.index;
+  }
+};
+
+struct PositionHash {
+  size_t operator()(Position p) const {
+    return std::hash<uint64_t>{}(p.Key() * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// Syntactic analysis of a Datalog± TGD set, implementing the machinery
+/// the paper relies on (Sections II–III):
+///
+///  - the Fagin-et-al. dependency graph over positions, with normal edges
+///    (frontier variable propagation) and special edges (into existential
+///    positions), giving weak acyclicity and the finite/infinite **rank**
+///    partition ΠF / Π∞;
+///  - **affected positions** (positions that may carry labeled nulls);
+///  - the Calì–Gottlob–Pieris **sticky marking** procedure (occurrence
+///    level), giving stickiness and — combined with ranks — **weak
+///    stickiness**, the class the paper proves its MD ontologies live in;
+///  - linearity and guardedness detection.
+///
+/// EGDs and negative constraints do not participate (these notions are
+/// defined on the TGD set); the paper handles EGDs via separability, which
+/// the ontology layer checks (core/md_ontology.h).
+class ProgramAnalysis {
+ public:
+  explicit ProgramAnalysis(const Program& program);
+
+  /// Every TGD has a single body atom.
+  bool IsLinear() const { return linear_; }
+  /// Every TGD has a body atom containing all its body variables.
+  bool IsGuarded() const { return guarded_; }
+  /// Every TGD has a body atom containing all its *harmful* body
+  /// variables — those occurring only at affected positions (the ones
+  /// that may carry labeled nulls). Guarded ⊂ weakly-guarded; this is
+  /// the remaining class of the paper's §II list.
+  bool IsWeaklyGuarded() const { return weakly_guarded_; }
+  /// No dependency-graph cycle goes through a special edge.
+  bool IsWeaklyAcyclic() const { return weakly_acyclic_; }
+  /// No TGD repeats a marked variable in its body.
+  bool IsSticky() const { return sticky_; }
+  /// Every repeated body variable is non-marked or touches a finite-rank
+  /// position.
+  bool IsWeaklySticky() const { return weakly_sticky_; }
+
+  /// The most specific class name, for reports ("linear" ⊂ "guarded",
+  /// "sticky" ⊂ "weakly-sticky", joined with '+').
+  std::string ClassName() const;
+
+  bool IsInfiniteRank(Position p) const {
+    return infinite_rank_.count(p) > 0;
+  }
+  bool IsAffected(Position p) const { return affected_.count(p) > 0; }
+
+  /// Positions of infinite rank (Π∞); empty iff weakly acyclic.
+  std::vector<Position> InfiniteRankPositions() const;
+  /// Positions that may carry labeled nulls in the chase.
+  std::vector<Position> AffectedPositions() const;
+
+  /// True if variable `var` has a marked occurrence in the body of TGD
+  /// `tgd_index` (index into `tgds()`).
+  bool IsMarkedIn(size_t tgd_index, uint32_t var) const;
+
+  /// The analyzed TGDs, in program order.
+  const std::vector<Rule>& tgds() const { return tgds_; }
+
+  /// Human-readable multi-line summary (class flags, Π∞, affected, and the
+  /// offending rules when a property fails).
+  std::string Report(const Vocabulary& vocab) const;
+
+ private:
+  void BuildGraph();
+  void ComputeRanks();
+  void ComputeAffected();
+  void ComputeMarking();
+  void Classify();
+
+  std::vector<Rule> tgds_;
+
+  // Dependency graph: adjacency over position keys; special edges kept
+  // separately for the weak-acyclicity test.
+  std::unordered_map<uint64_t, Position> nodes_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> edges_;
+  std::vector<std::pair<uint64_t, uint64_t>> special_edges_;
+
+  std::unordered_set<Position, PositionHash> infinite_rank_;
+  std::unordered_set<Position, PositionHash> affected_;
+
+  // marked_[tgd_index] = set of variables with >=1 marked body occurrence.
+  std::vector<std::unordered_set<uint32_t>> marked_;
+
+  bool linear_ = false;
+  bool guarded_ = false;
+  bool weakly_guarded_ = false;
+  bool weakly_acyclic_ = false;
+  bool sticky_ = false;
+  bool weakly_sticky_ = false;
+  std::vector<std::string> violations_;  // explanations for failed classes
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_ANALYSIS_H_

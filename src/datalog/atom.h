@@ -1,0 +1,66 @@
+#ifndef MDQA_DATALOG_ATOM_H_
+#define MDQA_DATALOG_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/intern.h"
+#include "datalog/term.h"
+
+namespace mdqa::datalog {
+
+class Vocabulary;  // vocabulary.h
+
+/// A relational atom `P(t1, ..., tn)`: an interned predicate id plus terms.
+struct Atom {
+  uint32_t predicate = 0;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(uint32_t pred, std::vector<Term> ts)
+      : predicate(pred), terms(std::move(ts)) {}
+
+  size_t arity() const { return terms.size(); }
+
+  bool IsGround() const {
+    for (Term t : terms) {
+      if (!t.IsGround()) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.terms == b.terms;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+
+  size_t Hash() const {
+    size_t seed = predicate;
+    for (Term t : terms) HashCombine(&seed, TermHash{}(t));
+    return seed;
+  }
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// Comparison operators usable in rule bodies and queries as built-ins.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+
+/// A built-in comparison literal `lhs op rhs`. Both sides must be bound
+/// (to constants) by relational atoms before the comparison is decided;
+/// comparisons never bind variables. Comparisons on labeled nulls are
+/// false except `null = null` / `null != other` by identity.
+struct Comparison {
+  CmpOp op = CmpOp::kEq;
+  Term lhs;
+  Term rhs;
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_ATOM_H_

@@ -1,0 +1,360 @@
+#include "datalog/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datalog/analysis.h"
+#include "datalog/provenance.h"
+
+namespace mdqa::datalog {
+
+namespace {
+
+// A pending TGD trigger: the body homomorphism restricted to the frontier
+// (head) variables, canonically ordered so triggers dedup per round.
+struct Trigger {
+  std::vector<Term> frontier_bindings;  // parallel to rule's frontier vars
+
+  friend bool operator==(const Trigger& a, const Trigger& b) {
+    return a.frontier_bindings == b.frontier_bindings;
+  }
+};
+
+struct TriggerHash {
+  size_t operator()(const Trigger& t) const {
+    size_t seed = t.frontier_bindings.size();
+    for (Term x : t.frontier_bindings) HashCombine(&seed, TermHash{}(x));
+    return seed;
+  }
+};
+
+// Union-find over terms for EGD application. Constants are always roots;
+// merging two constants is the caller's inconsistency case.
+class TermUnionFind {
+ public:
+  Term Find(Term t) {
+    auto it = parent_.find(t.Key());
+    if (it == parent_.end()) return t;
+    Term root = Find(it->second);
+    it->second = root;  // path compression
+    return root;
+  }
+
+  // Pre: at least one of a, b is a labeled null (after Find).
+  void Union(Term a, Term b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a.IsNull()) {
+      parent_[a.Key()] = b;
+    } else {
+      parent_[b.Key()] = a;
+    }
+  }
+
+  bool empty() const { return parent_.empty(); }
+
+ private:
+  std::unordered_map<uint64_t, Term> parent_;
+};
+
+// Rewrites the whole instance through `uf`, keeping the minimum level of
+// merged duplicates. Only called when at least one merge happened.
+Instance Canonicalize(const Instance& in, TermUnionFind* uf) {
+  Instance out(in.vocab());
+  for (uint32_t pred : in.Predicates()) {
+    const FactTable* table = in.Table(pred);
+    const size_t arity = table->arity();
+    std::vector<Term> row(arity);
+    for (uint32_t i = 0; i < table->size(); ++i) {
+      const Term* src = table->Row(i);
+      for (size_t j = 0; j < arity; ++j) row[j] = uf->Find(src[j]);
+      out.MutableTable(pred, arity)->Insert(row.data(), table->Level(i));
+    }
+  }
+  return out;
+}
+
+std::string WitnessString(const Vocabulary& vocab, const Rule& rule,
+                          const Subst& subst) {
+  std::string out = "rule [" + vocab.RuleToString(rule) + "] with ";
+  bool first = true;
+  for (const Atom& a : rule.body) {
+    out += (first ? "" : ", ");
+    out += vocab.AtomToString(SubstAtom(subst, a));
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChaseStats::ToString() const {
+  return "rounds=" + std::to_string(rounds) +
+         " firings=" + std::to_string(tgd_firings) +
+         " facts_added=" + std::to_string(facts_added) +
+         " nulls=" + std::to_string(nulls_created) +
+         " egd_merges=" + std::to_string(egd_merges) +
+         (reached_fixpoint ? " (fixpoint)" : " (budget)");
+}
+
+Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
+                              const ChaseOptions& options) {
+  ChaseStats stats;
+  Vocabulary* vocab = instance->vocab().get();
+  const std::vector<Rule> tgds = program.Tgds();
+  for (const Rule& r : tgds) {
+    MDQA_RETURN_IF_ERROR(r.Validate());
+  }
+
+  // Per-rule cached structure: frontier vars and existential vars.
+  struct RuleInfo {
+    const Rule* rule;
+    size_t index;  // into tgds order (keys the semi-oblivious fired set)
+    std::vector<uint32_t> frontier;
+    std::vector<uint32_t> existential;
+  };
+  std::vector<RuleInfo> infos;
+  infos.reserve(tgds.size());
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    infos.push_back(RuleInfo{&tgds[i], i, tgds[i].FrontierVariables(),
+                             tgds[i].ExistentialVariables()});
+  }
+  // Semi-oblivious mode: remember which frontier bindings already fired,
+  // across rounds (full passes would otherwise refire them forever).
+  std::vector<std::unordered_set<Trigger, TriggerHash>> fired(tgds.size());
+
+  // Stratified negation: group rules by the stratum of their head
+  // predicates and run strata to fixpoint in order — a rule only negates
+  // predicates from strictly lower (already fixed) strata, keeping the
+  // evaluation monotone within each stratum. Negation-free programs get
+  // a single stratum and behave exactly as before.
+  std::unordered_map<uint32_t, int> strata_of;
+  MDQA_ASSIGN_OR_RETURN(strata_of, StratifyProgram(program));
+  int max_stratum = 0;
+  auto rule_stratum = [&strata_of](const Rule& r) {
+    int s = 0;
+    for (const Atom& h : r.head) {
+      auto it = strata_of.find(h.predicate);
+      if (it != strata_of.end()) s = std::max(s, it->second);
+    }
+    return s;
+  };
+  for (const Rule& r : tgds) max_stratum = std::max(max_stratum, rule_stratum(r));
+  std::vector<std::vector<RuleInfo>> by_stratum(
+      static_cast<size_t>(max_stratum) + 1);
+  for (const RuleInfo& info : infos) {
+    by_stratum[static_cast<size_t>(rule_stratum(*info.rule))].push_back(info);
+  }
+
+  if (options.egd_mode == EgdMode::kInterleaved) {
+    MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
+    stats.egd_merges += merges;
+  }
+
+  // EGD merges rewrite existing facts in place (keeping their old levels),
+  // which delta windows would miss; the round after a merge runs naive.
+  bool force_full = false;
+  uint64_t round = 0;  // global across strata: levels stay monotone
+  bool budget_exhausted = false;
+
+  for (const std::vector<RuleInfo>& stratum_rules : by_stratum) {
+  if (budget_exhausted) break;
+  bool stratum_start = true;
+  while (true) {
+    if (++round > options.max_rounds) {
+      --round;
+      budget_exhausted = true;
+      break;
+    }
+    const uint32_t level = static_cast<uint32_t>(round);
+    const bool full_pass =
+        stratum_start || !options.semi_naive || force_full;
+    stratum_start = false;
+    force_full = false;
+    bool changed = false;
+
+    for (const RuleInfo& info : stratum_rules) {
+      const Rule& rule = *info.rule;
+      CqEvaluator eval(*instance);
+
+      // Collect candidate triggers first (enumeration must not observe
+      // concurrent mutation), deduped on frontier bindings.
+      std::unordered_set<Trigger, TriggerHash> triggers;
+      auto collect = [&](const Subst& subst) {
+        Trigger t;
+        t.frontier_bindings.reserve(info.frontier.size());
+        for (uint32_t v : info.frontier) {
+          t.frontier_bindings.push_back(
+              Resolve(subst, Term::Variable(v)));
+        }
+        triggers.insert(std::move(t));
+        return true;
+      };
+
+      if (full_pass) {
+        MDQA_RETURN_IF_ERROR(eval.Enumerate(rule.body, rule.negated,
+                                            rule.comparisons, Subst{}, {},
+                                            collect));
+      } else {
+        // Semi-naive: one pass per delta atom d — atom d restricted to the
+        // previous round's facts, atoms before d to strictly older ones.
+        const uint32_t prev = level - 1;
+        for (size_t d = 0; d < rule.body.size(); ++d) {
+          std::vector<AtomLevelWindow> windows(rule.body.size());
+          for (size_t j = 0; j < rule.body.size(); ++j) {
+            if (j < d) {
+              windows[j].max_level = prev > 0 ? prev - 1 : 0;
+              if (prev == 0) windows[j].min_level = 1;  // empty window
+            } else if (j == d) {
+              windows[j].min_level = prev;
+              windows[j].max_level = prev;
+            }  // j > d: unrestricted (everything known so far)
+          }
+          MDQA_RETURN_IF_ERROR(eval.Enumerate(rule.body, rule.negated,
+                                              rule.comparisons, Subst{},
+                                              windows, collect));
+        }
+      }
+
+      // Apply triggers: restricted chase — skip when the head is already
+      // satisfied (facts fired earlier this round count, so equivalent
+      // triggers cost one null tuple, not many).
+      for (const Trigger& trig : triggers) {
+        Subst h;
+        for (size_t i = 0; i < info.frontier.size(); ++i) {
+          h[info.frontier[i]] = trig.frontier_bindings[i];
+        }
+        if (options.restricted) {
+          CqEvaluator head_eval(*instance);
+          MDQA_ASSIGN_OR_RETURN(bool satisfied,
+                                head_eval.Satisfiable(rule.head, {}, h));
+          if (satisfied) continue;
+        } else if (!fired[info.index].insert(trig).second) {
+          continue;  // semi-oblivious: this frontier already fired
+        }
+
+        // Ground body witness for provenance, found against the
+        // pre-firing instance (opt-in: one extra evaluation per firing).
+        std::vector<Atom> witness;
+        if (options.provenance != nullptr) {
+          CqEvaluator witness_eval(*instance);
+          MDQA_RETURN_IF_ERROR(witness_eval.Enumerate(
+              rule.body, rule.negated, rule.comparisons, h, {},
+              [&](const Subst& theta) {
+                witness.reserve(rule.body.size());
+                for (const Atom& b : rule.body) {
+                  witness.push_back(SubstAtom(theta, b));
+                }
+                return false;  // first witness suffices
+              }));
+        }
+
+        for (uint32_t z : info.existential) {
+          h[z] = vocab->FreshNull();
+          ++stats.nulls_created;
+        }
+        ++stats.tgd_firings;
+        for (const Atom& head_atom : rule.head) {
+          Atom fact = SubstAtom(h, head_atom);
+          if (instance->AddFact(fact, level)) {
+            ++stats.facts_added;
+            changed = true;
+            if (options.provenance != nullptr) {
+              options.provenance->Record(
+                  fact, ProvenanceStore::Derivation{rule, witness});
+            }
+          }
+        }
+        if (instance->TotalFacts() > options.max_facts) {
+          return Status::ResourceExhausted(
+              "chase exceeded max_facts=" +
+              std::to_string(options.max_facts) + " at round " +
+              std::to_string(round));
+        }
+      }
+    }
+
+    if (options.egd_mode == EgdMode::kInterleaved) {
+      MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
+      stats.egd_merges += merges;
+      if (merges > 0) {
+        changed = true;
+        force_full = true;
+      }
+    }
+
+    stats.rounds = round;
+    if (!changed) break;  // this stratum reached its fixpoint
+  }
+  }
+  stats.rounds = round;
+  stats.reached_fixpoint = !budget_exhausted;
+
+  if (options.egd_mode == EgdMode::kPost) {
+    MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
+    stats.egd_merges += merges;
+  }
+  if (options.check_constraints) {
+    MDQA_RETURN_IF_ERROR(CheckConstraints(program, *instance));
+  }
+  return stats;
+}
+
+Status Chase::CheckConstraints(const Program& program,
+                               const Instance& instance) {
+  const Vocabulary& vocab = *instance.vocab();
+  CqEvaluator eval(instance);
+  for (const Rule& nc : program.Constraints()) {
+    Status violation = Status::Ok();
+    MDQA_RETURN_IF_ERROR(eval.Enumerate(
+        nc.body, nc.negated, nc.comparisons, Subst{}, {},
+        [&](const Subst& subst) {
+          violation = Status::Inconsistent("negative constraint violated: " +
+                                           WitnessString(vocab, nc, subst));
+          return false;
+        }));
+    if (!violation.ok()) return violation;
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> Chase::ApplyEgds(const Program& program, Instance* instance) {
+  const std::vector<Rule> egds = program.Egds();
+  if (egds.empty()) return uint64_t{0};
+  const Vocabulary& vocab = *instance->vocab();
+  uint64_t total_merges = 0;
+
+  while (true) {
+    TermUnionFind uf;
+    uint64_t merges = 0;
+    Status clash = Status::Ok();
+    CqEvaluator eval(*instance);
+    for (const Rule& egd : egds) {
+      MDQA_RETURN_IF_ERROR(eval.Enumerate(
+          egd.body, egd.negated, egd.comparisons, Subst{}, {},
+          [&](const Subst& subst) {
+            Term a = uf.Find(Resolve(subst, egd.egd_lhs));
+            Term b = uf.Find(Resolve(subst, egd.egd_rhs));
+            if (a == b) return true;
+            if (a.IsConstant() && b.IsConstant()) {
+              clash = Status::Inconsistent(
+                  "EGD requires " + vocab.TermToString(a) + " = " +
+                  vocab.TermToString(b) + " via " +
+                  WitnessString(vocab, egd, subst));
+              return false;
+            }
+            uf.Union(a, b);
+            ++merges;
+            return true;
+          }));
+      if (!clash.ok()) return clash;
+    }
+    if (merges == 0) break;
+    *instance = Canonicalize(*instance, &uf);
+    total_merges += merges;
+  }
+  return total_merges;
+}
+
+}  // namespace mdqa::datalog

@@ -1,0 +1,90 @@
+#ifndef MDQA_DATALOG_CHASE_H_
+#define MDQA_DATALOG_CHASE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "base/result.h"
+#include "datalog/cq_eval.h"
+#include "datalog/instance.h"
+
+namespace mdqa::datalog {
+
+/// How equality-generating dependencies participate in the chase.
+enum class EgdMode {
+  kOff,          ///< ignore EGDs entirely
+  kPost,         ///< apply EGDs to fixpoint after the TGD chase (valid for
+                 ///< separable programs, where EGD and TGD application
+                 ///< commute — the paper's Section III condition)
+  kInterleaved,  ///< apply EGDs to fixpoint after every TGD round (general)
+};
+
+struct ChaseOptions {
+  /// Upper bound on chase rounds. A fact's derivation level is the round
+  /// that created it (extensional facts are level 0), so this doubles as
+  /// the level bound of the level-bounded chase used for weakly-sticky
+  /// query answering.
+  uint64_t max_rounds = 1'000'000;
+  /// Abort (kResourceExhausted) when the instance outgrows this.
+  uint64_t max_facts = 10'000'000;
+  EgdMode egd_mode = EgdMode::kInterleaved;
+  /// Evaluate negative constraints after the chase; a violation makes the
+  /// run fail with kInconsistent and a witness.
+  bool check_constraints = true;
+  /// Use semi-naive (delta) evaluation. Naive mode exists for testing and
+  /// as a benchmark ablation.
+  bool semi_naive = true;
+  /// Restricted chase (default): a trigger fires only when its head is
+  /// not already satisfied. Setting this false gives the
+  /// *semi-oblivious* chase of the Datalog± literature — every distinct
+  /// frontier binding fires exactly once, inventing nulls
+  /// unconditionally. Certain answers coincide; the semi-oblivious
+  /// result is larger. Terminates on weakly-acyclic programs.
+  bool restricted = true;
+  /// When non-null, every TGD firing records its ground body witness here
+  /// (one extra body evaluation per firing) so derived facts can be
+  /// explained as derivation trees. See datalog/provenance.h.
+  class ProvenanceStore* provenance = nullptr;
+};
+
+struct ChaseStats {
+  bool reached_fixpoint = false;
+  uint64_t rounds = 0;
+  uint64_t tgd_firings = 0;
+  uint64_t facts_added = 0;
+  uint64_t nulls_created = 0;
+  uint64_t egd_merges = 0;
+
+  std::string ToString() const;
+};
+
+/// The restricted chase for Datalog± programs: TGDs fire only when the
+/// head is not already satisfied (checked against the *current* instance,
+/// so one fresh-null tuple satisfies later triggers with the same
+/// frontier); EGDs merge labeled nulls via union-find and report
+/// constant/constant clashes as kInconsistent; negative constraints are
+/// boolean CQs whose satisfaction is kInconsistent.
+class Chase {
+ public:
+  /// Extends `*instance` with all consequences of `program.rules()` (the
+  /// program's own facts are NOT loaded here — build the instance with
+  /// `Instance::FromProgram` or `LoadDatabase` first).
+  static Result<ChaseStats> Run(const Program& program, Instance* instance,
+                                const ChaseOptions& options = ChaseOptions());
+
+  /// Evaluates every negative constraint of `program` against `instance`;
+  /// kInconsistent with a witness if one fires.
+  static Status CheckConstraints(const Program& program,
+                                 const Instance& instance);
+
+  /// Applies `program`'s EGDs to fixpoint on `*instance` (union-find null
+  /// merging). Returns the number of merges, or kInconsistent on a
+  /// constant/constant clash.
+  static Result<uint64_t> ApplyEgds(const Program& program,
+                                    Instance* instance);
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_CHASE_H_

@@ -1,0 +1,135 @@
+#include "datalog/containment.h"
+
+#include "datalog/unify.h"
+
+namespace mdqa::datalog {
+
+namespace {
+
+// One-way mapping of q2 terms onto q1 terms: q2 variables bind
+// functionally; ground terms must be identical. q1's terms are treated
+// as frozen constants (they are never substituted).
+bool MapTerm(Term from, Term to, Subst* h, std::vector<uint32_t>* trail) {
+  if (from.IsVariable()) {
+    auto it = h->find(from.id());
+    if (it != h->end()) return it->second == to;
+    h->emplace(from.id(), to);
+    trail->push_back(from.id());
+    return true;
+  }
+  return from == to;
+}
+
+struct SearchState {
+  const ConjunctiveQuery* q1;
+  const ConjunctiveQuery* q2;
+  const Vocabulary* vocab;
+  Subst h;
+  std::vector<uint32_t> trail;
+};
+
+bool ComparisonsJustified(const SearchState& s) {
+  for (const Comparison& c : s.q2->comparisons) {
+    Term lhs = Resolve(s.h, c.lhs);
+    Term rhs = Resolve(s.h, c.rhs);
+    if (lhs.IsGround() && rhs.IsGround()) {
+      if (EvalComparison(*s.vocab, c.op, lhs, rhs)) continue;
+      return false;
+    }
+    bool found = false;
+    for (const Comparison& c1 : s.q1->comparisons) {
+      if (c1.op == c.op && c1.lhs == lhs && c1.rhs == rhs) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool MapAtoms(SearchState* s, size_t idx) {
+  if (idx == s->q2->body.size()) return ComparisonsJustified(*s);
+  const Atom& pattern = s->q2->body[idx];
+  for (const Atom& target : s->q1->body) {
+    if (target.predicate != pattern.predicate ||
+        target.arity() != pattern.arity()) {
+      continue;
+    }
+    size_t mark = s->trail.size();
+    bool ok = true;
+    for (size_t i = 0; i < pattern.terms.size(); ++i) {
+      if (!MapTerm(pattern.terms[i], target.terms[i], &s->h, &s->trail)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && MapAtoms(s, idx + 1)) return true;
+    UndoTrail(&s->h, &s->trail, mark);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                 const Vocabulary& vocab) {
+  if (q1.HasNegation() || q2.HasNegation()) return false;  // conservative
+  if (q1.answer.size() != q2.answer.size()) return false;
+  SearchState s;
+  s.q1 = &q1;
+  s.q2 = &q2;
+  s.vocab = &vocab;
+  // The containment mapping must send q2's answer tuple to q1's.
+  for (size_t i = 0; i < q1.answer.size(); ++i) {
+    if (!MapTerm(q2.answer[i], q1.answer[i], &s.h, &s.trail)) return false;
+  }
+  return MapAtoms(&s, 0);
+}
+
+ConjunctiveQuery MinimizeQuery(ConjunctiveQuery query,
+                               const Vocabulary& vocab) {
+  if (query.HasNegation()) return query;  // conservative
+  bool changed = true;
+  while (changed && query.body.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < query.body.size(); ++i) {
+      ConjunctiveQuery reduced = query;
+      reduced.body.erase(reduced.body.begin() + static_cast<long>(i));
+      if (!reduced.Validate().ok()) continue;  // would unbind a variable
+      if (ContainedIn(reduced, query, vocab)) {
+        query = std::move(reduced);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return query;
+}
+
+std::vector<ConjunctiveQuery> MinimizeUcq(std::vector<ConjunctiveQuery> ucq,
+                                          const Vocabulary& vocab) {
+  std::vector<bool> dropped(ucq.size(), false);
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    if (dropped[i]) continue;
+    for (size_t j = 0; j < ucq.size(); ++j) {
+      if (i == j || dropped[j] || dropped[i]) continue;
+      if (ContainedIn(ucq[i], ucq[j], vocab)) {
+        // q_i's answers are already covered by q_j. Tie-break when the
+        // containment is mutual: keep the earlier one.
+        if (ContainedIn(ucq[j], ucq[i], vocab) && j > i) {
+          dropped[j] = true;
+        } else {
+          dropped[i] = true;
+        }
+      }
+    }
+  }
+  std::vector<ConjunctiveQuery> out;
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    if (!dropped[i]) out.push_back(std::move(ucq[i]));
+  }
+  return out;
+}
+
+}  // namespace mdqa::datalog

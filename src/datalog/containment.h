@@ -1,0 +1,41 @@
+#ifndef MDQA_DATALOG_CONTAINMENT_H_
+#define MDQA_DATALOG_CONTAINMENT_H_
+
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// Conjunctive-query containment `q1 ⊆ q2` (every database's answers to
+/// q1 are answers to q2) via the classical containment-mapping test: a
+/// homomorphism from q2's atoms into q1's atoms that maps q2's answer
+/// tuple onto q1's, positionwise (Chandra–Merlin).
+///
+/// Comparisons are handled conservatively and soundly: a mapped
+/// comparison of q2 must either become ground-and-true or appear
+/// verbatim among q1's comparisons; q1 may carry extra comparisons
+/// freely (they only shrink q1). Queries with negation are never
+/// reported contained (sound, incomplete).
+bool ContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                 const Vocabulary& vocab);
+
+/// Removes every CQ that is contained in another member — the answers of
+/// the union are unchanged. Exact for comparison-free CQs, conservative
+/// otherwise. Used by the UCQ rewriter to minimize its output before
+/// evaluation.
+std::vector<ConjunctiveQuery> MinimizeUcq(std::vector<ConjunctiveQuery> ucq,
+                                          const Vocabulary& vocab);
+
+/// Core minimization of a single CQ (Chandra–Merlin): repeatedly drops a
+/// body atom whose removal leaves an equivalent query. Dropping atoms
+/// only generalizes, so only `reduced ⊆ original` needs checking; the
+/// result is the query's core (joins the factorization steps of the
+/// rewriter tend to leave redundant atoms behind). Atoms whose removal
+/// would unbind an answer/comparison/negated variable are never dropped.
+ConjunctiveQuery MinimizeQuery(ConjunctiveQuery query,
+                               const Vocabulary& vocab);
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_CONTAINMENT_H_

@@ -1,0 +1,186 @@
+#include "datalog/instance.h"
+
+#include <algorithm>
+
+namespace mdqa::datalog {
+
+size_t FactTable::HashRow(const Term* row, size_t arity) {
+  size_t seed = arity;
+  for (size_t i = 0; i < arity; ++i) {
+    HashCombine(&seed, TermHash{}(row[i]));
+  }
+  return seed;
+}
+
+int64_t FactTable::FindRow(const Term* row) const {
+  auto it = dedup_.find(HashRow(row, arity_));
+  if (it == dedup_.end()) return -1;
+  for (uint32_t idx : it->second) {
+    if (std::equal(row, row + arity_, Row(idx))) return idx;
+  }
+  return -1;
+}
+
+bool FactTable::Insert(const Term* row, uint32_t level) {
+  int64_t existing = FindRow(row);
+  if (existing >= 0) {
+    uint32_t& lvl = levels_[static_cast<uint32_t>(existing)];
+    lvl = std::min(lvl, level);
+    return false;
+  }
+  uint32_t idx = static_cast<uint32_t>(size());
+  data_.insert(data_.end(), row, row + arity_);
+  levels_.push_back(level);
+  dedup_[HashRow(row, arity_)].push_back(idx);
+  for (size_t pos = 0; pos < arity_; ++pos) {
+    index_[pos][row[pos].Key()].push_back(idx);
+  }
+  return true;
+}
+
+const std::vector<uint32_t>& FactTable::Probe(size_t pos, Term t) const {
+  static const std::vector<uint32_t> kEmpty;
+  const auto& m = index_[pos];
+  auto it = m.find(t.Key());
+  return it == m.end() ? kEmpty : it->second;
+}
+
+Instance Instance::FromProgram(const Program& program) {
+  Instance inst(program.vocab());
+  for (const Atom& f : program.facts()) {
+    inst.AddFact(f, /*level=*/0);
+  }
+  return inst;
+}
+
+bool Instance::AddFact(const Atom& fact, uint32_t level) {
+  FactTable* table = MutableTable(fact.predicate, fact.arity());
+  return table->Insert(fact.terms.data(), level);
+}
+
+bool Instance::Contains(const Atom& fact) const {
+  const FactTable* table = Table(fact.predicate);
+  return table != nullptr && table->Contains(fact.terms.data());
+}
+
+const FactTable* Instance::Table(uint32_t pred) const {
+  auto it = tables_.find(pred);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+FactTable* Instance::MutableTable(uint32_t pred, size_t arity) {
+  auto it = tables_.find(pred);
+  if (it == tables_.end()) {
+    it = tables_.emplace(pred, FactTable(arity)).first;
+  }
+  return &it->second;
+}
+
+std::vector<uint32_t> Instance::Predicates() const {
+  std::vector<uint32_t> out;
+  out.reserve(tables_.size());
+  for (const auto& [pred, table] : tables_) {
+    if (table.size() > 0) out.push_back(pred);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Instance::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [_, table] : tables_) n += table.size();
+  return n;
+}
+
+size_t Instance::CountFacts(uint32_t pred) const {
+  const FactTable* table = Table(pred);
+  return table == nullptr ? 0 : table->size();
+}
+
+std::vector<Atom> Instance::Facts(uint32_t pred) const {
+  std::vector<Atom> out;
+  const FactTable* table = Table(pred);
+  if (table == nullptr) return out;
+  out.reserve(table->size());
+  for (uint32_t i = 0; i < table->size(); ++i) {
+    const Term* row = table->Row(i);
+    out.emplace_back(pred, std::vector<Term>(row, row + table->arity()));
+  }
+  return out;
+}
+
+Status Instance::LoadRelation(const Relation& rel) {
+  MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                        vocab_->InternPredicate(rel.name(), rel.arity()));
+  for (const Tuple& row : rel.rows()) {
+    std::vector<Term> terms;
+    terms.reserve(row.size());
+    for (const Value& v : row) terms.push_back(vocab_->Const(v));
+    AddFact(Atom(pred, std::move(terms)), /*level=*/0);
+  }
+  return Status::Ok();
+}
+
+Status Instance::LoadDatabase(const Database& db) {
+  for (const std::string& name : db.RelationNames()) {
+    MDQA_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(name));
+    MDQA_RETURN_IF_ERROR(LoadRelation(*rel));
+  }
+  return Status::Ok();
+}
+
+Result<Relation> Instance::ExportRelation(uint32_t pred,
+                                          const std::string& name,
+                                          std::vector<std::string> attr_names,
+                                          bool keep_nulls) const {
+  const size_t arity = vocab_->PredicateArity(pred);
+  if (attr_names.empty()) {
+    for (size_t i = 0; i < arity; ++i) {
+      attr_names.push_back("a" + std::to_string(i));
+    }
+  }
+  if (attr_names.size() != arity) {
+    return Status::InvalidArgument("attribute-name count does not match arity of " +
+                                   vocab_->PredicateName(pred));
+  }
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(name, std::move(attr_names)));
+  Relation out(std::move(schema));
+  const FactTable* table = Table(pred);
+  if (table == nullptr) return out;
+  for (uint32_t i = 0; i < table->size(); ++i) {
+    const Term* row = table->Row(i);
+    Tuple tuple;
+    tuple.reserve(arity);
+    bool has_null = false;
+    for (size_t j = 0; j < arity; ++j) {
+      if (row[j].IsNull()) {
+        has_null = true;
+        tuple.push_back(Value::Str(vocab_->TermToString(row[j])));
+      } else {
+        tuple.push_back(vocab_->ConstantValue(row[j].id()));
+      }
+    }
+    if (has_null && !keep_nulls) continue;
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> lines;
+  for (uint32_t pred : Predicates()) {
+    for (const Atom& a : Facts(pred)) {
+      lines.push_back(vocab_->AtomToString(a) + ".");
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdqa::datalog

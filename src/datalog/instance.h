@@ -1,0 +1,111 @@
+#ifndef MDQA_DATALOG_INSTANCE_H_
+#define MDQA_DATALOG_INSTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mdqa::datalog {
+
+/// Deduplicated ground-fact storage for one predicate: a flat row store
+/// with a hash-based dedup table and always-maintained per-position term
+/// indexes (dimensional navigation is join-heavy, so probes dominate).
+/// Each row carries a derivation level: 0 for extensional facts, and
+/// 1 + max(body levels) for chase-derived facts — the level-bounded chase
+/// used for weakly-sticky query answering keys off this.
+class FactTable {
+ public:
+  explicit FactTable(size_t arity) : arity_(arity), index_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return levels_.size(); }
+
+  /// Inserts a ground row. Returns true if the row was new. If the row
+  /// already exists its level is lowered to `level` when smaller.
+  bool Insert(const Term* row, uint32_t level);
+
+  bool Contains(const Term* row) const { return FindRow(row) >= 0; }
+
+  /// Pointer to the `arity()` terms of row `i`.
+  const Term* Row(uint32_t i) const { return data_.data() + i * arity_; }
+  uint32_t Level(uint32_t i) const { return levels_[i]; }
+
+  /// Row indexes whose position `pos` holds exactly term `t` (empty vector
+  /// reference if none).
+  const std::vector<uint32_t>& Probe(size_t pos, Term t) const;
+
+ private:
+  int64_t FindRow(const Term* row) const;
+
+  static size_t HashRow(const Term* row, size_t arity);
+
+  size_t arity_;
+  std::vector<Term> data_;       // flattened rows
+  std::vector<uint32_t> levels_;  // per-row derivation level
+  std::unordered_map<size_t, std::vector<uint32_t>> dedup_;  // hash -> rows
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> index_;
+};
+
+/// A (possibly null-containing) Datalog± instance: fact tables keyed by
+/// predicate id, sharing a `Vocabulary`. This is what the chase extends
+/// and what conjunctive queries are evaluated against.
+class Instance {
+ public:
+  explicit Instance(std::shared_ptr<Vocabulary> vocab)
+      : vocab_(std::move(vocab)) {}
+
+  /// An instance holding exactly `program`'s extensional facts (level 0).
+  static Instance FromProgram(const Program& program);
+
+  const std::shared_ptr<Vocabulary>& vocab() const { return vocab_; }
+
+  /// Adds a ground fact at `level`; returns true if new.
+  bool AddFact(const Atom& fact, uint32_t level);
+
+  bool Contains(const Atom& fact) const;
+
+  /// nullptr when the predicate has no facts yet.
+  const FactTable* Table(uint32_t pred) const;
+  FactTable* MutableTable(uint32_t pred, size_t arity);
+
+  /// Predicate ids having at least one fact.
+  std::vector<uint32_t> Predicates() const;
+
+  size_t TotalFacts() const;
+  size_t CountFacts(uint32_t pred) const;
+
+  /// All facts of `pred` as atoms (test/debug convenience).
+  std::vector<Atom> Facts(uint32_t pred) const;
+
+  /// Loads every row of `rel` as facts of predicate `rel.name()`.
+  Status LoadRelation(const Relation& rel);
+
+  /// Loads every relation of `db`.
+  Status LoadDatabase(const Database& db);
+
+  /// Exports predicate `pred` as a `Relation` named `name` with the given
+  /// attribute names (defaults a0..aN-1). Labeled nulls are rendered as
+  /// their display string when `keep_nulls`, otherwise rows containing
+  /// nulls are dropped (certain-answer semantics).
+  Result<Relation> ExportRelation(uint32_t pred, const std::string& name,
+                                  std::vector<std::string> attr_names,
+                                  bool keep_nulls) const;
+
+  /// Deterministic listing `P(a, b). ...` sorted by predicate then row.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<Vocabulary> vocab_;
+  std::unordered_map<uint32_t, FactTable> tables_;
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_INSTANCE_H_

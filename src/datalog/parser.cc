@@ -1,0 +1,474 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace mdqa::datalog {
+
+namespace {
+
+enum class TokKind {
+  kIdent,    // bare identifier (variable or constant by capitalization)
+  kString,   // quoted string constant
+  kNumber,   // numeric constant
+  kLParen,
+  kRParen,
+  kComma,    // ',' and ';' both map here
+  kPeriod,
+  kArrow,    // ':-' or '<-'
+  kBang,     // '!' (constraint head)
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (c == '(') {
+        out.push_back(Make(TokKind::kLParen, "("));
+      } else if (c == ')') {
+        out.push_back(Make(TokKind::kRParen, ")"));
+      } else if (c == ',' || c == ';') {
+        out.push_back(Make(TokKind::kComma, ","));
+      } else if (c == '.') {
+        out.push_back(Make(TokKind::kPeriod, "."));
+      } else if (c == '!') {
+        if (Peek(1) == '=') {
+          out.push_back(Make(TokKind::kNe, "!=", 2));
+        } else {
+          out.push_back(Make(TokKind::kBang, "!"));
+        }
+      } else if (c == ':' && Peek(1) == '-') {
+        out.push_back(Make(TokKind::kArrow, ":-", 2));
+      } else if (c == '<' && Peek(1) == '-') {
+        out.push_back(Make(TokKind::kArrow, "<-", 2));
+      } else if (c == '<') {
+        if (Peek(1) == '=') {
+          out.push_back(Make(TokKind::kLe, "<=", 2));
+        } else {
+          out.push_back(Make(TokKind::kLt, "<"));
+        }
+      } else if (c == '>') {
+        if (Peek(1) == '=') {
+          out.push_back(Make(TokKind::kGe, ">=", 2));
+        } else {
+          out.push_back(Make(TokKind::kGt, ">"));
+        }
+      } else if (c == '=') {
+        out.push_back(Make(TokKind::kEq, "="));
+      } else if (c == '"') {
+        MDQA_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 ((c == '-' || c == '+') &&
+                  std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        out.push_back(LexNumber());
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at line " +
+                                       std::to_string(line_));
+      }
+    }
+    out.push_back(Token{TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  Token Make(TokKind kind, std::string text, size_t advance = 1) {
+    pos_ += advance;
+    return Token{kind, std::move(text), line_};
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> LexString() {
+    int start_line = line_;
+    ++pos_;  // opening quote
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        c = text_[pos_];
+      }
+      if (c == '\n') ++line_;
+      s.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string starting at line " +
+                                     std::to_string(start_line));
+    }
+    ++pos_;  // closing quote
+    return Token{TokKind::kString, std::move(s), start_line};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      // A '.' ends the number if not followed by a digit (statement period).
+      if (text_[pos_] == '.' &&
+          !(pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        break;
+      }
+      ++pos_;
+    }
+    return Token{TokKind::kNumber, std::string(text_.substr(start, pos_ - start)),
+                 line_};
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+                 line_};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_');
+}
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, Vocabulary* vocab)
+      : tokens_(std::move(tokens)), vocab_(vocab) {}
+
+  Status ParseStatements(Program* program) {
+    while (Cur().kind != TokKind::kEnd) {
+      MDQA_RETURN_IF_ERROR(ParseStatement(program));
+    }
+    return Status::Ok();
+  }
+
+  Result<ConjunctiveQuery> ParseSingleQuery() {
+    ConjunctiveQuery q;
+    if (Cur().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(ErrHere("query must start with a name"));
+    }
+    q.name = Cur().text;
+    Advance();
+    MDQA_RETURN_IF_ERROR(Expect(TokKind::kLParen, "query head '('"));
+    if (Cur().kind != TokKind::kRParen) {
+      while (true) {
+        MDQA_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        q.answer.push_back(t);
+        if (Cur().kind != TokKind::kComma) break;
+        Advance();
+      }
+    }
+    MDQA_RETURN_IF_ERROR(Expect(TokKind::kRParen, "query head ')'"));
+    MDQA_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-' after query head"));
+    MDQA_RETURN_IF_ERROR(ParseBody(&q.body, &q.negated, &q.comparisons));
+    if (Cur().kind == TokKind::kPeriod) Advance();
+    if (Cur().kind != TokKind::kEnd) {
+      return Status::InvalidArgument(ErrHere("trailing input after query"));
+    }
+    MDQA_RETURN_IF_ERROR(q.Validate());
+    return q;
+  }
+
+  Result<Atom> ParseSingleGroundAtom() {
+    MDQA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+    if (Cur().kind == TokKind::kPeriod) Advance();
+    if (Cur().kind != TokKind::kEnd) {
+      return Status::InvalidArgument(ErrHere("trailing input after atom"));
+    }
+    if (!a.IsGround()) {
+      return Status::InvalidArgument("atom is not ground: " +
+                                     vocab_->AtomToString(a));
+    }
+    return a;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[idx_]; }
+  const Token& Next() const {
+    return tokens_[idx_ + 1 < tokens_.size() ? idx_ + 1 : idx_];
+  }
+  void Advance() {
+    if (idx_ + 1 < tokens_.size()) ++idx_;
+  }
+
+  std::string ErrHere(const std::string& what) const {
+    return what + " (line " + std::to_string(Cur().line) + ", near '" +
+           Cur().text + "')";
+  }
+
+  Status Expect(TokKind kind, const std::string& what) {
+    if (Cur().kind != kind) {
+      return Status::InvalidArgument(ErrHere("expected " + what));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kString:
+        Advance();
+        return vocab_->Const(Value::Str(t.text));
+      case TokKind::kNumber:
+        Advance();
+        return vocab_->Const(Value::FromText(t.text));
+      case TokKind::kIdent: {
+        Advance();
+        if (t.text == "_") {
+          return vocab_->FreshVariable();
+        }
+        // `_n<k>` is the reserved spelling of labeled null ⊥_k (what
+        // TermToString prints), so instances round-trip through text.
+        if (t.text.size() > 2 && t.text[0] == '_' && t.text[1] == 'n') {
+          bool digits = true;
+          for (size_t i = 2; i < t.text.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t.text[i]))) {
+              digits = false;
+              break;
+            }
+          }
+          if (digits) {
+            uint32_t id =
+                static_cast<uint32_t>(std::stoul(t.text.substr(2)));
+            vocab_->ReserveNullsThrough(id);
+            return Term::Null(id);
+          }
+        }
+        if (IsVariableName(t.text)) {
+          return vocab_->Var(t.text);
+        }
+        return vocab_->Const(Value::Str(t.text));
+      }
+      default:
+        return Status::InvalidArgument(ErrHere("expected a term"));
+    }
+  }
+
+  Result<Atom> ParseAtom() {
+    if (Cur().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(ErrHere("expected a predicate name"));
+    }
+    std::string pred_name = Cur().text;
+    Advance();
+    MDQA_RETURN_IF_ERROR(
+        Expect(TokKind::kLParen, "'(' after predicate " + pred_name));
+    std::vector<Term> terms;
+    if (Cur().kind != TokKind::kRParen) {
+      while (true) {
+        MDQA_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        terms.push_back(t);
+        if (Cur().kind != TokKind::kComma) break;
+        Advance();
+      }
+    }
+    MDQA_RETURN_IF_ERROR(
+        Expect(TokKind::kRParen, "')' closing " + pred_name));
+    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                          vocab_->InternPredicate(pred_name, terms.size()));
+    return Atom(pred, std::move(terms));
+  }
+
+  static std::optional<CmpOp> AsCmpOp(TokKind kind) {
+    switch (kind) {
+      case TokKind::kEq:
+        return CmpOp::kEq;
+      case TokKind::kNe:
+        return CmpOp::kNe;
+      case TokKind::kLt:
+        return CmpOp::kLt;
+      case TokKind::kLe:
+        return CmpOp::kLe;
+      case TokKind::kGt:
+        return CmpOp::kGt;
+      case TokKind::kGe:
+        return CmpOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Status ParseBody(std::vector<Atom>* atoms, std::vector<Atom>* negated,
+                   std::vector<Comparison>* comparisons) {
+    while (true) {
+      // A body literal is `Pred(...)`, `not Pred(...)`, or `term op term`.
+      if (Cur().kind == TokKind::kIdent && Cur().text == "not" &&
+          Next().kind == TokKind::kIdent) {
+        Advance();  // 'not'
+        MDQA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+        negated->push_back(std::move(a));
+      } else if (Cur().kind == TokKind::kIdent &&
+                 Next().kind == TokKind::kLParen) {
+        MDQA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+        atoms->push_back(std::move(a));
+      } else {
+        MDQA_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+        std::optional<CmpOp> op = AsCmpOp(Cur().kind);
+        if (!op.has_value()) {
+          return Status::InvalidArgument(
+              ErrHere("expected a comparison operator"));
+        }
+        Advance();
+        MDQA_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+        comparisons->push_back(Comparison{*op, lhs, rhs});
+      }
+      if (Cur().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (atoms->empty()) {
+      return Status::InvalidArgument(
+          ErrHere("body must contain at least one relational atom"));
+    }
+    return Status::Ok();
+  }
+
+  // One statement: fact, TGD, EGD, or constraint, ending with '.'.
+  Status ParseStatement(Program* program) {
+    // Constraint: `! :- body.`
+    if (Cur().kind == TokKind::kBang) {
+      Advance();
+      MDQA_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-' after '!'"));
+      Rule r;
+      r.kind = RuleKind::kConstraint;
+      MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
+      MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending constraint"));
+      return program->AddRule(std::move(r));
+    }
+
+    // EGD: `X = Y :- body.` — head is `term = term` then arrow.
+    if ((Cur().kind == TokKind::kIdent || Cur().kind == TokKind::kString ||
+         Cur().kind == TokKind::kNumber) &&
+        Next().kind == TokKind::kEq) {
+      MDQA_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      Advance();  // '='
+      MDQA_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      MDQA_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-' after EGD head"));
+      Rule r;
+      r.kind = RuleKind::kEgd;
+      r.egd_lhs = lhs;
+      r.egd_rhs = rhs;
+      MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
+      MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending EGD"));
+      return program->AddRule(std::move(r));
+    }
+
+    // Fact or TGD: one or more head atoms.
+    std::vector<Atom> head;
+    while (true) {
+      MDQA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+      head.push_back(std::move(a));
+      if (Cur().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Cur().kind == TokKind::kPeriod) {
+      Advance();
+      for (Atom& a : head) {
+        MDQA_RETURN_IF_ERROR(program->AddFact(std::move(a)));
+      }
+      return Status::Ok();
+    }
+    MDQA_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-' or '.' after head"));
+    Rule r;
+    r.kind = RuleKind::kTgd;
+    r.head = std::move(head);
+    MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
+    MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending rule"));
+    return program->AddRule(std::move(r));
+  }
+
+  std::vector<Token> tokens_;
+  size_t idx_ = 0;
+  Vocabulary* vocab_;
+};
+
+}  // namespace
+
+Result<Program> Parser::ParseProgram(std::string_view text) {
+  Program program;
+  MDQA_RETURN_IF_ERROR(ParseInto(text, &program));
+  return program;
+}
+
+Status Parser::ParseInto(std::string_view text, Program* program) {
+  Lexer lexer(text);
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens), program->mutable_vocab());
+  return impl.ParseStatements(program);
+}
+
+Result<ConjunctiveQuery> Parser::ParseQuery(std::string_view text,
+                                            Vocabulary* vocab) {
+  Lexer lexer(text);
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens), vocab);
+  return impl.ParseSingleQuery();
+}
+
+Result<Atom> Parser::ParseGroundAtom(std::string_view text,
+                                     Vocabulary* vocab) {
+  Lexer lexer(text);
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens), vocab);
+  return impl.ParseSingleGroundAtom();
+}
+
+}  // namespace mdqa::datalog

@@ -1,0 +1,51 @@
+#ifndef MDQA_DATALOG_PARSER_H_
+#define MDQA_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// Recursive-descent parser for the textual Datalog± syntax.
+///
+/// ```
+/// % comment (# also works)                 -- to end of line
+/// PatientWard("W1", "Sep/5"; "Tom Waits"). -- ground fact ( ';' == ',' )
+/// PatientUnit(U, D; P) :- PatientWard(W, D; P), UnitWard(U, W).  -- TGD
+/// Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).
+///     -- Z not in body => existentially quantified (form (4))
+/// InstitutionUnit(I, U), PatientUnit(U, D, P) :- Discharge(I, D, P).
+///     -- multi-atom head with existential U (form (10))
+/// T = T2 :- Therm(W, T, N), Therm(W2, T2, N2), UW(U, W), UW(U, W2). -- EGD
+/// ! :- PatientWard(W, D, P), UnitWard("Intensive", W), After(D).   -- NC
+/// Q(V) :- Meas(T, P, V), P = "Tom Waits", T >= 705, T <= 735.
+///     -- body '=' and inequalities are built-in comparisons
+/// ```
+///
+/// Identifiers starting with an uppercase letter or '_' are variables
+/// ('_' alone is an anonymous variable, fresh per occurrence); quoted
+/// strings, numbers, and lowercase identifiers are constants. `<-` is a
+/// synonym for `:-`. Predicate arities are fixed at first use.
+class Parser {
+ public:
+  /// Parses a whole program into a fresh vocabulary.
+  static Result<Program> ParseProgram(std::string_view text);
+
+  /// Parses statements into an existing program (sharing its vocabulary).
+  static Status ParseInto(std::string_view text, Program* program);
+
+  /// Parses a single query `Name(args) :- body.` against `vocab`.
+  static Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                             Vocabulary* vocab);
+
+  /// Parses a single ground atom `P(c1, ..., cn)` (no trailing period
+  /// required) against `vocab`.
+  static Result<Atom> ParseGroundAtom(std::string_view text,
+                                      Vocabulary* vocab);
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_PARSER_H_

@@ -1,0 +1,58 @@
+#include "datalog/provenance.h"
+
+namespace mdqa::datalog {
+
+void ProvenanceStore::Record(const Atom& fact, Derivation derivation) {
+  derivations_.emplace(fact, std::move(derivation));
+}
+
+const ProvenanceStore::Derivation* ProvenanceStore::Find(
+    const Atom& fact) const {
+  auto it = derivations_.find(fact);
+  return it == derivations_.end() ? nullptr : &it->second;
+}
+
+std::string ProvenanceStore::Explain(const Atom& fact,
+                                     const Vocabulary& vocab,
+                                     size_t max_depth) const {
+  std::string out;
+  std::unordered_set<size_t> on_branch;
+  ExplainRec(fact, vocab, 0, max_depth, "", &on_branch, &out);
+  return out;
+}
+
+void ProvenanceStore::ExplainRec(const Atom& fact, const Vocabulary& vocab,
+                                 size_t depth, size_t max_depth,
+                                 const std::string& indent,
+                                 std::unordered_set<size_t>* on_branch,
+                                 std::string* out) const {
+  out->append(indent);
+  out->append(vocab.AtomToString(fact));
+  const Derivation* d = Find(fact);
+  if (d == nullptr) {
+    out->append("  [edb]\n");
+    return;
+  }
+  if (depth >= max_depth) {
+    out->append("  [... depth cap]\n");
+    return;
+  }
+  const size_t key = fact.Hash();
+  if (on_branch->count(key) > 0) {
+    out->append("  [... cyclic]\n");
+    return;
+  }
+  on_branch->insert(key);
+  out->append("\n");
+  out->append(indent);
+  out->append("  via ");
+  out->append(vocab.RuleToString(d->rule));
+  out->append("\n");
+  for (const Atom& b : d->body) {
+    ExplainRec(b, vocab, depth + 1, max_depth, indent + "  |- ", on_branch,
+               out);
+  }
+  on_branch->erase(key);
+}
+
+}  // namespace mdqa::datalog

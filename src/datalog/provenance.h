@@ -1,0 +1,63 @@
+#ifndef MDQA_DATALOG_PROVENANCE_H_
+#define MDQA_DATALOG_PROVENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// Why-provenance for derived facts: which dependency fired, under which
+/// ground body. Populated by the chase (`ChaseOptions::provenance`) and
+/// by the deterministic WS engine (`WsQaOptions::provenance`); rendering
+/// a fact recursively yields exactly the derivation tree the paper calls
+/// a *resolution proof schema* — extensional facts are the leaves.
+///
+/// One derivation is kept per fact (the first one found); chase
+/// derivations are therefore minimal-level witnesses.
+class ProvenanceStore {
+ public:
+  struct Derivation {
+    Rule rule;               ///< the dependency that fired (a copy)
+    std::vector<Atom> body;  ///< its ground instantiated body
+  };
+
+  /// Records a derivation for `fact`; the first recording wins.
+  void Record(const Atom& fact, Derivation derivation);
+
+  /// nullptr when `fact` has no recorded derivation (extensional or
+  /// never derived).
+  const Derivation* Find(const Atom& fact) const;
+
+  size_t size() const { return derivations_.size(); }
+
+  /// Renders the derivation tree of `fact`:
+  ///
+  /// ```
+  /// Shifts("W2", "Sep/9", "Mark", _n0)
+  ///   via Shifts(W,D,N,Z) :- WorkingSchedules(U,D,N,T), UnitWard(U,W).
+  ///   |- WorkingSchedules("Standard", "Sep/9", "Mark", "non-c.")  [edb]
+  ///   |- UnitWard("Standard", "W2")  [edb]
+  /// ```
+  ///
+  /// Facts without a derivation are annotated `[edb]`. Depth is capped
+  /// (and repeated facts on one branch elided) so cyclic derivations
+  /// terminate.
+  std::string Explain(const Atom& fact, const Vocabulary& vocab,
+                      size_t max_depth = 32) const;
+
+ private:
+  void ExplainRec(const Atom& fact, const Vocabulary& vocab, size_t depth,
+                  size_t max_depth, const std::string& indent,
+                  std::unordered_set<size_t>* on_branch,
+                  std::string* out) const;
+
+  std::unordered_map<Atom, Derivation, AtomHash> derivations_;
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_PROVENANCE_H_

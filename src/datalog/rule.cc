@@ -1,0 +1,169 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+
+namespace mdqa::datalog {
+
+namespace {
+
+void CollectVars(const std::vector<Atom>& atoms, std::vector<uint32_t>* out,
+                 std::unordered_set<uint32_t>* seen) {
+  for (const Atom& a : atoms) {
+    for (Term t : a.terms) {
+      if (t.IsVariable() && seen->insert(t.id()).second) {
+        out->push_back(t.id());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> Rule::BodyVariables() const {
+  std::vector<uint32_t> out;
+  std::unordered_set<uint32_t> seen;
+  CollectVars(body, &out, &seen);
+  return out;
+}
+
+std::vector<uint32_t> Rule::HeadVariables() const {
+  std::vector<uint32_t> out;
+  std::unordered_set<uint32_t> seen;
+  CollectVars(head, &out, &seen);
+  return out;
+}
+
+std::vector<uint32_t> Rule::ExistentialVariables() const {
+  std::vector<uint32_t> body_vars = BodyVariables();
+  std::unordered_set<uint32_t> body_set(body_vars.begin(), body_vars.end());
+  std::vector<uint32_t> out;
+  for (uint32_t v : HeadVariables()) {
+    if (body_set.count(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Rule::FrontierVariables() const {
+  std::vector<uint32_t> head_vars = HeadVariables();
+  std::unordered_set<uint32_t> head_set(head_vars.begin(), head_vars.end());
+  std::vector<uint32_t> out;
+  for (uint32_t v : BodyVariables()) {
+    if (head_set.count(v) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+size_t Rule::BodyOccurrences(uint32_t var) const {
+  size_t n = 0;
+  for (const Atom& a : body) {
+    for (Term t : a.terms) {
+      if (t.IsVariable() && t.id() == var) ++n;
+    }
+  }
+  return n;
+}
+
+Status Rule::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has an empty body");
+  }
+  std::vector<uint32_t> body_vars = BodyVariables();
+  std::unordered_set<uint32_t> body_set(body_vars.begin(), body_vars.end());
+  switch (kind) {
+    case RuleKind::kTgd:
+      if (head.empty()) {
+        return Status::InvalidArgument("TGD '" + label + "' has no head atom");
+      }
+      break;
+    case RuleKind::kEgd:
+      if (!head.empty()) {
+        return Status::InvalidArgument("EGD '" + label +
+                                       "' must not have head atoms");
+      }
+      if (!egd_lhs.IsVariable() || !egd_rhs.IsVariable()) {
+        return Status::InvalidArgument(
+            "EGD '" + label + "' must equate two variables in its head");
+      }
+      if (body_set.count(egd_lhs.id()) == 0 ||
+          body_set.count(egd_rhs.id()) == 0) {
+        return Status::InvalidArgument(
+            "EGD '" + label + "' head variables must occur in the body");
+      }
+      break;
+    case RuleKind::kConstraint:
+      if (!head.empty()) {
+        return Status::InvalidArgument("constraint '" + label +
+                                       "' must not have head atoms");
+      }
+      break;
+  }
+  for (const Comparison& c : comparisons) {
+    for (Term t : {c.lhs, c.rhs}) {
+      if (t.IsVariable() && body_set.count(t.id()) == 0) {
+        return Status::InvalidArgument(
+            "comparison variable in rule '" + label +
+            "' does not occur in a relational body atom");
+      }
+    }
+  }
+  for (const Atom& a : negated) {
+    for (Term t : a.terms) {
+      if (t.IsVariable() && body_set.count(t.id()) == 0) {
+        return Status::InvalidArgument(
+            "unsafe negation in rule '" + label +
+            "': variable of a negated atom does not occur in a positive "
+            "body atom");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint32_t> ConjunctiveQuery::AnswerVariables() const {
+  std::vector<uint32_t> out;
+  std::unordered_set<uint32_t> seen;
+  for (Term t : answer) {
+    if (t.IsVariable() && seen.insert(t.id()).second) out.push_back(t.id());
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument("query '" + name + "' has an empty body");
+  }
+  std::unordered_set<uint32_t> body_set;
+  for (const Atom& a : body) {
+    for (Term t : a.terms) {
+      if (t.IsVariable()) body_set.insert(t.id());
+    }
+  }
+  for (uint32_t v : AnswerVariables()) {
+    if (body_set.count(v) == 0) {
+      return Status::InvalidArgument(
+          "answer variable of query '" + name + "' does not occur in body");
+    }
+  }
+  for (const Comparison& c : comparisons) {
+    for (Term t : {c.lhs, c.rhs}) {
+      if (t.IsVariable() && body_set.count(t.id()) == 0) {
+        return Status::InvalidArgument(
+            "comparison variable of query '" + name +
+            "' does not occur in body");
+      }
+    }
+  }
+  for (const Atom& a : negated) {
+    for (Term t : a.terms) {
+      if (t.IsVariable() && body_set.count(t.id()) == 0) {
+        return Status::InvalidArgument(
+            "unsafe negation in query '" + name +
+            "': variable of a negated atom does not occur in a positive "
+            "body atom");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdqa::datalog

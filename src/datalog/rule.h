@@ -1,0 +1,98 @@
+#ifndef MDQA_DATALOG_RULE_H_
+#define MDQA_DATALOG_RULE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/atom.h"
+
+namespace mdqa::datalog {
+
+/// The three Datalog± dependency kinds.
+enum class RuleKind : uint8_t {
+  kTgd = 0,         ///< tuple-generating dependency (incl. plain rules)
+  kEgd = 1,         ///< equality-generating dependency `x = x' ← body`
+  kConstraint = 2,  ///< negative constraint `⊥ ← body`
+};
+
+/// A Datalog± dependency. TGDs may have multi-atom heads (the paper's form
+/// (10) uses them) and existential head variables (variables in the head
+/// that do not occur in the body are implicitly existentially quantified,
+/// the standard Datalog± convention). EGDs carry the equated pair in
+/// `egd_lhs/egd_rhs`; constraints have an empty head.
+struct Rule {
+  RuleKind kind = RuleKind::kTgd;
+  std::vector<Atom> head;  ///< TGDs only; empty otherwise.
+  Term egd_lhs;            ///< EGDs only.
+  Term egd_rhs;            ///< EGDs only.
+  std::vector<Atom> body;
+  /// Negated body atoms (`not P(x̄)` in the text syntax), evaluated with
+  /// stratified closed-world semantics: the atom must be absent from the
+  /// (fully evaluated) lower strata. Every variable must also occur in a
+  /// positive body atom (safety). The paper's referential constraints
+  /// (form (1)) use this: `! :- PatientUnit(U, D, P), not Unit(U).`
+  std::vector<Atom> negated;
+  std::vector<Comparison> comparisons;
+  std::string label;  ///< Optional name used in diagnostics.
+
+  bool HasNegation() const { return !negated.empty(); }
+
+  bool IsTgd() const { return kind == RuleKind::kTgd; }
+  bool IsEgd() const { return kind == RuleKind::kEgd; }
+  bool IsConstraint() const { return kind == RuleKind::kConstraint; }
+
+  /// Variable ids occurring in relational body atoms, first-seen order.
+  std::vector<uint32_t> BodyVariables() const;
+
+  /// Variable ids occurring in head atoms (TGDs), first-seen order.
+  std::vector<uint32_t> HeadVariables() const;
+
+  /// Head variables that do not occur in the body: the existentially
+  /// quantified variables (∃-variables) of a TGD.
+  std::vector<uint32_t> ExistentialVariables() const;
+
+  /// Body variables that also occur in the head (the TGD frontier).
+  std::vector<uint32_t> FrontierVariables() const;
+
+  /// Number of occurrences of variable `var` in relational body atoms.
+  size_t BodyOccurrences(uint32_t var) const;
+
+  /// True for TGDs with no existential variables (plain Datalog rules).
+  bool IsPlainDatalog() const {
+    return IsTgd() && ExistentialVariables().empty();
+  }
+
+  /// Structural well-formedness: non-empty body; TGD has ≥1 head atom; EGD
+  /// equates two body variables; comparison variables are body variables
+  /// (range restriction); constraints/EGDs have no head atoms.
+  Status Validate() const;
+};
+
+/// A conjunctive query `ans(x̄) ← body`. Answer terms may include
+/// constants (which are just echoed); answer variables must occur in the
+/// body. A query with no answer terms is boolean.
+struct ConjunctiveQuery {
+  std::vector<Term> answer;
+  std::vector<Atom> body;
+  /// Negated atoms (safe: variables must occur in `body`), closed-world.
+  std::vector<Atom> negated;
+  std::vector<Comparison> comparisons;
+  std::string name = "Q";
+
+  bool HasNegation() const { return !negated.empty(); }
+
+  bool IsBoolean() const { return answer.empty(); }
+
+  /// Distinct answer variable ids in order of appearance in `answer`.
+  std::vector<uint32_t> AnswerVariables() const;
+
+  /// Range restriction: every answer/comparison variable occurs in body.
+  Status Validate() const;
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_RULE_H_

@@ -1,0 +1,7 @@
+#include "datalog/term.h"
+
+namespace mdqa::datalog {
+
+// Term is fully inline; this TU anchors the header for the build graph.
+
+}  // namespace mdqa::datalog

@@ -1,0 +1,72 @@
+#ifndef MDQA_DATALOG_TERM_H_
+#define MDQA_DATALOG_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mdqa::datalog {
+
+/// Kind of a Datalog± term. Labeled nulls are the fresh values invented by
+/// existential quantifiers during the chase ("⊥_k" in the literature).
+enum class TermKind : uint8_t {
+  kConstant = 0,
+  kNull = 1,
+  kVariable = 2,
+};
+
+/// An 8-byte tagged handle into the owning `Vocabulary`'s pools:
+/// constants index the interned `Value` pool, variables the variable-name
+/// pool, nulls a monotone counter. Terms from different vocabularies must
+/// not be mixed; the library never does.
+class Term {
+ public:
+  Term() : kind_(TermKind::kConstant), id_(0) {}
+
+  static Term Constant(uint32_t value_id) {
+    return Term(TermKind::kConstant, value_id);
+  }
+  static Term Variable(uint32_t var_id) {
+    return Term(TermKind::kVariable, var_id);
+  }
+  static Term Null(uint32_t null_id) { return Term(TermKind::kNull, null_id); }
+
+  TermKind kind() const { return kind_; }
+  uint32_t id() const { return id_; }
+
+  bool IsConstant() const { return kind_ == TermKind::kConstant; }
+  bool IsVariable() const { return kind_ == TermKind::kVariable; }
+  bool IsNull() const { return kind_ == TermKind::kNull; }
+  /// Ground terms are constants and labeled nulls.
+  bool IsGround() const { return kind_ != TermKind::kVariable; }
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+  friend bool operator<(Term a, Term b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+  /// Packs kind and id into one value for hashing/index keys.
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(kind_) << 32) | id_;
+  }
+
+ private:
+  Term(TermKind kind, uint32_t id) : kind_(kind), id_(id) {}
+
+  TermKind kind_;
+  uint32_t id_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    return std::hash<uint64_t>{}(t.Key() * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_TERM_H_

@@ -1,0 +1,53 @@
+#include "datalog/transform.h"
+
+namespace mdqa::datalog {
+
+Result<Program> SplitMultiAtomHeads(const Program& program) {
+  Program out(program.vocab());
+  Vocabulary* vocab = out.mutable_vocab();
+  size_t next_aux = 0;
+  for (const Rule& rule : program.rules()) {
+    if (!rule.IsTgd() || rule.head.size() <= 1) {
+      MDQA_RETURN_IF_ERROR(out.AddRule(rule));
+      continue;
+    }
+    // Aux carries the frontier followed by the existentials.
+    std::vector<uint32_t> frontier = rule.FrontierVariables();
+    std::vector<uint32_t> existential = rule.ExistentialVariables();
+    std::vector<Term> aux_terms;
+    aux_terms.reserve(frontier.size() + existential.size());
+    for (uint32_t v : frontier) aux_terms.push_back(Term::Variable(v));
+    for (uint32_t v : existential) aux_terms.push_back(Term::Variable(v));
+
+    MDQA_ASSIGN_OR_RETURN(
+        uint32_t aux_pred,
+        vocab->InternPredicate("$aux" + std::to_string(next_aux++),
+                               aux_terms.size()));
+
+    Rule generator;
+    generator.kind = RuleKind::kTgd;
+    generator.label = rule.label.empty() ? "split-aux" : rule.label + "/aux";
+    generator.head.push_back(Atom(aux_pred, aux_terms));
+    generator.body = rule.body;
+    generator.negated = rule.negated;
+    generator.comparisons = rule.comparisons;
+    MDQA_RETURN_IF_ERROR(out.AddRule(std::move(generator)));
+
+    for (size_t i = 0; i < rule.head.size(); ++i) {
+      Rule projector;
+      projector.kind = RuleKind::kTgd;
+      projector.label = rule.label.empty()
+                            ? "split-head" + std::to_string(i)
+                            : rule.label + "/head" + std::to_string(i);
+      projector.head.push_back(rule.head[i]);
+      projector.body.push_back(Atom(aux_pred, aux_terms));
+      MDQA_RETURN_IF_ERROR(out.AddRule(std::move(projector)));
+    }
+  }
+  for (const Atom& f : program.facts()) {
+    MDQA_RETURN_IF_ERROR(out.AddFact(f));
+  }
+  return out;
+}
+
+}  // namespace mdqa::datalog

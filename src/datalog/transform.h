@@ -1,0 +1,38 @@
+#ifndef MDQA_DATALOG_TRANSFORM_H_
+#define MDQA_DATALOG_TRANSFORM_H_
+
+#include "base/result.h"
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// The paper's footnote 2: "a rule with a conjunction in the head can be
+/// transformed into a set of rules with single atoms in heads". For every
+/// multi-atom-head TGD
+///
+///   H1(x̄1, z̄), ..., Hk(x̄k, z̄)  ←  body
+///
+/// introduce a fresh auxiliary predicate over the frontier and
+/// existential variables and split:
+///
+///   Aux(frontier, z̄) ← body
+///   Hi(x̄i, z̄)        ← Aux(frontier, z̄)        (i = 1..k)
+///
+/// The auxiliary head keeps the existentials in one place, so every head
+/// atom of one firing shares the same labeled nulls — exactly the
+/// semantics of the original rule. Queries over the original predicates
+/// have the same certain answers; the UCQ rewriter (which requires
+/// single-atom heads) becomes applicable to form-(10) rules after
+/// splitting.
+///
+/// Auxiliary predicates are named `$aux<i>` — not expressible in the text
+/// syntax, so they can never clash with user predicates (programs
+/// containing them print but do not re-parse).
+///
+/// Single-atom-head rules, EGDs, constraints, and facts are copied
+/// unchanged; the result shares the input's vocabulary.
+Result<Program> SplitMultiAtomHeads(const Program& program);
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_TRANSFORM_H_

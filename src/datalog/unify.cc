@@ -1,0 +1,100 @@
+#include "datalog/unify.h"
+
+namespace mdqa::datalog {
+
+Term Resolve(const Subst& subst, Term t) {
+  while (t.IsVariable()) {
+    auto it = subst.find(t.id());
+    if (it == subst.end() || it->second == t) break;
+    t = it->second;
+  }
+  return t;
+}
+
+Atom SubstAtom(const Subst& subst, const Atom& a) {
+  Atom out(a.predicate, a.terms);
+  for (Term& t : out.terms) t = Resolve(subst, t);
+  return out;
+}
+
+bool MatchAtom(const Atom& pattern, const Term* fact, Subst* subst,
+               std::vector<uint32_t>* trail) {
+  for (size_t i = 0; i < pattern.terms.size(); ++i) {
+    Term p = Resolve(*subst, pattern.terms[i]);
+    if (p.IsVariable()) {
+      subst->emplace(p.id(), fact[i]);
+      trail->push_back(p.id());
+    } else if (p != fact[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void UndoTrail(Subst* subst, std::vector<uint32_t>* trail, size_t mark) {
+  while (trail->size() > mark) {
+    subst->erase(trail->back());
+    trail->pop_back();
+  }
+}
+
+std::optional<Subst> UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) {
+    return std::nullopt;
+  }
+  Subst mgu;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    Term x = Resolve(mgu, a.terms[i]);
+    Term y = Resolve(mgu, b.terms[i]);
+    if (x == y) continue;
+    if (x.IsVariable()) {
+      mgu[x.id()] = y;
+    } else if (y.IsVariable()) {
+      mgu[y.id()] = x;
+    } else {
+      return std::nullopt;  // distinct ground terms clash
+    }
+  }
+  return mgu;
+}
+
+bool EvalComparison(const Vocabulary& vocab, CmpOp op, Term lhs, Term rhs) {
+  if (lhs.IsNull() || rhs.IsNull()) {
+    switch (op) {
+      case CmpOp::kEq:
+        return lhs == rhs;
+      case CmpOp::kNe:
+        return lhs != rhs;
+      default:
+        return false;
+    }
+  }
+  const Value& a = vocab.ConstantValue(lhs.id());
+  const Value& b = vocab.ConstantValue(rhs.id());
+  // Numeric values compare numerically across int64/double.
+  const bool numeric = (a.is_int() || a.is_double()) &&
+                       (b.is_int() || b.is_double());
+  auto lt = [&]() {
+    return numeric ? a.AsNumber() < b.AsNumber() : a < b;
+  };
+  auto eq = [&]() {
+    return numeric ? a.AsNumber() == b.AsNumber() : a == b;
+  };
+  switch (op) {
+    case CmpOp::kEq:
+      return eq();
+    case CmpOp::kNe:
+      return !eq();
+    case CmpOp::kLt:
+      return lt();
+    case CmpOp::kLe:
+      return lt() || eq();
+    case CmpOp::kGt:
+      return !lt() && !eq();
+    case CmpOp::kGe:
+      return !lt();
+  }
+  return false;
+}
+
+}  // namespace mdqa::datalog

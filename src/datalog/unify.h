@@ -1,0 +1,48 @@
+#ifndef MDQA_DATALOG_UNIFY_H_
+#define MDQA_DATALOG_UNIFY_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace mdqa::datalog {
+
+/// A substitution mapping variable ids to terms (ground terms during
+/// evaluation; possibly variables during rewriting/unification).
+using Subst = std::unordered_map<uint32_t, Term>;
+
+/// Applies `subst` to `t`, following variable chains to a fixpoint (chains
+/// arise during two-way unification).
+Term Resolve(const Subst& subst, Term t);
+
+/// Applies `subst` to every term of `a`.
+Atom SubstAtom(const Subst& subst, const Atom& a);
+
+/// One-way matching of `pattern` (may contain variables, also repeated)
+/// against the ground row `fact`. Bindings are appended to `*subst`; on
+/// failure `*subst` is left with partial bindings recorded in `*trail`
+/// (callers undo via `UndoTrail`). Returns success.
+bool MatchAtom(const Atom& pattern, const Term* fact, Subst* subst,
+               std::vector<uint32_t>* trail);
+
+/// Removes the trailing bindings recorded in `trail` from `subst`.
+void UndoTrail(Subst* subst, std::vector<uint32_t>* trail, size_t mark);
+
+/// Most general unifier of two atoms over the same predicate, treating
+/// variables of both sides as unifiable (rename rules apart first!).
+/// Constants and labeled nulls unify only with themselves or variables.
+std::optional<Subst> UnifyAtoms(const Atom& a, const Atom& b);
+
+/// Decides a comparison between two ground terms. Constants compare by
+/// `Value` order; labeled nulls support only identity (`=` true iff same
+/// null, `!=` its negation) and make every order comparison false —
+/// certain-answer semantics: an order over an unknown value cannot be
+/// certain. Null-vs-constant equality is false (chase nulls never equal
+/// constants under the standard semantics).
+bool EvalComparison(const Vocabulary& vocab, CmpOp op, Term lhs, Term rhs);
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_UNIFY_H_

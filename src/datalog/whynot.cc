@@ -1,0 +1,130 @@
+#include "datalog/whynot.h"
+
+#include "datalog/cq_eval.h"
+#include "datalog/unify.h"
+
+namespace mdqa::datalog {
+
+std::string WhyNotReport::ToString() const {
+  if (present) return "the fact is present\n";
+  if (attempts.empty()) {
+    return "no rule derives this predicate; the fact would have to be "
+           "extensional\n";
+  }
+  std::string out;
+  for (const FailedDerivation& a : attempts) {
+    out += "via " + a.rule + "\n";
+    out += "  body atoms jointly satisfiable: " +
+           std::to_string(a.satisfied_prefix) + "\n";
+    if (!a.blocking_atom.empty()) {
+      out += "  blocked at: " + a.blocking_atom + "\n";
+    } else {
+      out += "  (whole body satisfiable — the fact may differ from the "
+             "derivable one only in invented nulls, or the instance was "
+             "not chased)\n";
+    }
+  }
+  return out;
+}
+
+Result<WhyNotReport> ExplainAbsence(const Program& program,
+                                    const Instance& instance,
+                                    const Atom& atom) {
+  if (!atom.IsGround()) {
+    return Status::InvalidArgument("why-not diagnosis needs a ground atom");
+  }
+  WhyNotReport report;
+  if (instance.Contains(atom)) {
+    report.present = true;
+    return report;
+  }
+  const Vocabulary& vocab = *program.vocab();
+  CqEvaluator eval(instance);
+
+  for (const Rule& rule : program.rules()) {
+    if (!rule.IsTgd()) continue;
+    for (const Atom& head : rule.head) {
+      if (head.predicate != atom.predicate) continue;
+      std::optional<Subst> mgu = UnifyAtoms(head, atom);
+      if (!mgu.has_value()) continue;
+
+      // Existential head variables can never produce the given constants
+      // — unless the atom's term there is itself a null, which a fresh
+      // firing still would not reproduce. Either way the rule cannot
+      // re-derive this exact atom if an existential got bound; report it
+      // as blocked at the head.
+      bool existential_bound = false;
+      for (uint32_t z : rule.ExistentialVariables()) {
+        Term img = Resolve(*mgu, Term::Variable(z));
+        if (img.IsGround()) existential_bound = true;
+      }
+
+      FailedDerivation attempt;
+      attempt.rule = vocab.RuleToString(rule);
+      if (existential_bound) {
+        attempt.satisfied_prefix = 0;
+        attempt.blocking_atom =
+            "(head existential cannot equal the given value)";
+        report.attempts.push_back(std::move(attempt));
+        continue;
+      }
+
+      // Longest jointly satisfiable body prefix under the head bindings.
+      size_t satisfied = 0;
+      std::string blocking;
+      for (size_t k = 1; k <= rule.body.size(); ++k) {
+        std::vector<Atom> prefix(rule.body.begin(),
+                                 rule.body.begin() + static_cast<long>(k));
+        // Comparisons/negation are checked only when fully applicable;
+        // include them so a comparison-blocked rule reports correctly.
+        std::vector<Comparison> comparisons;
+        for (const Comparison& c : rule.comparisons) {
+          bool in_prefix = true;
+          for (Term t : {c.lhs, c.rhs}) {
+            if (!t.IsVariable()) continue;
+            bool found = false;
+            for (const Atom& a : prefix) {
+              for (Term pt : a.terms) {
+                if (pt == t) found = true;
+              }
+            }
+            if (!found && Resolve(*mgu, t).IsVariable()) in_prefix = false;
+          }
+          if (in_prefix) comparisons.push_back(c);
+        }
+        bool satisfiable = false;
+        MDQA_RETURN_IF_ERROR(eval.Enumerate(prefix, {}, comparisons, *mgu,
+                                            {},
+                                            [&satisfiable](const Subst&) {
+                                              satisfiable = true;
+                                              return false;
+                                            }));
+        if (!satisfiable) {
+          // Instantiate the blocking atom with a witness for the
+          // preceding prefix, so the reader sees concrete values.
+          Subst witness = *mgu;
+          if (k >= 2) {
+            std::vector<Atom> prev(rule.body.begin(),
+                                   rule.body.begin() + static_cast<long>(k) -
+                                       1);
+            MDQA_RETURN_IF_ERROR(eval.Enumerate(
+                prev, {}, {}, *mgu, {}, [&witness](const Subst& theta) {
+                  witness = theta;
+                  return false;
+                }));
+          }
+          blocking =
+              vocab.AtomToString(SubstAtom(witness, rule.body[k - 1]));
+          break;
+        }
+        satisfied = k;
+      }
+      attempt.satisfied_prefix = satisfied;
+      attempt.blocking_atom = blocking;
+      report.attempts.push_back(std::move(attempt));
+    }
+  }
+  return report;
+}
+
+}  // namespace mdqa::datalog

@@ -1,0 +1,46 @@
+#ifndef MDQA_DATALOG_WHYNOT_H_
+#define MDQA_DATALOG_WHYNOT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/instance.h"
+
+namespace mdqa::datalog {
+
+/// One attempted derivation path in a why-not diagnosis: a rule whose
+/// head unifies with the missing atom, the number of body atoms (in rule
+/// order) that *can* be matched jointly under the head bindings, and the
+/// first body atom that cannot.
+struct FailedDerivation {
+  std::string rule;            ///< printed rule
+  size_t satisfied_prefix = 0; ///< body atoms jointly satisfiable
+  std::string blocking_atom;   ///< instantiated first unsatisfiable atom
+                               ///< (empty if the body holds but the head
+                               ///< instantiation clashed — cannot happen
+                               ///< for absent atoms)
+};
+
+struct WhyNotReport {
+  bool present = false;  ///< the atom was in the instance after all
+  std::vector<FailedDerivation> attempts;
+
+  /// Human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Best-effort diagnosis of why ground `atom` is absent from the
+/// (typically chased) `instance`: for every TGD of `program` whose head
+/// unifies with it, finds the longest prefix of the (head-instantiated)
+/// body that is jointly satisfiable and names the first body atom that
+/// blocks — the missing link in the dimensional navigation or quality
+/// condition. Atoms whose predicate heads no rule yield an empty attempt
+/// list (purely extensional absence).
+Result<WhyNotReport> ExplainAbsence(const Program& program,
+                                    const Instance& instance,
+                                    const Atom& atom);
+
+}  // namespace mdqa::datalog
+
+#endif  // MDQA_DATALOG_WHYNOT_H_

@@ -1,0 +1,148 @@
+#include "md/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace mdqa::md {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Result<Relation> RollUpAggregate(const CategoricalRelation& relation,
+                                 const Dimension& dimension,
+                                 const std::string& categorical_attribute,
+                                 const std::string& to_category,
+                                 const std::string& measure_attribute,
+                                 AggFn fn) {
+  const int cat_idx = relation.AttributeIndex(categorical_attribute);
+  const int measure_idx = relation.AttributeIndex(measure_attribute);
+  if (cat_idx < 0 || measure_idx < 0) {
+    return Status::NotFound("unknown attribute in RollUpAggregate on " +
+                            relation.name());
+  }
+  const CategoricalAttribute& cat_attr =
+      relation.attributes()[static_cast<size_t>(cat_idx)];
+  if (!cat_attr.is_categorical) {
+    return Status::InvalidArgument("attribute '" + categorical_attribute +
+                                   "' of " + relation.name() +
+                                   " is not categorical");
+  }
+  if (cat_attr.dimension != dimension.name()) {
+    return Status::InvalidArgument("attribute '" + categorical_attribute +
+                                   "' is bound to dimension " +
+                                   cat_attr.dimension + ", not " +
+                                   dimension.name());
+  }
+  if (cat_idx == measure_idx) {
+    return Status::InvalidArgument(
+        "categorical attribute cannot be the measure");
+  }
+  MDQA_RETURN_IF_ERROR(CheckSummarizable(dimension.instance(),
+                                         cat_attr.category, to_category));
+
+  // Output schema: same order, categorical renamed, measure renamed.
+  std::vector<std::string> attr_names;
+  for (size_t i = 0; i < relation.arity(); ++i) {
+    if (static_cast<int>(i) == cat_idx) {
+      attr_names.push_back(to_category);
+    } else if (static_cast<int>(i) == measure_idx) {
+      attr_names.push_back(std::string(AggFnToString(fn)) + "_" +
+                           measure_attribute);
+    } else {
+      attr_names.push_back(relation.attributes()[i].name);
+    }
+  }
+  MDQA_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create(relation.name() + "_by_" + to_category,
+                             attr_names));
+
+  // Group: key = row with member rolled up and measure removed.
+  struct Acc {
+    double sum = 0;
+    size_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::map<Tuple, Acc> groups;
+  for (const Tuple& row : relation.data().rows()) {
+    const Value& member_value = row[static_cast<size_t>(cat_idx)];
+    if (!member_value.is_string()) {
+      return Status::Inconsistent("non-string categorical value " +
+                                  member_value.ToLiteral() + " in " +
+                                  relation.name());
+    }
+    MDQA_ASSIGN_OR_RETURN(
+        std::vector<std::string> ups,
+        dimension.instance().RollUp(member_value.AsString(), to_category));
+    if (ups.size() != 1) {
+      return Status::Inconsistent("value '" + member_value.AsString() +
+                                  "' does not roll up uniquely to " +
+                                  to_category);
+    }
+    const Value& measure = row[static_cast<size_t>(measure_idx)];
+    if (fn != AggFn::kCount && !measure.is_int() && !measure.is_double()) {
+      return Status::InvalidArgument("non-numeric measure " +
+                                     measure.ToLiteral() + " in " +
+                                     relation.name());
+    }
+    Tuple key = row;
+    key[static_cast<size_t>(cat_idx)] = Value::Str(ups[0]);
+    key[static_cast<size_t>(measure_idx)] = Value::Int(0);  // neutral slot
+    Acc& acc = groups[key];
+    ++acc.count;
+    if (measure.is_int() || measure.is_double()) {
+      double v = measure.AsNumber();
+      acc.sum += v;
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+  }
+
+  Relation out(std::move(schema));
+  for (auto& [key, acc] : groups) {
+    Tuple row = key;
+    double value = 0;
+    switch (fn) {
+      case AggFn::kSum:
+        value = acc.sum;
+        break;
+      case AggFn::kCount:
+        value = static_cast<double>(acc.count);
+        break;
+      case AggFn::kMin:
+        value = acc.min;
+        break;
+      case AggFn::kMax:
+        value = acc.max;
+        break;
+      case AggFn::kAvg:
+        value = acc.sum / static_cast<double>(acc.count);
+        break;
+    }
+    if (fn == AggFn::kCount) {
+      row[static_cast<size_t>(measure_idx)] =
+          Value::Int(static_cast<int64_t>(acc.count));
+    } else {
+      row[static_cast<size_t>(measure_idx)] = Value::Real(value);
+    }
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace mdqa::md

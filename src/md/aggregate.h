@@ -1,0 +1,48 @@
+#ifndef MDQA_MD_AGGREGATE_H_
+#define MDQA_MD_AGGREGATE_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "md/categorical.h"
+#include "md/constraints.h"
+
+namespace mdqa::md {
+
+/// Aggregation functions for measure roll-up.
+enum class AggFn {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFnToString(AggFn fn);
+
+/// OLAP roll-up over a categorical relation — the HM use case the
+/// paper's model generalizes: re-aggregates the numeric
+/// `measure_attribute` of `relation` from the level of categorical
+/// attribute `categorical_attribute` up to `to_category` of `dimension`,
+/// grouping by the rolled-up member together with every other attribute.
+///
+/// Summarizability is enforced first (`CheckSummarizable`): each source
+/// member must reach exactly one target member, otherwise the
+/// aggregation would lose or double-count data and the call fails with
+/// kFailedPrecondition — the exact hazard HM's constraints exist to rule
+/// out.
+///
+/// The result relation keeps the input attribute order, with the
+/// categorical attribute renamed to `to_category` and the measure to
+/// `<fn>_<measure>`. kCount ignores the measure values (but the
+/// attribute must still exist and be numeric for uniformity).
+Result<Relation> RollUpAggregate(const CategoricalRelation& relation,
+                                 const Dimension& dimension,
+                                 const std::string& categorical_attribute,
+                                 const std::string& to_category,
+                                 const std::string& measure_attribute,
+                                 AggFn fn);
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_AGGREGATE_H_

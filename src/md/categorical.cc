@@ -1,0 +1,109 @@
+#include "md/categorical.h"
+
+#include <unordered_set>
+
+namespace mdqa::md {
+
+Result<CategoricalRelation> CategoricalRelation::Create(
+    std::string name, std::vector<CategoricalAttribute> attributes) {
+  std::vector<std::string> attr_names;
+  std::unordered_set<std::string> seen;
+  for (const CategoricalAttribute& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty in " +
+                                     name);
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in categorical relation " + name);
+    }
+    if (a.is_categorical && (a.dimension.empty() || a.category.empty())) {
+      return Status::InvalidArgument(
+          "categorical attribute '" + a.name + "' of " + name +
+          " must name a dimension and a category");
+    }
+    attr_names.push_back(a.name);
+  }
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(name, attr_names));
+  Relation data(std::move(schema));
+  return CategoricalRelation(std::move(name), std::move(attributes),
+                             std::move(data));
+}
+
+std::vector<size_t> CategoricalRelation::CategoricalPositions() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_categorical) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> CategoricalRelation::PlainPositions() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (!attributes_[i].is_categorical) out.push_back(i);
+  }
+  return out;
+}
+
+int CategoricalRelation::AttributeIndex(const std::string& attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status CategoricalRelation::Insert(Tuple row) { return data_.Insert(std::move(row)); }
+
+Status CategoricalRelation::InsertText(const std::vector<std::string>& fields) {
+  return data_.InsertText(fields);
+}
+
+Status CategoricalRelation::ValidateReferential(
+    const std::map<std::string, const Dimension*>& dimensions) const {
+  for (size_t i : CategoricalPositions()) {
+    const CategoricalAttribute& attr = attributes_[i];
+    auto it = dimensions.find(attr.dimension);
+    if (it == dimensions.end()) {
+      return Status::NotFound("attribute '" + attr.name + "' of " + name_ +
+                              " references unknown dimension '" +
+                              attr.dimension + "'");
+    }
+    const Dimension* dim = it->second;
+    if (!dim->schema().HasCategory(attr.category)) {
+      return Status::NotFound("attribute '" + attr.name + "' of " + name_ +
+                              " references unknown category '" +
+                              attr.category + "' of dimension " +
+                              attr.dimension);
+    }
+    for (const Tuple& row : data_.rows()) {
+      const Value& v = row[i];
+      if (!v.is_string() ||
+          !dim->instance().HasMember(v.AsString()) ||
+          dim->instance().CategoryOf(v.AsString()).value() != attr.category) {
+        return Status::Inconsistent(
+            "referential constraint (form (1)) violated: value " +
+            v.ToLiteral() + " at attribute '" + attr.name + "' of " + name_ +
+            " is not a member of category " + attr.category);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CategoricalRelation::EmitFacts(datalog::Program* program) const {
+  datalog::Vocabulary* vocab = program->mutable_vocab();
+  MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                        vocab->InternPredicate(name_, arity()));
+  for (const Tuple& row : data_.rows()) {
+    std::vector<datalog::Term> terms;
+    terms.reserve(row.size());
+    for (const Value& v : row) terms.push_back(vocab->Const(v));
+    MDQA_RETURN_IF_ERROR(
+        program->AddFact(datalog::Atom(pred, std::move(terms))));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdqa::md

@@ -1,0 +1,94 @@
+#ifndef MDQA_MD_CATEGORICAL_H_
+#define MDQA_MD_CATEGORICAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/program.h"
+#include "md/dimension.h"
+#include "relational/relation.h"
+
+namespace mdqa::md {
+
+/// One attribute of a categorical relation: either *categorical* — its
+/// values are members of a specific category of a specific dimension — or
+/// *non-categorical*, drawing from an arbitrary domain. This is the
+/// paper's extension of HM fact tables (Section II).
+struct CategoricalAttribute {
+  std::string name;
+  bool is_categorical = false;
+  std::string dimension;  ///< set iff is_categorical
+  std::string category;   ///< set iff is_categorical
+
+  static CategoricalAttribute Categorical(std::string name,
+                                          std::string dimension,
+                                          std::string category) {
+    CategoricalAttribute a;
+    a.name = std::move(name);
+    a.is_categorical = true;
+    a.dimension = std::move(dimension);
+    a.category = std::move(category);
+    return a;
+  }
+  static CategoricalAttribute Plain(std::string name) {
+    CategoricalAttribute a;
+    a.name = std::move(name);
+    return a;
+  }
+};
+
+/// A categorical relation: schema (name + categorical/plain attributes)
+/// plus data. The paper writes these `R(ē; ā)` with categorical
+/// attributes first; we do not require that ordering — each attribute
+/// carries its own binding.
+class CategoricalRelation {
+ public:
+  static Result<CategoricalRelation> Create(
+      std::string name, std::vector<CategoricalAttribute> attributes);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<CategoricalAttribute>& attributes() const {
+    return attributes_;
+  }
+
+  /// Indexes of categorical / non-categorical attributes.
+  std::vector<size_t> CategoricalPositions() const;
+  std::vector<size_t> PlainPositions() const;
+
+  int AttributeIndex(const std::string& attr) const;
+
+  /// Inserts a row (set semantics; arity-checked).
+  Status Insert(Tuple row);
+  Status InsertText(const std::vector<std::string>& fields);
+
+  const Relation& data() const { return data_; }
+
+  /// The paper's referential constraint (form (1)): every categorical
+  /// value must be a member of its declared category. `dimensions` maps
+  /// dimension name → dimension. Returns kInconsistent with a witness on
+  /// the first dangling value.
+  Status ValidateReferential(
+      const std::map<std::string, const Dimension*>& dimensions) const;
+
+  /// Adds the relation's rows as Datalog± facts under predicate `name()`.
+  Status EmitFacts(datalog::Program* program) const;
+
+ private:
+  CategoricalRelation(std::string name,
+                      std::vector<CategoricalAttribute> attributes,
+                      Relation data)
+      : name_(std::move(name)),
+        attributes_(std::move(attributes)),
+        data_(std::move(data)) {}
+
+  std::string name_;
+  std::vector<CategoricalAttribute> attributes_;
+  Relation data_;
+};
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_CATEGORICAL_H_

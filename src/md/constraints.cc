@@ -1,0 +1,120 @@
+#include "md/constraints.h"
+
+namespace mdqa::md {
+
+const char* EdgeConstraintToString(EdgeConstraint c) {
+  switch (c) {
+    case EdgeConstraint::kInto:
+      return "into";
+    case EdgeConstraint::kTotal:
+      return "total";
+    case EdgeConstraint::kOnto:
+      return "onto";
+  }
+  return "?";
+}
+
+void DimensionConstraints::Require(const std::string& child_category,
+                                   const std::string& parent_category,
+                                   EdgeConstraint constraint) {
+  requirements_.push_back(
+      Requirement{child_category, parent_category, constraint});
+}
+
+namespace {
+
+// Parents (or children for kOnto) of `member` within `category`.
+size_t CountAdjacentIn(const DimensionInstance& instance,
+                       const std::vector<std::string>& adjacent,
+                       const std::string& category) {
+  size_t n = 0;
+  for (const std::string& m : adjacent) {
+    auto cat = instance.CategoryOf(m);
+    if (cat.ok() && *cat == category) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Status DimensionConstraints::Check(const DimensionInstance& instance) const {
+  const DimensionSchema& schema = instance.schema();
+  for (const Requirement& req : requirements_) {
+    if (!schema.HasCategory(req.child) || !schema.HasCategory(req.parent)) {
+      return Status::NotFound("constraint on unknown category: " + req.child +
+                              " -> " + req.parent);
+    }
+    if (!schema.HasDirectEdge(req.child, req.parent)) {
+      return Status::NotFound("constraint on missing edge " + req.child +
+                              " -> " + req.parent + " in dimension " +
+                              dimension_);
+    }
+    switch (req.constraint) {
+      case EdgeConstraint::kInto:
+        for (const std::string& m : instance.Members(req.child)) {
+          if (CountAdjacentIn(instance, instance.ParentsOf(m), req.parent) >
+              1) {
+            return Status::FailedPrecondition(
+                "into(" + req.child + " -> " + req.parent + ") violated: '" +
+                m + "' has multiple parents in " + req.parent);
+          }
+        }
+        break;
+      case EdgeConstraint::kTotal:
+        for (const std::string& m : instance.Members(req.child)) {
+          if (CountAdjacentIn(instance, instance.ParentsOf(m), req.parent) ==
+              0) {
+            return Status::FailedPrecondition(
+                "total(" + req.child + " -> " + req.parent + ") violated: '" +
+                m + "' has no parent in " + req.parent);
+          }
+        }
+        break;
+      case EdgeConstraint::kOnto:
+        for (const std::string& m : instance.Members(req.parent)) {
+          if (CountAdjacentIn(instance, instance.ChildrenOf(m), req.child) ==
+              0) {
+            return Status::FailedPrecondition(
+                "onto(" + req.child + " -> " + req.parent + ") violated: '" +
+                m + "' has no child in " + req.child);
+          }
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSummarizable(const DimensionInstance& instance,
+                         const std::string& from_category,
+                         const std::string& to_category) {
+  if (!instance.schema().HasCategory(from_category) ||
+      !instance.schema().HasCategory(to_category)) {
+    return Status::NotFound("unknown category in summarizability check");
+  }
+  if (from_category != to_category &&
+      !instance.schema().IsAncestor(from_category, to_category)) {
+    return Status::InvalidArgument(to_category + " is not an ancestor of " +
+                                   from_category);
+  }
+  for (const std::string& m : instance.Members(from_category)) {
+    MDQA_ASSIGN_OR_RETURN(std::vector<std::string> ups,
+                          instance.RollUp(m, to_category));
+    if (ups.empty()) {
+      return Status::FailedPrecondition(
+          "roll-up " + from_category + " -> " + to_category +
+          " not summarizable: member '" + m + "' reaches no member of " +
+          to_category + " (data loss)");
+    }
+    if (ups.size() > 1) {
+      return Status::FailedPrecondition(
+          "roll-up " + from_category + " -> " + to_category +
+          " not summarizable: member '" + m + "' reaches " +
+          std::to_string(ups.size()) + " members of " + to_category +
+          " (double counting)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdqa::md

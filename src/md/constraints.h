@@ -1,0 +1,71 @@
+#ifndef MDQA_MD_CONSTRAINTS_H_
+#define MDQA_MD_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "md/dimension_instance.h"
+
+namespace mdqa::md {
+
+/// Cardinality constraints on a single category edge, after the
+/// Hurtado–Gutierrez–Mendelzon model (TODS 2005) the paper extends —
+/// there, summarizability of roll-ups is captured exactly by such
+/// dimension constraints.
+enum class EdgeConstraint {
+  /// Every child member has at most one parent in the parent category
+  /// (the roll-up is functional on this edge).
+  kInto,
+  /// Every child member has at least one parent in the parent category
+  /// (the roll-up is total on this edge; homogeneity, edge-local).
+  kTotal,
+  /// Every parent member has at least one child (no empty parents).
+  kOnto,
+};
+
+const char* EdgeConstraintToString(EdgeConstraint c);
+
+/// A set of declared edge constraints over one dimension, checkable
+/// against its instance.
+class DimensionConstraints {
+ public:
+  explicit DimensionConstraints(std::string dimension_name)
+      : dimension_(std::move(dimension_name)) {}
+
+  const std::string& dimension() const { return dimension_; }
+
+  /// Declares a constraint on the edge child_category → parent_category.
+  void Require(const std::string& child_category,
+               const std::string& parent_category, EdgeConstraint constraint);
+
+  size_t size() const { return requirements_.size(); }
+
+  /// Checks every declared constraint; the first violation yields
+  /// kFailedPrecondition with a member-level witness. Unknown
+  /// categories/edges yield kNotFound.
+  Status Check(const DimensionInstance& instance) const;
+
+ private:
+  struct Requirement {
+    std::string child;
+    std::string parent;
+    EdgeConstraint constraint;
+  };
+
+  std::string dimension_;
+  std::vector<Requirement> requirements_;
+};
+
+/// The summarizability condition for pre-aggregation (HM): rolling up
+/// from `from_category` to the ancestor `to_category` neither loses nor
+/// double-counts iff every member of `from_category` reaches **exactly
+/// one** member of `to_category`. Returns OK, or kFailedPrecondition
+/// with the offending member (0 parents = loss, ≥2 = double count).
+Status CheckSummarizable(const DimensionInstance& instance,
+                         const std::string& from_category,
+                         const std::string& to_category);
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_CONSTRAINTS_H_

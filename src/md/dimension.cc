@@ -1,0 +1,142 @@
+#include "md/dimension.h"
+
+#include "relational/value.h"
+
+namespace mdqa::md {
+
+Result<Dimension> Dimension::Create(DimensionInstance instance,
+                                    const Options& options) {
+  if (options.require_strict) {
+    MDQA_RETURN_IF_ERROR(instance.CheckStrict());
+  }
+  if (options.require_homogeneous) {
+    MDQA_RETURN_IF_ERROR(instance.CheckHomogeneous());
+  }
+  return Dimension(std::move(instance));
+}
+
+Status Dimension::EmitFacts(datalog::Program* program) const {
+  datalog::Vocabulary* vocab = program->mutable_vocab();
+  const DimensionSchema& s = schema();
+  // Category membership facts.
+  for (const std::string& category : s.categories()) {
+    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                          vocab->InternPredicate(category, /*arity=*/1));
+    for (const std::string& member : instance_.Members(category)) {
+      MDQA_RETURN_IF_ERROR(
+          program->AddFact(datalog::Atom(pred, {vocab->Str(member)})));
+    }
+  }
+  // Member edge facts, grouped under (parent-category, child-category)
+  // edge predicates.
+  for (const std::string& child_cat : s.categories()) {
+    for (const std::string& parent_cat : s.Parents(child_cat)) {
+      MDQA_ASSIGN_OR_RETURN(
+          uint32_t pred,
+          vocab->InternPredicate(EdgePredicate(parent_cat, child_cat),
+                                 /*arity=*/2));
+      for (const std::string& child : instance_.Members(child_cat)) {
+        for (const std::string& parent : instance_.ParentsOf(child)) {
+          MDQA_ASSIGN_OR_RETURN(std::string pc,
+                                instance_.CategoryOf(parent));
+          if (pc != parent_cat) continue;
+          MDQA_RETURN_IF_ERROR(program->AddFact(datalog::Atom(
+              pred, {vocab->Str(parent), vocab->Str(child)})));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Dimension::ToString() const {
+  std::string out = schema().ToString();
+  for (const std::string& category : schema().categories()) {
+    out += "  " + category + ":";
+    for (const std::string& m : instance_.Members(category)) out += " " + m;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Dimension::ToDot(bool with_members) const {
+  const DimensionSchema& s = schema();
+  std::string out = "digraph \"" + name() + "\" {\n  rankdir=BT;\n";
+  out += "  node [shape=box, style=rounded];\n";
+  auto quote = [](const std::string& id) { return "\"" + id + "\""; };
+  for (const std::string& category : s.categories()) {
+    out += "  " + quote("cat:" + category) + " [label=" + quote(category) +
+           "];\n";
+  }
+  for (const std::string& child : s.categories()) {
+    for (const std::string& parent : s.Parents(child)) {
+      out += "  " + quote("cat:" + child) + " -> " +
+             quote("cat:" + parent) + ";\n";
+    }
+  }
+  if (with_members) {
+    out += "  node [shape=ellipse, style=solid];\n";
+    for (const std::string& category : s.categories()) {
+      for (const std::string& m : instance_.Members(category)) {
+        out += "  " + quote("m:" + m) + " [label=" + quote(m) + "];\n";
+        out += "  " + quote("m:" + m) + " -> " + quote("cat:" + category) +
+               " [style=dotted, arrowhead=none];\n";
+        for (const std::string& p : instance_.ParentsOf(m)) {
+          out += "  " + quote("m:" + m) + " -> " + quote("m:" + p) + ";\n";
+        }
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+DimensionBuilder::DimensionBuilder(const std::string& name) {
+  Result<DimensionSchema> s = DimensionSchema::Create(name);
+  if (s.ok()) {
+    schema_ = std::move(s).value();
+  } else {
+    first_error_ = s.status();
+  }
+}
+
+void DimensionBuilder::Track(Status s) {
+  if (first_error_.ok() && !s.ok()) first_error_ = std::move(s);
+}
+
+DimensionBuilder& DimensionBuilder::Category(const std::string& category) {
+  Track(schema_.AddCategory(category));
+  return *this;
+}
+
+DimensionBuilder& DimensionBuilder::Edge(const std::string& child,
+                                         const std::string& parent) {
+  Track(schema_.AddEdge(child, parent));
+  return *this;
+}
+
+DimensionBuilder& DimensionBuilder::Member(const std::string& category,
+                                           const std::string& member) {
+  members_.emplace_back(category, member);
+  return *this;
+}
+
+DimensionBuilder& DimensionBuilder::Link(const std::string& child_member,
+                                         const std::string& parent_member) {
+  links_.emplace_back(child_member, parent_member);
+  return *this;
+}
+
+Result<Dimension> DimensionBuilder::Build(const Dimension::Options& options) {
+  MDQA_RETURN_IF_ERROR(first_error_);
+  DimensionInstance instance(schema_);
+  for (const auto& [category, member] : members_) {
+    MDQA_RETURN_IF_ERROR(instance.AddMember(category, member));
+  }
+  for (const auto& [child, parent] : links_) {
+    MDQA_RETURN_IF_ERROR(instance.AddChildParent(child, parent));
+  }
+  return Dimension::Create(std::move(instance), options);
+}
+
+}  // namespace mdqa::md

@@ -1,0 +1,92 @@
+#ifndef MDQA_MD_DIMENSION_H_
+#define MDQA_MD_DIMENSION_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "datalog/program.h"
+#include "md/dimension_instance.h"
+
+namespace mdqa::md {
+
+/// A complete HM dimension (schema + instance), the unit the ontology
+/// layer consumes. Construction can optionally enforce the HM strictness
+/// and homogeneity conditions.
+class Dimension {
+ public:
+  struct Options {
+    bool require_strict = false;
+    bool require_homogeneous = false;
+  };
+
+  static Result<Dimension> Create(DimensionInstance instance,
+                                  const Options& options);
+  static Result<Dimension> Create(DimensionInstance instance) {
+    return Create(std::move(instance), Options{});
+  }
+
+  const std::string& name() const { return instance_.schema().name(); }
+  const DimensionSchema& schema() const { return instance_.schema(); }
+  const DimensionInstance& instance() const { return instance_; }
+
+  /// Predicate name of the parent–child relation between two adjacent
+  /// categories, following the paper's convention: `UnitWard(u, w)` for
+  /// Unit (parent) over Ward (child) — arguments ordered (parent, child).
+  static std::string EdgePredicate(const std::string& parent_category,
+                                   const std::string& child_category) {
+    return parent_category + child_category;
+  }
+
+  /// Adds the dimension's Datalog± encoding to `program`: one unary fact
+  /// per member under its category predicate (`Ward("W1")`) and one
+  /// binary fact per member edge under the edge predicate
+  /// (`UnitWard("Standard", "W1")`).
+  Status EmitFacts(datalog::Program* program) const;
+
+  /// Schema tree plus members per category — the textual Fig. 1 rendering.
+  std::string ToString() const;
+
+  /// Graphviz source for the dimension: category DAG as boxes, and (when
+  /// `with_members`) member nodes with their partial order, clustered
+  /// beside their category — `dot -Tpng` turns it into the paper's
+  /// Fig. 1.
+  std::string ToDot(bool with_members) const;
+
+ private:
+  explicit Dimension(DimensionInstance instance)
+      : instance_(std::move(instance)) {}
+
+  DimensionInstance instance_;
+};
+
+/// Fluent builder used by tests, examples and workload generators.
+/// Errors are accumulated; `Build()` surfaces the first one.
+class DimensionBuilder {
+ public:
+  explicit DimensionBuilder(const std::string& name);
+
+  DimensionBuilder& Category(const std::string& category);
+  DimensionBuilder& Edge(const std::string& child, const std::string& parent);
+  DimensionBuilder& Member(const std::string& category,
+                           const std::string& member);
+  /// `child_member < parent_member` in the member partial order.
+  DimensionBuilder& Link(const std::string& child_member,
+                         const std::string& parent_member);
+
+  Result<Dimension> Build(const Dimension::Options& options);
+  Result<Dimension> Build() { return Build(Dimension::Options{}); }
+
+ private:
+  void Track(Status s);
+
+  Status first_error_;
+  DimensionSchema schema_;
+  // Members/links are buffered: schema edges must all exist before
+  // instance edges are validated.
+  std::vector<std::pair<std::string, std::string>> members_;
+  std::vector<std::pair<std::string, std::string>> links_;
+};
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_DIMENSION_H_

@@ -1,0 +1,170 @@
+#include "md/dimension_instance.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace mdqa::md {
+
+Status DimensionInstance::AddMember(const std::string& category,
+                                    const std::string& member) {
+  if (!schema_.HasCategory(category)) {
+    return Status::NotFound("category '" + category + "' not in dimension " +
+                            schema_.name());
+  }
+  auto it = member_category_.find(member);
+  if (it != member_category_.end()) {
+    if (it->second == category) return Status::Ok();  // idempotent
+    return Status::AlreadyExists("member '" + member +
+                                 "' already belongs to category '" +
+                                 it->second + "'");
+  }
+  member_category_.emplace(member, category);
+  members_by_cat_[category].push_back(member);
+  return Status::Ok();
+}
+
+Status DimensionInstance::AddChildParent(const std::string& child_member,
+                                         const std::string& parent_member) {
+  MDQA_ASSIGN_OR_RETURN(std::string child_cat, CategoryOf(child_member));
+  MDQA_ASSIGN_OR_RETURN(std::string parent_cat, CategoryOf(parent_member));
+  if (!schema_.HasDirectEdge(child_cat, parent_cat)) {
+    return Status::InvalidArgument(
+        "member edge " + child_member + " < " + parent_member +
+        " has no matching category edge " + child_cat + " -> " + parent_cat);
+  }
+  std::vector<std::string>& ps = parents_[child_member];
+  if (std::find(ps.begin(), ps.end(), parent_member) != ps.end()) {
+    return Status::Ok();  // idempotent
+  }
+  ps.push_back(parent_member);
+  children_[parent_member].push_back(child_member);
+  return Status::Ok();
+}
+
+Result<std::string> DimensionInstance::CategoryOf(
+    const std::string& member) const {
+  auto it = member_category_.find(member);
+  if (it == member_category_.end()) {
+    return Status::NotFound("unknown member '" + member + "' in dimension " +
+                            schema_.name());
+  }
+  return it->second;
+}
+
+std::vector<std::string> DimensionInstance::Members(
+    const std::string& category) const {
+  auto it = members_by_cat_.find(category);
+  return it == members_by_cat_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> DimensionInstance::ParentsOf(
+    const std::string& member) const {
+  auto it = parents_.find(member);
+  return it == parents_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> DimensionInstance::ChildrenOf(
+    const std::string& member) const {
+  auto it = children_.find(member);
+  return it == children_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Result<std::vector<std::string>> DimensionInstance::RollUp(
+    const std::string& member, const std::string& to_category) const {
+  MDQA_ASSIGN_OR_RETURN(std::string from_cat, CategoryOf(member));
+  if (!schema_.HasCategory(to_category)) {
+    return Status::NotFound("unknown category '" + to_category + "'");
+  }
+  if (from_cat == to_category) return std::vector<std::string>{member};
+  if (!schema_.IsAncestor(from_cat, to_category)) {
+    return Status::InvalidArgument("cannot roll up from " + from_cat +
+                                   " to non-ancestor " + to_category);
+  }
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen = {member};
+  std::deque<std::string> queue = {member};
+  while (!queue.empty()) {
+    std::string m = queue.front();
+    queue.pop_front();
+    for (const std::string& p : ParentsOf(m)) {
+      if (!seen.insert(p).second) continue;
+      if (member_category_.at(p) == to_category) {
+        out.push_back(p);
+      } else {
+        queue.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DimensionInstance::DrillDown(
+    const std::string& member, const std::string& to_category) const {
+  MDQA_ASSIGN_OR_RETURN(std::string from_cat, CategoryOf(member));
+  if (!schema_.HasCategory(to_category)) {
+    return Status::NotFound("unknown category '" + to_category + "'");
+  }
+  if (from_cat == to_category) return std::vector<std::string>{member};
+  if (!schema_.IsAncestor(to_category, from_cat)) {
+    return Status::InvalidArgument("cannot drill down from " + from_cat +
+                                   " to non-descendant " + to_category);
+  }
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen = {member};
+  std::deque<std::string> queue = {member};
+  while (!queue.empty()) {
+    std::string m = queue.front();
+    queue.pop_front();
+    for (const std::string& c : ChildrenOf(m)) {
+      if (!seen.insert(c).second) continue;
+      if (member_category_.at(c) == to_category) {
+        out.push_back(c);
+      } else {
+        queue.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+Status DimensionInstance::CheckStrict() const {
+  for (const auto& [member, category] : member_category_) {
+    for (const std::string& ancestor : schema_.categories()) {
+      if (!schema_.IsAncestor(category, ancestor)) continue;
+      MDQA_ASSIGN_OR_RETURN(std::vector<std::string> ups,
+                            RollUp(member, ancestor));
+      if (ups.size() > 1) {
+        std::sort(ups.begin(), ups.end());
+        return Status::FailedPrecondition(
+            "dimension " + schema_.name() + " is not strict: member '" +
+            member + "' rolls up to both '" + ups[0] + "' and '" + ups[1] +
+            "' in category " + ancestor);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DimensionInstance::CheckHomogeneous() const {
+  for (const auto& [member, category] : member_category_) {
+    for (const std::string& parent_cat : schema_.Parents(category)) {
+      bool found = false;
+      for (const std::string& p : ParentsOf(member)) {
+        if (member_category_.at(p) == parent_cat) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::FailedPrecondition(
+            "dimension " + schema_.name() + " is not homogeneous: member '" +
+            member + "' of " + category + " has no parent in category " +
+            parent_cat);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdqa::md

@@ -1,0 +1,169 @@
+#include "md/dimension_schema.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mdqa::md {
+
+Result<DimensionSchema> DimensionSchema::Create(std::string name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dimension name must be non-empty");
+  }
+  return DimensionSchema(std::move(name));
+}
+
+int DimensionSchema::Index(const std::string& category) const {
+  auto it = by_name_.find(category);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Status DimensionSchema::AddCategory(const std::string& category) {
+  if (category.empty()) {
+    return Status::InvalidArgument("category name must be non-empty");
+  }
+  if (by_name_.count(category) > 0) {
+    return Status::AlreadyExists("category '" + category +
+                                 "' already in dimension " + name_);
+  }
+  by_name_.emplace(category, static_cast<int>(categories_.size()));
+  categories_.push_back(category);
+  parents_.emplace_back();
+  children_.emplace_back();
+  return Status::Ok();
+}
+
+Status DimensionSchema::AddEdge(const std::string& child,
+                                const std::string& parent) {
+  int c = Index(child);
+  int p = Index(parent);
+  if (c < 0 || p < 0) {
+    return Status::NotFound("edge " + child + " -> " + parent +
+                            ": unknown category in dimension " + name_);
+  }
+  if (c == p) {
+    return Status::InvalidArgument("self-edge on category '" + child + "'");
+  }
+  if (std::find(parents_[c].begin(), parents_[c].end(), p) !=
+      parents_[c].end()) {
+    return Status::AlreadyExists("edge " + child + " -> " + parent +
+                                 " already declared");
+  }
+  // Reject cycles: adding c -> p closes a cycle iff c is reachable upward
+  // from p already.
+  if (IsAncestor(parent, child)) {
+    return Status::InvalidArgument("edge " + child + " -> " + parent +
+                                   " would create a cycle in dimension " +
+                                   name_);
+  }
+  parents_[c].push_back(p);
+  children_[p].push_back(c);
+  return Status::Ok();
+}
+
+std::vector<std::string> DimensionSchema::Parents(
+    const std::string& category) const {
+  std::vector<std::string> out;
+  int c = Index(category);
+  if (c < 0) return out;
+  for (int p : parents_[c]) out.push_back(categories_[p]);
+  return out;
+}
+
+std::vector<std::string> DimensionSchema::Children(
+    const std::string& category) const {
+  std::vector<std::string> out;
+  int c = Index(category);
+  if (c < 0) return out;
+  for (int k : children_[c]) out.push_back(categories_[k]);
+  return out;
+}
+
+bool DimensionSchema::HasDirectEdge(const std::string& child,
+                                    const std::string& parent) const {
+  int c = Index(child);
+  int p = Index(parent);
+  if (c < 0 || p < 0) return false;
+  return std::find(parents_[c].begin(), parents_[c].end(), p) !=
+         parents_[c].end();
+}
+
+bool DimensionSchema::IsAncestor(const std::string& low,
+                                 const std::string& high) const {
+  int from = Index(low);
+  int to = Index(high);
+  if (from < 0 || to < 0) return false;
+  std::vector<int> stack = {from};
+  std::vector<bool> seen(categories_.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int p : parents_[v]) {
+      if (p == to) return true;
+      if (!seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+Result<CategoryOrder> DimensionSchema::Compare(const std::string& a,
+                                               const std::string& b) const {
+  if (Index(a) < 0 || Index(b) < 0) {
+    return Status::NotFound("unknown category in Compare: " + a + ", " + b);
+  }
+  if (a == b) return CategoryOrder::kSame;
+  if (IsAncestor(a, b)) return CategoryOrder::kBelow;
+  if (IsAncestor(b, a)) return CategoryOrder::kAbove;
+  return CategoryOrder::kIncomparable;
+}
+
+Result<int> DimensionSchema::Level(const std::string& category) const {
+  int c = Index(category);
+  if (c < 0) {
+    return Status::NotFound("unknown category '" + category + "'");
+  }
+  // Longest downward chain; DAG-safe memoized DFS.
+  std::vector<int> memo(categories_.size(), -1);
+  std::function<int(int)> depth = [&](int v) -> int {
+    if (memo[v] >= 0) return memo[v];
+    int best = 0;
+    for (int k : children_[v]) best = std::max(best, 1 + depth(k));
+    memo[v] = best;
+    return best;
+  };
+  return depth(c);
+}
+
+std::vector<std::string> DimensionSchema::BottomCategories() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (children_[i].empty()) out.push_back(categories_[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> DimensionSchema::TopCategories() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (parents_[i].empty()) out.push_back(categories_[i]);
+  }
+  return out;
+}
+
+std::string DimensionSchema::ToString() const {
+  std::string out = "dimension " + name_ + "\n";
+  std::function<void(int, int)> render = [&](int v, int indent) {
+    out += std::string(static_cast<size_t>(indent) * 2, ' ') + categories_[v] +
+           "\n";
+    for (int k : children_[v]) render(k, indent + 1);
+  };
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (parents_[i].empty()) render(static_cast<int>(i), 1);
+  }
+  return out;
+}
+
+}  // namespace mdqa::md

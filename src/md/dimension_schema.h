@@ -1,0 +1,85 @@
+#ifndef MDQA_MD_DIMENSION_SCHEMA_H_
+#define MDQA_MD_DIMENSION_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+
+namespace mdqa::md {
+
+/// Relative placement of two categories in a dimension's partial order.
+enum class CategoryOrder {
+  kSame,
+  kBelow,         ///< first is a (transitive) descendant of second
+  kAbove,         ///< first is a (transitive) ancestor of second
+  kIncomparable,
+};
+
+/// The schema of a Hurtado–Mendelzon dimension: a DAG of categories whose
+/// edges `child → parent` define the category lattice (e.g. Ward → Unit →
+/// Institution in the paper's Hospital dimension). Cycles are rejected at
+/// insertion time, so a constructed schema is always a DAG.
+class DimensionSchema {
+ public:
+  /// Default-constructs an unnamed schema; prefer `Create`.
+  DimensionSchema() = default;
+
+  static Result<DimensionSchema> Create(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  Status AddCategory(const std::string& category);
+
+  /// Declares `child`'s members to roll up to `parent`'s members. Both
+  /// categories must exist; the edge must not create a cycle.
+  Status AddEdge(const std::string& child, const std::string& parent);
+
+  bool HasCategory(const std::string& category) const {
+    return by_name_.count(category) > 0;
+  }
+  /// Categories in insertion order.
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  /// Immediate parents / children of `category` (empty when unknown).
+  std::vector<std::string> Parents(const std::string& category) const;
+  std::vector<std::string> Children(const std::string& category) const;
+
+  /// True if `parent` is an immediate parent of `child`.
+  bool HasDirectEdge(const std::string& child,
+                     const std::string& parent) const;
+
+  /// Transitive: `high` is reachable upward from `low`.
+  bool IsAncestor(const std::string& low, const std::string& high) const;
+
+  /// Partial-order comparison of two known categories.
+  Result<CategoryOrder> Compare(const std::string& a,
+                                const std::string& b) const;
+
+  /// Length of the longest child-chain below `category` (bottom = 0).
+  Result<int> Level(const std::string& category) const;
+
+  /// Categories with no children / no parents.
+  std::vector<std::string> BottomCategories() const;
+  std::vector<std::string> TopCategories() const;
+
+  /// Indented rendering of the category DAG (tops first), used to
+  /// regenerate the paper's Fig. 1 textually.
+  std::string ToString() const;
+
+ private:
+  explicit DimensionSchema(std::string name) : name_(std::move(name)) {}
+
+  int Index(const std::string& category) const;
+
+  std::string name_;
+  std::vector<std::string> categories_;
+  std::unordered_map<std::string, int> by_name_;
+  std::vector<std::vector<int>> parents_;   // per category index
+  std::vector<std::vector<int>> children_;  // per category index
+};
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_DIMENSION_SCHEMA_H_

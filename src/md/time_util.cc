@@ -1,0 +1,186 @@
+#include "md/time_util.h"
+
+#include <array>
+#include <charconv>
+#include <set>
+
+#include "base/string_util.h"
+#include "md/dimension.h"
+
+namespace mdqa::md {
+
+namespace {
+
+struct MonthInfo {
+  const char* abbrev;
+  const char* full;
+  int days;
+};
+
+constexpr std::array<MonthInfo, 12> kMonths = {{
+    {"Jan", "January", 31},
+    {"Feb", "February", 28},
+    {"Mar", "March", 31},
+    {"Apr", "April", 30},
+    {"May", "May", 31},
+    {"Jun", "June", 30},
+    {"Jul", "July", 31},
+    {"Aug", "August", 31},
+    {"Sep", "September", 30},
+    {"Oct", "October", 31},
+    {"Nov", "November", 30},
+    {"Dec", "December", 31},
+}};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<int> ParseInt(std::string_view s, const char* what) {
+  int v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument(std::string("cannot parse ") + what +
+                                   " from '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<int> MonthNumber(std::string_view month_name) {
+  for (size_t i = 0; i < kMonths.size(); ++i) {
+    if (EqualsIgnoreCase(month_name, kMonths[i].abbrev) ||
+        EqualsIgnoreCase(month_name, kMonths[i].full)) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return Status::InvalidArgument("unknown month name '" +
+                                 std::string(month_name) + "'");
+}
+
+Result<std::string> MonthName(int month_number) {
+  if (month_number < 1 || month_number > 12) {
+    return Status::InvalidArgument("month number out of range: " +
+                                   std::to_string(month_number));
+  }
+  return std::string(kMonths[static_cast<size_t>(month_number) - 1].full);
+}
+
+Result<int64_t> EncodeDay(std::string_view day) {
+  // Format: "<Month>/<day-of-month>".
+  size_t slash = day.find('/');
+  if (slash == std::string_view::npos) {
+    return Status::InvalidArgument("day must be '<Month>/<d>': '" +
+                                   std::string(day) + "'");
+  }
+  MDQA_ASSIGN_OR_RETURN(int month, MonthNumber(day.substr(0, slash)));
+  MDQA_ASSIGN_OR_RETURN(int dom,
+                        ParseInt(day.substr(slash + 1), "day of month"));
+  int max_days = kMonths[static_cast<size_t>(month) - 1].days;
+  if (dom < 1 || dom > max_days) {
+    return Status::InvalidArgument("day of month out of range in '" +
+                                   std::string(day) + "'");
+  }
+  int64_t days_before = 0;
+  for (int m = 1; m < month; ++m) {
+    days_before += kMonths[static_cast<size_t>(m) - 1].days;
+  }
+  return (days_before + dom - 1) * int64_t{24} * 60;
+}
+
+Result<int64_t> EncodeClock(std::string_view clock) {
+  // Format: "<Month>/<d>-<hh>:<mm>".
+  size_t dash = clock.find('-');
+  if (dash == std::string_view::npos) {
+    return Status::InvalidArgument("clock must be '<Month>/<d>-<hh>:<mm>': '" +
+                                   std::string(clock) + "'");
+  }
+  MDQA_ASSIGN_OR_RETURN(int64_t day_min, EncodeDay(clock.substr(0, dash)));
+  std::string_view hm = clock.substr(dash + 1);
+  size_t colon = hm.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("missing ':' in clock '" +
+                                   std::string(clock) + "'");
+  }
+  MDQA_ASSIGN_OR_RETURN(int hh, ParseInt(hm.substr(0, colon), "hour"));
+  MDQA_ASSIGN_OR_RETURN(int mm, ParseInt(hm.substr(colon + 1), "minute"));
+  if (hh < 0 || hh > 23 || mm < 0 || mm > 59) {
+    return Status::InvalidArgument("clock out of range in '" +
+                                   std::string(clock) + "'");
+  }
+  return day_min + hh * 60 + mm;
+}
+
+Result<std::string> DayOfClock(std::string_view clock) {
+  size_t dash = clock.find('-');
+  if (dash == std::string_view::npos) {
+    return Status::InvalidArgument("clock must contain '-': '" +
+                                   std::string(clock) + "'");
+  }
+  // Validate the day part before returning it.
+  MDQA_RETURN_IF_ERROR(EncodeDay(clock.substr(0, dash)).status());
+  return std::string(clock.substr(0, dash));
+}
+
+Result<std::string> MonthOfDay(std::string_view day, int year) {
+  size_t slash = day.find('/');
+  if (slash == std::string_view::npos) {
+    return Status::InvalidArgument("day must be '<Month>/<d>': '" +
+                                   std::string(day) + "'");
+  }
+  MDQA_ASSIGN_OR_RETURN(int month, MonthNumber(day.substr(0, slash)));
+  MDQA_ASSIGN_OR_RETURN(std::string name, MonthName(month));
+  return name + "/" + std::to_string(year);
+}
+
+Result<Dimension> BuildTimeDimension(const std::string& name, int year,
+                                     const std::vector<std::string>& days,
+                                     const std::vector<std::string>& instants) {
+  DimensionBuilder b(name);
+  const bool with_instants = !instants.empty();
+  if (with_instants) b.Category("Time");
+  const std::string all = "All" + name;
+  b.Category("Day").Category("Month").Category("Year").Category(all);
+  if (with_instants) b.Edge("Time", "Day");
+  b.Edge("Day", "Month").Edge("Month", "Year").Edge("Year", all);
+
+  const std::string year_label = std::to_string(year);
+  b.Member("Year", year_label).Member(all, "all" + name);
+  b.Link(year_label, "all" + name);
+
+  std::set<std::string> day_set;
+  std::set<std::string> months_seen;
+  for (const std::string& day : days) {
+    // Validate the label eagerly so bad input fails with a clear message.
+    MDQA_RETURN_IF_ERROR(EncodeDay(day).status());
+    if (!day_set.insert(day).second) continue;
+    MDQA_ASSIGN_OR_RETURN(std::string month, MonthOfDay(day, year));
+    if (months_seen.insert(month).second) {
+      b.Member("Month", month).Link(month, year_label);
+    }
+    b.Member("Day", day).Link(day, month);
+  }
+  for (const std::string& instant : instants) {
+    MDQA_RETURN_IF_ERROR(EncodeClock(instant).status());
+    MDQA_ASSIGN_OR_RETURN(std::string day, DayOfClock(instant));
+    if (day_set.count(day) == 0) {
+      return Status::InvalidArgument("instant '" + instant +
+                                     "' falls on day '" + day +
+                                     "' which is not in `days`");
+    }
+    b.Member("Time", instant).Link(instant, day);
+  }
+  Dimension::Options options;
+  options.require_strict = true;
+  return b.Build(options);
+}
+
+}  // namespace mdqa::md

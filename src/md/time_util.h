@@ -1,0 +1,59 @@
+#ifndef MDQA_MD_TIME_UTIL_H_
+#define MDQA_MD_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace mdqa::md {
+
+/// Helpers for the paper's timestamp notation. Table I writes instants as
+/// `Sep/5-12:10` and the Time dimension uses days (`Sep/5`), months
+/// (`September/2005`), and years. We keep those strings as dimension
+/// members (labels) and encode instants as *minutes since Jan/1 00:00 of
+/// a fixed non-leap reference year* for order comparisons in queries —
+/// the doctor's "around noon" window becomes an integer range.
+///
+/// Month names accept both the three-letter (`Sep`) and full
+/// (`September`) English spellings.
+
+/// `Sep/5-12:10` → minutes since Jan/1 00:00.
+Result<int64_t> EncodeClock(std::string_view clock);
+
+/// `Sep/5` → minutes since Jan/1 00:00 of that day's midnight.
+Result<int64_t> EncodeDay(std::string_view day);
+
+/// Day label of an instant: `Sep/5-12:10` → `Sep/5`.
+Result<std::string> DayOfClock(std::string_view clock);
+
+/// Month label of a day with an explicit year: `Sep/5` →
+/// `September/2005` for year 2005 (the paper's convention).
+Result<std::string> MonthOfDay(std::string_view day, int year);
+
+/// 1..12 for a month name (`Sep`, `September`), or InvalidArgument.
+Result<int> MonthNumber(std::string_view month_name);
+
+/// Full English name for a 1..12 month number.
+Result<std::string> MonthName(int month_number);
+
+class Dimension;  // dimension.h
+
+/// Builds a Time dimension in the paper's shape from day labels:
+///
+///   [Time →] Day → Month → Year → All<name>
+///
+/// `days` are labels like `Sep/5`; their months (`September/<year>`) and
+/// the year are derived and linked automatically. `instants` (labels
+/// like `Sep/5-12:10`) become members of a bottom `Time` category linked
+/// to their day, which must appear in `days`. The built dimension is
+/// checked strict.
+Result<Dimension> BuildTimeDimension(const std::string& name, int year,
+                                     const std::vector<std::string>& days,
+                                     const std::vector<std::string>& instants);
+
+}  // namespace mdqa::md
+
+#endif  // MDQA_MD_TIME_UTIL_H_

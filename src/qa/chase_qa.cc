@@ -1,0 +1,59 @@
+#include "qa/chase_qa.h"
+
+namespace mdqa::qa {
+
+using datalog::Chase;
+using datalog::ChaseOptions;
+using datalog::ChaseStats;
+using datalog::ConjunctiveQuery;
+using datalog::CqEvaluator;
+using datalog::Instance;
+using datalog::Program;
+using datalog::Term;
+
+Result<ChaseQa> ChaseQa::Create(const Program& program,
+                                const ChaseOptions& options) {
+  Instance instance = Instance::FromProgram(program);
+  MDQA_ASSIGN_OR_RETURN(ChaseStats stats,
+                        Chase::Run(program, &instance, options));
+  return ChaseQa(program, options, std::move(instance), stats);
+}
+
+Result<ChaseStats> ChaseQa::AddFactsAndRechase(
+    const std::vector<datalog::Atom>& facts) {
+  for (const datalog::Atom& f : facts) {
+    if (!f.IsGround()) {
+      return Status::InvalidArgument("new facts must be ground");
+    }
+    instance_.AddFact(f, /*level=*/0);
+  }
+  MDQA_ASSIGN_OR_RETURN(ChaseStats stats,
+                        Chase::Run(program_, &instance_, options_));
+  stats_ = stats;
+  return stats;
+}
+
+Result<std::vector<std::vector<Term>>> ChaseQa::Answers(
+    const ConjunctiveQuery& query) const {
+  CqEvaluator eval(instance_);
+  MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> all,
+                        eval.Answers(query));
+  std::vector<std::vector<Term>> certain;
+  for (std::vector<Term>& t : all) {
+    if (!CqEvaluator::HasNull(t)) certain.push_back(std::move(t));
+  }
+  return certain;
+}
+
+Result<std::vector<std::vector<Term>>> ChaseQa::PossibleAnswers(
+    const ConjunctiveQuery& query) const {
+  CqEvaluator eval(instance_);
+  return eval.Answers(query);
+}
+
+Result<bool> ChaseQa::AnswerBoolean(const ConjunctiveQuery& query) const {
+  CqEvaluator eval(instance_);
+  return eval.AnswerBoolean(query);
+}
+
+}  // namespace mdqa::qa

@@ -1,0 +1,62 @@
+#ifndef MDQA_QA_CHASE_QA_H_
+#define MDQA_QA_CHASE_QA_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/chase.h"
+#include "datalog/cq_eval.h"
+
+namespace mdqa::qa {
+
+/// Materialization-based certain-answer engine: runs the (restricted,
+/// possibly level-bounded) chase of the program over its extensional data
+/// once, then evaluates conjunctive queries against the chased instance.
+/// Certain answers are the null-free tuples — sound and, for weakly-sticky
+/// programs chased deep enough for the query at hand, complete (the paper's
+/// §IV tractability claim; `ChaseOptions::max_rounds` is the level bound).
+class ChaseQa {
+ public:
+  static Result<ChaseQa> Create(
+      const datalog::Program& program,
+      const datalog::ChaseOptions& options = datalog::ChaseOptions());
+
+  /// Adds new extensional facts and re-chases the existing materialized
+  /// instance (facts already derived are kept; the restricted chase
+  /// skips satisfied heads, so only consequences of the new facts are
+  /// actually computed). The common data-quality workflow: today's
+  /// measurements arrive, yesterday's materialization stays warm.
+  Result<datalog::ChaseStats> AddFactsAndRechase(
+      const std::vector<datalog::Atom>& facts);
+
+  /// Certain answers: null-free tuples only.
+  Result<std::vector<std::vector<datalog::Term>>> Answers(
+      const datalog::ConjunctiveQuery& query) const;
+
+  /// All homomorphic answers, including tuples with labeled nulls
+  /// (the "possible answers" view used for form-(10) disjunctive data).
+  Result<std::vector<std::vector<datalog::Term>>> PossibleAnswers(
+      const datalog::ConjunctiveQuery& query) const;
+
+  Result<bool> AnswerBoolean(const datalog::ConjunctiveQuery& query) const;
+
+  const datalog::Instance& instance() const { return instance_; }
+  const datalog::ChaseStats& stats() const { return stats_; }
+
+ private:
+  ChaseQa(datalog::Program program, datalog::ChaseOptions options,
+          datalog::Instance instance, datalog::ChaseStats stats)
+      : program_(std::move(program)),
+        options_(options),
+        instance_(std::move(instance)),
+        stats_(stats) {}
+
+  datalog::Program program_;  // kept for incremental re-chasing
+  datalog::ChaseOptions options_;
+  datalog::Instance instance_;
+  datalog::ChaseStats stats_;
+};
+
+}  // namespace mdqa::qa
+
+#endif  // MDQA_QA_CHASE_QA_H_

@@ -1,0 +1,130 @@
+#include "qa/engines.h"
+
+#include <algorithm>
+
+namespace mdqa::qa {
+
+using datalog::ConjunctiveQuery;
+using datalog::Instance;
+using datalog::Program;
+using datalog::Term;
+using datalog::Vocabulary;
+
+const char* EngineToString(Engine e) {
+  switch (e) {
+    case Engine::kChase:
+      return "chase";
+    case Engine::kDeterministicWs:
+      return "deterministic-ws";
+    case Engine::kRewriting:
+      return "rewriting";
+  }
+  return "?";
+}
+
+AnswerSet AnswerSet::Of(std::vector<std::vector<Term>> raw) {
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  return AnswerSet{std::move(raw)};
+}
+
+bool AnswerSet::Contains(const std::vector<Term>& t) const {
+  return std::binary_search(tuples.begin(), tuples.end(), t);
+}
+
+std::string AnswerSet::ToString(const Vocabulary& vocab) const {
+  std::string out = "{";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    for (size_t j = 0; j < tuples[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += vocab.TermToString(tuples[i][j]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+Result<Relation> AnswerSet::ToRelation(
+    const Vocabulary& vocab, const std::string& name,
+    std::vector<std::string> attr_names) const {
+  const size_t arity = tuples.empty() ? attr_names.size() : tuples[0].size();
+  if (attr_names.empty()) {
+    for (size_t i = 0; i < arity; ++i) {
+      attr_names.push_back("a" + std::to_string(i));
+    }
+  }
+  if (attr_names.size() != arity && !tuples.empty()) {
+    return Status::InvalidArgument(
+        "attribute-name count does not match answer arity");
+  }
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(name, attr_names));
+  Relation out(std::move(schema));
+  for (const std::vector<Term>& t : tuples) {
+    Tuple row;
+    row.reserve(t.size());
+    for (Term term : t) {
+      row.push_back(term.IsConstant()
+                        ? vocab.ConstantValue(term.id())
+                        : Value::Str(vocab.TermToString(term)));
+    }
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<AnswerSet> Answer(Engine engine, const Program& program,
+                         const ConjunctiveQuery& query) {
+  switch (engine) {
+    case Engine::kChase: {
+      // Pure query answering: negative constraints are a consistency
+      // concern reported by quality::Assessor, and the other engines do
+      // not evaluate them either.
+      datalog::ChaseOptions options;
+      options.check_constraints = false;
+      MDQA_ASSIGN_OR_RETURN(ChaseQa qa, ChaseQa::Create(program, options));
+      MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
+                            qa.Answers(query));
+      return AnswerSet::Of(std::move(tuples));
+    }
+    case Engine::kDeterministicWs: {
+      DeterministicWsQa qa(program);
+      MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
+                            qa.Answers(query));
+      return AnswerSet::Of(std::move(tuples));
+    }
+    case Engine::kRewriting: {
+      Instance edb = Instance::FromProgram(program);
+      MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
+                            UcqRewriter::Answers(program, edb, query));
+      return AnswerSet::Of(std::move(tuples));
+    }
+  }
+  return Status::InvalidArgument("unknown engine");
+}
+
+Result<AnswerSet> CrossCheck(const Program& program,
+                             const ConjunctiveQuery& query,
+                             const std::vector<Engine>& engines) {
+  if (engines.empty()) {
+    return Status::InvalidArgument("CrossCheck needs at least one engine");
+  }
+  MDQA_ASSIGN_OR_RETURN(AnswerSet reference, Answer(engines[0], program, query));
+  for (size_t i = 1; i < engines.size(); ++i) {
+    MDQA_ASSIGN_OR_RETURN(AnswerSet other, Answer(engines[i], program, query));
+    if (other != reference) {
+      const Vocabulary& vocab = *program.vocab();
+      return Status::Internal(
+          std::string("engine disagreement on query ") +
+          vocab.QueryToString(query) + ": " + EngineToString(engines[0]) +
+          " = " + reference.ToString(vocab) + " vs " +
+          EngineToString(engines[i]) + " = " + other.ToString(vocab));
+    }
+  }
+  return reference;
+}
+
+}  // namespace mdqa::qa

@@ -1,0 +1,65 @@
+#ifndef MDQA_QA_ENGINES_H_
+#define MDQA_QA_ENGINES_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "qa/chase_qa.h"
+#include "qa/deterministic_ws.h"
+#include "qa/rewriter.h"
+
+namespace mdqa::qa {
+
+/// The three query-answering strategies of the paper's §IV.
+enum class Engine {
+  kChase,            ///< materialize the chase, evaluate on it
+  kDeterministicWs,  ///< top-down proof-schema search (DeterministicWSQAns)
+  kRewriting,        ///< FO/UCQ rewriting, evaluated on the raw EDB
+};
+
+const char* EngineToString(Engine e);
+
+/// A set of certain-answer tuples in canonical (sorted, deduplicated)
+/// form, so answer sets from different engines compare with ==.
+struct AnswerSet {
+  std::vector<std::vector<datalog::Term>> tuples;
+
+  static AnswerSet Of(std::vector<std::vector<datalog::Term>> raw);
+
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+  bool Contains(const std::vector<datalog::Term>& t) const;
+
+  friend bool operator==(const AnswerSet& a, const AnswerSet& b) {
+    return a.tuples == b.tuples;
+  }
+  friend bool operator!=(const AnswerSet& a, const AnswerSet& b) {
+    return !(a == b);
+  }
+
+  /// `{(a, b), (c, d)}` rendered through `vocab`.
+  std::string ToString(const datalog::Vocabulary& vocab) const;
+
+  /// Materializes the answers as a relation named `name` with the given
+  /// attribute names (a0..aN-1 when empty). Labeled nulls render as
+  /// their display strings.
+  Result<Relation> ToRelation(const datalog::Vocabulary& vocab,
+                              const std::string& name,
+                              std::vector<std::string> attr_names) const;
+};
+
+/// Uniform entry point over the three engines (certain answers).
+Result<AnswerSet> Answer(Engine engine, const datalog::Program& program,
+                         const datalog::ConjunctiveQuery& query);
+
+/// Runs `query` through every engine in `engines` and fails with
+/// kInternal (showing both answer sets) on the first disagreement —
+/// the property-test harness for engine agreement.
+Result<AnswerSet> CrossCheck(const datalog::Program& program,
+                             const datalog::ConjunctiveQuery& query,
+                             const std::vector<Engine>& engines);
+
+}  // namespace mdqa::qa
+
+#endif  // MDQA_QA_ENGINES_H_

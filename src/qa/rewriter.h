@@ -1,0 +1,67 @@
+#ifndef MDQA_QA_REWRITER_H_
+#define MDQA_QA_REWRITER_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/cq_eval.h"
+#include "datalog/instance.h"
+
+namespace mdqa::qa {
+
+struct RewriteOptions {
+  /// Caps on the generated UCQ and on rewrite iterations; exceeding either
+  /// fails with kResourceExhausted (the input was not FO-rewritable in
+  /// budget — e.g. a recursive rule set).
+  size_t max_queries = 20'000;
+  size_t max_iterations = 100'000;
+};
+
+struct RewriteStats {
+  size_t generated = 0;   ///< CQs produced (before dedup)
+  size_t kept = 0;        ///< CQs in the final UCQ
+  size_t iterations = 0;
+};
+
+/// Backward-chaining UCQ rewriting (PerfectRef/XRewrite style) for the
+/// paper's §IV claim: *upward-only* MD ontologies admit first-order
+/// rewritings evaluable directly on the extensional database. Starting
+/// from the input CQ, every atom unifiable with a TGD head is replaced by
+/// the TGD body under the unifier, subject to the standard applicability
+/// condition: a term unified with an existential head variable must be a
+/// non-answer, non-shared variable (otherwise the resolution cannot be
+/// sound). A factorization step merges unifiable same-predicate atoms to
+/// keep the procedure complete in the presence of existentials. Results
+/// are canonicalized and deduplicated.
+///
+/// The procedure works for any TGD set with single-atom heads; it simply
+/// may not terminate within budget when the program is recursive — which
+/// is why the ontology layer gates it on `OntologyProperties::upward_only`
+/// (upward navigation strictly descends the finite category DAG, so the
+/// rewriting terminates).
+class UcqRewriter {
+ public:
+  /// Rewrites `query` against `program`'s TGDs into a UCQ over the
+  /// extensional predicates.
+  static Result<std::vector<datalog::ConjunctiveQuery>> Rewrite(
+      const datalog::Program& program, const datalog::ConjunctiveQuery& query,
+      const RewriteOptions& options, RewriteStats* stats);
+
+  static Result<std::vector<datalog::ConjunctiveQuery>> Rewrite(
+      const datalog::Program& program,
+      const datalog::ConjunctiveQuery& query) {
+    RewriteStats stats;
+    return Rewrite(program, query, RewriteOptions{}, &stats);
+  }
+
+  /// Rewrites and evaluates over `edb` (which must NOT be chased —
+  /// that is the point), returning certain answers.
+  static Result<std::vector<std::vector<datalog::Term>>> Answers(
+      const datalog::Program& program, const datalog::Instance& edb,
+      const datalog::ConjunctiveQuery& query,
+      const RewriteOptions& options = RewriteOptions());
+};
+
+}  // namespace mdqa::qa
+
+#endif  // MDQA_QA_REWRITER_H_

@@ -1,0 +1,101 @@
+#include "quality/assessor.h"
+
+#include <cstdio>
+
+#include "base/json.h"
+#include "datalog/chase.h"
+
+namespace mdqa::quality {
+
+std::string AssessmentReport::ToString() const {
+  std::string out = "=== quality assessment report ===\n";
+  out += "referential (form (1)): " + referential_check.ToString() + "\n";
+  out += "dimensional constraints: " + constraint_check.ToString() + "\n";
+  for (const QualityMeasures& m : per_relation) {
+    out += "  " + m.ToString() + "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "overall precision: %.3f\n",
+                overall_precision);
+  out += buf;
+  return out;
+}
+
+std::string AssessmentReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("referential_check").String(referential_check.ToString());
+  w.Key("constraint_check").String(constraint_check.ToString());
+  w.Key("overall_precision").Number(overall_precision);
+  w.Key("relations").BeginArray();
+  for (size_t i = 0; i < per_relation.size(); ++i) {
+    const QualityMeasures& m = per_relation[i];
+    w.BeginObject();
+    w.Key("relation").String(m.relation);
+    w.Key("original_size").Number(m.original_size);
+    w.Key("quality_size").Number(m.quality_size);
+    w.Key("common").Number(m.common);
+    w.Key("precision").Number(m.precision);
+    w.Key("recall").Number(m.recall);
+    w.Key("f1").Number(m.f1);
+    w.Key("dirty_tuples").BeginArray();
+    if (i < dirty_tuples.size()) {
+      for (const Tuple& row : dirty_tuples[i].SortedRows()) {
+        w.BeginArray();
+        for (const Value& v : row) w.String(v.ToString());
+        w.EndArray();
+      }
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<AssessmentReport> Assessor::Assess(qa::Engine engine) const {
+  AssessmentReport report;
+  report.referential_check = context_->ontology().ValidateReferential();
+
+  // One materialization serves both the constraint check and (when the
+  // data is consistent and the default engine is in use) every quality
+  // version below. An Inconsistent status is a finding, not a failure of
+  // the assessment itself.
+  Result<PreparedContext> prepared = context_->Prepare();
+  if (!prepared.ok() &&
+      prepared.status().code() != StatusCode::kInconsistent) {
+    return prepared.status();  // real failure (budget, validation, ...)
+  }
+  report.constraint_check =
+      prepared.ok() ? Status::Ok() : prepared.status();
+
+  const bool use_prepared = prepared.ok() && engine == qa::Engine::kChase;
+  size_t total_original = 0;
+  size_t total_common = 0;
+  for (const std::string& name : context_->AssessedRelations()) {
+    MDQA_ASSIGN_OR_RETURN(const Relation* original,
+                          context_->database().GetRelation(name));
+    Relation quality = *original;  // placeholder; overwritten below
+    if (use_prepared) {
+      MDQA_ASSIGN_OR_RETURN(quality, prepared->QualityVersion(name));
+    } else {
+      MDQA_ASSIGN_OR_RETURN(quality,
+                            context_->ComputeQualityVersion(name, engine));
+    }
+    MDQA_ASSIGN_OR_RETURN(QualityMeasures m, Measure(*original, quality));
+    MDQA_ASSIGN_OR_RETURN(Relation dirty, original->Minus(quality));
+    total_original += m.original_size;
+    total_common += m.common;
+    report.per_relation.push_back(std::move(m));
+    report.quality_versions.push_back(std::move(quality));
+    report.dirty_tuples.push_back(std::move(dirty));
+  }
+  report.overall_precision =
+      total_original == 0 ? 1.0
+                          : static_cast<double>(total_common) /
+                                static_cast<double>(total_original);
+  return report;
+}
+
+}  // namespace mdqa::quality

@@ -1,0 +1,54 @@
+#ifndef MDQA_QUALITY_ASSESSOR_H_
+#define MDQA_QUALITY_ASSESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "quality/context.h"
+#include "quality/measures.h"
+
+namespace mdqa::quality {
+
+/// A full assessment of the database under a context: per-relation quality
+/// versions and measures, plus validation results.
+struct AssessmentReport {
+  /// One entry per relation with a defined quality version.
+  std::vector<QualityMeasures> per_relation;
+  /// Computed quality versions, parallel to `per_relation`.
+  std::vector<Relation> quality_versions;
+  /// The dirty tuples per relation (D \ D^q), parallel to `per_relation`
+  /// — the rows a cleaning pass would flag for review.
+  std::vector<Relation> dirty_tuples;
+  /// Micro-averaged precision over all assessed relations.
+  double overall_precision = 1.0;
+  /// Outcome of the ontology's dimensional constraints against the
+  /// contextual data (OK, or the first kInconsistent witness).
+  Status constraint_check;
+  /// Outcome of the form-(1) referential validation.
+  Status referential_check;
+
+  std::string ToString() const;
+
+  /// Machine-readable form: checks, per-relation measures, and the dirty
+  /// tuples (as arrays of display strings) — for dashboards/monitoring.
+  std::string ToJson() const;
+};
+
+/// Drives the Fig. 2 pipeline end to end: validates the ontology, runs
+/// constraint checks, computes every registered quality version, and
+/// measures each original relation against it.
+class Assessor {
+ public:
+  explicit Assessor(const QualityContext* context) : context_(context) {}
+
+  Result<AssessmentReport> Assess(
+      qa::Engine engine = qa::Engine::kChase) const;
+
+ private:
+  const QualityContext* context_;
+};
+
+}  // namespace mdqa::quality
+
+#endif  // MDQA_QUALITY_ASSESSOR_H_

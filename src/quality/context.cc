@@ -1,0 +1,329 @@
+#include "quality/context.h"
+
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "datalog/provenance.h"
+#include "datalog/whynot.h"
+
+namespace mdqa::quality {
+
+using datalog::Atom;
+using datalog::ConjunctiveQuery;
+using datalog::Parser;
+using datalog::Program;
+using datalog::Term;
+using datalog::Vocabulary;
+
+QualityContext::QualityContext(std::shared_ptr<core::MdOntology> ontology)
+    : ontology_(std::move(ontology)) {}
+
+Status QualityContext::SetDatabase(Database database) {
+  for (const std::string& name : database.RelationNames()) {
+    if (ontology_->HasPredicate(name)) {
+      return Status::InvalidArgument(
+          "relation '" + name +
+          "' collides with a dimensional predicate of the ontology; map it "
+          "under a different name");
+    }
+    MDQA_ASSIGN_OR_RETURN(const Relation* rel, database.GetRelation(name));
+    database_.PutRelation(*rel);
+  }
+  return Status::Ok();
+}
+
+Status QualityContext::MapRelationToContext(const std::string& original,
+                                            const std::string& contextual) {
+  MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
+  std::string head = contextual + "(";
+  std::string body = original + "(";
+  for (size_t i = 0; i < rel->arity(); ++i) {
+    if (i > 0) {
+      head += ", ";
+      body += ", ";
+    }
+    head += "X" + std::to_string(i);
+    body += "X" + std::to_string(i);
+  }
+  context_rules_ += head + ") :- " + body + ").\n";
+  mappings_.emplace_back(original, contextual);
+  return Status::Ok();
+}
+
+Status QualityContext::MapRelationAsFootprint(const std::string& original,
+                                              const std::string& contextual,
+                                              size_t extra_attributes) {
+  MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
+  std::string head = contextual + "(";
+  std::string body = original + "(";
+  for (size_t i = 0; i < rel->arity(); ++i) {
+    if (i > 0) {
+      head += ", ";
+      body += ", ";
+    }
+    head += "X" + std::to_string(i);
+    body += "X" + std::to_string(i);
+  }
+  for (size_t i = 0; i < extra_attributes; ++i) {
+    head += ", Z" + std::to_string(i);  // existential: not in the body
+  }
+  context_rules_ += head + ") :- " + body + ").\n";
+  mappings_.emplace_back(original, contextual);
+  return Status::Ok();
+}
+
+Status QualityContext::AddContextualRules(const std::string& text) {
+  // Validate eagerly against a scratch program so errors surface at add
+  // time with the offending text, not at BuildProgram.
+  Program scratch(ontology_->vocab());
+  MDQA_RETURN_IF_ERROR(Parser::ParseInto(text, &scratch));
+  context_rules_ += text;
+  context_rules_ += '\n';
+  return Status::Ok();
+}
+
+Status QualityContext::DefineQualityVersion(const std::string& original,
+                                            const std::string& quality_pred,
+                                            const std::string& rules_text) {
+  if (!database_.HasRelation(original)) {
+    return Status::NotFound("no relation '" + original +
+                            "' in the database under assessment");
+  }
+  auto it = quality_of_.find(original);
+  if (it != quality_of_.end()) {
+    return Status::AlreadyExists("quality version of '" + original +
+                                 "' already defined as '" + it->second + "'");
+  }
+  MDQA_RETURN_IF_ERROR(AddContextualRules(rules_text));
+  quality_of_.emplace(original, quality_pred);
+  return Status::Ok();
+}
+
+Result<std::string> QualityContext::QualityPredicateOf(
+    const std::string& original) const {
+  auto it = quality_of_.find(original);
+  if (it == quality_of_.end()) {
+    return Status::NotFound("no quality version defined for '" + original +
+                            "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> QualityContext::AssessedRelations() const {
+  std::vector<std::string> out;
+  for (const auto& [original, _] : quality_of_) out.push_back(original);
+  return out;
+}
+
+Result<Program> QualityContext::BuildProgram() const {
+  MDQA_ASSIGN_OR_RETURN(Program program, ontology_->Compile());
+  Vocabulary* vocab = program.mutable_vocab();
+  // Original instance D, under its own relation names.
+  for (const std::string& name : database_.RelationNames()) {
+    MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(name));
+    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                          vocab->InternPredicate(name, rel->arity()));
+    for (const Tuple& row : rel->rows()) {
+      std::vector<Term> terms;
+      terms.reserve(row.size());
+      for (const Value& v : row) terms.push_back(vocab->Const(v));
+      MDQA_RETURN_IF_ERROR(program.AddFact(Atom(pred, std::move(terms))));
+    }
+  }
+  // Mapping, contextual, and quality rules.
+  MDQA_RETURN_IF_ERROR(Parser::ParseInto(context_rules_, &program));
+  return program;
+}
+
+Result<Relation> QualityContext::ComputeQualityVersion(
+    const std::string& original, qa::Engine engine) const {
+  MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
+  MDQA_ASSIGN_OR_RETURN(std::string quality_pred,
+                        QualityPredicateOf(original));
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  Vocabulary* vocab = program.mutable_vocab();
+  MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                        vocab->InternPredicate(quality_pred, rel->arity()));
+
+  ConjunctiveQuery query;
+  query.name = quality_pred;
+  std::vector<Term> vars;
+  for (size_t i = 0; i < rel->arity(); ++i) {
+    vars.push_back(vocab->Var("$q" + std::to_string(i)));
+  }
+  query.answer = vars;
+  query.body.push_back(Atom(pred, vars));
+
+  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers,
+                        qa::Answer(engine, program, query));
+
+  // Same schema as the original, renamed to the quality predicate.
+  std::vector<Attribute> attrs = rel->schema().attributes();
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(quality_pred, attrs));
+  Relation out(std::move(schema));
+  for (const std::vector<Term>& t : answers.tuples) {
+    Tuple row;
+    row.reserve(t.size());
+    for (Term term : t) row.push_back(vocab->ConstantValue(term.id()));
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<qa::AnswerSet> QualityContext::CleanAnswers(
+    const std::string& query_text, qa::Engine engine) const {
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  Vocabulary* vocab = program.mutable_vocab();
+  MDQA_ASSIGN_OR_RETURN(ConjunctiveQuery query,
+                        Parser::ParseQuery(query_text, vocab));
+  // Q -> Q^q: swap original predicates for their quality versions.
+  for (Atom& a : query.body) {
+    const std::string& pred_name = vocab->PredicateName(a.predicate);
+    auto it = quality_of_.find(pred_name);
+    if (it == quality_of_.end()) continue;
+    MDQA_ASSIGN_OR_RETURN(uint32_t q_pred,
+                          vocab->InternPredicate(it->second, a.arity()));
+    a.predicate = q_pred;
+  }
+  return qa::Answer(engine, program, query);
+}
+
+Result<std::string> QualityContext::ExplainQualityTuple(
+    const std::string& original, const Tuple& tuple) const {
+  MDQA_ASSIGN_OR_RETURN(std::string quality_pred,
+                        QualityPredicateOf(original));
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  Vocabulary* vocab = program.mutable_vocab();
+  MDQA_ASSIGN_OR_RETURN(
+      uint32_t pred, vocab->InternPredicate(quality_pred, tuple.size()));
+
+  datalog::ProvenanceStore provenance;
+  datalog::ChaseOptions options;
+  options.provenance = &provenance;
+  options.check_constraints = false;
+  datalog::Instance instance = datalog::Instance::FromProgram(program);
+  MDQA_RETURN_IF_ERROR(
+      datalog::Chase::Run(program, &instance, options).status());
+
+  std::vector<Term> terms;
+  terms.reserve(tuple.size());
+  for (const Value& v : tuple) terms.push_back(vocab->Const(v));
+  Atom fact(pred, std::move(terms));
+  if (!instance.Contains(fact)) {
+    return Status::NotFound("tuple is not in the quality version " +
+                            quality_pred);
+  }
+  return provenance.Explain(fact, *vocab);
+}
+
+Result<std::string> QualityContext::ExplainDirtyTuple(
+    const std::string& original, const Tuple& tuple) const {
+  MDQA_ASSIGN_OR_RETURN(std::string quality_pred,
+                        QualityPredicateOf(original));
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  Vocabulary* vocab = program.mutable_vocab();
+  MDQA_ASSIGN_OR_RETURN(
+      uint32_t pred, vocab->InternPredicate(quality_pred, tuple.size()));
+
+  datalog::ChaseOptions options;
+  options.check_constraints = false;
+  datalog::Instance instance = datalog::Instance::FromProgram(program);
+  MDQA_RETURN_IF_ERROR(
+      datalog::Chase::Run(program, &instance, options).status());
+
+  std::vector<Term> terms;
+  terms.reserve(tuple.size());
+  for (const Value& v : tuple) terms.push_back(vocab->Const(v));
+  Atom fact(pred, std::move(terms));
+  MDQA_ASSIGN_OR_RETURN(datalog::WhyNotReport report,
+                        datalog::ExplainAbsence(program, instance, fact));
+  if (report.present) {
+    return Status::FailedPrecondition(
+        "tuple IS a quality tuple; use ExplainQualityTuple");
+  }
+  return vocab->AtomToString(fact) + " is not derivable:\n" +
+         report.ToString();
+}
+
+Result<qa::AnswerSet> QualityContext::RawAnswers(const std::string& query_text,
+                                                 qa::Engine engine) const {
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  MDQA_ASSIGN_OR_RETURN(
+      ConjunctiveQuery query,
+      Parser::ParseQuery(query_text, program.mutable_vocab()));
+  return qa::Answer(engine, program, query);
+}
+
+Result<PreparedContext> QualityContext::Prepare() const {
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased, qa::ChaseQa::Create(program));
+  return PreparedContext(quality_of_, database_, std::move(program),
+                         std::move(chased));
+}
+
+Result<qa::AnswerSet> PreparedContext::Evaluate(
+    datalog::ConjunctiveQuery query) const {
+  MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
+                        chased_.Answers(query));
+  return qa::AnswerSet::Of(std::move(tuples));
+}
+
+Result<qa::AnswerSet> PreparedContext::RawAnswers(
+    const std::string& query_text) const {
+  MDQA_ASSIGN_OR_RETURN(
+      ConjunctiveQuery query,
+      Parser::ParseQuery(query_text, program_.vocab().get()));
+  return Evaluate(std::move(query));
+}
+
+Result<qa::AnswerSet> PreparedContext::CleanAnswers(
+    const std::string& query_text) const {
+  Vocabulary* vocab = program_.vocab().get();
+  MDQA_ASSIGN_OR_RETURN(ConjunctiveQuery query,
+                        Parser::ParseQuery(query_text, vocab));
+  for (Atom& a : query.body) {
+    const std::string& pred_name = vocab->PredicateName(a.predicate);
+    auto it = quality_of_.find(pred_name);
+    if (it == quality_of_.end()) continue;
+    MDQA_ASSIGN_OR_RETURN(uint32_t q_pred,
+                          vocab->InternPredicate(it->second, a.arity()));
+    a.predicate = q_pred;
+  }
+  return Evaluate(std::move(query));
+}
+
+Result<Relation> PreparedContext::QualityVersion(
+    const std::string& original) const {
+  auto it = quality_of_.find(original);
+  if (it == quality_of_.end()) {
+    return Status::NotFound("no quality version defined for '" + original +
+                            "'");
+  }
+  MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
+  Vocabulary* vocab = program_.vocab().get();
+  MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                        vocab->InternPredicate(it->second, rel->arity()));
+  ConjunctiveQuery query;
+  query.name = it->second;
+  std::vector<Term> vars;
+  for (size_t i = 0; i < rel->arity(); ++i) {
+    vars.push_back(vocab->Var("$q" + std::to_string(i)));
+  }
+  query.answer = vars;
+  query.body.push_back(Atom(pred, vars));
+  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers, Evaluate(std::move(query)));
+
+  std::vector<Attribute> attrs = rel->schema().attributes();
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(it->second, attrs));
+  Relation out(std::move(schema));
+  for (const std::vector<Term>& t : answers.tuples) {
+    Tuple row;
+    row.reserve(t.size());
+    for (Term term : t) row.push_back(vocab->ConstantValue(term.id()));
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace mdqa::quality

@@ -1,0 +1,168 @@
+#ifndef MDQA_QUALITY_CONTEXT_H_
+#define MDQA_QUALITY_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/md_ontology.h"
+#include "datalog/program.h"
+#include "qa/engines.h"
+#include "relational/database.h"
+
+namespace mdqa::quality {
+
+class PreparedContext;
+
+/// The paper's context for data quality assessment (Fig. 2): the original
+/// instance `D` is mapped into a contextual schema `C` that embeds the MD
+/// ontology `M`, contextual predicates, and quality predicates `P_i`;
+/// quality versions `S^q` of the original relations are defined by rules
+/// imposing the quality conditions, and queries over the original schema
+/// are rewritten to their quality versions (`Q → Q^q`) — clean query
+/// answering through dimensional navigation.
+///
+/// Everything shares the ontology's vocabulary; contextual and quality
+/// rules are plain Datalog± text added with the methods below.
+class QualityContext {
+ public:
+  explicit QualityContext(std::shared_ptr<core::MdOntology> ontology);
+
+  const core::MdOntology& ontology() const { return *ontology_; }
+
+  /// Loads (or extends) the database under assessment. Relation names
+  /// must not collide with ontology predicates.
+  Status SetDatabase(Database database);
+
+  const Database& database() const { return database_; }
+
+  /// Maps an original relation into its contextual copy (the paper's
+  /// `Measurements → Measurements_c` nickname mapping): adds the rule
+  /// `contextual(x̄) :- original(x̄)`.
+  Status MapRelationToContext(const std::string& original,
+                              const std::string& contextual);
+
+  /// The paper's footnote-4 variant: `original` is a *footprint* of a
+  /// broader contextual relation carrying `extra_attributes` additional
+  /// attributes whose values are unknown — adds the TGD
+  /// `contextual(x̄, z̄) :- original(x̄)` with existential z̄ (the chase
+  /// fills them with labeled nulls, which contextual rules or EGDs may
+  /// later resolve).
+  Status MapRelationAsFootprint(const std::string& original,
+                                const std::string& contextual,
+                                size_t extra_attributes);
+
+  /// Adds contextual / quality predicate definitions (Datalog± text —
+  /// e.g. the paper's TakenByNurse, TakenWithTherm, Measurements').
+  Status AddContextualRules(const std::string& text);
+
+  /// Declares `quality_pred` as the quality version S^q of `original` and
+  /// installs its defining rules. `quality_pred` must have the arity of
+  /// `original`.
+  Status DefineQualityVersion(const std::string& original,
+                              const std::string& quality_pred,
+                              const std::string& rules_text);
+
+  /// The quality predicate registered for `original`, or NotFound.
+  Result<std::string> QualityPredicateOf(const std::string& original) const;
+
+  /// Original relations that have a quality version defined (sorted).
+  std::vector<std::string> AssessedRelations() const;
+
+  /// Assembles the full contextual program: ontology (facts + Σ_M) +
+  /// original data + mapping/contextual/quality rules.
+  Result<datalog::Program> BuildProgram() const;
+
+  /// Computes the quality version S^q of `original` as a relation (same
+  /// attribute names as the original), using `engine` for certain-answer
+  /// computation.
+  Result<Relation> ComputeQualityVersion(
+      const std::string& original,
+      qa::Engine engine = qa::Engine::kChase) const;
+
+  /// Clean query answering: parses `query_text` (over original relation
+  /// names), rewrites every atom over an original relation to its quality
+  /// version (Q → Q^q), and answers over the contextual program.
+  Result<qa::AnswerSet> CleanAnswers(
+      const std::string& query_text,
+      qa::Engine engine = qa::Engine::kChase) const;
+
+  /// Answers `query_text` as-is over the contextual program (no quality
+  /// rewriting) — the "dirty" baseline the paper contrasts with.
+  Result<qa::AnswerSet> RawAnswers(
+      const std::string& query_text,
+      qa::Engine engine = qa::Engine::kChase) const;
+
+  /// Explains *why* `tuple` belongs to the quality version of
+  /// `original`: chases the contextual program with provenance and
+  /// renders the derivation tree of the quality-predicate fact — the
+  /// dimensional navigation and quality conditions, spelled out.
+  /// NotFound if the tuple is not a quality tuple.
+  Result<std::string> ExplainQualityTuple(const std::string& original,
+                                          const Tuple& tuple) const;
+
+  /// The inverse question: why is `tuple` NOT a quality tuple? Runs the
+  /// why-not diagnosis against the chased contextual program and names
+  /// the first quality condition / navigation step that blocks.
+  /// FailedPrecondition if the tuple actually is quality.
+  Result<std::string> ExplainDirtyTuple(const std::string& original,
+                                        const Tuple& tuple) const;
+
+  /// Builds and chases the contextual program ONCE, returning a session
+  /// that answers any number of (clean) queries against the materialized
+  /// instance — the `ComputeQualityVersion`/`CleanAnswers` methods above
+  /// rebuild per call, which is wasteful in query-heavy workloads.
+  /// Constraint violations surface here (kInconsistent).
+  Result<PreparedContext> Prepare() const;
+
+ private:
+  friend class PreparedContext;
+
+  std::shared_ptr<core::MdOntology> ontology_;
+  Database database_;
+  std::vector<std::pair<std::string, std::string>> mappings_;
+  std::map<std::string, std::string> quality_of_;  // original -> S^q pred
+  std::string context_rules_;                       // accumulated rule text
+};
+
+/// A chase-once/query-many session over a QualityContext (obtain via
+/// `QualityContext::Prepare`). All answers are certain answers against
+/// the single materialized instance.
+class PreparedContext {
+ public:
+  /// Answers `query_text` with the Q → Q^q quality rewriting applied.
+  Result<qa::AnswerSet> CleanAnswers(const std::string& query_text) const;
+
+  /// Answers `query_text` as written.
+  Result<qa::AnswerSet> RawAnswers(const std::string& query_text) const;
+
+  /// The quality version of `original`, read off the materialized
+  /// instance.
+  Result<Relation> QualityVersion(const std::string& original) const;
+
+  const datalog::Instance& instance() const { return chased_.instance(); }
+  const datalog::ChaseStats& chase_stats() const { return chased_.stats(); }
+
+ private:
+  friend class QualityContext;
+  PreparedContext(std::map<std::string, std::string> quality_of,
+                  Database database, datalog::Program program,
+                  qa::ChaseQa chased)
+      : quality_of_(std::move(quality_of)),
+        database_(std::move(database)),
+        program_(std::move(program)),
+        chased_(std::move(chased)) {}
+
+  Result<qa::AnswerSet> Evaluate(datalog::ConjunctiveQuery query) const;
+
+  std::map<std::string, std::string> quality_of_;
+  Database database_;  // original relations (schemas for QualityVersion)
+  datalog::Program program_;
+  qa::ChaseQa chased_;
+};
+
+}  // namespace mdqa::quality
+
+#endif  // MDQA_QUALITY_CONTEXT_H_

@@ -1,0 +1,151 @@
+#include "quality/cqa.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "datalog/provenance.h"
+#include "datalog/unify.h"
+
+namespace mdqa::quality {
+
+using datalog::Atom;
+using datalog::AtomHash;
+using datalog::ChaseOptions;
+using datalog::ConjunctiveQuery;
+using datalog::CqEvaluator;
+using datalog::Instance;
+using datalog::Program;
+using datalog::ProvenanceStore;
+using datalog::Resolve;
+using datalog::Rule;
+using datalog::Subst;
+using datalog::SubstAtom;
+using datalog::Term;
+
+namespace {
+
+// Traces `atom` down to extensional leaves via provenance. Atoms without
+// a derivation are the leaves themselves.
+void TraceLeaves(const Atom& atom, const ProvenanceStore& provenance,
+                 std::unordered_set<Atom, AtomHash>* seen,
+                 std::vector<Atom>* out) {
+  if (!seen->insert(atom).second) return;
+  const ProvenanceStore::Derivation* d = provenance.Find(atom);
+  if (d == nullptr) {
+    out->push_back(atom);
+    return;
+  }
+  for (const Atom& b : d->body) TraceLeaves(b, provenance, seen, out);
+}
+
+std::vector<Atom> SupportOf(const std::vector<Atom>& witness,
+                            const ProvenanceStore& provenance,
+                            const std::unordered_set<uint32_t>& protect) {
+  std::vector<Atom> out;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (const Atom& a : witness) TraceLeaves(a, provenance, &seen, &out);
+  if (!protect.empty()) {
+    std::vector<Atom> filtered;
+    for (Atom& a : out) {
+      if (protect.count(a.predicate) == 0) filtered.push_back(std::move(a));
+    }
+    out = std::move(filtered);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CqaEngine::Protect(const std::string& predicate_name) {
+  uint32_t pred = program_->vocab()->FindPredicate(predicate_name);
+  if (pred != StringPool::kNotFound) protected_preds_.insert(pred);
+}
+
+void CqaEngine::ProtectDimensionStructure(const core::MdOntology& ontology) {
+  for (const std::string& dim_name : ontology.DimensionNames()) {
+    const md::Dimension* dim = ontology.FindDimension(dim_name);
+    const md::DimensionSchema& schema = dim->schema();
+    for (const std::string& category : schema.categories()) {
+      Protect(category);
+      for (const std::string& parent : schema.Parents(category)) {
+        Protect(md::Dimension::EdgePredicate(parent, category));
+      }
+    }
+  }
+}
+
+Result<std::vector<Conflict>> CqaEngine::FindConflicts(
+    const ChaseOptions& chase_options) const {
+  ProvenanceStore provenance;
+  ChaseOptions options = chase_options;
+  options.check_constraints = false;
+  options.egd_mode = datalog::EgdMode::kOff;  // clashes reported below
+  options.provenance = &provenance;
+  Instance instance = Instance::FromProgram(*program_);
+  MDQA_RETURN_IF_ERROR(
+      datalog::Chase::Run(*program_, &instance, options).status());
+
+  const datalog::Vocabulary& vocab = *program_->vocab();
+  std::vector<Conflict> conflicts;
+  CqEvaluator eval(instance);
+
+  for (const Rule& rule : program_->rules()) {
+    if (rule.IsTgd()) continue;
+    MDQA_RETURN_IF_ERROR(eval.Enumerate(
+        rule.body, rule.negated, rule.comparisons, Subst{}, {},
+        [&](const Subst& subst) {
+          if (rule.IsEgd()) {
+            Term a = Resolve(subst, rule.egd_lhs);
+            Term b = Resolve(subst, rule.egd_rhs);
+            // Only constant/constant disagreement is a hard violation;
+            // null merges are the chase's job, not an inconsistency.
+            if (!(a.IsConstant() && b.IsConstant() && a != b)) return true;
+          }
+          Conflict c;
+          c.constraint = vocab.RuleToString(rule);
+          c.witness.reserve(rule.body.size());
+          for (const Atom& atom : rule.body) {
+            c.witness.push_back(SubstAtom(subst, atom));
+          }
+          c.suspects = SupportOf(c.witness, provenance, protected_preds_);
+          conflicts.push_back(std::move(c));
+          return true;  // collect every violation
+        }));
+  }
+  return conflicts;
+}
+
+Result<std::vector<Atom>> CqaEngine::SuspectFacts() const {
+  MDQA_ASSIGN_OR_RETURN(std::vector<Conflict> conflicts, FindConflicts());
+  std::vector<Atom> out;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (const Conflict& c : conflicts) {
+    for (const Atom& a : c.suspects) {
+      if (seen.insert(a).second) out.push_back(a);
+    }
+  }
+  return out;
+}
+
+Result<Program> CqaEngine::RepairCore() const {
+  MDQA_ASSIGN_OR_RETURN(std::vector<Atom> suspects, SuspectFacts());
+  std::unordered_set<Atom, AtomHash> drop(suspects.begin(), suspects.end());
+  Program core(program_->vocab());
+  for (const Rule& r : program_->rules()) {
+    MDQA_RETURN_IF_ERROR(core.AddRule(r));
+  }
+  for (const Atom& f : program_->facts()) {
+    if (drop.count(f) == 0) {
+      MDQA_RETURN_IF_ERROR(core.AddFact(f));
+    }
+  }
+  return core;
+}
+
+Result<qa::AnswerSet> CqaEngine::ConflictFreeAnswers(
+    const ConjunctiveQuery& query, qa::Engine engine) const {
+  MDQA_ASSIGN_OR_RETURN(Program core, RepairCore());
+  return qa::Answer(engine, core, query);
+}
+
+}  // namespace mdqa::quality

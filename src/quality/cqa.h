@@ -1,0 +1,78 @@
+#ifndef MDQA_QUALITY_CQA_H_
+#define MDQA_QUALITY_CQA_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "core/md_ontology.h"
+#include "datalog/chase.h"
+#include "datalog/program.h"
+#include "qa/engines.h"
+
+namespace mdqa::quality {
+
+/// One violation of a dimensional constraint: the instantiated
+/// constraint body (possibly over chase-derived atoms) plus the
+/// *extensional* facts supporting it (derived witness atoms traced to
+/// their provenance leaves).
+struct Conflict {
+  std::string constraint;                 ///< printed rule
+  std::vector<datalog::Atom> witness;     ///< ground body match
+  std::vector<datalog::Atom> suspects;    ///< extensional support
+};
+
+/// Conflict detection and repair-style querying over inconsistent data —
+/// the paper's footnote 3 points at consistent query answering
+/// (Bertossi); this is the denial-constraint fragment of it:
+///
+///  * `FindConflicts` materializes the chase (constraints off,
+///    provenance on) and reports **every** negative-constraint match and
+///    every EGD constant/constant clash, each traced to the extensional
+///    facts it rests on.
+///  * `ConflictFreeAnswers` removes every suspect extensional fact,
+///    re-chases, and answers the query on the surviving data. For denial
+///    constraints every repair keeps a subset of the non-suspect facts,
+///    so the result is a sound **under-approximation of the consistent
+///    answers** (every returned tuple holds in every repair; some
+///    consistent answers may be missing). The paper's on-the-fly
+///    cleaning, made executable.
+class CqaEngine {
+ public:
+  explicit CqaEngine(const datalog::Program& program) : program_(&program) {}
+
+  /// Marks a predicate as *structural*: its facts are never suspects and
+  /// never dropped (the fault is assumed to lie with the data joined
+  /// against them). Use for dimension membership and parent–child
+  /// predicates — the dimensional structure is given, the categorical
+  /// data is what gets repaired.
+  void Protect(const std::string& predicate_name);
+
+  /// Protects every category and parent-child predicate of `ontology`.
+  void ProtectDimensionStructure(const core::MdOntology& ontology);
+
+  Result<std::vector<Conflict>> FindConflicts(
+      const datalog::ChaseOptions& chase_options =
+          datalog::ChaseOptions()) const;
+
+  /// Extensional facts appearing in at least one conflict's support,
+  /// deduplicated.
+  Result<std::vector<datalog::Atom>> SuspectFacts() const;
+
+  Result<qa::AnswerSet> ConflictFreeAnswers(
+      const datalog::ConjunctiveQuery& query,
+      qa::Engine engine = qa::Engine::kChase) const;
+
+  /// The program with all suspect facts removed (the "core" every
+  /// denial-constraint repair contains).
+  Result<datalog::Program> RepairCore() const;
+
+ private:
+  const datalog::Program* program_;
+  std::unordered_set<uint32_t> protected_preds_;
+};
+
+}  // namespace mdqa::quality
+
+#endif  // MDQA_QUALITY_CQA_H_

@@ -1,0 +1,60 @@
+#include "quality/measures.h"
+
+#include <cstdio>
+
+#include "base/json.h"
+
+namespace mdqa::quality {
+
+std::string QualityMeasures::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("relation").String(relation);
+  w.Key("original_size").Number(original_size);
+  w.Key("quality_size").Number(quality_size);
+  w.Key("common").Number(common);
+  w.Key("precision").Number(precision);
+  w.Key("recall").Number(recall);
+  w.Key("f1").Number(f1);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string QualityMeasures::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: |D|=%zu |Dq|=%zu |D∩Dq|=%zu precision=%.3f recall=%.3f "
+                "f1=%.3f",
+                relation.c_str(), original_size, quality_size, common,
+                precision, recall, f1);
+  return buf;
+}
+
+Result<QualityMeasures> Measure(const Relation& original,
+                                const Relation& quality) {
+  if (original.arity() != quality.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch between '" + original.name() + "' and its quality "
+        "version '" + quality.name() + "'");
+  }
+  QualityMeasures m;
+  m.relation = original.name();
+  m.original_size = original.size();
+  m.quality_size = quality.size();
+  for (const Tuple& t : original.rows()) {
+    if (quality.Contains(t)) ++m.common;
+  }
+  m.precision = m.original_size == 0
+                    ? 1.0
+                    : static_cast<double>(m.common) /
+                          static_cast<double>(m.original_size);
+  m.recall = m.quality_size == 0 ? 1.0
+                                 : static_cast<double>(m.common) /
+                                       static_cast<double>(m.quality_size);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace mdqa::quality

@@ -1,0 +1,45 @@
+#ifndef MDQA_QUALITY_MEASURES_H_
+#define MDQA_QUALITY_MEASURES_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "relational/relation.h"
+
+namespace mdqa::quality {
+
+/// Quality of an original relation `D` measured against its quality
+/// version `D^q` (the paper's "how much it departs from its quality
+/// version", after Bertossi–Rizzolo–Lei):
+///
+///  - precision: |D ∩ D^q| / |D|   — fraction of stored tuples that are
+///    quality tuples (1 when nothing dirty is stored);
+///  - recall:    |D ∩ D^q| / |D^q| — fraction of required quality tuples
+///    actually stored (1 when the quality version invents nothing new);
+///  - f1: their harmonic mean.
+///
+/// Empty denominators yield measure 1.0 (an empty relation departs from
+/// an empty quality version by nothing).
+struct QualityMeasures {
+  std::string relation;
+  size_t original_size = 0;
+  size_t quality_size = 0;
+  size_t common = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+
+  std::string ToString() const;
+
+  /// `{"relation": ..., "original_size": ..., "precision": ...}`.
+  std::string ToJson() const;
+};
+
+/// Computes the measures for `original` against `quality` (arity must
+/// match; attribute names may differ).
+Result<QualityMeasures> Measure(const Relation& original,
+                                const Relation& quality);
+
+}  // namespace mdqa::quality
+
+#endif  // MDQA_QUALITY_MEASURES_H_

@@ -1,0 +1,121 @@
+#include "relational/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mdqa {
+
+namespace {
+
+// Splits one logical CSV record into fields, handling quotes. `pos` is
+// advanced past the record (and its newline).
+Result<std::vector<std::string>> ParseRecord(std::string_view content,
+                                             size_t* pos, char sep,
+                                             int line_no) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line " +
+                                   std::to_string(line_no));
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(std::string_view content, const std::string& name,
+                          const CsvOptions& options) {
+  size_t pos = 0;
+  int line_no = 0;
+  std::vector<std::vector<std::string>> records;
+  while (pos < content.size()) {
+    // Skip blank lines.
+    if (content[pos] == '\n' || content[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    ++line_no;
+    MDQA_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseRecord(content, &pos, options.separator,
+                                      line_no));
+    records.push_back(std::move(fields));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV for '" + name + "' is empty");
+  }
+
+  std::vector<std::string> attrs;
+  size_t first_row = 0;
+  if (options.has_header) {
+    attrs = records[0];
+    first_row = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      attrs.push_back("a" + std::to_string(i));
+    }
+  }
+  MDQA_ASSIGN_OR_RETURN(RelationSchema schema,
+                        RelationSchema::Create(name, attrs));
+  Relation out(std::move(schema));
+  for (size_t r = first_row; r < records.size(); ++r) {
+    if (records[r].size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(r + 1) + " of '" + name + "' has " +
+          std::to_string(records[r].size()) + " fields, want " +
+          std::to_string(attrs.size()));
+    }
+    Tuple row;
+    row.reserve(records[r].size());
+    for (const std::string& f : records[r]) {
+      row.push_back(options.infer_types ? Value::FromText(f)
+                                        : Value::Str(f));
+    }
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string relation_name =
+      name.empty() ? std::filesystem::path(path).stem().string() : name;
+  return ParseCsv(buffer.str(), relation_name, options);
+}
+
+}  // namespace mdqa

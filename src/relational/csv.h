@@ -1,0 +1,42 @@
+#ifndef MDQA_RELATIONAL_CSV_H_
+#define MDQA_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "relational/database.h"
+
+namespace mdqa {
+
+struct CsvOptions {
+  char separator = ',';
+  /// First line holds attribute names; otherwise attributes are a0..aN-1.
+  bool has_header = true;
+  /// Parse fields through Value::FromText (ints/doubles recognized);
+  /// false keeps every field a string.
+  bool infer_types = true;
+};
+
+/// Parses CSV `content` into a relation named `name`. Supports quoted
+/// fields (`"a, b"`, doubled quotes for literal ones), CRLF line ends,
+/// and skips blank lines. All rows must have the same field count.
+Result<Relation> ParseCsv(std::string_view content, const std::string& name,
+                          const CsvOptions& options);
+inline Result<Relation> ParseCsv(std::string_view content,
+                                 const std::string& name) {
+  return ParseCsv(content, name, CsvOptions{});
+}
+
+/// Reads `path` and parses it; the relation is named after the file's
+/// stem unless `name` is non-empty.
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
+                             const CsvOptions& options);
+inline Result<Relation> ReadCsvFile(const std::string& path,
+                                    const std::string& name = "") {
+  return ReadCsvFile(path, name, CsvOptions{});
+}
+
+}  // namespace mdqa
+
+#endif  // MDQA_RELATIONAL_CSV_H_

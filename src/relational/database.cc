@@ -1,0 +1,80 @@
+#include "relational/database.h"
+
+namespace mdqa {
+
+Status Database::AddRelation(RelationSchema schema) {
+  const std::string name = schema.name();
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  relations_.emplace(name, Relation(std::move(schema)));
+  order_.push_back(name);
+  return Status::Ok();
+}
+
+void Database::PutRelation(Relation relation) {
+  const std::string name = relation.name();
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    relations_.emplace(name, std::move(relation));
+    order_.push_back(name);
+  } else {
+    it->second = std::move(relation);
+  }
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+Status Database::InsertText(const std::string& relation,
+                            const std::vector<std::string>& fields) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    std::vector<std::string> attrs;
+    attrs.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      attrs.push_back("a" + std::to_string(i));
+    }
+    MDQA_ASSIGN_OR_RETURN(RelationSchema s,
+                          RelationSchema::Create(relation, std::move(attrs)));
+    MDQA_RETURN_IF_ERROR(AddRelation(std::move(s)));
+    it = relations_.find(relation);
+  }
+  return it->second.InsertText(fields);
+}
+
+std::vector<std::string> Database::RelationNames() const { return order_; }
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, r] : relations_) n += r.size();
+  return n;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    out += relations_.at(name).ToTable();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdqa

@@ -1,0 +1,53 @@
+#ifndef MDQA_RELATIONAL_DATABASE_H_
+#define MDQA_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "relational/relation.h"
+
+namespace mdqa {
+
+/// A named collection of relations — the "database instance D" under
+/// quality assessment, and also the container for computed quality
+/// versions D^q.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty relation with `schema`; fails if the name exists.
+  Status AddRelation(RelationSchema schema);
+
+  /// Adds (or replaces) a fully built relation.
+  void PutRelation(Relation relation);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Fails with kNotFound for unknown names.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  /// Shorthand for building instances in tests/examples: creates the
+  /// relation if absent (attributes a0..aN-1, type any) and inserts the row
+  /// parsed from `fields`.
+  Status InsertText(const std::string& relation,
+                    const std::vector<std::string>& fields);
+
+  /// Relation names in insertion order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t TotalRows() const;
+
+  /// All tables rendered via Relation::ToTable.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mdqa
+
+#endif  // MDQA_RELATIONAL_DATABASE_H_

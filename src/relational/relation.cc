@@ -1,0 +1,137 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mdqa {
+
+Status Relation::Insert(Tuple row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into " + schema_.name() + ": got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!AttrTypeAdmits(schema_.attribute(i).type, row[i].type())) {
+      return Status::InvalidArgument(
+          "type mismatch at attribute '" + schema_.attribute(i).name +
+          "' of " + schema_.name() + ": value " + row[i].ToLiteral());
+    }
+  }
+  if (index_.insert(row).second) {
+    rows_.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status Relation::InsertText(const std::vector<std::string>& fields) {
+  Tuple row;
+  row.reserve(fields.size());
+  for (const std::string& f : fields) row.push_back(Value::FromText(f));
+  return Insert(std::move(row));
+}
+
+Relation Relation::Select(
+    const std::function<bool(const Tuple&)>& pred) const {
+  Relation out(schema_);
+  for (const Tuple& t : rows_) {
+    if (pred(t)) {
+      // Re-insert is cheap and keeps the dedup index consistent.
+      out.Insert(t);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Relation::Project(const std::string& new_name,
+                                   const std::vector<int>& cols) const {
+  std::vector<Attribute> attrs;
+  for (int c : cols) {
+    if (c < 0 || static_cast<size_t>(c) >= schema_.arity()) {
+      return Status::InvalidArgument("projection index out of range for " +
+                                     schema_.name());
+    }
+    attrs.push_back(schema_.attribute(c));
+  }
+  MDQA_ASSIGN_OR_RETURN(RelationSchema s,
+                        RelationSchema::Create(new_name, std::move(attrs)));
+  Relation out(std::move(s));
+  for (const Tuple& t : rows_) {
+    Tuple p;
+    p.reserve(cols.size());
+    for (int c : cols) p.push_back(t[c]);
+    MDQA_RETURN_IF_ERROR(out.Insert(std::move(p)));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Intersect(const Relation& other) const {
+  if (other.arity() != arity()) {
+    return Status::InvalidArgument("intersect arity mismatch: " + name() +
+                                   " vs " + other.name());
+  }
+  Relation out(schema_);
+  for (const Tuple& t : rows_) {
+    if (other.Contains(t)) MDQA_RETURN_IF_ERROR(out.Insert(t));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Minus(const Relation& other) const {
+  if (other.arity() != arity()) {
+    return Status::InvalidArgument("minus arity mismatch: " + name() +
+                                   " vs " + other.name());
+  }
+  Relation out(schema_);
+  for (const Tuple& t : rows_) {
+    if (!other.Contains(t)) MDQA_RETURN_IF_ERROR(out.Insert(t));
+  }
+  return out;
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string Relation::ToTable() const {
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  header.reserve(arity());
+  for (const Attribute& a : schema_.attributes()) header.push_back(a.name);
+  cells.push_back(header);
+  for (const Tuple& t : SortedRows()) {
+    std::vector<std::string> row;
+    row.reserve(t.size());
+    for (const Value& v : t) row.push_back(v.ToString());
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(arity(), 0);
+  for (const auto& row : cells) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  os << schema_.name() << " (" << size() << " rows)\n";
+  for (size_t r = 0; r < cells.size(); ++r) {
+    os << "  |";
+    for (size_t i = 0; i < cells[r].size(); ++i) {
+      os << ' ' << cells[r][i]
+         << std::string(widths[i] - cells[r][i].size(), ' ') << " |";
+    }
+    os << '\n';
+    if (r == 0) {
+      os << "  |";
+      for (size_t i = 0; i < widths.size(); ++i) {
+        os << std::string(widths[i] + 2, '-') << "|";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mdqa

@@ -1,0 +1,78 @@
+#ifndef MDQA_RELATIONAL_RELATION_H_
+#define MDQA_RELATIONAL_RELATION_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace mdqa {
+
+/// A row of a relation.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+/// An in-memory set-semantics relation: a schema plus deduplicated rows in
+/// insertion order. This is the user-facing table type (original instances,
+/// quality versions, query answers); the Datalog± engine has its own
+/// interned fact store (datalog/instance.h) and bridges to/from `Relation`.
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Inserts a row after checking arity and attribute types. Duplicate rows
+  /// are ignored (set semantics); returns OK either way.
+  Status Insert(Tuple row);
+
+  /// Inserts a row built from mixed literals via `Value::FromText`.
+  Status InsertText(const std::vector<std::string>& fields);
+
+  bool Contains(const Tuple& row) const { return index_.count(row) > 0; }
+
+  /// Rows satisfying `pred`, as a new relation with the same schema.
+  Relation Select(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Projects onto the attribute positions `cols` (new schema named
+  /// `new_name`). Duplicate result rows are collapsed.
+  Result<Relation> Project(const std::string& new_name,
+                           const std::vector<int>& cols) const;
+
+  /// Set operations; schemas must have equal arity.
+  Result<Relation> Intersect(const Relation& other) const;
+  Result<Relation> Minus(const Relation& other) const;
+
+  /// Rows sorted lexicographically (for deterministic output).
+  std::vector<Tuple> SortedRows() const;
+
+  /// Renders an aligned ASCII table like the ones in the paper.
+  std::string ToTable() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace mdqa
+
+#endif  // MDQA_RELATIONAL_RELATION_H_

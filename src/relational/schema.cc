@@ -1,0 +1,85 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+namespace mdqa {
+
+const char* AttrTypeToString(AttrType t) {
+  switch (t) {
+    case AttrType::kAny:
+      return "any";
+    case AttrType::kInt64:
+      return "int64";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool AttrTypeAdmits(AttrType t, ValueType v) {
+  switch (t) {
+    case AttrType::kAny:
+      return true;
+    case AttrType::kInt64:
+      return v == ValueType::kInt64;
+    case AttrType::kDouble:
+      return v == ValueType::kDouble || v == ValueType::kInt64;
+    case AttrType::kString:
+      return v == ValueType::kString;
+  }
+  return false;
+}
+
+Result<RelationSchema> RelationSchema::Create(
+    std::string name, std::vector<Attribute> attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Attribute& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty in " +
+                                     name);
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in relation " + name);
+    }
+  }
+  return RelationSchema(std::move(name), std::move(attributes));
+}
+
+Result<RelationSchema> RelationSchema::Create(
+    std::string name, std::vector<std::string> attr_names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(attr_names.size());
+  for (std::string& n : attr_names) {
+    attrs.push_back(Attribute{std::move(n), AttrType::kAny});
+  }
+  return Create(std::move(name), std::move(attrs));
+}
+
+int RelationSchema::AttributeIndex(std::string_view attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    if (attributes_[i].type != AttrType::kAny) {
+      out += ":";
+      out += AttrTypeToString(attributes_[i].type);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mdqa

@@ -1,0 +1,67 @@
+#ifndef MDQA_RELATIONAL_SCHEMA_H_
+#define MDQA_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "relational/value.h"
+
+namespace mdqa {
+
+/// Declared type of a relation attribute. `kAny` accepts every `Value`.
+enum class AttrType : uint8_t {
+  kAny = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* AttrTypeToString(AttrType t);
+
+/// True if a value of runtime type `v` is admissible at an attribute of
+/// declared type `t`.
+bool AttrTypeAdmits(AttrType t, ValueType v);
+
+/// One attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kAny;
+};
+
+/// A named relation schema: relation name plus ordered attributes.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+
+  /// Validates that the name is non-empty and attribute names are unique.
+  static Result<RelationSchema> Create(std::string name,
+                                       std::vector<Attribute> attributes);
+
+  /// Convenience: all attributes typed `kAny`.
+  static Result<RelationSchema> Create(std::string name,
+                                       std::vector<std::string> attr_names);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `attr`, or -1.
+  int AttributeIndex(std::string_view attr) const;
+
+  /// e.g. `Measurements(Time, Patient, Value)`.
+  std::string ToString() const;
+
+ private:
+  RelationSchema(std::string name, std::vector<Attribute> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace mdqa
+
+#endif  // MDQA_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,186 @@
+#include "scenarios/finance.h"
+
+#include "md/categorical.h"
+#include "md/dimension.h"
+#include "md/time_util.h"
+
+namespace mdqa::scenarios {
+
+using md::CategoricalAttribute;
+using md::CategoricalRelation;
+using md::Dimension;
+using md::DimensionBuilder;
+
+namespace {
+
+Result<Dimension> BuildOrgDimension() {
+  DimensionBuilder b("Org");
+  b.Category("Branch").Category("Region").Category("Country")
+      .Category("AllOrg");
+  b.Edge("Branch", "Region").Edge("Region", "Country")
+      .Edge("Country", "AllOrg");
+  for (const char* br : {"b1", "b2", "b3"}) b.Member("Branch", br);
+  b.Member("Region", "east").Member("Region", "west");
+  b.Member("Country", "CA").Member("AllOrg", "allOrg");
+  b.Link("b1", "east").Link("b2", "east").Link("b3", "west");
+  b.Link("east", "CA").Link("west", "CA").Link("CA", "allOrg");
+  Dimension::Options opts;
+  opts.require_strict = true;
+  opts.require_homogeneous = true;
+  return b.Build(opts);
+}
+
+Result<Dimension> BuildChannelDimension() {
+  DimensionBuilder b("Channel");
+  b.Category("Terminal").Category("ChannelType").Category("AllChannel");
+  b.Edge("Terminal", "ChannelType").Edge("ChannelType", "AllChannel");
+  for (const char* t : {"t1", "t2", "t3"}) b.Member("Terminal", t);
+  b.Member("ChannelType", "ATM").Member("ChannelType", "Online");
+  b.Member("AllChannel", "allChannel");
+  b.Link("t1", "ATM").Link("t2", "ATM").Link("t3", "Online");
+  b.Link("ATM", "allChannel").Link("Online", "allChannel");
+  Dimension::Options opts;
+  opts.require_strict = true;
+  opts.require_homogeneous = true;
+  return b.Build(opts);
+}
+
+Result<Dimension> BuildCalTimeDimension() {
+  return md::BuildTimeDimension(
+      "CalTime", 2026, {"Mar/1", "Mar/2"},
+      {"Mar/1-10:00", "Mar/1-11:00", "Mar/2-09:30", "Mar/2-14:00"});
+}
+
+}  // namespace
+
+Result<std::shared_ptr<core::MdOntology>> BuildFinanceOntology(
+    const FinanceOptions& options) {
+  auto ontology = std::make_shared<core::MdOntology>();
+  MDQA_ASSIGN_OR_RETURN(Dimension org, BuildOrgDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(org)));
+  MDQA_ASSIGN_OR_RETURN(Dimension channel, BuildChannelDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(channel)));
+  MDQA_ASSIGN_OR_RETURN(Dimension cal, BuildCalTimeDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(cal)));
+
+  {
+    // Which terminal stands in which branch (Org × Channel).
+    MDQA_ASSIGN_OR_RETURN(
+        CategoricalRelation rel,
+        CategoricalRelation::Create(
+            "TerminalAtBranch",
+            {CategoricalAttribute::Categorical("Branch", "Org", "Branch"),
+             CategoricalAttribute::Categorical("Terminal", "Channel",
+                                               "Terminal")}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"b1", "t1"}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"b2", "t2"}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"b3", "t3"}));
+    MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(rel)));
+  }
+  {
+    // The terminal log: which terminal served each instant. The fourth
+    // transaction instant (Mar/2-14:00) is intentionally unlogged.
+    MDQA_ASSIGN_OR_RETURN(
+        CategoricalRelation rel,
+        CategoricalRelation::Create(
+            "TerminalLog",
+            {CategoricalAttribute::Categorical("TxTime", "CalTime", "Time"),
+             CategoricalAttribute::Categorical("Terminal", "Channel",
+                                               "Terminal")}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"Mar/1-10:00", "t1"}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"Mar/1-11:00", "t2"}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"Mar/2-09:30", "t3"}));
+    MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(rel)));
+  }
+  {
+    // Region-level audits; only east on Mar/1.
+    MDQA_ASSIGN_OR_RETURN(
+        CategoricalRelation rel,
+        CategoricalRelation::Create(
+            "RegionAudit",
+            {CategoricalAttribute::Categorical("Region", "Org", "Region"),
+             CategoricalAttribute::Categorical("Day", "CalTime", "Day"),
+             CategoricalAttribute::Plain("Auditor")}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"east", "Mar/1", "alice"}));
+    MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(rel)));
+  }
+  {
+    // Virtual branch-level audit coverage, filled by drill-down.
+    MDQA_ASSIGN_OR_RETURN(
+        CategoricalRelation rel,
+        CategoricalRelation::Create(
+            "BranchAudited",
+            {CategoricalAttribute::Categorical("Branch", "Org", "Branch"),
+             CategoricalAttribute::Categorical("Day", "CalTime", "Day"),
+             CategoricalAttribute::Plain("Auditor")}));
+    MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(rel)));
+  }
+  if (options.include_fraud_alert) {
+    MDQA_ASSIGN_OR_RETURN(
+        CategoricalRelation rel,
+        CategoricalRelation::Create(
+            "FraudAlert",
+            {CategoricalAttribute::Categorical("Terminal", "Channel",
+                                               "Terminal"),
+             CategoricalAttribute::Categorical("Day", "CalTime", "Day")}));
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"t2", "Mar/1"}));
+    MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(rel)));
+  }
+
+  // Downward navigation WITHOUT existentials (schemas match): an audited
+  // region means every branch of that region was audited that day.
+  MDQA_RETURN_IF_ERROR(ontology->AddDimensionalRule(
+      "BranchAudited(B, D, A) :- RegionAudit(R, D, A), RegionBranch(R, B)."));
+
+  if (options.include_fraud_alert) {
+    // No logged terminal activity on an alerted terminal that day.
+    MDQA_RETURN_IF_ERROR(ontology->AddDimensionalConstraint(
+        "! :- FraudAlert(Tl, D), TerminalLog(Ti, Tl), DayTime(D, Ti)."));
+  }
+  return ontology;
+}
+
+Result<Database> BuildTransactionsDatabase() {
+  Database db;
+  MDQA_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create("Transactions",
+                             std::vector<std::string>{"TxTime", "Account",
+                                                      "Amount"}));
+  MDQA_RETURN_IF_ERROR(db.AddRelation(std::move(schema)));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Transactions", {"Mar/1-10:00", "acc1", "500"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Transactions", {"Mar/1-11:00", "acc2", "75"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Transactions", {"Mar/2-09:30", "acc1", "120"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Transactions", {"Mar/2-14:00", "acc3", "60"}));
+  return db;
+}
+
+Result<quality::QualityContext> BuildFinanceContext(
+    const FinanceOptions& options) {
+  MDQA_ASSIGN_OR_RETURN(std::shared_ptr<core::MdOntology> ontology,
+                        BuildFinanceOntology(options));
+  quality::QualityContext context(ontology);
+  MDQA_ASSIGN_OR_RETURN(Database db, BuildTransactionsDatabase());
+  MDQA_RETURN_IF_ERROR(context.SetDatabase(std::move(db)));
+
+  // Footprint: the context knows transactions have a terminal, the
+  // original table does not record it.
+  MDQA_RETURN_IF_ERROR(context.MapRelationAsFootprint(
+      "Transactions", "TransactionWide", /*extra_attributes=*/1));
+  // The terminal log pins the invented null down (EGD).
+  MDQA_RETURN_IF_ERROR(context.AddContextualRules(
+      "Tl = T2 :- TransactionWide(Ti, Ac, Am, Tl), TerminalLog(Ti, T2).\n"
+      "TxnAt(Ti, Ac, Am, B, D) :- TransactionWide(Ti, Ac, Am, Tl), "
+      "TerminalAtBranch(B, Tl), DayTime(D, Ti).\n"));
+  MDQA_RETURN_IF_ERROR(context.DefineQualityVersion(
+      "Transactions", "Transactionsq",
+      "Transactionsq(Ti, Ac, Am) :- TxnAt(Ti, Ac, Am, B, D), "
+      "BranchAudited(B, D, A).\n"));
+  return context;
+}
+
+}  // namespace mdqa::scenarios

@@ -1,0 +1,56 @@
+#ifndef MDQA_SCENARIOS_FINANCE_H_
+#define MDQA_SCENARIOS_FINANCE_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "core/md_ontology.h"
+#include "quality/context.h"
+
+namespace mdqa::scenarios {
+
+/// A second complete domain (banking transaction audit), exercising
+/// parts of the framework the hospital scenario does not:
+///
+///  * a **footprint mapping** (paper footnote 4): `Transactions(Time,
+///    Account, Amount)` is the footprint of a broader contextual
+///    relation `TransactionWide(..., Terminal)` whose terminal attribute
+///    is unknown (a labeled null) until a contextual **EGD** equates it
+///    with the terminal log;
+///  * a **downward dimensional rule without existentials** (schemas
+///    match): a region-level audit covers every branch of the region;
+///  * **inter-dimensional categorical relations** (Org × Channel ×
+///    CalTime).
+///
+/// Dimensions:
+///   Org:     Branch → Region → Country → AllOrg
+///            (b1, b2 in east; b3 in west; CA)
+///   Channel: Terminal → ChannelType → AllChannel
+///            (t1@ATM, t2@ATM, t3@Online)
+///   CalTime: Time → Day → Month → Year → AllCalTime (built via
+///            md::BuildTimeDimension, March 2026)
+///
+/// Quality requirement: a transaction is a quality tuple when its
+/// (log-resolved) terminal sits at a branch whose region was audited on
+/// the transaction's day. Expected: rows 1–2 of the 4-row Transactions
+/// table qualify (precision 0.5).
+struct FinanceOptions {
+  /// Adds FraudAlert(t2, Mar/1) and the NC "no logged activity on an
+  /// alerted terminal that day" — the dirty variant.
+  bool include_fraud_alert = false;
+};
+
+Result<std::shared_ptr<core::MdOntology>> BuildFinanceOntology(
+    const FinanceOptions& options);
+
+/// The 4-row Transactions table (see header comment).
+Result<Database> BuildTransactionsDatabase();
+
+/// The full quality context: footprint mapping, terminal-log EGD,
+/// contextual join, quality version `Transactionsq`.
+Result<quality::QualityContext> BuildFinanceContext(
+    const FinanceOptions& options);
+
+}  // namespace mdqa::scenarios
+
+#endif  // MDQA_SCENARIOS_FINANCE_H_

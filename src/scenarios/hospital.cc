@@ -1,0 +1,278 @@
+#include "scenarios/hospital.h"
+
+#include "md/categorical.h"
+#include "md/time_util.h"
+#include "md/dimension.h"
+
+namespace mdqa::scenarios {
+
+using md::CategoricalAttribute;
+using md::CategoricalRelation;
+using md::Dimension;
+using md::DimensionBuilder;
+
+namespace {
+
+Result<Dimension> BuildHospitalDimension() {
+  DimensionBuilder b("Hospital");
+  b.Category("Ward").Category("Unit").Category("Institution")
+      .Category("AllHospital");
+  b.Edge("Ward", "Unit").Edge("Unit", "Institution")
+      .Edge("Institution", "AllHospital");
+  for (const char* w : {"W1", "W2", "W3", "W4", "W5"}) b.Member("Ward", w);
+  for (const char* u : {"Standard", "Intensive", "Terminal", "DayCare"}) {
+    b.Member("Unit", u);
+  }
+  b.Member("Institution", "H1").Member("Institution", "H2");
+  b.Member("AllHospital", "allHospital");
+  b.Link("W1", "Standard").Link("W2", "Standard").Link("W3", "Intensive");
+  b.Link("W4", "Terminal").Link("W5", "DayCare");
+  b.Link("Standard", "H1").Link("Intensive", "H1").Link("Terminal", "H1");
+  b.Link("DayCare", "H2");
+  b.Link("H1", "allHospital").Link("H2", "allHospital");
+  Dimension::Options opts;
+  opts.require_strict = true;
+  opts.require_homogeneous = true;
+  return b.Build(opts);
+}
+
+Result<Dimension> BuildPaperTimeDimension() {
+  // Generated from labels via md::BuildTimeDimension: Time -> Day ->
+  // Month -> Year -> AllTime, with the paper's days and Table I's
+  // instants (plus the doctor's window endpoints, so range queries have
+  // members).
+  return md::BuildTimeDimension(
+      "Time", 2005,
+      {"Sep/5", "Sep/6", "Sep/7", "Sep/8", "Sep/9", "Oct/5", "Aug/20"},
+      {"Sep/5-12:10", "Sep/6-11:50", "Sep/7-12:15", "Sep/9-12:00",
+       "Sep/6-11:05", "Sep/5-12:05", "Sep/5-11:45", "Sep/5-12:15"});
+}
+
+Result<Dimension> BuildInstrumentDimension() {
+  DimensionBuilder b("Instrument");
+  b.Category("Thermometertype").Category("Brand").Category("AllInstrument");
+  b.Edge("Thermometertype", "Brand").Edge("Brand", "AllInstrument");
+  for (const char* t : {"T1", "T2", "T3"}) b.Member("Thermometertype", t);
+  b.Member("Brand", "B1").Member("Brand", "B2");
+  b.Member("AllInstrument", "allInstrument");
+  b.Link("T1", "B1").Link("T2", "B1").Link("T3", "B2");
+  b.Link("B1", "allInstrument").Link("B2", "allInstrument");
+  Dimension::Options opts;
+  opts.require_strict = true;
+  opts.require_homogeneous = true;
+  return b.Build(opts);
+}
+
+Result<CategoricalRelation> BuildPatientWard(bool include_violating_stay) {
+  MDQA_ASSIGN_OR_RETURN(
+      CategoricalRelation rel,
+      CategoricalRelation::Create(
+          "PatientWard",
+          {CategoricalAttribute::Categorical("Ward", "Hospital", "Ward"),
+           CategoricalAttribute::Categorical("Day", "Time", "Day"),
+           CategoricalAttribute::Plain("Patient")}));
+  // Synthesized per DESIGN.md: exactly Table I rows 1-2 end up quality.
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W1", "Sep/5", "Tom Waits"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W1", "Sep/6", "Tom Waits"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W3", "Sep/7", "Tom Waits"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "Sep/9", "Tom Waits"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "Sep/5", "Lou Reed"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "Sep/6", "Lou Reed"}));
+  if (include_violating_stay) {
+    // Intensive-care stay recorded for August/2005 — the E3 violation.
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"W3", "Aug/20", "Elvis Costello"}));
+  }
+  return rel;
+}
+
+Result<CategoricalRelation> BuildPatientUnit() {
+  // Virtual relation at the Unit level, populated by rules (7)/(9).
+  return CategoricalRelation::Create(
+      "PatientUnit",
+      {CategoricalAttribute::Categorical("Unit", "Hospital", "Unit"),
+       CategoricalAttribute::Categorical("Day", "Time", "Day"),
+       CategoricalAttribute::Plain("Patient")});
+}
+
+Result<CategoricalRelation> BuildWorkingSchedules() {
+  MDQA_ASSIGN_OR_RETURN(
+      CategoricalRelation rel,
+      CategoricalRelation::Create(
+          "WorkingSchedules",
+          {CategoricalAttribute::Categorical("Unit", "Hospital", "Unit"),
+           CategoricalAttribute::Categorical("Day", "Time", "Day"),
+           CategoricalAttribute::Plain("Nurse"),
+           CategoricalAttribute::Plain("Type")}));
+  // Table III, exactly.
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"Intensive", "Sep/5", "Cathy", "cert."}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"Standard", "Sep/5", "Helen", "cert."}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"Standard", "Sep/6", "Helen", "cert."}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"Terminal", "Sep/5", "Susan", "non-c."}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"Standard", "Sep/9", "Mark", "non-c."}));
+  return rel;
+}
+
+Result<CategoricalRelation> BuildShifts() {
+  MDQA_ASSIGN_OR_RETURN(
+      CategoricalRelation rel,
+      CategoricalRelation::Create(
+          "Shifts",
+          {CategoricalAttribute::Categorical("Ward", "Hospital", "Ward"),
+           CategoricalAttribute::Categorical("Day", "Time", "Day"),
+           CategoricalAttribute::Plain("Nurse"),
+           CategoricalAttribute::Plain("Shift")}));
+  // Table IV, exactly.
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "Sep/5", "Cathy", "night"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W1", "Sep/6", "Helen", "morning"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "Sep/5", "Susan", "evening"}));
+  return rel;
+}
+
+Result<CategoricalRelation> BuildThermometer(bool include_conflict) {
+  MDQA_ASSIGN_OR_RETURN(
+      CategoricalRelation rel,
+      CategoricalRelation::Create(
+          "Thermometer",
+          {CategoricalAttribute::Categorical("Ward", "Hospital", "Ward"),
+           CategoricalAttribute::Categorical("Type", "Instrument",
+                                             "Thermometertype"),
+           CategoricalAttribute::Plain("Nurse")}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W1", "T1", "Helen"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W2", "T1", "Helen"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W3", "T3", "Cathy"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W4", "T3", "Susan"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"W5", "T3", "Nancy"}));
+  if (include_conflict) {
+    // Same Standard unit as W1's T1 but a different type: EGD (6) clash.
+    MDQA_RETURN_IF_ERROR(rel.InsertText({"W2", "T2", "Nancy"}));
+  }
+  return rel;
+}
+
+Result<CategoricalRelation> BuildDischargePatients() {
+  MDQA_ASSIGN_OR_RETURN(
+      CategoricalRelation rel,
+      CategoricalRelation::Create(
+          "DischargePatients",
+          {CategoricalAttribute::Categorical("Inst", "Hospital",
+                                             "Institution"),
+           CategoricalAttribute::Categorical("Day", "Time", "Day"),
+           CategoricalAttribute::Plain("Patient")}));
+  // Table V, exactly.
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"H1", "Sep/9", "Tom Waits"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"H1", "Sep/6", "Lou Reed"}));
+  MDQA_RETURN_IF_ERROR(rel.InsertText({"H2", "Oct/5", "Elvis Costello"}));
+  return rel;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<core::MdOntology>> BuildHospitalOntology(
+    const HospitalOptions& options) {
+  auto ontology = std::make_shared<core::MdOntology>();
+
+  MDQA_ASSIGN_OR_RETURN(Dimension hospital, BuildHospitalDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(hospital)));
+  MDQA_ASSIGN_OR_RETURN(Dimension time, BuildPaperTimeDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(time)));
+  MDQA_ASSIGN_OR_RETURN(Dimension instrument, BuildInstrumentDimension());
+  MDQA_RETURN_IF_ERROR(ontology->AddDimension(std::move(instrument)));
+
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation patient_ward,
+                        BuildPatientWard(options.include_violating_stay));
+  MDQA_RETURN_IF_ERROR(
+      ontology->AddCategoricalRelation(std::move(patient_ward)));
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation patient_unit, BuildPatientUnit());
+  MDQA_RETURN_IF_ERROR(
+      ontology->AddCategoricalRelation(std::move(patient_unit)));
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation schedules,
+                        BuildWorkingSchedules());
+  MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(schedules)));
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation shifts, BuildShifts());
+  MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(shifts)));
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation therm,
+                        BuildThermometer(options.include_therm_conflict));
+  MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(therm)));
+  MDQA_ASSIGN_OR_RETURN(CategoricalRelation discharge,
+                        BuildDischargePatients());
+  MDQA_RETURN_IF_ERROR(ontology->AddCategoricalRelation(std::move(discharge)));
+
+  // Rule (7): upward navigation Ward -> Unit.
+  MDQA_RETURN_IF_ERROR(ontology->AddDimensionalRule(
+      "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W)."));
+  if (options.include_downward_rules) {
+    // Rule (8): downward navigation Unit -> Ward, existential shift Z.
+    MDQA_RETURN_IF_ERROR(ontology->AddDimensionalRule(
+        "Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), "
+        "UnitWard(U, W)."));
+    // Rule (9), form (10): existential categorical variable U.
+    MDQA_RETURN_IF_ERROR(ontology->AddDimensionalRule(
+        "InstitutionUnit(I, U), PatientUnit(U, D, P) :- "
+        "DischargePatients(I, D, P)."));
+  }
+  if (options.include_constraints) {
+    // EGD (6): all thermometers used in a unit are of the same type.
+    MDQA_RETURN_IF_ERROR(ontology->AddDimensionalConstraint(
+        "T = T2 :- Thermometer(W, T, N), Thermometer(W2, T2, N2), "
+        "UnitWard(U, W), UnitWard(U, W2)."));
+    // "No patient was in intensive care during August/2005" (Example 1's
+    // inter-dimensional constraint, as written in the paper).
+    MDQA_RETURN_IF_ERROR(ontology->AddDimensionalConstraint(
+        "! :- PatientWard(W, D, P), UnitWard(\"Intensive\", W), "
+        "MonthDay(\"August/2005\", D)."));
+  }
+  return ontology;
+}
+
+Result<Database> BuildMeasurementsDatabase() {
+  Database db;
+  MDQA_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create("Measurements",
+                             std::vector<std::string>{"Time", "Patient",
+                                                      "Value"}));
+  MDQA_RETURN_IF_ERROR(db.AddRelation(std::move(schema)));
+  // Table I, exactly.
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/5-12:10", "Tom Waits", "38.2"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/6-11:50", "Tom Waits", "37.1"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/7-12:15", "Tom Waits", "37.7"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/9-12:00", "Tom Waits", "37.0"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/6-11:05", "Lou Reed", "37.5"}));
+  MDQA_RETURN_IF_ERROR(
+      db.InsertText("Measurements", {"Sep/5-12:05", "Lou Reed", "38.0"}));
+  return db;
+}
+
+Result<quality::QualityContext> BuildHospitalContext(
+    const HospitalOptions& options) {
+  MDQA_ASSIGN_OR_RETURN(std::shared_ptr<core::MdOntology> ontology,
+                        BuildHospitalOntology(options));
+  quality::QualityContext context(ontology);
+  MDQA_ASSIGN_OR_RETURN(Database db, BuildMeasurementsDatabase());
+  MDQA_RETURN_IF_ERROR(context.SetDatabase(std::move(db)));
+  MDQA_RETURN_IF_ERROR(
+      context.MapRelationToContext("Measurements", "Measurementc"));
+  // Example 7's contextual predicates. The guideline "temperatures in the
+  // standard unit are taken with brand-B1 thermometers" is the
+  // TakenWithTherm rule; nurse certification flows from WorkingSchedules
+  // through upward navigation into PatientUnit.
+  MDQA_RETURN_IF_ERROR(context.AddContextualRules(
+      "TakenByNurse(T, P, N, Y) :- WorkingSchedules(U, D, N, Y), "
+      "DayTime(D, T), PatientUnit(U, D, P).\n"
+      "TakenWithTherm(T, P, \"B1\") :- PatientUnit(\"Standard\", D, P), "
+      "DayTime(D, T).\n"
+      "Measurementp(T, P, V, Y, B) :- Measurementc(T, P, V), "
+      "TakenByNurse(T, P, N, Y), TakenWithTherm(T, P, B).\n"));
+  MDQA_RETURN_IF_ERROR(context.DefineQualityVersion(
+      "Measurements", "Measurementsq",
+      "Measurementsq(T, P, V) :- "
+      "Measurementp(T, P, V, \"cert.\", \"B1\").\n"));
+  return context;
+}
+
+}  // namespace mdqa::scenarios

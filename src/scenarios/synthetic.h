@@ -1,0 +1,52 @@
+#ifndef MDQA_SCENARIOS_SYNTHETIC_H_
+#define MDQA_SCENARIOS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/result.h"
+#include "core/md_ontology.h"
+#include "quality/context.h"
+
+namespace mdqa::scenarios {
+
+/// Parametric generator that grows the paper's hospital schema for the
+/// scaling experiments (EXPERIMENTS.md C2–C4): the authors' testbed is
+/// not available (the paper reports no measurements at all), so
+/// polynomial-shape claims are exercised on synthetic instances with the
+/// same dimensional structure.
+///
+/// Dimension SynHospital: SWard → SUnit → SInstitution → SAll, with
+/// `institutions × units_per_institution × wards_per_unit` wards.
+/// Dimension SynTime: STime → SDay → SAll2 with one instant per day.
+/// Dimension SynInstrument: SType → SBrand → SAll3 (T1→B1, T3→B2).
+/// Categorical relations: SPatientWard (patients × days), SPatientUnit
+/// (virtual), SWorkingSchedules (units × days), SShifts (virtual),
+/// SThermometer (one type per ward, alternating brands).
+/// Rules: upward (7'-analog); optional downward (8'-analog).
+/// Quality context: SMeasurements (patients × days rows); quality
+/// version = certified nurse + brand-B1 thermometer, via roll-up through
+/// SynInstrument.
+struct SyntheticSpec {
+  int institutions = 2;
+  int units_per_institution = 3;
+  int wards_per_unit = 3;
+  int patients = 20;
+  int days = 10;
+  bool include_downward_rules = true;
+  uint64_t seed = 42;  ///< deterministic LCG seed for ward assignment
+};
+
+/// Approximate extensional fact count the spec will generate (for
+/// reporting x-axes).
+size_t EstimateFacts(const SyntheticSpec& spec);
+
+Result<std::shared_ptr<core::MdOntology>> BuildSyntheticOntology(
+    const SyntheticSpec& spec);
+
+Result<quality::QualityContext> BuildSyntheticContext(
+    const SyntheticSpec& spec);
+
+}  // namespace mdqa::scenarios
+
+#endif  // MDQA_SCENARIOS_SYNTHETIC_H_

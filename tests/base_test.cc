@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "base/intern.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace mdqa {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kInconsistent, StatusCode::kResourceExhausted,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  MDQA_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MDQA_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(*ok, 5);
+
+  Result<int> bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnChains) {
+  Result<int> q = Quarter(12);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 3);
+  EXPECT_FALSE(Quarter(10).ok());  // 10/2=5 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringUtil, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringUtil, IsInteger) {
+  EXPECT_TRUE(IsInteger("42"));
+  EXPECT_TRUE(IsInteger("-7"));
+  EXPECT_TRUE(IsInteger("+9"));
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("4.2"));
+  EXPECT_FALSE(IsInteger("x4"));
+}
+
+TEST(StringUtil, IsDouble) {
+  EXPECT_TRUE(IsDouble("4.2"));
+  EXPECT_TRUE(IsDouble("-0.5"));
+  EXPECT_TRUE(IsDouble("1e3"));
+  EXPECT_FALSE(IsDouble("42"));   // already integer
+  EXPECT_FALSE(IsDouble("abc"));
+  EXPECT_FALSE(IsDouble(""));
+}
+
+TEST(StringPool, InternIsIdempotentAndDense) {
+  StringPool pool;
+  uint32_t a = pool.Intern("alpha");
+  uint32_t b = pool.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.Get(b), "beta");
+}
+
+TEST(StringPool, FindWithoutIntern) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("missing"), StringPool::kNotFound);
+  pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), 0u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  size_t a = 0, b = 0;
+  HashCombine(&a, 1);
+  HashCombine(&a, 2);
+  HashCombine(&b, 2);
+  HashCombine(&b, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mdqa

@@ -1,0 +1,138 @@
+#include "md/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace mdqa::md {
+namespace {
+
+Dimension SmallHospital() {
+  return DimensionBuilder("Hospital")
+      .Category("Ward")
+      .Category("Unit")
+      .Edge("Ward", "Unit")
+      .Member("Ward", "W1")
+      .Member("Ward", "W2")
+      .Member("Unit", "Standard")
+      .Link("W1", "Standard")
+      .Link("W2", "Standard")
+      .Build()
+      .value();
+}
+
+Result<CategoricalRelation> MakePatientWard() {
+  return CategoricalRelation::Create(
+      "PatientWard",
+      {CategoricalAttribute::Categorical("Ward", "Hospital", "Ward"),
+       CategoricalAttribute::Plain("Patient")});
+}
+
+TEST(CategoricalRelation, CreateValidatesAttributes) {
+  EXPECT_FALSE(CategoricalRelation::Create(
+                   "R", {CategoricalAttribute::Plain("")})
+                   .ok());
+  EXPECT_FALSE(CategoricalRelation::Create(
+                   "R", {CategoricalAttribute::Plain("a"),
+                         CategoricalAttribute::Plain("a")})
+                   .ok());
+  // Categorical attribute without a category binding.
+  CategoricalAttribute broken;
+  broken.name = "c";
+  broken.is_categorical = true;
+  EXPECT_FALSE(CategoricalRelation::Create("R", {broken}).ok());
+}
+
+TEST(CategoricalRelation, PositionsPartition) {
+  auto rel = CategoricalRelation::Create(
+      "R", {CategoricalAttribute::Categorical("w", "H", "Ward"),
+            CategoricalAttribute::Plain("p"),
+            CategoricalAttribute::Categorical("d", "T", "Day")});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->CategoricalPositions(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(rel->PlainPositions(), (std::vector<size_t>{1}));
+  EXPECT_EQ(rel->AttributeIndex("p"), 1);
+  EXPECT_EQ(rel->AttributeIndex("zz"), -1);
+}
+
+TEST(CategoricalRelation, InsertAndSetSemantics) {
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->InsertText({"W1", "Tom"}).ok());
+  ASSERT_TRUE(rel->InsertText({"W1", "Tom"}).ok());
+  EXPECT_EQ(rel->data().size(), 1u);
+  EXPECT_FALSE(rel->InsertText({"W1"}).ok());  // arity
+}
+
+TEST(CategoricalRelation, ReferentialConstraintHolds) {
+  Dimension dim = SmallHospital();
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->InsertText({"W1", "Tom"}).ok());
+  std::map<std::string, const Dimension*> dims = {{"Hospital", &dim}};
+  EXPECT_TRUE(rel->ValidateReferential(dims).ok());
+}
+
+TEST(CategoricalRelation, ReferentialConstraintCatchesDanglingMember) {
+  Dimension dim = SmallHospital();
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->InsertText({"W9", "Tom"}).ok());  // W9 not a Ward member
+  std::map<std::string, const Dimension*> dims = {{"Hospital", &dim}};
+  Status s = rel->ValidateReferential(dims);
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+  EXPECT_NE(s.message().find("W9"), std::string::npos);
+  EXPECT_NE(s.message().find("form (1)"), std::string::npos);
+}
+
+TEST(CategoricalRelation, ReferentialConstraintCatchesWrongCategory) {
+  Dimension dim = SmallHospital();
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  // "Standard" is a member, but of Unit, not Ward.
+  ASSERT_TRUE(rel->InsertText({"Standard", "Tom"}).ok());
+  std::map<std::string, const Dimension*> dims = {{"Hospital", &dim}};
+  EXPECT_EQ(rel->ValidateReferential(dims).code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(CategoricalRelation, ReferentialConstraintUnknownDimension) {
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  std::map<std::string, const Dimension*> empty;
+  EXPECT_EQ(rel->ValidateReferential(empty).code(), StatusCode::kNotFound);
+}
+
+TEST(CategoricalRelation, NonStringCategoricalValueIsDangling) {
+  Dimension dim = SmallHospital();
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->Insert({Value::Int(3), Value::Str("Tom")}).ok());
+  std::map<std::string, const Dimension*> dims = {{"Hospital", &dim}};
+  EXPECT_EQ(rel->ValidateReferential(dims).code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(CategoricalRelation, EmitFactsIntoProgram) {
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->InsertText({"W1", "Tom"}).ok());
+  ASSERT_TRUE(rel->InsertText({"W2", "Ann"}).ok());
+  datalog::Program program;
+  ASSERT_TRUE(rel->EmitFacts(&program).ok());
+  EXPECT_EQ(program.facts().size(), 2u);
+  EXPECT_EQ(program.vocab()->PredicateArity(
+                program.vocab()->FindPredicate("PatientWard")),
+            2u);
+}
+
+TEST(CategoricalRelation, EmitFactsArityConflictDetected) {
+  auto rel = MakePatientWard();
+  ASSERT_TRUE(rel.ok());
+  datalog::Program program;
+  ASSERT_TRUE(program.mutable_vocab()->InternPredicate("PatientWard", 5).ok());
+  EXPECT_FALSE(rel->EmitFacts(&program).ok());
+}
+
+}  // namespace
+}  // namespace mdqa::md

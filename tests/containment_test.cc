@@ -1,0 +1,180 @@
+// Chandra-Merlin containment mappings and UCQ minimization.
+
+#include "datalog/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "qa/rewriter.h"
+
+namespace mdqa::datalog {
+namespace {
+
+struct Queries {
+  std::shared_ptr<Vocabulary> vocab = std::make_shared<Vocabulary>();
+
+  ConjunctiveQuery Q(const std::string& text) {
+    auto q = Parser::ParseQuery(text, vocab.get());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return std::move(q).value();
+  }
+};
+
+TEST(Containment, IdenticalQueries) {
+  Queries f;
+  auto q1 = f.Q("Q(X) :- R(X, Y).");
+  auto q2 = f.Q("Q(X) :- R(X, Y).");
+  EXPECT_TRUE(ContainedIn(q1, q2, *f.vocab));
+  EXPECT_TRUE(ContainedIn(q2, q1, *f.vocab));
+}
+
+TEST(Containment, MoreAtomsIsMoreSpecific) {
+  Queries f;
+  auto specific = f.Q("Q(X) :- R(X, Y), S(Y).");
+  auto general = f.Q("Q(X) :- R(X, Y).");
+  EXPECT_TRUE(ContainedIn(specific, general, *f.vocab));
+  EXPECT_FALSE(ContainedIn(general, specific, *f.vocab));
+}
+
+TEST(Containment, ConstantsAreMoreSpecificThanVariables) {
+  Queries f;
+  auto specific = f.Q("Q(Y) :- R(\"a\", Y).");
+  auto general = f.Q("Q(Y) :- R(X, Y).");
+  EXPECT_TRUE(ContainedIn(specific, general, *f.vocab));
+  EXPECT_FALSE(ContainedIn(general, specific, *f.vocab));
+}
+
+TEST(Containment, RepeatedVariablesAreMoreSpecific) {
+  Queries f;
+  auto loop = f.Q("Q(X) :- E(X, X).");
+  auto edge = f.Q("Q(X) :- E(X, Y).");
+  EXPECT_TRUE(ContainedIn(loop, edge, *f.vocab));
+  EXPECT_FALSE(ContainedIn(edge, loop, *f.vocab));
+}
+
+TEST(Containment, AnswerTupleMustMap) {
+  Queries f;
+  auto qx = f.Q("Q(X) :- R(X, Y).");
+  auto qy = f.Q("Q(Y) :- R(X, Y).");
+  EXPECT_FALSE(ContainedIn(qx, qy, *f.vocab));
+  EXPECT_FALSE(ContainedIn(qy, qx, *f.vocab));
+  // Different arities never contain each other.
+  auto q2 = f.Q("Q(X, Y) :- R(X, Y).");
+  EXPECT_FALSE(ContainedIn(qx, q2, *f.vocab));
+}
+
+TEST(Containment, ClassicCycleIntoTriangle) {
+  Queries f;
+  // Boolean: a path of length 3 in a graph with a self-looping pattern.
+  auto walk = f.Q("Q() :- E(X, Y), E(Y, Z), E(Z, X).");
+  auto self_loop = f.Q("Q() :- E(W, W).");
+  // A self-loop is a triangle with all nodes equal: loop ⊆ walk.
+  EXPECT_TRUE(ContainedIn(self_loop, walk, *f.vocab));
+  EXPECT_FALSE(ContainedIn(walk, self_loop, *f.vocab));
+}
+
+TEST(Containment, ComparisonsHandledConservatively) {
+  Queries f;
+  auto bounded = f.Q("Q(X) :- R(X, V), V > 5.");
+  auto free = f.Q("Q(X) :- R(X, V).");
+  // Extra comparisons on q1's side only shrink it: bounded ⊆ free.
+  EXPECT_TRUE(ContainedIn(bounded, free, *f.vocab));
+  // The reverse needs V > 5 justified in `free` — it is not.
+  EXPECT_FALSE(ContainedIn(free, bounded, *f.vocab));
+  // Identical comparisons line up.
+  auto bounded2 = f.Q("Q(X) :- R(X, V), V > 5.");
+  EXPECT_TRUE(ContainedIn(bounded, bounded2, *f.vocab));
+}
+
+TEST(Containment, GroundTrueComparisonIsJustified) {
+  Queries f;
+  auto concrete = f.Q("Q(X) :- R(X, 7).");
+  auto bounded = f.Q("Q(X) :- R(X, V), V > 5.");
+  // Mapping V -> 7 makes q2's comparison ground and true.
+  EXPECT_TRUE(ContainedIn(concrete, bounded, *f.vocab));
+  auto small = f.Q("Q(X) :- R(X, 3).");
+  EXPECT_FALSE(ContainedIn(small, bounded, *f.vocab));
+}
+
+TEST(Containment, NegationIsNeverContained) {
+  Queries f;
+  auto neg = f.Q("Q(X) :- R(X, Y), not S(X).");
+  auto pos = f.Q("Q(X) :- R(X, Y).");
+  EXPECT_FALSE(ContainedIn(neg, pos, *f.vocab));
+  EXPECT_FALSE(ContainedIn(pos, neg, *f.vocab));
+}
+
+TEST(MinimizeUcq, DropsSubsumedMembers) {
+  Queries f;
+  std::vector<ConjunctiveQuery> ucq;
+  ucq.push_back(f.Q("Q(X) :- R(X, Y), S(Y)."));  // ⊆ the next one
+  ucq.push_back(f.Q("Q(X) :- R(X, Y)."));
+  ucq.push_back(f.Q("Q(X) :- T(X)."));  // incomparable
+  auto minimized = MinimizeUcq(std::move(ucq), *f.vocab);
+  ASSERT_EQ(minimized.size(), 2u);
+}
+
+TEST(MinimizeUcq, KeepsOneOfEquivalentPair) {
+  Queries f;
+  std::vector<ConjunctiveQuery> ucq;
+  ucq.push_back(f.Q("Q(X) :- R(X, Y)."));
+  ucq.push_back(f.Q("Q(A) :- R(A, B)."));  // α-equivalent
+  auto minimized = MinimizeUcq(std::move(ucq), *f.vocab);
+  EXPECT_EQ(minimized.size(), 1u);
+}
+
+TEST(MinimizeQuery, DropsRedundantAtoms) {
+  Queries f;
+  // The second R-atom is a homomorphic image of the first: redundant.
+  auto q = f.Q("Q(X) :- R(X, Y), R(X, Y2).");
+  auto core = MinimizeQuery(q, *f.vocab);
+  EXPECT_EQ(core.body.size(), 1u);
+  EXPECT_TRUE(ContainedIn(core, q, *f.vocab));
+  EXPECT_TRUE(ContainedIn(q, core, *f.vocab));
+}
+
+TEST(MinimizeQuery, KeepsNonRedundantJoins) {
+  Queries f;
+  auto q = f.Q("Q(X, Z) :- R(X, Y), S(Y, Z).");
+  EXPECT_EQ(MinimizeQuery(q, *f.vocab).body.size(), 2u);
+  auto triangle = f.Q("Q() :- E(X, Y), E(Y, Z), E(Z, X).");
+  EXPECT_EQ(MinimizeQuery(triangle, *f.vocab).body.size(), 3u);
+}
+
+TEST(MinimizeQuery, RespectsAnswerVariableSafety) {
+  Queries f;
+  // Dropping S(Y) would unbind the answer variable Y.
+  auto q = f.Q("Q(Y) :- R(X), S(Y).");
+  EXPECT_EQ(MinimizeQuery(q, *f.vocab).body.size(), 2u);
+}
+
+TEST(MinimizeQuery, RespectsComparisonSafety) {
+  Queries f;
+  auto q = f.Q("Q(X) :- R(X), S(V), V > 3.");
+  // S(V) binds the comparison variable; only duplicates could go.
+  EXPECT_EQ(MinimizeQuery(q, *f.vocab).body.size(), 2u);
+}
+
+TEST(MinimizeUcq, RewriterOutputIsMinimal) {
+  // Factorization produces a subsumed CQ; the minimizer removes it, so
+  // every kept member is incomparable with every other.
+  auto p = Parser::ParseProgram(
+      "Person(\"ann\").\n"
+      "HasParent(X, Z) :- Person(X).\n");
+  ASSERT_TRUE(p.ok());
+  auto q = Parser::ParseQuery("Q(X) :- HasParent(X, Z), HasParent(X2, Z).",
+                              p->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  auto ucq = qa::UcqRewriter::Rewrite(*p, *q);
+  ASSERT_TRUE(ucq.ok()) << ucq.status();
+  for (size_t i = 0; i < ucq->size(); ++i) {
+    for (size_t j = 0; j < ucq->size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(ContainedIn((*ucq)[i], (*ucq)[j], *p->vocab()))
+          << i << " subsumed by " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdqa::datalog

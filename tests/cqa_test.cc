@@ -1,0 +1,167 @@
+// Conflict detection and conflict-free (repair-core) query answering.
+
+#include "quality/cqa.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa::quality {
+namespace {
+
+using datalog::Parser;
+using datalog::Program;
+
+Program Parse(const std::string& text) {
+  auto p = Parser::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+TEST(Cqa, NoConflictsOnCleanData) {
+  Program p = Parse(
+      "P(1). Q(2).\n"
+      "! :- P(X), Q(X).\n");
+  CqaEngine cqa(p);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok()) << conflicts.status();
+  EXPECT_TRUE(conflicts->empty());
+  EXPECT_TRUE(cqa.SuspectFacts()->empty());
+}
+
+TEST(Cqa, AllViolationsReportedNotJustFirst) {
+  Program p = Parse(
+      "P(1). P(2). P(3). Q(1). Q(2).\n"
+      "! :- P(X), Q(X).\n");
+  CqaEngine cqa(p);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_EQ(conflicts->size(), 2u);
+}
+
+TEST(Cqa, SuspectsAreExtensionalWitnesses) {
+  Program p = Parse(
+      "P(1). Q(1).\n"
+      "! :- P(X), Q(X).\n");
+  CqaEngine cqa(p);
+  auto suspects = cqa.SuspectFacts();
+  ASSERT_TRUE(suspects.ok());
+  EXPECT_EQ(suspects->size(), 2u);  // P(1) and Q(1)
+}
+
+TEST(Cqa, DerivedWitnessesTraceToLeaves) {
+  // The constraint fires on a *derived* fact; the suspect must be the
+  // extensional fact beneath it.
+  Program p = Parse(
+      "Raw(1). Raw(2).\n"
+      "Bad(X) :- Raw(X), X > 1.\n"
+      "! :- Bad(X).\n");
+  CqaEngine cqa(p);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  ASSERT_EQ(conflicts->size(), 1u);
+  ASSERT_EQ((*conflicts)[0].suspects.size(), 1u);
+  EXPECT_EQ(p.vocab()->AtomToString((*conflicts)[0].suspects[0]), "Raw(2)");
+}
+
+TEST(Cqa, EgdConstantClashIsAConflict) {
+  Program p = Parse(
+      "T(\"w1\", \"a\"). T(\"w2\", \"b\"). U(\"u\", \"w1\"). "
+      "U(\"u\", \"w2\").\n"
+      "X = Y :- T(W, X), T(W2, Y), U(Z, W), U(Z, W2).\n");
+  CqaEngine cqa(p);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok()) << conflicts.status();
+  // The symmetric match (a,b) and (b,a) both violate.
+  EXPECT_EQ(conflicts->size(), 2u);
+}
+
+TEST(Cqa, EgdNullMergesAreNotConflicts) {
+  Program p = Parse(
+      "P(\"x\"). F(\"x\", \"v\").\n"
+      "R(X, Z) :- P(X).\n"
+      "Y = Z :- F(X, Y), R(X, Z).\n");
+  CqaEngine cqa(p);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts->empty());
+}
+
+TEST(Cqa, RepairCoreDropsOnlySuspects) {
+  Program p = Parse(
+      "P(1). P(2). Q(1).\n"
+      "! :- P(X), Q(X).\n");
+  CqaEngine cqa(p);
+  auto core = cqa.RepairCore();
+  ASSERT_TRUE(core.ok());
+  // P(1) and Q(1) dropped; P(2) survives.
+  EXPECT_EQ(core->facts().size(), 1u);
+  EXPECT_EQ(p.vocab()->AtomToString(core->facts()[0]), "P(2)");
+}
+
+TEST(Cqa, ConflictFreeAnswersUnderApproximate) {
+  Program p = Parse(
+      "Emp(\"ann\", \"hr\"). Emp(\"ann\", \"it\"). Emp(\"bob\", \"hr\").\n"
+      "D = D2 :- Emp(N, D), Emp(N, D2).\n");
+  CqaEngine cqa(p);
+  auto q = Parser::ParseQuery("Q(N) :- Emp(N, D).", p.mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  auto answers = cqa.ConflictFreeAnswers(*q);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // Ann's two department tuples conflict (both dropped); bob is certain.
+  // (True consistent answers would also include ann — the core is an
+  // under-approximation by construction.)
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(p.vocab()->TermToDisplayString(answers->tuples[0][0]), "bob");
+}
+
+TEST(Cqa, ProtectedPredicatesAreNeverSuspects) {
+  Program p = Parse(
+      "Data(1). Struct(1).\n"
+      "! :- Data(X), Struct(X).\n");
+  CqaEngine cqa(p);
+  cqa.Protect("Struct");
+  auto suspects = cqa.SuspectFacts();
+  ASSERT_TRUE(suspects.ok());
+  ASSERT_EQ(suspects->size(), 1u);
+  EXPECT_EQ(p.vocab()->AtomToString((*suspects)[0]), "Data(1)");
+  // The repair core keeps the structural fact.
+  auto core = cqa.RepairCore();
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->facts().size(), 1u);
+}
+
+TEST(Cqa, HospitalDirtyScenario) {
+  scenarios::HospitalOptions options;
+  options.include_violating_stay = true;
+  auto ontology = scenarios::BuildHospitalOntology(options);
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  CqaEngine cqa(*program);
+  cqa.ProtectDimensionStructure(**ontology);
+  auto conflicts = cqa.FindConflicts();
+  ASSERT_TRUE(conflicts.ok()) << conflicts.status();
+  ASSERT_EQ(conflicts->size(), 1u);
+  // The August/2005 Intensive stay is the suspect extensional tuple.
+  bool found = false;
+  for (const datalog::Atom& a : (*conflicts)[0].suspects) {
+    if (program->vocab()->AtomToString(a).find("Aug/20") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Conflict-free answers still see the clean PatientWard tuples.
+  auto q = Parser::ParseQuery("Q(W, D, P) :- PatientWard(W, D, P).",
+                              program->vocab().get());
+  ASSERT_TRUE(q.ok());
+  auto answers = cqa.ConflictFreeAnswers(*q);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers->size(), 6u);  // 7 extensional - 1 suspect
+}
+
+}  // namespace
+}  // namespace mdqa::quality

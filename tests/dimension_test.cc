@@ -1,0 +1,247 @@
+#include "md/dimension.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/cq_eval.h"
+#include "datalog/parser.h"
+
+namespace mdqa::md {
+namespace {
+
+DimensionSchema HospitalSchema() {
+  DimensionSchema s = DimensionSchema::Create("Hospital").value();
+  EXPECT_TRUE(s.AddCategory("Ward").ok());
+  EXPECT_TRUE(s.AddCategory("Unit").ok());
+  EXPECT_TRUE(s.AddCategory("Institution").ok());
+  EXPECT_TRUE(s.AddEdge("Ward", "Unit").ok());
+  EXPECT_TRUE(s.AddEdge("Unit", "Institution").ok());
+  return s;
+}
+
+TEST(DimensionSchema, CreateValidatesName) {
+  EXPECT_FALSE(DimensionSchema::Create("").ok());
+  EXPECT_TRUE(DimensionSchema::Create("Time").ok());
+}
+
+TEST(DimensionSchema, DuplicateCategoryRejected) {
+  DimensionSchema s = DimensionSchema::Create("D").value();
+  ASSERT_TRUE(s.AddCategory("C").ok());
+  EXPECT_EQ(s.AddCategory("C").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DimensionSchema, EdgeValidation) {
+  DimensionSchema s = HospitalSchema();
+  EXPECT_EQ(s.AddEdge("Ward", "Nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.AddEdge("Ward", "Ward").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddEdge("Ward", "Unit").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DimensionSchema, CycleRejected) {
+  DimensionSchema s = HospitalSchema();
+  EXPECT_EQ(s.AddEdge("Institution", "Ward").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DimensionSchema, DiamondIsAllowed) {
+  // HM schemas are DAGs, not trees: Day -> Week, Day -> Month, both -> All.
+  DimensionSchema s = DimensionSchema::Create("Time").value();
+  for (const char* c : {"Day", "Week", "Month", "All"}) {
+    ASSERT_TRUE(s.AddCategory(c).ok());
+  }
+  EXPECT_TRUE(s.AddEdge("Day", "Week").ok());
+  EXPECT_TRUE(s.AddEdge("Day", "Month").ok());
+  EXPECT_TRUE(s.AddEdge("Week", "All").ok());
+  EXPECT_TRUE(s.AddEdge("Month", "All").ok());
+  EXPECT_EQ(s.Parents("Day").size(), 2u);
+  EXPECT_EQ(s.Level("All").value(), 2);
+  EXPECT_EQ(s.Compare("Week", "Month").value(),
+            CategoryOrder::kIncomparable);
+}
+
+TEST(DimensionSchema, AncestryAndCompare) {
+  DimensionSchema s = HospitalSchema();
+  EXPECT_TRUE(s.IsAncestor("Ward", "Institution"));
+  EXPECT_FALSE(s.IsAncestor("Institution", "Ward"));
+  EXPECT_FALSE(s.IsAncestor("Ward", "Ward"));  // strict
+  EXPECT_EQ(s.Compare("Ward", "Unit").value(), CategoryOrder::kBelow);
+  EXPECT_EQ(s.Compare("Unit", "Ward").value(), CategoryOrder::kAbove);
+  EXPECT_EQ(s.Compare("Ward", "Ward").value(), CategoryOrder::kSame);
+  EXPECT_FALSE(s.Compare("Ward", "Nope").ok());
+}
+
+TEST(DimensionSchema, LevelsAndExtremes) {
+  DimensionSchema s = HospitalSchema();
+  EXPECT_EQ(s.Level("Ward").value(), 0);
+  EXPECT_EQ(s.Level("Unit").value(), 1);
+  EXPECT_EQ(s.Level("Institution").value(), 2);
+  EXPECT_EQ(s.BottomCategories(), std::vector<std::string>{"Ward"});
+  EXPECT_EQ(s.TopCategories(), std::vector<std::string>{"Institution"});
+}
+
+TEST(DimensionInstance, MembersBelongToOneCategory) {
+  DimensionInstance inst(HospitalSchema());
+  ASSERT_TRUE(inst.AddMember("Ward", "W1").ok());
+  EXPECT_TRUE(inst.AddMember("Ward", "W1").ok());  // idempotent
+  EXPECT_EQ(inst.AddMember("Unit", "W1").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(inst.AddMember("Nope", "X").code(), StatusCode::kNotFound);
+  EXPECT_EQ(inst.CategoryOf("W1").value(), "Ward");
+  EXPECT_FALSE(inst.CategoryOf("unknown").ok());
+}
+
+TEST(DimensionInstance, ChildParentMustParallelSchema) {
+  DimensionInstance inst(HospitalSchema());
+  ASSERT_TRUE(inst.AddMember("Ward", "W1").ok());
+  ASSERT_TRUE(inst.AddMember("Unit", "Standard").ok());
+  ASSERT_TRUE(inst.AddMember("Institution", "H1").ok());
+  EXPECT_TRUE(inst.AddChildParent("W1", "Standard").ok());
+  // Skipping a level violates the schema.
+  EXPECT_EQ(inst.AddChildParent("W1", "H1").code(),
+            StatusCode::kInvalidArgument);
+  // Wrong direction.
+  EXPECT_EQ(inst.AddChildParent("Standard", "W1").code(),
+            StatusCode::kInvalidArgument);
+}
+
+DimensionInstance PaperInstance() {
+  DimensionInstance inst(HospitalSchema());
+  for (const char* w : {"W1", "W2", "W3", "W4"}) {
+    EXPECT_TRUE(inst.AddMember("Ward", w).ok());
+  }
+  for (const char* u : {"Standard", "Intensive", "Terminal"}) {
+    EXPECT_TRUE(inst.AddMember("Unit", u).ok());
+  }
+  EXPECT_TRUE(inst.AddMember("Institution", "H1").ok());
+  EXPECT_TRUE(inst.AddChildParent("W1", "Standard").ok());
+  EXPECT_TRUE(inst.AddChildParent("W2", "Standard").ok());
+  EXPECT_TRUE(inst.AddChildParent("W3", "Intensive").ok());
+  EXPECT_TRUE(inst.AddChildParent("W4", "Terminal").ok());
+  EXPECT_TRUE(inst.AddChildParent("Standard", "H1").ok());
+  EXPECT_TRUE(inst.AddChildParent("Intensive", "H1").ok());
+  EXPECT_TRUE(inst.AddChildParent("Terminal", "H1").ok());
+  return inst;
+}
+
+TEST(DimensionInstance, RollUp) {
+  DimensionInstance inst = PaperInstance();
+  EXPECT_EQ(inst.RollUp("W1", "Unit").value(),
+            std::vector<std::string>{"Standard"});
+  EXPECT_EQ(inst.RollUp("W1", "Institution").value(),
+            std::vector<std::string>{"H1"});
+  EXPECT_EQ(inst.RollUp("W1", "Ward").value(),
+            std::vector<std::string>{"W1"});
+  EXPECT_FALSE(inst.RollUp("Standard", "Ward").ok());  // wrong direction
+  EXPECT_FALSE(inst.RollUp("nobody", "Unit").ok());
+}
+
+TEST(DimensionInstance, DrillDown) {
+  DimensionInstance inst = PaperInstance();
+  auto wards = inst.DrillDown("Standard", "Ward").value();
+  std::sort(wards.begin(), wards.end());
+  EXPECT_EQ(wards, (std::vector<std::string>{"W1", "W2"}));
+  auto all = inst.DrillDown("H1", "Ward").value();
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_FALSE(inst.DrillDown("W1", "Unit").ok());
+}
+
+TEST(DimensionInstance, StrictnessCheck) {
+  DimensionInstance inst = PaperInstance();
+  EXPECT_TRUE(inst.CheckStrict().ok());
+  // A ward in two units breaks strictness at the Unit level.
+  ASSERT_TRUE(inst.AddChildParent("W1", "Intensive").ok());
+  Status s = inst.CheckStrict();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("W1"), std::string::npos);
+}
+
+TEST(DimensionInstance, HomogeneityCheck) {
+  DimensionInstance inst = PaperInstance();
+  EXPECT_TRUE(inst.CheckHomogeneous().ok());
+  ASSERT_TRUE(inst.AddMember("Ward", "W9").ok());  // no parent unit
+  Status s = inst.CheckHomogeneous();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("W9"), std::string::npos);
+}
+
+TEST(Dimension, CreateEnforcesOptions) {
+  DimensionInstance inst = PaperInstance();
+  ASSERT_TRUE(inst.AddMember("Ward", "W9").ok());
+  Dimension::Options opts;
+  opts.require_homogeneous = true;
+  EXPECT_FALSE(Dimension::Create(inst, opts).ok());
+  EXPECT_TRUE(Dimension::Create(inst).ok());  // unchecked by default
+}
+
+TEST(Dimension, EmitFactsProducesCategoriesAndEdges) {
+  auto dim = Dimension::Create(PaperInstance());
+  ASSERT_TRUE(dim.ok());
+  datalog::Program program;
+  ASSERT_TRUE(dim->EmitFacts(&program).ok());
+  const auto& vocab = *program.vocab();
+  size_t wards = 0, unit_ward = 0;
+  for (const auto& f : program.facts()) {
+    if (vocab.PredicateName(f.predicate) == "Ward") ++wards;
+    if (vocab.PredicateName(f.predicate) == "UnitWard") ++unit_ward;
+  }
+  EXPECT_EQ(wards, 4u);
+  EXPECT_EQ(unit_ward, 4u);
+  // (parent, child) argument order, as in the paper.
+  auto q = datalog::Parser::ParseQuery("Q(W) :- UnitWard(\"Standard\", W).",
+                                       program.mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  datalog::Instance inst = datalog::Instance::FromProgram(program);
+  datalog::CqEvaluator eval(inst);
+  EXPECT_EQ(eval.Answers(*q)->size(), 2u);
+}
+
+TEST(Dimension, EdgePredicateNaming) {
+  EXPECT_EQ(Dimension::EdgePredicate("Unit", "Ward"), "UnitWard");
+  EXPECT_EQ(Dimension::EdgePredicate("Month", "Day"), "MonthDay");
+}
+
+TEST(DimensionBuilder, FluentConstruction) {
+  auto dim = DimensionBuilder("D")
+                 .Category("Low")
+                 .Category("High")
+                 .Edge("Low", "High")
+                 .Member("Low", "a")
+                 .Member("High", "b")
+                 .Link("a", "b")
+                 .Build();
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  EXPECT_EQ(dim->instance().RollUp("a", "High").value(),
+            std::vector<std::string>{"b"});
+}
+
+TEST(DimensionBuilder, SurfacesFirstError) {
+  auto dim = DimensionBuilder("D")
+                 .Category("A")
+                 .Category("A")  // duplicate: first error
+                 .Edge("A", "Zzz")
+                 .Build();
+  ASSERT_FALSE(dim.ok());
+  EXPECT_EQ(dim.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Dimension, ToDotRendersGraph) {
+  auto dim = Dimension::Create(PaperInstance());
+  ASSERT_TRUE(dim.ok());
+  std::string dot = dim->ToDot(/*with_members=*/true);
+  EXPECT_NE(dot.find("digraph \"Hospital\""), std::string::npos);
+  EXPECT_NE(dot.find("\"cat:Ward\" -> \"cat:Unit\""), std::string::npos);
+  EXPECT_NE(dot.find("\"m:W1\" -> \"m:Standard\""), std::string::npos);
+  // Without members only the category DAG appears.
+  std::string schema_only = dim->ToDot(false);
+  EXPECT_EQ(schema_only.find("m:W1"), std::string::npos);
+}
+
+TEST(Dimension, ToStringRendersHierarchy) {
+  auto dim = Dimension::Create(PaperInstance());
+  ASSERT_TRUE(dim.ok());
+  std::string s = dim->ToString();
+  EXPECT_NE(s.find("dimension Hospital"), std::string::npos);
+  EXPECT_NE(s.find("Institution"), std::string::npos);
+  EXPECT_NE(s.find("W3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdqa::md

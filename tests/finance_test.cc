@@ -1,0 +1,123 @@
+// The finance scenario: footprint mapping + EGD null resolution,
+// downward navigation without existentials, inter-dimensional joins.
+
+#include "scenarios/finance.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "qa/chase_qa.h"
+#include "quality/assessor.h"
+
+namespace mdqa::scenarios {
+namespace {
+
+TEST(Finance, OntologyBuildsAndClassifies) {
+  auto ontology = BuildFinanceOntology(FinanceOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  EXPECT_TRUE((*ontology)->ValidateReferential().ok());
+  const auto& rules = (*ontology)->dimensional_rules();
+  ASSERT_EQ(rules.size(), 1u);
+  // Downward, yet form (4) and existential-free: matching schemas.
+  EXPECT_EQ(rules[0].form, core::RuleForm::kForm4);
+  EXPECT_EQ(rules[0].navigation, core::Navigation::kDownward);
+  EXPECT_TRUE(rules[0].rule.ExistentialVariables().empty());
+  auto props = (*ontology)->Analyze();
+  ASSERT_TRUE(props.ok());
+  EXPECT_TRUE(props->weakly_sticky);
+}
+
+TEST(Finance, DrillDownCoversBothEastBranches) {
+  auto ontology = BuildFinanceOntology(FinanceOptions{});
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  auto qa = qa::ChaseQa::Create(*program);
+  ASSERT_TRUE(qa.ok()) << qa.status();
+  auto q = datalog::Parser::ParseQuery(
+      "Q(B) :- BranchAudited(B, \"Mar/1\", \"alice\").",
+      program->vocab().get());
+  ASSERT_TRUE(q.ok());
+  auto answers = qa->Answers(*q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // b1 and b2; b3 is west
+}
+
+TEST(Finance, FootprintEgdResolvesTerminals) {
+  auto context = BuildFinanceContext(FinanceOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  // The wide relation's terminal column: resolved for the three logged
+  // instants, still a null for the unlogged one.
+  auto resolved = context->RawAnswers(
+      "Q(Ti, Tl) :- TransactionWide(Ti, Ac, Am, Tl).");
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->size(), 3u);  // certain answers only
+}
+
+TEST(Finance, QualityVersionIsRows1And2) {
+  auto context = BuildFinanceContext(FinanceOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  auto quality = context->ComputeQualityVersion("Transactions");
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 2u);
+  EXPECT_TRUE(quality->Contains({Value::Str("Mar/1-10:00"),
+                                 Value::Str("acc1"), Value::Int(500)}));
+  EXPECT_TRUE(quality->Contains({Value::Str("Mar/1-11:00"),
+                                 Value::Str("acc2"), Value::Int(75)}));
+}
+
+TEST(Finance, AssessmentPrecisionHalf) {
+  auto context = BuildFinanceContext(FinanceOptions{});
+  ASSERT_TRUE(context.ok());
+  quality::Assessor assessor(&*context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->per_relation.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->per_relation[0].precision, 0.5);
+  EXPECT_EQ(report->dirty_tuples[0].size(), 2u);
+}
+
+TEST(Finance, CleanVersusRawOnAccountQuery) {
+  auto context = BuildFinanceContext(FinanceOptions{});
+  ASSERT_TRUE(context.ok());
+  auto raw = context->RawAnswers(
+      "Q(Ti, Am) :- Transactions(Ti, Ac, Am), Ac = \"acc1\".");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 2u);
+  auto clean = context->CleanAnswers(
+      "Q(Ti, Am) :- Transactions(Ti, Ac, Am), Ac = \"acc1\".");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->size(), 1u);  // only the audited Mar/1 transaction
+}
+
+TEST(Finance, FraudAlertConstraintFires) {
+  FinanceOptions options;
+  options.include_fraud_alert = true;
+  auto ontology = BuildFinanceOntology(options);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  auto qa = qa::ChaseQa::Create(*program);
+  ASSERT_FALSE(qa.ok());
+  EXPECT_EQ(qa.status().code(), StatusCode::kInconsistent);
+  EXPECT_NE(qa.status().message().find("t2"), std::string::npos);
+}
+
+TEST(Finance, EnginesAgree) {
+  auto ontology = BuildFinanceOntology(FinanceOptions{});
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  for (const char* text :
+       {"Q(B, D) :- BranchAudited(B, D, A).",
+        "Q(B, T) :- TerminalAtBranch(B, T)."}) {
+    auto q = datalog::Parser::ParseQuery(text, program->vocab().get());
+    ASSERT_TRUE(q.ok());
+    auto agreed = qa::CrossCheck(
+        *program, *q, {qa::Engine::kChase, qa::Engine::kDeterministicWs});
+    EXPECT_TRUE(agreed.ok()) << agreed.status();
+  }
+}
+
+}  // namespace
+}  // namespace mdqa::scenarios

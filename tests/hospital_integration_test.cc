@@ -1,0 +1,349 @@
+// End-to-end reproduction of the paper's running example: Tables I-V,
+// Examples 1-7, and the section III/IV claims, on the hospital scenario.
+
+#include "scenarios/hospital.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "qa/engines.h"
+#include "quality/assessor.h"
+
+namespace mdqa {
+namespace {
+
+using datalog::ConjunctiveQuery;
+using datalog::Parser;
+using datalog::Program;
+using scenarios::BuildHospitalContext;
+using scenarios::BuildHospitalOntology;
+using scenarios::BuildMeasurementsDatabase;
+using scenarios::HospitalOptions;
+
+// Renders an AnswerSet as a sorted list of comma-joined tuples.
+std::vector<std::string> Render(const qa::AnswerSet& answers,
+                                const datalog::Vocabulary& vocab) {
+  std::vector<std::string> out;
+  for (const auto& tuple : answers.tuples) {
+    std::string row;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) row += ",";
+      row += vocab.TermToDisplayString(tuple[i]);
+    }
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(HospitalOntology, BuildsAndValidates) {
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  EXPECT_TRUE((*ontology)->ValidateReferential().ok());
+  EXPECT_EQ((*ontology)->DimensionNames().size(), 3u);
+  EXPECT_EQ((*ontology)->CategoricalRelationNames().size(), 6u);
+}
+
+TEST(HospitalOntology, RuleClassification) {
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  const auto& rules = (*ontology)->dimensional_rules();
+  ASSERT_EQ(rules.size(), 3u);
+  // Rule (7): upward, form (4).
+  EXPECT_EQ(rules[0].form, core::RuleForm::kForm4);
+  EXPECT_EQ(rules[0].navigation, core::Navigation::kUpward);
+  // Rule (8): downward, form (4) (existential non-categorical shift).
+  EXPECT_EQ(rules[1].form, core::RuleForm::kForm4);
+  EXPECT_EQ(rules[1].navigation, core::Navigation::kDownward);
+  // Rule (9): downward, form (10) (existential categorical unit).
+  EXPECT_EQ(rules[2].form, core::RuleForm::kForm10);
+  EXPECT_EQ(rules[2].navigation, core::Navigation::kDownward);
+}
+
+TEST(HospitalOntology, SectionIIIClaims) {
+  // Full ontology: weakly sticky but not sticky; form (10) present, so
+  // the paper's separability shortcut is off.
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto props = (*ontology)->Analyze();
+  ASSERT_TRUE(props.ok()) << props.status();
+  EXPECT_TRUE(props->weakly_sticky);
+  EXPECT_FALSE(props->sticky);
+  EXPECT_TRUE(props->has_form10);
+  EXPECT_FALSE(props->separable_egds);
+  EXPECT_FALSE(props->upward_only);
+}
+
+TEST(HospitalOntology, UpwardOnlyVariant) {
+  HospitalOptions options;
+  options.include_downward_rules = false;
+  auto ontology = BuildHospitalOntology(options);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto props = (*ontology)->Analyze();
+  ASSERT_TRUE(props.ok()) << props.status();
+  EXPECT_TRUE(props->weakly_sticky);
+  EXPECT_TRUE(props->upward_only);
+  EXPECT_TRUE(props->separable_egds);
+}
+
+TEST(HospitalQuality, TableIIReproduction) {
+  // E1: the quality version of Table I is exactly Table II.
+  auto context = BuildHospitalContext(HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  auto quality = context->ComputeQualityVersion("Measurements");
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 2u);
+  EXPECT_TRUE(quality->Contains({Value::Str("Sep/5-12:10"),
+                                 Value::Str("Tom Waits"), Value::Real(38.2)}));
+  EXPECT_TRUE(quality->Contains({Value::Str("Sep/6-11:50"),
+                                 Value::Str("Tom Waits"), Value::Real(37.1)}));
+}
+
+TEST(HospitalQuality, TableIIReproductionViaWsEngine) {
+  auto context = BuildHospitalContext(HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  auto quality = context->ComputeQualityVersion(
+      "Measurements", qa::Engine::kDeterministicWs);
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 2u);
+}
+
+TEST(HospitalQuality, DoctorsCleanQuery) {
+  // Example 7: "Tom Waits' temperatures on Sep/5 around noon", rewritten
+  // to Measurements^q, returns exactly Table I row 1.
+  auto context = BuildHospitalContext(HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  auto clean = context->CleanAnswers(
+      "Q(T, P, V) :- Measurements(T, P, V), P = \"Tom Waits\", "
+      "T >= \"Sep/5-11:45\", T <= \"Sep/5-12:15\".");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  auto rows = Render(*clean, *context->ontology().vocab());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "Sep/5-12:10,Tom Waits,38.2");
+}
+
+TEST(HospitalQuality, RawVersusCleanContrast) {
+  // All of Tom's measurements: 4 raw rows, 2 clean rows (Table II).
+  auto context = BuildHospitalContext(HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  auto raw = context->RawAnswers(
+      "Q(T, V) :- Measurements(T, P, V), P = \"Tom Waits\".");
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  EXPECT_EQ(raw->size(), 4u);
+  auto clean = context->CleanAnswers(
+      "Q(T, V) :- Measurements(T, P, V), P = \"Tom Waits\".");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->size(), 2u);
+}
+
+TEST(HospitalShifts, DownwardNavigationExample5) {
+  // E2 / Examples 2 and 5: Mark works in the Standard unit on Sep/9, so
+  // downward navigation derives shifts in W1 and W2 that day, with a
+  // fresh null for the shift attribute.
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto vocab = program->vocab();
+
+  for (const char* ward : {"W1", "W2"}) {
+    auto query = Parser::ParseQuery(
+        std::string("Q(D) :- Shifts(\"") + ward +
+            "\", D, \"Mark\", S).",
+        vocab.get());
+    ASSERT_TRUE(query.ok()) << query.status();
+    auto answers = qa::Answer(qa::Engine::kChase, *program, *query);
+    ASSERT_TRUE(answers.ok()) << answers.status();
+    auto rows = Render(*answers, *vocab);
+    ASSERT_EQ(rows.size(), 1u) << "ward " << ward;
+    EXPECT_EQ(rows[0], "Sep/9");
+  }
+}
+
+TEST(HospitalShifts, DownwardNavigationViaWsEngine) {
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto query = Parser::ParseQuery("Q(D) :- Shifts(\"W2\", D, \"Mark\", S).",
+                                  program->vocab().get());
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto answers = qa::Answer(qa::Engine::kDeterministicWs, *program, *query);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  auto rows = Render(*answers, *program->vocab());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "Sep/9");
+}
+
+TEST(HospitalShifts, HelenShiftsViaBothLevels) {
+  // Helen: extensional (W1, Sep/6) plus derived W1/W2 on Sep/5 and Sep/6.
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto query = Parser::ParseQuery(
+      "Q(W, D) :- Shifts(W, D, \"Helen\", S).", program->vocab().get());
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto answers = qa::Answer(qa::Engine::kChase, *program, *query);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  auto rows = Render(*answers, *program->vocab());
+  EXPECT_EQ(rows, (std::vector<std::string>{"W1,Sep/5", "W1,Sep/6",
+                                            "W2,Sep/5", "W2,Sep/6"}));
+}
+
+TEST(HospitalDischarge, Form10DisjunctiveKnowledge) {
+  // E4 / Example 6: Elvis Costello was discharged from H2 but his unit is
+  // unknown: no certain answer, yet the boolean query "was he in some
+  // unit of H2 that day" holds, witnessed by a labeled null.
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto vocab = program->vocab();
+
+  auto open_query = Parser::ParseQuery(
+      "Q(U) :- PatientUnit(U, \"Oct/5\", \"Elvis Costello\").", vocab.get());
+  ASSERT_TRUE(open_query.ok()) << open_query.status();
+  auto certain = qa::Answer(qa::Engine::kChase, *program, *open_query);
+  ASSERT_TRUE(certain.ok()) << certain.status();
+  EXPECT_TRUE(certain->empty());
+
+  auto chase_qa = qa::ChaseQa::Create(*program);
+  ASSERT_TRUE(chase_qa.ok()) << chase_qa.status();
+  auto possible = chase_qa->PossibleAnswers(*open_query);
+  ASSERT_TRUE(possible.ok()) << possible.status();
+  ASSERT_EQ(possible->size(), 1u);
+  EXPECT_TRUE((*possible)[0][0].IsNull());
+
+  auto boolean_query = Parser::ParseQuery(
+      "Q() :- InstitutionUnit(\"H2\", U), "
+      "PatientUnit(U, \"Oct/5\", \"Elvis Costello\").",
+      vocab.get());
+  ASSERT_TRUE(boolean_query.ok()) << boolean_query.status();
+  auto holds = chase_qa->AnswerBoolean(*boolean_query);
+  ASSERT_TRUE(holds.ok()) << holds.status();
+  EXPECT_TRUE(*holds);
+}
+
+TEST(HospitalDischarge, RestrictedChaseAvoidsRedundantNulls) {
+  // Tom and Lou already appear in PatientUnit (via rule (7)) in units of
+  // H1 on their discharge days, so rule (9) must not invent nulls for
+  // them: PatientUnit = 6 certain + 1 null tuple (Elvis).
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto chase_qa = qa::ChaseQa::Create(*program);
+  ASSERT_TRUE(chase_qa.ok()) << chase_qa.status();
+  uint32_t pred = program->vocab()->FindPredicate("PatientUnit");
+  ASSERT_NE(pred, StringPool::kNotFound);
+  EXPECT_EQ(chase_qa->instance().CountFacts(pred), 7u);
+}
+
+TEST(HospitalConstraints, IntensiveCareViolation) {
+  // E3: the recorded Intensive-ward stay in August/2005 trips the
+  // inter-dimensional negative constraint.
+  HospitalOptions options;
+  options.include_violating_stay = true;
+  auto ontology = BuildHospitalOntology(options);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto chase_qa = qa::ChaseQa::Create(*program);
+  ASSERT_FALSE(chase_qa.ok());
+  EXPECT_EQ(chase_qa.status().code(), StatusCode::kInconsistent);
+  EXPECT_NE(chase_qa.status().message().find("PatientWard"),
+            std::string::npos);
+}
+
+TEST(HospitalConstraints, ThermometerEgdClash) {
+  // E5: two thermometer types inside the Standard unit make EGD (6)
+  // equate the constants T1 and T2 — a hard inconsistency.
+  HospitalOptions options;
+  options.include_therm_conflict = true;
+  auto ontology = BuildHospitalOntology(options);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto chase_qa = qa::ChaseQa::Create(*program);
+  ASSERT_FALSE(chase_qa.ok());
+  EXPECT_EQ(chase_qa.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(HospitalAssessment, ReportMeasuresTableOneThird) {
+  // Overall: 2 of Table I's 6 rows are quality tuples.
+  auto context = BuildHospitalContext(HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  quality::Assessor assessor(&*context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->referential_check.ok());
+  EXPECT_TRUE(report->constraint_check.ok());
+  ASSERT_EQ(report->per_relation.size(), 1u);
+  EXPECT_EQ(report->per_relation[0].original_size, 6u);
+  EXPECT_EQ(report->per_relation[0].quality_size, 2u);
+  EXPECT_EQ(report->per_relation[0].common, 2u);
+  EXPECT_NEAR(report->overall_precision, 2.0 / 6.0, 1e-9);
+}
+
+TEST(HospitalEngines, ChaseAndWsAgreeOnScenarioQueries) {
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  const char* queries[] = {
+      "Q(U, D, P) :- PatientUnit(U, D, P).",
+      "Q(W, D, N) :- Shifts(W, D, N, S).",
+      "Q(D) :- Shifts(\"W2\", D, \"Mark\", S).",
+      "Q(P) :- PatientUnit(\"Standard\", D, P).",
+      "Q(I, P) :- DischargePatients(I, D, P), PatientUnit(U, D, P), "
+      "InstitutionUnit(I, U).",
+  };
+  for (const char* text : queries) {
+    auto query = Parser::ParseQuery(text, program->vocab().get());
+    ASSERT_TRUE(query.ok()) << query.status() << " for " << text;
+    auto agreed = qa::CrossCheck(
+        *program, *query,
+        {qa::Engine::kChase, qa::Engine::kDeterministicWs});
+    EXPECT_TRUE(agreed.ok()) << agreed.status();
+  }
+}
+
+TEST(HospitalEngines, RewritingMatchesChaseOnUpwardOnly) {
+  HospitalOptions options;
+  options.include_downward_rules = false;
+  auto ontology = BuildHospitalOntology(options);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok()) << program.status();
+  const char* queries[] = {
+      "Q(U, D, P) :- PatientUnit(U, D, P).",
+      "Q(P) :- PatientUnit(\"Standard\", D, P).",
+      "Q(D, P) :- PatientUnit(\"Terminal\", D, P).",
+  };
+  for (const char* text : queries) {
+    auto query = Parser::ParseQuery(text, program->vocab().get());
+    ASSERT_TRUE(query.ok()) << query.status();
+    auto agreed = qa::CrossCheck(*program, *query,
+                                 {qa::Engine::kChase, qa::Engine::kRewriting,
+                                  qa::Engine::kDeterministicWs});
+    EXPECT_TRUE(agreed.ok()) << agreed.status();
+  }
+}
+
+TEST(HospitalFig1, DimensionRendering) {
+  auto ontology = BuildHospitalOntology(HospitalOptions{});
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  const md::Dimension* hospital = (*ontology)->FindDimension("Hospital");
+  ASSERT_NE(hospital, nullptr);
+  std::string rendered = hospital->ToString();
+  EXPECT_NE(rendered.find("AllHospital"), std::string::npos);
+  EXPECT_NE(rendered.find("Ward"), std::string::npos);
+  auto level = hospital->schema().Level("Institution");
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, 2);
+}
+
+}  // namespace
+}  // namespace mdqa

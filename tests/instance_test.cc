@@ -1,0 +1,167 @@
+#include "datalog/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace mdqa::datalog {
+namespace {
+
+TEST(FactTable, InsertDedupesAndKeepsMinLevel) {
+  FactTable t(2);
+  Term row[2] = {Term::Constant(1), Term::Constant(2)};
+  EXPECT_TRUE(t.Insert(row, 3));
+  EXPECT_FALSE(t.Insert(row, 5));  // duplicate
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Level(0), 3u);
+  EXPECT_FALSE(t.Insert(row, 1));  // lowers the level
+  EXPECT_EQ(t.Level(0), 1u);
+}
+
+TEST(FactTable, ContainsAndRow) {
+  FactTable t(2);
+  Term a[2] = {Term::Constant(1), Term::Null(0)};
+  Term b[2] = {Term::Constant(1), Term::Null(1)};
+  EXPECT_TRUE(t.Insert(a, 0));
+  EXPECT_TRUE(t.Contains(a));
+  EXPECT_FALSE(t.Contains(b));  // distinct nulls are distinct values
+  EXPECT_EQ(t.Row(0)[1], Term::Null(0));
+}
+
+TEST(FactTable, ProbeFindsRowsByPosition) {
+  FactTable t(2);
+  Term r1[2] = {Term::Constant(1), Term::Constant(10)};
+  Term r2[2] = {Term::Constant(1), Term::Constant(20)};
+  Term r3[2] = {Term::Constant(2), Term::Constant(10)};
+  t.Insert(r1, 0);
+  t.Insert(r2, 0);
+  t.Insert(r3, 0);
+  EXPECT_EQ(t.Probe(0, Term::Constant(1)).size(), 2u);
+  EXPECT_EQ(t.Probe(0, Term::Constant(2)).size(), 1u);
+  EXPECT_EQ(t.Probe(1, Term::Constant(10)).size(), 2u);
+  EXPECT_TRUE(t.Probe(1, Term::Constant(99)).empty());
+}
+
+TEST(Instance, FromProgramLoadsFactsAtLevelZero) {
+  auto p = Parser::ParseProgram("P(\"a\"). P(\"b\"). Q(\"a\", \"b\").");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  EXPECT_EQ(inst.TotalFacts(), 3u);
+  uint32_t pred = p->vocab()->FindPredicate("P");
+  EXPECT_EQ(inst.CountFacts(pred), 2u);
+  EXPECT_EQ(inst.Table(pred)->Level(0), 0u);
+}
+
+TEST(Instance, AddFactReportsNovelty) {
+  auto p = Parser::ParseProgram("P(\"a\").");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  Atom f = p->facts()[0];
+  EXPECT_FALSE(inst.AddFact(f, 1));  // already present
+  f.terms[0] = p->vocab()->Str("new");
+  EXPECT_TRUE(inst.AddFact(f, 1));
+  EXPECT_TRUE(inst.Contains(f));
+}
+
+TEST(Instance, PredicatesSortedAndCounted) {
+  auto p = Parser::ParseProgram("B(1). A(1). A(2).");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  auto preds = inst.Predicates();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_LT(preds[0], preds[1]);
+}
+
+TEST(Instance, FactsRoundTrip) {
+  auto p = Parser::ParseProgram("P(\"x\", 1). P(\"y\", 2).");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  uint32_t pred = p->vocab()->FindPredicate("P");
+  auto facts = inst.Facts(pred);
+  ASSERT_EQ(facts.size(), 2u);
+  for (const Atom& f : facts) EXPECT_TRUE(inst.Contains(f));
+}
+
+TEST(Instance, LoadRelationAndDatabase) {
+  Database db;
+  ASSERT_TRUE(db.InsertText("R", {"a", "1"}).ok());
+  ASSERT_TRUE(db.InsertText("R", {"b", "2"}).ok());
+  ASSERT_TRUE(db.InsertText("S", {"x"}).ok());
+  auto vocab = std::make_shared<Vocabulary>();
+  Instance inst(vocab);
+  ASSERT_TRUE(inst.LoadDatabase(db).ok());
+  EXPECT_EQ(inst.TotalFacts(), 3u);
+  EXPECT_EQ(inst.CountFacts(vocab->FindPredicate("R")), 2u);
+}
+
+TEST(Instance, LoadRelationRejectsArityDrift) {
+  Database db;
+  ASSERT_TRUE(db.InsertText("R", {"a", "1"}).ok());
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(vocab->InternPredicate("R", 3).ok());
+  Instance inst(vocab);
+  auto rel = db.GetRelation("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(inst.LoadRelation(**rel).ok());
+}
+
+TEST(Instance, ExportRelationDropsOrKeepsNulls) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(vocab->InternPredicate("P", 2).ok());
+  uint32_t pred = vocab->FindPredicate("P");
+  Instance inst(vocab);
+  inst.AddFact(Atom(pred, {vocab->Str("a"), vocab->Str("b")}), 0);
+  inst.AddFact(Atom(pred, {vocab->Str("c"), vocab->FreshNull()}), 1);
+
+  auto certain = inst.ExportRelation(pred, "P", {"x", "y"}, false);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->size(), 1u);
+
+  auto all = inst.ExportRelation(pred, "P", {}, true);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  EXPECT_EQ(all->schema().attribute(0).name, "a0");
+}
+
+TEST(Instance, ExportRelationChecksAttributeCount) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(vocab->InternPredicate("P", 2).ok());
+  Instance inst(vocab);
+  EXPECT_FALSE(
+      inst.ExportRelation(vocab->FindPredicate("P"), "P", {"one"}, true).ok());
+}
+
+TEST(Instance, ToStringIsSortedAndReparseable) {
+  auto p = Parser::ParseProgram("B(2). A(1). B(1).");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  std::string s = inst.ToString();
+  EXPECT_EQ(s, "A(1).\nB(1).\nB(2).\n");
+}
+
+TEST(Vocabulary, PredicateArityConflictRejected) {
+  Vocabulary vocab;
+  ASSERT_TRUE(vocab.InternPredicate("P", 2).ok());
+  EXPECT_TRUE(vocab.InternPredicate("P", 2).ok());
+  EXPECT_FALSE(vocab.InternPredicate("P", 3).ok());
+}
+
+TEST(Vocabulary, FreshVariablesNeverCollideWithParsedOnes) {
+  Vocabulary vocab;
+  vocab.InternVariable("X");
+  Term fresh = vocab.FreshVariable();
+  EXPECT_NE(vocab.VariableName(fresh.id()), "X");
+  EXPECT_EQ(vocab.VariableName(fresh.id()).substr(0, 2), "$v");
+}
+
+TEST(Vocabulary, FreshNullsAreSequential) {
+  Vocabulary vocab;
+  Term n0 = vocab.FreshNull();
+  Term n1 = vocab.FreshNull();
+  EXPECT_NE(n0, n1);
+  EXPECT_EQ(vocab.NumNulls(), 2u);
+  EXPECT_EQ(vocab.TermToString(n0), "_n0");
+}
+
+}  // namespace
+}  // namespace mdqa::datalog

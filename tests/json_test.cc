@@ -1,0 +1,98 @@
+#include "base/json.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/assessor.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa {
+namespace {
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("mdqa");
+  w.Key("version").Number(int64_t{1});
+  w.Key("ratio").Number(0.5);
+  w.Key("ok").Bool(true);
+  w.Key("none").Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"name\":\"mdqa\",\"version\":1,\"ratio\":0.5,\"ok\":true,"
+            "\"none\":null}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows").BeginArray();
+  w.BeginArray().String("a").Number(int64_t{2}).EndArray();
+  w.BeginArray().EndArray();
+  w.EndArray();
+  w.Key("meta").BeginObject();
+  w.Key("empty").BeginObject().EndObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"rows\":[[\"a\",2],[]],\"meta\":{\"empty\":{}}}");
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  JsonWriter w;
+  w.BeginArray().Number(int64_t{1}).Number(int64_t{2}).EndArray();
+  EXPECT_EQ(w.TakeString(), "[1,2]");
+}
+
+TEST(JsonWriter, EscapesKeys) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("we\"ird").String("v");
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{\"we\\\"ird\":\"v\"}");
+}
+
+TEST(QualityJson, MeasuresExport) {
+  quality::QualityMeasures m;
+  m.relation = "Measurements";
+  m.original_size = 6;
+  m.quality_size = 2;
+  m.common = 2;
+  m.precision = 1.0 / 3.0;
+  m.recall = 1.0;
+  m.f1 = 0.5;
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"relation\":\"Measurements\""), std::string::npos);
+  EXPECT_NE(json.find("\"original_size\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"f1\":0.5"), std::string::npos);
+}
+
+TEST(QualityJson, FullReportExport) {
+  auto context =
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok());
+  quality::Assessor assessor(&*context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"referential_check\":\"OK\""), std::string::npos);
+  EXPECT_NE(json.find("\"overall_precision\":0.333333333333"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dirty_tuples\":[["), std::string::npos);
+  EXPECT_NE(json.find("Sep/7-12:15"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace mdqa

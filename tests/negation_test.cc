@@ -1,0 +1,256 @@
+// Stratified negation: parsing, safety, stratification, evaluation in
+// queries and rules, and the paper's form-(1) referential constraints
+// expressed literally with `not K(e)`.
+
+#include <gtest/gtest.h>
+
+#include "core/md_ontology.h"
+#include "datalog/analysis.h"
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "md/categorical.h"
+#include "md/dimension.h"
+#include "qa/engines.h"
+
+namespace mdqa::datalog {
+namespace {
+
+TEST(NegationParsing, NegatedBodyAtoms) {
+  auto p = Parser::ParseProgram(
+      "Clean(X) :- All(X), not Dirty(X).\n"
+      "! :- Used(X), not Registered(X).\n");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->rules().size(), 2u);
+  EXPECT_EQ(p->rules()[0].negated.size(), 1u);
+  EXPECT_EQ(p->rules()[1].negated.size(), 1u);
+  // Round trip.
+  auto p2 = Parser::ParseProgram(p->ToString());
+  ASSERT_TRUE(p2.ok()) << p2.status() << "\n" << p->ToString();
+  EXPECT_EQ(p2->ToString(), p->ToString());
+}
+
+TEST(NegationParsing, NotAsConstantStillWorks) {
+  // 'not' not followed by an atom is an ordinary lowercase constant.
+  auto p = Parser::ParseProgram("P(not).\nQ2(X) :- P(X), X = not.\n");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->rules()[0].negated.empty());
+}
+
+TEST(NegationParsing, UnsafeNegationRejected) {
+  // Z appears only under negation.
+  auto p = Parser::ParseProgram("Q2(X) :- P(X), not R(Z).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST(NegationParsing, UnsafeQueryRejected) {
+  Vocabulary vocab;
+  EXPECT_FALSE(
+      Parser::ParseQuery("Q(X) :- P(X), not R(Y).", &vocab).ok());
+  EXPECT_TRUE(
+      Parser::ParseQuery("Q(X) :- P(X), not R(X).", &vocab).ok());
+}
+
+TEST(Stratification, NegationFreeIsSingleStratum) {
+  auto p = Parser::ParseProgram("B(X) :- A(X).\nC(X) :- B(X).\n");
+  ASSERT_TRUE(p.ok());
+  auto strata = StratifyProgram(*p);
+  ASSERT_TRUE(strata.ok());
+  for (const auto& [_, s] : *strata) EXPECT_EQ(s, 0);
+}
+
+TEST(Stratification, NegationRaisesStratum) {
+  auto p = Parser::ParseProgram(
+      "Dirty(X) :- Raw(X), Flag(X).\n"
+      "Clean(X) :- Raw(X), not Dirty(X).\n");
+  ASSERT_TRUE(p.ok());
+  auto strata = StratifyProgram(*p);
+  ASSERT_TRUE(strata.ok());
+  uint32_t dirty = p->vocab()->FindPredicate("Dirty");
+  uint32_t clean = p->vocab()->FindPredicate("Clean");
+  EXPECT_LT(strata->at(dirty), strata->at(clean));
+}
+
+TEST(Stratification, NegativeCycleRejected) {
+  auto p = Parser::ParseProgram(
+      "A(X) :- U(X), not B(X).\n"
+      "B(X) :- U(X), not A(X).\n");
+  ASSERT_TRUE(p.ok());
+  auto strata = StratifyProgram(*p);
+  ASSERT_FALSE(strata.ok());
+  EXPECT_NE(strata.status().message().find("not stratified"),
+            std::string::npos);
+}
+
+TEST(Stratification, NegativeSelfLoopRejected) {
+  auto p = Parser::ParseProgram("A(X) :- U(X), not A(X).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(StratifyProgram(*p).ok());
+}
+
+TEST(NegationEval, QueryLevelSetDifference) {
+  auto p = Parser::ParseProgram("All(1). All(2). All(3). Bad(2).");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  auto q = Parser::ParseQuery("Q(X) :- All(X), not Bad(X).",
+                              p->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  CqEvaluator eval(inst);
+  auto answers = eval.Answers(*q);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers->size(), 2u);
+}
+
+TEST(NegationEval, NegationOnDerivedPredicate) {
+  auto p = Parser::ParseProgram(
+      "Raw(1). Raw(2). Raw(3). Flag(2).\n"
+      "Dirty(X) :- Raw(X), Flag(X).\n"
+      "Clean(X) :- Raw(X), not Dirty(X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  auto stats = Chase::Run(*p, &inst, ChaseOptions());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  uint32_t clean = p->vocab()->FindPredicate("Clean");
+  EXPECT_EQ(inst.CountFacts(clean), 2u);
+}
+
+TEST(NegationEval, StratifiedThreeLevels) {
+  auto p = Parser::ParseProgram(
+      "Node(1). Node(2). Node(3). E(1, 2).\n"
+      "HasOut(X) :- E(X, Y).\n"
+      "Sink(X) :- Node(X), not HasOut(X).\n"
+      "NonSink(X) :- Node(X), not Sink(X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  ASSERT_TRUE(Chase::Run(*p, &inst, ChaseOptions()).ok());
+  EXPECT_EQ(inst.CountFacts(p->vocab()->FindPredicate("Sink")), 2u);
+  EXPECT_EQ(inst.CountFacts(p->vocab()->FindPredicate("NonSink")), 1u);
+}
+
+TEST(NegationEval, StratumOrderIndependentOfRuleOrder) {
+  // Clean's rule listed before Dirty's: strata still force Dirty first.
+  auto p = Parser::ParseProgram(
+      "Raw(1). Raw(2). Flag(2).\n"
+      "Clean(X) :- Raw(X), not Dirty(X).\n"
+      "Dirty(X) :- Raw(X), Flag(X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  ASSERT_TRUE(Chase::Run(*p, &inst, ChaseOptions()).ok());
+  EXPECT_EQ(inst.CountFacts(p->vocab()->FindPredicate("Clean")), 1u);
+}
+
+TEST(NegationEval, NegationInNegativeConstraints) {
+  auto p = Parser::ParseProgram(
+      "Used(\"a\"). Registered(\"a\").\n"
+      "! :- Used(X), not Registered(X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  EXPECT_TRUE(Chase::Run(*p, &inst, ChaseOptions()).ok());
+
+  auto bad = Parser::ParseProgram(
+      "Used(\"a\").\n"
+      "! :- Used(X), not Registered(X).\n");
+  ASSERT_TRUE(bad.ok());
+  Instance bad_inst = Instance::FromProgram(*bad);
+  auto stats = Chase::Run(*bad, &bad_inst, ChaseOptions());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(NegationEval, NullsAreNotConstants) {
+  // A labeled null is never equal to a constant, so `not K(null)` holds
+  // under closed-world reading.
+  auto p = Parser::ParseProgram(
+      "K(\"a\").\n"
+      "P(\"x\").\n"
+      "R(X, Z) :- P(X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  ASSERT_TRUE(Chase::Run(*p, &inst, ChaseOptions()).ok());
+  auto q = Parser::ParseQuery("Q(Z) :- R(X, Z), not K(Z).",
+                              p->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  CqEvaluator eval(inst);
+  auto answers = eval.Answers(*q);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_TRUE((*answers)[0][0].IsNull());
+}
+
+TEST(NegationEngines, WsAndRewritingRejectNegation) {
+  auto p = Parser::ParseProgram(
+      "All(1). Bad(1).\n"
+      "Clean(X) :- All(X), not Bad(X).\n");
+  ASSERT_TRUE(p.ok());
+  auto q = Parser::ParseQuery("Q(X) :- Clean(X).", p->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(qa::Answer(qa::Engine::kDeterministicWs, *p, *q).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(qa::Answer(qa::Engine::kRewriting, *p, *q).status().code(),
+            StatusCode::kUnimplemented);
+  // The chase engine handles it.
+  auto a = qa::Answer(qa::Engine::kChase, *p, *q);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_TRUE(a->empty());
+}
+
+}  // namespace
+}  // namespace mdqa::datalog
+
+namespace mdqa::core {
+namespace {
+
+TEST(NegationOntology, DimensionalRulesMustBePositive) {
+  auto ontology = std::make_shared<MdOntology>();
+  auto dim = md::DimensionBuilder("D")
+                 .Category("Low")
+                 .Category("High")
+                 .Edge("Low", "High")
+                 .Member("Low", "a")
+                 .Member("High", "b")
+                 .Link("a", "b")
+                 .Build();
+  ASSERT_TRUE(dim.ok());
+  ASSERT_TRUE(ontology->AddDimension(std::move(dim).value()).ok());
+  auto rel = md::CategoricalRelation::Create(
+      "R", {md::CategoricalAttribute::Categorical("Low", "D", "Low")});
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(ontology->AddCategoricalRelation(std::move(rel).value()).ok());
+  Status s = ontology->AddDimensionalRule("R(X) :- R(X), not Low(X).");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NegationOntology, Form1ConstraintsEmittedAndChecked) {
+  auto ontology = std::make_shared<MdOntology>();
+  auto dim = md::DimensionBuilder("D")
+                 .Category("Low")
+                 .Category("High")
+                 .Edge("Low", "High")
+                 .Member("Low", "a")
+                 .Member("High", "b")
+                 .Link("a", "b")
+                 .Build();
+  ASSERT_TRUE(dim.ok());
+  ASSERT_TRUE(ontology->AddDimension(std::move(dim).value()).ok());
+  auto rel = md::CategoricalRelation::Create(
+      "R", {md::CategoricalAttribute::Categorical("Low", "D", "Low"),
+            md::CategoricalAttribute::Plain("v")});
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->InsertText({"a", "1"}).ok());
+  ASSERT_TRUE(rel->InsertText({"ghost", "2"}).ok());  // not a Low member
+  ASSERT_TRUE(ontology->AddCategoricalRelation(std::move(rel).value()).ok());
+
+  auto program = ontology->Compile();
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(ontology->EmitReferentialConstraints(&*program).ok());
+  datalog::Instance inst = datalog::Instance::FromProgram(*program);
+  Status s = datalog::Chase::CheckConstraints(*program, inst);
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+  EXPECT_NE(s.message().find("ghost"), std::string::npos);
+  // The native validator agrees.
+  EXPECT_EQ(ontology->ValidateReferential().code(),
+            StatusCode::kInconsistent);
+}
+
+}  // namespace
+}  // namespace mdqa::core

@@ -1,0 +1,163 @@
+// Property tests at the ontology level: random three-level dimensions
+// built through the public md/core APIs, checked for (a) referential
+// integrity, (b) the paper's weak-stickiness claim, (c) engine agreement,
+// and (d) semantic soundness of upward navigation (every derived
+// unit-level tuple is justified by a ward-level tuple and a member edge).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/md_ontology.h"
+#include "datalog/parser.h"
+#include "md/categorical.h"
+#include "md/dimension.h"
+#include "qa/chase_qa.h"
+#include "qa/engines.h"
+
+namespace mdqa::core {
+namespace {
+
+struct RandomOntology {
+  std::shared_ptr<MdOntology> ontology;
+  int n_low = 0;
+  int n_mid = 0;
+};
+
+RandomOntology Generate(uint32_t seed) {
+  std::mt19937 rng(seed * 48271u + 11);
+  auto pick = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<uint32_t>(hi - lo + 1));
+  };
+  RandomOntology out;
+  out.n_low = pick(3, 8);
+  out.n_mid = pick(1, 4);
+  const int n_top = pick(1, 2);
+
+  md::DimensionBuilder b("Dim");
+  b.Category("Low").Category("Mid").Category("Top").Category("AllDim");
+  b.Edge("Low", "Mid").Edge("Mid", "Top").Edge("Top", "AllDim");
+  b.Member("AllDim", "all");
+  for (int t = 0; t < n_top; ++t) {
+    b.Member("Top", "t" + std::to_string(t));
+    b.Link("t" + std::to_string(t), "all");
+  }
+  for (int m = 0; m < out.n_mid; ++m) {
+    b.Member("Mid", "m" + std::to_string(m));
+    b.Link("m" + std::to_string(m), "t" + std::to_string(pick(0, n_top - 1)));
+  }
+  for (int l = 0; l < out.n_low; ++l) {
+    b.Member("Low", "l" + std::to_string(l));
+    b.Link("l" + std::to_string(l),
+           "m" + std::to_string(pick(0, out.n_mid - 1)));
+  }
+  md::Dimension::Options opts;
+  opts.require_strict = true;
+  opts.require_homogeneous = true;
+  auto dim = b.Build(opts);
+  EXPECT_TRUE(dim.ok()) << dim.status();
+
+  out.ontology = std::make_shared<MdOntology>();
+  EXPECT_TRUE(out.ontology->AddDimension(std::move(dim).value()).ok());
+
+  auto rlow = md::CategoricalRelation::Create(
+      "RLow", {md::CategoricalAttribute::Categorical("Low", "Dim", "Low"),
+               md::CategoricalAttribute::Plain("Payload")});
+  EXPECT_TRUE(rlow.ok());
+  const int rows = pick(2, 12);
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_TRUE(rlow->InsertText({"l" + std::to_string(pick(0, out.n_low - 1)),
+                                  "p" + std::to_string(pick(0, 3))})
+                    .ok());
+  }
+  EXPECT_TRUE(out.ontology->AddCategoricalRelation(std::move(rlow).value())
+                  .ok());
+
+  auto rmid = md::CategoricalRelation::Create(
+      "RMid", {md::CategoricalAttribute::Categorical("Mid", "Dim", "Mid"),
+               md::CategoricalAttribute::Plain("Payload")});
+  EXPECT_TRUE(rmid.ok());
+  EXPECT_TRUE(out.ontology->AddCategoricalRelation(std::move(rmid).value())
+                  .ok());
+
+  EXPECT_TRUE(out.ontology
+                  ->AddDimensionalRule(
+                      "RMid(M, P) :- RLow(L, P), MidLow(M, L).")
+                  .ok());
+  return out;
+}
+
+class OntologyProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OntologyProperty, ReferentialAndClassification) {
+  RandomOntology r = Generate(GetParam());
+  EXPECT_TRUE(r.ontology->ValidateReferential().ok());
+  auto props = r.ontology->Analyze();
+  ASSERT_TRUE(props.ok());
+  EXPECT_TRUE(props->weakly_sticky);  // the paper's §III claim
+  EXPECT_TRUE(props->upward_only);
+}
+
+TEST_P(OntologyProperty, EnginesAgreeIncludingRewriting) {
+  RandomOntology r = Generate(GetParam());
+  auto program = r.ontology->Compile();
+  ASSERT_TRUE(program.ok());
+  for (const char* text :
+       {"Q(M, P) :- RMid(M, P).", "Q(P) :- RMid(\"m0\", P).",
+        "Q(M) :- RMid(M, \"p0\")."}) {
+    auto q = datalog::Parser::ParseQuery(text, program->vocab().get());
+    ASSERT_TRUE(q.ok());
+    auto agreed = qa::CrossCheck(
+        *program, *q,
+        {qa::Engine::kChase, qa::Engine::kDeterministicWs,
+         qa::Engine::kRewriting});
+    EXPECT_TRUE(agreed.ok()) << agreed.status();
+  }
+}
+
+TEST_P(OntologyProperty, UpwardNavigationIsJustified) {
+  // Soundness: every derived RMid(m, p) has a witness RLow(l, p) with
+  // l a child of m in the dimension instance.
+  RandomOntology r = Generate(GetParam());
+  auto program = r.ontology->Compile();
+  ASSERT_TRUE(program.ok());
+  auto chase = qa::ChaseQa::Create(*program);
+  ASSERT_TRUE(chase.ok());
+  const md::DimensionInstance& dim =
+      r.ontology->FindDimension("Dim")->instance();
+  const auto& vocab = *program->vocab();
+  uint32_t rmid = vocab.FindPredicate("RMid");
+  uint32_t rlow = vocab.FindPredicate("RLow");
+  for (const datalog::Atom& derived : chase->instance().Facts(rmid)) {
+    std::string mid = vocab.ConstantValue(derived.terms[0].id()).AsString();
+    bool justified = false;
+    for (const datalog::Atom& base : chase->instance().Facts(rlow)) {
+      if (base.terms[1] != derived.terms[1]) continue;
+      std::string low = vocab.ConstantValue(base.terms[0].id()).AsString();
+      auto ups = dim.RollUp(low, "Mid");
+      ASSERT_TRUE(ups.ok());
+      if (!ups->empty() && (*ups)[0] == mid) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << vocab.AtomToString(derived);
+  }
+  // Completeness: as many derived groups as distinct (mid, payload)
+  // pairs implied by the data.
+  std::set<std::pair<std::string, std::string>> expected;
+  for (const datalog::Atom& base : chase->instance().Facts(rlow)) {
+    std::string low = vocab.ConstantValue(base.terms[0].id()).AsString();
+    auto ups = dim.RollUp(low, "Mid");
+    ASSERT_TRUE(ups.ok());
+    expected.emplace((*ups)[0],
+                     vocab.ConstantValue(base.terms[1].id()).AsString());
+  }
+  EXPECT_EQ(chase->instance().CountFacts(rmid), expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OntologyProperty, ::testing::Range(0u, 16u));
+
+}  // namespace
+}  // namespace mdqa::core

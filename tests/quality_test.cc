@@ -1,0 +1,371 @@
+#include "quality/context.h"
+
+#include <gtest/gtest.h>
+
+#include "md/dimension.h"
+#include "quality/assessor.h"
+#include "scenarios/hospital.h"
+#include "quality/measures.h"
+
+namespace mdqa::quality {
+namespace {
+
+using md::CategoricalAttribute;
+using md::CategoricalRelation;
+using md::DimensionBuilder;
+
+Relation MakeRelation(const std::string& name, size_t arity,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::string> attrs;
+  for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+  Relation r(RelationSchema::Create(name, attrs).value());
+  for (const auto& row : rows) EXPECT_TRUE(r.InsertText(row).ok());
+  return r;
+}
+
+TEST(Measures, PerfectQuality) {
+  Relation d = MakeRelation("D", 1, {{"a"}, {"b"}});
+  Relation q = MakeRelation("Dq", 1, {{"a"}, {"b"}});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->precision, 1.0);
+  EXPECT_DOUBLE_EQ(m->recall, 1.0);
+  EXPECT_DOUBLE_EQ(m->f1, 1.0);
+}
+
+TEST(Measures, PartialOverlap) {
+  Relation d = MakeRelation("D", 1, {{"a"}, {"b"}, {"c"}, {"d"}});
+  Relation q = MakeRelation("Dq", 1, {{"a"}, {"b"}});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->common, 2u);
+  EXPECT_DOUBLE_EQ(m->precision, 0.5);
+  EXPECT_DOUBLE_EQ(m->recall, 1.0);
+  EXPECT_NEAR(m->f1, 2 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(Measures, QualityVersionMayAddTuples) {
+  // Data completion (downward navigation) can make D^q larger than D.
+  Relation d = MakeRelation("D", 1, {{"a"}});
+  Relation q = MakeRelation("Dq", 1, {{"a"}, {"new1"}, {"new2"}});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->precision, 1.0);
+  EXPECT_NEAR(m->recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Measures, EmptyRelationsAreVacuouslyPerfect) {
+  Relation d = MakeRelation("D", 1, {});
+  Relation q = MakeRelation("Dq", 1, {});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->precision, 1.0);
+  EXPECT_DOUBLE_EQ(m->recall, 1.0);
+}
+
+TEST(Measures, DisjointIsZero) {
+  Relation d = MakeRelation("D", 1, {{"a"}});
+  Relation q = MakeRelation("Dq", 1, {{"b"}});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->precision, 0.0);
+  EXPECT_DOUBLE_EQ(m->f1, 0.0);
+}
+
+TEST(Measures, ArityMismatchRejected) {
+  Relation d = MakeRelation("D", 1, {{"a"}});
+  Relation q = MakeRelation("Dq", 2, {{"a", "b"}});
+  EXPECT_FALSE(Measure(d, q).ok());
+}
+
+TEST(Measures, ToStringMentionsRelation) {
+  Relation d = MakeRelation("Sales", 1, {{"a"}});
+  Relation q = MakeRelation("Salesq", 1, {{"a"}});
+  auto m = Measure(d, q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NE(m->ToString().find("Sales"), std::string::npos);
+}
+
+// A minimal context: one dimension, one categorical relation, one
+// original relation with a quality version defined through navigation.
+std::shared_ptr<core::MdOntology> TinyOntology() {
+  auto ontology = std::make_shared<core::MdOntology>();
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("City", "c1")
+                 .Member("City", "c2")
+                 .Member("Region", "good")
+                 .Member("Region", "bad")
+                 .Link("c1", "good")
+                 .Link("c2", "bad")
+                 .Build()
+                 .value();
+  EXPECT_TRUE(ontology->AddDimension(std::move(dim)).ok());
+  auto stores = CategoricalRelation::Create(
+      "StoreCity", {CategoricalAttribute::Plain("Store"),
+                    CategoricalAttribute::Categorical("City", "Geo", "City")});
+  EXPECT_TRUE(stores.ok());
+  EXPECT_TRUE(stores->InsertText({"s1", "c1"}).ok());
+  EXPECT_TRUE(stores->InsertText({"s2", "c2"}).ok());
+  EXPECT_TRUE(
+      ontology->AddCategoricalRelation(std::move(stores).value()).ok());
+  return ontology;
+}
+
+QualityContext TinyContext() {
+  QualityContext context(TinyOntology());
+  Database db;
+  EXPECT_TRUE(db.InsertText("Sales", {"s1", "10"}).ok());
+  EXPECT_TRUE(db.InsertText("Sales", {"s2", "20"}).ok());
+  EXPECT_TRUE(context.SetDatabase(std::move(db)).ok());
+  EXPECT_TRUE(context.MapRelationToContext("Sales", "SalesC").ok());
+  // Quality tuples: sales from stores in the "good" region.
+  EXPECT_TRUE(context
+                  .DefineQualityVersion(
+                      "Sales", "SalesQ",
+                      "SalesQ(S, A) :- SalesC(S, A), StoreCity(S, C), "
+                      "RegionCity(\"good\", C).")
+                  .ok());
+  return context;
+}
+
+TEST(QualityContext, DatabaseNameCollisionRejected) {
+  QualityContext context(TinyOntology());
+  Database db;
+  ASSERT_TRUE(db.InsertText("StoreCity", {"x", "y"}).ok());
+  EXPECT_EQ(context.SetDatabase(std::move(db)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QualityContext, MappingRequiresExistingRelation) {
+  QualityContext context(TinyOntology());
+  EXPECT_EQ(context.MapRelationToContext("Nope", "NopeC").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QualityContext, FootprintMappingInventsNulls) {
+  // The paper's footnote 4: the contextual relation is broader than the
+  // original; unknown extra attributes become labeled nulls that an EGD
+  // can later pin down.
+  QualityContext context(TinyOntology());
+  Database db;
+  ASSERT_TRUE(db.InsertText("Sales", {"s1", "10"}).ok());
+  ASSERT_TRUE(context.SetDatabase(std::move(db)).ok());
+  ASSERT_TRUE(
+      context.MapRelationAsFootprint("Sales", "SalesWide", 1).ok());
+  // Pin the unknown third attribute via an EGD against an auditor table.
+  ASSERT_TRUE(context.AddContextualRules(
+      "Auditor(\"s1\", \"alice\").\n"
+      "A = B :- SalesWide(S, V, A), Auditor(S, B).\n").ok());
+  auto raw = context.RawAnswers("Q(S, V, A) :- SalesWide(S, V, A).");
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  ASSERT_EQ(raw->size(), 1u);
+  // The EGD resolved the null to the auditor constant: a certain answer.
+  EXPECT_FALSE(raw->tuples[0][2].IsNull());
+}
+
+TEST(QualityContext, FootprintWithoutResolutionStaysUncertain) {
+  QualityContext context(TinyOntology());
+  Database db;
+  ASSERT_TRUE(db.InsertText("Sales", {"s1", "10"}).ok());
+  ASSERT_TRUE(context.SetDatabase(std::move(db)).ok());
+  ASSERT_TRUE(
+      context.MapRelationAsFootprint("Sales", "SalesWide", 2).ok());
+  // Certain answers on the full width are empty (nulls)…
+  auto full = context.RawAnswers("Q(S, V, A, B) :- SalesWide(S, V, A, B).");
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->empty());
+  // …but the footprint projection is certain.
+  auto proj = context.RawAnswers("Q(S, V) :- SalesWide(S, V, A, B).");
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->size(), 1u);
+}
+
+TEST(QualityContext, ContextualRulesValidatedEagerly) {
+  QualityContext context(TinyOntology());
+  EXPECT_FALSE(context.AddContextualRules("broken(.").ok());
+  EXPECT_TRUE(context.AddContextualRules("Note(X) :- City(X).").ok());
+}
+
+TEST(QualityContext, QualityVersionRegistration) {
+  QualityContext context = TinyContext();
+  EXPECT_EQ(context.QualityPredicateOf("Sales").value(), "SalesQ");
+  EXPECT_FALSE(context.QualityPredicateOf("Other").ok());
+  EXPECT_EQ(context.AssessedRelations(),
+            std::vector<std::string>{"Sales"});
+  // Double definition rejected.
+  EXPECT_EQ(context
+                .DefineQualityVersion("Sales", "Other",
+                                      "Other(S, A) :- SalesC(S, A).")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(QualityContext, ComputeQualityVersion) {
+  QualityContext context = TinyContext();
+  auto quality = context.ComputeQualityVersion("Sales");
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 1u);
+  EXPECT_TRUE(quality->Contains({Value::Str("s1"), Value::Int(10)}));
+  EXPECT_EQ(quality->name(), "SalesQ");
+  // Attribute names inherited from the original.
+  EXPECT_EQ(quality->schema().attribute(0).name, "a0");
+}
+
+TEST(QualityContext, CleanVersusRawAnswers) {
+  QualityContext context = TinyContext();
+  auto raw = context.RawAnswers("Q(S) :- Sales(S, A).");
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  EXPECT_EQ(raw->size(), 2u);
+  auto clean = context.CleanAnswers("Q(S) :- Sales(S, A).");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->size(), 1u);
+}
+
+TEST(QualityContext, CleanAnswersLeaveOtherPredicatesAlone) {
+  QualityContext context = TinyContext();
+  // StoreCity has no quality version; it is used as-is in Q^q.
+  auto clean = context.CleanAnswers(
+      "Q(S, C) :- Sales(S, A), StoreCity(S, C).");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->size(), 1u);
+}
+
+TEST(QualityContext, ExplainQualityTuple) {
+  QualityContext context = TinyContext();
+  auto explanation = context.ExplainQualityTuple(
+      "Sales", {Value::Str("s1"), Value::Int(10)});
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  // The tree shows the quality rule and its extensional support.
+  EXPECT_NE(explanation->find("SalesQ(\"s1\", 10)"), std::string::npos);
+  EXPECT_NE(explanation->find("StoreCity(\"s1\", \"c1\")  [edb]"),
+            std::string::npos);
+  EXPECT_NE(explanation->find("RegionCity(\"good\", \"c1\")  [edb]"),
+            std::string::npos);
+  // A dirty tuple has no quality derivation.
+  auto none = context.ExplainQualityTuple(
+      "Sales", {Value::Str("s2"), Value::Int(20)});
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QualityContext, ExplainDirtyTuple) {
+  QualityContext context = TinyContext();
+  // s2 is in the "bad" region: the quality rule blocks on the
+  // RegionCity("good", c2) edge atom.
+  auto why = context.ExplainDirtyTuple(
+      "Sales", {Value::Str("s2"), Value::Int(20)});
+  ASSERT_TRUE(why.ok()) << why.status();
+  EXPECT_NE(why->find("not derivable"), std::string::npos);
+  EXPECT_NE(why->find("blocked at: RegionCity(\"good\", \"c2\")"),
+            std::string::npos);
+  // Asking why-not about a quality tuple is an error.
+  auto wrong = context.ExplainDirtyTuple(
+      "Sales", {Value::Str("s1"), Value::Int(10)});
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QualityContext, WorksWithWsEngine) {
+  QualityContext context = TinyContext();
+  auto quality =
+      context.ComputeQualityVersion("Sales", qa::Engine::kDeterministicWs);
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 1u);
+}
+
+TEST(QualityContext, WorksWithRewritingEngine) {
+  QualityContext context = TinyContext();
+  auto quality =
+      context.ComputeQualityVersion("Sales", qa::Engine::kRewriting);
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 1u);
+}
+
+TEST(PreparedContext, ChaseOnceQueryMany) {
+  QualityContext context = TinyContext();
+  auto prepared = context.Prepare();
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  // Same results as the per-call API...
+  auto quality = prepared->QualityVersion("Sales");
+  ASSERT_TRUE(quality.ok()) << quality.status();
+  EXPECT_EQ(quality->size(), 1u);
+  EXPECT_EQ(quality->name(), "SalesQ");
+  auto clean = prepared->CleanAnswers("Q(S) :- Sales(S, A).");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->size(), 1u);
+  auto raw = prepared->RawAnswers("Q(S) :- Sales(S, A).");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 2u);
+  // ...off one materialization.
+  EXPECT_TRUE(prepared->chase_stats().reached_fixpoint);
+  EXPECT_GT(prepared->instance().TotalFacts(), 0u);
+  EXPECT_FALSE(prepared->QualityVersion("Nope").ok());
+}
+
+TEST(PreparedContext, SurfacesInconsistency) {
+  auto ontology = TinyOntology();
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "! :- StoreCity(S, C), RegionCity(\"bad\", C).")
+                  .ok());
+  QualityContext context(ontology);
+  Database db;
+  ASSERT_TRUE(db.InsertText("Sales", {"s1", "10"}).ok());
+  ASSERT_TRUE(context.SetDatabase(std::move(db)).ok());
+  auto prepared = context.Prepare();
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(PreparedContext, MatchesPerCallApiOnHospital) {
+  auto context =
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok());
+  auto prepared = context->Prepare();
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto via_prepared = prepared->QualityVersion("Measurements");
+  ASSERT_TRUE(via_prepared.ok());
+  auto via_context = context->ComputeQualityVersion("Measurements");
+  ASSERT_TRUE(via_context.ok());
+  EXPECT_EQ(via_prepared->SortedRows(), via_context->SortedRows());
+}
+
+TEST(Assessor, EndToEndReport) {
+  QualityContext context = TinyContext();
+  Assessor assessor(&context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->referential_check.ok());
+  EXPECT_TRUE(report->constraint_check.ok());
+  ASSERT_EQ(report->per_relation.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->per_relation[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(report->overall_precision, 0.5);
+  EXPECT_NE(report->ToString().find("precision"), std::string::npos);
+}
+
+TEST(Assessor, ConstraintViolationIsAFindingNotAFailure) {
+  auto ontology = TinyOntology();
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "! :- StoreCity(S, C), RegionCity(\"bad\", C).")
+                  .ok());
+  QualityContext context(ontology);
+  Database db;
+  ASSERT_TRUE(db.InsertText("Sales", {"s1", "10"}).ok());
+  ASSERT_TRUE(context.SetDatabase(std::move(db)).ok());
+  ASSERT_TRUE(context.MapRelationToContext("Sales", "SalesC").ok());
+  ASSERT_TRUE(context
+                  .DefineQualityVersion("Sales", "SalesQ",
+                                        "SalesQ(S, A) :- SalesC(S, A).")
+                  .ok());
+  Assessor assessor(&context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->constraint_check.code(), StatusCode::kInconsistent);
+}
+
+}  // namespace
+}  // namespace mdqa::quality

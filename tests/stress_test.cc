@@ -1,0 +1,106 @@
+// Scale sanity: larger synthetic instances must stay comfortably inside
+// generous wall-clock budgets — a tripwire against accidental
+// complexity regressions in the join/chase hot paths.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "datalog/parser.h"
+#include "qa/chase_qa.h"
+#include "qa/deterministic_ws.h"
+#include "quality/assessor.h"
+#include "scenarios/synthetic.h"
+
+namespace mdqa {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(Stress, LargeSyntheticChaseUnderBudget) {
+  scenarios::SyntheticSpec spec;
+  spec.institutions = 4;
+  spec.units_per_institution = 4;
+  spec.wards_per_unit = 4;
+  spec.patients = 400;
+  spec.days = 15;
+  auto ontology = scenarios::BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  EXPECT_GT(program->facts().size(), 6000u);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto qa = qa::ChaseQa::Create(*program);
+  ASSERT_TRUE(qa.ok()) << qa.status();
+  double chase_ms = MsSince(t0);
+  EXPECT_LT(chase_ms, 20000.0) << "chase took " << chase_ms << " ms";
+  EXPECT_TRUE(qa->stats().reached_fixpoint);
+  // 400 patients × 15 days roll up to exactly one unit each.
+  uint32_t pu = program->vocab()->FindPredicate("SPatientUnit");
+  EXPECT_EQ(qa->instance().CountFacts(pu), 400u * 15u);
+}
+
+TEST(Stress, SelectiveWsQueryStaysGoalDirected) {
+  scenarios::SyntheticSpec spec;
+  spec.patients = 300;
+  spec.days = 10;
+  auto ontology = scenarios::BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  qa::DeterministicWsQa ws(*program);
+  auto q = datalog::Parser::ParseQuery(
+      "Q(U) :- SPatientUnit(U, \"sd0\", \"sp0\").", program->vocab().get());
+  ASSERT_TRUE(q.ok());
+  auto t0 = std::chrono::steady_clock::now();
+  auto answers = ws.Answers(*q);
+  double ms = MsSince(t0);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers->size(), 1u);
+  EXPECT_LT(ms, 20000.0);
+  // Goal-directedness: far fewer facts materialized than the full
+  // SPatientUnit closure (3000 tuples).
+  EXPECT_LT(ws.stats().facts_materialized, 3000u);
+}
+
+TEST(Stress, FullAssessmentPipelineUnderBudget) {
+  scenarios::SyntheticSpec spec;
+  spec.patients = 150;
+  spec.days = 8;
+  auto context = scenarios::BuildSyntheticContext(spec);
+  ASSERT_TRUE(context.ok());
+  quality::Assessor assessor(&*context);
+  auto t0 = std::chrono::steady_clock::now();
+  auto report = assessor.Assess();
+  double ms = MsSince(t0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_LT(ms, 30000.0) << "assessment took " << ms << " ms";
+  EXPECT_EQ(report->per_relation[0].original_size, 150u * 8u);
+}
+
+TEST(AnswerSetRelation, MaterializesWithSchema) {
+  auto p = datalog::Parser::ParseProgram(
+      "PW(\"w1\", \"tom\"). UW(\"std\", \"w1\").\n"
+      "PU(U, P) :- PW(W, P), UW(U, W).\n");
+  ASSERT_TRUE(p.ok());
+  auto q = datalog::Parser::ParseQuery("Q(U, P) :- PU(U, P).",
+                                       p->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  auto answers = qa::Answer(qa::Engine::kChase, *p, *q);
+  ASSERT_TRUE(answers.ok());
+  auto rel = answers->ToRelation(*p->vocab(), "Result", {"Unit", "Patient"});
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->schema().attribute(0).name, "Unit");
+  EXPECT_TRUE(rel->Contains({Value::Str("std"), Value::Str("tom")}));
+  // Arity mismatch rejected.
+  EXPECT_FALSE(answers->ToRelation(*p->vocab(), "Bad", {"One"}).ok());
+}
+
+}  // namespace
+}  // namespace mdqa

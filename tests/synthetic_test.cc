@@ -1,0 +1,111 @@
+#include "scenarios/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "qa/engines.h"
+#include "quality/assessor.h"
+
+namespace mdqa::scenarios {
+namespace {
+
+TEST(Synthetic, OntologyBuildsAndValidates) {
+  SyntheticSpec spec;
+  auto ontology = BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  EXPECT_TRUE((*ontology)->ValidateReferential().ok());
+  auto props = (*ontology)->Analyze();
+  ASSERT_TRUE(props.ok()) << props.status();
+  EXPECT_TRUE(props->weakly_sticky);
+  EXPECT_FALSE(props->upward_only);  // downward rule included by default
+}
+
+TEST(Synthetic, UpwardOnlyVariant) {
+  SyntheticSpec spec;
+  spec.include_downward_rules = false;
+  auto ontology = BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok()) << ontology.status();
+  auto props = (*ontology)->Analyze();
+  ASSERT_TRUE(props.ok());
+  EXPECT_TRUE(props->upward_only);
+}
+
+TEST(Synthetic, DeterministicAcrossBuilds) {
+  SyntheticSpec spec;
+  spec.patients = 7;
+  auto a = BuildSyntheticOntology(spec);
+  auto b = BuildSyntheticOntology(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->ToString(), (*b)->ToString());
+  spec.seed = 43;
+  auto c = BuildSyntheticOntology(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE((*a)->ToString(), (*c)->ToString());
+}
+
+TEST(Synthetic, ScalesWithSpec) {
+  SyntheticSpec small;
+  small.patients = 5;
+  small.days = 3;
+  SyntheticSpec large;
+  large.patients = 40;
+  large.days = 10;
+  EXPECT_LT(EstimateFacts(small), EstimateFacts(large));
+  auto a = BuildSyntheticOntology(small);
+  auto b = BuildSyntheticOntology(large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto pa = (*a)->Compile();
+  auto pb = (*b)->Compile();
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_LT(pa->facts().size(), pb->facts().size());
+}
+
+TEST(Synthetic, QualityPipelineEndToEnd) {
+  SyntheticSpec spec;
+  spec.patients = 12;
+  spec.days = 4;
+  auto context = BuildSyntheticContext(spec);
+  ASSERT_TRUE(context.ok()) << context.status();
+  quality::Assessor assessor(&*context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->referential_check.ok());
+  EXPECT_TRUE(report->constraint_check.ok());
+  ASSERT_EQ(report->per_relation.size(), 1u);
+  // Quality requires a certified (even) unit AND a B1 (even-unit ward)
+  // thermometer: some but not all measurements qualify.
+  EXPECT_EQ(report->per_relation[0].original_size,
+            static_cast<size_t>(spec.patients * spec.days));
+  EXPECT_GT(report->per_relation[0].quality_size, 0u);
+  EXPECT_LT(report->per_relation[0].quality_size,
+            report->per_relation[0].original_size);
+  // Quality version is a subset of the original here (no completion).
+  EXPECT_EQ(report->per_relation[0].common,
+            report->per_relation[0].quality_size);
+}
+
+TEST(Synthetic, EnginesAgreeOnSyntheticQueries) {
+  SyntheticSpec spec;
+  spec.patients = 8;
+  spec.days = 3;
+  auto ontology = BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  for (const char* text :
+       {"Q(U, P) :- SPatientUnit(U, D, P).",
+        "Q(P) :- SPatientUnit(\"su0\", D, P).",
+        "Q(W, N) :- SShifts(W, D, N, S)."}) {
+    auto q = datalog::Parser::ParseQuery(text, program->vocab().get());
+    ASSERT_TRUE(q.ok()) << q.status();
+    auto agreed = qa::CrossCheck(
+        *program, *q, {qa::Engine::kChase, qa::Engine::kDeterministicWs});
+    EXPECT_TRUE(agreed.ok()) << agreed.status();
+  }
+}
+
+}  // namespace
+}  // namespace mdqa::scenarios

@@ -1,0 +1,129 @@
+#include "md/time_util.h"
+
+#include <gtest/gtest.h>
+
+#include "md/dimension.h"
+
+namespace mdqa::md {
+namespace {
+
+TEST(MonthNumber, AcceptsAbbreviationsAndFullNames) {
+  EXPECT_EQ(MonthNumber("Sep").value(), 9);
+  EXPECT_EQ(MonthNumber("September").value(), 9);
+  EXPECT_EQ(MonthNumber("sep").value(), 9);  // case-insensitive
+  EXPECT_EQ(MonthNumber("May").value(), 5);
+  EXPECT_EQ(MonthNumber("December").value(), 12);
+  EXPECT_FALSE(MonthNumber("Sept").ok());
+  EXPECT_FALSE(MonthNumber("").ok());
+}
+
+TEST(MonthName, RoundTrips) {
+  for (int m = 1; m <= 12; ++m) {
+    auto name = MonthName(m);
+    ASSERT_TRUE(name.ok());
+    EXPECT_EQ(MonthNumber(*name).value(), m);
+  }
+  EXPECT_FALSE(MonthName(0).ok());
+  EXPECT_FALSE(MonthName(13).ok());
+}
+
+TEST(EncodeDay, MinutesSinceYearStart) {
+  EXPECT_EQ(EncodeDay("Jan/1").value(), 0);
+  EXPECT_EQ(EncodeDay("Jan/2").value(), 24 * 60);
+  // Feb/1 = 31 days into the year.
+  EXPECT_EQ(EncodeDay("Feb/1").value(), 31 * 24 * 60);
+  // Sep/5: Jan..Aug = 31+28+31+30+31+30+31+31 = 243 days, +4.
+  EXPECT_EQ(EncodeDay("Sep/5").value(), (243 + 4) * 24 * 60);
+}
+
+TEST(EncodeDay, RejectsMalformed) {
+  EXPECT_FALSE(EncodeDay("Sep5").ok());
+  EXPECT_FALSE(EncodeDay("Sep/0").ok());
+  EXPECT_FALSE(EncodeDay("Sep/31").ok());  // September has 30 days
+  EXPECT_FALSE(EncodeDay("Xxx/5").ok());
+  EXPECT_FALSE(EncodeDay("Sep/x").ok());
+}
+
+TEST(EncodeClock, AddsMinutes) {
+  int64_t day = EncodeDay("Sep/5").value();
+  EXPECT_EQ(EncodeClock("Sep/5-12:10").value(), day + 12 * 60 + 10);
+  EXPECT_EQ(EncodeClock("Sep/5-0:00").value(), day);
+  EXPECT_EQ(EncodeClock("Sep/5-23:59").value(), day + 23 * 60 + 59);
+}
+
+TEST(EncodeClock, OrdersTheDoctorsWindow) {
+  // The paper's query window: 11:45 <= t <= 12:15 on Sep/5.
+  int64_t lo = EncodeClock("Sep/5-11:45").value();
+  int64_t t1 = EncodeClock("Sep/5-12:10").value();
+  int64_t hi = EncodeClock("Sep/5-12:15").value();
+  int64_t outside = EncodeClock("Sep/6-11:50").value();
+  EXPECT_LT(lo, t1);
+  EXPECT_LT(t1, hi);
+  EXPECT_GT(outside, hi);
+}
+
+TEST(EncodeClock, RejectsMalformed) {
+  EXPECT_FALSE(EncodeClock("Sep/5").ok());
+  EXPECT_FALSE(EncodeClock("Sep/5-1210").ok());
+  EXPECT_FALSE(EncodeClock("Sep/5-24:00").ok());
+  EXPECT_FALSE(EncodeClock("Sep/5-12:60").ok());
+}
+
+TEST(DayOfClock, ExtractsAndValidates) {
+  EXPECT_EQ(DayOfClock("Sep/5-12:10").value(), "Sep/5");
+  EXPECT_FALSE(DayOfClock("Sep/5").ok());
+  EXPECT_FALSE(DayOfClock("Bad/99-12:10").ok());
+}
+
+TEST(MonthOfDay, PaperConvention) {
+  EXPECT_EQ(MonthOfDay("Sep/5", 2005).value(), "September/2005");
+  EXPECT_EQ(MonthOfDay("Aug/20", 2005).value(), "August/2005");
+  EXPECT_FALSE(MonthOfDay("nope", 2005).ok());
+}
+
+TEST(BuildTimeDimension, FullHierarchyWithInstants) {
+  auto dim = BuildTimeDimension(
+      "Cal", 2005, {"Sep/5", "Sep/6", "Oct/5"},
+      {"Sep/5-12:10", "Sep/5-12:05", "Sep/6-11:50"});
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  const DimensionInstance& inst = dim->instance();
+  EXPECT_EQ(inst.Members("Day").size(), 3u);
+  EXPECT_EQ(inst.Members("Month").size(), 2u);  // September, October
+  EXPECT_EQ(inst.Members("Year"), std::vector<std::string>{"2005"});
+  EXPECT_EQ(inst.RollUp("Sep/5-12:10", "Month").value(),
+            std::vector<std::string>{"September/2005"});
+  EXPECT_EQ(inst.RollUp("Oct/5", "Year").value(),
+            std::vector<std::string>{"2005"});
+  auto noon_sep5 = inst.DrillDown("Sep/5", "Time").value();
+  EXPECT_EQ(noon_sep5.size(), 2u);
+}
+
+TEST(BuildTimeDimension, WithoutInstantsOmitsTimeCategory) {
+  auto dim = BuildTimeDimension("Cal", 2005, {"Jan/1"}, {});
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  EXPECT_FALSE(dim->schema().HasCategory("Time"));
+  EXPECT_EQ(dim->schema().BottomCategories(),
+            std::vector<std::string>{"Day"});
+}
+
+TEST(BuildTimeDimension, DuplicateDaysCollapse) {
+  auto dim = BuildTimeDimension("Cal", 2005, {"Sep/5", "Sep/5"}, {});
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  EXPECT_EQ(dim->instance().Members("Day").size(), 1u);
+}
+
+TEST(BuildTimeDimension, RejectsBadLabels) {
+  EXPECT_FALSE(BuildTimeDimension("Cal", 2005, {"Sep/99"}, {}).ok());
+  EXPECT_FALSE(
+      BuildTimeDimension("Cal", 2005, {"Sep/5"}, {"Sep/5-25:00"}).ok());
+}
+
+TEST(BuildTimeDimension, InstantOutsideDaysRejected) {
+  auto dim = BuildTimeDimension("Cal", 2005, {"Sep/5"}, {"Sep/6-11:50"});
+  ASSERT_FALSE(dim.ok());
+  EXPECT_NE(dim.status().message().find("not in `days`"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdqa::md

@@ -1,0 +1,128 @@
+// Footnote-2 transformation: multi-atom heads split through auxiliary
+// predicates, preserving certain answers and unlocking the UCQ rewriter
+// for form-(10) rules.
+
+#include "datalog/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "qa/engines.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa::datalog {
+namespace {
+
+TEST(SplitHeads, SingleHeadRulesPassThrough) {
+  auto p = Parser::ParseProgram(
+      "P(1).\n"
+      "Q(X) :- P(X).\n"
+      "! :- Q(X), X > 5.\n"
+      "X = Y :- Q(X), Q(Y).\n");
+  ASSERT_TRUE(p.ok());
+  auto split = SplitMultiAtomHeads(*p);
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_EQ(split->rules().size(), 3u);
+  EXPECT_EQ(split->facts().size(), 1u);
+  EXPECT_EQ(split->ToString(), p->ToString());
+}
+
+TEST(SplitHeads, IntroducesGeneratorAndProjectors) {
+  auto p = Parser::ParseProgram(
+      "D(\"h\", \"d\", \"p\").\n"
+      "IU(I, U), PU(U, D, P) :- D(I, D, P).\n");
+  ASSERT_TRUE(p.ok());
+  auto split = SplitMultiAtomHeads(*p);
+  ASSERT_TRUE(split.ok()) << split.status();
+  ASSERT_EQ(split->rules().size(), 3u);  // generator + 2 projectors
+  // Exactly one rule keeps an existential: the generator.
+  int with_existential = 0;
+  for (const Rule& r : split->rules()) {
+    EXPECT_EQ(r.head.size(), 1u);
+    if (!r.ExistentialVariables().empty()) ++with_existential;
+  }
+  EXPECT_EQ(with_existential, 1);
+}
+
+TEST(SplitHeads, ChaseCertainAnswersPreserved) {
+  auto ontology =
+      scenarios::BuildHospitalOntology(scenarios::HospitalOptions{});
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  auto split = SplitMultiAtomHeads(*program);
+  ASSERT_TRUE(split.ok()) << split.status();
+  for (const char* text :
+       {"Q(U, D, P) :- PatientUnit(U, D, P).",
+        "Q(I, U) :- InstitutionUnit(I, U).",
+        "Q(D) :- Shifts(\"W2\", D, \"Mark\", S)."}) {
+    auto q1 = Parser::ParseQuery(text, program->vocab().get());
+    auto q2 = Parser::ParseQuery(text, split->vocab().get());
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    auto a1 = qa::Answer(qa::Engine::kChase, *program, *q1);
+    auto a2 = qa::Answer(qa::Engine::kChase, *split, *q2);
+    ASSERT_TRUE(a1.ok() && a2.ok());
+    EXPECT_EQ(*a1, *a2) << text;
+  }
+}
+
+TEST(SplitHeads, SharedNullsAcrossProjectedHeads) {
+  auto p = Parser::ParseProgram(
+      "D(\"h\", \"d\", \"p\").\n"
+      "IU(I, U), PU(U, D, P) :- D(I, D, P).\n");
+  ASSERT_TRUE(p.ok());
+  auto split = SplitMultiAtomHeads(*p);
+  ASSERT_TRUE(split.ok());
+  Instance inst = Instance::FromProgram(*split);
+  ASSERT_TRUE(Chase::Run(*split, &inst, ChaseOptions()).ok());
+  const auto& vocab = *split->vocab();
+  const FactTable* iu = inst.Table(vocab.FindPredicate("IU"));
+  const FactTable* pu = inst.Table(vocab.FindPredicate("PU"));
+  ASSERT_EQ(iu->size(), 1u);
+  ASSERT_EQ(pu->size(), 1u);
+  // The same labeled null in both heads — the defining property of the
+  // original conjunction.
+  EXPECT_EQ(iu->Row(0)[1], pu->Row(0)[0]);
+  EXPECT_TRUE(iu->Row(0)[1].IsNull());
+}
+
+TEST(SplitHeads, UnlocksRewritingForForm10) {
+  // On the original form-(10) program the rewriter refuses; after the
+  // split it answers, and agrees with the chase.
+  auto p = Parser::ParseProgram(
+      "D(\"h2\", \"oct5\", \"elvis\").\n"
+      "IU(I, U), PU(U, D, P) :- D(I, D, P).\n");
+  ASSERT_TRUE(p.ok());
+  auto q_text = "Q() :- IU(\"h2\", U), PU(U, \"oct5\", \"elvis\").";
+
+  auto q0 = Parser::ParseQuery(q_text, p->mutable_vocab());
+  ASSERT_TRUE(q0.ok());
+  EXPECT_EQ(qa::Answer(qa::Engine::kRewriting, *p, *q0).status().code(),
+            StatusCode::kUnimplemented);
+
+  auto split = SplitMultiAtomHeads(*p);
+  ASSERT_TRUE(split.ok());
+  auto q = Parser::ParseQuery(q_text, split->mutable_vocab());
+  ASSERT_TRUE(q.ok());
+  auto agreed = qa::CrossCheck(
+      *split, *q, {qa::Engine::kChase, qa::Engine::kRewriting});
+  ASSERT_TRUE(agreed.ok()) << agreed.status();
+  EXPECT_EQ(agreed->size(), 1u);  // boolean yes
+}
+
+TEST(SplitHeads, NegationAndComparisonsCarriedToGenerator) {
+  auto p = Parser::ParseProgram(
+      "D(1). Bad(2).\n"
+      "A(X, Z), B(Z) :- D(X), not Bad(X), X < 5.\n");
+  ASSERT_TRUE(p.ok());
+  auto split = SplitMultiAtomHeads(*p);
+  ASSERT_TRUE(split.ok()) << split.status();
+  Instance inst = Instance::FromProgram(*split);
+  ASSERT_TRUE(Chase::Run(*split, &inst, ChaseOptions()).ok());
+  EXPECT_EQ(inst.CountFacts(split->vocab()->FindPredicate("A")), 1u);
+  EXPECT_EQ(inst.CountFacts(split->vocab()->FindPredicate("B")), 1u);
+}
+
+}  // namespace
+}  // namespace mdqa::datalog

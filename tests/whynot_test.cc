@@ -1,0 +1,138 @@
+// Why-not diagnosis: pinpointing the missing link when an expected fact
+// (e.g. a quality tuple) is absent.
+
+#include "datalog/whynot.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/chase.h"
+#include "datalog/parser.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa::datalog {
+namespace {
+
+struct Fixture {
+  Program program;
+  Instance instance;
+};
+
+Fixture Chased(const std::string& text) {
+  auto p = Parser::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Instance inst = Instance::FromProgram(*p);
+  EXPECT_TRUE(Chase::Run(*p, &inst, ChaseOptions()).ok());
+  return Fixture{std::move(p).value(), std::move(inst)};
+}
+
+TEST(WhyNot, PresentFactShortCircuits) {
+  Fixture f = Chased("P(1).\nQ(X) :- P(X).\n");
+  Atom q = Parser::ParseGroundAtom("Q(1)", f.program.mutable_vocab()).value();
+  auto report = ExplainAbsence(f.program, f.instance, q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->present);
+  EXPECT_NE(report->ToString().find("present"), std::string::npos);
+}
+
+TEST(WhyNot, ExtensionalAbsenceHasNoAttempts) {
+  Fixture f = Chased("P(1).\n");
+  Atom p2 = Parser::ParseGroundAtom("P(2)", f.program.mutable_vocab()).value();
+  auto report = ExplainAbsence(f.program, f.instance, p2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->present);
+  EXPECT_TRUE(report->attempts.empty());
+  EXPECT_NE(report->ToString().find("extensional"), std::string::npos);
+}
+
+TEST(WhyNot, ReportsBlockingAtom) {
+  // l2 has no UW edge, so the roll-up blocks on the edge atom.
+  Fixture f = Chased(
+      "PW(\"w1\", \"tom\"). PW(\"w2\", \"lou\"). UW(\"std\", \"w1\").\n"
+      "PU(U, P) :- PW(W, P), UW(U, W).\n");
+  Atom missing =
+      Parser::ParseGroundAtom("PU(\"std\", \"lou\")",
+                              f.program.mutable_vocab())
+          .value();
+  auto report = ExplainAbsence(f.program, f.instance, missing);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attempts.size(), 1u);
+  // PW(W, "lou") matches (w2), but UW("std", w2) does not exist. The
+  // greedy order: prefix {PW} satisfiable, prefix {PW, UW} not.
+  EXPECT_EQ(report->attempts[0].satisfied_prefix, 1u);
+  EXPECT_NE(report->attempts[0].blocking_atom.find("UW(\"std\""),
+            std::string::npos);
+}
+
+TEST(WhyNot, ReportsFirstBodyAtomWhenNothingMatches) {
+  Fixture f = Chased(
+      "UW(\"std\", \"w1\").\n"
+      "PU(U, P) :- PW(W, P), UW(U, W).\n");
+  Atom missing =
+      Parser::ParseGroundAtom("PU(\"std\", \"tom\")",
+                              f.program.mutable_vocab())
+          .value();
+  auto report = ExplainAbsence(f.program, f.instance, missing);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attempts.size(), 1u);
+  EXPECT_EQ(report->attempts[0].satisfied_prefix, 0u);
+  EXPECT_NE(report->attempts[0].blocking_atom.find("PW"),
+            std::string::npos);
+}
+
+TEST(WhyNot, ExistentialBoundToConstantIsDead) {
+  Fixture f = Chased(
+      "P(\"a\").\n"
+      "R(X, Z) :- P(X).\n");
+  Atom missing = Parser::ParseGroundAtom("R(\"a\", \"eve\")",
+                                         f.program.mutable_vocab())
+                     .value();
+  auto report = ExplainAbsence(f.program, f.instance, missing);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attempts.size(), 1u);
+  EXPECT_NE(report->attempts[0].blocking_atom.find("existential"),
+            std::string::npos);
+}
+
+TEST(WhyNot, ComparisonBlockedRule) {
+  Fixture f = Chased(
+      "M(\"a\", 3).\n"
+      "Big(X) :- M(X, V), V > 10.\n");
+  Atom missing =
+      Parser::ParseGroundAtom("Big(\"a\")", f.program.mutable_vocab())
+          .value();
+  auto report = ExplainAbsence(f.program, f.instance, missing);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attempts.size(), 1u);
+  // The single body atom matches only with V=3, which the comparison
+  // kills: prefix of length 1 is unsatisfiable.
+  EXPECT_EQ(report->attempts[0].satisfied_prefix, 0u);
+}
+
+TEST(WhyNot, HospitalDirtyTupleDiagnosis) {
+  // Why is Table I row 4 (Tom, Sep/9) not quality? Because on Sep/9 Tom
+  // was in the Terminal unit — TakenWithTherm requires Standard.
+  auto context =
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok());
+  auto program = context->BuildProgram();
+  ASSERT_TRUE(program.ok());
+  Instance inst = Instance::FromProgram(*program);
+  ChaseOptions options;
+  options.check_constraints = false;
+  ASSERT_TRUE(Chase::Run(*program, &inst, options).ok());
+  Atom missing =
+      Parser::ParseGroundAtom(
+          "Measurementsq(\"Sep/9-12:00\", \"Tom Waits\", 37)",
+          program->mutable_vocab())
+          .value();
+  auto report = ExplainAbsence(*program, inst, missing);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attempts.size(), 1u);
+  // Blocks on Measurementp(..., "cert.", "B1") — the quality conditions.
+  EXPECT_NE(report->attempts[0].blocking_atom.find("Measurementp"),
+            std::string::npos);
+  EXPECT_FALSE(report->present);
+}
+
+}  // namespace
+}  // namespace mdqa::datalog
