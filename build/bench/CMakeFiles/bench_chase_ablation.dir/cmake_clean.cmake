@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chase_ablation.dir/bench_chase_ablation.cc.o"
+  "CMakeFiles/bench_chase_ablation.dir/bench_chase_ablation.cc.o.d"
+  "bench_chase_ablation"
+  "bench_chase_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chase_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

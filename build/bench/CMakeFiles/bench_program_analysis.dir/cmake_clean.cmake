@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_program_analysis.dir/bench_program_analysis.cc.o"
+  "CMakeFiles/bench_program_analysis.dir/bench_program_analysis.cc.o.d"
+  "bench_program_analysis"
+  "bench_program_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_program_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

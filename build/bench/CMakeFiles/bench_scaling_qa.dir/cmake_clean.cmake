@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_qa.dir/bench_scaling_qa.cc.o"
+  "CMakeFiles/bench_scaling_qa.dir/bench_scaling_qa.cc.o.d"
+  "bench_scaling_qa"
+  "bench_scaling_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

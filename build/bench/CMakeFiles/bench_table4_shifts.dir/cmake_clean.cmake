@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_shifts.dir/bench_table4_shifts.cc.o"
+  "CMakeFiles/bench_table4_shifts.dir/bench_table4_shifts.cc.o.d"
+  "bench_table4_shifts"
+  "bench_table4_shifts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_shifts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

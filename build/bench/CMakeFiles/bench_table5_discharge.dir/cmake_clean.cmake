@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_discharge.dir/bench_table5_discharge.cc.o"
+  "CMakeFiles/bench_table5_discharge.dir/bench_table5_discharge.cc.o.d"
+  "bench_table5_discharge"
+  "bench_table5_discharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_discharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discharge_audit.dir/discharge_audit.cpp.o"
+  "CMakeFiles/discharge_audit.dir/discharge_audit.cpp.o.d"
+  "discharge_audit"
+  "discharge_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discharge_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

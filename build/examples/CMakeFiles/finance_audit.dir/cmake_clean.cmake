@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_audit.dir/finance_audit.cpp.o"
+  "CMakeFiles/finance_audit.dir/finance_audit.cpp.o.d"
+  "finance_audit"
+  "finance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

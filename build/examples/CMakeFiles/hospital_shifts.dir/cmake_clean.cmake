@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_shifts.dir/hospital_shifts.cpp.o"
+  "CMakeFiles/hospital_shifts.dir/hospital_shifts.cpp.o.d"
+  "hospital_shifts"
+  "hospital_shifts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_shifts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

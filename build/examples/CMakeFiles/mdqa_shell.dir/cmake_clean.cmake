@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdqa_shell.dir/mdqa_shell.cpp.o"
+  "CMakeFiles/mdqa_shell.dir/mdqa_shell.cpp.o.d"
+  "mdqa_shell"
+  "mdqa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdqa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "overall precision: 0.333" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hospital_shifts "/root/repo/build/examples/hospital_shifts")
+set_tests_properties(example_hospital_shifts PROPERTIES  PASS_REGULAR_EXPRESSION "Dates Mark works in W2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_discharge_audit "/root/repo/build/examples/discharge_audit")
+set_tests_properties(example_discharge_audit PROPERTIES  PASS_REGULAR_EXPRESSION "surviving every repair: 6 of 7" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sales_olap "/root/repo/build/examples/sales_olap")
+set_tests_properties(example_sales_olap PROPERTIES  PASS_REGULAR_EXPRESSION "precision=0.500" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_finance_audit "/root/repo/build/examples/finance_audit")
+set_tests_properties(example_finance_audit PROPERTIES  PASS_REGULAR_EXPRESSION "blocked at: BranchAudited" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell_tutorial "/root/repo/build/examples/mdqa_shell" "/root/repo/examples/scripts/tutorial.mdqa")
+set_tests_properties(example_shell_tutorial PROPERTIES  PASS_REGULAR_EXPRESSION "loaded demo 'finance'" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/intern.cc" "src/CMakeFiles/mdqa.dir/base/intern.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/base/intern.cc.o.d"
+  "/root/repo/src/base/json.cc" "src/CMakeFiles/mdqa.dir/base/json.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/base/json.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/mdqa.dir/base/status.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/mdqa.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/base/string_util.cc.o.d"
+  "/root/repo/src/core/md_ontology.cc" "src/CMakeFiles/mdqa.dir/core/md_ontology.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/core/md_ontology.cc.o.d"
+  "/root/repo/src/datalog/analysis.cc" "src/CMakeFiles/mdqa.dir/datalog/analysis.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/analysis.cc.o.d"
+  "/root/repo/src/datalog/atom.cc" "src/CMakeFiles/mdqa.dir/datalog/atom.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/atom.cc.o.d"
+  "/root/repo/src/datalog/chase.cc" "src/CMakeFiles/mdqa.dir/datalog/chase.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/chase.cc.o.d"
+  "/root/repo/src/datalog/containment.cc" "src/CMakeFiles/mdqa.dir/datalog/containment.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/containment.cc.o.d"
+  "/root/repo/src/datalog/cq_eval.cc" "src/CMakeFiles/mdqa.dir/datalog/cq_eval.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/cq_eval.cc.o.d"
+  "/root/repo/src/datalog/instance.cc" "src/CMakeFiles/mdqa.dir/datalog/instance.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/instance.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/mdqa.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/mdqa.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/provenance.cc" "src/CMakeFiles/mdqa.dir/datalog/provenance.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/provenance.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/CMakeFiles/mdqa.dir/datalog/rule.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/rule.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/CMakeFiles/mdqa.dir/datalog/term.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/term.cc.o.d"
+  "/root/repo/src/datalog/transform.cc" "src/CMakeFiles/mdqa.dir/datalog/transform.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/transform.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/CMakeFiles/mdqa.dir/datalog/unify.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/unify.cc.o.d"
+  "/root/repo/src/datalog/whynot.cc" "src/CMakeFiles/mdqa.dir/datalog/whynot.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/datalog/whynot.cc.o.d"
+  "/root/repo/src/md/aggregate.cc" "src/CMakeFiles/mdqa.dir/md/aggregate.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/aggregate.cc.o.d"
+  "/root/repo/src/md/categorical.cc" "src/CMakeFiles/mdqa.dir/md/categorical.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/categorical.cc.o.d"
+  "/root/repo/src/md/constraints.cc" "src/CMakeFiles/mdqa.dir/md/constraints.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/constraints.cc.o.d"
+  "/root/repo/src/md/dimension.cc" "src/CMakeFiles/mdqa.dir/md/dimension.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/dimension.cc.o.d"
+  "/root/repo/src/md/dimension_instance.cc" "src/CMakeFiles/mdqa.dir/md/dimension_instance.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/dimension_instance.cc.o.d"
+  "/root/repo/src/md/dimension_schema.cc" "src/CMakeFiles/mdqa.dir/md/dimension_schema.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/dimension_schema.cc.o.d"
+  "/root/repo/src/md/time_util.cc" "src/CMakeFiles/mdqa.dir/md/time_util.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/md/time_util.cc.o.d"
+  "/root/repo/src/qa/chase_qa.cc" "src/CMakeFiles/mdqa.dir/qa/chase_qa.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/qa/chase_qa.cc.o.d"
+  "/root/repo/src/qa/deterministic_ws.cc" "src/CMakeFiles/mdqa.dir/qa/deterministic_ws.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/qa/deterministic_ws.cc.o.d"
+  "/root/repo/src/qa/engines.cc" "src/CMakeFiles/mdqa.dir/qa/engines.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/qa/engines.cc.o.d"
+  "/root/repo/src/qa/rewriter.cc" "src/CMakeFiles/mdqa.dir/qa/rewriter.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/qa/rewriter.cc.o.d"
+  "/root/repo/src/quality/assessor.cc" "src/CMakeFiles/mdqa.dir/quality/assessor.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/quality/assessor.cc.o.d"
+  "/root/repo/src/quality/context.cc" "src/CMakeFiles/mdqa.dir/quality/context.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/quality/context.cc.o.d"
+  "/root/repo/src/quality/cqa.cc" "src/CMakeFiles/mdqa.dir/quality/cqa.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/quality/cqa.cc.o.d"
+  "/root/repo/src/quality/measures.cc" "src/CMakeFiles/mdqa.dir/quality/measures.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/quality/measures.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/mdqa.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/mdqa.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/mdqa.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/mdqa.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/mdqa.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/relational/value.cc.o.d"
+  "/root/repo/src/scenarios/finance.cc" "src/CMakeFiles/mdqa.dir/scenarios/finance.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/scenarios/finance.cc.o.d"
+  "/root/repo/src/scenarios/hospital.cc" "src/CMakeFiles/mdqa.dir/scenarios/hospital.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/scenarios/hospital.cc.o.d"
+  "/root/repo/src/scenarios/synthetic.cc" "src/CMakeFiles/mdqa.dir/scenarios/synthetic.cc.o" "gcc" "src/CMakeFiles/mdqa.dir/scenarios/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

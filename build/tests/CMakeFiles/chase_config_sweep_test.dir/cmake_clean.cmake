@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_config_sweep_test.dir/chase_config_sweep_test.cc.o"
+  "CMakeFiles/chase_config_sweep_test.dir/chase_config_sweep_test.cc.o.d"
+  "chase_config_sweep_test"
+  "chase_config_sweep_test.pdb"
+  "chase_config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

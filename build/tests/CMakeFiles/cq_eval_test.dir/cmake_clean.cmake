@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_eval_test.dir/cq_eval_test.cc.o"
+  "CMakeFiles/cq_eval_test.dir/cq_eval_test.cc.o.d"
+  "cq_eval_test"
+  "cq_eval_test.pdb"
+  "cq_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_property_test.dir/engines_property_test.cc.o"
+  "CMakeFiles/engines_property_test.dir/engines_property_test.cc.o.d"
+  "engines_property_test"
+  "engines_property_test.pdb"
+  "engines_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

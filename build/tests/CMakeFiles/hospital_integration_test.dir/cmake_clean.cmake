@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_integration_test.dir/hospital_integration_test.cc.o"
+  "CMakeFiles/hospital_integration_test.dir/hospital_integration_test.cc.o.d"
+  "hospital_integration_test"
+  "hospital_integration_test.pdb"
+  "hospital_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

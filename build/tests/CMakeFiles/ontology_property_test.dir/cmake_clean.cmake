@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_property_test.dir/ontology_property_test.cc.o"
+  "CMakeFiles/ontology_property_test.dir/ontology_property_test.cc.o.d"
+  "ontology_property_test"
+  "ontology_property_test.pdb"
+  "ontology_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_util_test.dir/time_util_test.cc.o"
+  "CMakeFiles/time_util_test.dir/time_util_test.cc.o.d"
+  "time_util_test"
+  "time_util_test.pdb"
+  "time_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

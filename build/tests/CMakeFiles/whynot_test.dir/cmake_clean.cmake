@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whynot_test.dir/whynot_test.cc.o"
+  "CMakeFiles/whynot_test.dir/whynot_test.cc.o.d"
+  "whynot_test"
+  "whynot_test.pdb"
+  "whynot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whynot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
