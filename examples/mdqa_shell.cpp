@@ -6,6 +6,13 @@
 // Run:  ./build/examples/mdqa_shell            # interactive
 //       ./build/examples/mdqa_shell script.txt # replay commands
 //
+// Flags:
+//   --deadline-ms=N   budget every command with an N-millisecond wall-clock
+//                     deadline; chase/ask return partial (sound) results
+//                     tagged "truncated" when it expires. Ctrl-C likewise
+//                     cancels the running command instead of killing the
+//                     shell (exit with 'quit' or Ctrl-D).
+//
 // Commands:
 //   load <file>            parse a Datalog± program file into the session
 //   parse <statements.>    parse statements given inline
@@ -21,10 +28,14 @@
 //   demo hospital|finance|synthetic   load a built-in scenario
 //   reset | help | quit
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "base/budget.h"
 #include "datalog/analysis.h"
 #include "datalog/chase.h"
 #include "datalog/parser.h"
@@ -39,12 +50,30 @@
 namespace mdqa {
 namespace {
 
+// SIGINT flips this token: the running command's budget sees it at its
+// next check and winds down with a partial result.
+CancellationToken g_interrupt;
+
+extern "C" void HandleSigint(int) { g_interrupt.Cancel(); }
+
 class Shell {
  public:
-  Shell() { Reset(); }
+  explicit Shell(int deadline_ms = 0) : deadline_ms_(deadline_ms) {
+    budget_.set_cancellation(&g_interrupt);
+    Reset();
+  }
 
   // Returns false when the session should end.
   bool Handle(const std::string& line) {
+    // Every command starts with a fresh budget window: counters and any
+    // pending Ctrl-C from the previous command are cleared, the deadline
+    // (when configured) restarts.
+    budget_.ResetUsage();
+    g_interrupt.Reset();
+    if (deadline_ms_ > 0) {
+      budget_.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms_));
+    }
+
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
@@ -192,14 +221,18 @@ class Shell {
     provenance_ = datalog::ProvenanceStore();
     datalog::ChaseOptions options;
     options.provenance = &provenance_;
-    auto stats = datalog::Chase::Run(program_, instance_.get(), options);
-    if (!stats.ok()) {
-      std::cout << stats.status() << "\n";
-      chased_ = stats.status().code() == StatusCode::kInconsistent;
+    options.budget = &budget_;
+    datalog::ChaseStats stats;
+    Status s = datalog::Chase::Run(program_, instance_.get(), options, &stats);
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      chased_ = s.code() == StatusCode::kInconsistent;
       return;
     }
-    std::cout << stats->ToString() << "; instance now holds "
+    std::cout << stats.ToString() << "; instance now holds "
               << instance_->TotalFacts() << " facts\n";
+    // A truncated chase still leaves a sound partial instance behind —
+    // facts/explain work against it; re-run `chase` for the full one.
     chased_ = true;
   }
 
@@ -227,13 +260,19 @@ class Shell {
       std::cout << query.status() << "\n";
       return;
     }
-    auto answers = qa::Answer(engine_, program_, *query);
+    qa::AnswerOptions aopts;
+    aopts.budget = &budget_;
+    auto answers = qa::Answer(engine_, program_, *query, aopts);
     if (!answers.ok()) {
       std::cout << answers.status() << "\n";
       return;
     }
     std::cout << answers->size() << " answer(s): "
               << answers->ToString(*program_.vocab()) << "\n";
+    if (answers->completeness == Completeness::kTruncated) {
+      std::cout << "  (truncated: " << answers->interruption
+                << " — the answers above are a sound subset)\n";
+    }
   }
 
   void WhyNot(const std::string& text) {
@@ -323,20 +362,42 @@ class Shell {
   datalog::ProvenanceStore provenance_;
   qa::Engine engine_ = qa::Engine::kChase;
   bool chased_ = false;
+  ExecutionBudget budget_;
+  int deadline_ms_ = 0;
 };
 
 }  // namespace
 }  // namespace mdqa
 
 int main(int argc, char** argv) {
-  mdqa::Shell shell;
+  int deadline_ms = 0;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kDeadline = "--deadline-ms=";
+    if (arg.rfind(kDeadline, 0) == 0) {
+      deadline_ms = std::atoi(arg.c_str() + kDeadline.size());
+      if (deadline_ms <= 0) {
+        std::cerr << "bad value in '" << arg << "' (want a positive int)\n";
+        return 1;
+      }
+    } else if (script_path == nullptr) {
+      script_path = argv[i];
+    } else {
+      std::cerr << "usage: mdqa_shell [--deadline-ms=N] [script]\n";
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, mdqa::HandleSigint);
+  mdqa::Shell shell(deadline_ms);
   std::istream* in = &std::cin;
   std::ifstream script;
-  const bool interactive = argc < 2;
+  const bool interactive = script_path == nullptr;
   if (!interactive) {
-    script.open(argv[1]);
+    script.open(script_path);
     if (!script) {
-      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      std::cerr << "cannot open script '" << script_path << "'\n";
       return 1;
     }
     in = &script;

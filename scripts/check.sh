@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + ctest, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer in a second build tree.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --plain    # skip the sanitizer pass
+#   scripts/check.sh --san      # sanitizer pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_plain=1
+run_san=1
+for arg in "$@"; do
+  case "$arg" in
+    --plain) run_san=0 ;;
+    --san) run_plain=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ $run_plain -eq 1 ]]; then
+  echo "== plain build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_san -eq 1 ]]; then
+  echo "== ASan/UBSan build + ctest =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs"
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-san --output-on-failure -j "$jobs"
+fi
+
+echo "all checks passed"

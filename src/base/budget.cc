@@ -1,0 +1,119 @@
+#include "base/budget.h"
+
+namespace mdqa {
+
+const char* CompletenessToString(Completeness c) {
+  switch (c) {
+    case Completeness::kComplete:
+      return "complete";
+    case Completeness::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(const std::string& probe, uint64_t trip_at_hit,
+                        Status status, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProbeState& state = probes_[probe];
+  state.armed = true;
+  state.trip_at = trip_at_hit;
+  state.count = count;
+  state.status = std::move(status);
+}
+
+Status FaultInjector::Hit(const std::string& probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProbeState& state = probes_[probe];
+  ++state.hits;
+  if (!state.armed || state.hits < state.trip_at) return Status::Ok();
+  // kAlways never decrements below zero: trip window is [trip_at, trip_at+count).
+  if (state.count != kAlways && state.hits >= state.trip_at + state.count) {
+    return Status::Ok();
+  }
+  return state.status;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& probe) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = probes_.find(probe);
+  return it == probes_.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.clear();
+}
+
+void ExecutionBudget::InheritControlsFrom(const ExecutionBudget& parent) {
+  if (parent.has_deadline_) SetDeadline(parent.deadline_);
+  cancel_ = parent.cancel_;
+  faults_ = parent.faults_;
+  stride_mask_ = parent.stride_mask_;
+}
+
+void ExecutionBudget::ResetUsage() {
+  facts_.store(0, std::memory_order_relaxed);
+  steps_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  memory_hw_.store(0, std::memory_order_relaxed);
+  tick_.store(0, std::memory_order_relaxed);
+}
+
+Status ExecutionBudget::OverLimit(const char* what, uint64_t total,
+                                  uint64_t limit) {
+  return Status::ResourceExhausted(
+      std::string("budget: ") + what + " limit exceeded (" +
+      std::to_string(total) + " > " + std::to_string(limit) + ")");
+}
+
+Status ExecutionBudget::NoteMemory(uint64_t bytes) {
+  uint64_t prev = memory_hw_.load(std::memory_order_relaxed);
+  while (bytes > prev &&
+         !memory_hw_.compare_exchange_weak(prev, bytes,
+                                           std::memory_order_relaxed)) {
+  }
+  if (max_memory_bytes_ != kUnlimited && bytes > max_memory_bytes_) {
+    return Status::ResourceExhausted(
+        "budget: memory estimate " + std::to_string(bytes) +
+        " bytes exceeds limit " + std::to_string(max_memory_bytes_));
+  }
+  return Status::Ok();
+}
+
+Status ExecutionBudget::CancelledAt(const char* probe) {
+  return Status::Cancelled(std::string("cancelled at probe '") + probe + "'");
+}
+
+Status ExecutionBudget::DeadlineCheck(const char* probe) const {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    return Status::ResourceExhausted(
+        std::string("budget: deadline exceeded at probe '") + probe + "'");
+  }
+  return Status::Ok();
+}
+
+Status ExecutionBudget::CheckNow(const char* probe) {
+  return CheckImpl(probe, /*amortize_clock=*/false);
+}
+
+Status ExecutionBudget::CheckImpl(const char* probe, bool amortize_clock) {
+  if (faults_ != nullptr) {
+    Status injected = faults_->Hit(probe);
+    if (!injected.ok()) return injected;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return CancelledAt(probe);
+  }
+  if (has_deadline_) {
+    // fetch_add starts at 0, so the very first amortized check always reads
+    // the clock — an already-expired deadline trips immediately.
+    if (!amortize_clock ||
+        (tick_.fetch_add(1, std::memory_order_relaxed) & stride_mask_) == 0) {
+      return DeadlineCheck(probe);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdqa

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Inconsistent";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,///< operation not valid in the current state
   kInconsistent,      ///< a negative constraint or hard EGD violation fired
   kResourceExhausted, ///< a chase/search budget (facts, depth, time) ran out
+  kCancelled,         ///< cooperative cancellation was requested by the caller
   kUnimplemented,     ///< feature intentionally not supported
   kInternal,          ///< invariant breakage; indicates a library bug
 };
@@ -56,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

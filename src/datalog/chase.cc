@@ -89,18 +89,77 @@ std::string WitnessString(const Vocabulary& vocab, const Rule& rule,
 
 }  // namespace
 
+const char* ChaseStopToString(ChaseStop stop) {
+  switch (stop) {
+    case ChaseStop::kNone:
+      return "none";
+    case ChaseStop::kRoundLimit:
+      return "round-limit";
+    case ChaseStop::kFactLimit:
+      return "fact-limit";
+    case ChaseStop::kBudget:
+      return "budget";
+    case ChaseStop::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
 std::string ChaseStats::ToString() const {
-  return "rounds=" + std::to_string(rounds) +
-         " firings=" + std::to_string(tgd_firings) +
-         " facts_added=" + std::to_string(facts_added) +
-         " nulls=" + std::to_string(nulls_created) +
-         " egd_merges=" + std::to_string(egd_merges) +
-         (reached_fixpoint ? " (fixpoint)" : " (budget)");
+  std::string out = "rounds=" + std::to_string(rounds) +
+                    " firings=" + std::to_string(tgd_firings) +
+                    " facts_added=" + std::to_string(facts_added) +
+                    " nulls=" + std::to_string(nulls_created) +
+                    " egd_merges=" + std::to_string(egd_merges);
+  if (completeness == Completeness::kComplete) {
+    out += reached_fixpoint ? " (fixpoint, complete)" : " (complete)";
+  } else {
+    out += " (truncated: ";
+    out += ChaseStopToString(stop);
+    out += ")";
+  }
+  return out;
 }
 
 Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
                               const ChaseOptions& options) {
   ChaseStats stats;
+  MDQA_RETURN_IF_ERROR(Run(program, instance, options, &stats));
+  // The legacy contract: blowing max_facts is a hard error (the new
+  // out-param overload reports it as truncation metadata instead).
+  if (stats.stop == ChaseStop::kFactLimit) return stats.interruption;
+  return stats;
+}
+
+Status Chase::Run(const Program& program, Instance* instance,
+                  const ChaseOptions& options, ChaseStats* stats) {
+  *stats = ChaseStats{};
+  ExecutionBudget* budget = options.budget;
+  // First truncation seen; non-OK means "stop gracefully, result is a
+  // sound partial instance". Hard faults return immediately instead.
+  Status interrupt = Status::Ok();
+  auto interrupted = [&]() { return !interrupt.ok(); };
+  auto note_interrupt = [&](Status s, ChaseStop reason) {
+    if (interrupt.ok()) {
+      interrupt = std::move(s);
+      stats->stop = reason;
+    }
+  };
+  // Routes a budget trip into `interrupt`; returns non-OK only for hard
+  // (non-truncation) faults, e.g. an injected kInternal.
+  auto absorb = [&](Status s, ChaseStop reason) -> Status {
+    if (s.ok() || interrupted()) return Status::Ok();
+    if (ExecutionBudget::IsTruncation(s)) {
+      note_interrupt(std::move(s), reason);
+      return Status::Ok();
+    }
+    return s;
+  };
+  auto budget_reason = [](const Status& s) {
+    return s.code() == StatusCode::kCancelled ? ChaseStop::kCancelled
+                                              : ChaseStop::kBudget;
+  };
+
   Vocabulary* vocab = instance->vocab().get();
   const std::vector<Rule> tgds = program.Tgds();
   for (const Rule& r : tgds) {
@@ -148,8 +207,13 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
   }
 
   if (options.egd_mode == EgdMode::kInterleaved) {
-    MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
-    stats.egd_merges += merges;
+    Result<uint64_t> merges = ApplyEgds(program, instance, budget);
+    if (!merges.ok()) {
+      const ChaseStop reason = budget_reason(merges.status());
+      MDQA_RETURN_IF_ERROR(absorb(merges.status(), reason));
+    } else {
+      stats->egd_merges += *merges;
+    }
   }
 
   // EGD merges rewrite existing facts in place (keeping their old levels),
@@ -159,13 +223,20 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
   bool budget_exhausted = false;
 
   for (const std::vector<RuleInfo>& stratum_rules : by_stratum) {
-  if (budget_exhausted) break;
+  if (budget_exhausted || interrupted()) break;
   bool stratum_start = true;
   while (true) {
     if (++round > options.max_rounds) {
       --round;
       budget_exhausted = true;
       break;
+    }
+    if (budget != nullptr) {
+      Status bs = budget->CheckNow("chase:round");
+      if (bs.ok()) bs = budget->ChargeRounds(1);
+      const ChaseStop reason = budget_reason(bs);
+      MDQA_RETURN_IF_ERROR(absorb(std::move(bs), reason));
+      if (interrupted()) break;
     }
     const uint32_t level = static_cast<uint32_t>(round);
     const bool full_pass =
@@ -175,8 +246,9 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
     bool changed = false;
 
     for (const RuleInfo& info : stratum_rules) {
+      if (interrupted()) break;
       const Rule& rule = *info.rule;
-      CqEvaluator eval(*instance);
+      CqEvaluator eval(*instance, nullptr, budget);
 
       // Collect candidate triggers first (enumeration must not observe
       // concurrent mutation), deduped on frontier bindings.
@@ -193,14 +265,15 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
       };
 
       if (full_pass) {
-        MDQA_RETURN_IF_ERROR(eval.Enumerate(rule.body, rule.negated,
-                                            rule.comparisons, Subst{}, {},
-                                            collect));
+        Status es = eval.Enumerate(rule.body, rule.negated, rule.comparisons,
+                                   Subst{}, {}, collect);
+        const ChaseStop reason = budget_reason(es);
+        MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
       } else {
         // Semi-naive: one pass per delta atom d — atom d restricted to the
         // previous round's facts, atoms before d to strictly older ones.
         const uint32_t prev = level - 1;
-        for (size_t d = 0; d < rule.body.size(); ++d) {
+        for (size_t d = 0; d < rule.body.size() && !interrupted(); ++d) {
           std::vector<AtomLevelWindow> windows(rule.body.size());
           for (size_t j = 0; j < rule.body.size(); ++j) {
             if (j < d) {
@@ -211,25 +284,43 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
               windows[j].max_level = prev;
             }  // j > d: unrestricted (everything known so far)
           }
-          MDQA_RETURN_IF_ERROR(eval.Enumerate(rule.body, rule.negated,
-                                              rule.comparisons, Subst{},
-                                              windows, collect));
+          Status es = eval.Enumerate(rule.body, rule.negated,
+                                     rule.comparisons, Subst{}, windows,
+                                     collect);
+          const ChaseStop reason = budget_reason(es);
+          MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
         }
       }
+      if (interrupted()) break;
 
       // Apply triggers: restricted chase — skip when the head is already
       // satisfied (facts fired earlier this round count, so equivalent
       // triggers cost one null tuple, not many).
+      // The probe is polled once per 16 triggers through a local tick
+      // (the first trigger always polls, so armed faults and expired
+      // deadlines still surface deterministically); ChargeFacts below
+      // stays per-fact so fact caps trip exactly.
+      uint32_t trigger_tick = 0;
       for (const Trigger& trig : triggers) {
+        if (budget != nullptr && (trigger_tick++ & 15u) == 0) {
+          Status bs = budget->Check("chase:trigger");
+          const ChaseStop reason = budget_reason(bs);
+          MDQA_RETURN_IF_ERROR(absorb(std::move(bs), reason));
+        }
+        if (interrupted()) break;
         Subst h;
         for (size_t i = 0; i < info.frontier.size(); ++i) {
           h[info.frontier[i]] = trig.frontier_bindings[i];
         }
         if (options.restricted) {
-          CqEvaluator head_eval(*instance);
-          MDQA_ASSIGN_OR_RETURN(bool satisfied,
-                                head_eval.Satisfiable(rule.head, {}, h));
-          if (satisfied) continue;
+          CqEvaluator head_eval(*instance, nullptr, budget);
+          Result<bool> satisfied = head_eval.Satisfiable(rule.head, {}, h);
+          if (!satisfied.ok()) {
+            const ChaseStop reason = budget_reason(satisfied.status());
+            MDQA_RETURN_IF_ERROR(absorb(satisfied.status(), reason));
+            break;
+          }
+          if (*satisfied) continue;
         } else if (!fired[info.index].insert(trig).second) {
           continue;  // semi-oblivious: this frontier already fired
         }
@@ -238,8 +329,8 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
         // pre-firing instance (opt-in: one extra evaluation per firing).
         std::vector<Atom> witness;
         if (options.provenance != nullptr) {
-          CqEvaluator witness_eval(*instance);
-          MDQA_RETURN_IF_ERROR(witness_eval.Enumerate(
+          CqEvaluator witness_eval(*instance, nullptr, budget);
+          Status ws = witness_eval.Enumerate(
               rule.body, rule.negated, rule.comparisons, h, {},
               [&](const Subst& theta) {
                 witness.reserve(rule.body.size());
@@ -247,19 +338,29 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
                   witness.push_back(SubstAtom(theta, b));
                 }
                 return false;  // first witness suffices
-              }));
+              });
+          if (!ws.ok()) {
+            const ChaseStop reason = budget_reason(ws);
+            MDQA_RETURN_IF_ERROR(absorb(std::move(ws), reason));
+            break;
+          }
         }
 
         for (uint32_t z : info.existential) {
           h[z] = vocab->FreshNull();
-          ++stats.nulls_created;
+          ++stats->nulls_created;
         }
-        ++stats.tgd_firings;
+        ++stats->tgd_firings;
         for (const Atom& head_atom : rule.head) {
           Atom fact = SubstAtom(h, head_atom);
           if (instance->AddFact(fact, level)) {
-            ++stats.facts_added;
+            ++stats->facts_added;
             changed = true;
+            if (budget != nullptr) {
+              Status fs = budget->ChargeFacts(1);
+              const ChaseStop reason = budget_reason(fs);
+              MDQA_RETURN_IF_ERROR(absorb(std::move(fs), reason));
+            }
             if (options.provenance != nullptr) {
               options.provenance->Record(
                   fact, ProvenanceStore::Derivation{rule, witness});
@@ -267,44 +368,85 @@ Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
           }
         }
         if (instance->TotalFacts() > options.max_facts) {
-          return Status::ResourceExhausted(
-              "chase exceeded max_facts=" +
-              std::to_string(options.max_facts) + " at round " +
-              std::to_string(round));
+          note_interrupt(
+              Status::ResourceExhausted(
+                  "chase exceeded max_facts=" +
+                  std::to_string(options.max_facts) + " at round " +
+                  std::to_string(round)),
+              ChaseStop::kFactLimit);
+          break;
         }
       }
     }
+    if (interrupted()) break;
 
     if (options.egd_mode == EgdMode::kInterleaved) {
-      MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
-      stats.egd_merges += merges;
-      if (merges > 0) {
+      Result<uint64_t> merges = ApplyEgds(program, instance, budget);
+      if (!merges.ok()) {
+        const ChaseStop reason = budget_reason(merges.status());
+        MDQA_RETURN_IF_ERROR(absorb(merges.status(), reason));
+        break;
+      }
+      stats->egd_merges += *merges;
+      if (*merges > 0) {
         changed = true;
         force_full = true;
       }
     }
+    // Estimating memory walks the whole instance, so only pay for it
+    // when a limit was actually configured.
+    if (budget != nullptr && budget->has_memory_limit()) {
+      Status ms = budget->NoteMemory(instance->MemoryEstimateBytes());
+      const ChaseStop reason = budget_reason(ms);
+      MDQA_RETURN_IF_ERROR(absorb(std::move(ms), reason));
+      if (interrupted()) break;
+    }
 
-    stats.rounds = round;
+    stats->rounds = round;
     if (!changed) break;  // this stratum reached its fixpoint
   }
   }
-  stats.rounds = round;
-  stats.reached_fixpoint = !budget_exhausted;
+  stats->rounds = round;
+  stats->reached_fixpoint = !budget_exhausted && !interrupted();
 
-  if (options.egd_mode == EgdMode::kPost) {
-    MDQA_ASSIGN_OR_RETURN(uint64_t merges, ApplyEgds(program, instance));
-    stats.egd_merges += merges;
+  // Post-phase EGDs and the constraint check still run on the legacy
+  // round-limit path (unchanged behaviour) but not after a budget trip:
+  // the caller asked us to stop working.
+  if (!interrupted() && options.egd_mode == EgdMode::kPost) {
+    Result<uint64_t> merges = ApplyEgds(program, instance, budget);
+    if (!merges.ok()) {
+      const ChaseStop reason = budget_reason(merges.status());
+      MDQA_RETURN_IF_ERROR(absorb(merges.status(), reason));
+    } else {
+      stats->egd_merges += *merges;
+    }
   }
-  if (options.check_constraints) {
-    MDQA_RETURN_IF_ERROR(CheckConstraints(program, *instance));
+  if (!interrupted() && options.check_constraints) {
+    Status cs = CheckConstraints(program, *instance, budget);
+    const ChaseStop reason = budget_reason(cs);
+    MDQA_RETURN_IF_ERROR(absorb(std::move(cs), reason));
   }
-  return stats;
+
+  if (interrupted()) {
+    stats->reached_fixpoint = false;
+    stats->completeness = Completeness::kTruncated;
+    stats->interruption = interrupt;
+    return Status::Ok();
+  }
+  if (budget_exhausted) {
+    stats->completeness = Completeness::kTruncated;
+    stats->stop = ChaseStop::kRoundLimit;
+    stats->interruption = Status::ResourceExhausted(
+        "chase stopped at max_rounds=" + std::to_string(options.max_rounds));
+  }
+  return Status::Ok();
 }
 
 Status Chase::CheckConstraints(const Program& program,
-                               const Instance& instance) {
+                               const Instance& instance,
+                               ExecutionBudget* budget) {
   const Vocabulary& vocab = *instance.vocab();
-  CqEvaluator eval(instance);
+  CqEvaluator eval(instance, nullptr, budget);
   for (const Rule& nc : program.Constraints()) {
     Status violation = Status::Ok();
     MDQA_RETURN_IF_ERROR(eval.Enumerate(
@@ -319,7 +461,8 @@ Status Chase::CheckConstraints(const Program& program,
   return Status::Ok();
 }
 
-Result<uint64_t> Chase::ApplyEgds(const Program& program, Instance* instance) {
+Result<uint64_t> Chase::ApplyEgds(const Program& program, Instance* instance,
+                                  ExecutionBudget* budget) {
   const std::vector<Rule> egds = program.Egds();
   if (egds.empty()) return uint64_t{0};
   const Vocabulary& vocab = *instance->vocab();
@@ -329,7 +472,7 @@ Result<uint64_t> Chase::ApplyEgds(const Program& program, Instance* instance) {
     TermUnionFind uf;
     uint64_t merges = 0;
     Status clash = Status::Ok();
-    CqEvaluator eval(*instance);
+    CqEvaluator eval(*instance, nullptr, budget);
     for (const Rule& egd : egds) {
       MDQA_RETURN_IF_ERROR(eval.Enumerate(
           egd.body, egd.negated, egd.comparisons, Subst{}, {},

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "base/budget.h"
 #include "base/result.h"
 #include "datalog/cq_eval.h"
 #include "datalog/instance.h"
@@ -46,7 +47,25 @@ struct ChaseOptions {
   /// (one extra body evaluation per firing) so derived facts can be
   /// explained as derivation trees. See datalog/provenance.h.
   class ProvenanceStore* provenance = nullptr;
+  /// When non-null, the chase charges facts/rounds/memory against this
+  /// budget and polls it for deadline expiry, cancellation, and injected
+  /// faults. Budget trips stop the run *gracefully*: the out-param
+  /// `Run` overload returns OK with `ChaseStats::completeness ==
+  /// kTruncated` and the partial (sound) instance in place. Not owned.
+  ExecutionBudget* budget = nullptr;
 };
+
+/// Why a chase run stopped before its fixpoint.
+enum class ChaseStop {
+  kNone,        ///< did not stop early
+  kRoundLimit,  ///< legacy ChaseOptions::max_rounds tripped
+  kFactLimit,   ///< legacy ChaseOptions::max_facts tripped (hard error in
+                ///< the Result-returning overload, for compatibility)
+  kBudget,      ///< ExecutionBudget counter/deadline/memory trip
+  kCancelled,   ///< CancellationToken fired
+};
+
+const char* ChaseStopToString(ChaseStop stop);
 
 struct ChaseStats {
   bool reached_fixpoint = false;
@@ -55,6 +74,13 @@ struct ChaseStats {
   uint64_t facts_added = 0;
   uint64_t nulls_created = 0;
   uint64_t egd_merges = 0;
+  /// kTruncated when the run stopped before the fixpoint; by chase
+  /// monotonicity the instance is then a sound under-approximation.
+  Completeness completeness = Completeness::kComplete;
+  /// What cut the run short (kNone when completeness == kComplete).
+  ChaseStop stop = ChaseStop::kNone;
+  /// The status that interrupted the run; OK when the run completed.
+  Status interruption;
 
   std::string ToString() const;
 };
@@ -70,19 +96,36 @@ class Chase {
   /// Extends `*instance` with all consequences of `program.rules()` (the
   /// program's own facts are NOT loaded here — build the instance with
   /// `Instance::FromProgram` or `LoadDatabase` first).
+  ///
+  /// `*stats` is always filled with whatever accumulated before the
+  /// return — including on error — so callers never lose progress
+  /// accounting. Budget/deadline/cancellation trips return OK with
+  /// `stats->completeness == kTruncated` and the partial instance in
+  /// place; hard failures (kInconsistent, invalid rules) return non-OK.
+  static Status Run(const Program& program, Instance* instance,
+                    const ChaseOptions& options, ChaseStats* stats);
+
+  /// Compatibility overload. Identical except that the legacy
+  /// `max_facts` trip is reported as a kResourceExhausted *error* (with
+  /// the accumulated stats discarded), as older callers expect.
   static Result<ChaseStats> Run(const Program& program, Instance* instance,
                                 const ChaseOptions& options = ChaseOptions());
 
   /// Evaluates every negative constraint of `program` against `instance`;
-  /// kInconsistent with a witness if one fires.
+  /// kInconsistent with a witness if one fires. A non-null `budget` can
+  /// interrupt the evaluation (truncation status propagates).
   static Status CheckConstraints(const Program& program,
-                                 const Instance& instance);
+                                 const Instance& instance,
+                                 ExecutionBudget* budget = nullptr);
 
   /// Applies `program`'s EGDs to fixpoint on `*instance` (union-find null
   /// merging). Returns the number of merges, or kInconsistent on a
-  /// constant/constant clash.
+  /// constant/constant clash. A non-null `budget` can interrupt the
+  /// evaluation between EGD passes (truncation status propagates; the
+  /// instance is left after the last completed pass).
   static Result<uint64_t> ApplyEgds(const Program& program,
-                                    Instance* instance);
+                                    Instance* instance,
+                                    ExecutionBudget* budget = nullptr);
 };
 
 }  // namespace mdqa::datalog

@@ -8,8 +8,14 @@ namespace {
 
 // Shared state of one enumeration, to keep the recursion signature small.
 struct EvalState {
+  // Rows between budget polls (power of two); keeps the enumeration hot
+  // loop free of atomics while bounding cancellation latency.
+  static constexpr uint32_t kBudgetBatch = 64;
+
   const Instance* instance;
-  EvalStats* stats;  // may be null
+  EvalStats* stats;          // may be null
+  ExecutionBudget* budget;   // may be null
+  uint32_t budget_tick = 0;
   const Vocabulary* vocab;
   const std::vector<Atom>* atoms;
   const std::vector<Atom>* negated;
@@ -81,6 +87,18 @@ void Recurse(EvalState* s, size_t remaining);
 // Tries to match atom `idx` against `row` and recurse.
 void TryRow(EvalState* s, size_t idx, const Term* row, size_t remaining) {
   if (s->stop || !s->error.ok()) return;
+  // Budget polling is batched through a local tick so the per-row cost
+  // is one increment-and-mask, not an atomic RMW: steps are charged in
+  // blocks of kBudgetBatch rows and trips surface within a block.
+  if (s->budget != nullptr &&
+      (++s->budget_tick & (EvalState::kBudgetBatch - 1)) == 0) {
+    Status bs = s->budget->Check("cq:row");
+    if (bs.ok()) bs = s->budget->ChargeSteps(EvalState::kBudgetBatch);
+    if (!bs.ok()) {
+      s->error = std::move(bs);
+      return;
+    }
+  }
   const Atom& atom = (*s->atoms)[idx];
   size_t mark = s->trail.size();
   if (s->stats != nullptr) ++s->stats->rows_tried;
@@ -178,6 +196,7 @@ Status CqEvaluator::Enumerate(
   EvalState s;
   s.instance = &instance_;
   s.stats = stats_;
+  s.budget = budget_;
   s.vocab = instance_.vocab().get();
   s.atoms = &atoms;
   s.negated = &negated;
@@ -205,7 +224,8 @@ Result<bool> CqEvaluator::Satisfiable(
 }
 
 Result<std::vector<std::vector<Term>>> CqEvaluator::Answers(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, Status* interruption) const {
+  if (interruption != nullptr) *interruption = Status::Ok();
   MDQA_RETURN_IF_ERROR(query.Validate());
   std::vector<std::vector<Term>> out;
   std::unordered_set<size_t> seen;  // hash of answer tuple (exact dedup below)
@@ -231,12 +251,23 @@ Result<std::vector<std::vector<Term>>> CqEvaluator::Answers(
     }
     return true;
   };
-  MDQA_RETURN_IF_ERROR(Enumerate(query.body, query.negated,
-                                 query.comparisons, Subst{}, {}, on_match));
+  Status st = Enumerate(query.body, query.negated, query.comparisons,
+                        Subst{}, {}, on_match);
+  if (!st.ok()) {
+    // A budget trip with an interruption out-param degrades gracefully:
+    // the tuples collected so far are each genuine answers.
+    if (interruption != nullptr && ExecutionBudget::IsTruncation(st)) {
+      *interruption = std::move(st);
+      return out;
+    }
+    return st;
+  }
   return out;
 }
 
-Result<bool> CqEvaluator::AnswerBoolean(const ConjunctiveQuery& query) const {
+Result<bool> CqEvaluator::AnswerBoolean(const ConjunctiveQuery& query,
+                                        Status* interruption) const {
+  if (interruption != nullptr) *interruption = Status::Ok();
   MDQA_RETURN_IF_ERROR(query.Validate());
   bool found = false;
   Status st = Enumerate(query.body, query.negated, query.comparisons,
@@ -244,7 +275,13 @@ Result<bool> CqEvaluator::AnswerBoolean(const ConjunctiveQuery& query) const {
                           found = true;
                           return false;  // stop at first witness
                         });
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    if (interruption != nullptr && ExecutionBudget::IsTruncation(st)) {
+      *interruption = std::move(st);
+      return found;
+    }
+    return st;
+  }
   return found;
 }
 

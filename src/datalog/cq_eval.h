@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "base/budget.h"
 #include "base/result.h"
 #include "datalog/instance.h"
 #include "datalog/unify.h"
@@ -37,8 +38,14 @@ struct EvalStats {
 /// both sides are ground.
 class CqEvaluator {
  public:
-  explicit CqEvaluator(const Instance& instance, EvalStats* stats = nullptr)
-      : instance_(instance), stats_(stats) {}
+  /// A non-null `budget` is polled once per candidate row (probe
+  /// "cq:row", clock reads amortized) so long joins honor deadlines,
+  /// cancellation, and injected faults. A budget trip surfaces as the
+  /// truncation status from `Enumerate` (or through the `interruption`
+  /// out-params below).
+  explicit CqEvaluator(const Instance& instance, EvalStats* stats = nullptr,
+                       ExecutionBudget* budget = nullptr)
+      : instance_(instance), stats_(stats), budget_(budget) {}
 
   /// Enumerates homomorphisms of `atoms ∧ ¬negated ∧ comparisons`
   /// extending `initial`; calls `on_match` with the full substitution for
@@ -70,11 +77,19 @@ class CqEvaluator {
   /// Distinct answer tuples of an open CQ, in first-derived order. Tuples
   /// may contain labeled nulls; callers wanting certain answers filter
   /// them (see HasNull).
+  ///
+  /// With a null `interruption`, a budget trip is a hard error (legacy
+  /// behaviour). With a non-null `interruption`, a budget trip returns
+  /// the tuples found so far — a sound under-approximation — and stores
+  /// the truncation status in `*interruption` (OK when complete).
   Result<std::vector<std::vector<Term>>> Answers(
-      const ConjunctiveQuery& query) const;
+      const ConjunctiveQuery& query, Status* interruption = nullptr) const;
 
-  /// Boolean CQ: is the canonical `yes` entailed?
-  Result<bool> AnswerBoolean(const ConjunctiveQuery& query) const;
+  /// Boolean CQ: is the canonical `yes` entailed? Same `interruption`
+  /// contract as `Answers`; a truncated run that found no witness
+  /// reports false (sound: "not provable within budget").
+  Result<bool> AnswerBoolean(const ConjunctiveQuery& query,
+                             Status* interruption = nullptr) const;
 
   static bool HasNull(const std::vector<Term>& tuple) {
     for (Term t : tuple) {
@@ -85,7 +100,8 @@ class CqEvaluator {
 
  private:
   const Instance& instance_;
-  EvalStats* stats_;  // optional, not owned
+  EvalStats* stats_;          // optional, not owned
+  ExecutionBudget* budget_;   // optional, not owned
 };
 
 }  // namespace mdqa::datalog

@@ -45,6 +45,26 @@ const std::vector<uint32_t>& FactTable::Probe(size_t pos, Term t) const {
   return it == m.end() ? kEmpty : it->second;
 }
 
+uint64_t FactTable::MemoryEstimateBytes() const {
+  uint64_t bytes = data_.capacity() * sizeof(Term) +
+                   levels_.capacity() * sizeof(uint32_t);
+  // Hash maps: count buckets plus the per-entry row vectors. This is an
+  // estimate for budget accounting, not an allocator-exact figure.
+  bytes += dedup_.bucket_count() *
+           (sizeof(size_t) + sizeof(std::vector<uint32_t>));
+  for (const auto& [_, rows] : dedup_) {
+    bytes += rows.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& m : index_) {
+    bytes += m.bucket_count() *
+             (sizeof(uint64_t) + sizeof(std::vector<uint32_t>));
+    for (const auto& [_, rows] : m) {
+      bytes += rows.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
 Instance Instance::FromProgram(const Program& program) {
   Instance inst(program.vocab());
   for (const Atom& f : program.facts()) {
@@ -90,6 +110,12 @@ size_t Instance::TotalFacts() const {
   size_t n = 0;
   for (const auto& [_, table] : tables_) n += table.size();
   return n;
+}
+
+uint64_t Instance::MemoryEstimateBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [_, table] : tables_) bytes += table.MemoryEstimateBytes();
+  return bytes;
 }
 
 size_t Instance::CountFacts(uint32_t pred) const {

@@ -41,6 +41,11 @@ class FactTable {
   /// reference if none).
   const std::vector<uint32_t>& Probe(size_t pos, Term t) const;
 
+  /// Capacity-based estimate of heap bytes held by this table (rows,
+  /// levels, dedup map, per-position indexes). Feeds the execution
+  /// budget's memory high-water accounting.
+  uint64_t MemoryEstimateBytes() const;
+
  private:
   int64_t FindRow(const Term* row) const;
 
@@ -80,6 +85,9 @@ class Instance {
 
   size_t TotalFacts() const;
   size_t CountFacts(uint32_t pred) const;
+
+  /// Sum of the tables' MemoryEstimateBytes.
+  uint64_t MemoryEstimateBytes() const;
 
   /// All facts of `pred` as atoms (test/debug convenience).
   std::vector<Atom> Facts(uint32_t pred) const;

@@ -34,10 +34,11 @@ Result<ChaseStats> ChaseQa::AddFactsAndRechase(
 }
 
 Result<std::vector<std::vector<Term>>> ChaseQa::Answers(
-    const ConjunctiveQuery& query) const {
-  CqEvaluator eval(instance_);
+    const ConjunctiveQuery& query, ExecutionBudget* budget,
+    Status* interruption) const {
+  CqEvaluator eval(instance_, nullptr, budget);
   MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> all,
-                        eval.Answers(query));
+                        eval.Answers(query, interruption));
   std::vector<std::vector<Term>> certain;
   for (std::vector<Term>& t : all) {
     if (!CqEvaluator::HasNull(t)) certain.push_back(std::move(t));
@@ -46,14 +47,17 @@ Result<std::vector<std::vector<Term>>> ChaseQa::Answers(
 }
 
 Result<std::vector<std::vector<Term>>> ChaseQa::PossibleAnswers(
-    const ConjunctiveQuery& query) const {
-  CqEvaluator eval(instance_);
-  return eval.Answers(query);
+    const ConjunctiveQuery& query, ExecutionBudget* budget,
+    Status* interruption) const {
+  CqEvaluator eval(instance_, nullptr, budget);
+  return eval.Answers(query, interruption);
 }
 
-Result<bool> ChaseQa::AnswerBoolean(const ConjunctiveQuery& query) const {
-  CqEvaluator eval(instance_);
-  return eval.AnswerBoolean(query);
+Result<bool> ChaseQa::AnswerBoolean(const ConjunctiveQuery& query,
+                                    ExecutionBudget* budget,
+                                    Status* interruption) const {
+  CqEvaluator eval(instance_, nullptr, budget);
+  return eval.AnswerBoolean(query, interruption);
 }
 
 }  // namespace mdqa::qa

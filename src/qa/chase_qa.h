@@ -17,6 +17,9 @@ namespace mdqa::qa {
 /// §IV tractability claim; `ChaseOptions::max_rounds` is the level bound).
 class ChaseQa {
  public:
+  /// A `ChaseOptions::budget` trip during materialization yields a
+  /// *usable* engine over the partial (sound) instance; inspect
+  /// `stats().completeness` to see whether the chase was truncated.
   static Result<ChaseQa> Create(
       const datalog::Program& program,
       const datalog::ChaseOptions& options = datalog::ChaseOptions());
@@ -29,16 +32,25 @@ class ChaseQa {
   Result<datalog::ChaseStats> AddFactsAndRechase(
       const std::vector<datalog::Atom>& facts);
 
-  /// Certain answers: null-free tuples only.
+  /// Certain answers: null-free tuples only. A non-null `budget` bounds
+  /// the query evaluation itself (probe "cq:row"); on a budget trip the
+  /// answers found so far are returned and the truncation status is
+  /// stored in `*interruption` (which must be non-null iff `budget` is).
   Result<std::vector<std::vector<datalog::Term>>> Answers(
-      const datalog::ConjunctiveQuery& query) const;
+      const datalog::ConjunctiveQuery& query,
+      ExecutionBudget* budget = nullptr,
+      Status* interruption = nullptr) const;
 
   /// All homomorphic answers, including tuples with labeled nulls
   /// (the "possible answers" view used for form-(10) disjunctive data).
   Result<std::vector<std::vector<datalog::Term>>> PossibleAnswers(
-      const datalog::ConjunctiveQuery& query) const;
+      const datalog::ConjunctiveQuery& query,
+      ExecutionBudget* budget = nullptr,
+      Status* interruption = nullptr) const;
 
-  Result<bool> AnswerBoolean(const datalog::ConjunctiveQuery& query) const;
+  Result<bool> AnswerBoolean(const datalog::ConjunctiveQuery& query,
+                             ExecutionBudget* budget = nullptr,
+                             Status* interruption = nullptr) const;
 
   const datalog::Instance& instance() const { return instance_; }
   const datalog::ChaseStats& stats() const { return stats_; }

@@ -91,6 +91,18 @@ Status DeterministicWsQa::Fire(const Rule& rule, const Subst& theta) {
     Atom fact = SubstAtom(h, head_atom);
     if (work_.AddFact(fact, /*level=*/1)) {
       ++stats_.facts_materialized;
+      if (options_.budget != nullptr) {
+        Status bs = options_.budget->ChargeFacts(1);
+        if (!bs.ok()) {
+          // Graceful: facts materialized so far are all genuinely
+          // entailed; the search unwinds via budget_interrupt_.
+          if (ExecutionBudget::IsTruncation(bs)) {
+            if (budget_interrupt_.ok()) budget_interrupt_ = std::move(bs);
+          } else {
+            return bs;
+          }
+        }
+      }
       if (options_.provenance != nullptr) {
         options_.provenance->Record(
             fact, datalog::ProvenanceStore::Derivation{rule, witness});
@@ -117,6 +129,7 @@ Status DeterministicWsQa::ExpandGoal(const Atom& goal_inst, uint32_t depth) {
   }
 
   for (const Rule& tgd : tgds_) {
+    if (!budget_interrupt_.ok()) break;
     // Cheap pre-filter before renaming: some head atom must share the
     // goal's predicate.
     bool relevant = false;
@@ -164,7 +177,9 @@ Status DeterministicWsQa::ExpandGoal(const Atom& goal_inst, uint32_t depth) {
       MDQA_RETURN_IF_ERROR(fire_error);
     }
   }
-  memo_[key] = {depth, work_.TotalFacts()};
+  // Don't memoize a truncated expansion — it would wrongly read as "fully
+  // expanded" once the pattern recurs under a fresh budget.
+  if (budget_interrupt_.ok()) memo_[key] = {depth, work_.TotalFacts()};
   return Status::Ok();
 }
 
@@ -173,6 +188,22 @@ Status DeterministicWsQa::SolveGoals(
     size_t idx, Subst* subst, std::vector<uint32_t>* trail, uint32_t depth,
     const std::function<bool(const Subst&)>& on_solution, bool* stop) {
   if (*stop) return Status::Ok();
+  if (!budget_interrupt_.ok()) {
+    // A budget trip unwinds the whole search cooperatively; solutions
+    // already delivered stay valid.
+    *stop = true;
+    return Status::Ok();
+  }
+  if (options_.budget != nullptr) {
+    Status bs = options_.budget->Check("ws:step");
+    if (bs.ok()) bs = options_.budget->ChargeSteps(1);
+    if (!bs.ok()) {
+      if (!ExecutionBudget::IsTruncation(bs)) return bs;  // injected hard fault
+      budget_interrupt_ = std::move(bs);
+      *stop = true;
+      return Status::Ok();
+    }
+  }
   if (++stats_.resolution_steps > options_.max_steps) {
     return Status::ResourceExhausted("WS QA exceeded max_steps=" +
                                      std::to_string(options_.max_steps));
@@ -262,6 +293,9 @@ Result<std::vector<std::vector<Term>>> DeterministicWsQa::Enumerate(
     const ConjunctiveQuery& query, bool certain_only) {
   MDQA_RETURN_IF_ERROR(query.Validate());
   MDQA_RETURN_IF_ERROR(RejectNegation(tgds_, query));
+  budget_interrupt_ = Status::Ok();
+  stats_.completeness = Completeness::kComplete;
+  stats_.interruption = Status::Ok();
   const uint32_t depth = EffectiveDepth();
   std::vector<std::vector<Term>> out;
   // Passes until the working instance stabilizes (candidate snapshots can
@@ -288,6 +322,13 @@ Result<std::vector<std::vector<Term>>> DeterministicWsQa::Enumerate(
           return true;
         },
         &stop));
+    if (!budget_interrupt_.ok()) {
+      // Every tuple in `out` is backed by a completed proof, so the
+      // partial set is a sound under-approximation.
+      stats_.completeness = Completeness::kTruncated;
+      stats_.interruption = budget_interrupt_;
+      break;
+    }
     if (work_.TotalFacts() == size_before) break;
   }
   return out;
@@ -296,6 +337,9 @@ Result<std::vector<std::vector<Term>>> DeterministicWsQa::Enumerate(
 Result<bool> DeterministicWsQa::AnswerBoolean(const ConjunctiveQuery& query) {
   MDQA_RETURN_IF_ERROR(query.Validate());
   MDQA_RETURN_IF_ERROR(RejectNegation(tgds_, query));
+  budget_interrupt_ = Status::Ok();
+  stats_.completeness = Completeness::kComplete;
+  stats_.interruption = Status::Ok();
   const uint32_t depth = EffectiveDepth();
   while (true) {
     ++stats_.passes;
@@ -312,6 +356,13 @@ Result<bool> DeterministicWsQa::AnswerBoolean(const ConjunctiveQuery& query) {
                                     },
                                     &stop));
     if (found) return true;
+    if (!budget_interrupt_.ok()) {
+      // No proof found within budget: report "not entailed" as a sound
+      // under-approximation and flag the truncation.
+      stats_.completeness = Completeness::kTruncated;
+      stats_.interruption = budget_interrupt_;
+      return false;
+    }
     if (work_.TotalFacts() == size_before) return false;
   }
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/budget.h"
 #include "base/result.h"
 #include "datalog/cq_eval.h"
 #include "datalog/instance.h"
@@ -29,6 +30,13 @@ struct WsQaOptions {
   /// the ablation benchmark — without it, repeated subgoals re-derive
   /// their subtrees.
   bool use_memo = true;
+  /// When non-null, the proof search polls this budget (probe "ws:step")
+  /// and charges steps/materialized facts against it. Budget trips stop
+  /// the search *gracefully*: `Answers`/`PossibleAnswers` return the
+  /// solutions found so far (each backed by a real proof, hence sound)
+  /// with `WsQaStats::completeness == kTruncated`; the legacy
+  /// `max_steps`/`max_facts` limits above remain hard errors. Not owned.
+  ExecutionBudget* budget = nullptr;
 };
 
 struct WsQaStats {
@@ -36,6 +44,11 @@ struct WsQaStats {
   uint64_t rule_applications = 0;
   uint64_t facts_materialized = 0;
   uint64_t passes = 0;
+  /// kTruncated when the last public call was cut short by the budget;
+  /// answers returned are a sound under-approximation.
+  Completeness completeness = Completeness::kComplete;
+  /// The budget status that interrupted the last call (OK when complete).
+  Status interruption;
 };
 
 /// The paper's `DeterministicWSQAns` (§IV): a deterministic top-down
@@ -117,6 +130,9 @@ class DeterministicWsQa {
   // pattern -> (depth expanded at, instance size after expansion); skip
   // re-expansion when nothing changed since.
   std::unordered_map<std::string, std::pair<uint32_t, size_t>> memo_;
+  // First budget trip of the current public call; non-OK makes the
+  // search unwind cooperatively (checked at every SolveGoals entry).
+  Status budget_interrupt_;
 };
 
 }  // namespace mdqa::qa

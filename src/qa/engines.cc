@@ -32,6 +32,13 @@ bool AnswerSet::Contains(const std::vector<Term>& t) const {
   return std::binary_search(tuples.begin(), tuples.end(), t);
 }
 
+bool AnswerSet::IsSubsetOf(const AnswerSet& other) const {
+  for (const std::vector<Term>& t : tuples) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
 std::string AnswerSet::ToString(const Vocabulary& vocab) const {
   std::string out = "{";
   for (size_t i = 0; i < tuples.size(); ++i) {
@@ -77,7 +84,8 @@ Result<Relation> AnswerSet::ToRelation(
 }
 
 Result<AnswerSet> Answer(Engine engine, const Program& program,
-                         const ConjunctiveQuery& query) {
+                         const ConjunctiveQuery& query,
+                         const AnswerOptions& aopts) {
   switch (engine) {
     case Engine::kChase: {
       // Pure query answering: negative constraints are a consistency
@@ -85,46 +93,104 @@ Result<AnswerSet> Answer(Engine engine, const Program& program,
       // not evaluate them either.
       datalog::ChaseOptions options;
       options.check_constraints = false;
+      options.budget = aopts.budget;
       MDQA_ASSIGN_OR_RETURN(ChaseQa qa, ChaseQa::Create(program, options));
+      Status interruption;
       MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
-                            qa.Answers(query));
-      return AnswerSet::Of(std::move(tuples));
+                            qa.Answers(query, aopts.budget, &interruption));
+      AnswerSet out = AnswerSet::Of(std::move(tuples));
+      if (qa.stats().completeness == Completeness::kTruncated) {
+        out.completeness = Completeness::kTruncated;
+        out.interruption = qa.stats().interruption;
+      } else if (!interruption.ok()) {
+        out.completeness = Completeness::kTruncated;
+        out.interruption = std::move(interruption);
+      }
+      return out;
     }
     case Engine::kDeterministicWs: {
-      DeterministicWsQa qa(program);
+      WsQaOptions options;
+      options.budget = aopts.budget;
+      DeterministicWsQa qa(program, options);
       MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
                             qa.Answers(query));
-      return AnswerSet::Of(std::move(tuples));
+      AnswerSet out = AnswerSet::Of(std::move(tuples));
+      out.completeness = qa.stats().completeness;
+      out.interruption = qa.stats().interruption;
+      return out;
     }
     case Engine::kRewriting: {
       Instance edb = Instance::FromProgram(program);
-      MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
-                            UcqRewriter::Answers(program, edb, query));
-      return AnswerSet::Of(std::move(tuples));
+      RewriteOptions options;
+      options.budget = aopts.budget;
+      RewriteStats stats;
+      MDQA_ASSIGN_OR_RETURN(
+          std::vector<std::vector<Term>> tuples,
+          UcqRewriter::Answers(program, edb, query, options, &stats));
+      AnswerSet out = AnswerSet::Of(std::move(tuples));
+      out.completeness = stats.completeness;
+      out.interruption = stats.interruption;
+      return out;
     }
   }
   return Status::InvalidArgument("unknown engine");
 }
 
+Result<AnswerSet> Answer(Engine engine, const Program& program,
+                         const ConjunctiveQuery& query) {
+  return Answer(engine, program, query, AnswerOptions{});
+}
+
 Result<AnswerSet> CrossCheck(const Program& program,
                              const ConjunctiveQuery& query,
-                             const std::vector<Engine>& engines) {
+                             const std::vector<Engine>& engines,
+                             const AnswerOptions& options) {
   if (engines.empty()) {
     return Status::InvalidArgument("CrossCheck needs at least one engine");
   }
-  MDQA_ASSIGN_OR_RETURN(AnswerSet reference, Answer(engines[0], program, query));
+  auto complete = [](const AnswerSet& s) {
+    return s.completeness == Completeness::kComplete;
+  };
+  MDQA_ASSIGN_OR_RETURN(AnswerSet reference,
+                        Answer(engines[0], program, query, options));
+  size_t reference_engine = 0;
   for (size_t i = 1; i < engines.size(); ++i) {
-    MDQA_ASSIGN_OR_RETURN(AnswerSet other, Answer(engines[i], program, query));
-    if (other != reference) {
+    MDQA_ASSIGN_OR_RETURN(AnswerSet other,
+                          Answer(engines[i], program, query, options));
+    // Truncated runs only promise a sound subset, so: equal when both
+    // complete, subset when exactly one is, unconstrained when neither.
+    bool violation;
+    if (complete(reference) && complete(other)) {
+      violation = other != reference;
+    } else if (complete(other)) {
+      violation = !reference.IsSubsetOf(other);
+    } else if (complete(reference)) {
+      violation = !other.IsSubsetOf(reference);
+    } else {
+      violation = false;
+    }
+    if (violation) {
       const Vocabulary& vocab = *program.vocab();
       return Status::Internal(
           std::string("engine disagreement on query ") +
-          vocab.QueryToString(query) + ": " + EngineToString(engines[0]) +
-          " = " + reference.ToString(vocab) + " vs " +
-          EngineToString(engines[i]) + " = " + other.ToString(vocab));
+          vocab.QueryToString(query) + ": " +
+          EngineToString(engines[reference_engine]) + " = " +
+          reference.ToString(vocab) + " vs " + EngineToString(engines[i]) +
+          " = " + other.ToString(vocab));
+    }
+    // Prefer reporting a complete engine's answers when available.
+    if (!complete(reference) && complete(other)) {
+      reference = std::move(other);
+      reference_engine = i;
     }
   }
   return reference;
+}
+
+Result<AnswerSet> CrossCheck(const Program& program,
+                             const ConjunctiveQuery& query,
+                             const std::vector<Engine>& engines) {
+  return CrossCheck(program, query, engines, AnswerOptions{});
 }
 
 }  // namespace mdqa::qa

@@ -20,16 +20,33 @@ enum class Engine {
 
 const char* EngineToString(Engine e);
 
+/// Per-call controls for `Answer`/`CrossCheck`.
+struct AnswerOptions {
+  /// When non-null, threaded through the chosen engine (chase rounds,
+  /// WS proof steps, rewrite iterations, and every row of query
+  /// evaluation). A budget trip yields a *partial but sound* AnswerSet
+  /// tagged `kTruncated` instead of an error. Not owned.
+  ExecutionBudget* budget = nullptr;
+};
+
 /// A set of certain-answer tuples in canonical (sorted, deduplicated)
 /// form, so answer sets from different engines compare with ==.
 struct AnswerSet {
   std::vector<std::vector<datalog::Term>> tuples;
+  /// kTruncated when a budget cut the producing run short; the tuples
+  /// are then a sound under-approximation of the certain answers.
+  /// Not part of ==: equality compares tuples only.
+  Completeness completeness = Completeness::kComplete;
+  /// The budget status that interrupted the run (OK when complete).
+  Status interruption;
 
   static AnswerSet Of(std::vector<std::vector<datalog::Term>> raw);
 
   size_t size() const { return tuples.size(); }
   bool empty() const { return tuples.empty(); }
   bool Contains(const std::vector<datalog::Term>& t) const;
+  /// True iff every tuple of this set occurs in `other`.
+  bool IsSubsetOf(const AnswerSet& other) const;
 
   friend bool operator==(const AnswerSet& a, const AnswerSet& b) {
     return a.tuples == b.tuples;
@@ -51,11 +68,23 @@ struct AnswerSet {
 
 /// Uniform entry point over the three engines (certain answers).
 Result<AnswerSet> Answer(Engine engine, const datalog::Program& program,
+                         const datalog::ConjunctiveQuery& query,
+                         const AnswerOptions& options);
+
+Result<AnswerSet> Answer(Engine engine, const datalog::Program& program,
                          const datalog::ConjunctiveQuery& query);
 
 /// Runs `query` through every engine in `engines` and fails with
 /// kInternal (showing both answer sets) on the first disagreement —
-/// the property-test harness for engine agreement.
+/// the property-test harness for engine agreement. Truncation-aware:
+/// a truncated set is only required to be a *subset* of a complete one
+/// (two truncated sets are not compared), and the returned set prefers
+/// a complete engine's answers when any engine completed.
+Result<AnswerSet> CrossCheck(const datalog::Program& program,
+                             const datalog::ConjunctiveQuery& query,
+                             const std::vector<Engine>& engines,
+                             const AnswerOptions& options);
+
 Result<AnswerSet> CrossCheck(const datalog::Program& program,
                              const datalog::ConjunctiveQuery& query,
                              const std::vector<Engine>& engines);

@@ -151,6 +151,18 @@ Result<std::vector<ConjunctiveQuery>> UcqRewriter::Rewrite(
   }
 
   while (!worklist.empty()) {
+    if (options.budget != nullptr) {
+      Status bs = options.budget->Check("rewrite:iter");
+      if (bs.ok()) bs = options.budget->ChargeSteps(1);
+      if (!bs.ok()) {
+        if (!ExecutionBudget::IsTruncation(bs)) return bs;
+        // Graceful: every CQ generated so far is individually sound, so
+        // the partial UCQ under-approximates the certain answers.
+        stats->completeness = Completeness::kTruncated;
+        stats->interruption = std::move(bs);
+        break;
+      }
+    }
     if (++stats->iterations > options.max_iterations) {
       return Status::ResourceExhausted("rewriting exceeded max_iterations");
     }
@@ -253,20 +265,32 @@ Result<std::vector<ConjunctiveQuery>> UcqRewriter::Rewrite(
 
 Result<std::vector<std::vector<Term>>> UcqRewriter::Answers(
     const Program& program, const Instance& edb,
-    const ConjunctiveQuery& query, const RewriteOptions& options) {
-  RewriteStats stats;
+    const ConjunctiveQuery& query, const RewriteOptions& options,
+    RewriteStats* stats) {
+  RewriteStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = RewriteStats{};
   MDQA_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> ucq,
-                        Rewrite(program, query, options, &stats));
-  CqEvaluator eval(edb);
+                        Rewrite(program, query, options, stats));
+  CqEvaluator eval(edb, nullptr, options.budget);
   std::vector<std::vector<Term>> out;
   for (const ConjunctiveQuery& cq : ucq) {
+    Status interruption;
     MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> part,
-                          eval.Answers(cq));
+                          eval.Answers(cq, &interruption));
     for (std::vector<Term>& t : part) {
       if (CqEvaluator::HasNull(t)) continue;
       if (std::find(out.begin(), out.end(), t) == out.end()) {
         out.push_back(std::move(t));
       }
+    }
+    if (!interruption.ok()) {
+      // Answers found so far (across all disjuncts evaluated) stand.
+      stats->completeness = Completeness::kTruncated;
+      if (stats->interruption.ok()) {
+        stats->interruption = std::move(interruption);
+      }
+      break;
     }
   }
   return out;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/budget.h"
 #include "base/result.h"
 #include "datalog/cq_eval.h"
 #include "datalog/instance.h"
@@ -15,12 +16,24 @@ struct RewriteOptions {
   /// budget — e.g. a recursive rule set).
   size_t max_queries = 20'000;
   size_t max_iterations = 100'000;
+  /// When non-null, the rewriting loop polls this budget (probe
+  /// "rewrite:iter") and evaluation polls it per row. A budget trip stops
+  /// the rewriting *gracefully*: the UCQ built so far is returned with
+  /// `RewriteStats::completeness == kTruncated` — every disjunct is
+  /// individually sound, so evaluating the partial UCQ under-approximates
+  /// the certain answers. The legacy caps above remain hard errors. Not
+  /// owned.
+  ExecutionBudget* budget = nullptr;
 };
 
 struct RewriteStats {
   size_t generated = 0;   ///< CQs produced (before dedup)
   size_t kept = 0;        ///< CQs in the final UCQ
   size_t iterations = 0;
+  /// kTruncated when the budget cut rewriting (or evaluation) short.
+  Completeness completeness = Completeness::kComplete;
+  /// The budget status that interrupted the run (OK when complete).
+  Status interruption;
 };
 
 /// Backward-chaining UCQ rewriting (PerfectRef/XRewrite style) for the
@@ -55,11 +68,13 @@ class UcqRewriter {
   }
 
   /// Rewrites and evaluates over `edb` (which must NOT be chased —
-  /// that is the point), returning certain answers.
+  /// that is the point), returning certain answers. A non-null `stats`
+  /// receives the rewrite statistics including the completeness tag.
   static Result<std::vector<std::vector<datalog::Term>>> Answers(
       const datalog::Program& program, const datalog::Instance& edb,
       const datalog::ConjunctiveQuery& query,
-      const RewriteOptions& options = RewriteOptions());
+      const RewriteOptions& options = RewriteOptions(),
+      RewriteStats* stats = nullptr);
 };
 
 }  // namespace mdqa::qa

@@ -1,6 +1,7 @@
 #include "quality/assessor.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "base/json.h"
 #include "datalog/chase.h"
@@ -14,10 +15,19 @@ std::string AssessmentReport::ToString() const {
   for (const QualityMeasures& m : per_relation) {
     out += "  " + m.ToString() + "\n";
   }
+  for (const RelationFailure& f : degraded) {
+    out += "  DEGRADED " + f.relation + ": " + f.status.ToString() +
+           " (after " + std::to_string(f.attempts) + " attempt" +
+           (f.attempts == 1 ? "" : "s") + ")\n";
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "overall precision: %.3f\n",
                 overall_precision);
   out += buf;
+  if (completeness == Completeness::kTruncated) {
+    out += std::string("completeness: truncated (") +
+           interruption.ToString() + ")\n";
+  }
   return out;
 }
 
@@ -27,6 +37,8 @@ std::string AssessmentReport::ToJson() const {
   w.Key("referential_check").String(referential_check.ToString());
   w.Key("constraint_check").String(constraint_check.ToString());
   w.Key("overall_precision").Number(overall_precision);
+  w.Key("completeness").String(CompletenessToString(completeness));
+  w.Key("interruption").String(interruption.ToString());
   w.Key("relations").BeginArray();
   for (size_t i = 0; i < per_relation.size(); ++i) {
     const QualityMeasures& m = per_relation[i];
@@ -50,39 +62,118 @@ std::string AssessmentReport::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("degraded").BeginArray();
+  for (const RelationFailure& f : degraded) {
+    w.BeginObject();
+    w.Key("relation").String(f.relation);
+    w.Key("status").String(f.status.ToString());
+    w.Key("attempts").Number(static_cast<int64_t>(f.attempts));
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.TakeString();
 }
 
 Result<AssessmentReport> Assessor::Assess(qa::Engine engine) const {
+  AssessOptions options;
+  options.engine = engine;
+  return Assess(options);
+}
+
+Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   AssessmentReport report;
   report.referential_check = context_->ontology().ValidateReferential();
+
+  auto note_truncated = [&report](const Status& why) {
+    report.completeness = Completeness::kTruncated;
+    if (report.interruption.ok()) report.interruption = why;
+  };
 
   // One materialization serves both the constraint check and (when the
   // data is consistent and the default engine is in use) every quality
   // version below. An Inconsistent status is a finding, not a failure of
-  // the assessment itself.
-  Result<PreparedContext> prepared = context_->Prepare();
+  // the assessment itself; a budget trip here leaves a partial (sound)
+  // instance the per-relation read-offs below still work against.
+  datalog::ChaseOptions chase_options;
+  chase_options.budget = opts.budget;
+  Result<PreparedContext> prepared = context_->Prepare(chase_options);
   if (!prepared.ok() &&
       prepared.status().code() != StatusCode::kInconsistent) {
-    return prepared.status();  // real failure (budget, validation, ...)
+    return prepared.status();  // real failure (parse, validation, ...)
   }
   report.constraint_check =
       prepared.ok() ? Status::Ok() : prepared.status();
+  if (prepared.ok() && prepared->chase_stats().completeness ==
+                           Completeness::kTruncated) {
+    note_truncated(prepared->chase_stats().interruption);
+  }
 
-  const bool use_prepared = prepared.ok() && engine == qa::Engine::kChase;
+  const bool use_prepared = prepared.ok() && opts.engine == qa::Engine::kChase;
   size_t total_original = 0;
   size_t total_common = 0;
+  Status cancelled;  // non-OK once a kCancelled trip stops the run
   for (const std::string& name : context_->AssessedRelations()) {
+    if (!cancelled.ok()) {
+      report.degraded.push_back(RelationFailure{name, cancelled, 0});
+      continue;
+    }
     MDQA_ASSIGN_OR_RETURN(const Relation* original,
                           context_->database().GetRelation(name));
-    Relation quality = *original;  // placeholder; overwritten below
-    if (use_prepared) {
-      MDQA_ASSIGN_OR_RETURN(quality, prepared->QualityVersion(name));
-    } else {
-      MDQA_ASSIGN_OR_RETURN(quality,
-                            context_->ComputeQualityVersion(name, engine));
+
+    // Fault isolation: each relation computes under its own derived
+    // budget, retrying with escalated counter caps on exhaustion, so a
+    // single runaway quality version degrades to a RelationFailure
+    // instead of sinking the whole report.
+    Relation quality(original->schema());
+    Status failure;
+    int attempts = 0;
+    double scale = 1.0;
+    bool computed = false;
+    for (int attempt = 0; attempt <= opts.max_retries;
+         ++attempt, scale *= opts.escalation_factor) {
+      ++attempts;
+      ExecutionBudget rb;
+      if (opts.budget != nullptr) rb.InheritControlsFrom(*opts.budget);
+      if (opts.fault_injector != nullptr) {
+        rb.set_fault_injector(opts.fault_injector);
+      }
+      if (opts.per_relation_max_facts > 0) {
+        rb.set_max_facts(static_cast<uint64_t>(
+            static_cast<double>(opts.per_relation_max_facts) * scale));
+      }
+      if (opts.per_relation_max_steps > 0) {
+        rb.set_max_steps(static_cast<uint64_t>(
+            static_cast<double>(opts.per_relation_max_steps) * scale));
+      }
+      failure = rb.CheckNow("assessor:relation");
+      if (failure.ok()) {
+        Status interruption;
+        Result<Relation> r =
+            use_prepared
+                ? prepared->QualityVersion(name, &rb, &interruption)
+                : context_->ComputeQualityVersion(name, opts.engine, &rb,
+                                                  &interruption);
+        if (r.ok() && interruption.ok()) {
+          quality = std::move(r).value();
+          computed = true;
+          break;
+        }
+        // A truncated quality version is a budget trip for this
+        // relation: partial measures would misreport, so retry bigger.
+        failure = r.ok() ? std::move(interruption) : r.status();
+      }
+      if (!ExecutionBudget::IsTruncation(failure)) break;  // hard fault
+      if (failure.code() == StatusCode::kCancelled) break;
     }
+    if (!computed) {
+      note_truncated(failure);
+      if (failure.code() == StatusCode::kCancelled) cancelled = failure;
+      report.degraded.push_back(
+          RelationFailure{name, std::move(failure), attempts});
+      continue;
+    }
+
     MDQA_ASSIGN_OR_RETURN(QualityMeasures m, Measure(*original, quality));
     MDQA_ASSIGN_OR_RETURN(Relation dirty, original->Minus(quality));
     total_original += m.original_size;

@@ -4,11 +4,23 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
 #include "base/result.h"
 #include "quality/context.h"
 #include "quality/measures.h"
 
 namespace mdqa::quality {
+
+/// A relation whose quality version could not be computed within its
+/// budget (or tripped a fault probe): the assessment degrades this entry
+/// instead of failing the whole report.
+struct RelationFailure {
+  std::string relation;
+  /// The status that stopped the computation (after the final attempt).
+  Status status;
+  /// Attempts made, including retries under escalated budgets.
+  int attempts = 0;
+};
 
 /// A full assessment of the database under a context: per-relation quality
 /// versions and measures, plus validation results.
@@ -27,6 +39,17 @@ struct AssessmentReport {
   Status constraint_check;
   /// Outcome of the form-(1) referential validation.
   Status referential_check;
+  /// Relations whose quality version blew its budget / tripped a fault —
+  /// excluded from the vectors above and from `overall_precision`.
+  std::vector<RelationFailure> degraded;
+  /// kTruncated when the report rests on partial work: a truncated
+  /// materialization, a truncated quality-version read-off, or one or
+  /// more degraded relations. The measures reported are still sound
+  /// under-approximations of the quality versions (chase monotonicity).
+  Completeness completeness = Completeness::kComplete;
+  /// The first budget status that forced the degradation (OK when
+  /// complete).
+  Status interruption;
 
   std::string ToString() const;
 
@@ -35,15 +58,47 @@ struct AssessmentReport {
   std::string ToJson() const;
 };
 
+/// Controls for one assessment run.
+struct AssessOptions {
+  qa::Engine engine = qa::Engine::kChase;
+  /// Global budget for the run: its deadline, cancellation token, and
+  /// fault injector also govern every per-relation computation (via
+  /// derived budgets), and the initial materialization charges against
+  /// it directly. Not owned.
+  ExecutionBudget* budget = nullptr;
+  /// Per-relation counter caps (0 = uncapped). Each relation's quality
+  /// version is computed under its own derived budget with these caps,
+  /// so one runaway relation cannot starve the others.
+  uint64_t per_relation_max_facts = 0;
+  uint64_t per_relation_max_steps = 0;
+  /// A relation whose budget trips is retried up to `max_retries` more
+  /// times, multiplying its counter caps by `escalation_factor` each
+  /// attempt, before being degraded to a RelationFailure entry.
+  int max_retries = 1;
+  double escalation_factor = 4.0;
+  /// Extra fault injector applied to per-relation budgets (probe
+  /// "assessor:relation" fires once per relation gate). Takes precedence
+  /// over `budget`'s injector for those probes when set. Not owned.
+  FaultInjector* fault_injector = nullptr;
+};
+
 /// Drives the Fig. 2 pipeline end to end: validates the ontology, runs
 /// constraint checks, computes every registered quality version, and
 /// measures each original relation against it.
+///
+/// With an `AssessOptions` budget, failures are isolated per relation:
+/// a relation whose computation exhausts its (escalating) budget is
+/// recorded in `AssessmentReport::degraded` while every other relation
+/// is still assessed; cancellation stops the run but still returns the
+/// report built so far.
 class Assessor {
  public:
   explicit Assessor(const QualityContext* context) : context_(context) {}
 
   Result<AssessmentReport> Assess(
       qa::Engine engine = qa::Engine::kChase) const;
+
+  Result<AssessmentReport> Assess(const AssessOptions& options) const;
 
  private:
   const QualityContext* context_;

@@ -135,7 +135,9 @@ Result<Program> QualityContext::BuildProgram() const {
 }
 
 Result<Relation> QualityContext::ComputeQualityVersion(
-    const std::string& original, qa::Engine engine) const {
+    const std::string& original, qa::Engine engine, ExecutionBudget* budget,
+    Status* interruption) const {
+  if (interruption != nullptr) *interruption = Status::Ok();
   MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
   MDQA_ASSIGN_OR_RETURN(std::string quality_pred,
                         QualityPredicateOf(original));
@@ -153,8 +155,14 @@ Result<Relation> QualityContext::ComputeQualityVersion(
   query.answer = vars;
   query.body.push_back(Atom(pred, vars));
 
+  qa::AnswerOptions aopts;
+  aopts.budget = budget;
   MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers,
-                        qa::Answer(engine, program, query));
+                        qa::Answer(engine, program, query, aopts));
+  if (answers.completeness == Completeness::kTruncated &&
+      interruption != nullptr) {
+    *interruption = answers.interruption;
+  }
 
   // Same schema as the original, renamed to the quality predicate.
   std::vector<Attribute> attrs = rel->schema().attributes();
@@ -255,17 +263,29 @@ Result<qa::AnswerSet> QualityContext::RawAnswers(const std::string& query_text,
 }
 
 Result<PreparedContext> QualityContext::Prepare() const {
+  return Prepare(datalog::ChaseOptions{});
+}
+
+Result<PreparedContext> QualityContext::Prepare(
+    const datalog::ChaseOptions& options) const {
   MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
-  MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased, qa::ChaseQa::Create(program));
+  MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased,
+                        qa::ChaseQa::Create(program, options));
   return PreparedContext(quality_of_, database_, std::move(program),
                          std::move(chased));
 }
 
-Result<qa::AnswerSet> PreparedContext::Evaluate(
-    datalog::ConjunctiveQuery query) const {
+Result<qa::AnswerSet> PreparedContext::Evaluate(datalog::ConjunctiveQuery query,
+                                                ExecutionBudget* budget) const {
+  Status interruption;
   MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
-                        chased_.Answers(query));
-  return qa::AnswerSet::Of(std::move(tuples));
+                        chased_.Answers(query, budget, &interruption));
+  qa::AnswerSet out = qa::AnswerSet::Of(std::move(tuples));
+  if (!interruption.ok()) {
+    out.completeness = Completeness::kTruncated;
+    out.interruption = std::move(interruption);
+  }
+  return out;
 }
 
 Result<qa::AnswerSet> PreparedContext::RawAnswers(
@@ -292,8 +312,10 @@ Result<qa::AnswerSet> PreparedContext::CleanAnswers(
   return Evaluate(std::move(query));
 }
 
-Result<Relation> PreparedContext::QualityVersion(
-    const std::string& original) const {
+Result<Relation> PreparedContext::QualityVersion(const std::string& original,
+                                                 ExecutionBudget* budget,
+                                                 Status* interruption) const {
+  if (interruption != nullptr) *interruption = Status::Ok();
   auto it = quality_of_.find(original);
   if (it == quality_of_.end()) {
     return Status::NotFound("no quality version defined for '" + original +
@@ -311,7 +333,12 @@ Result<Relation> PreparedContext::QualityVersion(
   }
   query.answer = vars;
   query.body.push_back(Atom(pred, vars));
-  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers, Evaluate(std::move(query)));
+  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers,
+                        Evaluate(std::move(query), budget));
+  if (answers.completeness == Completeness::kTruncated &&
+      interruption != nullptr) {
+    *interruption = answers.interruption;
+  }
 
   std::vector<Attribute> attrs = rel->schema().attributes();
   MDQA_ASSIGN_OR_RETURN(RelationSchema schema,

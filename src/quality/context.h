@@ -78,9 +78,16 @@ class QualityContext {
   /// Computes the quality version S^q of `original` as a relation (same
   /// attribute names as the original), using `engine` for certain-answer
   /// computation.
+  ///
+  /// A non-null `budget` bounds the whole computation (chase/search and
+  /// evaluation). On a budget trip the rows derived so far are returned
+  /// — sound by monotonicity — and the truncation status is stored in
+  /// `*interruption` (must be non-null when `budget` is; OK when the
+  /// computation completed).
   Result<Relation> ComputeQualityVersion(
-      const std::string& original,
-      qa::Engine engine = qa::Engine::kChase) const;
+      const std::string& original, qa::Engine engine = qa::Engine::kChase,
+      ExecutionBudget* budget = nullptr,
+      Status* interruption = nullptr) const;
 
   /// Clean query answering: parses `query_text` (over original relation
   /// names), rewrites every atom over an original relation to its quality
@@ -117,6 +124,12 @@ class QualityContext {
   /// Constraint violations surface here (kInconsistent).
   Result<PreparedContext> Prepare() const;
 
+  /// As above with explicit chase options — in particular an
+  /// `ExecutionBudget`, in which case a budget trip during
+  /// materialization still yields a usable session over the partial
+  /// (sound) instance; check `PreparedContext::chase_stats()`.
+  Result<PreparedContext> Prepare(const datalog::ChaseOptions& options) const;
+
  private:
   friend class PreparedContext;
 
@@ -139,8 +152,12 @@ class PreparedContext {
   Result<qa::AnswerSet> RawAnswers(const std::string& query_text) const;
 
   /// The quality version of `original`, read off the materialized
-  /// instance.
-  Result<Relation> QualityVersion(const std::string& original) const;
+  /// instance. A non-null `budget` bounds the read-off evaluation; on a
+  /// budget trip the rows found so far are returned with the truncation
+  /// status in `*interruption` (must be non-null when `budget` is).
+  Result<Relation> QualityVersion(const std::string& original,
+                                  ExecutionBudget* budget = nullptr,
+                                  Status* interruption = nullptr) const;
 
   const datalog::Instance& instance() const { return chased_.instance(); }
   const datalog::ChaseStats& chase_stats() const { return chased_.stats(); }
@@ -155,7 +172,8 @@ class PreparedContext {
         program_(std::move(program)),
         chased_(std::move(chased)) {}
 
-  Result<qa::AnswerSet> Evaluate(datalog::ConjunctiveQuery query) const;
+  Result<qa::AnswerSet> Evaluate(datalog::ConjunctiveQuery query,
+                                 ExecutionBudget* budget = nullptr) const;
 
   std::map<std::string, std::string> quality_of_;
   Database database_;  // original relations (schemas for QualityVersion)

@@ -28,7 +28,8 @@ TEST(Status, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
         StatusCode::kInconsistent, StatusCode::kResourceExhausted,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kCancelled, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }

@@ -195,6 +195,94 @@ TEST_P(ParserFuzz, TruncatedAndMutatedInputNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0u, 6u));
 
+// --- Budget/fault robustness: truncation must be deterministic, ---
+// --- monotone, and report-preserving ---
+
+TEST(FaultProbeDeterminism, SameProbeTripsAtTheSameFact) {
+  // Two runs with identically armed fault injectors must truncate at
+  // identical instances — fault injection is a deterministic testing
+  // tool, not a fuzzer.
+  const char* text =
+      "E(1, 2). E(2, 3). E(3, 4). E(4, 5).\n"
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Z) :- T(X, Y), E(Y, Z).\n";
+  auto run_with_probe = [&text]() {
+    auto p = Parser::ParseProgram(text);
+    EXPECT_TRUE(p.ok());
+    FaultInjector faults;
+    faults.Arm("chase:trigger", 4,
+               Status::ResourceExhausted("injected trip"),
+               FaultInjector::kAlways);
+    ExecutionBudget budget;
+    budget.set_fault_injector(&faults);
+    ChaseOptions options;
+    options.budget = &budget;
+    Instance inst = Instance::FromProgram(*p);
+    datalog::ChaseStats stats;
+    EXPECT_TRUE(datalog::Chase::Run(*p, &inst, options, &stats).ok());
+    EXPECT_EQ(stats.completeness, Completeness::kTruncated);
+    return inst.ToString();
+  };
+  EXPECT_EQ(run_with_probe(), run_with_probe());
+}
+
+TEST(TruncationMonotonicity, BiggerBudgetsNestTheirInstances) {
+  // D^{q,k} ⊆ D^{q,k+1} ⊆ … ⊆ D^q: increasing fact budgets produce a
+  // chain of sound under-approximations (chase monotonicity).
+  auto p = Parser::ParseProgram(
+      "E(1, 2). E(2, 3). E(3, 4). E(4, 5). E(5, 1).\n"
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Z) :- T(X, Y), E(Y, Z).\n");
+  ASSERT_TRUE(p.ok());
+  uint32_t t = p->vocab()->FindPredicate("T");
+  std::vector<std::vector<std::string>> fact_sets;
+  for (uint64_t cap : {2ull, 6ull, 12ull, 1000ull}) {
+    ExecutionBudget budget;
+    budget.set_max_facts(cap);
+    ChaseOptions options;
+    options.budget = &budget;
+    Instance inst = Instance::FromProgram(*p);
+    datalog::ChaseStats stats;
+    ASSERT_TRUE(datalog::Chase::Run(*p, &inst, options, &stats).ok());
+    std::vector<std::string> facts;
+    for (const datalog::Atom& f : inst.Facts(t)) {
+      facts.push_back(p->vocab()->AtomToString(f));
+    }
+    std::sort(facts.begin(), facts.end());
+    fact_sets.push_back(std::move(facts));
+  }
+  for (size_t i = 1; i < fact_sets.size(); ++i) {
+    EXPECT_TRUE(std::includes(fact_sets[i].begin(), fact_sets[i].end(),
+                              fact_sets[i - 1].begin(),
+                              fact_sets[i - 1].end()))
+        << "budget " << i << " lost facts the smaller budget had";
+  }
+}
+
+TEST(AssessorFaultIsolation, DegradedReportStaysWellFormed) {
+  auto context =
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok());
+  FaultInjector faults;
+  faults.Arm("assessor:relation", 1,
+             Status::ResourceExhausted("injected overload"),
+             FaultInjector::kAlways);
+  quality::AssessOptions options;
+  options.fault_injector = &faults;
+  options.max_retries = 2;
+  auto report = quality::Assessor(&*context).Assess(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The sole assessed relation is degraded after all three attempts, yet
+  // the report still renders, carries the checks, and says why.
+  ASSERT_EQ(report->degraded.size(), 1u);
+  EXPECT_EQ(report->degraded[0].attempts, 3);
+  EXPECT_TRUE(report->per_relation.empty());
+  EXPECT_EQ(report->completeness, Completeness::kTruncated);
+  EXPECT_NE(report->ToString().find("referential"), std::string::npos);
+  EXPECT_NE(report->ToString().find("DEGRADED"), std::string::npos);
+  EXPECT_NE(report->ToJson().find("injected overload"), std::string::npos);
+}
+
 TEST(AssessorDirtyTuples, ListsTableIComplement) {
   auto context =
       scenarios::BuildHospitalContext(scenarios::HospitalOptions{});

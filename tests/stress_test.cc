@@ -83,6 +83,76 @@ TEST(Stress, FullAssessmentPipelineUnderBudget) {
   EXPECT_EQ(report->per_relation[0].original_size, 150u * 8u);
 }
 
+TEST(Stress, TightDeadlineOnLargeChaseTruncatesSoundly) {
+  // The acceptance scenario: a 10 ms wall-clock deadline against the
+  // large synthetic instance must come back quickly with a *truncated*
+  // (not failed) run whose partial instance and answers are a sound
+  // subset of the unbudgeted run's.
+  scenarios::SyntheticSpec spec;
+  spec.institutions = 4;
+  spec.units_per_institution = 4;
+  spec.wards_per_unit = 4;
+  spec.patients = 4000;
+  spec.days = 25;
+  auto ontology = scenarios::BuildSyntheticOntology(spec);
+  ASSERT_TRUE(ontology.ok());
+  auto program = (*ontology)->Compile();
+  ASSERT_TRUE(program.ok());
+  auto query = datalog::Parser::ParseQuery(
+      "Q(U, D, P) :- SPatientUnit(U, D, P).", program->vocab().get());
+  ASSERT_TRUE(query.ok());
+
+  auto full = qa::Answer(qa::Engine::kChase, *program, *query);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->size(), 4000u * 25u);
+
+  ExecutionBudget budget;
+  budget.SetDeadlineAfter(std::chrono::milliseconds(10));
+  budget.set_check_stride(64);  // tight deadline: poll the clock often
+  qa::AnswerOptions aopts;
+  aopts.budget = &budget;
+  auto t0 = std::chrono::steady_clock::now();
+  auto partial = qa::Answer(qa::Engine::kChase, *program, *query, aopts);
+  double ms = MsSince(t0);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_LT(ms, 5000.0) << "a 10 ms deadline must not run for seconds";
+  EXPECT_EQ(partial->completeness, Completeness::kTruncated);
+  EXPECT_EQ(partial->interruption.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(partial->IsSubsetOf(*full));
+
+  // Same deadline against the WS engine: also a sound subset.
+  ExecutionBudget ws_budget;
+  ws_budget.SetDeadlineAfter(std::chrono::milliseconds(10));
+  ws_budget.set_check_stride(64);
+  qa::AnswerOptions ws_aopts;
+  ws_aopts.budget = &ws_budget;
+  auto ws_partial =
+      qa::Answer(qa::Engine::kDeterministicWs, *program, *query, ws_aopts);
+  ASSERT_TRUE(ws_partial.ok()) << ws_partial.status();
+  EXPECT_TRUE(ws_partial->IsSubsetOf(*full));
+}
+
+TEST(Stress, BudgetedAssessmentDegradesInsteadOfFailing) {
+  // Starve the whole pipeline: a minuscule per-relation step cap with no
+  // retries leaves every relation degraded, yet Assess still returns a
+  // well-formed report (the robustness contract under overload).
+  scenarios::SyntheticSpec spec;
+  spec.patients = 150;
+  spec.days = 8;
+  auto context = scenarios::BuildSyntheticContext(spec);
+  ASSERT_TRUE(context.ok());
+  quality::Assessor assessor(&*context);
+  quality::AssessOptions options;
+  options.per_relation_max_steps = 1;
+  options.escalation_factor = 1.0;  // retry does not help
+  options.max_retries = 1;
+  auto report = assessor.Assess(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->completeness, Completeness::kTruncated);
+  EXPECT_FALSE(report->degraded.empty());
+  EXPECT_NE(report->ToString().find("DEGRADED"), std::string::npos);
+}
+
 TEST(AnswerSetRelation, MaterializesWithSchema) {
   auto p = datalog::Parser::ParseProgram(
       "PW(\"w1\", \"tom\"). UW(\"std\", \"w1\").\n"
