@@ -35,6 +35,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "base/budget.h"
 #include "datalog/analysis.h"
 #include "datalog/chase.h"
@@ -101,6 +102,8 @@ class Shell {
       Facts(rest);
     } else if (cmd == "analyze") {
       Analyze();
+    } else if (cmd == "check") {
+      CheckProgram();
     } else if (cmd == "chase") {
       RunChase();
     } else if (cmd == "ask") {
@@ -133,7 +136,7 @@ class Shell {
   void Help() {
     std::cout <<
         "  load <file> | parse <stmts.> | csv <file> [name]\n"
-        "  rules | facts [pred] | analyze | chase\n"
+        "  rules | facts [pred] | analyze | check | chase\n"
         "  ask <query>   e.g. ask Q(X) :- P(X, Y), Y > 3.\n"
         "  engine chase|ws|rewrite   (current: "
               << qa::EngineToString(engine_) << ")\n"
@@ -212,6 +215,29 @@ class Shell {
     if (!strata.ok()) {
       std::cout << strata.status() << "\n";
     }
+  }
+
+  // `check`: lint the session program and report which engine the
+  // classification-driven gate would pick.
+  void CheckProgram() {
+    analysis::DiagnosticBag bag;
+    analysis::LintOptions options;
+    options.file = "<session>";
+    analysis::LintProgram(program_, options, &bag);
+    bag.Sort();
+    if (bag.empty()) {
+      std::cout << "no findings\n";
+    } else {
+      std::cout << bag.ToText();
+      std::cout << bag.errors() << " error(s), " << bag.warnings()
+                << " warning(s)\n";
+    }
+    datalog::ProgramAnalysis analysis(program_);
+    qa::EngineSelection selection =
+        qa::SelectEngine(program_, analysis, qa::EngineSelectOptions{});
+    std::cout << "class: " << analysis.ClassName() << "\n"
+              << "recommended engine: " << qa::EngineToString(selection.engine)
+              << " — " << selection.reason << "\n";
   }
 
   void RunChase() {

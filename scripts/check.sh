@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + ctest, then the same suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer in a second build tree.
+# AddressSanitizer + UndefinedBehaviorSanitizer in a second build tree,
+# plus an optional static-analysis pass.
 #
-#   scripts/check.sh            # both passes
+#   scripts/check.sh            # plain + sanitizer passes
 #   scripts/check.sh --plain    # skip the sanitizer pass
 #   scripts/check.sh --san      # sanitizer pass only
+#   scripts/check.sh --lint     # add the lint pass: clang-tidy over src/
+#                               # (skipped when not installed) and
+#                               # mdqa_lint --werror over examples/scripts/
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_plain=1
 run_san=1
+run_lint=0
 for arg in "$@"; do
   case "$arg" in
     --plain) run_san=0 ;;
     --san) run_plain=0 ;;
+    --lint) run_lint=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,6 +40,24 @@ if [[ $run_san -eq 1 ]]; then
   cmake --build build-san -j "$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-san --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_lint -eq 1 ]]; then
+  echo "== lint =="
+  # Ensure a build tree with compile_commands.json and mdqa_lint exists.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target mdqa_lint
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "-- clang-tidy (src/)"
+    # shellcheck disable=SC2046
+    clang-tidy -p build --quiet $(find src -name '*.cc') 2>/dev/null
+  else
+    echo "-- clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+
+  echo "-- mdqa_lint --werror examples/scripts/*.dlg"
+  ./build/tools/mdqa_lint --werror examples/scripts/*.dlg
 fi
 
 echo "all checks passed"

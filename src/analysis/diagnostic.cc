@@ -1,0 +1,159 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "base/json.h"
+
+namespace mdqa::analysis {
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToText() const {
+  std::string out = file.empty() ? "<input>" : file;
+  if (span.IsSet()) {
+    out += ":" + std::to_string(span.line) + ":" + std::to_string(span.column);
+  }
+  out += ": ";
+  out += SeverityToString(severity);
+  out += ": " + message + " [" + code + "]";
+  if (!fix_it.empty()) {
+    out += "\n    fix-it: " + fix_it;
+  }
+  for (const RelatedNote& n : notes) {
+    out += "\n    note: " + n.message;
+    if (n.span.IsSet()) out += " (" + n.span.ToString() + ")";
+  }
+  return out;
+}
+
+size_t DiagnosticBag::Count(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+void DiagnosticBag::Sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.file, a.span, a.code) <
+                            std::tie(b.file, b.span, b.code);
+                   });
+}
+
+void DiagnosticBag::FilterBelow(Severity min) {
+  diagnostics_.erase(
+      std::remove_if(diagnostics_.begin(), diagnostics_.end(),
+                     [min](const Diagnostic& d) { return d.severity < min; }),
+      diagnostics_.end());
+}
+
+std::string DiagnosticBag::ToText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToText();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// SARIF collapses our four severities onto its three levels.
+const char* SarifLevel(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kInfo:
+    case Severity::kNote:
+      return "note";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string DiagnosticBag::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("version").String("2.1.0");
+  w.Key("runs").BeginArray();
+  w.BeginObject();
+  w.Key("tool").BeginObject();
+  w.Key("driver").BeginObject();
+  w.Key("name").String("mdqa_lint");
+  w.EndObject();  // driver
+  w.EndObject();  // tool
+  w.Key("results").BeginArray();
+  for (const Diagnostic& d : diagnostics_) {
+    w.BeginObject();
+    w.Key("ruleId").String(d.code);
+    w.Key("level").String(SarifLevel(d.severity));
+    w.Key("message").BeginObject();
+    w.Key("text").String(d.message);
+    w.EndObject();
+    w.Key("locations").BeginArray();
+    w.BeginObject();
+    w.Key("physicalLocation").BeginObject();
+    w.Key("artifactLocation").BeginObject();
+    w.Key("uri").String(d.file.empty() ? "<input>" : d.file);
+    w.EndObject();  // artifactLocation
+    if (d.span.IsSet()) {
+      w.Key("region").BeginObject();
+      w.Key("startLine").Number(static_cast<int64_t>(d.span.line));
+      w.Key("startColumn").Number(static_cast<int64_t>(d.span.column));
+      w.EndObject();
+    }
+    w.EndObject();  // physicalLocation
+    w.EndObject();  // location
+    w.EndArray();   // locations
+    if (!d.notes.empty()) {
+      w.Key("relatedLocations").BeginArray();
+      for (const RelatedNote& n : d.notes) {
+        w.BeginObject();
+        w.Key("message").BeginObject();
+        w.Key("text").String(n.message);
+        w.EndObject();
+        if (n.span.IsSet()) {
+          w.Key("physicalLocation").BeginObject();
+          w.Key("region").BeginObject();
+          w.Key("startLine").Number(static_cast<int64_t>(n.span.line));
+          w.Key("startColumn").Number(static_cast<int64_t>(n.span.column));
+          w.EndObject();
+          w.EndObject();
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    // Lossless extras SARIF has no slot for.
+    w.Key("properties").BeginObject();
+    w.Key("severity").String(SeverityToString(d.severity));
+    if (!d.fix_it.empty()) w.Key("fixIt").String(d.fix_it);
+    w.EndObject();
+    w.EndObject();  // result
+  }
+  w.EndArray();   // results
+  w.EndObject();  // run
+  w.EndArray();   // runs
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mdqa::analysis

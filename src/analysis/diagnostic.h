@@ -1,0 +1,94 @@
+#ifndef MDQA_ANALYSIS_DIAGNOSTIC_H_
+#define MDQA_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/source_span.h"
+
+namespace mdqa::analysis {
+
+/// Severity of a diagnostic, ordered note < info < warning < error.
+/// Errors make a program unusable for quality assessment; warnings void a
+/// paper guarantee (weak stickiness, separability, strict roll-ups);
+/// infos record recovered or noteworthy conditions; notes are stylistic.
+enum class Severity : uint8_t {
+  kNote = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+const char* SeverityToString(Severity s);
+
+/// A secondary location attached to a diagnostic ("first defined here",
+/// "equated variable occurs here").
+struct RelatedNote {
+  std::string message;
+  SourceSpan span;
+};
+
+/// One finding of the static analyzer: a stable code (`MDQA-<S><nnn>`
+/// where S mirrors the severity letter), a primary source span, the
+/// human-readable message, an optional fix-it suggestion, and related
+/// notes. Codes are API: tests and downstream tooling match on them, so
+/// they are never renumbered (see docs/static_analysis.md).
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  std::string file;     ///< artifact name ("<input>" when not from a file)
+  SourceSpan span;      ///< primary location (may be unset for global findings)
+  std::string fix_it;   ///< suggested replacement/remedy (empty = none)
+  std::vector<RelatedNote> notes;
+
+  /// Compiler-style one-liner: `file:3:7: warning: message [MDQA-W005]`
+  /// (location omitted when the span is unset), followed by indented
+  /// fix-it and related notes on their own lines.
+  std::string ToText() const;
+};
+
+/// Accumulates diagnostics across lint passes and renders them as text or
+/// SARIF-shaped JSON.
+class DiagnosticBag {
+ public:
+  void Add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t Count(Severity s) const;
+  size_t errors() const { return Count(Severity::kError); }
+  size_t warnings() const { return Count(Severity::kWarning); }
+
+  /// True when the findings should fail a run: any error, or any warning
+  /// under `werror`.
+  bool ShouldFail(bool werror) const {
+    return errors() > 0 || (werror && warnings() > 0);
+  }
+
+  /// Stable presentation order: file, then span, then code. Stable sort,
+  /// so equal keys keep emission order.
+  void Sort();
+
+  /// Drops diagnostics below `min` severity.
+  void FilterBelow(Severity min);
+
+  /// All findings rendered via Diagnostic::ToText, one per line block.
+  std::string ToText() const;
+
+  /// SARIF 2.1.0-shaped JSON: one run, one `results` entry per
+  /// diagnostic. The exact mdqa severity rides in
+  /// `properties.severity` (SARIF's own `level` has no "info"/"note"
+  /// distinction we need). Parseable back with mdqa::JsonValue::Parse.
+  std::string ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace mdqa::analysis
+
+#endif  // MDQA_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,623 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+
+namespace mdqa::analysis {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+using datalog::RuleKind;
+using datalog::Vocabulary;
+
+void Emit(const LintOptions& options, DiagnosticBag* bag, Diagnostic d) {
+  if (d.severity < options.min_severity) return;
+  if (d.file.empty()) d.file = options.file;
+  bag->Add(std::move(d));
+}
+
+Diagnostic Make(const char* code, Severity severity, std::string message,
+                SourceSpan span = {}) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.span = span;
+  return d;
+}
+
+// Bounded edit distance for the did-you-mean fix-it (anything above
+// `limit` is reported as limit+1, which callers treat as "no match").
+size_t EditDistance(const std::string& a, const std::string& b, size_t limit) {
+  if (a.size() > b.size() + limit || b.size() > a.size() + limit) {
+    return limit + 1;
+  }
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string JoinNames(const Vocabulary& vocab,
+                      const std::vector<uint32_t>& vars) {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.VariableName(vars[i]);
+  }
+  return out;
+}
+
+std::string PositionString(const Vocabulary& vocab, datalog::Position p) {
+  return vocab.PredicateName(p.predicate) + "[" + std::to_string(p.index) +
+         "]";
+}
+
+// --- program passes -------------------------------------------------------
+
+// MDQA-W005 (undefined predicate), MDQA-I010 (unused predicate).
+void LintPredicates(const Program& program, const LintOptions& options,
+                    DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  std::unordered_set<uint32_t> defined;   // has a fact or a head occurrence
+  std::unordered_map<uint32_t, SourceSpan> first_def;
+  std::unordered_map<uint32_t, SourceSpan> first_use;  // body occurrence
+  std::unordered_set<uint32_t> used;
+
+  auto note_def = [&](const Atom& a) {
+    defined.insert(a.predicate);
+    first_def.emplace(a.predicate, a.span);
+  };
+  auto note_use = [&](const Atom& a) {
+    used.insert(a.predicate);
+    first_use.emplace(a.predicate, a.span);
+  };
+
+  for (const Atom& f : program.facts()) note_def(f);
+  for (const Rule& r : program.rules()) {
+    for (const Atom& h : r.head) note_def(h);
+    for (const Atom& b : r.body) note_use(b);
+    for (const Atom& n : r.negated) note_use(n);
+  }
+
+  for (uint32_t pred : used) {
+    if (defined.count(pred) > 0) continue;
+    const std::string& name = vocab.PredicateName(pred);
+    Diagnostic d = Make(
+        "MDQA-W005", Severity::kWarning,
+        "predicate '" + name +
+            "' is used in a rule body but never defined (no fact, no rule "
+            "head): atoms over it can never hold",
+        first_use[pred]);
+    // Did-you-mean: the closest defined predicate within edit distance 2.
+    size_t best = 3;
+    std::string best_name;
+    for (uint32_t other : defined) {
+      const std::string& cand = vocab.PredicateName(other);
+      size_t dist = EditDistance(name, cand, 2);
+      if (dist < best) {
+        best = dist;
+        best_name = cand;
+      }
+    }
+    if (!best_name.empty()) {
+      d.fix_it = "did you mean '" + best_name + "'?";
+    }
+    Emit(options, bag, std::move(d));
+  }
+
+  for (uint32_t pred : defined) {
+    if (used.count(pred) > 0) continue;
+    Emit(options, bag,
+         Make("MDQA-I010", Severity::kInfo,
+              "predicate '" + vocab.PredicateName(pred) +
+                  "' is never used in a rule body (query output, or a dead "
+                  "definition)",
+              first_def[pred]));
+  }
+}
+
+// MDQA-W006: rules whose body can never be satisfied because some
+// positive body predicate holds no facts and is derived by no reachable
+// rule. Negated atoms don't block firing (closed world: absence holds).
+void LintReachability(const Program& program, const LintOptions& options,
+                      DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  std::unordered_set<uint32_t> derivable;
+  std::unordered_set<uint32_t> defined;
+  for (const Atom& f : program.facts()) {
+    derivable.insert(f.predicate);
+    defined.insert(f.predicate);
+  }
+  for (const Rule& r : program.rules()) {
+    for (const Atom& h : r.head) defined.insert(h.predicate);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (!r.IsTgd()) continue;
+      bool fires = std::all_of(
+          r.body.begin(), r.body.end(),
+          [&](const Atom& a) { return derivable.count(a.predicate) > 0; });
+      if (!fires) continue;
+      for (const Atom& h : r.head) {
+        if (derivable.insert(h.predicate).second) changed = true;
+      }
+    }
+  }
+  for (const Rule& r : program.rules()) {
+    for (const Atom& a : r.body) {
+      if (derivable.count(a.predicate) > 0) continue;
+      // Undefined predicates already got MDQA-W005; don't stack W006 on
+      // the same atom.
+      if (defined.count(a.predicate) == 0) continue;
+      const char* what = r.IsTgd() ? "rule" : "constraint";
+      Emit(options, bag,
+           Make("MDQA-W006", Severity::kWarning,
+                std::string("this ") + what +
+                    " can never fire: no facts exist for '" +
+                    vocab.PredicateName(a.predicate) +
+                    "' and no satisfiable rule derives it",
+                a.span.IsSet() ? a.span : r.span));
+      break;  // one finding per rule is enough
+    }
+  }
+}
+
+// MDQA-E004: negation through recursion (no stratification exists).
+void LintStratification(const Program& program, const LintOptions& options,
+                        DiagnosticBag* bag) {
+  bool has_negation = std::any_of(
+      program.rules().begin(), program.rules().end(),
+      [](const Rule& r) { return r.HasNegation(); });
+  if (!has_negation) return;
+  Result<std::unordered_map<uint32_t, int>> strata =
+      datalog::StratifyProgram(program);
+  if (!strata.ok()) {
+    Emit(options, bag,
+         Make("MDQA-E004", Severity::kError, strata.status().message()));
+  }
+}
+
+// MDQA-I008 (implicit existentials), MDQA-N011 (singleton variables),
+// MDQA-N012 (syntactic form notes).
+void LintRuleShapes(const Program& program, const LintOptions& options,
+                    DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  for (const Rule& r : program.rules()) {
+    std::vector<uint32_t> existential =
+        r.IsTgd() ? r.ExistentialVariables() : std::vector<uint32_t>{};
+    if (!existential.empty()) {
+      Emit(options, bag,
+           Make("MDQA-I008", Severity::kInfo,
+                "head variable" + std::string(existential.size() > 1 ? "s " : " ") +
+                    JoinNames(vocab, existential) +
+                    " never occur" + std::string(existential.size() > 1 ? "" : "s") +
+                    " in the body: implicitly existentially quantified "
+                    "(Datalog± forms (4)/(10)); if unintended, bind " +
+                    std::string(existential.size() > 1 ? "them" : "it") +
+                    " in the body",
+                r.span));
+    }
+
+    // Occurrence counts across every part of the rule.
+    std::unordered_map<uint32_t, size_t> occurrences;
+    std::unordered_set<uint32_t> in_body;
+    auto count_atoms = [&](const std::vector<Atom>& atoms, bool body_side) {
+      for (const Atom& a : atoms) {
+        for (datalog::Term t : a.terms) {
+          if (!t.IsVariable()) continue;
+          ++occurrences[t.id()];
+          if (body_side) in_body.insert(t.id());
+        }
+      }
+    };
+    count_atoms(r.body, true);
+    count_atoms(r.negated, true);
+    count_atoms(r.head, false);
+    for (const datalog::Comparison& c : r.comparisons) {
+      for (datalog::Term t : {c.lhs, c.rhs}) {
+        if (t.IsVariable()) ++occurrences[t.id()];
+      }
+    }
+    for (datalog::Term t : {r.egd_lhs, r.egd_rhs}) {
+      if (t.IsVariable()) ++occurrences[t.id()];
+    }
+    std::vector<uint32_t> singletons;
+    for (const auto& [var, count] : occurrences) {
+      if (count != 1) continue;
+      if (in_body.count(var) == 0) continue;  // head-only: covered by I008
+      const std::string& name = vocab.VariableName(var);
+      if (!name.empty() && name[0] == '$') continue;  // anonymous '_'
+      singletons.push_back(var);
+    }
+    std::sort(singletons.begin(), singletons.end());
+    for (uint32_t var : singletons) {
+      Diagnostic d = Make("MDQA-N011", Severity::kNote,
+                          "variable " + vocab.VariableName(var) +
+                              " occurs only once in this rule",
+                          r.span);
+      d.fix_it = "replace " + vocab.VariableName(var) +
+                 " with '_' to make the don't-care explicit";
+      Emit(options, bag, std::move(d));
+    }
+
+    if (options.form_notes) {
+      std::string form;
+      switch (r.kind) {
+        case RuleKind::kEgd:
+          form = "equality-generating dependency — paper form (2)";
+          break;
+        case RuleKind::kConstraint:
+          form = r.HasNegation()
+                     ? "negative constraint with negation — the shape of the "
+                       "paper's referential constraints, form (1)"
+                     : "negative constraint — paper form (3)";
+          break;
+        case RuleKind::kTgd:
+          if (!existential.empty()) {
+            form = "TGD with existential head variables — candidate for "
+                   "paper forms (4)/(10), pending the ontology's "
+                   "categorical-attribute check";
+          } else {
+            form = "plain Datalog rule — the shape of the paper's "
+                   "navigation rules (5)-(8)";
+          }
+          break;
+      }
+      Emit(options, bag,
+           Make("MDQA-N012", Severity::kNote, form, r.span));
+    }
+  }
+}
+
+// MDQA-W007: weak-stickiness witnesses, one per rule per repeated marked
+// variable whose occurrences all have infinite rank.
+void LintWeakStickiness(const Program& program, const LintOptions& options,
+                        DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  datalog::ProgramAnalysis analysis(program);
+  for (const datalog::StickinessViolation& v :
+       analysis.StickinessViolations()) {
+    if (!v.breaks_weak_stickiness) continue;
+    const Rule& rule = analysis.tgds()[v.rule_index];
+    std::string positions;
+    for (datalog::Position p : v.positions) {
+      if (!positions.empty()) positions += ", ";
+      positions += PositionString(vocab, p);
+    }
+    Emit(options, bag,
+         Make("MDQA-W007", Severity::kWarning,
+              "rule is not weakly sticky: marked variable " +
+                  vocab.VariableName(v.variable) +
+                  " repeats only at infinite-rank positions (" + positions +
+                  "), so the paper's tractability guarantee (Theorem 1) "
+                  "does not apply",
+              rule.span));
+  }
+}
+
+// --- ontology passes ------------------------------------------------------
+
+// MDQA-W020: EGDs equating variables at non-categorical positions (the
+// paper's separability precondition, §III).
+void LintSeparability(const core::MdOntology& ontology,
+                      const LintOptions& options, DiagnosticBag* bag) {
+  const Vocabulary& vocab = *ontology.vocab();
+  for (const Rule& c : ontology.constraints()) {
+    if (!c.IsEgd()) continue;
+    std::vector<std::string> bad_positions;
+    for (datalog::Term side : {c.egd_lhs, c.egd_rhs}) {
+      if (!side.IsVariable()) continue;
+      for (const Atom& a : c.body) {
+        for (size_t i = 0; i < a.terms.size(); ++i) {
+          if (a.terms[i].IsVariable() && a.terms[i].id() == side.id() &&
+              !ontology.IsCategoricalPosition(a.predicate, i)) {
+            bad_positions.push_back(vocab.VariableName(side.id()) + " at " +
+                                    vocab.PredicateName(a.predicate) + "[" +
+                                    std::to_string(i) + "]");
+          }
+        }
+      }
+    }
+    if (bad_positions.empty()) continue;
+    std::string joined;
+    for (size_t i = 0; i < bad_positions.size(); ++i) {
+      if (i > 0) joined += ", ";
+      joined += bad_positions[i];
+    }
+    Diagnostic d = Make(
+        "MDQA-W020", Severity::kWarning,
+        "EGD equates variables occurring at non-categorical positions (" +
+            joined +
+            "): the paper's separability condition fails, so certain "
+            "answers must chase the EGDs instead of ignoring them",
+        c.span);
+    d.fix_it =
+        "restrict the equality to categorical attributes, or run "
+        "assessment with the chase engine";
+    Emit(options, bag, std::move(d));
+  }
+}
+
+// MDQA-I021 (form-10 presence voids separability), MDQA-N023 (per-rule
+// classification), MDQA-W022 (raw rule over dimensional predicates that
+// matches no paper form).
+void LintDimensionalRules(const core::MdOntology& ontology,
+                          const LintOptions& options, DiagnosticBag* bag) {
+  for (const core::DimensionalRule& dr : ontology.dimensional_rules()) {
+    if (dr.form == core::RuleForm::kForm10) {
+      Emit(options, bag,
+           Make("MDQA-I021", Severity::kInfo,
+                "form-(10) rule present (existential categorical variable "
+                "or multi-atom head): EGD separability does not apply to "
+                "this ontology",
+                dr.rule.span));
+    }
+    if (options.form_notes) {
+      Emit(options, bag,
+           Make("MDQA-N023", Severity::kNote,
+                std::string("dimensional rule form ") +
+                    (dr.form == core::RuleForm::kForm4 ? "(4)" : "(10)") +
+                    ", navigation: " + core::NavigationToString(dr.navigation),
+                dr.rule.span));
+    }
+  }
+
+  for (const Rule& r : ontology.raw_statements().rules()) {
+    if (!r.IsTgd()) continue;
+    bool all_dimensional = true;
+    for (const Atom& a : r.head) {
+      if (!ontology.IsDimensionalPredicate(a.predicate)) {
+        all_dimensional = false;
+      }
+    }
+    for (const Atom& a : r.body) {
+      if (!ontology.IsDimensionalPredicate(a.predicate)) {
+        all_dimensional = false;
+      }
+    }
+    if (!all_dimensional) continue;  // contextual rule, not Σ_M's business
+    Result<core::DimensionalRule> classified =
+        ontology.ClassifyDimensionalRule(r);
+    if (classified.ok()) continue;
+    Diagnostic d = Make(
+        "MDQA-W022", Severity::kWarning,
+        "raw statement ranges over dimensional predicates only but "
+        "matches no paper rule form: " +
+            classified.status().message(),
+        r.span);
+    d.fix_it =
+        "add it via AddDimensionalRule to get form validation, or involve "
+        "a contextual (non-dimensional) predicate if it is context logic";
+    Emit(options, bag, std::move(d));
+  }
+}
+
+}  // namespace
+
+const std::vector<CodeInfo>& AllCodes() {
+  static const std::vector<CodeInfo> kCodes = {
+      {"MDQA-E001", Severity::kError, "syntax error"},
+      {"MDQA-E002", Severity::kError, "predicate arity mismatch"},
+      {"MDQA-E003", Severity::kError, "invalid rule (fails validation)"},
+      {"MDQA-E004", Severity::kError, "negation through recursion"},
+      {"MDQA-W005", Severity::kWarning, "undefined predicate"},
+      {"MDQA-W006", Severity::kWarning, "unreachable rule"},
+      {"MDQA-W007", Severity::kWarning, "weak-stickiness violation"},
+      {"MDQA-I008", Severity::kInfo, "implicit existential variable"},
+      {"MDQA-I009", Severity::kInfo, "duplicate rule dropped"},
+      {"MDQA-I010", Severity::kInfo, "unused predicate"},
+      {"MDQA-N011", Severity::kNote, "singleton variable"},
+      {"MDQA-N012", Severity::kNote, "syntactic form classification"},
+      {"MDQA-W020", Severity::kWarning, "non-separable EGD"},
+      {"MDQA-I021", Severity::kInfo, "form-(10) rule voids separability"},
+      {"MDQA-W022", Severity::kWarning,
+       "raw dimensional rule matches no paper form"},
+      {"MDQA-N023", Severity::kNote, "dimensional rule classification"},
+      {"MDQA-E030", Severity::kError, "category cycle in dimension schema"},
+      {"MDQA-W031", Severity::kWarning, "non-strict roll-up"},
+      {"MDQA-W032", Severity::kWarning, "partial roll-up (non-homogeneous)"},
+      {"MDQA-W033", Severity::kWarning, "orphan member"},
+      {"MDQA-I034", Severity::kInfo, "empty category"},
+  };
+  return kCodes;
+}
+
+void LintText(std::string_view text, const LintOptions& options,
+              DiagnosticBag* bag) {
+  datalog::Program program;
+  datalog::ParseReport report;
+  Status parsed = datalog::Parser::ParseInto(text, &program, &report);
+  for (const datalog::ParseIssue& issue : report.issues) {
+    if (issue.kind == datalog::ParseIssue::Kind::kDuplicateRule) {
+      Emit(options, bag,
+           Make("MDQA-I009", Severity::kInfo, issue.message, issue.span));
+    }
+  }
+  if (!parsed.ok()) {
+    const char* code = "MDQA-E001";
+    if (report.error_kind == datalog::ParseReport::ErrorKind::kArity) {
+      code = "MDQA-E002";
+    } else if (report.error_kind ==
+               datalog::ParseReport::ErrorKind::kValidation) {
+      code = "MDQA-E003";
+    }
+    Emit(options, bag,
+         Make(code, Severity::kError, parsed.message(), report.error_span));
+    return;  // a broken parse leaves nothing trustworthy to lint further
+  }
+  LintProgram(program, options, bag);
+}
+
+void LintProgram(const datalog::Program& program, const LintOptions& options,
+                 DiagnosticBag* bag) {
+  LintPredicates(program, options, bag);
+  LintReachability(program, options, bag);
+  LintStratification(program, options, bag);
+  LintRuleShapes(program, options, bag);
+  LintWeakStickiness(program, options, bag);
+}
+
+void LintOntology(const core::MdOntology& ontology, const LintOptions& options,
+                  DiagnosticBag* bag) {
+  LintSeparability(ontology, options, bag);
+  LintDimensionalRules(ontology, options, bag);
+  for (const md::Dimension& d : ontology.dimensions()) {
+    LintDimension(d, options, bag);
+  }
+}
+
+void LintDimension(const md::Dimension& dimension, const LintOptions& options,
+                   DiagnosticBag* bag) {
+  const md::DimensionSchema& schema = dimension.schema();
+  const md::DimensionInstance& instance = dimension.instance();
+  const std::string& dim = dimension.name();
+
+  for (const std::string& category : schema.categories()) {
+    std::vector<std::string> members = instance.Members(category);
+    if (members.empty()) {
+      Emit(options, bag,
+           Make("MDQA-I034", Severity::kInfo,
+                "category '" + category + "' of dimension '" + dim +
+                    "' has no members"));
+      continue;
+    }
+    std::vector<std::string> parent_cats = schema.Parents(category);
+    bool expects_links =
+        !parent_cats.empty() || !schema.Children(category).empty();
+    std::vector<std::string> ancestor_cats;
+    for (const std::string& other : schema.categories()) {
+      if (other != category && schema.IsAncestor(category, other)) {
+        ancestor_cats.push_back(other);
+      }
+    }
+    for (const std::string& member : members) {
+      bool no_links = instance.ParentsOf(member).empty() &&
+                      instance.ChildrenOf(member).empty();
+      if (expects_links && no_links) {
+        Emit(options, bag,
+             Make("MDQA-W033", Severity::kWarning,
+                  "member '" + member + "' of category '" + category +
+                      "' (dimension '" + dim +
+                      "') is linked to no other member: it participates in "
+                      "no roll-up"));
+        continue;  // partial/non-strict findings would just repeat this
+      }
+      for (const std::string& pcat : parent_cats) {
+        bool has_parent_there = false;
+        for (const std::string& parent : instance.ParentsOf(member)) {
+          Result<std::string> pc = instance.CategoryOf(parent);
+          if (pc.ok() && *pc == pcat) {
+            has_parent_there = true;
+            break;
+          }
+        }
+        if (!has_parent_there) {
+          Diagnostic d = Make(
+              "MDQA-W032", Severity::kWarning,
+              "member '" + member + "' of category '" + category +
+                  "' (dimension '" + dim + "') has no parent in category '" +
+                  pcat +
+                  "': the dimension is not homogeneous, so upward "
+                  "navigation silently drops this member's data");
+          d.fix_it = "link '" + member + "' to a member of '" + pcat + "'";
+          Emit(options, bag, std::move(d));
+        }
+      }
+      for (const std::string& acat : ancestor_cats) {
+        Result<std::vector<std::string>> rollup =
+            instance.RollUp(member, acat);
+        if (!rollup.ok() || rollup->size() <= 1) continue;
+        std::string targets;
+        for (size_t i = 0; i < rollup->size(); ++i) {
+          if (i > 0) targets += ", ";
+          targets += (*rollup)[i];
+        }
+        Emit(options, bag,
+             Make("MDQA-W031", Severity::kWarning,
+                  "member '" + member + "' of category '" + category +
+                      "' (dimension '" + dim + "') rolls up to " +
+                      std::to_string(rollup->size()) + " members of '" +
+                      acat + "' (" + targets +
+                      "): the dimension is not strict, so aggregation "
+                      "double-counts"));
+      }
+    }
+  }
+}
+
+void LintDimensionEdges(
+    const std::string& dimension_name,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    const LintOptions& options, DiagnosticBag* bag) {
+  std::unordered_map<std::string, std::vector<std::string>> up;
+  for (const auto& [child, parent] : edges) {
+    up[child].push_back(parent);
+  }
+  // DFS with an explicit path to recover the cycle's edge sequence.
+  std::unordered_set<std::string> done;
+  std::vector<std::string> path;
+  std::unordered_set<std::string> on_path;
+  std::vector<std::string> cycle;
+
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    if (on_path.count(node) > 0) {
+      auto start = std::find(path.begin(), path.end(), node);
+      cycle.assign(start, path.end());
+      cycle.push_back(node);
+      return true;
+    }
+    if (done.count(node) > 0) return false;
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = up.find(node);
+    if (it != up.end()) {
+      for (const std::string& parent : it->second) {
+        if (visit(parent)) return true;
+      }
+    }
+    path.pop_back();
+    on_path.erase(node);
+    done.insert(node);
+    return false;
+  };
+
+  for (const auto& [child, parent] : edges) {
+    (void)parent;
+    if (visit(child)) break;
+  }
+  if (cycle.empty()) return;
+
+  std::string rendered;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) rendered += " -> ";
+    rendered += cycle[i];
+  }
+  Diagnostic d = Make(
+      "MDQA-E030", Severity::kError,
+      "category cycle in dimension '" + dimension_name + "': " + rendered +
+          " — a dimension schema must be a DAG (Hurtado-Mendelzon)");
+  d.fix_it = "remove the edge '" + cycle[cycle.size() - 2] + " -> " +
+             cycle.back() + "'";
+  Emit(options, bag, std::move(d));
+}
+
+}  // namespace mdqa::analysis

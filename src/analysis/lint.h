@@ -1,0 +1,76 @@
+#ifndef MDQA_ANALYSIS_LINT_H_
+#define MDQA_ANALYSIS_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/md_ontology.h"
+#include "datalog/program.h"
+#include "md/dimension.h"
+
+namespace mdqa::analysis {
+
+/// Controls which findings a lint run produces.
+struct LintOptions {
+  /// Findings strictly below this severity are dropped at emission time.
+  Severity min_severity = Severity::kNote;
+  /// Emit the per-rule paper-form classification notes (MDQA-N012 /
+  /// MDQA-N023). Off for the Assessor gate, which only cares about
+  /// actionable findings.
+  bool form_notes = true;
+  /// Artifact name recorded on every diagnostic.
+  std::string file = "<input>";
+};
+
+/// Descriptor of one diagnostic code, for `mdqa_lint --list` and the
+/// docs/tests that keep the catalogue consistent.
+struct CodeInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every diagnostic code the linter can emit, in code order.
+const std::vector<CodeInfo>& AllCodes();
+
+/// Lints Datalog± source text: parse errors become MDQA-E001/E002/E003
+/// diagnostics (with the parser's error span), parser-recovered issues
+/// become MDQA-I009, and a successful parse runs every program pass.
+void LintText(std::string_view text, const LintOptions& options,
+              DiagnosticBag* bag);
+
+/// Program-level passes over an already-parsed program: undefined/unused
+/// predicates, unreachable rules, unstratified negation, implicit
+/// existentials, singleton variables, weak-stickiness witnesses, and
+/// syntactic form notes.
+void LintProgram(const datalog::Program& program, const LintOptions& options,
+                 DiagnosticBag* bag);
+
+/// Ontology-level passes: EGD separability (MDQA-W020), form-(10)
+/// presence, raw statements over dimensional predicates matching no paper
+/// form (MDQA-W022), per-rule classification notes, and every registered
+/// dimension's instance checks.
+void LintOntology(const core::MdOntology& ontology, const LintOptions& options,
+                  DiagnosticBag* bag);
+
+/// Dimension-instance passes: non-strict roll-ups (MDQA-W031), partial
+/// roll-ups / non-homogeneity (MDQA-W032), orphan members (MDQA-W033),
+/// and empty categories (MDQA-I034).
+void LintDimension(const md::Dimension& dimension, const LintOptions& options,
+                   DiagnosticBag* bag);
+
+/// Pre-construction cycle check over a raw `(child, parent)` category
+/// edge list (MDQA-E030). DimensionSchema::AddEdge rejects the edge that
+/// would close a cycle, one at a time; this reports the whole cycle with
+/// a fix-it before any schema exists.
+void LintDimensionEdges(
+    const std::string& dimension_name,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    const LintOptions& options, DiagnosticBag* bag);
+
+}  // namespace mdqa::analysis
+
+#endif  // MDQA_ANALYSIS_LINT_H_

@@ -1,7 +1,9 @@
 #include "base/json.h"
 
 #include <cassert>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mdqa {
 
@@ -137,6 +139,219 @@ JsonWriter& JsonWriter::Null() {
   BeforeValue();
   out_ += "null";
   return *this;
+}
+
+// Recursive-descent JSON reader over a string_view cursor. At namespace
+// scope (not anonymous) so the friend declaration in JsonValue names it.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    MDQA_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Err("trailing input after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    JsonValue v;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      MDQA_ASSIGN_OR_RETURN(std::string s, ParseString());
+      v.kind_ = JsonValue::Kind::kString;
+      v.string_ = std::move(s);
+      return v;
+    }
+    if (ConsumeWord("true")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (ConsumeWord("false")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    if (ConsumeWord("null")) {
+      v.kind_ = JsonValue::Kind::kNull;
+      return v;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return Err(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      MDQA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      MDQA_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      v.members_.emplace_back(std::move(key), std::move(member));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      MDQA_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      v.items_.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("invalid \\u escape");
+            }
+            // UTF-8 encode the code point (BMP only — what JsonEscape emits).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("invalid escape sequence");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Err("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  JsonParser parser(text);
+  return parser.ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 }  // namespace mdqa

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "base/result.h"
 
 namespace mdqa {
 
@@ -57,6 +60,55 @@ class JsonWriter {
   // One entry per open container: number of elements emitted so far;
   // negative means "inside an object, key pending".
   std::vector<int64_t> stack_;
+};
+
+/// A parsed JSON document — the reading counterpart of JsonWriter, so
+/// exported reports (assessment JSON, mdqa_lint SARIF) can be re-read and
+/// inspected without a third-party dependency. Numbers are stored as
+/// double, which covers everything this codebase emits. Object member
+/// order is preserved; duplicate keys keep every occurrence (Find returns
+/// the first).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON value (surrounding whitespace allowed; trailing
+  /// non-space input is an error). Depth is capped to keep recursion
+  /// bounded on adversarial input.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one returns the type's default
+  /// (false / 0.0 / empty) rather than asserting.
+  bool AsBool() const { return is_bool() && bool_; }
+  double AsNumber() const { return is_number() ? number_ : 0.0; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& Items() const { return items_; }
+  /// Object members in document order (empty unless is_object()).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;  // json.cc — fills in parsed values
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace mdqa

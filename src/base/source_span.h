@@ -1,0 +1,37 @@
+#ifndef MDQA_BASE_SOURCE_SPAN_H_
+#define MDQA_BASE_SOURCE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mdqa {
+
+/// A 1-based (line, column) position in a source text. Line 0 means
+/// "unknown" — the carrying object was built programmatically (or derived
+/// by the chase), not parsed. Kept to two 32-bit fields so it can ride on
+/// every parsed `Atom`/`Rule` without bloating instances.
+struct SourceSpan {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  bool IsSet() const { return line != 0; }
+
+  friend bool operator==(SourceSpan a, SourceSpan b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend bool operator!=(SourceSpan a, SourceSpan b) { return !(a == b); }
+  friend bool operator<(SourceSpan a, SourceSpan b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.column < b.column;
+  }
+
+  /// "line 3, col 7", or "unknown location" when unset.
+  std::string ToString() const {
+    if (!IsSet()) return "unknown location";
+    return "line " + std::to_string(line) + ", col " + std::to_string(column);
+  }
+};
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_SOURCE_SPAN_H_

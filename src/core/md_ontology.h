@@ -107,6 +107,30 @@ class MdOntology {
   const std::vector<datalog::Rule>& constraints() const {
     return constraints_;
   }
+  const std::vector<md::Dimension>& dimensions() const { return dimensions_; }
+  /// Statements added through the AddRawStatements escape hatch — the
+  /// part of the ontology that bypassed dimensional-form validation and
+  /// that mdqa_lint audits after the fact.
+  const datalog::Program& raw_statements() const { return raw_; }
+
+  /// True when position `idx` of predicate `pred` is bound to a category
+  /// (a categorical attribute, a category predicate's argument, or a
+  /// parent-child predicate's argument).
+  bool IsCategoricalPosition(uint32_t pred, size_t idx) const {
+    return !CategoryAt(pred, idx).empty();
+  }
+  /// True when `pred` is a dimensional predicate of this ontology.
+  bool IsDimensionalPredicate(uint32_t pred) const {
+    return FindPred(pred) != nullptr;
+  }
+
+  /// Public entry to the form classifier, for the linter: which paper form
+  /// a TGD matches (and its navigation), or kInvalidArgument explaining
+  /// why it matches none.
+  Result<DimensionalRule> ClassifyDimensionalRule(
+      const datalog::Rule& rule) const {
+    return ClassifyRule(rule);
+  }
 
   /// Enforces the paper's form-(1) referential constraints on every
   /// categorical relation (fast native path).

@@ -330,12 +330,13 @@ void ProgramAnalysis::Classify() {
           break;
         }
       }
-      if (!touches_finite) {
-        weakly_sticky_ = false;
-        violations_.push_back("rule #" + std::to_string(i) +
-                              ": repeated marked variable only at "
-                              "infinite-rank positions");
-      }
+      if (!touches_finite) weakly_sticky_ = false;
+      StickinessViolation violation;
+      violation.rule_index = i;
+      violation.variable = v;
+      violation.breaks_weak_stickiness = !touches_finite;
+      violation.positions = body_pos[v];
+      stickiness_violations_.push_back(std::move(violation));
     }
   }
 }
@@ -383,6 +384,12 @@ std::string ProgramAnalysis::Report(const Vocabulary& vocab) const {
            "]";
   };
   std::string out;
+  if (tgds_.empty()) {
+    // Without TGDs every class holds vacuously; say so instead of
+    // printing a misleading wall of yes-flags.
+    out += "class: (no TGDs — every class holds vacuously)\n";
+    return out;
+  }
   out += "class: " + ClassName() + "\n";
   out += "linear=" + std::string(linear_ ? "yes" : "no");
   out += " guarded=" + std::string(guarded_ ? "yes" : "no");
@@ -396,7 +403,17 @@ std::string ProgramAnalysis::Report(const Vocabulary& vocab) const {
   out += "\naffected positions:";
   for (Position p : AffectedPositions()) out += " " + pos_str(p);
   out += "\n";
-  for (const std::string& v : violations_) out += "violation: " + v + "\n";
+  for (const StickinessViolation& v : stickiness_violations_) {
+    out += "violation: rule #" + std::to_string(v.rule_index) + " (" +
+           vocab.RuleToString(tgds_[v.rule_index]) +
+           "): repeated marked variable " + vocab.VariableName(v.variable) +
+           " at";
+    for (Position p : v.positions) out += " " + pos_str(p);
+    out += v.breaks_weak_stickiness
+               ? " — all infinite-rank: breaks weak stickiness\n"
+               : " — touches a finite-rank position: breaks stickiness "
+                 "only\n";
+  }
   return out;
 }
 

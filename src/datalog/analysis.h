@@ -41,6 +41,18 @@ struct PositionHash {
   }
 };
 
+/// One witness against stickiness: a marked variable repeated in the body
+/// of a TGD. Every witness breaks stickiness; a witness all of whose body
+/// occurrences sit at infinite-rank positions also breaks *weak*
+/// stickiness (the class the paper's guarantees need). Reported per rule
+/// per variable so tooling can point at the exact culprit.
+struct StickinessViolation {
+  size_t rule_index = 0;            ///< index into tgds()
+  uint32_t variable = 0;            ///< the repeated marked variable
+  bool breaks_weak_stickiness = false;
+  std::vector<Position> positions;  ///< its body positions, in rule order
+};
+
 /// Syntactic analysis of a Datalog± TGD set, implementing the machinery
 /// the paper relies on (Sections II–III):
 ///
@@ -99,6 +111,13 @@ class ProgramAnalysis {
   /// The analyzed TGDs, in program order.
   const std::vector<Rule>& tgds() const { return tgds_; }
 
+  /// Every stickiness witness found, in (rule, variable) order. Empty iff
+  /// the program is sticky; entries with `breaks_weak_stickiness` exist
+  /// iff the program is not weakly sticky.
+  const std::vector<StickinessViolation>& StickinessViolations() const {
+    return stickiness_violations_;
+  }
+
   /// Human-readable multi-line summary (class flags, Π∞, affected, and the
   /// offending rules when a property fails).
   std::string Report(const Vocabulary& vocab) const;
@@ -130,7 +149,7 @@ class ProgramAnalysis {
   bool weakly_acyclic_ = false;
   bool sticky_ = false;
   bool weakly_sticky_ = false;
-  std::vector<std::string> violations_;  // explanations for failed classes
+  std::vector<StickinessViolation> stickiness_violations_;
 };
 
 }  // namespace mdqa::datalog

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/intern.h"
+#include "base/source_span.h"
 #include "datalog/term.h"
 
 namespace mdqa::datalog {
@@ -16,6 +17,10 @@ class Vocabulary;  // vocabulary.h
 struct Atom {
   uint32_t predicate = 0;
   std::vector<Term> terms;
+  /// Where the atom was parsed from (unset for programmatic or derived
+  /// atoms). Deliberately NOT part of identity (`==`/`Hash`): two atoms
+  /// denote the same fact regardless of where they were written.
+  SourceSpan span;
 
   Atom() = default;
   Atom(uint32_t pred, std::vector<Term> ts)
@@ -59,6 +64,13 @@ struct Comparison {
   CmpOp op = CmpOp::kEq;
   Term lhs;
   Term rhs;
+
+  friend bool operator==(const Comparison& a, const Comparison& b) {
+    return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  friend bool operator!=(const Comparison& a, const Comparison& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace mdqa::datalog

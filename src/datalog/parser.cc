@@ -32,12 +32,16 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  int line;
+  SourceSpan span;
 };
 
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Position of a lexical error, for ParseReport (unset unless Tokenize
+  /// returned an error).
+  SourceSpan error_span() const { return error_span_; }
 
   Result<std::vector<Token>> Tokenize() {
     std::vector<Token> out;
@@ -87,12 +91,13 @@ class Lexer {
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         out.push_back(LexIdent());
       } else {
+        error_span_ = Here();
         return Status::InvalidArgument("unexpected character '" +
-                                       std::string(1, c) + "' at line " +
-                                       std::to_string(line_));
+                                       std::string(1, c) + "' (" +
+                                       error_span_.ToString() + ")");
       }
     }
-    out.push_back(Token{TokKind::kEnd, "", line_});
+    out.push_back(Token{TokKind::kEnd, "", Here()});
     return out;
   }
 
@@ -101,16 +106,26 @@ class Lexer {
     return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
   }
 
+  SourceSpan Here() const {
+    return SourceSpan{line_, static_cast<uint32_t>(pos_ - line_start_) + 1};
+  }
+
   Token Make(TokKind kind, std::string text, size_t advance = 1) {
+    SourceSpan span = Here();
     pos_ += advance;
-    return Token{kind, std::move(text), line_};
+    return Token{kind, std::move(text), span};
+  }
+
+  void NewLine() {
+    ++line_;
+    line_start_ = pos_ + 1;
   }
 
   void SkipSpaceAndComments() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];
       if (c == '\n') {
-        ++line_;
+        NewLine();
         ++pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
@@ -123,7 +138,7 @@ class Lexer {
   }
 
   Result<Token> LexString() {
-    int start_line = line_;
+    SourceSpan start = Here();
     ++pos_;  // opening quote
     std::string s;
     while (pos_ < text_.size() && text_[pos_] != '"') {
@@ -132,20 +147,22 @@ class Lexer {
         ++pos_;
         c = text_[pos_];
       }
-      if (c == '\n') ++line_;
+      if (c == '\n') NewLine();
       s.push_back(c);
       ++pos_;
     }
     if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unterminated string starting at line " +
-                                     std::to_string(start_line));
+      error_span_ = start;
+      return Status::InvalidArgument("unterminated string starting at " +
+                                     start.ToString());
     }
     ++pos_;  // closing quote
-    return Token{TokKind::kString, std::move(s), start_line};
+    return Token{TokKind::kString, std::move(s), start};
   }
 
   Token LexNumber() {
-    size_t start = pos_;
+    SourceSpan start = Here();
+    size_t begin = pos_;
     if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
@@ -158,24 +175,27 @@ class Lexer {
       }
       ++pos_;
     }
-    return Token{TokKind::kNumber, std::string(text_.substr(start, pos_ - start)),
-                 line_};
+    return Token{TokKind::kNumber,
+                 std::string(text_.substr(begin, pos_ - begin)), start};
   }
 
   Token LexIdent() {
-    size_t start = pos_;
+    SourceSpan start = Here();
+    size_t begin = pos_;
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '_')) {
       ++pos_;
     }
-    return Token{TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
-                 line_};
+    return Token{TokKind::kIdent,
+                 std::string(text_.substr(begin, pos_ - begin)), start};
   }
 
   std::string_view text_;
   size_t pos_ = 0;
-  int line_ = 1;
+  uint32_t line_ = 1;
+  size_t line_start_ = 0;  // offset of the first character of line_
+  SourceSpan error_span_;
 };
 
 bool IsVariableName(const std::string& name) {
@@ -185,8 +205,8 @@ bool IsVariableName(const std::string& name) {
 
 class ParserImpl {
  public:
-  ParserImpl(std::vector<Token> tokens, Vocabulary* vocab)
-      : tokens_(std::move(tokens)), vocab_(vocab) {}
+  ParserImpl(std::vector<Token> tokens, Vocabulary* vocab, ParseReport* report)
+      : tokens_(std::move(tokens)), vocab_(vocab), report_(report) {}
 
   Status ParseStatements(Program* program) {
     while (Cur().kind != TokKind::kEnd) {
@@ -198,7 +218,7 @@ class ParserImpl {
   Result<ConjunctiveQuery> ParseSingleQuery() {
     ConjunctiveQuery q;
     if (Cur().kind != TokKind::kIdent) {
-      return Status::InvalidArgument(ErrHere("query must start with a name"));
+      return Fail("query must start with a name");
     }
     q.name = Cur().text;
     Advance();
@@ -216,7 +236,7 @@ class ParserImpl {
     MDQA_RETURN_IF_ERROR(ParseBody(&q.body, &q.negated, &q.comparisons));
     if (Cur().kind == TokKind::kPeriod) Advance();
     if (Cur().kind != TokKind::kEnd) {
-      return Status::InvalidArgument(ErrHere("trailing input after query"));
+      return Fail("trailing input after query");
     }
     MDQA_RETURN_IF_ERROR(q.Validate());
     return q;
@@ -226,7 +246,7 @@ class ParserImpl {
     MDQA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
     if (Cur().kind == TokKind::kPeriod) Advance();
     if (Cur().kind != TokKind::kEnd) {
-      return Status::InvalidArgument(ErrHere("trailing input after atom"));
+      return Fail("trailing input after atom");
     }
     if (!a.IsGround()) {
       return Status::InvalidArgument("atom is not ground: " +
@@ -244,14 +264,25 @@ class ParserImpl {
     if (idx_ + 1 < tokens_.size()) ++idx_;
   }
 
-  std::string ErrHere(const std::string& what) const {
-    return what + " (line " + std::to_string(Cur().line) + ", near '" +
-           Cur().text + "')";
+  void Record(ParseReport::ErrorKind kind, SourceSpan span) {
+    if (report_ != nullptr &&
+        report_->error_kind == ParseReport::ErrorKind::kNone) {
+      report_->error_kind = kind;
+      report_->error_span = span;
+    }
+  }
+
+  /// Builds a syntax-error status pointing at the current token, and
+  /// records its location in the report.
+  Status Fail(const std::string& what) {
+    Record(ParseReport::ErrorKind::kSyntax, Cur().span);
+    return Status::InvalidArgument(what + " (" + Cur().span.ToString() +
+                                   ", near '" + Cur().text + "')");
   }
 
   Status Expect(TokKind kind, const std::string& what) {
     if (Cur().kind != kind) {
-      return Status::InvalidArgument(ErrHere("expected " + what));
+      return Fail("expected " + what);
     }
     Advance();
     return Status::Ok();
@@ -294,15 +325,16 @@ class ParserImpl {
         return vocab_->Const(Value::Str(t.text));
       }
       default:
-        return Status::InvalidArgument(ErrHere("expected a term"));
+        return Fail("expected a term");
     }
   }
 
   Result<Atom> ParseAtom() {
     if (Cur().kind != TokKind::kIdent) {
-      return Status::InvalidArgument(ErrHere("expected a predicate name"));
+      return Fail("expected a predicate name");
     }
     std::string pred_name = Cur().text;
+    SourceSpan name_span = Cur().span;
     Advance();
     MDQA_RETURN_IF_ERROR(
         Expect(TokKind::kLParen, "'(' after predicate " + pred_name));
@@ -317,9 +349,15 @@ class ParserImpl {
     }
     MDQA_RETURN_IF_ERROR(
         Expect(TokKind::kRParen, "')' closing " + pred_name));
-    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
-                          vocab_->InternPredicate(pred_name, terms.size()));
-    return Atom(pred, std::move(terms));
+    Result<uint32_t> pred = vocab_->InternPredicate(pred_name, terms.size());
+    if (!pred.ok()) {
+      Record(ParseReport::ErrorKind::kArity, name_span);
+      return Status(pred.status().code(), pred.status().message() + " (" +
+                                              name_span.ToString() + ")");
+    }
+    Atom atom(*pred, std::move(terms));
+    atom.span = name_span;
+    return atom;
   }
 
   static std::optional<CmpOp> AsCmpOp(TokKind kind) {
@@ -358,8 +396,7 @@ class ParserImpl {
         MDQA_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
         std::optional<CmpOp> op = AsCmpOp(Cur().kind);
         if (!op.has_value()) {
-          return Status::InvalidArgument(
-              ErrHere("expected a comparison operator"));
+          return Fail("expected a comparison operator");
         }
         Advance();
         MDQA_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
@@ -372,23 +409,49 @@ class ParserImpl {
       break;
     }
     if (atoms->empty()) {
-      return Status::InvalidArgument(
-          ErrHere("body must contain at least one relational atom"));
+      return Fail("body must contain at least one relational atom");
     }
     return Status::Ok();
   }
 
+  /// Hands a completed rule to the program: duplicates of an existing rule
+  /// are dropped (recorded as a ParseIssue), and validation failures get
+  /// their location recorded before the status propagates.
+  Status AddRuleChecked(Program* program, Rule rule) {
+    for (const Rule& existing : program->rules()) {
+      if (existing.SameAs(rule)) {
+        if (report_ != nullptr) {
+          ParseIssue issue;
+          issue.kind = ParseIssue::Kind::kDuplicateRule;
+          issue.message = "duplicate rule dropped (identical to an earlier "
+                          "statement): " +
+                          vocab_->RuleToString(rule);
+          issue.span = rule.span;
+          report_->issues.push_back(std::move(issue));
+        }
+        return Status::Ok();
+      }
+    }
+    SourceSpan span = rule.span;
+    Status s = program->AddRule(std::move(rule));
+    if (!s.ok()) Record(ParseReport::ErrorKind::kValidation, span);
+    return s;
+  }
+
   // One statement: fact, TGD, EGD, or constraint, ending with '.'.
   Status ParseStatement(Program* program) {
+    SourceSpan start = Cur().span;
+
     // Constraint: `! :- body.`
     if (Cur().kind == TokKind::kBang) {
       Advance();
       MDQA_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-' after '!'"));
       Rule r;
       r.kind = RuleKind::kConstraint;
+      r.span = start;
       MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
       MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending constraint"));
-      return program->AddRule(std::move(r));
+      return AddRuleChecked(program, std::move(r));
     }
 
     // EGD: `X = Y :- body.` — head is `term = term` then arrow.
@@ -403,9 +466,10 @@ class ParserImpl {
       r.kind = RuleKind::kEgd;
       r.egd_lhs = lhs;
       r.egd_rhs = rhs;
+      r.span = start;
       MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
       MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending EGD"));
-      return program->AddRule(std::move(r));
+      return AddRuleChecked(program, std::move(r));
     }
 
     // Fact or TGD: one or more head atoms.
@@ -430,44 +494,65 @@ class ParserImpl {
     Rule r;
     r.kind = RuleKind::kTgd;
     r.head = std::move(head);
+    r.span = start;
     MDQA_RETURN_IF_ERROR(ParseBody(&r.body, &r.negated, &r.comparisons));
     MDQA_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.' ending rule"));
-    return program->AddRule(std::move(r));
+    return AddRuleChecked(program, std::move(r));
   }
 
   std::vector<Token> tokens_;
   size_t idx_ = 0;
   Vocabulary* vocab_;
+  ParseReport* report_;
 };
+
+Result<std::vector<Token>> TokenizeFor(std::string_view text,
+                                       ParseReport* report) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok() && report != nullptr &&
+      report->error_kind == ParseReport::ErrorKind::kNone) {
+    report->error_kind = ParseReport::ErrorKind::kSyntax;
+    report->error_span = lexer.error_span();
+  }
+  return tokens;
+}
 
 }  // namespace
 
 Result<Program> Parser::ParseProgram(std::string_view text) {
+  return ParseProgram(text, nullptr);
+}
+
+Result<Program> Parser::ParseProgram(std::string_view text,
+                                     ParseReport* report) {
   Program program;
-  MDQA_RETURN_IF_ERROR(ParseInto(text, &program));
+  MDQA_RETURN_IF_ERROR(ParseInto(text, &program, report));
   return program;
 }
 
 Status Parser::ParseInto(std::string_view text, Program* program) {
-  Lexer lexer(text);
-  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  ParserImpl impl(std::move(tokens), program->mutable_vocab());
+  return ParseInto(text, program, nullptr);
+}
+
+Status Parser::ParseInto(std::string_view text, Program* program,
+                         ParseReport* report) {
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeFor(text, report));
+  ParserImpl impl(std::move(tokens), program->mutable_vocab(), report);
   return impl.ParseStatements(program);
 }
 
 Result<ConjunctiveQuery> Parser::ParseQuery(std::string_view text,
                                             Vocabulary* vocab) {
-  Lexer lexer(text);
-  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  ParserImpl impl(std::move(tokens), vocab);
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeFor(text, nullptr));
+  ParserImpl impl(std::move(tokens), vocab, nullptr);
   return impl.ParseSingleQuery();
 }
 
 Result<Atom> Parser::ParseGroundAtom(std::string_view text,
                                      Vocabulary* vocab) {
-  Lexer lexer(text);
-  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  ParserImpl impl(std::move(tokens), vocab);
+  MDQA_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeFor(text, nullptr));
+  ParserImpl impl(std::move(tokens), vocab, nullptr);
   return impl.ParseSingleGroundAtom();
 }
 

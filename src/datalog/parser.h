@@ -1,12 +1,43 @@
 #ifndef MDQA_DATALOG_PARSER_H_
 #define MDQA_DATALOG_PARSER_H_
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/result.h"
+#include "base/source_span.h"
 #include "datalog/program.h"
 
 namespace mdqa::datalog {
+
+/// A non-fatal notice produced while parsing. The parser recovers from
+/// these on its own (e.g. by dropping a duplicate rule); mdqa_lint
+/// surfaces them as info-level diagnostics.
+struct ParseIssue {
+  enum class Kind {
+    kDuplicateRule,  ///< statement restates an earlier rule and was dropped
+  };
+  Kind kind = Kind::kDuplicateRule;
+  std::string message;
+  SourceSpan span;
+};
+
+/// Machine-readable details of a parse, for diagnostics tooling. The
+/// returned `Status` stays the single source of truth for success; this
+/// report adds *where* a failure points and *what kind* it was, plus any
+/// recovered issues.
+struct ParseReport {
+  enum class ErrorKind {
+    kNone = 0,
+    kSyntax,      ///< lexical or grammatical error
+    kArity,       ///< predicate used with inconsistent arity
+    kValidation,  ///< well-formed syntax but an invalid rule (Rule::Validate)
+  };
+  ErrorKind error_kind = ErrorKind::kNone;
+  SourceSpan error_span;  ///< where the error status points (unset on success)
+  std::vector<ParseIssue> issues;
+};
 
 /// Recursive-descent parser for the textual Datalog± syntax.
 ///
@@ -30,11 +61,19 @@ namespace mdqa::datalog {
 /// synonym for `:-`. Predicate arities are fixed at first use.
 class Parser {
  public:
-  /// Parses a whole program into a fresh vocabulary.
+  /// Parses a whole program into a fresh vocabulary. With `report`
+  /// non-null, fills in error location/kind and recovered issues.
   static Result<Program> ParseProgram(std::string_view text);
+  static Result<Program> ParseProgram(std::string_view text,
+                                      ParseReport* report);
 
   /// Parses statements into an existing program (sharing its vocabulary).
+  /// A statement that restates a rule already in `program` (same kind,
+  /// head, body — see Rule::SameAs) is dropped and recorded as a
+  /// `kDuplicateRule` issue instead of inflating the chase workload.
   static Status ParseInto(std::string_view text, Program* program);
+  static Status ParseInto(std::string_view text, Program* program,
+                          ParseReport* report);
 
   /// Parses a single query `Name(args) :- body.` against `vocab`.
   static Result<ConjunctiveQuery> ParseQuery(std::string_view text,

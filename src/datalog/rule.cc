@@ -119,6 +119,12 @@ Status Rule::Validate() const {
   return Status::Ok();
 }
 
+bool Rule::SameAs(const Rule& other) const {
+  return kind == other.kind && head == other.head && body == other.body &&
+         negated == other.negated && comparisons == other.comparisons &&
+         egd_lhs == other.egd_lhs && egd_rhs == other.egd_rhs;
+}
+
 std::vector<uint32_t> ConjunctiveQuery::AnswerVariables() const {
   std::vector<uint32_t> out;
   std::unordered_set<uint32_t> seen;

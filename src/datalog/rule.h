@@ -37,6 +37,9 @@ struct Rule {
   std::vector<Atom> negated;
   std::vector<Comparison> comparisons;
   std::string label;  ///< Optional name used in diagnostics.
+  /// Source position of the statement's first token (unset when the rule
+  /// was built programmatically). Not part of `SameAs`.
+  SourceSpan span;
 
   bool HasNegation() const { return !negated.empty(); }
 
@@ -69,6 +72,12 @@ struct Rule {
   /// equates two body variables; comparison variables are body variables
   /// (range restriction); constraints/EGDs have no head atoms.
   Status Validate() const;
+
+  /// Semantic equality over a shared vocabulary: same kind, head, body,
+  /// negated atoms, comparisons, and EGD terms. Ignores `label` and
+  /// `span`, so a rule re-stated at a different location (or under a
+  /// different name) still counts as a duplicate.
+  bool SameAs(const Rule& other) const;
 };
 
 /// A conjunctive query `ans(x̄) ← body`. Answer terms may include

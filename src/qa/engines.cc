@@ -22,6 +22,44 @@ const char* EngineToString(Engine e) {
   return "?";
 }
 
+EngineSelection SelectEngine(const Program& program,
+                             const datalog::ProgramAnalysis& analysis,
+                             const EngineSelectOptions& options) {
+  bool has_negation = false;
+  bool has_egds = false;
+  bool multi_atom_head = false;
+  for (const datalog::Rule& r : program.rules()) {
+    if (r.HasNegation()) has_negation = true;
+    if (r.IsEgd()) has_egds = true;
+    if (r.IsTgd() && r.head.size() > 1) multi_atom_head = true;
+  }
+  if (has_negation) {
+    return {Engine::kChase,
+            "rules use stratified negation, which only the chase engine "
+            "evaluates"};
+  }
+  if (has_egds && !options.egds_separable) {
+    return {Engine::kChase,
+            "EGDs present without the separability guarantee: the chase "
+            "must enforce them"};
+  }
+  if (analysis.IsSticky() && !multi_atom_head) {
+    return {Engine::kRewriting,
+            "program is sticky with single-atom heads: first-order "
+            "rewritable, evaluate the UCQ rewriting on the EDB"};
+  }
+  if (analysis.IsWeaklySticky()) {
+    return {Engine::kDeterministicWs,
+            std::string("program is ") +
+                (analysis.IsSticky() ? "sticky with multi-atom heads"
+                                     : "weakly sticky") +
+                ": DeterministicWSQAns answers in polynomial time"};
+  }
+  return {Engine::kChase,
+          "program is outside the sticky/weakly-sticky classes: fall back "
+          "to the chase with an execution budget"};
+}
+
 AnswerSet AnswerSet::Of(std::vector<std::vector<Term>> raw) {
   std::sort(raw.begin(), raw.end());
   raw.erase(std::unique(raw.begin(), raw.end()), raw.end());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "datalog/analysis.h"
 #include "qa/chase_qa.h"
 #include "qa/deterministic_ws.h"
 #include "qa/rewriter.h"
@@ -19,6 +20,31 @@ enum class Engine {
 };
 
 const char* EngineToString(Engine e);
+
+/// Inputs to SelectEngine beyond the program's own syntax.
+struct EngineSelectOptions {
+  /// The ontology layer's verdict on the paper's EGD-separability
+  /// condition (§III). When false and EGDs are present, only the chase
+  /// enforces them soundly.
+  bool egds_separable = false;
+};
+
+/// What the classification-driven gate picked, and why — recorded
+/// verbatim in the assessment report.
+struct EngineSelection {
+  Engine engine = Engine::kChase;
+  std::string reason;
+};
+
+/// Picks the cheapest engine that is *sound* for `program` given its
+/// syntactic classification: sticky → UCQ rewriting, weakly-sticky →
+/// DeterministicWS, anything else → chase with budget. Feature guards
+/// run first: stratified negation and non-separable EGDs force the chase
+/// (the other engines reject or ignore them), and multi-atom heads
+/// exclude the rewriter.
+EngineSelection SelectEngine(const datalog::Program& program,
+                             const datalog::ProgramAnalysis& analysis,
+                             const EngineSelectOptions& options);
 
 /// Per-call controls for `Answer`/`CrossCheck`.
 struct AnswerOptions {

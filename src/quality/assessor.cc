@@ -3,13 +3,26 @@
 #include <cstdio>
 #include <utility>
 
+#include "analysis/lint.h"
 #include "base/json.h"
+#include "datalog/analysis.h"
 #include "datalog/chase.h"
 
 namespace mdqa::quality {
 
 std::string AssessmentReport::ToString() const {
   std::string out = "=== quality assessment report ===\n";
+  if (!program_class.empty()) {
+    out += "program class: " + program_class + "\n";
+    out += std::string("engine: ") + qa::EngineToString(engine_used) +
+           " (recommended: " + qa::EngineToString(engine_recommended) +
+           " — " + engine_reason + ")\n";
+  }
+  if (lint_errors + lint_warnings > 0) {
+    out += "lint: " + std::to_string(lint_errors) + " error(s), " +
+           std::to_string(lint_warnings) + " warning(s)\n";
+    out += lint_text;
+  }
   out += "referential (form (1)): " + referential_check.ToString() + "\n";
   out += "dimensional constraints: " + constraint_check.ToString() + "\n";
   for (const QualityMeasures& m : per_relation) {
@@ -34,6 +47,12 @@ std::string AssessmentReport::ToString() const {
 std::string AssessmentReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  w.Key("program_class").String(program_class);
+  w.Key("engine_used").String(qa::EngineToString(engine_used));
+  w.Key("engine_recommended").String(qa::EngineToString(engine_recommended));
+  w.Key("engine_reason").String(engine_reason);
+  w.Key("lint_errors").Number(lint_errors);
+  w.Key("lint_warnings").Number(lint_warnings);
   w.Key("referential_check").String(referential_check.ToString());
   w.Key("constraint_check").String(constraint_check.ToString());
   w.Key("overall_precision").Number(overall_precision);
@@ -83,6 +102,48 @@ Result<AssessmentReport> Assessor::Assess(qa::Engine engine) const {
 
 Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   AssessmentReport report;
+
+  // Pre-run gate: classify the compiled program, derive the engine
+  // recommendation, and (unless disabled) lint program + ontology before
+  // spending any chase budget on a broken input.
+  qa::Engine engine = opts.engine;
+  {
+    MDQA_ASSIGN_OR_RETURN(datalog::Program program, context_->BuildProgram());
+    datalog::ProgramAnalysis program_analysis(program);
+    report.program_class = program_analysis.ClassName();
+    MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
+                          context_->ontology().Analyze());
+    qa::EngineSelectOptions select_options;
+    select_options.egds_separable = properties.separable_egds;
+    qa::EngineSelection selection =
+        qa::SelectEngine(program, program_analysis, select_options);
+    report.engine_recommended = selection.engine;
+    report.engine_reason = std::move(selection.reason);
+    if (opts.auto_engine) engine = report.engine_recommended;
+    report.engine_used = engine;
+
+    if (opts.lint_gate) {
+      analysis::DiagnosticBag bag;
+      analysis::LintOptions lint_options;
+      lint_options.min_severity = analysis::Severity::kWarning;
+      lint_options.form_notes = false;
+      lint_options.file = "<context>";
+      analysis::LintProgram(program, lint_options, &bag);
+      analysis::LintOntology(context_->ontology(), lint_options, &bag);
+      bag.Sort();
+      report.lint_errors = bag.errors();
+      report.lint_warnings = bag.warnings();
+      report.lint_text = bag.ToText();
+      if (bag.errors() > 0 && !opts.lint_warn_only) {
+        return Status::FailedPrecondition(
+            "lint gate: " + std::to_string(bag.errors()) +
+            " error-level finding(s) in the contextual program/ontology "
+            "(set lint_warn_only to proceed anyway):\n" +
+            bag.ToText());
+      }
+    }
+  }
+
   report.referential_check = context_->ontology().ValidateReferential();
 
   auto note_truncated = [&report](const Status& why) {
@@ -109,7 +170,7 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
     note_truncated(prepared->chase_stats().interruption);
   }
 
-  const bool use_prepared = prepared.ok() && opts.engine == qa::Engine::kChase;
+  const bool use_prepared = prepared.ok() && engine == qa::Engine::kChase;
   size_t total_original = 0;
   size_t total_common = 0;
   Status cancelled;  // non-OK once a kCancelled trip stops the run
@@ -152,7 +213,7 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
         Result<Relation> r =
             use_prepared
                 ? prepared->QualityVersion(name, &rb, &interruption)
-                : context_->ComputeQualityVersion(name, opts.engine, &rb,
+                : context_->ComputeQualityVersion(name, engine, &rb,
                                                   &interruption);
         if (r.ok() && interruption.ok()) {
           quality = std::move(r).value();

@@ -51,6 +51,22 @@ struct AssessmentReport {
   /// complete).
   Status interruption;
 
+  // --- pre-run gate (mdqa_lint + classification; see AssessOptions) ---
+  /// Syntactic class of the compiled contextual program
+  /// (ProgramAnalysis::ClassName()).
+  std::string program_class;
+  /// Engine the run actually used.
+  qa::Engine engine_used = qa::Engine::kChase;
+  /// Engine the classification recommends (== engine_used under
+  /// `auto_engine`), and why.
+  qa::Engine engine_recommended = qa::Engine::kChase;
+  std::string engine_reason;
+  /// Lint findings over the compiled program and ontology (0/0 when the
+  /// gate is disabled). `lint_text` renders warnings and errors.
+  size_t lint_errors = 0;
+  size_t lint_warnings = 0;
+  std::string lint_text;
+
   std::string ToString() const;
 
   /// Machine-readable form: checks, per-relation measures, and the dirty
@@ -80,6 +96,18 @@ struct AssessOptions {
   /// "assessor:relation" fires once per relation gate). Takes precedence
   /// over `budget`'s injector for those probes when set. Not owned.
   FaultInjector* fault_injector = nullptr;
+  /// Pre-run static analysis gate: lints the compiled contextual program
+  /// and the ontology before any chase work. Error-level findings abort
+  /// the run with kFailedPrecondition (the rendered diagnostics ride in
+  /// the status message) unless `lint_warn_only` downgrades the refusal
+  /// to a report entry. Findings are recorded in the report either way.
+  bool lint_gate = true;
+  bool lint_warn_only = false;
+  /// Adopt the engine the syntactic classification recommends (sticky →
+  /// rewriting, weakly-sticky → deterministic WS, else chase) instead of
+  /// `engine`. The recommendation is recorded in the report even when
+  /// this is off.
+  bool auto_engine = false;
 };
 
 /// Drives the Fig. 2 pipeline end to end: validates the ontology, runs

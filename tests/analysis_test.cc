@@ -214,5 +214,61 @@ TEST(Analysis, EgdsAndConstraintsAreIgnored) {
   EXPECT_TRUE(a.IsSticky());
 }
 
+TEST(StickinessViolations, PerRulePerVariableWitnesses) {
+  // Rule #1 joins the marked variable Y at two infinite-rank positions
+  // (R[0] and R[1] both have infinite rank through rule #0's special
+  // edges), so the witness breaks weak stickiness too.
+  auto a = Analyze(
+      "R(Y, Z) :- R(X, Y).\n"
+      "Q(X) :- R(X, Y), R(Y, X2).\n");
+  ASSERT_EQ(a.StickinessViolations().size(), 1u);
+  const StickinessViolation& v = a.StickinessViolations()[0];
+  EXPECT_EQ(v.rule_index, 1u);
+  EXPECT_TRUE(v.breaks_weak_stickiness);
+  ASSERT_EQ(v.positions.size(), 2u);
+  // Body order: Y sits at R[1] of the first atom, R[0] of the second.
+  EXPECT_EQ(v.positions[0].index, 1u);
+  EXPECT_EQ(v.positions[1].index, 0u);
+  for (Position p : v.positions) EXPECT_TRUE(a.IsInfiniteRank(p));
+}
+
+TEST(StickinessViolations, FiniteRankWitnessBreaksStickinessOnly) {
+  // Transitive closure: Y is marked and repeated, but there are no
+  // existentials so every position has finite rank.
+  auto a = Analyze(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Z) :- T(X, Y), E(Y, Z).\n");
+  ASSERT_EQ(a.StickinessViolations().size(), 1u);
+  EXPECT_EQ(a.StickinessViolations()[0].rule_index, 1u);
+  EXPECT_FALSE(a.StickinessViolations()[0].breaks_weak_stickiness);
+  EXPECT_FALSE(a.IsSticky());
+  EXPECT_TRUE(a.IsWeaklySticky());
+}
+
+TEST(AnalysisReport, EmptyProgramSaysVacuous) {
+  auto a = Analyze("P(\"a\").\n");
+  EXPECT_EQ(a.Report(*Parser::ParseProgram("P(\"a\").")->vocab()),
+            "class: (no TGDs — every class holds vacuously)\n");
+}
+
+TEST(AnalysisReport, RendersViolations) {
+  auto p = Parser::ParseProgram(
+      "R(Y, Z) :- R(X, Y).\n"
+      "Q(X) :- R(X, Y), R(Y, X2).\n");
+  ASSERT_TRUE(p.ok());
+  std::string report = ProgramAnalysis(*p).Report(*p->vocab());
+  EXPECT_NE(report.find("violation: rule #1"), std::string::npos);
+  EXPECT_NE(report.find("repeated marked variable Y"), std::string::npos);
+  EXPECT_NE(report.find("breaks weak stickiness"), std::string::npos);
+
+  auto tc = Parser::ParseProgram(
+      "T(X, Y) :- E(X, Y).\n"
+      "T(X, Z) :- T(X, Y), E(Y, Z).\n");
+  ASSERT_TRUE(tc.ok());
+  EXPECT_NE(ProgramAnalysis(*tc).Report(*tc->vocab())
+                .find("breaks stickiness only"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mdqa::datalog

@@ -94,5 +94,78 @@ TEST(QualityJson, FullReportExport) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-12.5e1")->AsNumber(), -125.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+  EXPECT_TRUE(JsonValue::Parse("  42  ")->is_number());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = JsonValue::Parse("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, Navigation) {
+  auto v = JsonValue::Parse(
+      "{\"xs\": [1, 2, 3], \"o\": {\"k\": \"v\"}, \"n\": null}");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Members().size(), 3u);
+  ASSERT_NE(v->Find("xs"), nullptr);
+  ASSERT_EQ(v->Find("xs")->Items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v->Find("xs")->Items()[1].AsNumber(), 2.0);
+  EXPECT_EQ(v->Find("o")->Find("k")->AsString(), "v");
+  EXPECT_TRUE(v->Find("n")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  // Wrong-type accessors return defaults rather than asserting.
+  EXPECT_EQ(v->Find("xs")->AsNumber(), 0.0);
+  EXPECT_EQ(v->AsString(), "");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("tricky \"quote\" \\ and \x01 control");
+  w.Key("values");
+  w.BeginArray();
+  w.Number(1.5);
+  w.Number(static_cast<int64_t>(-3));
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  auto v = JsonValue::Parse(w.TakeString());
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Find("name")->AsString(),
+            "tricky \"quote\" \\ and \x01 control");
+  const auto& items = v->Find("values")->Items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_DOUBLE_EQ(items[0].AsNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(items[1].AsNumber(), -3.0);
+  EXPECT_TRUE(items[2].AsBool());
+  EXPECT_TRUE(items[3].is_null());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1").ok());        // unclosed
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());          // trailing comma
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());              // trailing input
+  EXPECT_FALSE(JsonValue::Parse("{a: 1}").ok());           // unquoted key
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12\"").ok());        // short \u
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonParse, DuplicateKeysPreservedFindReturnsFirst) {
+  auto v = JsonValue::Parse("{\"k\": 1, \"k\": 2}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Members().size(), 2u);
+  EXPECT_DOUBLE_EQ(v->Find("k")->AsNumber(), 1.0);
+}
+
 }  // namespace
 }  // namespace mdqa

@@ -1,0 +1,575 @@
+// Golden battery for the mdqa_lint diagnostics framework: one fixture
+// per code under tests/lint/, each asserting the code, severity, and
+// line/column span the analyzer must report, plus the ontology- and
+// dimension-level passes and the Assessor's pre-run gate.
+
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "base/json.h"
+#include "datalog/parser.h"
+#include "md/dimension.h"
+#include "qa/engines.h"
+#include "quality/assessor.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa::analysis {
+namespace {
+
+using md::CategoricalAttribute;
+using md::CategoricalRelation;
+using md::DimensionBuilder;
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(std::string(MDQA_LINT_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+DiagnosticBag LintFixture(const std::string& name) {
+  DiagnosticBag bag;
+  LintOptions options;
+  options.file = name;
+  LintText(ReadFixture(name), options, &bag);
+  bag.Sort();
+  return bag;
+}
+
+std::vector<const Diagnostic*> FindCode(const DiagnosticBag& bag,
+                                        const std::string& code) {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : bag.diagnostics()) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+// One diagnostic with `code` at line:col, returned for further checks.
+const Diagnostic& ExpectAt(const DiagnosticBag& bag, const std::string& code,
+                           Severity severity, uint32_t line, uint32_t col) {
+  auto found = FindCode(bag, code);
+  EXPECT_EQ(found.size(), 1u) << code << " in:\n" << bag.ToText();
+  if (found.empty()) {
+    static const Diagnostic kNone;
+    return kNone;
+  }
+  EXPECT_EQ(found[0]->severity, severity) << found[0]->ToText();
+  EXPECT_EQ(found[0]->span.line, line) << found[0]->ToText();
+  EXPECT_EQ(found[0]->span.column, col) << found[0]->ToText();
+  return *found[0];
+}
+
+// --- golden fixtures, one per code ----------------------------------------
+
+TEST(LintGolden, E001Syntax) {
+  auto bag = LintFixture("e001_syntax.dlg");
+  const Diagnostic& d =
+      ExpectAt(bag, "MDQA-E001", Severity::kError, 1, 5);
+  EXPECT_NE(d.message.find("expected"), std::string::npos);
+  // A broken parse stops the run: exactly the one error, nothing else.
+  EXPECT_EQ(bag.size(), 1u) << bag.ToText();
+}
+
+TEST(LintGolden, E002Arity) {
+  auto bag = LintFixture("e002_arity.dlg");
+  const Diagnostic& d =
+      ExpectAt(bag, "MDQA-E002", Severity::kError, 2, 1);
+  EXPECT_NE(d.message.find("arity"), std::string::npos);
+}
+
+TEST(LintGolden, E003InvalidRule) {
+  auto bag = LintFixture("e003_invalid_rule.dlg");
+  ExpectAt(bag, "MDQA-E003", Severity::kError, 2, 1);
+}
+
+TEST(LintGolden, E004Stratification) {
+  auto bag = LintFixture("e004_stratification.dlg");
+  auto found = FindCode(bag, "MDQA-E004");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_EQ(found[0]->severity, Severity::kError);
+  EXPECT_FALSE(found[0]->span.IsSet());  // whole-program finding
+  EXPECT_NE(found[0]->message.find("not stratified"), std::string::npos);
+}
+
+TEST(LintGolden, W005UndefinedWithDidYouMean) {
+  auto bag = LintFixture("w005_undefined.dlg");
+  const Diagnostic& d =
+      ExpectAt(bag, "MDQA-W005", Severity::kWarning, 2, 9);
+  EXPECT_EQ(d.fix_it, "did you mean 'Unknown'?");
+  // The typo'd predicate must not also be reported unreachable.
+  EXPECT_TRUE(FindCode(bag, "MDQA-W006").empty()) << bag.ToText();
+}
+
+TEST(LintGolden, W006Unreachable) {
+  auto bag = LintFixture("w006_unreachable.dlg");
+  auto found = FindCode(bag, "MDQA-W006");
+  // S/S2 feed each other but nothing seeds them: every rule that reads
+  // them is dead, including the R rule that joins with a live P.
+  ASSERT_EQ(found.size(), 3u) << bag.ToText();
+  EXPECT_EQ(found[2]->span.line, 4u);
+  EXPECT_EQ(found[2]->span.column, 15u);  // the S(X) atom, not the rule
+  EXPECT_TRUE(FindCode(bag, "MDQA-W005").empty());
+}
+
+TEST(LintGolden, W007WeakStickiness) {
+  auto bag = LintFixture("w007_weak_sticky.dlg");
+  const Diagnostic& d =
+      ExpectAt(bag, "MDQA-W007", Severity::kWarning, 3, 1);
+  EXPECT_NE(d.message.find("marked variable Y"), std::string::npos);
+  EXPECT_NE(d.message.find("R[0]"), std::string::npos);
+  EXPECT_NE(d.message.find("R[1]"), std::string::npos);
+}
+
+TEST(LintGolden, I008ImplicitExistential) {
+  auto bag = LintFixture("i008_existential.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-I008", Severity::kInfo, 2, 1);
+  EXPECT_NE(d.message.find("head variable Z"), std::string::npos);
+}
+
+TEST(LintGolden, I009DuplicateRule) {
+  auto bag = LintFixture("i009_duplicate.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-I009", Severity::kInfo, 3, 1);
+  EXPECT_NE(d.message.find("duplicate rule"), std::string::npos);
+}
+
+TEST(LintGolden, I010Unused) {
+  auto bag = LintFixture("i010_unused.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-I010", Severity::kInfo, 2, 1);
+  EXPECT_NE(d.message.find("'Q'"), std::string::npos);
+}
+
+TEST(LintGolden, N011Singleton) {
+  auto bag = LintFixture("n011_singleton.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-N011", Severity::kNote, 2, 1);
+  EXPECT_NE(d.fix_it.find("'_'"), std::string::npos);
+}
+
+TEST(LintGolden, N012FormClassification) {
+  auto bag = LintFixture("n012_forms.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-N012", Severity::kNote, 2, 1);
+  EXPECT_NE(d.message.find("form (2)"), std::string::npos);
+}
+
+// --- options ---------------------------------------------------------------
+
+TEST(LintOptionsTest, MinSeverityFilters) {
+  DiagnosticBag bag;
+  LintOptions options;
+  options.min_severity = Severity::kWarning;
+  LintText(ReadFixture("n011_singleton.dlg"), options, &bag);
+  EXPECT_TRUE(bag.empty()) << bag.ToText();  // only info/note findings
+}
+
+TEST(LintOptionsTest, FormNotesToggle) {
+  DiagnosticBag bag;
+  LintOptions options;
+  options.form_notes = false;
+  LintText(ReadFixture("n012_forms.dlg"), options, &bag);
+  EXPECT_TRUE(FindCode(bag, "MDQA-N012").empty());
+}
+
+// --- catalogue and rendering ----------------------------------------------
+
+TEST(LintCatalogue, CodesAreUniqueAndSeverityConsistent) {
+  std::set<std::string> seen;
+  for (const CodeInfo& info : AllCodes()) {
+    EXPECT_TRUE(seen.insert(info.code).second) << info.code;
+    ASSERT_GE(std::string(info.code).size(), 6u);
+    char letter = info.code[5];  // "MDQA-X..."
+    switch (info.severity) {
+      case Severity::kError:
+        EXPECT_EQ(letter, 'E') << info.code;
+        break;
+      case Severity::kWarning:
+        EXPECT_EQ(letter, 'W') << info.code;
+        break;
+      case Severity::kInfo:
+        EXPECT_EQ(letter, 'I') << info.code;
+        break;
+      case Severity::kNote:
+        EXPECT_EQ(letter, 'N') << info.code;
+        break;
+    }
+  }
+}
+
+TEST(LintCatalogue, EveryEmittedCodeIsCatalogued) {
+  std::set<std::string> catalogued;
+  for (const CodeInfo& info : AllCodes()) catalogued.insert(info.code);
+  for (const char* fixture :
+       {"e001_syntax.dlg", "e002_arity.dlg", "e003_invalid_rule.dlg",
+        "e004_stratification.dlg", "w005_undefined.dlg",
+        "w006_unreachable.dlg", "w007_weak_sticky.dlg",
+        "i008_existential.dlg", "i009_duplicate.dlg", "i010_unused.dlg",
+        "n011_singleton.dlg", "n012_forms.dlg"}) {
+    DiagnosticBag bag = LintFixture(fixture);
+    for (const Diagnostic& d : bag.diagnostics()) {
+      EXPECT_EQ(catalogued.count(d.code), 1u)
+          << d.code << " from " << fixture << " is not in AllCodes()";
+    }
+  }
+}
+
+TEST(LintRender, TextFormatIsCompilerStyle) {
+  auto bag = LintFixture("w005_undefined.dlg");
+  std::string text = bag.ToText();
+  EXPECT_NE(text.find("w005_undefined.dlg:2:9: warning:"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[MDQA-W005]"), std::string::npos);
+  EXPECT_NE(text.find("fix-it: did you mean 'Unknown'?"),
+            std::string::npos);
+}
+
+TEST(LintRender, SarifJsonRoundTripsThroughJsonValue) {
+  auto bag = LintFixture("w005_undefined.dlg");
+  Result<JsonValue> doc = JsonValue::Parse(bag.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* version = doc->Find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->AsString(), "2.1.0");
+  const JsonValue* runs = doc->Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->Items().size(), 1u);
+  const JsonValue* results = runs->Items()[0].Find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(results->Items().size(), bag.size());
+  // The W005 entry keeps its code, span, and fix-it.
+  bool found = false;
+  for (const JsonValue& r : results->Items()) {
+    const JsonValue* rule = r.Find("ruleId");
+    ASSERT_NE(rule, nullptr);
+    if (rule->AsString() != "MDQA-W005") continue;
+    found = true;
+    const JsonValue* locations = r.Find("locations");
+    ASSERT_NE(locations, nullptr);
+    const JsonValue* region =
+        locations->Items()[0].Find("physicalLocation")->Find("region");
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(region->Find("startLine")->AsNumber(), 2.0);
+    EXPECT_EQ(region->Find("startColumn")->AsNumber(), 9.0);
+    const JsonValue* props = r.Find("properties");
+    ASSERT_NE(props, nullptr);
+    EXPECT_NE(props->Find("fixIt"), nullptr);
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- ontology passes -------------------------------------------------------
+
+// Geo (City -> Region) + Cal (Day -> Month) with Sales relations, as in
+// ontology_test.cc.
+std::shared_ptr<core::MdOntology> Skeleton() {
+  auto ontology = std::make_shared<core::MdOntology>();
+  auto geo = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("City", "c1")
+                 .Member("Region", "r1")
+                 .Link("c1", "r1")
+                 .Build();
+  EXPECT_TRUE(geo.ok()) << geo.status();
+  EXPECT_TRUE(ontology->AddDimension(std::move(geo).value()).ok());
+  auto cal = DimensionBuilder("Cal")
+                 .Category("Day")
+                 .Category("Month")
+                 .Edge("Day", "Month")
+                 .Member("Day", "d1")
+                 .Member("Month", "m1")
+                 .Link("d1", "m1")
+                 .Build();
+  EXPECT_TRUE(cal.ok()) << cal.status();
+  EXPECT_TRUE(ontology->AddDimension(std::move(cal).value()).ok());
+  auto sales_city = CategoricalRelation::Create(
+      "SalesCity", {CategoricalAttribute::Categorical("City", "Geo", "City"),
+                    CategoricalAttribute::Categorical("Day", "Cal", "Day"),
+                    CategoricalAttribute::Plain("Amount")});
+  EXPECT_TRUE(sales_city.ok());
+  EXPECT_TRUE(
+      ontology->AddCategoricalRelation(std::move(sales_city).value()).ok());
+  auto sales_region = CategoricalRelation::Create(
+      "SalesRegion",
+      {CategoricalAttribute::Categorical("Region", "Geo", "Region"),
+       CategoricalAttribute::Categorical("Day", "Cal", "Day"),
+       CategoricalAttribute::Plain("Amount")});
+  EXPECT_TRUE(sales_region.ok());
+  EXPECT_TRUE(
+      ontology->AddCategoricalRelation(std::move(sales_region).value()).ok());
+  return ontology;
+}
+
+DiagnosticBag LintOntologyBag(const core::MdOntology& ontology,
+                              Severity min = Severity::kNote) {
+  DiagnosticBag bag;
+  LintOptions options;
+  options.min_severity = min;
+  LintOntology(ontology, options, &bag);
+  bag.Sort();
+  return bag;
+}
+
+TEST(LintOntologyTest, W020NonSeparableEgd) {
+  auto ontology = Skeleton();
+  // Equates the plain Amount attribute: separability fails.
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "A = A2 :- SalesCity(C, D, A), SalesCity(C, D2, A2).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  auto found = FindCode(bag, "MDQA-W020");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("SalesCity[2]"), std::string::npos);
+  EXPECT_NE(found[0]->fix_it.find("chase engine"), std::string::npos);
+}
+
+TEST(LintOntologyTest, SeparableEgdStaysClean) {
+  auto ontology = Skeleton();
+  // Equates the categorical Day attribute: separable, no W020.
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "D = D2 :- SalesCity(C, D, A), SalesCity(C, D2, A2).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  EXPECT_TRUE(FindCode(bag, "MDQA-W020").empty()) << bag.ToText();
+}
+
+TEST(LintOntologyTest, I021Form10AndN023Notes) {
+  auto ontology = Skeleton();
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalRule(
+                      "RegionCity(R, C), SalesCity(C, D, A) :- "
+                      "SalesRegion(R, D, A).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  EXPECT_EQ(FindCode(bag, "MDQA-I021").size(), 1u) << bag.ToText();
+  auto notes = FindCode(bag, "MDQA-N023");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0]->message.find("(10)"), std::string::npos);
+}
+
+TEST(LintOntologyTest, W022RawRuleMatchingNoForm) {
+  auto ontology = Skeleton();
+  // Rejected by AddDimensionalRule (upward existential-categorical is
+  // not form (10)) — but the raw escape hatch accepts it, and the lint
+  // pass flags what slipped through.
+  ASSERT_TRUE(ontology
+                  ->AddRawStatements(
+                      "RegionCity(R, C), SalesRegion(R, D, A) :- "
+                      "SalesCity(C, D, A).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  auto found = FindCode(bag, "MDQA-W022");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->fix_it.find("AddDimensionalRule"), std::string::npos);
+}
+
+TEST(LintOntologyTest, RawContextualRuleNotFlagged) {
+  auto ontology = Skeleton();
+  ASSERT_TRUE(
+      ontology->AddRawStatements("Note(C) :- SalesCity(C, D, A).").ok());
+  auto bag = LintOntologyBag(*ontology);
+  EXPECT_TRUE(FindCode(bag, "MDQA-W022").empty()) << bag.ToText();
+}
+
+// --- dimension passes ------------------------------------------------------
+
+DiagnosticBag LintDimensionBag(const md::Dimension& d) {
+  DiagnosticBag bag;
+  LintOptions options;
+  LintDimension(d, options, &bag);
+  bag.Sort();
+  return bag;
+}
+
+TEST(LintDimensionTest, W031NonStrictRollUp) {
+  // c1 rolls up to both r1 and r2 via two parallel edges.
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("City", "c1")
+                 .Member("Region", "r1")
+                 .Member("Region", "r2")
+                 .Link("c1", "r1")
+                 .Link("c1", "r2")
+                 .Build();
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  auto bag = LintDimensionBag(*dim);
+  auto found = FindCode(bag, "MDQA-W031");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("double-counts"), std::string::npos);
+}
+
+TEST(LintDimensionTest, W032PartialRollUp) {
+  // City has two parent categories; c1 reaches Region but not District.
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Category("District")
+                 .Edge("City", "Region")
+                 .Edge("City", "District")
+                 .Member("City", "c1")
+                 .Member("Region", "r1")
+                 .Member("District", "d1")
+                 .Link("c1", "r1")
+                 .Build();
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  auto bag = LintDimensionBag(*dim);
+  auto found = FindCode(bag, "MDQA-W032");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("'District'"), std::string::npos);
+  EXPECT_NE(found[0]->fix_it.find("link 'c1'"), std::string::npos);
+}
+
+TEST(LintDimensionTest, W033OrphanSuppressesPerCategoryFindings) {
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("City", "c1")
+                 .Member("City", "orphan")
+                 .Member("Region", "r1")
+                 .Link("c1", "r1")
+                 .Build();
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  auto bag = LintDimensionBag(*dim);
+  auto found = FindCode(bag, "MDQA-W033");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("'orphan'"), std::string::npos);
+  // The orphan is not additionally reported as a partial roll-up.
+  EXPECT_TRUE(FindCode(bag, "MDQA-W032").empty()) << bag.ToText();
+}
+
+TEST(LintDimensionTest, I034EmptyCategory) {
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("Region", "r1")
+                 .Build();
+  ASSERT_TRUE(dim.ok()) << dim.status();
+  auto bag = LintDimensionBag(*dim);
+  auto found = FindCode(bag, "MDQA-I034");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("'City'"), std::string::npos);
+}
+
+TEST(LintDimensionTest, CleanDimensionHasNoFindings) {
+  auto dim = DimensionBuilder("Geo")
+                 .Category("City")
+                 .Category("Region")
+                 .Edge("City", "Region")
+                 .Member("City", "c1")
+                 .Member("Region", "r1")
+                 .Link("c1", "r1")
+                 .Build();
+  ASSERT_TRUE(dim.ok());
+  EXPECT_TRUE(LintDimensionBag(*dim).empty());
+}
+
+TEST(LintDimensionTest, E030CategoryCycle) {
+  DiagnosticBag bag;
+  LintOptions options;
+  LintDimensionEdges("Geo",
+                     {{"City", "Region"}, {"Region", "State"},
+                      {"State", "City"}},
+                     options, &bag);
+  auto found = FindCode(bag, "MDQA-E030");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("City -> Region -> State -> City"),
+            std::string::npos)
+      << found[0]->message;
+  EXPECT_EQ(found[0]->fix_it, "remove the edge 'State -> City'");
+}
+
+TEST(LintDimensionTest, E030NoFalsePositiveOnDag) {
+  DiagnosticBag bag;
+  LintOptions options;
+  // A diamond is a DAG, not a cycle.
+  LintDimensionEdges("Geo",
+                     {{"City", "Region"}, {"City", "District"},
+                      {"Region", "State"}, {"District", "State"}},
+                     options, &bag);
+  EXPECT_TRUE(bag.empty()) << bag.ToText();
+}
+
+// --- the Assessor gate -----------------------------------------------------
+
+TEST(LintGate, HospitalAssessmentRecordsClassAndEngine) {
+  auto context = scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  quality::Assessor assessor(&*context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->program_class.empty());
+  EXPECT_FALSE(report->engine_reason.empty());
+  EXPECT_EQ(report->engine_used, qa::Engine::kChase);
+  EXPECT_EQ(report->lint_errors, 0u);
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("program class:"), std::string::npos);
+  EXPECT_NE(text.find("engine: chase"), std::string::npos);
+}
+
+TEST(LintGate, DisablingTheGateSkipsLint) {
+  auto context = scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok());
+  quality::Assessor assessor(&*context);
+  quality::AssessOptions options;
+  options.lint_gate = false;
+  auto report = assessor.Assess(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->lint_text.empty());
+  EXPECT_FALSE(report->program_class.empty());  // classification still runs
+}
+
+TEST(LintGate, SelectEngineRespectsClassification) {
+  // Sticky, single-atom heads, no EGDs/negation -> rewriting.
+  auto program = datalog::Parser::ParseProgram(
+      "P(\"a\", \"b\").\n"
+      "T(X, Y) :- P(X, Y).\n"
+      "U(Y, Z) :- T(X, Y).\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  datalog::ProgramAnalysis analysis(*program);
+  ASSERT_TRUE(analysis.IsSticky());
+  auto selection =
+      qa::SelectEngine(*program, analysis, qa::EngineSelectOptions{});
+  EXPECT_EQ(selection.engine, qa::Engine::kRewriting);
+
+  // Negation forces the chase regardless of the class.
+  auto negated = datalog::Parser::ParseProgram(
+      "P(\"a\").\nQ(\"a\").\nT(X) :- P(X), not Q(X).\n");
+  ASSERT_TRUE(negated.ok());
+  datalog::ProgramAnalysis negated_analysis(*negated);
+  EXPECT_EQ(qa::SelectEngine(*negated, negated_analysis,
+                             qa::EngineSelectOptions{})
+                .engine,
+            qa::Engine::kChase);
+}
+
+TEST(LintGate, SelectEnginePicksWsForWeaklySticky) {
+  // Weakly sticky but not sticky: the w007 fixture program minus the
+  // violating repetition keeps the repeated marked variable at a
+  // finite-rank position.
+  auto program = datalog::Parser::ParseProgram(
+      "S(\"a\", \"b\").\n"
+      "R(Y, Z) :- S(X, Y).\n"
+      "Q(X) :- S(X, Y), S(Y, X2).\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  datalog::ProgramAnalysis analysis(*program);
+  ASSERT_TRUE(analysis.IsWeaklySticky());
+  ASSERT_FALSE(analysis.IsSticky());
+  EXPECT_EQ(
+      qa::SelectEngine(*program, analysis, qa::EngineSelectOptions{}).engine,
+      qa::Engine::kDeterministicWs);
+}
+
+}  // namespace
+}  // namespace mdqa::analysis

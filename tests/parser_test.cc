@@ -275,5 +275,82 @@ TEST(Parser, ParseIntoSharesVocabulary) {
             program.rules()[0].body[0].predicate);
 }
 
+TEST(ParserSpans, FactsRulesAndAtomsCarryLineAndColumn) {
+  auto p = Parser::ParseProgram(
+      "Par(\"ann\", \"bob\").\n"
+      "Anc(X, Y) :- Par(X, Y).\n"
+      "  Anc(X, Z) :- Anc(X, Y), Par(Y, Z).\n");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->facts()[0].span, (SourceSpan{1, 1}));
+  ASSERT_EQ(p->rules().size(), 2u);
+  EXPECT_EQ(p->rules()[0].span, (SourceSpan{2, 1}));
+  EXPECT_EQ(p->rules()[0].body[0].span, (SourceSpan{2, 14}));
+  EXPECT_EQ(p->rules()[1].span, (SourceSpan{3, 3}));  // indentation counts
+  EXPECT_EQ(p->rules()[1].body[1].span, (SourceSpan{3, 27}));
+}
+
+TEST(ParserSpans, SpansDoNotAffectEquality) {
+  auto a = Parser::ParseProgram("P(\"x\").");
+  auto b = Parser::ParseProgram("\n\n   P(\"x\").");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->facts()[0].span, b->facts()[0].span);
+  EXPECT_EQ(a->facts()[0], b->facts()[0]);
+}
+
+TEST(ParseReportTest, SyntaxErrorKindAndSpan) {
+  Program program;
+  ParseReport report;
+  Status s = Parser::ParseInto("P(X :- Q(X).", &program, &report);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(report.error_kind, ParseReport::ErrorKind::kSyntax);
+  EXPECT_EQ(report.error_span, (SourceSpan{1, 5}));
+}
+
+TEST(ParseReportTest, ArityErrorKindAndSpan) {
+  Program program;
+  ParseReport report;
+  Status s =
+      Parser::ParseInto("P(\"a\").\nP(\"a\", \"b\").", &program, &report);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(report.error_kind, ParseReport::ErrorKind::kArity);
+  EXPECT_EQ(report.error_span, (SourceSpan{2, 1}));
+}
+
+TEST(ParseReportTest, ValidationErrorKindAndSpan) {
+  Program program;
+  ParseReport report;
+  Status s = Parser::ParseInto("P(\"a\", \"b\").\nX = Y :- P(X, X2).",
+                               &program, &report);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(report.error_kind, ParseReport::ErrorKind::kValidation);
+  EXPECT_EQ(report.error_span, (SourceSpan{2, 1}));
+}
+
+TEST(ParseReportTest, DuplicateRuleDroppedWithIssue) {
+  Program program;
+  ParseReport report;
+  Status s = Parser::ParseInto(
+      "P(\"a\").\nQ(X) :- P(X).\nQ(X) :- P(X).\nQ(X) :- P(X), P(X).",
+      &program, &report);
+  ASSERT_TRUE(s.ok()) << s;
+  // The literal duplicate is dropped; the structurally different rule
+  // (even if logically equivalent) is kept.
+  EXPECT_EQ(program.rules().size(), 2u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, ParseIssue::Kind::kDuplicateRule);
+  EXPECT_EQ(report.issues[0].span, (SourceSpan{3, 1}));
+  EXPECT_NE(report.issues[0].message.find("duplicate rule"),
+            std::string::npos);
+}
+
+TEST(ParseReportTest, DuplicateFactsAreNotDeduplicated) {
+  // Fact dedup is Program/Instance business (sets), not a lint issue.
+  Program program;
+  ParseReport report;
+  ASSERT_TRUE(
+      Parser::ParseInto("P(\"a\").\nP(\"a\").", &program, &report).ok());
+  EXPECT_TRUE(report.issues.empty());
+}
+
 }  // namespace
 }  // namespace mdqa::datalog

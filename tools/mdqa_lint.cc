@@ -1,0 +1,165 @@
+// mdqa_lint: the static analyzer for Datalog± programs and MD ontologies.
+//
+// Run:  mdqa_lint [flags] file.dlg [file2.dlg ...]
+//       mdqa_lint --scenario=hospital --scenario=finance
+//
+// Flags:
+//   --json                  emit SARIF 2.1.0 JSON instead of text
+//   --werror                treat warnings as errors (exit 1)
+//   --min-severity=LEVEL    note | info | warning | error (default: info)
+//   --scenario=NAME         lint a built-in scenario's compiled contextual
+//                           program and ontology (hospital | finance |
+//                           synthetic); repeatable, mixes with files
+//   --list                  print the diagnostic-code catalogue and exit
+//
+// Exit codes: 0 clean (or only suppressed findings), 1 findings that fail
+// under the current --werror policy, 2 usage or I/O error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "scenarios/finance.h"
+#include "scenarios/hospital.h"
+#include "scenarios/synthetic.h"
+
+namespace {
+
+using mdqa::analysis::AllCodes;
+using mdqa::analysis::CodeInfo;
+using mdqa::analysis::DiagnosticBag;
+using mdqa::analysis::LintOptions;
+using mdqa::analysis::Severity;
+
+int Usage() {
+  std::cerr
+      << "usage: mdqa_lint [--json] [--werror] [--min-severity=LEVEL]\n"
+         "                 [--scenario=NAME]... [--list] [file.dlg]...\n"
+         "  LEVEL: note | info | warning | error (default: info)\n"
+         "  NAME:  hospital | finance | synthetic\n";
+  return 2;
+}
+
+bool ParseSeverity(const std::string& name, Severity* out) {
+  if (name == "note") *out = Severity::kNote;
+  else if (name == "info") *out = Severity::kInfo;
+  else if (name == "warning") *out = Severity::kWarning;
+  else if (name == "error") *out = Severity::kError;
+  else return false;
+  return true;
+}
+
+// Lints one built-in scenario the way the Assessor gate sees it: the
+// compiled contextual program plus the ontology passes.
+mdqa::Status LintScenario(const std::string& name, const LintOptions& base,
+                          DiagnosticBag* bag) {
+  namespace scenarios = mdqa::scenarios;
+  LintOptions options = base;
+  options.file = "<scenario:" + name + ">";
+  if (name == "hospital" || name == "finance") {
+    MDQA_ASSIGN_OR_RETURN(
+        mdqa::quality::QualityContext context,
+        name == "hospital"
+            ? scenarios::BuildHospitalContext(scenarios::HospitalOptions{})
+            : scenarios::BuildFinanceContext(scenarios::FinanceOptions{}));
+    MDQA_ASSIGN_OR_RETURN(mdqa::datalog::Program program,
+                          context.BuildProgram());
+    mdqa::analysis::LintProgram(program, options, bag);
+    mdqa::analysis::LintOntology(context.ontology(), options, bag);
+    return mdqa::Status::Ok();
+  }
+  if (name == "synthetic") {
+    MDQA_ASSIGN_OR_RETURN(
+        auto ontology,
+        scenarios::BuildSyntheticOntology(scenarios::SyntheticSpec{}));
+    MDQA_ASSIGN_OR_RETURN(mdqa::datalog::Program program,
+                          ontology->Compile());
+    mdqa::analysis::LintProgram(program, options, bag);
+    mdqa::analysis::LintOntology(*ontology, options, bag);
+    return mdqa::Status::Ok();
+  }
+  return mdqa::Status::InvalidArgument("unknown scenario '" + name +
+                                       "' (hospital | finance | synthetic)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool list = false;
+  mdqa::analysis::Severity min_severity = Severity::kInfo;
+  std::vector<std::string> files;
+  std::vector<std::string> scenarios;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--min-severity=", 0) == 0) {
+      if (!ParseSeverity(arg.substr(15), &min_severity)) return Usage();
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenarios.push_back(arg.substr(11));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list) {
+    for (const CodeInfo& info : AllCodes()) {
+      std::cout << info.code << "  "
+                << mdqa::analysis::SeverityToString(info.severity) << "  "
+                << info.summary << "\n";
+    }
+    return 0;
+  }
+  if (files.empty() && scenarios.empty()) return Usage();
+
+  LintOptions options;
+  options.min_severity = min_severity;
+
+  DiagnosticBag bag;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "mdqa_lint: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    LintOptions file_options = options;
+    file_options.file = path;
+    mdqa::analysis::LintText(buf.str(), file_options, &bag);
+  }
+  for (const std::string& name : scenarios) {
+    mdqa::Status s = LintScenario(name, options, &bag);
+    if (!s.ok()) {
+      std::cerr << "mdqa_lint: " << s << "\n";
+      return 2;
+    }
+  }
+
+  bag.Sort();
+  if (json) {
+    std::cout << bag.ToJson() << "\n";
+  } else {
+    std::cout << bag.ToText();
+    std::cout << bag.errors() << " error(s), " << bag.warnings()
+              << " warning(s), "
+              << bag.size() - bag.errors() - bag.warnings()
+              << " other finding(s)\n";
+  }
+  return bag.ShouldFail(werror) ? 1 : 0;
+}
