@@ -12,6 +12,9 @@
 //                     tagged "truncated" when it expires. Ctrl-C likewise
 //                     cancels the running command instead of killing the
 //                     shell (exit with 'quit' or Ctrl-D).
+//   --threads=N       run chase/ask on an N-worker thread pool (results
+//                     are identical to serial execution; see
+//                     docs/parallelism.md). Default: serial.
 //
 // Commands:
 //   load <file>            parse a Datalog± program file into the session
@@ -37,6 +40,7 @@
 
 #include "analysis/lint.h"
 #include "base/budget.h"
+#include "base/thread_pool.h"
 #include "datalog/analysis.h"
 #include "datalog/chase.h"
 #include "datalog/parser.h"
@@ -59,8 +63,10 @@ extern "C" void HandleSigint(int) { g_interrupt.Cancel(); }
 
 class Shell {
  public:
-  explicit Shell(int deadline_ms = 0) : deadline_ms_(deadline_ms) {
+  explicit Shell(int deadline_ms = 0, int threads = 0)
+      : deadline_ms_(deadline_ms) {
     budget_.set_cancellation(&g_interrupt);
+    if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
     Reset();
   }
 
@@ -248,6 +254,7 @@ class Shell {
     datalog::ChaseOptions options;
     options.provenance = &provenance_;
     options.budget = &budget_;
+    options.pool = pool_.get();
     datalog::ChaseStats stats;
     Status s = datalog::Chase::Run(program_, instance_.get(), options, &stats);
     if (!s.ok()) {
@@ -288,6 +295,7 @@ class Shell {
     }
     qa::AnswerOptions aopts;
     aopts.budget = &budget_;
+    aopts.pool = pool_.get();
     auto answers = qa::Answer(engine_, program_, *query, aopts);
     if (!answers.ok()) {
       std::cout << answers.status() << "\n";
@@ -390,6 +398,7 @@ class Shell {
   bool chased_ = false;
   ExecutionBudget budget_;
   int deadline_ms_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  // null = serial execution
 };
 
 }  // namespace
@@ -397,26 +406,35 @@ class Shell {
 
 int main(int argc, char** argv) {
   int deadline_ms = 0;
+  int threads = 0;
   const char* script_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string kDeadline = "--deadline-ms=";
+    const std::string kThreads = "--threads=";
     if (arg.rfind(kDeadline, 0) == 0) {
       deadline_ms = std::atoi(arg.c_str() + kDeadline.size());
       if (deadline_ms <= 0) {
         std::cerr << "bad value in '" << arg << "' (want a positive int)\n";
         return 1;
       }
+    } else if (arg.rfind(kThreads, 0) == 0) {
+      threads = std::atoi(arg.c_str() + kThreads.size());
+      if (threads <= 0) {
+        std::cerr << "bad value in '" << arg << "' (want a positive int)\n";
+        return 1;
+      }
     } else if (script_path == nullptr) {
       script_path = argv[i];
     } else {
-      std::cerr << "usage: mdqa_shell [--deadline-ms=N] [script]\n";
+      std::cerr << "usage: mdqa_shell [--deadline-ms=N] [--threads=N] "
+                   "[script]\n";
       return 1;
     }
   }
 
   std::signal(SIGINT, mdqa::HandleSigint);
-  mdqa::Shell shell(deadline_ms);
+  mdqa::Shell shell(deadline_ms, threads);
   std::istream* in = &std::cin;
   std::ifstream script;
   const bool interactive = script_path == nullptr;

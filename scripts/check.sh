@@ -6,6 +6,12 @@
 #   scripts/check.sh            # plain + sanitizer passes
 #   scripts/check.sh --plain    # skip the sanitizer pass
 #   scripts/check.sh --san      # sanitizer pass only
+#   scripts/check.sh --tsan     # add a ThreadSanitizer pass (third build
+#                               # tree build-tsan; TSan cannot share a
+#                               # binary with ASan, hence its own tree) —
+#                               # exercises the thread-pool paths of the
+#                               # chase/assessor/rewriter under the full
+#                               # suite
 #   scripts/check.sh --lint     # add the lint pass: clang-tidy over src/
 #                               # (skipped when not installed) and
 #                               # mdqa_lint --werror over examples/scripts/
@@ -15,11 +21,13 @@ cd "$(dirname "$0")/.."
 
 run_plain=1
 run_san=1
+run_tsan=0
 run_lint=0
 for arg in "$@"; do
   case "$arg" in
     --plain) run_san=0 ;;
     --san) run_plain=0 ;;
+    --tsan) run_tsan=1 ;;
     --lint) run_lint=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -40,6 +48,14 @@ if [[ $run_san -eq 1 ]]; then
   cmake --build build-san -j "$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-san --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== TSan build + ctest =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_lint -eq 1 ]]; then

@@ -1,0 +1,163 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace mdqa {
+
+namespace {
+
+// Which worker the current thread is, if any. Indexes are per-pool;
+// a thread only ever belongs to one pool, so a plain pair is enough.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = std::max<size_t>(1, threads);
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;  // push to own deque: LIFO locality
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section pairs with the predicate check in
+  // WorkerLoop: a worker that read pending == 0 is either still holding
+  // idle_mu_ (we block until it commits to waiting, then notify wakes
+  // it) or already re-checks and sees the increment. Without it the
+  // notify could land in the check-to-block window and be lost.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(size_t self) {
+  std::function<void()> task;
+  // Own queue first (front = most recently queued by us after steals,
+  // keeps caches warm)...
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+  }
+  // ...then steal the oldest task from the first non-empty victim.
+  if (!task) {
+    for (size_t d = 1; d < queues_.size() && !task; ++d) {
+      Queue& q = *queues_[(self + d) % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  while (true) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared loop state. Helpers claim items through `next` and tally
+  // them in `done`; the raw `fn` pointer is only dereferenced for a
+  // successfully claimed item, and the caller below outlives every
+  // claimed item, so the pointer never dangles (late helpers see
+  // `next >= n` and exit without touching it).
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto drain = [](ForState* s) {
+    while (true) {
+      const size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      (*s->fn)(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        // Synchronize with the waiting caller: taking the lock before
+        // notifying guarantees the waiter is either not yet in wait()
+        // (and will see done == n) or inside it (and gets the notify).
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(state.get()); });
+  }
+  drain(state.get());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace mdqa

@@ -28,6 +28,102 @@ struct TriggerHash {
   }
 };
 
+// An on_match callback that records the frontier projection of each body
+// homomorphism into `*set`.
+std::function<bool(const Subst&)> MakeCollector(
+    const std::vector<uint32_t>& frontier,
+    std::unordered_set<Trigger, TriggerHash>* set) {
+  return [&frontier, set](const Subst& subst) {
+    Trigger t;
+    t.frontier_bindings.reserve(frontier.size());
+    for (uint32_t v : frontier) {
+      t.frontier_bindings.push_back(Resolve(subst, Term::Variable(v)));
+    }
+    set->insert(std::move(t));
+    return true;
+  };
+}
+
+// Collects the triggers of one enumeration pass (one delta pass or one
+// full pass) into `*out`.
+//
+// Serial path (`pool == nullptr`, pivot table missing, or fewer candidate
+// rows than `min_parallel_seeds`): a single Enumerate on `eval` — exactly
+// the legacy evaluation.
+//
+// Parallel path: the pivot atom's in-window rows are strided across
+// shards run on `pool`. Each shard grounds the pivot atom against its
+// rows (MatchAtom) and enumerates the *full* body under the same windows
+// with that ground seed, so every homomorphism it finds has the pivot
+// bound to exactly that row; the union of the shard trigger sets is
+// therefore the serial trigger set. The instance is read-only throughout
+// and the budget's counters are atomic, so shards share both safely. A
+// counter trip can land on any shard — the first non-OK status in shard
+// order is returned, and the merged set is then a subset of the serial
+// one (sound: a truncated chase is an under-approximation either way).
+Status CollectPassTriggers(const Instance& instance, const Rule& rule,
+                           const std::vector<uint32_t>& frontier,
+                           const std::vector<AtomLevelWindow>& windows,
+                           size_t pivot, const CqEvaluator& eval,
+                           ThreadPool* pool, uint64_t min_parallel_seeds,
+                           ExecutionBudget* budget,
+                           std::unordered_set<Trigger, TriggerHash>* out) {
+  auto serial = [&]() {
+    return eval.Enumerate(rule.body, rule.negated, rule.comparisons, Subst{},
+                          windows, MakeCollector(frontier, out));
+  };
+  if (pool == nullptr || rule.body.empty()) return serial();
+  const Atom& pivot_atom = rule.body[pivot];
+  const FactTable* table = instance.Table(pivot_atom.predicate);
+  if (table == nullptr) return serial();  // empty body relation: no matches
+
+  uint32_t min_level = 0;
+  uint32_t max_level = std::numeric_limits<uint32_t>::max();
+  if (!windows.empty()) {
+    min_level = windows[pivot].min_level;
+    max_level = windows[pivot].max_level;
+  }
+  std::vector<uint32_t> seeds;
+  seeds.reserve(table->size());
+  for (uint32_t r = 0; r < table->size(); ++r) {
+    const uint32_t lvl = table->Level(r);
+    if (lvl >= min_level && lvl <= max_level) seeds.push_back(r);
+  }
+  if (seeds.size() < std::max<uint64_t>(min_parallel_seeds, 1)) {
+    return serial();
+  }
+
+  // A few shards per worker so uneven seed costs still balance.
+  const size_t shards = std::min(seeds.size(), pool->size() * 4);
+  std::vector<std::unordered_set<Trigger, TriggerHash>> local(shards);
+  std::vector<Status> shard_status(shards, Status::Ok());
+  pool->ParallelFor(shards, [&](size_t s) {
+    CqEvaluator shard_eval(instance, nullptr, budget);
+    auto collect = MakeCollector(frontier, &local[s]);
+    Subst subst;
+    std::vector<uint32_t> trail;
+    for (size_t k = s; k < seeds.size(); k += shards) {
+      subst.clear();
+      trail.clear();
+      if (!MatchAtom(pivot_atom, table->Row(seeds[k]), &subst, &trail)) {
+        continue;  // pivot constants don't match this row
+      }
+      Status es = shard_eval.Enumerate(rule.body, rule.negated,
+                                       rule.comparisons, subst, windows,
+                                       collect);
+      if (!es.ok()) {
+        shard_status[s] = std::move(es);
+        return;
+      }
+    }
+  });
+  for (size_t s = 0; s < shards; ++s) {
+    MDQA_RETURN_IF_ERROR(shard_status[s]);
+  }
+  for (auto& l : local) out->merge(l);
+  return Status::Ok();
+}
+
 // Union-find over terms for EGD application. Constants are always roots;
 // merging two constants is the caller's inconsistency case.
 class TermUnionFind {
@@ -251,27 +347,37 @@ Status Chase::Run(const Program& program, Instance* instance,
       CqEvaluator eval(*instance, nullptr, budget);
 
       // Collect candidate triggers first (enumeration must not observe
-      // concurrent mutation), deduped on frontier bindings.
+      // concurrent mutation), deduped on frontier bindings. With a pool,
+      // each pass's matching is sharded across workers (the instance is
+      // immutable here); without one, CollectPassTriggers is exactly the
+      // legacy single-threaded Enumerate.
       std::unordered_set<Trigger, TriggerHash> triggers;
-      auto collect = [&](const Subst& subst) {
-        Trigger t;
-        t.frontier_bindings.reserve(info.frontier.size());
-        for (uint32_t v : info.frontier) {
-          t.frontier_bindings.push_back(
-              Resolve(subst, Term::Variable(v)));
-        }
-        triggers.insert(std::move(t));
-        return true;
-      };
 
       if (full_pass) {
-        Status es = eval.Enumerate(rule.body, rule.negated, rule.comparisons,
-                                   Subst{}, {}, collect);
+        // Partition on the body atom with the largest table: most seeds,
+        // so the cheapest residual join per seed.
+        size_t pivot = 0;
+        if (options.pool != nullptr) {
+          uint32_t best = 0;
+          for (size_t j = 0; j < rule.body.size(); ++j) {
+            const FactTable* t = instance->Table(rule.body[j].predicate);
+            const uint32_t sz = t != nullptr ? t->size() : 0;
+            if (sz > best) {
+              best = sz;
+              pivot = j;
+            }
+          }
+        }
+        Status es = CollectPassTriggers(
+            *instance, rule, info.frontier, {}, pivot, eval, options.pool,
+            options.min_parallel_seeds, budget, &triggers);
         const ChaseStop reason = budget_reason(es);
         MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
       } else {
         // Semi-naive: one pass per delta atom d — atom d restricted to the
         // previous round's facts, atoms before d to strictly older ones.
+        // The delta atom is the natural partition pivot: its window is
+        // exactly the last round's new facts.
         const uint32_t prev = level - 1;
         for (size_t d = 0; d < rule.body.size() && !interrupted(); ++d) {
           std::vector<AtomLevelWindow> windows(rule.body.size());
@@ -284,14 +390,28 @@ Status Chase::Run(const Program& program, Instance* instance,
               windows[j].max_level = prev;
             }  // j > d: unrestricted (everything known so far)
           }
-          Status es = eval.Enumerate(rule.body, rule.negated,
-                                     rule.comparisons, Subst{}, windows,
-                                     collect);
+          Status es = CollectPassTriggers(
+              *instance, rule, info.frontier, windows, d, eval, options.pool,
+              options.min_parallel_seeds, budget, &triggers);
           const ChaseStop reason = budget_reason(es);
           MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
         }
       }
       if (interrupted()) break;
+
+      // Canonical apply order: sort the deduped triggers on their frontier
+      // bindings (Term::operator< is total). This makes the firing order —
+      // and with it null numbering, restricted-chase skips, and the final
+      // instance — a function of the trigger *set* alone, independent of
+      // enumeration order, hash-set iteration order, and thread count:
+      // the parallel chase is bit-identical to the serial one.
+      std::vector<const Trigger*> ordered;
+      ordered.reserve(triggers.size());
+      for (const Trigger& t : triggers) ordered.push_back(&t);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const Trigger* a, const Trigger* b) {
+                  return a->frontier_bindings < b->frontier_bindings;
+                });
 
       // Apply triggers: restricted chase — skip when the head is already
       // satisfied (facts fired earlier this round count, so equivalent
@@ -301,7 +421,8 @@ Status Chase::Run(const Program& program, Instance* instance,
       // deadlines still surface deterministically); ChargeFacts below
       // stays per-fact so fact caps trip exactly.
       uint32_t trigger_tick = 0;
-      for (const Trigger& trig : triggers) {
+      for (const Trigger* trig_ptr : ordered) {
+        const Trigger& trig = *trig_ptr;
         if (budget != nullptr && (trigger_tick++ & 15u) == 0) {
           Status bs = budget->Check("chase:trigger");
           const ChaseStop reason = budget_reason(bs);

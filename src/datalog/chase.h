@@ -7,6 +7,7 @@
 
 #include "base/budget.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "datalog/cq_eval.h"
 #include "datalog/instance.h"
 
@@ -53,6 +54,20 @@ struct ChaseOptions {
   /// `Run` overload returns OK with `ChaseStats::completeness ==
   /// kTruncated` and the partial (sound) instance in place. Not owned.
   ExecutionBudget* budget = nullptr;
+  /// When non-null, each round's trigger matching is partitioned across
+  /// the pool's workers (the instance is immutable during matching);
+  /// fired triggers are then merged and applied in canonical order on
+  /// the calling thread, so the resulting instance — fact set, levels,
+  /// null numbering, and ChaseStats counters — is bit-identical to a
+  /// serial run. See docs/parallelism.md. Counter-budget trips remain
+  /// deterministic; a deadline or cancellation can cut parallel matching
+  /// at a thread-dependent point (the partial result is still sound).
+  /// Not owned.
+  ThreadPool* pool = nullptr;
+  /// Minimum candidate (delta) rows in a pass before the pool is used;
+  /// smaller passes run inline to avoid scheduling overhead. Tests set
+  /// this to 1 to force the parallel path on tiny programs.
+  uint64_t min_parallel_seeds = 64;
 };
 
 /// Why a chase run stopped before its fixpoint.

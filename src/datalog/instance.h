@@ -89,7 +89,12 @@ class Instance {
   /// Sum of the tables' MemoryEstimateBytes.
   uint64_t MemoryEstimateBytes() const;
 
-  /// All facts of `pred` as atoms (test/debug convenience).
+  /// All facts of `pred` as atoms, in row order — i.e. first-insertion
+  /// order, which EGD canonicalization rebuilds and level updates never
+  /// permute. This order is part of the contract (asserted by
+  /// instance_test): the differential parallel-vs-serial harness and the
+  /// first-derived ordering of CqEvaluator::Answers both key off row
+  /// order being a deterministic function of the insertion sequence.
   std::vector<Atom> Facts(uint32_t pred) const;
 
   /// Loads every row of `rel` as facts of predicate `rel.name()`.

@@ -132,6 +132,7 @@ Result<AnswerSet> Answer(Engine engine, const Program& program,
       datalog::ChaseOptions options;
       options.check_constraints = false;
       options.budget = aopts.budget;
+      options.pool = aopts.pool;
       MDQA_ASSIGN_OR_RETURN(ChaseQa qa, ChaseQa::Create(program, options));
       Status interruption;
       MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> tuples,
@@ -161,6 +162,7 @@ Result<AnswerSet> Answer(Engine engine, const Program& program,
       Instance edb = Instance::FromProgram(program);
       RewriteOptions options;
       options.budget = aopts.budget;
+      options.pool = aopts.pool;
       RewriteStats stats;
       MDQA_ASSIGN_OR_RETURN(
           std::vector<std::vector<Term>> tuples,

@@ -53,6 +53,12 @@ struct AnswerOptions {
   /// evaluation). A budget trip yields a *partial but sound* AnswerSet
   /// tagged `kTruncated` instead of an error. Not owned.
   ExecutionBudget* budget = nullptr;
+  /// When non-null, the chosen engine parallelizes its read-only phases
+  /// on this pool: chase trigger matching (`ChaseOptions::pool`) and UCQ
+  /// disjunct evaluation (`RewriteOptions::pool`). Answer sets are
+  /// canonical, so results are identical with or without a pool (see
+  /// docs/parallelism.md). Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// A set of certain-answer tuples in canonical (sorted, deduplicated)

@@ -272,23 +272,47 @@ Result<std::vector<std::vector<Term>>> UcqRewriter::Answers(
   *stats = RewriteStats{};
   MDQA_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> ucq,
                         Rewrite(program, query, options, stats));
-  CqEvaluator eval(edb, nullptr, options.budget);
+
+  // Evaluate each disjunct; with a pool, concurrently (the EDB is
+  // read-only and the budget's counters are atomic). Merging happens
+  // below in disjunct order either way, so serial and parallel runs
+  // produce the same tuple list; only the point at which a shared-budget
+  // trip lands can differ (the result stays a sound subset).
+  struct DisjunctResult {
+    std::vector<std::vector<Term>> tuples;
+    Status status = Status::Ok();        // hard evaluation error
+    Status interruption = Status::Ok();  // budget truncation
+  };
+  std::vector<DisjunctResult> parts(ucq.size());
+  auto eval_one = [&](size_t i) {
+    CqEvaluator eval(edb, nullptr, options.budget);
+    Result<std::vector<std::vector<Term>>> r =
+        eval.Answers(ucq[i], &parts[i].interruption);
+    if (r.ok()) {
+      parts[i].tuples = std::move(*r);
+    } else {
+      parts[i].status = r.status();
+    }
+  };
+  if (options.pool != nullptr && ucq.size() > 1) {
+    options.pool->ParallelFor(ucq.size(), eval_one);
+  }
+
   std::vector<std::vector<Term>> out;
-  for (const ConjunctiveQuery& cq : ucq) {
-    Status interruption;
-    MDQA_ASSIGN_OR_RETURN(std::vector<std::vector<Term>> part,
-                          eval.Answers(cq, &interruption));
-    for (std::vector<Term>& t : part) {
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    if (options.pool == nullptr || ucq.size() <= 1) eval_one(i);
+    MDQA_RETURN_IF_ERROR(parts[i].status);
+    for (std::vector<Term>& t : parts[i].tuples) {
       if (CqEvaluator::HasNull(t)) continue;
       if (std::find(out.begin(), out.end(), t) == out.end()) {
         out.push_back(std::move(t));
       }
     }
-    if (!interruption.ok()) {
-      // Answers found so far (across all disjuncts evaluated) stand.
+    if (!parts[i].interruption.ok()) {
+      // Answers found so far (across the disjuncts merged so far) stand.
       stats->completeness = Completeness::kTruncated;
       if (stats->interruption.ok()) {
-        stats->interruption = std::move(interruption);
+        stats->interruption = std::move(parts[i].interruption);
       }
       break;
     }

@@ -5,6 +5,7 @@
 
 #include "base/budget.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "datalog/cq_eval.h"
 #include "datalog/instance.h"
 
@@ -24,6 +25,12 @@ struct RewriteOptions {
   /// the certain answers. The legacy caps above remain hard errors. Not
   /// owned.
   ExecutionBudget* budget = nullptr;
+  /// When non-null, `Answers` evaluates the UCQ's disjuncts concurrently
+  /// on this pool (the EDB is read-only) and merges the per-disjunct
+  /// tuples in disjunct order, so the result is identical to the serial
+  /// evaluation. Rewriting itself stays single-threaded (it is a shared
+  /// worklist, and generation order fixes the disjunct order). Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 struct RewriteStats {

@@ -1,6 +1,7 @@
 #include "quality/assessor.h"
 
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "analysis/lint.h"
@@ -158,6 +159,7 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   // instance the per-relation read-offs below still work against.
   datalog::ChaseOptions chase_options;
   chase_options.budget = opts.budget;
+  chase_options.pool = opts.pool;
   Result<PreparedContext> prepared = context_->Prepare(chase_options);
   if (!prepared.ok() &&
       prepared.status().code() != StatusCode::kInconsistent) {
@@ -171,29 +173,40 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   }
 
   const bool use_prepared = prepared.ok() && engine == qa::Engine::kChase;
-  size_t total_original = 0;
-  size_t total_common = 0;
-  Status cancelled;  // non-OK once a kCancelled trip stops the run
-  for (const std::string& name : context_->AssessedRelations()) {
-    if (!cancelled.ok()) {
-      report.degraded.push_back(RelationFailure{name, cancelled, 0});
-      continue;
-    }
-    MDQA_ASSIGN_OR_RETURN(const Relation* original,
-                          context_->database().GetRelation(name));
+  const std::vector<std::string> names = context_->AssessedRelations();
 
-    // Fault isolation: each relation computes under its own derived
-    // budget, retrying with escalated counter caps on exhaustion, so a
-    // single runaway quality version degrades to a RelationFailure
-    // instead of sinking the whole report.
-    Relation quality(original->schema());
-    Status failure;
-    int attempts = 0;
-    double scale = 1.0;
+  // The outcome of one relation's assessment, produced by `assess_one`
+  // without touching any shared report state — so relations can run
+  // concurrently and merge deterministically in relation order below.
+  struct RelationOutcome {
+    Status hard_error;  // non-OK aborts the whole assessment at merge
     bool computed = false;
+    Status failure;  // degradation status when !computed
+    int attempts = 0;
+    std::optional<QualityMeasures> measures;
+    std::optional<Relation> quality;
+    std::optional<Relation> dirty;
+  };
+  std::vector<RelationOutcome> outcomes(names.size());
+
+  // Fault isolation: each relation computes under its own derived
+  // budget, retrying with escalated counter caps on exhaustion, so a
+  // single runaway quality version degrades to a RelationFailure
+  // instead of sinking the whole report. The derived budget's counters
+  // are private to the relation, which keeps counter-cap kTruncated
+  // outcomes deterministic even when relations run concurrently.
+  auto assess_one = [&](const std::string& name, RelationOutcome* out) {
+    Result<const Relation*> orig = context_->database().GetRelation(name);
+    if (!orig.ok()) {
+      out->hard_error = orig.status();
+      return;
+    }
+    const Relation* original = *orig;
+    Status failure;
+    double scale = 1.0;
     for (int attempt = 0; attempt <= opts.max_retries;
          ++attempt, scale *= opts.escalation_factor) {
-      ++attempts;
+      ++out->attempts;
       ExecutionBudget rb;
       if (opts.budget != nullptr) rb.InheritControlsFrom(*opts.budget);
       if (opts.fault_injector != nullptr) {
@@ -216,8 +229,8 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
                 : context_->ComputeQualityVersion(name, engine, &rb,
                                                   &interruption);
         if (r.ok() && interruption.ok()) {
-          quality = std::move(r).value();
-          computed = true;
+          out->quality = std::move(r).value();
+          out->computed = true;
           break;
         }
         // A truncated quality version is a budget trip for this
@@ -227,21 +240,69 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
       if (!ExecutionBudget::IsTruncation(failure)) break;  // hard fault
       if (failure.code() == StatusCode::kCancelled) break;
     }
-    if (!computed) {
-      note_truncated(failure);
-      if (failure.code() == StatusCode::kCancelled) cancelled = failure;
+    if (!out->computed) {
+      out->failure = std::move(failure);
+      return;
+    }
+    Result<QualityMeasures> m = Measure(*original, *out->quality);
+    if (!m.ok()) {
+      out->hard_error = m.status();
+      return;
+    }
+    Result<Relation> dirty = original->Minus(*out->quality);
+    if (!dirty.ok()) {
+      out->hard_error = dirty.status();
+      return;
+    }
+    out->measures = std::move(*m);
+    out->dirty = std::move(*dirty);
+  };
+
+  // Fan the relations out across the pool on the prepared path, where
+  // QualityVersion only reads the shared materialized instance. The
+  // other engines rebuild the contextual program per relation, which
+  // mutates the shared Vocabulary — those stay serial.
+  const bool parallel =
+      opts.pool != nullptr && use_prepared && names.size() > 1;
+  if (parallel) {
+    opts.pool->ParallelFor(
+        names.size(), [&](size_t i) { assess_one(names[i], &outcomes[i]); });
+  }
+
+  // Merge in relation order — the report is a pure function of the
+  // per-relation outcomes, so serial and parallel runs render
+  // identically (absent cancellation, see below).
+  size_t total_original = 0;
+  size_t total_common = 0;
+  Status cancelled;  // non-OK once a kCancelled trip stops the run
+  for (size_t i = 0; i < names.size(); ++i) {
+    RelationOutcome& out = outcomes[i];
+    if (!cancelled.ok()) {
+      // Serial contract: relations after a cancellation are not
+      // attempted. A parallel run may have finished some of them
+      // already — completed work is kept, the rest report cancelled.
+      if (!parallel || !out.computed) {
+        report.degraded.push_back(RelationFailure{names[i], cancelled, 0});
+        continue;
+      }
+    } else if (!parallel) {
+      assess_one(names[i], &out);
+    }
+    MDQA_RETURN_IF_ERROR(out.hard_error);
+    if (!out.computed) {
+      note_truncated(out.failure);
+      if (out.failure.code() == StatusCode::kCancelled) {
+        cancelled = out.failure;
+      }
       report.degraded.push_back(
-          RelationFailure{name, std::move(failure), attempts});
+          RelationFailure{names[i], std::move(out.failure), out.attempts});
       continue;
     }
-
-    MDQA_ASSIGN_OR_RETURN(QualityMeasures m, Measure(*original, quality));
-    MDQA_ASSIGN_OR_RETURN(Relation dirty, original->Minus(quality));
-    total_original += m.original_size;
-    total_common += m.common;
-    report.per_relation.push_back(std::move(m));
-    report.quality_versions.push_back(std::move(quality));
-    report.dirty_tuples.push_back(std::move(dirty));
+    total_original += out.measures->original_size;
+    total_common += out.measures->common;
+    report.per_relation.push_back(std::move(*out.measures));
+    report.quality_versions.push_back(std::move(*out.quality));
+    report.dirty_tuples.push_back(std::move(*out.dirty));
   }
   report.overall_precision =
       total_original == 0 ? 1.0

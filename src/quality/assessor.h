@@ -6,6 +6,7 @@
 
 #include "base/budget.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "quality/context.h"
 #include "quality/measures.h"
 
@@ -108,6 +109,17 @@ struct AssessOptions {
   /// `engine`. The recommendation is recorded in the report even when
   /// this is off.
   bool auto_engine = false;
+  /// When non-null: the materialization chase parallelizes its trigger
+  /// matching on this pool, and — on the prepared kChase path — the
+  /// per-relation quality versions are computed concurrently, each under
+  /// its own derived budget, and merged into the report in relation
+  /// order. Reports are byte-identical to a serial run as long as no
+  /// deadline, cancellation, or fault probe trips (per-relation *counter*
+  /// caps are private to each relation, so their kTruncated outcomes are
+  /// deterministic at any thread count). After a cancellation a parallel
+  /// run may still report relations a serial run would have skipped —
+  /// work already finished is kept. Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Drives the Fig. 2 pipeline end to end: validates the ontology, runs

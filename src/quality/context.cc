@@ -269,10 +269,31 @@ Result<PreparedContext> QualityContext::Prepare() const {
 Result<PreparedContext> QualityContext::Prepare(
     const datalog::ChaseOptions& options) const {
   MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  // Pre-bind the per-relation S^q read-off queries while we are still
+  // single-threaded: interning predicates and variables mutates the
+  // shared Vocabulary, which concurrent QualityVersion calls must never
+  // do (the parallel assessor fans out over relations).
+  std::map<std::string, ConjunctiveQuery> queries;
+  Vocabulary* vocab = program.mutable_vocab();
+  for (const auto& [original, quality_pred] : quality_of_) {
+    MDQA_ASSIGN_OR_RETURN(const Relation* rel,
+                          database_.GetRelation(original));
+    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                          vocab->InternPredicate(quality_pred, rel->arity()));
+    ConjunctiveQuery query;
+    query.name = quality_pred;
+    std::vector<Term> vars;
+    for (size_t i = 0; i < rel->arity(); ++i) {
+      vars.push_back(vocab->Var("$q" + std::to_string(i)));
+    }
+    query.answer = vars;
+    query.body.push_back(Atom(pred, vars));
+    queries.emplace(original, std::move(query));
+  }
   MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased,
                         qa::ChaseQa::Create(program, options));
-  return PreparedContext(quality_of_, database_, std::move(program),
-                         std::move(chased));
+  return PreparedContext(quality_of_, std::move(queries), database_,
+                         std::move(program), std::move(chased));
 }
 
 Result<qa::AnswerSet> PreparedContext::Evaluate(datalog::ConjunctiveQuery query,
@@ -322,19 +343,15 @@ Result<Relation> PreparedContext::QualityVersion(const std::string& original,
                             "'");
   }
   MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
-  Vocabulary* vocab = program_.vocab().get();
-  MDQA_ASSIGN_OR_RETURN(uint32_t pred,
-                        vocab->InternPredicate(it->second, rel->arity()));
-  ConjunctiveQuery query;
-  query.name = it->second;
-  std::vector<Term> vars;
-  for (size_t i = 0; i < rel->arity(); ++i) {
-    vars.push_back(vocab->Var("$q" + std::to_string(i)));
+  const Vocabulary* vocab = program_.vocab().get();
+  // Pre-bound in Prepare: from here on this method only *reads* shared
+  // state, which is what makes concurrent per-relation calls safe.
+  auto qit = quality_queries_.find(original);
+  if (qit == quality_queries_.end()) {
+    return Status::Internal("quality query for '" + original +
+                            "' was not prepared");
   }
-  query.answer = vars;
-  query.body.push_back(Atom(pred, vars));
-  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers,
-                        Evaluate(std::move(query), budget));
+  MDQA_ASSIGN_OR_RETURN(qa::AnswerSet answers, Evaluate(qit->second, budget));
   if (answers.completeness == Completeness::kTruncated &&
       interruption != nullptr) {
     *interruption = answers.interruption;

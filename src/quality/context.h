@@ -155,6 +155,11 @@ class PreparedContext {
   /// instance. A non-null `budget` bounds the read-off evaluation; on a
   /// budget trip the rows found so far are returned with the truncation
   /// status in `*interruption` (must be non-null when `budget` is).
+  ///
+  /// Thread-safe: the query was pre-bound by `Prepare` and evaluation
+  /// only reads the materialized instance, so the assessor may call this
+  /// concurrently for different relations (each call with its own
+  /// budget/interruption).
   Result<Relation> QualityVersion(const std::string& original,
                                   ExecutionBudget* budget = nullptr,
                                   Status* interruption = nullptr) const;
@@ -165,9 +170,11 @@ class PreparedContext {
  private:
   friend class QualityContext;
   PreparedContext(std::map<std::string, std::string> quality_of,
+                  std::map<std::string, datalog::ConjunctiveQuery> queries,
                   Database database, datalog::Program program,
                   qa::ChaseQa chased)
       : quality_of_(std::move(quality_of)),
+        quality_queries_(std::move(queries)),
         database_(std::move(database)),
         program_(std::move(program)),
         chased_(std::move(chased)) {}
@@ -176,6 +183,10 @@ class PreparedContext {
                                  ExecutionBudget* budget = nullptr) const;
 
   std::map<std::string, std::string> quality_of_;
+  /// Per-relation S^q read-off queries, pre-bound in Prepare so that
+  /// QualityVersion never touches the shared (not thread-safe)
+  /// Vocabulary — the parallel assessor relies on this.
+  std::map<std::string, datalog::ConjunctiveQuery> quality_queries_;
   Database database_;  // original relations (schemas for QualityVersion)
   datalog::Program program_;
   qa::ChaseQa chased_;

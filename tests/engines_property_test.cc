@@ -1,15 +1,15 @@
 // Property-style tests: the three QA engines must agree wherever each is
 // applicable. Random weakly-acyclic hierarchy programs and random CQs are
 // generated deterministically from the test parameter (no wall-clock
-// randomness, so failures reproduce).
+// randomness, so failures reproduce). The generators live in
+// tests/generators.h, shared with the parallel-vs-serial differential
+// harness (parallel_diff_test).
 
 #include <gtest/gtest.h>
 
-#include <random>
-#include <sstream>
-
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
+#include "generators.h"
 #include "qa/engines.h"
 
 namespace mdqa::qa {
@@ -17,55 +17,11 @@ namespace {
 
 using datalog::Parser;
 using datalog::Program;
+using testgen::GeneratedCase;
+using testgen::GenerateClosure;
+using testgen::GenerateHierarchy;
 
-// Generates a random two-level hierarchy program in the MD ontology's
-// shape: base facts PW(ward, patient), UW(unit, ward), an upward rule,
-// and optionally a downward rule with an existential.
-struct GeneratedCase {
-  std::string program_text;
-  std::vector<std::string> queries;
-};
-
-GeneratedCase Generate(uint32_t seed) {
-  std::mt19937 rng(seed);
-  auto pick = [&rng](int n) {
-    return static_cast<int>(rng() % static_cast<uint32_t>(n));
-  };
-  const int wards = 2 + pick(4);
-  const int units = 1 + pick(3);
-  const int patients = 2 + pick(5);
-
-  std::ostringstream program;
-  for (int w = 0; w < wards; ++w) {
-    program << "UW(\"u" << pick(units) << "\", \"w" << w << "\").\n";
-  }
-  for (int p = 0; p < patients; ++p) {
-    program << "PW(\"w" << pick(wards) << "\", \"p" << p << "\").\n";
-  }
-  for (int u = 0; u < units; ++u) {
-    program << "WS(\"u" << u << "\", \"n" << u << "\").\n";
-  }
-  program << "PU(U, P) :- PW(W, P), UW(U, W).\n";
-  const bool downward = (seed % 2) == 0;
-  if (downward) {
-    program << "SH(W, N, Z) :- WS(U, N), UW(U, W).\n";
-  }
-
-  GeneratedCase out;
-  out.program_text = program.str();
-  out.queries = {
-      "Q(U, P) :- PU(U, P).",
-      "Q(P) :- PU(\"u0\", P).",
-      "Q(U) :- PU(U, \"p0\").",
-      "Q(U, P) :- PU(U, P), UW(U, W), PW(W, P).",
-      "Q(P, P2) :- PU(U, P), PU(U, P2), P != P2.",
-  };
-  if (downward) {
-    out.queries.push_back("Q(W, N) :- SH(W, N, Z).");
-    out.queries.push_back("Q(N) :- SH(\"w0\", N, Z).");
-  }
-  return out;
-}
+GeneratedCase Generate(uint32_t seed) { return GenerateHierarchy(seed); }
 
 class EngineAgreement : public ::testing::TestWithParam<uint32_t> {};
 
@@ -105,24 +61,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
 class ClosureAgreement : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(ClosureAgreement, TransitiveClosure) {
-  std::mt19937 rng(GetParam() * 7919 + 3);
-  const int nodes = 4 + static_cast<int>(rng() % 4);
-  std::ostringstream program;
-  for (int i = 0; i < nodes + 2; ++i) {
-    program << "E(" << rng() % static_cast<uint32_t>(nodes) << ", "
-            << rng() % static_cast<uint32_t>(nodes) << ").\n";
-  }
-  program << "T(X, Y) :- E(X, Y).\n";
-  program << "T(X, Z) :- T(X, Y), E(Y, Z).\n";
-  auto p = Parser::ParseProgram(program.str());
+  GeneratedCase c = GenerateClosure(GetParam());
+  auto p = Parser::ParseProgram(c.program_text);
   ASSERT_TRUE(p.ok()) << p.status();
-  for (const char* text :
-       {"Q(X, Y) :- T(X, Y).", "Q(Y) :- T(0, Y).", "Q(X) :- T(X, X)."}) {
+  for (const std::string& text : c.queries) {
     auto q = Parser::ParseQuery(text, p->mutable_vocab());
     ASSERT_TRUE(q.ok());
     auto agreed =
         CrossCheck(*p, *q, {Engine::kChase, Engine::kDeterministicWs});
-    EXPECT_TRUE(agreed.ok()) << agreed.status() << "\n" << program.str();
+    EXPECT_TRUE(agreed.ok()) << agreed.status() << "\n" << c.program_text;
   }
 }
 

@@ -1,0 +1,98 @@
+// Seeded random program/query generators shared by the property-test
+// harnesses (engines_property_test, parallel_diff_test). Everything here
+// is a pure function of its seed — no wall-clock randomness — so any
+// failing case reproduces from its test parameter alone.
+#ifndef MDQA_TESTS_GENERATORS_H_
+#define MDQA_TESTS_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mdqa::testgen {
+
+/// A generated Datalog± program plus a batch of queries over it.
+struct GeneratedCase {
+  std::string program_text;
+  std::vector<std::string> queries;
+  /// True when the program includes the existential (downward) rule —
+  /// such programs are outside the rewriter's upward-only guarantee.
+  bool downward = false;
+};
+
+/// Random two-level hierarchy program in the MD ontology's shape: base
+/// facts PW(ward, patient), UW(unit, ward), WS(unit, nurse), an upward
+/// rule PU, and (on even seeds) a downward rule SH with an existential.
+/// Weakly acyclic, so every engine terminates on it.
+inline GeneratedCase GenerateHierarchy(uint32_t seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&rng](int n) {
+    return static_cast<int>(rng() % static_cast<uint32_t>(n));
+  };
+  const int wards = 2 + pick(4);
+  const int units = 1 + pick(3);
+  const int patients = 2 + pick(5);
+
+  std::ostringstream program;
+  for (int w = 0; w < wards; ++w) {
+    program << "UW(\"u" << pick(units) << "\", \"w" << w << "\").\n";
+  }
+  for (int p = 0; p < patients; ++p) {
+    program << "PW(\"w" << pick(wards) << "\", \"p" << p << "\").\n";
+  }
+  for (int u = 0; u < units; ++u) {
+    program << "WS(\"u" << u << "\", \"n" << u << "\").\n";
+  }
+  program << "PU(U, P) :- PW(W, P), UW(U, W).\n";
+  const bool downward = (seed % 2) == 0;
+  if (downward) {
+    program << "SH(W, N, Z) :- WS(U, N), UW(U, W).\n";
+  }
+
+  GeneratedCase out;
+  out.program_text = program.str();
+  out.downward = downward;
+  out.queries = {
+      "Q(U, P) :- PU(U, P).",
+      "Q(P) :- PU(\"u0\", P).",
+      "Q(U) :- PU(U, \"p0\").",
+      "Q(U, P) :- PU(U, P), UW(U, W), PW(W, P).",
+      "Q(P, P2) :- PU(U, P), PU(U, P2), P != P2.",
+  };
+  if (downward) {
+    out.queries.push_back("Q(W, N) :- SH(W, N, Z).");
+    out.queries.push_back("Q(N) :- SH(\"w0\", N, Z).");
+  }
+  return out;
+}
+
+/// Random directed graph with transitive-closure rules — plain recursive
+/// Datalog, the multi-round semi-naive stress case. Seed scrambling
+/// (`seed * 7919 + 3`) keeps the graph family decorrelated from the
+/// hierarchy family at equal seeds.
+inline GeneratedCase GenerateClosure(uint32_t seed) {
+  std::mt19937 rng(seed * 7919 + 3);
+  const int nodes = 4 + static_cast<int>(rng() % 4);
+  std::ostringstream program;
+  for (int i = 0; i < nodes + 2; ++i) {
+    program << "E(" << rng() % static_cast<uint32_t>(nodes) << ", "
+            << rng() % static_cast<uint32_t>(nodes) << ").\n";
+  }
+  program << "T(X, Y) :- E(X, Y).\n";
+  program << "T(X, Z) :- T(X, Y), E(Y, Z).\n";
+
+  GeneratedCase out;
+  out.program_text = program.str();
+  out.queries = {
+      "Q(X, Y) :- T(X, Y).",
+      "Q(Y) :- T(0, Y).",
+      "Q(X) :- T(X, X).",
+  };
+  return out;
+}
+
+}  // namespace mdqa::testgen
+
+#endif  // MDQA_TESTS_GENERATORS_H_

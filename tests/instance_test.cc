@@ -82,6 +82,39 @@ TEST(Instance, FactsRoundTrip) {
   for (const Atom& f : facts) EXPECT_TRUE(inst.Contains(f));
 }
 
+TEST(Instance, FactsIterateInInsertionOrder) {
+  // The contract pinned in instance.h: Facts(pred) — and Row(i) under it
+  // — list rows in first-insertion order. Duplicate inserts and level
+  // updates must not reorder; the parallel-vs-serial differential
+  // harness depends on this determinism.
+  auto vocab = std::make_shared<Vocabulary>();
+  Instance inst(vocab);
+  auto pred = vocab->InternPredicate("P", 1);
+  ASSERT_TRUE(pred.ok());
+  const int kRows = 32;
+  for (int i = 0; i < kRows; ++i) {
+    // Insert out of value order so insertion order != term order.
+    Term t = vocab->Str("v" + std::to_string((i * 13) % kRows));
+    EXPECT_TRUE(inst.AddFact(Atom(*pred, {t}), 0));
+  }
+  // Duplicate re-inserts at other levels: novelty is false, order keeps.
+  for (int i = 0; i < kRows; ++i) {
+    Term t = vocab->Str("v" + std::to_string((i * 13) % kRows));
+    EXPECT_FALSE(inst.AddFact(Atom(*pred, {t}), 5));
+  }
+  std::vector<Atom> facts = inst.Facts(*pred);
+  ASSERT_EQ(facts.size(), static_cast<size_t>(kRows));
+  const FactTable* table = inst.Table(*pred);
+  ASSERT_NE(table, nullptr);
+  for (int i = 0; i < kRows; ++i) {
+    Term expected = vocab->Str("v" + std::to_string((i * 13) % kRows));
+    EXPECT_EQ(facts[static_cast<size_t>(i)].terms[0], expected)
+        << "Facts() out of insertion order at row " << i;
+    EXPECT_EQ(table->Row(static_cast<uint32_t>(i))[0], expected)
+        << "Row() out of insertion order at row " << i;
+  }
+}
+
 TEST(Instance, LoadRelationAndDatabase) {
   Database db;
   ASSERT_TRUE(db.InsertText("R", {"a", "1"}).ok());
