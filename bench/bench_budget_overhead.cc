@@ -89,6 +89,7 @@ void Reproduce() {
   JsonWriter w;
   w.BeginObject();
   w.Key("experiment").String("budget_overhead");
+  bench::StampProvenance(&w);
   w.Key("chain_n").Number(static_cast<int64_t>(n));
   w.Key("unbudgeted_ms").Number(plain_ms);
   w.Key("budgeted_ms").Number(budgeted_ms);

@@ -7,12 +7,46 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <thread>
 
+#include "base/json.h"
 #include "base/result.h"
 
 namespace mdqa::bench {
+
+/// The current git commit (short SHA, "-dirty" suffixed when the tree
+/// has local modifications), or "unknown" outside a git checkout.
+inline std::string GitSha() {
+  auto run = [](const char* cmd) -> std::string {
+    std::string out;
+    FILE* pipe = popen(cmd, "r");
+    if (pipe == nullptr) return out;
+    char buf[128];
+    while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+    if (pclose(pipe) != 0) return std::string();
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    return out;
+  };
+  std::string sha = run("git rev-parse --short HEAD 2>/dev/null");
+  if (sha.empty()) return "unknown";
+  if (!run("git status --porcelain 2>/dev/null").empty()) sha += "-dirty";
+  return sha;
+}
+
+/// Stamps machine/provenance keys into an open JSON object. Every
+/// BENCH_*.json artifact carries these, so a number can always be traced
+/// back to the commit and the hardware that produced it.
+inline void StampProvenance(JsonWriter* w) {
+  w->Key("git_sha").String(GitSha());
+  w->Key("hardware_threads")
+      .Number(static_cast<int64_t>(std::thread::hardware_concurrency()));
+}
 
 template <typename T>
 T Check(Result<T> result, const char* what) {

@@ -117,11 +117,11 @@ void ReproduceParallel(int max_threads) {
   JsonWriter w;
   w.BeginObject();
   w.Key("experiment").String("parallel");
+  bench::StampProvenance(&w);
   w.Key("scenario").BeginObject();
   w.Key("patients").Number(static_cast<int64_t>(spec.patients));
   w.Key("days").Number(static_cast<int64_t>(spec.days));
   w.EndObject();
-  w.Key("hardware_threads").Number(static_cast<int64_t>(hw));
   w.Key("serial_ms").Number(serial_ms);
   w.Key("runs").BeginArray();
 

@@ -24,6 +24,10 @@
 //   analyze                Datalog± classification + stratification
 //   chase                  (re)materialize the chase, with provenance
 //   ask <query>            e.g. ask Q(X) :- P(X, Y), Y > 3.
+//   insert <ground atom>   stage a new fact, e.g. insert P(1, 2)
+//   refresh                fold staged facts into the chased instance
+//                          incrementally (Chase::Extend; falls back to a
+//                          full re-chase when that would be unsound)
 //   engine chase|ws|rewrite
 //   explain <ground atom>  derivation tree, e.g. explain T(1, 3)
 //   whynot <ground atom>   why a fact is NOT derivable
@@ -114,6 +118,10 @@ class Shell {
       RunChase();
     } else if (cmd == "ask") {
       Ask(rest);
+    } else if (cmd == "insert") {
+      Insert(rest);
+    } else if (cmd == "refresh") {
+      Refresh();
     } else if (cmd == "engine") {
       SetEngine(rest);
     } else if (cmd == "explain") {
@@ -137,6 +145,8 @@ class Shell {
         std::make_unique<datalog::Instance>(program_.vocab());
     provenance_ = datalog::ProvenanceStore();
     chased_ = false;
+    frontier_ = datalog::ChaseFrontier{};
+    pending_.clear();
   }
 
   void Help() {
@@ -144,6 +154,9 @@ class Shell {
         "  load <file> | parse <stmts.> | csv <file> [name]\n"
         "  rules | facts [pred] | analyze | check | chase\n"
         "  ask <query>   e.g. ask Q(X) :- P(X, Y), Y > 3.\n"
+        "  insert <ground atom>   stage a fact, e.g. insert P(1, 2)\n"
+        "  refresh       fold staged facts into the chased instance\n"
+        "                incrementally (full re-chase when unsound)\n"
         "  engine chase|ws|rewrite   (current: "
               << qa::EngineToString(engine_) << ")\n"
         "  explain <ground atom>   derivation tree (after chase)\n"
@@ -251,6 +264,7 @@ class Shell {
         std::make_unique<datalog::Instance>(
             datalog::Instance::FromProgram(program_));
     provenance_ = datalog::ProvenanceStore();
+    frontier_ = datalog::ChaseFrontier{};  // old resume point is void
     datalog::ChaseOptions options;
     options.provenance = &provenance_;
     options.budget = &budget_;
@@ -267,10 +281,67 @@ class Shell {
     // A truncated chase still leaves a sound partial instance behind —
     // facts/explain work against it; re-run `chase` for the full one.
     chased_ = true;
+    // A full chase subsumes anything staged (the facts already joined
+    // the program at insert time) and renews the resume point.
+    frontier_ = stats.frontier;
+    pending_.clear();
   }
 
   void EnsureChased() {
     if (!chased_) RunChase();
+  }
+
+  // `insert`: stage a ground fact for an incremental refresh. The fact
+  // joins the program immediately (so a later full `chase` also sees
+  // it); `refresh` folds all staged facts into the already-chased
+  // instance via Chase::Extend instead of re-chasing from scratch.
+  void Insert(std::string text) {
+    while (!text.empty() && (text.back() == '.' || text.back() == ' ')) {
+      text.pop_back();
+    }
+    auto atom =
+        datalog::Parser::ParseGroundAtom(text, program_.mutable_vocab());
+    if (!atom.ok()) {
+      std::cout << atom.status() << "\n";
+      return;
+    }
+    Status s = program_.AddFact(*atom);
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      return;
+    }
+    pending_.push_back(*atom);
+    std::cout << "staged " << program_.vocab()->AtomToString(*atom) << " ("
+              << pending_.size() << " pending; apply with: refresh)\n";
+  }
+
+  void Refresh() {
+    if (!chased_ || !frontier_.valid) {
+      // Nothing materialized to extend (or the last chase was truncated
+      // and left no resume point) — a full chase covers the staged facts.
+      RunChase();
+      return;
+    }
+    if (pending_.empty()) {
+      std::cout << "nothing staged (use: insert <ground atom>)\n";
+      return;
+    }
+    datalog::ChaseOptions options;
+    options.provenance = &provenance_;
+    options.budget = &budget_;
+    options.pool = pool_.get();
+    datalog::ChaseStats stats;
+    Status s = datalog::Chase::Extend(program_, instance_.get(), frontier_,
+                                      pending_, options, &stats);
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      chased_ = s.code() == StatusCode::kInconsistent;
+      return;
+    }
+    std::cout << stats.ToString() << "; instance now holds "
+              << instance_->TotalFacts() << " facts\n";
+    frontier_ = stats.frontier;
+    pending_.clear();
   }
 
   void SetEngine(const std::string& name) {
@@ -396,6 +467,8 @@ class Shell {
   datalog::ProvenanceStore provenance_;
   qa::Engine engine_ = qa::Engine::kChase;
   bool chased_ = false;
+  datalog::ChaseFrontier frontier_;       // resume point for `refresh`
+  std::vector<datalog::Atom> pending_;    // facts staged by `insert`
   ExecutionBudget budget_;
   int deadline_ms_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // null = serial execution

@@ -15,6 +15,11 @@
 #   scripts/check.sh --lint     # add the lint pass: clang-tidy over src/
 #                               # (skipped when not installed) and
 #                               # mdqa_lint --werror over examples/scripts/
+#   scripts/check.sh --incremental
+#                               # focused pass for the incremental-chase
+#                               # paths: runs the incremental differential
+#                               # suite (Extend vs from-scratch, 1 and 4
+#                               # threads) under both ASan/UBSan and TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,12 +28,14 @@ run_plain=1
 run_san=1
 run_tsan=0
 run_lint=0
+run_incremental=0
 for arg in "$@"; do
   case "$arg" in
     --plain) run_san=0 ;;
     --san) run_plain=0 ;;
     --tsan) run_tsan=1 ;;
     --lint) run_lint=1 ;;
+    --incremental) run_incremental=1; run_plain=0; run_san=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +63,20 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j "$jobs"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_incremental -eq 1 ]]; then
+  echo "== incremental differential suite under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" --target incremental_diff_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/incremental_diff_test
+
+  echo "== incremental differential suite under TSan =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" --target incremental_diff_test
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/incremental_diff_test
 fi
 
 if [[ $run_lint -eq 1 ]]; then

@@ -356,6 +356,58 @@ void LintSeparability(const core::MdOntology& ontology,
   }
 }
 
+// MDQA-N040: ontology features that force the incremental chase
+// (Chase::Extend / PreparedContext::ApplyUpdate) to fall back to a full
+// re-chase on every update — surfaced here so users learn *why* their
+// increments degrade before hitting the recorded fallback at runtime.
+// See the fallback matrix in docs/incremental.md.
+void LintIncrementality(const core::MdOntology& ontology,
+                        const LintOptions& options, DiagnosticBag* bag) {
+  if (!options.form_notes) return;
+  Result<core::OntologyProperties> props = ontology.Analyze();
+  if (!props.ok()) return;
+
+  bool has_egds = false;
+  bool egd_non_categorical = false;
+  for (const Rule& c : ontology.constraints()) {
+    if (!c.IsEgd()) continue;
+    has_egds = true;
+    for (datalog::Term side : {c.egd_lhs, c.egd_rhs}) {
+      if (!side.IsVariable()) continue;
+      for (const Atom& a : c.body) {
+        for (size_t i = 0; i < a.terms.size(); ++i) {
+          if (a.terms[i].IsVariable() && a.terms[i].id() == side.id() &&
+              !ontology.IsCategoricalPosition(a.predicate, i)) {
+            egd_non_categorical = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> reasons;
+  if (props->has_form10) {
+    reasons.push_back("form-(10) rules");
+  }
+  if (egd_non_categorical) {
+    reasons.push_back("EGDs equating non-categorical attributes");
+  } else if (has_egds && props->has_form10) {
+    reasons.push_back("EGDs made non-separable by the form-(10) rules");
+  }
+  if (reasons.empty()) return;
+  std::string joined = reasons[0];
+  for (size_t i = 1; i < reasons.size(); ++i) joined += " and " + reasons[i];
+  Diagnostic d = Make(
+      "MDQA-N040", Severity::kNote,
+      "ontology has " + joined +
+          ": incremental re-assessment of updates falls back to a full "
+          "re-chase (exact but not faster; see docs/incremental.md)");
+  d.fix_it =
+      "expect full-re-chase latency on updates, or restructure the "
+      "ontology to avoid the listed features";
+  Emit(options, bag, std::move(d));
+}
+
 // MDQA-I021 (form-10 presence voids separability), MDQA-N023 (per-rule
 // classification), MDQA-W022 (raw rule over dimensional predicates that
 // matches no paper form).
@@ -436,6 +488,7 @@ const std::vector<CodeInfo>& AllCodes() {
       {"MDQA-W032", Severity::kWarning, "partial roll-up (non-homogeneous)"},
       {"MDQA-W033", Severity::kWarning, "orphan member"},
       {"MDQA-I034", Severity::kInfo, "empty category"},
+      {"MDQA-N040", Severity::kNote, "updates force a full re-chase"},
   };
   return kCodes;
 }
@@ -478,6 +531,7 @@ void LintProgram(const datalog::Program& program, const LintOptions& options,
 void LintOntology(const core::MdOntology& ontology, const LintOptions& options,
                   DiagnosticBag* bag) {
   LintSeparability(ontology, options, bag);
+  LintIncrementality(ontology, options, bag);
   LintDimensionalRules(ontology, options, bag);
   for (const md::Dimension& d : ontology.dimensions()) {
     LintDimension(d, options, bag);

@@ -78,6 +78,38 @@ Result<std::unordered_map<uint32_t, int>> StratifyProgram(
       "program is not stratified: negation occurs through recursion");
 }
 
+std::unordered_set<uint32_t> DependentPredicates(
+    const Program& program, const std::unordered_set<uint32_t>& seeds) {
+  std::unordered_set<uint32_t> reach = seeds;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (!r.IsTgd()) continue;  // EGDs/constraints derive nothing
+      bool touches = false;
+      for (const Atom& a : r.body) {
+        if (reach.count(a.predicate) > 0) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) {
+        for (const Atom& a : r.negated) {
+          if (reach.count(a.predicate) > 0) {
+            touches = true;
+            break;
+          }
+        }
+      }
+      if (!touches) continue;
+      for (const Atom& h : r.head) {
+        if (reach.insert(h.predicate).second) changed = true;
+      }
+    }
+  }
+  return reach;
+}
+
 ProgramAnalysis::ProgramAnalysis(const Program& program)
     : tgds_(program.Tgds()) {
   BuildGraph();

@@ -21,6 +21,17 @@ namespace mdqa::datalog {
 Result<std::unordered_map<uint32_t, int>> StratifyProgram(
     const Program& program);
 
+/// Forward closure of the predicate-dependency graph: every predicate
+/// whose derivable facts can change when facts of a `seeds` predicate
+/// change — i.e. the seeds plus every head predicate reachable from them
+/// through rule bodies (positive *and* negated occurrences). Drives the
+/// assessor's selective re-assessment: a quality query whose predicate is
+/// outside this set is untouched by the update. EGDs do not participate
+/// (their null merges can ripple anywhere; callers handle EGD programs
+/// conservatively).
+std::unordered_set<uint32_t> DependentPredicates(
+    const Program& program, const std::unordered_set<uint32_t>& seeds);
+
 /// A predicate position (predicate id, argument index) — the node type of
 /// the TGD dependency graph used by the acyclicity/stickiness analyses.
 struct Position {

@@ -168,6 +168,10 @@ Instance Canonicalize(const Instance& in, TermUnionFind* uf) {
       out.MutableTable(pred, arity)->Insert(row.data(), table->Level(i));
     }
   }
+  // The rebuilt instance replaces `in` at the call sites; keep the
+  // generation monotone so a frontier captured against `in` can never
+  // collide with a later capture against the rebuilt object.
+  out.EnsureGenerationAbove(in.generation());
   return out;
 }
 
@@ -201,6 +205,15 @@ const char* ChaseStopToString(ChaseStop stop) {
   return "unknown";
 }
 
+std::string ChaseFrontier::ToString() const {
+  if (!valid) return "frontier: invalid";
+  return "frontier: round=" + std::to_string(round) +
+         " nulls=" + std::to_string(null_watermark) +
+         " egd_merges=" + std::to_string(egd_merges) +
+         " generation=" + std::to_string(generation) +
+         " predicates=" + std::to_string(watermarks.size());
+}
+
 std::string ChaseStats::ToString() const {
   std::string out = "rounds=" + std::to_string(rounds) +
                     " firings=" + std::to_string(tgd_firings) +
@@ -214,8 +227,34 @@ std::string ChaseStats::ToString() const {
     out += ChaseStopToString(stop);
     out += ")";
   }
+  if (incremental) {
+    out += extend_fallback
+               ? " [incremental: full re-chase fallback — " + fallback_reason +
+                     "]"
+               : " [incremental]";
+  }
   return out;
 }
+
+namespace {
+
+// Records the resume state of a completed run into `stats->frontier` and
+// freezes the instance's segments — the capture point for Chase::Extend.
+void CaptureFrontier(Instance* instance, ChaseStats* stats) {
+  ChaseFrontier& f = stats->frontier;
+  f.valid = true;
+  f.round = stats->rounds;
+  f.null_watermark = instance->vocab()->NumNulls();
+  f.egd_merges = stats->egd_merges;
+  f.generation = instance->generation();
+  f.watermarks.clear();
+  for (uint32_t pred : instance->Predicates()) {
+    f.watermarks[pred] = static_cast<uint32_t>(instance->CountFacts(pred));
+  }
+  instance->Freeze();
+}
+
+}  // namespace
 
 Result<ChaseStats> Chase::Run(const Program& program, Instance* instance,
                               const ChaseOptions& options) {
@@ -559,16 +598,425 @@ Status Chase::Run(const Program& program, Instance* instance,
     stats->stop = ChaseStop::kRoundLimit;
     stats->interruption = Status::ResourceExhausted(
         "chase stopped at max_rounds=" + std::to_string(options.max_rounds));
+    return Status::Ok();
   }
+  // Fixpoint reached and nothing cut the run short: the instance is the
+  // full chase result, so record the resume state Extend needs.
+  CaptureFrontier(instance, stats);
+  return Status::Ok();
+}
+
+Status Chase::Extend(const Program& program, Instance* instance,
+                     const ChaseFrontier& frontier,
+                     const std::vector<Atom>& delta_facts,
+                     const ChaseOptions& options, ChaseStats* stats) {
+  *stats = ChaseStats{};
+  stats->incremental = true;
+  if (!frontier.valid) {
+    return Status::FailedPrecondition(
+        "chase frontier is invalid (was the previous run truncated?)");
+  }
+  if (frontier.generation != instance->generation()) {
+    return Status::FailedPrecondition(
+        "stale chase frontier: instance generation is " +
+        std::to_string(instance->generation()) + " but the frontier was "
+        "captured at " + std::to_string(frontier.generation));
+  }
+  for (const Atom& f : delta_facts) {
+    if (!f.IsGround()) {
+      return Status::InvalidArgument("delta facts must be ground");
+    }
+  }
+
+  const std::vector<Rule> egds = program.Egds();
+  const bool has_egds = options.egd_mode != EgdMode::kOff && !egds.empty();
+  // Conservative fallback matrix (docs/incremental.md): program features
+  // that break the soundness of a delta-seeded restart force an exact
+  // full re-chase of program+delta instead — recorded, never silent.
+  std::string fallback;
+  for (const Rule& r : program.rules()) {
+    if (!r.IsTgd()) continue;
+    if (!r.negated.empty()) {
+      fallback = "stratified negation (insertion is non-monotone)";
+      break;
+    }
+    if (r.head.size() > 1 && !r.ExistentialVariables().empty()) {
+      fallback = "form-(10)-shaped rule (multi-atom head with existentials)";
+      break;
+    }
+  }
+  if (fallback.empty() && has_egds && !options.egds_separable) {
+    fallback = "EGDs not declared separable";
+  }
+  if (fallback.empty() && !options.restricted) {
+    // The semi-oblivious fired-trigger set is not part of the frontier,
+    // so an extension cannot tell which frontier bindings already fired.
+    fallback = "semi-oblivious chase (fired-trigger state not resumable)";
+  }
+  if (!fallback.empty()) {
+    ChaseStats inner;
+    Instance rebuilt = Instance::FromProgram(program);
+    for (const Atom& f : delta_facts) rebuilt.AddFact(f, /*level=*/0);
+    MDQA_RETURN_IF_ERROR(Run(program, &rebuilt, options, &inner));
+    inner.incremental = true;
+    inner.extend_fallback = true;
+    inner.fallback_reason = std::move(fallback);
+    *stats = std::move(inner);
+    *instance = std::move(rebuilt);
+    return Status::Ok();
+  }
+
+  ExecutionBudget* budget = options.budget;
+  Status interrupt = Status::Ok();
+  auto interrupted = [&]() { return !interrupt.ok(); };
+  auto note_interrupt = [&](Status s, ChaseStop reason) {
+    if (interrupt.ok()) {
+      interrupt = std::move(s);
+      stats->stop = reason;
+    }
+  };
+  auto absorb = [&](Status s, ChaseStop reason) -> Status {
+    if (s.ok() || interrupted()) return Status::Ok();
+    if (ExecutionBudget::IsTruncation(s)) {
+      note_interrupt(std::move(s), reason);
+      return Status::Ok();
+    }
+    return s;
+  };
+  auto budget_reason = [](const Status& s) {
+    return s.code() == StatusCode::kCancelled ? ChaseStop::kCancelled
+                                              : ChaseStop::kBudget;
+  };
+
+  Vocabulary* vocab = instance->vocab().get();
+  // No deep copy of the rule set here (unlike Run): every rule was
+  // already validated by Program::AddRule, and an extension is supposed
+  // to be cheap relative to the program size. Variable classifications
+  // are computed lazily, only for rules the delta actually reaches.
+  struct RuleInfo {
+    const Rule* rule;
+    bool prepared = false;
+    std::vector<uint32_t> frontier;
+    std::vector<uint32_t> existential;
+  };
+  std::vector<RuleInfo> infos;
+  for (const Rule& r : program.rules()) {
+    if (r.IsTgd()) infos.push_back(RuleInfo{&r});
+  }
+  auto prepare = [](RuleInfo* info) {
+    if (!info->prepared) {
+      info->frontier = info->rule->FrontierVariables();
+      info->existential = info->rule->ExistentialVariables();
+      info->prepared = true;
+    }
+  };
+
+  // Seed the delta one level above the frontier: the first delta pass's
+  // windows (pinned to `seed_level`) then select exactly these facts.
+  // Derivation levels therefore keep growing monotonically across
+  // extensions — "level 0 == extensional" holds only for the original
+  // base facts, which nothing renders and only the windows consume.
+  // Predicate-level dirtiness, the delta-driven pruning that makes small
+  // extensions cheap: `added_prev` holds the predicates that gained a
+  // fact at the previous level (a rule whose body misses all of them
+  // cannot fire in a semi-naive pass — every pivot window is empty), and
+  // `dirty_since_egd` accumulates every touched predicate so the EGD
+  // fixpoint re-runs only when an EGD body could actually see new facts.
+  std::unordered_set<uint32_t> added_prev;
+  std::unordered_set<uint32_t> dirty_since_egd;
+  // Every predicate that gained a fact over the whole extension, for the
+  // final constraint check: a constraint that held at frontier capture
+  // can only fire again through one of these.
+  std::unordered_set<uint32_t> dirty_total;
+
+  const uint32_t seed_level = static_cast<uint32_t>(frontier.round) + 1;
+  for (const Atom& f : delta_facts) {
+    if (instance->AddFact(f, seed_level)) {
+      ++stats->facts_added;
+      added_prev.insert(f.predicate);
+      dirty_since_egd.insert(f.predicate);
+      dirty_total.insert(f.predicate);
+      if (budget != nullptr) {
+        Status fs = budget->ChargeFacts(1);
+        const ChaseStop reason = budget_reason(fs);
+        MDQA_RETURN_IF_ERROR(absorb(std::move(fs), reason));
+      }
+    }
+  }
+
+  uint64_t round = seed_level;  // the seed insertion consumed this round
+  bool force_full = false;
+  bool budget_exhausted = false;
+
+  while (!interrupted() && !budget_exhausted) {  // TGD/EGD alternation
+    while (true) {  // TGD rounds to fixpoint
+      if (++round - frontier.round > options.max_rounds) {
+        --round;
+        budget_exhausted = true;
+        break;
+      }
+      if (budget != nullptr) {
+        Status bs = budget->CheckNow("chase:round");
+        if (bs.ok()) bs = budget->ChargeRounds(1);
+        const ChaseStop reason = budget_reason(bs);
+        MDQA_RETURN_IF_ERROR(absorb(std::move(bs), reason));
+        if (interrupted()) break;
+      }
+      const uint32_t level = static_cast<uint32_t>(round);
+      const bool full_pass = !options.semi_naive || force_full;
+      force_full = false;
+      bool changed = false;
+      std::unordered_set<uint32_t> added_this;
+
+      for (RuleInfo& info : infos) {
+        if (interrupted()) break;
+        const Rule& rule = *info.rule;
+        if (!full_pass) {
+          // Delta-driven skip: no body predicate gained a fact at the
+          // previous level, so every pivot window below is empty.
+          bool relevant = false;
+          for (const Atom& b : rule.body) {
+            if (added_prev.count(b.predicate) > 0) {
+              relevant = true;
+              break;
+            }
+          }
+          if (!relevant) continue;
+        }
+        prepare(&info);
+        CqEvaluator eval(*instance, nullptr, budget);
+        std::unordered_set<Trigger, TriggerHash> triggers;
+
+        if (full_pass) {
+          size_t pivot = 0;
+          if (options.pool != nullptr) {
+            uint32_t best = 0;
+            for (size_t j = 0; j < rule.body.size(); ++j) {
+              const FactTable* t = instance->Table(rule.body[j].predicate);
+              const uint32_t sz = t != nullptr ? t->size() : 0;
+              if (sz > best) {
+                best = sz;
+                pivot = j;
+              }
+            }
+          }
+          Status es = CollectPassTriggers(
+              *instance, rule, info.frontier, {}, pivot, eval, options.pool,
+              options.min_parallel_seeds, budget, &triggers);
+          const ChaseStop reason = budget_reason(es);
+          MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
+        } else {
+          // Semi-naive restart: identical windows to Run's delta passes —
+          // in the first extension round `prev == seed_level`, so the
+          // delta atom ranges over exactly the seeded facts while earlier
+          // atoms stay on strictly older (base) rows.
+          const uint32_t prev = level - 1;
+          for (size_t d = 0; d < rule.body.size() && !interrupted(); ++d) {
+            // The pivot window is pinned to level `prev`; a pivot
+            // predicate that gained nothing there selects nothing.
+            if (added_prev.count(rule.body[d].predicate) == 0) continue;
+            std::vector<AtomLevelWindow> windows(rule.body.size());
+            for (size_t j = 0; j < rule.body.size(); ++j) {
+              if (j < d) {
+                windows[j].max_level = prev > 0 ? prev - 1 : 0;
+                if (prev == 0) windows[j].min_level = 1;  // empty window
+              } else if (j == d) {
+                windows[j].min_level = prev;
+                windows[j].max_level = prev;
+              }  // j > d: unrestricted
+            }
+            Status es = CollectPassTriggers(
+                *instance, rule, info.frontier, windows, d, eval,
+                options.pool, options.min_parallel_seeds, budget, &triggers);
+            const ChaseStop reason = budget_reason(es);
+            MDQA_RETURN_IF_ERROR(absorb(std::move(es), reason));
+          }
+        }
+        if (interrupted()) break;
+
+        // Canonical apply order, as in Run: sorted on frontier bindings,
+        // so the extension is deterministic at any thread count.
+        std::vector<const Trigger*> ordered;
+        ordered.reserve(triggers.size());
+        for (const Trigger& t : triggers) ordered.push_back(&t);
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const Trigger* a, const Trigger* b) {
+                    return a->frontier_bindings < b->frontier_bindings;
+                  });
+
+        uint32_t trigger_tick = 0;
+        for (const Trigger* trig_ptr : ordered) {
+          const Trigger& trig = *trig_ptr;
+          if (budget != nullptr && (trigger_tick++ & 15u) == 0) {
+            Status bs = budget->Check("chase:trigger");
+            const ChaseStop reason = budget_reason(bs);
+            MDQA_RETURN_IF_ERROR(absorb(std::move(bs), reason));
+          }
+          if (interrupted()) break;
+          Subst h;
+          for (size_t i = 0; i < info.frontier.size(); ++i) {
+            h[info.frontier[i]] = trig.frontier_bindings[i];
+          }
+          // Restricted chase only (the fallback matrix rejects
+          // semi-oblivious): skip satisfied heads — this is also what
+          // makes re-derivations of base facts free.
+          CqEvaluator head_eval(*instance, nullptr, budget);
+          Result<bool> satisfied = head_eval.Satisfiable(rule.head, {}, h);
+          if (!satisfied.ok()) {
+            const ChaseStop reason = budget_reason(satisfied.status());
+            MDQA_RETURN_IF_ERROR(absorb(satisfied.status(), reason));
+            break;
+          }
+          if (*satisfied) continue;
+
+          std::vector<Atom> witness;
+          if (options.provenance != nullptr) {
+            CqEvaluator witness_eval(*instance, nullptr, budget);
+            Status ws = witness_eval.Enumerate(
+                rule.body, rule.negated, rule.comparisons, h, {},
+                [&](const Subst& theta) {
+                  witness.reserve(rule.body.size());
+                  for (const Atom& b : rule.body) {
+                    witness.push_back(SubstAtom(theta, b));
+                  }
+                  return false;  // first witness suffices
+                });
+            if (!ws.ok()) {
+              const ChaseStop reason = budget_reason(ws);
+              MDQA_RETURN_IF_ERROR(absorb(std::move(ws), reason));
+              break;
+            }
+          }
+
+          for (uint32_t z : info.existential) {
+            h[z] = vocab->FreshNull();
+            ++stats->nulls_created;
+          }
+          ++stats->tgd_firings;
+          for (const Atom& head_atom : rule.head) {
+            Atom fact = SubstAtom(h, head_atom);
+            if (instance->AddFact(fact, level)) {
+              ++stats->facts_added;
+              changed = true;
+              added_this.insert(fact.predicate);
+              dirty_since_egd.insert(fact.predicate);
+              dirty_total.insert(fact.predicate);
+              if (budget != nullptr) {
+                Status fs = budget->ChargeFacts(1);
+                const ChaseStop reason = budget_reason(fs);
+                MDQA_RETURN_IF_ERROR(absorb(std::move(fs), reason));
+              }
+              if (options.provenance != nullptr) {
+                options.provenance->Record(
+                    fact, ProvenanceStore::Derivation{rule, witness});
+              }
+            }
+          }
+          if (instance->TotalFacts() > options.max_facts) {
+            note_interrupt(
+                Status::ResourceExhausted(
+                    "chase exceeded max_facts=" +
+                    std::to_string(options.max_facts) + " at round " +
+                    std::to_string(round)),
+                ChaseStop::kFactLimit);
+            break;
+          }
+        }
+      }
+      if (interrupted()) break;
+      if (budget != nullptr && budget->has_memory_limit()) {
+        Status ms = budget->NoteMemory(instance->MemoryEstimateBytes());
+        const ChaseStop reason = budget_reason(ms);
+        MDQA_RETURN_IF_ERROR(absorb(std::move(ms), reason));
+        if (interrupted()) break;
+      }
+      added_prev = std::move(added_this);
+      if (!changed) break;  // TGD fixpoint for this alternation
+    }
+    if (interrupted() || budget_exhausted || !has_egds) break;
+
+    // The EGDs were at fixpoint when the frontier was captured, so they
+    // can only fire again if some EGD body predicate gained a fact since
+    // the last EGD pass.
+    bool egd_relevant = false;
+    for (const Rule& egd : egds) {
+      for (const Atom& b : egd.body) {
+        if (dirty_since_egd.count(b.predicate) > 0) {
+          egd_relevant = true;
+          break;
+        }
+      }
+      if (egd_relevant) break;
+    }
+    if (!egd_relevant) break;
+    dirty_since_egd.clear();
+
+    // Separable EGDs: re-run the EGD fixpoint after the TGD restart; a
+    // merge rewrites facts in place at their old levels (invisible to
+    // delta windows), so the next TGD sweep runs full passes.
+    Result<uint64_t> merges = ApplyEgds(program, instance, budget);
+    if (!merges.ok()) {
+      const ChaseStop reason = budget_reason(merges.status());
+      MDQA_RETURN_IF_ERROR(absorb(merges.status(), reason));
+      break;
+    }
+    stats->egd_merges += *merges;
+    if (*merges == 0) break;
+    force_full = true;
+  }
+
+  if (!interrupted() && !budget_exhausted && options.check_constraints) {
+    // The base run checked every constraint before capturing the
+    // frontier, so only constraints reachable from new facts can have
+    // flipped. EGD merges rewrite old facts in place, invalidating that
+    // reasoning — any merge forces the unrestricted check.
+    const std::unordered_set<uint32_t>* filter =
+        stats->egd_merges == 0 ? &dirty_total : nullptr;
+    Status cs = CheckConstraints(program, *instance, budget, filter);
+    const ChaseStop reason = budget_reason(cs);
+    MDQA_RETURN_IF_ERROR(absorb(std::move(cs), reason));
+  }
+
+  stats->rounds = round;
+  stats->reached_fixpoint = !interrupted() && !budget_exhausted;
+  if (interrupted()) {
+    stats->reached_fixpoint = false;
+    stats->completeness = Completeness::kTruncated;
+    stats->interruption = interrupt;
+    return Status::Ok();
+  }
+  if (budget_exhausted) {
+    stats->completeness = Completeness::kTruncated;
+    stats->stop = ChaseStop::kRoundLimit;
+    stats->interruption = Status::ResourceExhausted(
+        "chase extension stopped after max_rounds=" +
+        std::to_string(options.max_rounds) + " additional rounds");
+    return Status::Ok();
+  }
+  CaptureFrontier(instance, stats);
+  stats->frontier.egd_merges = frontier.egd_merges + stats->egd_merges;
   return Status::Ok();
 }
 
 Status Chase::CheckConstraints(const Program& program,
                                const Instance& instance,
-                               ExecutionBudget* budget) {
+                               ExecutionBudget* budget,
+                               const std::unordered_set<uint32_t>* dirty) {
   const Vocabulary& vocab = *instance.vocab();
   CqEvaluator eval(instance, nullptr, budget);
   for (const Rule& nc : program.Constraints()) {
+    if (dirty != nullptr) {
+      // Incremental mode: the instance passed a full check at frontier
+      // capture, so a new violation needs at least one new body fact.
+      bool relevant = false;
+      for (const Atom& b : nc.body) {
+        if (dirty->count(b.predicate) > 0) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) continue;
+    }
     Status violation = Status::Ok();
     MDQA_RETURN_IF_ERROR(eval.Enumerate(
         nc.body, nc.negated, nc.comparisons, Subst{}, {},

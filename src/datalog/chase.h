@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "base/budget.h"
 #include "base/result.h"
@@ -68,6 +71,38 @@ struct ChaseOptions {
   /// smaller passes run inline to avoid scheduling overhead. Tests set
   /// this to 1 to force the parallel path on tiny programs.
   uint64_t min_parallel_seeds = 64;
+  /// Declares the program's EGDs *separable* in the paper's §III sense
+  /// (EGD and TGD application commute — the ontology layer's
+  /// `OntologyProperties::separable_egds` verifies the sufficient
+  /// condition). `Chase::Extend` only maintains EGD programs
+  /// incrementally when this is set; otherwise it conservatively falls
+  /// back to a full re-chase. `Run` ignores the flag.
+  bool egds_separable = false;
+};
+
+/// Resume state of a completed chase, captured in `ChaseStats::frontier`:
+/// everything `Chase::Extend` needs to restart the semi-naive evaluation
+/// seeded with a delta instead of re-chasing from scratch. Valid only
+/// while the instance it was captured from is unmodified (the generation
+/// check) — `Extend` refuses a stale frontier rather than guessing.
+struct ChaseFrontier {
+  /// False until a chase run reaches its fixpoint (a truncated run has
+  /// no usable frontier: unprocessed triggers are unrecorded).
+  bool valid = false;
+  /// Last completed chase round == the highest derivation level in the
+  /// instance. Delta facts are inserted above it so the level windows of
+  /// the semi-naive restart see exactly the delta.
+  uint64_t round = 0;
+  /// Labeled nulls minted in the shared Vocabulary at capture time.
+  uint32_t null_watermark = 0;
+  /// Cumulative EGD merges applied to the instance at capture time.
+  uint64_t egd_merges = 0;
+  /// Instance::generation() at capture; Extend validates against it.
+  uint64_t generation = 0;
+  /// Per-predicate row counts at capture (the frozen-segment watermark).
+  std::unordered_map<uint32_t, uint32_t> watermarks;
+
+  std::string ToString() const;
 };
 
 /// Why a chase run stopped before its fixpoint.
@@ -96,6 +131,17 @@ struct ChaseStats {
   ChaseStop stop = ChaseStop::kNone;
   /// The status that interrupted the run; OK when the run completed.
   Status interruption;
+  /// Resume state for `Chase::Extend`; `frontier.valid` iff the run (or
+  /// extension) reached its fixpoint.
+  ChaseFrontier frontier;
+  /// True when these stats come from `Chase::Extend`.
+  bool incremental = false;
+  /// True when `Extend` had to fall back to a full re-chase (negation,
+  /// non-separable EGDs, a form-(10)-shaped rule, or a semi-oblivious
+  /// chase); `fallback_reason` says why. Fallbacks are recorded, never
+  /// silent — the result is still exact.
+  bool extend_fallback = false;
+  std::string fallback_reason;
 
   std::string ToString() const;
 };
@@ -126,12 +172,50 @@ class Chase {
   static Result<ChaseStats> Run(const Program& program, Instance* instance,
                                 const ChaseOptions& options = ChaseOptions());
 
+  /// Incrementally extends a chased instance with `delta_facts` (new
+  /// ground extensional facts): a semi-naive restart seeded with the
+  /// delta, resuming from `frontier` (captured by a previous `Run` or
+  /// `Extend` in `ChaseStats::frontier`). The delta facts are inserted
+  /// by this call — do NOT pre-insert them (that would invalidate the
+  /// frontier's generation).
+  ///
+  /// Exactness: the resulting instance contains the same facts as a
+  /// from-scratch chase of base+delta. For programs without existential
+  /// variables the rendering (`Instance::ToString`) is byte-identical;
+  /// null-inventing programs may number their nulls differently
+  /// (compare with `Instance::ToCanonicalString`). Programs whose
+  /// features break delta soundness — stratified negation (inserts are
+  /// non-monotone), EGDs without `options.egds_separable`, form-(10)-
+  /// shaped rules (multi-atom head with existentials), or a
+  /// semi-oblivious chase (its fired-trigger set is not part of the
+  /// frontier) — conservatively fall back to a
+  /// full re-chase of `program`+delta, recorded in
+  /// `stats->extend_fallback` / `fallback_reason`. The fallback re-bases
+  /// on `program`'s facts, so the caller must keep the program's fact
+  /// list in sync with previously applied deltas (ChaseQa::Extend does).
+  ///
+  /// With separable EGDs the extension runs the TGD restart first, then
+  /// re-runs the EGD fixpoint; if merges occurred, full TGD passes run
+  /// to the (restricted) fixpoint again.
+  ///
+  /// kFailedPrecondition when `frontier` is invalid or stale (the
+  /// instance's generation moved); budget trips behave as in `Run`.
+  static Status Extend(const Program& program, Instance* instance,
+                       const ChaseFrontier& frontier,
+                       const std::vector<Atom>& delta_facts,
+                       const ChaseOptions& options, ChaseStats* stats);
+
   /// Evaluates every negative constraint of `program` against `instance`;
   /// kInconsistent with a witness if one fires. A non-null `budget` can
-  /// interrupt the evaluation (truncation status propagates).
-  static Status CheckConstraints(const Program& program,
-                                 const Instance& instance,
-                                 ExecutionBudget* budget = nullptr);
+  /// interrupt the evaluation (truncation status propagates). A non-null
+  /// `dirty` restricts the check to constraints with at least one body
+  /// predicate in the set — sound only when the instance already passed a
+  /// full check before the facts of those predicates were added (the
+  /// incremental-extension case).
+  static Status CheckConstraints(
+      const Program& program, const Instance& instance,
+      ExecutionBudget* budget = nullptr,
+      const std::unordered_set<uint32_t>* dirty = nullptr);
 
   /// Applies `program`'s EGDs to fixpoint on `*instance` (union-find null
   /// merging). Returns the number of merges, or kInconsistent on a

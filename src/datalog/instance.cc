@@ -73,9 +73,21 @@ Instance Instance::FromProgram(const Program& program) {
   return inst;
 }
 
+FactTable* Instance::EnsureOwnedTable(uint32_t pred, size_t arity) {
+  auto it = tables_.find(pred);
+  if (it == tables_.end()) {
+    it = tables_.emplace(pred, std::make_shared<FactTable>(arity)).first;
+  } else if (it->second.use_count() > 1) {
+    // Copy-on-write: the table is shared with a snapshot; clone before
+    // the first mutation so the snapshot keeps its frozen view.
+    it->second = std::make_shared<FactTable>(*it->second);
+  }
+  return it->second.get();
+}
+
 bool Instance::AddFact(const Atom& fact, uint32_t level) {
-  FactTable* table = MutableTable(fact.predicate, fact.arity());
-  return table->Insert(fact.terms.data(), level);
+  return MutableTable(fact.predicate, fact.arity())
+      ->Insert(fact.terms.data(), level);
 }
 
 bool Instance::Contains(const Atom& fact) const {
@@ -85,22 +97,35 @@ bool Instance::Contains(const Atom& fact) const {
 
 const FactTable* Instance::Table(uint32_t pred) const {
   auto it = tables_.find(pred);
-  return it == tables_.end() ? nullptr : &it->second;
+  return it == tables_.end() ? nullptr : it->second.get();
 }
 
 FactTable* Instance::MutableTable(uint32_t pred, size_t arity) {
-  auto it = tables_.find(pred);
-  if (it == tables_.end()) {
-    it = tables_.emplace(pred, FactTable(arity)).first;
-  }
-  return &it->second;
+  ++generation_;
+  return EnsureOwnedTable(pred, arity);
+}
+
+void Instance::Freeze() {
+  // A pure watermark update on tables this view owns logically; it does
+  // not count as a mutation of the fact set, but it must not write into
+  // a table shared with a snapshot either — cloning would defeat the
+  // point, so shared tables are frozen in place (the watermark is
+  // monotone and both views agree on the rows it covers).
+  for (auto& [_, table] : tables_) table->MarkFrozen();
+}
+
+bool Instance::SharesTableWith(const Instance& other, uint32_t pred) const {
+  auto a = tables_.find(pred);
+  auto b = other.tables_.find(pred);
+  if (a == tables_.end() || b == other.tables_.end()) return false;
+  return a->second.get() == b->second.get();
 }
 
 std::vector<uint32_t> Instance::Predicates() const {
   std::vector<uint32_t> out;
   out.reserve(tables_.size());
   for (const auto& [pred, table] : tables_) {
-    if (table.size() > 0) out.push_back(pred);
+    if (table->size() > 0) out.push_back(pred);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -108,13 +133,15 @@ std::vector<uint32_t> Instance::Predicates() const {
 
 size_t Instance::TotalFacts() const {
   size_t n = 0;
-  for (const auto& [_, table] : tables_) n += table.size();
+  for (const auto& [_, table] : tables_) n += table->size();
   return n;
 }
 
 uint64_t Instance::MemoryEstimateBytes() const {
   uint64_t bytes = 0;
-  for (const auto& [_, table] : tables_) bytes += table.MemoryEstimateBytes();
+  for (const auto& [_, table] : tables_) {
+    bytes += table->MemoryEstimateBytes();
+  }
   return bytes;
 }
 
@@ -200,6 +227,79 @@ std::string Instance::ToString() const {
       lines.push_back(vocab_->AtomToString(a) + ".");
     }
   }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Instance::ToCanonicalString() const {
+  // Collect facts once; renaming only touches null ids.
+  std::vector<Atom> atoms;
+  bool any_null = false;
+  for (uint32_t pred : Predicates()) {
+    for (Atom& a : Facts(pred)) {
+      for (Term t : a.terms) any_null = any_null || t.IsNull();
+      atoms.push_back(std::move(a));
+    }
+  }
+  if (!any_null) return ToString();
+
+  // Greedy canonical renaming: repeatedly render every fact with the
+  // nulls assigned so far (unassigned ones as the placeholder "_?"),
+  // and assign the next canonical id to the first unassigned null of
+  // the lexicographically smallest line containing one. Deterministic
+  // whenever co-occurring constants / already-named nulls distinguish
+  // the nulls; automorphic groups tie-break by scan order.
+  std::unordered_map<uint32_t, uint32_t> canon;  // null id -> canonical id
+  auto render = [&](const Atom& a) {
+    std::string s = vocab_->PredicateName(a.predicate) + "(";
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (i > 0) s += ", ";
+      Term t = a.terms[i];
+      if (t.IsNull()) {
+        auto it = canon.find(t.id());
+        s += it == canon.end() ? std::string("_?")
+                               : "_n" + std::to_string(it->second);
+      } else {
+        s += vocab_->TermToString(t);
+      }
+    }
+    s += ").";
+    return s;
+  };
+  while (true) {
+    const Atom* best = nullptr;
+    std::string best_line;
+    for (const Atom& a : atoms) {
+      bool unassigned = false;
+      for (Term t : a.terms) {
+        if (t.IsNull() && canon.find(t.id()) == canon.end()) {
+          unassigned = true;
+          break;
+        }
+      }
+      if (!unassigned) continue;
+      std::string line = render(a);
+      if (best == nullptr || line < best_line) {
+        best = &a;
+        best_line = std::move(line);
+      }
+    }
+    if (best == nullptr) break;
+    for (Term t : best->terms) {
+      if (t.IsNull() && canon.find(t.id()) == canon.end()) {
+        canon.emplace(t.id(), static_cast<uint32_t>(canon.size()));
+        break;  // one assignment per pass: later lines may re-rank
+      }
+    }
+  }
+  std::vector<std::string> lines;
+  lines.reserve(atoms.size());
+  for (const Atom& a : atoms) lines.push_back(render(a));
   std::sort(lines.begin(), lines.end());
   std::string out;
   for (const std::string& l : lines) {

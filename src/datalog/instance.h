@@ -20,6 +20,13 @@ namespace mdqa::datalog {
 /// Each row carries a derivation level: 0 for extensional facts, and
 /// 1 + max(body levels) for chase-derived facts — the level-bounded chase
 /// used for weakly-sticky query answering keys off this.
+///
+/// A table is segmented into a *frozen base* (rows below `frozen_rows()`,
+/// written before the last `MarkFrozen()`) and a *mutable overlay* (rows
+/// appended since). Insertion is append-only, so freezing is purely a
+/// watermark — it never copies. Snapshots share whole tables through
+/// `Instance`'s copy-on-write handles; the watermark records where the
+/// shared base ends when an update path appends.
 class FactTable {
  public:
   explicit FactTable(size_t arity) : arity_(arity), index_(arity) {}
@@ -36,6 +43,12 @@ class FactTable {
   /// Pointer to the `arity()` terms of row `i`.
   const Term* Row(uint32_t i) const { return data_.data() + i * arity_; }
   uint32_t Level(uint32_t i) const { return levels_[i]; }
+
+  /// Marks every current row as part of the frozen base segment.
+  void MarkFrozen() { frozen_rows_ = static_cast<uint32_t>(size()); }
+  /// Rows below this index belong to the frozen base segment; rows at or
+  /// above it are the mutable overlay appended since the last freeze.
+  uint32_t frozen_rows() const { return frozen_rows_; }
 
   /// Row indexes whose position `pos` holds exactly term `t` (empty vector
   /// reference if none).
@@ -56,11 +69,23 @@ class FactTable {
   std::vector<uint32_t> levels_;  // per-row derivation level
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;  // hash -> rows
   std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> index_;
+  uint32_t frozen_rows_ = 0;  // base/overlay segment watermark
 };
 
 /// A (possibly null-containing) Datalog± instance: fact tables keyed by
 /// predicate id, sharing a `Vocabulary`. This is what the chase extends
 /// and what conjunctive queries are evaluated against.
+///
+/// Tables are held through copy-on-write handles: copying an `Instance`
+/// is O(#predicates) and *shares* every table with the source; the first
+/// mutation of a table through either copy clones just that table. A
+/// copy therefore acts as a cheap read-only snapshot — this is what lets
+/// `PreparedContext::ApplyUpdate` hand out a new session that shares all
+/// unchanged tables with its predecessor.
+///
+/// Every mutation bumps a generation counter, so resume state captured
+/// against one generation (`ChaseFrontier`) can detect that the instance
+/// has since been touched.
 class Instance {
  public:
   explicit Instance(std::shared_ptr<Vocabulary> vocab)
@@ -78,6 +103,8 @@ class Instance {
 
   /// nullptr when the predicate has no facts yet.
   const FactTable* Table(uint32_t pred) const;
+  /// A mutable handle to the predicate's table, cloning it first when it
+  /// is shared with a snapshot (copy-on-write). Bumps the generation.
   FactTable* MutableTable(uint32_t pred, size_t arity);
 
   /// Predicate ids having at least one fact.
@@ -86,8 +113,34 @@ class Instance {
   size_t TotalFacts() const;
   size_t CountFacts(uint32_t pred) const;
 
-  /// Sum of the tables' MemoryEstimateBytes.
+  /// Sum of the tables' MemoryEstimateBytes. Tables shared with another
+  /// instance still count in full here (the estimate is per-view).
   uint64_t MemoryEstimateBytes() const;
+
+  /// Monotonically increasing mutation counter: bumped by every AddFact /
+  /// MutableTable / Load*. Two reads returning the same value bracket a
+  /// mutation-free window.
+  uint64_t generation() const { return generation_; }
+
+  /// Marks every table's current rows as the frozen base segment (see
+  /// FactTable::MarkFrozen). Purely a watermark; no copying.
+  void Freeze();
+
+  /// Raises the generation counter to at least `floor + 1`. Used when an
+  /// instance is rebuilt from scratch (EGD canonicalization) to keep the
+  /// counter monotone relative to its predecessor, so a frontier captured
+  /// against the old object can never collide with the new one.
+  void EnsureGenerationAbove(uint64_t floor) {
+    if (generation_ <= floor) generation_ = floor + 1;
+  }
+
+  /// A cheap structure-sharing snapshot (identical to the copy
+  /// constructor; named for intent at call sites).
+  Instance Snapshot() const { return *this; }
+
+  /// True when this instance and `other` hold the *same* table object
+  /// for `pred` (structure sharing, not equality of contents).
+  bool SharesTableWith(const Instance& other, uint32_t pred) const;
 
   /// All facts of `pred` as atoms, in row order — i.e. first-insertion
   /// order, which EGD canonicalization rebuilds and level updates never
@@ -114,9 +167,22 @@ class Instance {
   /// Deterministic listing `P(a, b). ...` sorted by predicate then row.
   std::string ToString() const;
 
+  /// Like ToString, but labeled nulls are renumbered canonically (by
+  /// first appearance in the sorted listing) before rendering — two
+  /// instances equal up to a renaming of nulls produce the same string.
+  /// An incremental chase extension and a from-scratch re-chase derive
+  /// the same facts but may mint nulls in a different order; this is the
+  /// comparison the differential harness uses for null-creating
+  /// programs. Canonical whenever facts are distinguishable modulo null
+  /// identity (automorphic null groups may tie-break differently).
+  std::string ToCanonicalString() const;
+
  private:
+  FactTable* EnsureOwnedTable(uint32_t pred, size_t arity);
+
   std::shared_ptr<Vocabulary> vocab_;
-  std::unordered_map<uint32_t, FactTable> tables_;
+  std::unordered_map<uint32_t, std::shared_ptr<FactTable>> tables_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace mdqa::datalog

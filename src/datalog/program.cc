@@ -4,6 +4,7 @@ namespace mdqa::datalog {
 
 Result<uint32_t> Vocabulary::InternPredicate(std::string_view name,
                                              size_t arity) {
+  AssertOwnerThread();
   uint32_t existing = predicates_.Find(name);
   if (existing != StringPool::kNotFound) {
     if (arities_[existing] != arity) {

@@ -5,6 +5,11 @@
 #include <string>
 #include <vector>
 
+#ifndef NDEBUG
+#include <cassert>
+#include <thread>
+#endif
+
 #include "base/intern.h"
 #include "base/result.h"
 #include "datalog/rule.h"
@@ -16,6 +21,13 @@ namespace mdqa::datalog {
 /// it: predicate names (with fixed arities), variable names, interned
 /// constants, and the labeled-null counter. `Program`, `Instance`, queries
 /// and engines share one vocabulary via `std::shared_ptr`.
+///
+/// Thread contract (docs/parallelism.md): during pooled phases, worker
+/// threads only *read* the vocabulary — all interning and null minting
+/// happens on the coordinating thread. Debug builds enforce this: the
+/// vocabulary binds to the first thread that mutates it and every later
+/// mutation asserts it runs on that thread. A deliberate ownership
+/// hand-off (rare) calls `BindToCurrentThread()` first.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -36,6 +48,7 @@ class Vocabulary {
 
   /// Interns a variable name ("X", "Day", ...), returning its id.
   uint32_t InternVariable(std::string_view name) {
+    AssertOwnerThread();
     return variables_.Intern(name);
   }
   const std::string& VariableName(uint32_t id) const {
@@ -47,7 +60,10 @@ class Vocabulary {
   /// rules apart in resolution/rewriting).
   Term FreshVariable();
 
-  uint32_t InternConstant(const Value& v) { return constants_.Intern(v); }
+  uint32_t InternConstant(const Value& v) {
+    AssertOwnerThread();
+    return constants_.Intern(v);
+  }
   uint32_t FindConstant(const Value& v) const { return constants_.Find(v); }
   const Value& ConstantValue(uint32_t id) const { return constants_.Get(id); }
   size_t NumConstants() const { return constants_.size(); }
@@ -61,13 +77,26 @@ class Vocabulary {
   }
 
   /// Mints a fresh labeled null ⊥_k.
-  Term FreshNull() { return Term::Null(next_null_++); }
+  Term FreshNull() {
+    AssertOwnerThread();
+    return Term::Null(next_null_++);
+  }
   uint32_t NumNulls() const { return next_null_; }
 
   /// Ensures future FreshNull() ids exceed `id` — used when parsing the
   /// `_n<k>` null literals of a serialized instance.
   void ReserveNullsThrough(uint32_t id) {
+    AssertOwnerThread();
     if (next_null_ <= id) next_null_ = id + 1;
+  }
+
+  /// Re-binds the debug owner-thread check to the calling thread: the
+  /// escape hatch for a deliberate, externally synchronized ownership
+  /// hand-off. No-op in release builds.
+  void BindToCurrentThread() {
+#ifndef NDEBUG
+    owner_thread_ = std::this_thread::get_id();
+#endif
   }
 
   std::string TermToString(Term t) const;
@@ -80,12 +109,35 @@ class Vocabulary {
   std::string QueryToString(const ConjunctiveQuery& q) const;
 
  private:
+  // Debug builds: bind to the first mutating thread, assert every later
+  // mutation runs there (see the class comment). Lazy binding keeps the
+  // common construct-on-A / use-on-B serial pattern legal. The check is
+  // best-effort — genuinely concurrent first mutations are already a data
+  // race — but it trips loudly on the realistic bug: a pool worker
+  // interning through a shared vocabulary mid-phase.
+  void AssertOwnerThread() {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_thread_ == std::thread::id{}) {
+      owner_thread_ = self;
+      return;
+    }
+    assert(owner_thread_ == self &&
+           "Vocabulary mutated from a non-owner thread: pooled workers "
+           "must never intern symbols or mint nulls (docs/parallelism.md); "
+           "call BindToCurrentThread() for a deliberate hand-off");
+#endif
+  }
+
   StringPool predicates_;
   std::vector<size_t> arities_;
   StringPool variables_;
   ValuePool constants_;
   uint32_t next_null_ = 0;
   uint32_t next_fresh_var_ = 0;
+#ifndef NDEBUG
+  std::thread::id owner_thread_{};
+#endif
 };
 
 /// A Datalog± program: a shared vocabulary, a set of dependencies (TGDs,

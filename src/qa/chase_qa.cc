@@ -33,6 +33,63 @@ Result<ChaseStats> ChaseQa::AddFactsAndRechase(
   return stats;
 }
 
+Result<ChaseStats> ChaseQa::Extend(const std::vector<datalog::Atom>& facts) {
+  // Keep the program's extensional set in sync first: Chase::Extend's
+  // fallback path (and any later one) rebuilds from program_.facts().
+  for (const datalog::Atom& f : facts) {
+    MDQA_RETURN_IF_ERROR(program_.AddFact(f));
+  }
+  ChaseStats stats;
+  MDQA_RETURN_IF_ERROR(Chase::Extend(program_, &instance_, stats_.frontier,
+                                     facts, options_, &stats));
+  stats_ = stats;
+  return stats;
+}
+
+Result<ChaseStats> ChaseQa::Update(const std::vector<datalog::Atom>& inserts,
+                                   const std::vector<datalog::Atom>& deletes) {
+  if (deletes.empty()) return Extend(inserts);
+  // Deletions are non-monotone: no frontier-seeded restart can retract
+  // the consequences of a removed fact. Rebuild the extensional set and
+  // re-chase from scratch — exact, and recorded as a fallback.
+  std::vector<bool> removed(deletes.size(), false);
+  Program next(program_.vocab());
+  for (const datalog::Rule& r : program_.rules()) {
+    MDQA_RETURN_IF_ERROR(next.AddRule(r));
+  }
+  for (const datalog::Atom& f : program_.facts()) {
+    bool keep = true;
+    for (size_t i = 0; i < deletes.size(); ++i) {
+      if (f == deletes[i]) {
+        removed[i] = true;
+        keep = false;
+        break;
+      }
+    }
+    if (keep) MDQA_RETURN_IF_ERROR(next.AddFact(f));
+  }
+  for (size_t i = 0; i < deletes.size(); ++i) {
+    if (!removed[i]) {
+      return Status::NotFound("cannot delete " +
+                              program_.vocab()->AtomToString(deletes[i]) +
+                              ": not an extensional fact");
+    }
+  }
+  for (const datalog::Atom& f : inserts) {
+    MDQA_RETURN_IF_ERROR(next.AddFact(f));
+  }
+  Instance instance = Instance::FromProgram(next);
+  ChaseStats stats;
+  MDQA_RETURN_IF_ERROR(Chase::Run(next, &instance, options_, &stats));
+  stats.incremental = true;
+  stats.extend_fallback = true;
+  stats.fallback_reason = "deletions require a full re-chase";
+  program_ = std::move(next);
+  instance_ = std::move(instance);
+  stats_ = stats;
+  return stats;
+}
+
 Result<std::vector<std::vector<Term>>> ChaseQa::Answers(
     const ConjunctiveQuery& query, ExecutionBudget* budget,
     Status* interruption) const {

@@ -32,6 +32,24 @@ class ChaseQa {
   Result<datalog::ChaseStats> AddFactsAndRechase(
       const std::vector<datalog::Atom>& facts);
 
+  /// Incremental counterpart of AddFactsAndRechase: resumes the chase
+  /// from the frontier captured by the last materialization
+  /// (`Chase::Extend`) instead of re-running it. Exact — programs the
+  /// incremental path cannot maintain fall back to a full re-chase,
+  /// recorded in the returned stats (`extend_fallback`). The new facts
+  /// are also appended to the engine's program so fallbacks (now or on a
+  /// later update) re-base on the complete extensional set.
+  /// kFailedPrecondition when the last chase was truncated (no frontier).
+  Result<datalog::ChaseStats> Extend(const std::vector<datalog::Atom>& facts);
+
+  /// General update: `inserts` and `deletes` of extensional facts. With
+  /// no deletions this is `Extend`. Deletions are non-monotone, so they
+  /// rebuild the extensional set and re-chase from scratch — an exact
+  /// result, recorded as a fallback in the returned stats. Each deleted
+  /// atom must currently be an extensional fact (kNotFound otherwise).
+  Result<datalog::ChaseStats> Update(const std::vector<datalog::Atom>& inserts,
+                                     const std::vector<datalog::Atom>& deletes);
+
   /// Certain answers: null-free tuples only. A non-null `budget` bounds
   /// the query evaluation itself (probe "cq:row"); on a budget trip the
   /// answers found so far are returned and the truncation status is

@@ -1,7 +1,10 @@
 #include "quality/assessor.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/lint.h"
@@ -281,6 +284,236 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
       // Serial contract: relations after a cancellation are not
       // attempted. A parallel run may have finished some of them
       // already — completed work is kept, the rest report cancelled.
+      if (!parallel || !out.computed) {
+        report.degraded.push_back(RelationFailure{names[i], cancelled, 0});
+        continue;
+      }
+    } else if (!parallel) {
+      assess_one(names[i], &out);
+    }
+    MDQA_RETURN_IF_ERROR(out.hard_error);
+    if (!out.computed) {
+      note_truncated(out.failure);
+      if (out.failure.code() == StatusCode::kCancelled) {
+        cancelled = out.failure;
+      }
+      report.degraded.push_back(
+          RelationFailure{names[i], std::move(out.failure), out.attempts});
+      continue;
+    }
+    total_original += out.measures->original_size;
+    total_common += out.measures->common;
+    report.per_relation.push_back(std::move(*out.measures));
+    report.quality_versions.push_back(std::move(*out.quality));
+    report.dirty_tuples.push_back(std::move(*out.dirty));
+  }
+  report.overall_precision =
+      total_original == 0 ? 1.0
+                          : static_cast<double>(total_common) /
+                                static_cast<double>(total_original);
+  return report;
+}
+
+Result<AssessmentReport> Assessor::Reassess(const PreparedContext& session,
+                                            const AssessmentReport& previous,
+                                            const AssessOptions& opts) const {
+  AssessmentReport report;
+  const datalog::Program& program = session.program();
+
+  // Same pre-run gate as Assess, over the session's (updated) program —
+  // recomputed fresh so the report renders byte-identically to a full
+  // assessment. The incremental path always reads the session's
+  // materialized instance, so the engine used is the chase regardless of
+  // `auto_engine` (the recommendation is still recorded).
+  {
+    datalog::ProgramAnalysis program_analysis(program);
+    report.program_class = program_analysis.ClassName();
+    MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
+                          context_->ontology().Analyze());
+    qa::EngineSelectOptions select_options;
+    select_options.egds_separable = properties.separable_egds;
+    qa::EngineSelection selection =
+        qa::SelectEngine(program, program_analysis, select_options);
+    report.engine_recommended = selection.engine;
+    report.engine_reason = std::move(selection.reason);
+    report.engine_used = qa::Engine::kChase;
+
+    if (opts.lint_gate) {
+      analysis::DiagnosticBag bag;
+      analysis::LintOptions lint_options;
+      lint_options.min_severity = analysis::Severity::kWarning;
+      lint_options.form_notes = false;
+      lint_options.file = "<context>";
+      analysis::LintProgram(program, lint_options, &bag);
+      analysis::LintOntology(context_->ontology(), lint_options, &bag);
+      bag.Sort();
+      report.lint_errors = bag.errors();
+      report.lint_warnings = bag.warnings();
+      report.lint_text = bag.ToText();
+      if (bag.errors() > 0 && !opts.lint_warn_only) {
+        return Status::FailedPrecondition(
+            "lint gate: " + std::to_string(bag.errors()) +
+            " error-level finding(s) in the contextual program/ontology "
+            "(set lint_warn_only to proceed anyway):\n" +
+            bag.ToText());
+      }
+    }
+  }
+
+  report.referential_check = context_->ontology().ValidateReferential();
+  // The session exists, so its (re-)chase passed the constraint check.
+  report.constraint_check = Status::Ok();
+
+  auto note_truncated = [&report](const Status& why) {
+    report.completeness = Completeness::kTruncated;
+    if (report.interruption.ok()) report.interruption = why;
+  };
+  if (session.chase_stats().completeness == Completeness::kTruncated) {
+    note_truncated(session.chase_stats().interruption);
+  }
+
+  const std::vector<std::string> names = context_->AssessedRelations();
+  const std::vector<std::string>& updated = session.updated_relations();
+
+  // Previous entries by relation name (per_relation, quality_versions and
+  // dirty_tuples are parallel vectors).
+  std::unordered_map<std::string, size_t> prev_index;
+  for (size_t i = 0; i < previous.per_relation.size(); ++i) {
+    prev_index.emplace(previous.per_relation[i].relation, i);
+  }
+
+  // Selective re-assessment: recompute a relation iff its own rows
+  // changed, its quality predicate transitively depends on a changed
+  // predicate, or `previous` has no (complete) entry to copy. EGD
+  // programs recompute everything — a null merge can rewrite facts of
+  // any predicate, which no body→head reachability captures.
+  std::unordered_set<std::string> recompute;
+  if (!program.Egds().empty()) {
+    recompute.insert(names.begin(), names.end());
+  } else {
+    const datalog::Vocabulary* vocab = program.vocab().get();
+    std::unordered_set<uint32_t> seeds;
+    for (const std::string& rel : updated) {
+      const uint32_t pred = vocab->FindPredicate(rel);
+      if (pred != StringPool::kNotFound) seeds.insert(pred);
+    }
+    const std::unordered_set<uint32_t> closure =
+        datalog::DependentPredicates(program, seeds);
+    for (const std::string& name : names) {
+      bool need = std::find(updated.begin(), updated.end(), name) !=
+                  updated.end();
+      if (!need) {
+        Result<std::string> qpred_name = context_->QualityPredicateOf(name);
+        const uint32_t qpred = qpred_name.ok()
+                                   ? vocab->FindPredicate(*qpred_name)
+                                   : StringPool::kNotFound;
+        need = qpred == StringPool::kNotFound || closure.count(qpred) > 0;
+      }
+      if (need) recompute.insert(name);
+    }
+  }
+  for (const std::string& name : names) {
+    if (prev_index.find(name) == prev_index.end()) recompute.insert(name);
+  }
+
+  struct RelationOutcome {
+    Status hard_error;
+    bool computed = false;
+    Status failure;
+    int attempts = 0;
+    std::optional<QualityMeasures> measures;
+    std::optional<Relation> quality;
+    std::optional<Relation> dirty;
+  };
+  std::vector<RelationOutcome> outcomes(names.size());
+
+  // Identical fault-isolation scheme to Assess, reading the session's
+  // database (the updated one) and materialized instance.
+  auto assess_one = [&](const std::string& name, RelationOutcome* out) {
+    Result<const Relation*> orig = session.database().GetRelation(name);
+    if (!orig.ok()) {
+      out->hard_error = orig.status();
+      return;
+    }
+    const Relation* original = *orig;
+    Status failure;
+    double scale = 1.0;
+    for (int attempt = 0; attempt <= opts.max_retries;
+         ++attempt, scale *= opts.escalation_factor) {
+      ++out->attempts;
+      ExecutionBudget rb;
+      if (opts.budget != nullptr) rb.InheritControlsFrom(*opts.budget);
+      if (opts.fault_injector != nullptr) {
+        rb.set_fault_injector(opts.fault_injector);
+      }
+      if (opts.per_relation_max_facts > 0) {
+        rb.set_max_facts(static_cast<uint64_t>(
+            static_cast<double>(opts.per_relation_max_facts) * scale));
+      }
+      if (opts.per_relation_max_steps > 0) {
+        rb.set_max_steps(static_cast<uint64_t>(
+            static_cast<double>(opts.per_relation_max_steps) * scale));
+      }
+      failure = rb.CheckNow("assessor:relation");
+      if (failure.ok()) {
+        Status interruption;
+        Result<Relation> r = session.QualityVersion(name, &rb, &interruption);
+        if (r.ok() && interruption.ok()) {
+          out->quality = std::move(r).value();
+          out->computed = true;
+          break;
+        }
+        failure = r.ok() ? std::move(interruption) : r.status();
+      }
+      if (!ExecutionBudget::IsTruncation(failure)) break;
+      if (failure.code() == StatusCode::kCancelled) break;
+    }
+    if (!out->computed) {
+      out->failure = std::move(failure);
+      return;
+    }
+    Result<QualityMeasures> m = Measure(*original, *out->quality);
+    if (!m.ok()) {
+      out->hard_error = m.status();
+      return;
+    }
+    Result<Relation> dirty = original->Minus(*out->quality);
+    if (!dirty.ok()) {
+      out->hard_error = dirty.status();
+      return;
+    }
+    out->measures = std::move(*m);
+    out->dirty = std::move(*dirty);
+  };
+
+  std::vector<size_t> todo;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (recompute.count(names[i]) > 0) todo.push_back(i);
+  }
+  const bool parallel = opts.pool != nullptr && todo.size() > 1;
+  if (parallel) {
+    opts.pool->ParallelFor(
+        todo.size(), [&](size_t k) {
+          assess_one(names[todo[k]], &outcomes[todo[k]]);
+        });
+  }
+
+  size_t total_original = 0;
+  size_t total_common = 0;
+  Status cancelled;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (recompute.count(names[i]) == 0) {
+      // Untouched by the update: copy the previous entry verbatim.
+      const size_t p = prev_index.at(names[i]);
+      total_original += previous.per_relation[p].original_size;
+      total_common += previous.per_relation[p].common;
+      report.per_relation.push_back(previous.per_relation[p]);
+      report.quality_versions.push_back(previous.quality_versions[p]);
+      report.dirty_tuples.push_back(previous.dirty_tuples[p]);
+      continue;
+    }
+    RelationOutcome& out = outcomes[i];
+    if (!cancelled.ok()) {
       if (!parallel || !out.computed) {
         report.degraded.push_back(RelationFailure{names[i], cancelled, 0});
         continue;

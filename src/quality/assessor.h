@@ -140,6 +140,21 @@ class Assessor {
 
   Result<AssessmentReport> Assess(const AssessOptions& options) const;
 
+  /// Incremental re-assessment after a `PreparedContext::ApplyUpdate`:
+  /// `session` is the updated session, `previous` the report of the
+  /// session it was derived from. Only relations whose quality queries
+  /// transitively depend on the updated relations (predicate-dependency
+  /// closure over the contextual program) — plus any relation missing
+  /// from or degraded in `previous` — are recomputed; every other entry
+  /// is copied from `previous` verbatim. Programs with EGDs recompute
+  /// every relation (a null merge can ripple into any predicate). The
+  /// report renders byte-identically to a full assessment of the updated
+  /// database. Always reads the session's materialized instance (chase
+  /// engine), whatever `options.engine` says.
+  Result<AssessmentReport> Reassess(
+      const PreparedContext& session, const AssessmentReport& previous,
+      const AssessOptions& options = AssessOptions()) const;
+
  private:
   const QualityContext* context_;
 };

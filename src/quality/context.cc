@@ -1,5 +1,8 @@
 #include "quality/context.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "datalog/chase.h"
 #include "datalog/parser.h"
 #include "datalog/provenance.h"
@@ -11,6 +14,7 @@ using datalog::Atom;
 using datalog::ConjunctiveQuery;
 using datalog::Parser;
 using datalog::Program;
+using datalog::Rule;
 using datalog::Term;
 using datalog::Vocabulary;
 
@@ -44,7 +48,7 @@ Status QualityContext::MapRelationToContext(const std::string& original,
     head += "X" + std::to_string(i);
     body += "X" + std::to_string(i);
   }
-  context_rules_ += head + ") :- " + body + ").\n";
+  MDQA_RETURN_IF_ERROR(AddContextualRules(head + ") :- " + body + ")."));
   mappings_.emplace_back(original, contextual);
   return Status::Ok();
 }
@@ -66,18 +70,19 @@ Status QualityContext::MapRelationAsFootprint(const std::string& original,
   for (size_t i = 0; i < extra_attributes; ++i) {
     head += ", Z" + std::to_string(i);  // existential: not in the body
   }
-  context_rules_ += head + ") :- " + body + ").\n";
+  MDQA_RETURN_IF_ERROR(AddContextualRules(head + ") :- " + body + ")."));
   mappings_.emplace_back(original, contextual);
   return Status::Ok();
 }
 
 Status QualityContext::AddContextualRules(const std::string& text) {
-  // Validate eagerly against a scratch program so errors surface at add
-  // time with the offending text, not at BuildProgram.
+  // Parse once, now: syntax errors surface at add time with their source
+  // spans, and the stored ASTs (over the shared ontology vocabulary) are
+  // composed — never re-parsed — by every BuildProgram call.
   Program scratch(ontology_->vocab());
   MDQA_RETURN_IF_ERROR(Parser::ParseInto(text, &scratch));
-  context_rules_ += text;
-  context_rules_ += '\n';
+  for (const Rule& r : scratch.rules()) context_rules_.push_back(r);
+  for (const Atom& f : scratch.facts()) context_facts_.push_back(f);
   return Status::Ok();
 }
 
@@ -129,8 +134,13 @@ Result<Program> QualityContext::BuildProgram() const {
       MDQA_RETURN_IF_ERROR(program.AddFact(Atom(pred, std::move(terms))));
     }
   }
-  // Mapping, contextual, and quality rules.
-  MDQA_RETURN_IF_ERROR(Parser::ParseInto(context_rules_, &program));
+  // Mapping, contextual, and quality rules — stored ASTs, composed.
+  for (const Rule& r : context_rules_) {
+    MDQA_RETURN_IF_ERROR(program.AddRule(r));
+  }
+  for (const Atom& f : context_facts_) {
+    MDQA_RETURN_IF_ERROR(program.AddFact(f));
+  }
   return program;
 }
 
@@ -269,6 +279,13 @@ Result<PreparedContext> QualityContext::Prepare() const {
 Result<PreparedContext> QualityContext::Prepare(
     const datalog::ChaseOptions& options) const {
   MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  // Thread the ontology's separability verdict into the chase options so
+  // a later ApplyUpdate can maintain EGD programs incrementally when the
+  // paper's §III sufficient condition holds.
+  datalog::ChaseOptions chase_options = options;
+  MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
+                        ontology_->Analyze());
+  chase_options.egds_separable = properties.separable_egds;
   // Pre-bind the per-relation S^q read-off queries while we are still
   // single-threaded: interning predicates and variables mutates the
   // shared Vocabulary, which concurrent QualityVersion calls must never
@@ -291,9 +308,66 @@ Result<PreparedContext> QualityContext::Prepare(
     queries.emplace(original, std::move(query));
   }
   MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased,
-                        qa::ChaseQa::Create(program, options));
+                        qa::ChaseQa::Create(program, chase_options));
   return PreparedContext(quality_of_, std::move(queries), database_,
                          std::move(program), std::move(chased));
+}
+
+std::vector<std::string> DeltaBatch::Relations() const {
+  std::vector<std::string> out;
+  out.reserve(deltas.size());
+  for (const RelationDelta& d : deltas) out.push_back(d.relation);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<PreparedContext> PreparedContext::ApplyUpdate(
+    const DeltaBatch& batch) const {
+  // The copy shares every fact table with this session (copy-on-write
+  // instances); only tables the update actually touches get cloned.
+  PreparedContext next(*this);
+  next.updated_relations_ = batch.Relations();
+  Vocabulary* vocab = next.program_.vocab().get();
+  std::vector<Atom> inserts;
+  std::vector<Atom> deletes;
+  for (const RelationDelta& d : batch.deltas) {
+    MDQA_ASSIGN_OR_RETURN(Relation * rel,
+                          next.database_.GetMutableRelation(d.relation));
+    MDQA_ASSIGN_OR_RETURN(uint32_t pred,
+                          vocab->InternPredicate(d.relation, rel->arity()));
+    if (!d.delete_rows.empty()) {
+      std::unordered_set<Tuple, TupleHash> del;
+      for (const Tuple& row : d.delete_rows) {
+        if (row.size() != rel->arity()) {
+          return Status::InvalidArgument(
+              "delete row arity " + std::to_string(row.size()) +
+              " does not match relation '" + d.relation + "'");
+        }
+        if (!rel->Contains(row)) {
+          return Status::NotFound("cannot delete from '" + d.relation +
+                                  "': row not present");
+        }
+        if (del.insert(row).second) {
+          std::vector<Term> terms;
+          terms.reserve(row.size());
+          for (const Value& v : row) terms.push_back(vocab->Const(v));
+          deletes.push_back(Atom(pred, std::move(terms)));
+        }
+      }
+      *rel = rel->Select([&](const Tuple& t) { return del.count(t) == 0; });
+    }
+    for (const Tuple& row : d.insert_rows) {
+      if (rel->Contains(row)) continue;  // set semantics: no-op insert
+      MDQA_RETURN_IF_ERROR(rel->Insert(row));
+      std::vector<Term> terms;
+      terms.reserve(row.size());
+      for (const Value& v : row) terms.push_back(vocab->Const(v));
+      inserts.push_back(Atom(pred, std::move(terms)));
+    }
+  }
+  MDQA_RETURN_IF_ERROR(next.chased_.Update(inserts, deletes).status());
+  return next;
 }
 
 Result<qa::AnswerSet> PreparedContext::Evaluate(datalog::ConjunctiveQuery query,

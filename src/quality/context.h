@@ -56,6 +56,9 @@ class QualityContext {
 
   /// Adds contextual / quality predicate definitions (Datalog± text —
   /// e.g. the paper's TakenByNurse, TakenWithTherm, Measurements').
+  /// Parsed HERE, once: syntax errors surface immediately (with source
+  /// spans) and the stored ASTs are composed — never re-parsed — by
+  /// every later `BuildProgram()` call.
   Status AddContextualRules(const std::string& text);
 
   /// Declares `quality_pred` as the quality version S^q of `original` and
@@ -72,7 +75,8 @@ class QualityContext {
   std::vector<std::string> AssessedRelations() const;
 
   /// Assembles the full contextual program: ontology (facts + Σ_M) +
-  /// original data + mapping/contextual/quality rules.
+  /// original data + mapping/contextual/quality rules. Pure AST
+  /// composition — the rules were parsed when they were added.
   Result<datalog::Program> BuildProgram() const;
 
   /// Computes the quality version S^q of `original` as a relation (same
@@ -137,7 +141,35 @@ class QualityContext {
   Database database_;
   std::vector<std::pair<std::string, std::string>> mappings_;
   std::map<std::string, std::string> quality_of_;  // original -> S^q pred
-  std::string context_rules_;                       // accumulated rule text
+  /// Mapping/contextual/quality rules (and any ground facts in the rule
+  /// text), parsed at add time and stored as ASTs over the ontology's
+  /// vocabulary — BuildProgram composes them without re-parsing.
+  std::vector<datalog::Rule> context_rules_;
+  std::vector<datalog::Atom> context_facts_;
+};
+
+/// One relation's worth of changes in a `DeltaBatch`.
+struct RelationDelta {
+  std::string relation;  // an original relation of the database
+  std::vector<Tuple> insert_rows;
+  std::vector<Tuple> delete_rows;
+};
+
+/// A batch of updates to the database under assessment, applied
+/// atomically by `PreparedContext::ApplyUpdate`. Within the batch,
+/// deletions apply before insertions.
+struct DeltaBatch {
+  std::vector<RelationDelta> deltas;
+
+  bool HasDeletions() const {
+    for (const RelationDelta& d : deltas) {
+      if (!d.delete_rows.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Names of the relations the batch touches (sorted, deduplicated).
+  std::vector<std::string> Relations() const;
 };
 
 /// A chase-once/query-many session over a QualityContext (obtain via
@@ -164,8 +196,33 @@ class PreparedContext {
                                   ExecutionBudget* budget = nullptr,
                                   Status* interruption = nullptr) const;
 
+  /// Applies `batch` to the database under assessment and returns a NEW
+  /// session reflecting it; this session is unchanged and stays valid.
+  /// The new session's instance *shares* every untouched fact table with
+  /// this one (copy-on-write snapshots), and its materialization is
+  /// maintained incrementally: insert-only batches resume the chase from
+  /// the captured frontier (`Chase::Extend`); batches with deletions —
+  /// and programs the incremental path cannot maintain — fall back to an
+  /// exact full re-chase, recorded in the new session's `chase_stats()`.
+  /// Deleted rows must exist (kNotFound otherwise); inserted rows must
+  /// match the relation's schema.
+  Result<PreparedContext> ApplyUpdate(const DeltaBatch& batch) const;
+
+  /// Relations changed by the `ApplyUpdate` that created this session
+  /// (sorted; empty for a session born from `Prepare`). The assessor's
+  /// `Reassess` keys its dependency analysis off this.
+  const std::vector<std::string>& updated_relations() const {
+    return updated_relations_;
+  }
+
   const datalog::Instance& instance() const { return chased_.instance(); }
   const datalog::ChaseStats& chase_stats() const { return chased_.stats(); }
+
+  /// The compiled contextual program this session materialized.
+  const datalog::Program& program() const { return program_; }
+
+  /// The database as this session sees it (after any applied updates).
+  const Database& database() const { return database_; }
 
  private:
   friend class QualityContext;
@@ -190,6 +247,7 @@ class PreparedContext {
   Database database_;  // original relations (schemas for QualityVersion)
   datalog::Program program_;
   qa::ChaseQa chased_;
+  std::vector<std::string> updated_relations_;  // set by ApplyUpdate
 };
 
 }  // namespace mdqa::quality

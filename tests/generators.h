@@ -93,6 +93,56 @@ inline GeneratedCase GenerateClosure(uint32_t seed) {
   return out;
 }
 
+/// A base case plus a sequence of update batches for the incremental-chase
+/// differential harness (tests/incremental_diff_test.cc): each batch is a
+/// list of ground atoms (rendered WITHOUT the trailing period, ready for
+/// `Parser::ParseGroundAtom`). Batches mix constants already present in
+/// the base program with fresh ones, so extensions both lengthen existing
+/// join frontiers and open brand-new ones.
+struct UpdateSequence {
+  GeneratedCase base;
+  std::vector<std::vector<std::string>> batches;
+};
+
+inline UpdateSequence GenerateUpdateSequence(uint32_t seed) {
+  UpdateSequence out;
+  // Every fifth sequence updates the recursive-closure family (multi-round
+  // semi-naive re-derivation); the rest update the hierarchy family
+  // (existential nulls on even seeds).
+  const bool closure = (seed % 5) == 4;
+  out.base = closure ? GenerateClosure(seed) : GenerateHierarchy(seed);
+  std::mt19937 rng(seed * 2654435761u + 17);
+  auto pick = [&rng](int n) {
+    return static_cast<int>(rng() % static_cast<uint32_t>(n));
+  };
+  const int n_batches = 1 + pick(3);
+  for (int b = 0; b < n_batches; ++b) {
+    std::vector<std::string> batch;
+    const int n_facts = 1 + pick(3);
+    for (int f = 0; f < n_facts; ++f) {
+      std::ostringstream fact;
+      if (closure) {
+        fact << "E(" << pick(9) << ", " << pick(9) << ")";
+      } else {
+        switch (pick(3)) {
+          case 0:
+            fact << "PW(\"w" << pick(8) << "\", \"p" << pick(10) << "\")";
+            break;
+          case 1:
+            fact << "UW(\"u" << pick(6) << "\", \"w" << pick(8) << "\")";
+            break;
+          default:
+            fact << "WS(\"u" << pick(6) << "\", \"n" << pick(6) << "\")";
+            break;
+        }
+      }
+      batch.push_back(fact.str());
+    }
+    out.batches.push_back(std::move(batch));
+  }
+  return out;
+}
+
 }  // namespace mdqa::testgen
 
 #endif  // MDQA_TESTS_GENERATORS_H_

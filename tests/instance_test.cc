@@ -172,6 +172,121 @@ TEST(Instance, ToStringIsSortedAndReparseable) {
   EXPECT_EQ(s, "A(1).\nB(1).\nB(2).\n");
 }
 
+TEST(Instance, ExportRelationRendersNullsWhenKept) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(vocab->InternPredicate("P", 2).ok());
+  uint32_t pred = vocab->FindPredicate("P");
+  Instance inst(vocab);
+  Term null = vocab->FreshNull();
+  inst.AddFact(Atom(pred, {vocab->Str("a"), null}), 1);
+
+  auto dropped = inst.ExportRelation(pred, "P", {"x", "y"}, false);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(dropped->empty());
+
+  auto kept = inst.ExportRelation(pred, "P", {"x", "y"}, true);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_EQ(kept->size(), 1u);
+  // The labeled null rides along as its display string.
+  EXPECT_EQ(kept->row(0)[1], Value::Str(vocab->TermToString(null)));
+}
+
+TEST(FactTable, MemoryEstimateBytesIsMonotone) {
+  FactTable t(3);
+  uint64_t prev = t.MemoryEstimateBytes();
+  for (int i = 0; i < 256; ++i) {
+    Term row[3] = {Term::Constant(static_cast<uint32_t>(i)),
+                   Term::Constant(static_cast<uint32_t>(i % 7)),
+                   Term::Constant(42)};
+    EXPECT_TRUE(t.Insert(row, 0));
+    const uint64_t now = t.MemoryEstimateBytes();
+    EXPECT_GE(now, prev) << "estimate shrank after insert " << i;
+    prev = now;
+  }
+  // Duplicate inserts change nothing, so the estimate must not move.
+  Term dup[3] = {Term::Constant(0), Term::Constant(0), Term::Constant(42)};
+  EXPECT_FALSE(t.Insert(dup, 0));
+  EXPECT_EQ(t.MemoryEstimateBytes(), prev);
+  EXPECT_GT(prev, 0u);
+}
+
+TEST(Instance, MemoryEstimateBytesGrowsWithFacts) {
+  auto p = Parser::ParseProgram("P(\"a\").");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  const uint64_t base = inst.MemoryEstimateBytes();
+  EXPECT_GT(base, 0u);
+  uint32_t pred = p->vocab()->FindPredicate("P");
+  uint64_t prev = base;
+  for (int i = 0; i < 64; ++i) {
+    inst.AddFact(Atom(pred, {p->mutable_vocab()->Str("c" + std::to_string(i))}),
+                 0);
+    const uint64_t now = inst.MemoryEstimateBytes();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GT(prev, base);
+}
+
+TEST(Instance, SnapshotSharesTablesUntilMutation) {
+  auto p = Parser::ParseProgram("P(\"a\"). Q(\"b\").");
+  ASSERT_TRUE(p.ok());
+  Instance base = Instance::FromProgram(*p);
+  uint32_t pred_p = p->vocab()->FindPredicate("P");
+  uint32_t pred_q = p->vocab()->FindPredicate("Q");
+
+  Instance snap = base.Snapshot();
+  EXPECT_TRUE(snap.SharesTableWith(base, pred_p));
+  EXPECT_TRUE(snap.SharesTableWith(base, pred_q));
+
+  // Mutating P through the snapshot clones only P's table.
+  snap.AddFact(Atom(pred_p, {p->mutable_vocab()->Str("z")}), 0);
+  EXPECT_FALSE(snap.SharesTableWith(base, pred_p));
+  EXPECT_TRUE(snap.SharesTableWith(base, pred_q));
+  EXPECT_EQ(base.CountFacts(pred_p), 1u);  // the base never sees the write
+  EXPECT_EQ(snap.CountFacts(pred_p), 2u);
+}
+
+TEST(Instance, GenerationBumpsOnMutationOnly) {
+  auto p = Parser::ParseProgram("P(\"a\").");
+  ASSERT_TRUE(p.ok());
+  Instance inst = Instance::FromProgram(*p);
+  uint32_t pred = p->vocab()->FindPredicate("P");
+  const uint64_t g0 = inst.generation();
+  Instance snap = inst.Snapshot();
+  EXPECT_EQ(snap.generation(), g0);  // snapshots are reads
+  inst.AddFact(Atom(pred, {p->mutable_vocab()->Str("b")}), 0);
+  EXPECT_GT(inst.generation(), g0);
+  EXPECT_EQ(snap.generation(), g0);
+}
+
+TEST(Instance, EnsureGenerationAboveIsMonotone) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Instance inst(vocab);
+  const uint64_t g0 = inst.generation();
+  inst.EnsureGenerationAbove(g0 + 41);
+  EXPECT_GT(inst.generation(), g0 + 41);
+  const uint64_t g1 = inst.generation();
+  inst.EnsureGenerationAbove(0);  // already above: no-op
+  EXPECT_EQ(inst.generation(), g1);
+}
+
+TEST(Instance, FreezeWatermarksSegments) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(vocab->InternPredicate("P", 1).ok());
+  uint32_t pred = vocab->FindPredicate("P");
+  Instance inst(vocab);
+  inst.AddFact(Atom(pred, {vocab->Str("a")}), 0);
+  inst.AddFact(Atom(pred, {vocab->Str("b")}), 0);
+  EXPECT_EQ(inst.Table(pred)->frozen_rows(), 0u);
+  inst.Freeze();
+  EXPECT_EQ(inst.Table(pred)->frozen_rows(), 2u);
+  // Appends land in the mutable overlay above the watermark.
+  inst.AddFact(Atom(pred, {vocab->Str("c")}), 1);
+  EXPECT_EQ(inst.Table(pred)->frozen_rows(), 2u);
+  EXPECT_EQ(inst.Table(pred)->size(), 3u);
+}
+
 TEST(Vocabulary, PredicateArityConflictRejected) {
   Vocabulary vocab;
   ASSERT_TRUE(vocab.InternPredicate("P", 2).ok());

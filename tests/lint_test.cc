@@ -355,6 +355,45 @@ TEST(LintOntologyTest, I021Form10AndN023Notes) {
   EXPECT_NE(notes[0]->message.find("(10)"), std::string::npos);
 }
 
+TEST(LintOntologyTest, N040Form10ForcesFullRechase) {
+  auto ontology = Skeleton();
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalRule(
+                      "RegionCity(R, C), SalesCity(C, D, A) :- "
+                      "SalesRegion(R, D, A).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  auto found = FindCode(bag, "MDQA-N040");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("form-(10) rules"), std::string::npos);
+  EXPECT_NE(found[0]->message.find("full re-chase"), std::string::npos);
+  EXPECT_NE(found[0]->fix_it.find("restructure"), std::string::npos);
+}
+
+TEST(LintOntologyTest, N040NonCategoricalEgdForcesFullRechase) {
+  auto ontology = Skeleton();
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "A = A2 :- SalesCity(C, D, A), SalesCity(C, D2, A2).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  auto found = FindCode(bag, "MDQA-N040");
+  ASSERT_EQ(found.size(), 1u) << bag.ToText();
+  EXPECT_NE(found[0]->message.find("non-categorical"), std::string::npos);
+}
+
+TEST(LintOntologyTest, N040AbsentWhenIncrementalPathApplies) {
+  auto ontology = Skeleton();
+  // A separable (categorical-only) EGD keeps the incremental path open,
+  // so no note is warranted.
+  ASSERT_TRUE(ontology
+                  ->AddDimensionalConstraint(
+                      "D = D2 :- SalesCity(C, D, A), SalesCity(C, D2, A2).")
+                  .ok());
+  auto bag = LintOntologyBag(*ontology);
+  EXPECT_TRUE(FindCode(bag, "MDQA-N040").empty()) << bag.ToText();
+}
+
 TEST(LintOntologyTest, W022RawRuleMatchingNoForm) {
   auto ontology = Skeleton();
   // Rejected by AddDimensionalRule (upward existential-categorical is
