@@ -1,0 +1,278 @@
+// mdqa_serve under load: closed-loop clients over real loopback sockets
+// against a fresh AssessmentServer per configuration. Reports
+//
+//   - steady-state query throughput and server-side p50/p95/p99 latency
+//     at 1..N client threads (N = min(8, hardware threads)), and
+//   - shed behavior under deliberate overload: a one-worker, tiny-queue
+//     server hammered by 8 clients plus a rate-capped hot tenant — the
+//     interesting number is the shed *rate* (429s per request) and that
+//     completed requests stay 200/degraded-labeled, never 500.
+//
+// Traffic comes from the same seeded generator as the soak harness
+// (tests/generators.h): steady-state phases replay only its query/report
+// ops (updates would serialize on the single writer and measure the
+// chase, not the server); the overload phase replays everything.
+// Results land in BENCH_serve.json, stamped with git SHA + hardware
+// threads like every BENCH artifact. MDQA_BENCH_SERVE_SECONDS scales the
+// per-phase duration (default 2).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.h"
+#include "base/net.h"
+#include "bench_common.h"
+#include "generators.h"
+#include "scenarios/hospital.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+using serve::AssessmentServer;
+using serve::HttpLimits;
+using serve::ServerOptions;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+int PhaseSeconds() {
+  const char* env = std::getenv("MDQA_BENCH_SERVE_SECONDS");
+  if (env != nullptr && std::atoi(env) > 0) return std::atoi(env);
+  return 2;
+}
+
+std::unique_ptr<AssessmentServer> StartServer(const ServerOptions& options) {
+  auto context = Check(
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{}),
+      "hospital context");
+  return Check(AssessmentServer::Start(std::move(context), options),
+               "server start");
+}
+
+struct LoadResult {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t other = 0;
+};
+
+/// One closed-loop client: fires workload ops back-to-back until the
+/// deadline. `queries_only` filters to query/report ops (steady-state
+/// phases); otherwise the full mixed stream runs (overload phase).
+void RunLoad(uint16_t port, uint32_t seed, steady_clock::time_point until,
+             bool queries_only, LoadResult* out) {
+  testgen::ServeWorkload workload =
+      testgen::GenerateServeWorkload(seed, 2000);
+  size_t i = 0;
+  uint32_t chunk = 0;
+  while (steady_clock::now() < until) {
+    if (i >= workload.ops.size()) {
+      workload =
+          testgen::GenerateServeWorkload(seed + (++chunk) * 7919u, 2000);
+      i = 0;
+    }
+    const testgen::ServeOp& op = workload.ops[i++];
+    const bool is_query = op.kind == testgen::ServeOp::Kind::kQuery ||
+                          op.kind == testgen::ServeOp::Kind::kReport;
+    if (queries_only && !is_query) continue;
+    if (queries_only &&
+        op.kind == testgen::ServeOp::Kind::kDelete) {
+      continue;  // unreachable, but keeps the filter explicit
+    }
+
+    auto sock = net::ConnectLoopback(port, milliseconds(2000));
+    if (!sock.ok()) {
+      ++out->other;
+      continue;
+    }
+    const char* method =
+        op.kind == testgen::ServeOp::Kind::kReport ? "GET" : "POST";
+    const char* target =
+        op.kind == testgen::ServeOp::Kind::kReport
+            ? "/report"
+            : (is_query ? "/query" : "/update");
+    auto resp = serve::HttpRoundTrip(*sock, method, target, op.body,
+                                     {{"X-Mdqa-Tenant", op.tenant}},
+                                     HttpLimits{});
+    ++out->sent;
+    if (!resp.ok()) {
+      ++out->other;
+    } else if (resp->status == 200 || resp->status == 202) {
+      ++out->ok;
+    } else if (resp->status == 429) {
+      ++out->shed;
+    } else if (resp->status == 404 &&
+               op.kind == testgen::ServeOp::Kind::kDelete) {
+      ++out->ok;  // delete of a row a shed insert never created: honest
+    } else {
+      ++out->other;
+    }
+  }
+}
+
+struct PhaseResult {
+  int clients = 0;
+  double seconds = 0;
+  uint64_t completed = 0;
+  double throughput_rps = 0;
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+  double shed_rate = 0;
+};
+
+PhaseResult RunPhase(int clients, int seconds, bool overload) {
+  ServerOptions options;
+  if (overload) {
+    options.worker_threads = 1;
+    options.queue_capacity = 4;
+    options.update_queue_capacity = 4;
+    options.default_quota.requests_per_sec = 300.0;
+    options.default_quota.burst = 30.0;
+  } else {
+    options.worker_threads = 4;
+    // Steady state measures the server, not the limiter: roomy quotas.
+    options.default_quota.requests_per_sec = 1e9;
+    options.default_quota.burst = 1e9;
+  }
+  auto server = StartServer(options);
+  if (overload) {
+    serve::TenantQuota hot;
+    hot.requests_per_sec = 50.0;
+    hot.burst = 10.0;
+    server->SetTenantQuota("hot", hot);
+  }
+
+  const auto start = steady_clock::now();
+  const auto until = start + std::chrono::seconds(seconds);
+  std::vector<LoadResult> results(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunLoad, server->port(),
+                         static_cast<uint32_t>(5000 + 101 * c), until,
+                         /*queries_only=*/!overload, &results[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+
+  PhaseResult out;
+  out.clients = clients;
+  out.seconds = elapsed;
+  for (const LoadResult& r : results) {
+    out.completed += r.ok;
+    out.shed_rate += static_cast<double>(r.shed);
+  }
+  uint64_t sent = 0;
+  for (const LoadResult& r : results) sent += r.sent;
+  out.shed_rate = sent > 0 ? out.shed_rate / static_cast<double>(sent) : 0;
+  out.throughput_rps = static_cast<double>(out.completed) / elapsed;
+  const serve::ServerMetrics& m = server->metrics();
+  out.p50_us = m.latency.PercentileMicros(0.50);
+  out.p95_us = m.latency.PercentileMicros(0.95);
+  out.p99_us = m.latency.PercentileMicros(0.99);
+
+  server->Shutdown();
+  Check(server->DrainStatus(), "post-phase drain");
+  return out;
+}
+
+void Reproduce() {
+  const int seconds = PhaseSeconds();
+  const int max_clients = static_cast<int>(
+      std::min(8u, std::max(2u, std::thread::hardware_concurrency())));
+
+  std::vector<PhaseResult> phases;
+  std::cout << "steady-state query throughput (hospital scenario, "
+            << seconds << "s per point):\n"
+            << "  clients    req/s    p50(us)    p95(us)    p99(us)\n";
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    PhaseResult r = RunPhase(clients, seconds, /*overload=*/false);
+    phases.push_back(r);
+    std::printf("  %7d %8.0f %10llu %10llu %10llu\n", r.clients,
+                r.throughput_rps,
+                static_cast<unsigned long long>(r.p50_us),
+                static_cast<unsigned long long>(r.p95_us),
+                static_cast<unsigned long long>(r.p99_us));
+  }
+
+  PhaseResult overload = RunPhase(8, seconds, /*overload=*/true);
+  std::printf(
+      "overload (1 worker, queue 4, capped hot tenant, 8 clients):\n"
+      "  %llu completed, shed rate %.1f%%, p99 %llu us\n",
+      static_cast<unsigned long long>(overload.completed),
+      overload.shed_rate * 100.0,
+      static_cast<unsigned long long>(overload.p99_us));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("experiment").String("serve_throughput");
+  bench::StampProvenance(&w);
+  w.Key("phase_seconds").Number(static_cast<int64_t>(seconds));
+  w.Key("worker_threads").Number(int64_t{4});
+  w.Key("steady_state").BeginArray();
+  for (const PhaseResult& r : phases) {
+    w.BeginObject();
+    w.Key("clients").Number(static_cast<int64_t>(r.clients));
+    w.Key("throughput_rps").Number(r.throughput_rps);
+    w.Key("p50_us").Number(static_cast<int64_t>(r.p50_us));
+    w.Key("p95_us").Number(static_cast<int64_t>(r.p95_us));
+    w.Key("p99_us").Number(static_cast<int64_t>(r.p99_us));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("overload").BeginObject();
+  w.Key("clients").Number(static_cast<int64_t>(overload.clients));
+  w.Key("completed").Number(static_cast<int64_t>(overload.completed));
+  w.Key("shed_rate").Number(overload.shed_rate);
+  w.Key("p99_us").Number(static_cast<int64_t>(overload.p99_us));
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out("BENCH_serve.json");
+  out << w.TakeString() << "\n";
+  std::cout << "wrote BENCH_serve.json\n";
+}
+
+// google-benchmark timing: one query round trip (connect + parse +
+// evaluate + render + close) against a warm 4-worker server.
+void BM_QueryRoundTrip(benchmark::State& state) {
+  ServerOptions options;
+  options.default_quota.requests_per_sec = 1e9;
+  options.default_quota.burst = 1e9;
+  auto server = StartServer(options);
+  const std::string body =
+      R"({"query": "Q(P, V) :- Measurements(T, P, V)."})";
+  for (auto _ : state) {
+    auto sock = net::ConnectLoopback(server->port(), milliseconds(2000));
+    if (!sock.ok()) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    auto resp = serve::HttpRoundTrip(*sock, "POST", "/query", body, {},
+                                     HttpLimits{});
+    if (!resp.ok() || resp->status != 200) {
+      state.SkipWithError("query failed");
+      break;
+    }
+  }
+  server->Shutdown();
+}
+BENCHMARK(BM_QueryRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "serve_throughput",
+      "mdqa_serve under load: throughput/latency scaling and shed "
+      "behavior under overload",
+      mdqa::Reproduce);
+}

@@ -20,6 +20,14 @@
 #                               # paths: runs the incremental differential
 #                               # suite (Extend vs from-scratch, 1 and 4
 #                               # threads) under both ASan/UBSan and TSan
+#   scripts/check.sh --serve    # focused pass for the assessment daemon:
+#                               # mdqa_serve --help + --smoke start/stop,
+#                               # then the chaos/soak harness at
+#                               # MDQA_SOAK_SECONDS=30 under both
+#                               # ASan/UBSan and TSan (torn snapshots and
+#                               # vocab races are exactly what TSan is
+#                               # for; the soak's oracle byte-compare
+#                               # catches everything else)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +37,7 @@ run_san=1
 run_tsan=0
 run_lint=0
 run_incremental=0
+run_serve=0
 for arg in "$@"; do
   case "$arg" in
     --plain) run_san=0 ;;
@@ -36,6 +45,7 @@ for arg in "$@"; do
     --tsan) run_tsan=1 ;;
     --lint) run_lint=1 ;;
     --incremental) run_incremental=1; run_plain=0; run_san=0 ;;
+    --serve) run_serve=1; run_plain=0; run_san=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -77,6 +87,30 @@ if [[ $run_incremental -eq 1 ]]; then
   cmake --build build-tsan -j "$jobs" --target incremental_diff_test
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/incremental_diff_test
+fi
+
+if [[ $run_serve -eq 1 ]]; then
+  soak_secs="${MDQA_SOAK_SECONDS:-30}"
+
+  echo "== mdqa_serve smoke (plain build) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target mdqa_serve
+  ./build/tools/mdqa_serve --help >/dev/null
+  ./build/tools/mdqa_serve --smoke --threads=2
+
+  echo "== serve soak (${soak_secs}s) under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" --target serve_soak_test mdqa_serve
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    MDQA_SOAK_SECONDS="$soak_secs" ./build-san/tests/serve_soak_test
+  ./build-san/tools/mdqa_serve --smoke --threads=2
+
+  echo "== serve soak (${soak_secs}s) under TSan =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" --target serve_soak_test mdqa_serve
+  TSAN_OPTIONS=halt_on_error=1 \
+    MDQA_SOAK_SECONDS="$soak_secs" ./build-tsan/tests/serve_soak_test
+  ./build-tsan/tools/mdqa_serve --smoke --threads=2
 fi
 
 if [[ $run_lint -eq 1 ]]; then

@@ -56,6 +56,17 @@ class CancellationToken {
 ///   faults.Arm("assessor:relation", /*trip_at_hit=*/2,
 ///              Status::ResourceExhausted("injected"));
 ///   // the second relation assessed trips; all others proceed.
+///
+/// Thread contract: one injector is routinely shared by every engine of a
+/// run — pool workers hitting probes concurrently (parallel assessor,
+/// sharded chase) and, in mdqa_serve, concurrent request handlers plus a
+/// chaos thread re-arming probes mid-traffic. `Arm`, `Hit`, `HitCount`,
+/// and `Reset` are therefore all safe to call concurrently (one mutex;
+/// hit ordinals stay exact, never merely approximate — the deterministic
+/// trip-at-hit contract survives concurrency, though *which* worker
+/// observes the trip is scheduling-dependent). The concurrency regression
+/// test lives in tests/budget_test.cc and runs under TSan via
+/// scripts/check.sh --tsan.
 class FaultInjector {
  public:
   /// `count` value meaning "keep firing forever once tripped".

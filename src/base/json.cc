@@ -145,7 +145,8 @@ JsonWriter& JsonWriter::Null() {
 // scope (not anonymous) so the friend declaration in JsonValue names it.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Result<JsonValue> ParseDocument() {
     MDQA_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
@@ -157,8 +158,6 @@ class JsonParser {
   }
 
  private:
-  static constexpr int kMaxDepth = 128;
-
   Status Err(const std::string& what) const {
     return Status::InvalidArgument("JSON parse error at offset " +
                                    std::to_string(pos_) + ": " + what);
@@ -187,8 +186,11 @@ class JsonParser {
     return false;
   }
 
-  Result<JsonValue> ParseValue(int depth) {
-    if (depth > kMaxDepth) return Err("nesting too deep");
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > limits_.max_depth) {
+      return Err("nesting deeper than " + std::to_string(limits_.max_depth) +
+                 " levels");
+    }
     SkipSpace();
     if (pos_ >= text_.size()) return Err("unexpected end of input");
     JsonValue v;
@@ -221,7 +223,7 @@ class JsonParser {
     return Err(std::string("unexpected character '") + c + "'");
   }
 
-  Result<JsonValue> ParseObject(int depth) {
+  Result<JsonValue> ParseObject(size_t depth) {
     ++pos_;  // '{'
     JsonValue v;
     v.kind_ = JsonValue::Kind::kObject;
@@ -244,7 +246,7 @@ class JsonParser {
     }
   }
 
-  Result<JsonValue> ParseArray(int depth) {
+  Result<JsonValue> ParseArray(size_t depth) {
     ++pos_;  // '['
     JsonValue v;
     v.kind_ = JsonValue::Kind::kArray;
@@ -339,11 +341,19 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   size_t pos_ = 0;
 };
 
-Result<JsonValue> JsonValue::Parse(std::string_view text) {
-  JsonParser parser(text);
+Result<JsonValue> JsonValue::Parse(std::string_view text,
+                                   const JsonLimits& limits) {
+  if (text.size() > limits.max_bytes) {
+    return Status::ResourceExhausted(
+        "JSON input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_bytes) +
+        "-byte limit");
+  }
+  JsonParser parser(text, limits);
   return parser.ParseDocument();
 }
 

@@ -62,6 +62,19 @@ class JsonWriter {
   std::vector<int64_t> stack_;
 };
 
+/// Caps applied while parsing untrusted JSON. The parser is recursive
+/// descent, so an adversarial body like `[[[[…]]]]` turns nesting depth
+/// into stack depth — `max_depth` bounds it with a clean kInvalidArgument
+/// instead of a stack overflow. `max_bytes` rejects oversized documents
+/// up front (kResourceExhausted) before any allocation proportional to
+/// the input. The defaults are generous enough for every artifact this
+/// codebase emits; mdqa_serve applies much stricter limits to request
+/// bodies (see serve::ServerOptions).
+struct JsonLimits {
+  size_t max_depth = 128;
+  size_t max_bytes = 64 * 1024 * 1024;  // 64 MiB
+};
+
 /// A parsed JSON document — the reading counterpart of JsonWriter, so
 /// exported reports (assessment JSON, mdqa_lint SARIF) can be re-read and
 /// inspected without a third-party dependency. Numbers are stored as
@@ -73,9 +86,11 @@ class JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   /// Parses one JSON value (surrounding whitespace allowed; trailing
-  /// non-space input is an error). Depth is capped to keep recursion
-  /// bounded on adversarial input.
-  static Result<JsonValue> Parse(std::string_view text);
+  /// non-space input is an error). Depth and input size are capped per
+  /// `limits` to keep recursion and allocation bounded on adversarial
+  /// input.
+  static Result<JsonValue> Parse(std::string_view text,
+                                 const JsonLimits& limits = JsonLimits());
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }

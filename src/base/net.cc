@@ -1,0 +1,170 @@
+#include "base/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mdqa::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+Status SetTimeoutOpt(int fd, int opt, std::chrono::milliseconds timeout) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  return SetTimeoutOpt(fd_, SO_RCVTIMEO, timeout);
+}
+
+Status Socket::SetSendTimeout(std::chrono::milliseconds timeout) {
+  return SetTimeoutOpt(fd_, SO_SNDTIMEO, timeout);
+}
+
+Result<size_t> Socket::ReadSome(char* buf, size_t cap) {
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("net: read timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::SendAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::ResourceExhausted("net: write timed out");
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+Result<Listener> Listener::Bind(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+
+  int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+
+  Listener out;
+  out.sock_ = std::move(sock);
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Result<Socket> Listener::Accept(std::chrono::milliseconds timeout) {
+  struct pollfd pfd;
+  pfd.fd = sock_.fd();
+  pfd.events = POLLIN;
+  int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (rc < 0) {
+    if (errno == EINTR) return Status::ResourceExhausted("net: accept timed out");
+    return Errno("poll");
+  }
+  if (rc == 0) return Status::ResourceExhausted("net: accept timed out");
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  return Socket(fd);
+}
+
+Result<Socket> ConnectLoopback(uint16_t port,
+                               std::chrono::milliseconds timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  // Non-blocking connect bounded by poll, then back to blocking mode.
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int prc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (prc <= 0) return Status::ResourceExhausted("net: connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect");
+    }
+  }
+  fcntl(fd, F_SETFL, flags);
+  return sock;
+}
+
+}  // namespace mdqa::net

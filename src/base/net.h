@@ -1,0 +1,82 @@
+#ifndef MDQA_BASE_NET_H_
+#define MDQA_BASE_NET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace mdqa::net {
+
+/// Move-only RAII wrapper over a POSIX socket descriptor. All I/O in this
+/// module is blocking with explicit timeouts (SO_RCVTIMEO/SO_SNDTIMEO +
+/// poll) — the serve layer runs one request per worker thread, so
+/// readiness-based multiplexing would buy nothing here.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Bounds every subsequent blocking recv on this socket — a slow or
+  /// stalled peer cannot pin a worker thread forever (the slowloris
+  /// defense; see docs/robustness.md).
+  Status SetRecvTimeout(std::chrono::milliseconds timeout);
+  Status SetSendTimeout(std::chrono::milliseconds timeout);
+
+  /// Reads up to `cap` bytes. 0 means orderly EOF. A recv timeout
+  /// surfaces as kResourceExhausted ("read timed out").
+  Result<size_t> ReadSome(char* buf, size_t cap);
+
+  /// Writes all of `data` (looping over short writes). SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL); a closed peer surfaces as a Status.
+  Status SendAll(std::string_view data);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to the loopback interface only — mdqa_serve
+/// is an assessment daemon, not an internet-facing proxy; anything wider
+/// belongs behind a real front end.
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port —
+  /// read it back with `port()`).
+  static Result<Listener> Bind(uint16_t port, int backlog = 64);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  /// Waits up to `timeout` for a connection. Timeout surfaces as
+  /// kResourceExhausted, so accept loops can poll a stop flag between
+  /// attempts without blocking shutdown.
+  Result<Socket> Accept(std::chrono::milliseconds timeout);
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` within `timeout`.
+Result<Socket> ConnectLoopback(uint16_t port, std::chrono::milliseconds timeout);
+
+}  // namespace mdqa::net
+
+#endif  // MDQA_BASE_NET_H_

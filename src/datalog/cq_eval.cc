@@ -205,6 +205,13 @@ Status CqEvaluator::Enumerate(
   s.on_match = &on_match;
   s.subst = initial;
   s.used.assign(atoms.size(), false);
+  // Poll once per enumeration: on instances smaller than the row-polling
+  // batch the per-row tick never wraps, and cancellation/armed fault
+  // probes would otherwise be invisible to short queries.
+  if (s.budget != nullptr) {
+    Status bs = s.budget->Check("cq:row");
+    if (!bs.ok()) return bs;
+  }
   if (!ComparisonsHold(s) || !NegationHolds(s)) return Status::Ok();
   Recurse(&s, atoms.size());
   return s.error;

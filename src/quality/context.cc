@@ -393,6 +393,13 @@ Result<qa::AnswerSet> PreparedContext::RawAnswers(
 
 Result<qa::AnswerSet> PreparedContext::CleanAnswers(
     const std::string& query_text) const {
+  MDQA_ASSIGN_OR_RETURN(ConjunctiveQuery query,
+                        PrepareCleanQuery(query_text));
+  return Evaluate(std::move(query));
+}
+
+Result<ConjunctiveQuery> PreparedContext::PrepareCleanQuery(
+    const std::string& query_text) const {
   Vocabulary* vocab = program_.vocab().get();
   MDQA_ASSIGN_OR_RETURN(ConjunctiveQuery query,
                         Parser::ParseQuery(query_text, vocab));
@@ -404,7 +411,17 @@ Result<qa::AnswerSet> PreparedContext::CleanAnswers(
                           vocab->InternPredicate(it->second, a.arity()));
     a.predicate = q_pred;
   }
-  return Evaluate(std::move(query));
+  return query;
+}
+
+Result<ConjunctiveQuery> PreparedContext::PrepareRawQuery(
+    const std::string& query_text) const {
+  return Parser::ParseQuery(query_text, program_.vocab().get());
+}
+
+Result<qa::AnswerSet> PreparedContext::Answer(const ConjunctiveQuery& query,
+                                              ExecutionBudget* budget) const {
+  return Evaluate(query, budget);
 }
 
 Result<Relation> PreparedContext::QualityVersion(const std::string& original,

@@ -183,6 +183,29 @@ class PreparedContext {
   /// Answers `query_text` as written.
   Result<qa::AnswerSet> RawAnswers(const std::string& query_text) const;
 
+  /// The parse/evaluate split the serve layer builds on. Parsing a query
+  /// text interns new symbols into the shared (single-mutator)
+  /// Vocabulary, while evaluating a *prepared* query only reads the
+  /// materialized instance. `mdqa_serve` therefore serializes Prepare*
+  /// calls behind a write lock and runs any number of `Answer` calls
+  /// concurrently under a read lock (see docs/robustness.md); it also
+  /// re-`Answer`s the same prepared query on budget-escalation retries
+  /// without re-parsing.
+  ///
+  /// `PrepareCleanQuery` applies the Q → Q^q rewriting; `PrepareRawQuery`
+  /// keeps the query as written.
+  Result<datalog::ConjunctiveQuery> PrepareCleanQuery(
+      const std::string& query_text) const;
+  Result<datalog::ConjunctiveQuery> PrepareRawQuery(
+      const std::string& query_text) const;
+
+  /// Evaluates a query prepared above. Thread-safe: reads only the
+  /// materialized instance and the pre-bound query. A non-null `budget`
+  /// bounds the evaluation; a trip returns the answers found so far with
+  /// `AnswerSet::completeness == kTruncated` (sound, by monotonicity).
+  Result<qa::AnswerSet> Answer(const datalog::ConjunctiveQuery& query,
+                               ExecutionBudget* budget = nullptr) const;
+
   /// The quality version of `original`, read off the materialized
   /// instance. A non-null `budget` bounds the read-off evaluation; on a
   /// budget trip the rows found so far are returned with the truncation

@@ -1,0 +1,74 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace mdqa::serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(std::max(rate_per_sec, 1e-9)),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_) {}
+
+bool TokenBucket::TryAcquire(std::chrono::steady_clock::time_point now,
+                             double* retry_after_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    started_ = true;
+    last_ = now;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - last_).count();
+  if (elapsed > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_ = now;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  if (retry_after_sec != nullptr) {
+    *retry_after_sec = (1.0 - tokens_) / rate_;
+  }
+  return false;
+}
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  t.quota = quota;
+  t.bucket = std::make_shared<TokenBucket>(quota.requests_per_sec,
+                                           quota.burst);
+}
+
+AdmissionController::Decision AdmissionController::AdmitAt(
+    const std::string& tenant, std::chrono::steady_clock::time_point now) {
+  std::shared_ptr<TokenBucket> bucket;
+  Decision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      Tenant t;
+      t.quota = default_quota_;
+      t.bucket = std::make_shared<TokenBucket>(
+          default_quota_.requests_per_sec, default_quota_.burst);
+      it = tenants_.emplace(tenant, std::move(t)).first;
+    }
+    d.quota = it->second.quota;
+    bucket = it->second.bucket;
+  }
+  // The registry lock is released before the bucket's own lock is taken —
+  // a hot tenant's bucket contention never serializes other tenants'
+  // admission. The shared_ptr keeps the bucket alive across a concurrent
+  // SetQuota replacement.
+  d.admitted = bucket->TryAcquire(now, &d.retry_after_sec);
+  return d;
+}
+
+size_t AdmissionController::NumTenantsSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace mdqa::serve

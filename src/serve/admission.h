@@ -1,0 +1,94 @@
+#ifndef MDQA_SERVE_ADMISSION_H_
+#define MDQA_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mdqa::serve {
+
+/// Per-tenant resource envelope: how fast a tenant may send (token
+/// bucket) and how large each admitted request's `ExecutionBudget` slice
+/// is (counter caps + deadline ceiling). The budget slice is the second
+/// half of admission control — passing the bucket gets a request *in*,
+/// the slice bounds what it can *do* once in, so a single tenant's
+/// pathological queries degrade (kTruncated, labeled) instead of starving
+/// the process.
+struct TenantQuota {
+  /// Token bucket: sustained requests/second and burst capacity.
+  double requests_per_sec = 200.0;
+  double burst = 50.0;
+  /// Per-request ExecutionBudget caps (0 = uncapped).
+  uint64_t max_steps_per_request = 0;
+  uint64_t max_facts_per_request = 0;
+  /// Ceiling on the per-request deadline (a client-requested deadline is
+  /// clamped to this).
+  std::chrono::milliseconds max_deadline{2000};
+};
+
+/// A standard token bucket: capacity `burst`, refill `rate` tokens/sec.
+/// Thread-safe; time is passed in so tests drive it deterministically.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes one token if available. On refusal returns false and sets
+  /// `*retry_after_sec` to the time until a token will exist — the
+  /// value the server sends as `Retry-After`.
+  bool TryAcquire(std::chrono::steady_clock::time_point now,
+                  double* retry_after_sec);
+
+ private:
+  std::mutex mu_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// Per-tenant admission: a token bucket per tenant id (created on demand
+/// with the default quota; `SetQuota` installs overrides). Unknown
+/// tenants are admitted under the default quota rather than rejected —
+/// quotas are a protection mechanism, not an authentication one.
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantQuota default_quota)
+      : default_quota_(default_quota) {}
+
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+
+  struct Decision {
+    bool admitted = false;
+    double retry_after_sec = 0.0;
+    TenantQuota quota;  // the tenant's quota, for budget-slice sizing
+  };
+
+  Decision Admit(const std::string& tenant) {
+    return AdmitAt(tenant, std::chrono::steady_clock::now());
+  }
+  /// Deterministic variant for tests.
+  Decision AdmitAt(const std::string& tenant,
+                   std::chrono::steady_clock::time_point now);
+
+  size_t NumTenantsSeen() const;
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    /// shared_ptr so an Admit caller can release the registry lock while
+    /// it talks to the bucket, even if SetQuota concurrently replaces it.
+    std::shared_ptr<TokenBucket> bucket;
+  };
+
+  mutable std::mutex mu_;
+  TenantQuota default_quota_;
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace mdqa::serve
+
+#endif  // MDQA_SERVE_ADMISSION_H_

@@ -1,0 +1,299 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mdqa::serve {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* FindIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits a raw header block (after the start line) into name/value pairs.
+Status ParseHeaderLines(
+    std::string_view block,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2 > block.size() ? block.size() : eol + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    out->emplace_back(std::string(Trim(line.substr(0, colon))),
+                      std::string(Trim(line.substr(colon + 1))));
+  }
+  return Status::Ok();
+}
+
+/// Reads from `sock` into `buf` until `buf` contains `want` bytes or, when
+/// `until_eof`, the peer closes. Cap enforced by the caller.
+Status ReadUpTo(net::Socket& sock, std::string* buf, size_t want) {
+  char chunk[4096];
+  while (buf->size() < want) {
+    size_t cap = std::min(sizeof(chunk), want - buf->size());
+    MDQA_ASSIGN_OR_RETURN(size_t n, sock.ReadSome(chunk, cap));
+    if (n == 0) {
+      return Status::NotFound("http: connection closed mid-message");
+    }
+    buf->append(chunk, n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ParseContentLength(const std::string& text) {
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("http: malformed Content-Length");
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+    if (value > (1ull << 40)) {
+      return Status::InvalidArgument("http: absurd Content-Length");
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Result<HttpRequest> ReadHttpRequest(net::Socket& sock,
+                                    const HttpLimits& limits) {
+  MDQA_RETURN_IF_ERROR(sock.SetRecvTimeout(limits.read_timeout));
+
+  // Header phase: read until the blank line, never past the header cap.
+  std::string buf;
+  size_t header_end = std::string::npos;
+  while (true) {
+    header_end = buf.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buf.size() >= limits.max_header_bytes) {
+      return Status::ResourceExhausted("http: headers exceed " +
+                                       std::to_string(limits.max_header_bytes) +
+                                       " bytes");
+    }
+    char chunk[4096];
+    size_t cap = std::min(sizeof(chunk), limits.max_header_bytes - buf.size());
+    MDQA_ASSIGN_OR_RETURN(size_t n, sock.ReadSome(chunk, cap));
+    if (n == 0) {
+      if (buf.empty()) return Status::NotFound("http: peer closed");
+      return Status::NotFound("http: connection closed mid-headers");
+    }
+    buf.append(chunk, n);
+  }
+
+  std::string_view head(buf.data(), header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view start_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  HttpRequest req;
+  size_t sp1 = start_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  req.method = std::string(start_line.substr(0, sp1));
+  std::string_view target = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = start_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("http: unsupported version");
+  }
+  size_t qmark = target.find('?');
+  req.target = std::string(
+      qmark == std::string_view::npos ? target : target.substr(0, qmark));
+
+  if (line_end != std::string_view::npos) {
+    MDQA_RETURN_IF_ERROR(
+        ParseHeaderLines(head.substr(line_end + 2), &req.headers));
+  }
+
+  if (req.FindHeader("Transfer-Encoding") != nullptr) {
+    return Status::Unimplemented("http: chunked bodies not supported");
+  }
+
+  size_t body_start = header_end + 4;
+  size_t content_length = 0;
+  if (const std::string* cl = req.FindHeader("Content-Length")) {
+    MDQA_ASSIGN_OR_RETURN(content_length, ParseContentLength(*cl));
+  }
+  if (content_length > limits.max_body_bytes) {
+    return Status::ResourceExhausted("http: body of " +
+                                     std::to_string(content_length) +
+                                     " bytes exceeds the " +
+                                     std::to_string(limits.max_body_bytes) +
+                                     "-byte limit");
+  }
+  MDQA_RETURN_IF_ERROR(ReadUpTo(sock, &buf, body_start + content_length));
+  req.body = buf.substr(body_start, content_length);
+  return req;
+}
+
+std::string SerializeHttpResponse(
+    int status, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpStatusReason(status);
+  out += "\r\nContent-Type: application/json\r\nConnection: close\r\n";
+  for (const auto& [k, v] : extra_headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<HttpResponse> HttpRoundTrip(
+    net::Socket& sock, std::string_view method, std::string_view target,
+    std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const HttpLimits& limits) {
+  std::string req;
+  req.reserve(128 + body.size());
+  req += method;
+  req += ' ';
+  req += target;
+  req += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n";
+  for (const auto& [k, v] : headers) {
+    req += k;
+    req += ": ";
+    req += v;
+    req += "\r\n";
+  }
+  req += "Content-Length: ";
+  req += std::to_string(body.size());
+  req += "\r\n\r\n";
+  req += body;
+  MDQA_RETURN_IF_ERROR(sock.SetSendTimeout(limits.read_timeout));
+  MDQA_RETURN_IF_ERROR(sock.SendAll(req));
+  MDQA_RETURN_IF_ERROR(sock.SetRecvTimeout(limits.read_timeout));
+
+  // The server closes after one response: read headers, then body to
+  // Content-Length (or EOF), under the same caps as the server side.
+  std::string buf;
+  size_t header_end = std::string::npos;
+  while (true) {
+    header_end = buf.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buf.size() >= limits.max_header_bytes) {
+      return Status::ResourceExhausted("http: response headers too large");
+    }
+    char chunk[4096];
+    MDQA_ASSIGN_OR_RETURN(size_t n, sock.ReadSome(chunk, sizeof(chunk)));
+    if (n == 0) return Status::NotFound("http: closed mid-response");
+    buf.append(chunk, n);
+  }
+  std::string_view head(buf.data(), header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  HttpResponse resp;
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+    return Status::InvalidArgument("http: malformed status line");
+  }
+  resp.status = 0;
+  for (size_t i = sp1 + 1;
+       i < status_line.size() && std::isdigit(static_cast<unsigned char>(
+                                     status_line[i]));
+       ++i) {
+    resp.status = resp.status * 10 + (status_line[i] - '0');
+  }
+  if (line_end != std::string_view::npos) {
+    MDQA_RETURN_IF_ERROR(
+        ParseHeaderLines(head.substr(line_end + 2), &resp.headers));
+  }
+  size_t body_start = header_end + 4;
+  size_t content_length = 0;
+  if (const std::string* cl = resp.FindHeader("Content-Length")) {
+    MDQA_ASSIGN_OR_RETURN(content_length, ParseContentLength(*cl));
+    if (content_length > limits.max_body_bytes) {
+      return Status::ResourceExhausted("http: response body too large");
+    }
+    MDQA_RETURN_IF_ERROR(ReadUpTo(sock, &buf, body_start + content_length));
+    resp.body = buf.substr(body_start, content_length);
+  } else {
+    // Read to EOF under the body cap.
+    char chunk[4096];
+    while (buf.size() < body_start + limits.max_body_bytes) {
+      MDQA_ASSIGN_OR_RETURN(size_t n, sock.ReadSome(chunk, sizeof(chunk)));
+      if (n == 0) break;
+      buf.append(chunk, n);
+    }
+    resp.body = buf.substr(body_start);
+  }
+  return resp;
+}
+
+}  // namespace mdqa::serve

@@ -1,0 +1,80 @@
+#ifndef MDQA_SERVE_HTTP_H_
+#define MDQA_SERVE_HTTP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/net.h"
+#include "base/result.h"
+
+namespace mdqa::serve {
+
+/// Caps applied while reading a request from an untrusted client. Every
+/// limit trips with a clean Status (mapped to 431/413/408 by the server)
+/// instead of unbounded buffering — a misbehaving tenant can cost the
+/// daemon at most `max_header_bytes + max_body_bytes` of memory and
+/// `read_timeout` of one worker's time.
+struct HttpLimits {
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 * 1024 * 1024;
+  std::chrono::milliseconds read_timeout{5000};
+};
+
+/// One parsed HTTP/1.1 request. The serve layer speaks
+/// one-request-per-connection (`Connection: close`) — keep-alive would
+/// complicate the drain/backpressure story for no benefit at loopback
+/// latencies.
+struct HttpRequest {
+  std::string method;  // "GET", "POST"
+  std::string target;  // path only; the query string is stripped
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// A parsed HTTP response (client side — the soak harness, the load
+/// generator, and `mdqa_serve --smoke` all drive the daemon through real
+/// sockets, not an in-process shortcut).
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Reads and parses one request from `sock` under `limits`.
+/// Error statuses: kInvalidArgument (malformed), kResourceExhausted
+/// (header/body over cap, read timeout), kUnimplemented (chunked
+/// encoding), kNotFound (peer closed before a full request).
+Result<HttpRequest> ReadHttpRequest(net::Socket& sock,
+                                    const HttpLimits& limits);
+
+/// Serializes a response with Content-Length, Content-Type:
+/// application/json, and Connection: close added automatically.
+std::string SerializeHttpResponse(
+    int status, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+/// Client side: sends `method target` with `body` (adding Content-Length
+/// and Host) and reads the full response (the server closes after one
+/// response, so body reads run to EOF or Content-Length).
+Result<HttpResponse> HttpRoundTrip(
+    net::Socket& sock, std::string_view method, std::string_view target,
+    std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const HttpLimits& limits);
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* HttpStatusReason(int status);
+
+}  // namespace mdqa::serve
+
+#endif  // MDQA_SERVE_HTTP_H_

@@ -1,0 +1,80 @@
+#include "serve/metrics.h"
+
+#include "base/json.h"
+
+namespace mdqa::serve {
+
+namespace {
+
+size_t BucketOf(uint64_t micros) {
+  size_t b = 0;
+  while (micros > 1 && b + 1 < LatencyHistogram::kBuckets) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  uint64_t snapshot[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the p-quantile, clamped to [1, total] so p<=0 still lands on
+  // the smallest recorded value instead of an empty leading bucket.
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen >= target) return 1ull << (i + 1);  // bucket upper bound
+  }
+  return 1ull << kBuckets;
+}
+
+std::string ServerMetrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  auto n = [&w](const char* key, const std::atomic<uint64_t>& v) {
+    w.Key(key).Number(static_cast<int64_t>(v.load(std::memory_order_relaxed)));
+  };
+  n("connections_accepted", connections_accepted);
+  n("requests_parsed", requests_parsed);
+  n("shed_queue_full", shed_queue_full);
+  n("shed_tenant_rate", shed_tenant_rate);
+  n("rejected_malformed", rejected_malformed);
+  n("completed_ok", completed_ok);
+  n("degraded_responses", degraded_responses);
+  n("retries", retries);
+  n("watchdog_cancels", watchdog_cancels);
+  n("updates_applied", updates_applied);
+  n("update_fallbacks", update_fallbacks);
+  n("internal_errors", internal_errors);
+  w.Key("latency_count").Number(static_cast<int64_t>(latency.Count()));
+  w.Key("latency_p50_us")
+      .Number(static_cast<int64_t>(latency.PercentileMicros(0.50)));
+  w.Key("latency_p95_us")
+      .Number(static_cast<int64_t>(latency.PercentileMicros(0.95)));
+  w.Key("latency_p99_us")
+      .Number(static_cast<int64_t>(latency.PercentileMicros(0.99)));
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mdqa::serve

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "datalog/chase.h"
 #include "datalog/parser.h"
@@ -65,6 +67,69 @@ TEST(FaultInjector, AlwaysKeepsTripping) {
   }
   faults.Reset();
   EXPECT_TRUE(faults.Hit("p").ok());
+}
+
+// The serve-layer contract (see the FaultInjector class comment): one
+// injector shared by concurrent request handlers plus a chaos thread that
+// re-arms probes mid-traffic. Under TSan (scripts/check.sh --tsan) this
+// is the data-race regression test; under any build it checks the exact-
+// ordinal guarantee — hit counts are never lost or double-counted, and
+// the armed window [trip_at, trip_at + count) trips exactly `count`
+// times no matter how hits interleave across threads.
+TEST(FaultInjector, ConcurrentHitsKeepExactOrdinals) {
+  FaultInjector faults;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kHitsPerThread = 2000;
+  constexpr uint64_t kWindow = 500;
+  faults.Arm("shared", 1000, Status::ResourceExhausted("injected"), kWindow);
+
+  std::atomic<uint64_t> trips{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&faults, &trips] {
+      for (uint64_t i = 0; i < kHitsPerThread; ++i) {
+        if (!faults.Hit("shared").ok()) {
+          trips.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Independent probes from the same threads must not interfere.
+        faults.Hit("other");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(faults.HitCount("shared"), kThreads * kHitsPerThread);
+  EXPECT_EQ(faults.HitCount("other"), kThreads * kHitsPerThread);
+  EXPECT_EQ(trips.load(), kWindow);
+}
+
+// Arm/Reset racing a stream of hits: TSan's target. The assertable
+// invariant is weaker (which hits land inside the re-armed window is
+// scheduling-dependent) — no crash, no race report, and the final Reset
+// leaves a clean slate.
+TEST(FaultInjector, RearmAndResetRaceHitStream) {
+  FaultInjector faults;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&faults, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        faults.Hit("chaos");
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    faults.Arm("chaos", 10, Status::Internal("injected"),
+               FaultInjector::kAlways);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    faults.Reset();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : hitters) t.join();
+  faults.Reset();
+  EXPECT_EQ(faults.HitCount("chaos"), 0u);
+  EXPECT_TRUE(faults.Hit("chaos").ok());
 }
 
 TEST(ExecutionBudget, FactLimitTripsExactlyWhenExceeded) {

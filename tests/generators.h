@@ -9,6 +9,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mdqa::testgen {
@@ -139,6 +140,121 @@ inline UpdateSequence GenerateUpdateSequence(uint32_t seed) {
       batch.push_back(fact.str());
     }
     out.batches.push_back(std::move(batch));
+  }
+  return out;
+}
+
+/// One client action in a serve workload. Rows are triples for the
+/// hospital Measurements schema (Time, Patient, Value), rendered as the
+/// JSON bodies mdqa_serve's /query and /update endpoints accept.
+struct ServeOp {
+  enum class Kind { kQuery, kReport, kInsert, kDelete };
+  Kind kind = Kind::kQuery;
+  /// Tenant id, drawn from a skewed distribution so one hot tenant
+  /// exercises the rate limiter while the cold ones sail through.
+  std::string tenant;
+  /// Request body for POST /query or /update ("" for GET /report).
+  std::string body;
+  /// For kInsert: the time keys of the batch's rows; for kDelete: the one
+  /// row being deleted. Clients track which inserts the server actually
+  /// acknowledged (200/202, not shed) and skip deletes of unacknowledged
+  /// rows — the server rejects deleting absent rows with 404.
+  std::vector<std::string> row_times;
+};
+
+/// A seeded mixed serve workload: mostly queries, a stream of insert
+/// bursts, and deletes drawn only from this stream's own earlier inserts
+/// (rendered in emit order, so replaying ops[0..i] in order keeps every
+/// delete valid once its insert was acknowledged). Tenant choice is
+/// skewed: ~half the ops come from "hot", the rest spread over
+/// `tenants - 1` cold tenants. Pure function of the seed — shared by
+/// tests/serve_soak_test.cc and bench/bench_serve.cc so a soak failure
+/// reproduces from (seed, op index) alone.
+struct ServeWorkload {
+  std::vector<ServeOp> ops;
+};
+
+inline ServeWorkload GenerateServeWorkload(uint32_t seed, size_t n_ops,
+                                           int tenants = 4) {
+  std::mt19937 rng(seed * 40503u + 9973u);
+  auto pick = [&rng](int n) {
+    return static_cast<int>(rng() % static_cast<uint32_t>(n));
+  };
+  if (tenants < 2) tenants = 2;
+
+  ServeWorkload out;
+  out.ops.reserve(n_ops);
+  // Inserted-but-not-yet-deleted rows, in insert order. The row key is
+  // seed-tagged so workloads with different seeds (one per client thread
+  // in the soak test) never generate colliding rows.
+  struct Row {
+    std::string time, patient, value;
+  };
+  std::vector<Row> live;
+  uint32_t next_row = 0;
+
+  const char* queries[] = {
+      "Q(P, V) :- Measurements(T, P, V).",
+      "Q(T, V) :- Measurements(T, \"Tom Waits\", V).",
+      "Q(T, P, V) :- Measurements(T, P, V), V > 37.5.",
+      "Q(P) :- Measurements(T, P, V).",
+  };
+
+  for (size_t i = 0; i < n_ops; ++i) {
+    ServeOp op;
+    op.tenant = (pick(2) == 0) ? "hot"
+                               : "cold" + std::to_string(pick(tenants - 1));
+    const int roll = pick(10);
+    if (roll < 6) {  // 60% queries, mixed clean/raw
+      op.kind = ServeOp::Kind::kQuery;
+      // Datalog constants carry quotes; escape them for the JSON body.
+      std::string escaped;
+      for (char c : std::string_view(queries[pick(4)])) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        escaped.push_back(c);
+      }
+      std::ostringstream body;
+      body << "{\"query\": \"" << escaped << "\", \"clean\": "
+           << (pick(3) == 0 ? "false" : "true") << "}";
+      op.body = body.str();
+    } else if (roll < 7) {  // 10% report reads
+      op.kind = ServeOp::Kind::kReport;
+    } else if (roll < 9 || live.empty()) {  // inserts, in bursts of 1..3
+      op.kind = ServeOp::Kind::kInsert;
+      std::ostringstream body;
+      body << "{\"relation\": \"Measurements\", \"insert\": [";
+      const int burst = 1 + pick(3);
+      for (int b = 0; b < burst; ++b) {
+        Row row;
+        row.time = "Sep/" + std::to_string(5 + pick(5)) + "-" +
+                   std::to_string(10 + pick(10)) + ":" +
+                   std::to_string(10 + pick(50)) + ".s" +
+                   std::to_string(seed) + "r" + std::to_string(next_row++);
+        row.patient = "Gen Patient " + std::to_string(pick(6));
+        row.value =
+            std::to_string(36 + pick(3)) + "." + std::to_string(pick(10));
+        if (b > 0) body << ", ";
+        body << "[\"" << row.time << "\", \"" << row.patient << "\", \""
+             << row.value << "\"]";
+        op.row_times.push_back(row.time);
+        live.push_back(std::move(row));
+      }
+      body << "]}";
+      op.body = body.str();
+    } else {  // deletes, only of rows this stream inserted earlier
+      op.kind = ServeOp::Kind::kDelete;
+      const size_t victim = static_cast<size_t>(
+          pick(static_cast<int>(live.size())));
+      const Row& row = live[victim];
+      std::ostringstream body;
+      body << "{\"relation\": \"Measurements\", \"delete\": [[\""
+           << row.time << "\", \"" << row.patient << "\", \"" << row.value
+           << "\"]]}";
+      op.body = body.str();
+      op.row_times.push_back(row.time);
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    out.ops.push_back(std::move(op));
   }
   return out;
 }

@@ -160,6 +160,48 @@ TEST(JsonParse, Errors) {
   EXPECT_FALSE(JsonValue::Parse("nul").ok());
 }
 
+TEST(JsonParse, DepthLimitTripsCleanly) {
+  // A pathological `[[[[…]]]]` body must trip the cap with a clean
+  // kInvalidArgument, not convert input length into C++ stack depth.
+  const std::string deep(100000, '[');
+  auto v = JsonValue::Parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(v.status().message().find("nesting"), std::string::npos);
+
+  // Same for object nesting, and for a custom (tight) limit.
+  JsonLimits tight;
+  tight.max_depth = 3;
+  EXPECT_TRUE(JsonValue::Parse("[[[1]]]", tight).ok());
+  auto over = JsonValue::Parse("[[[[1]]]]", tight);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+  auto obj = JsonValue::Parse("{\"a\":{\"b\":{\"c\":{\"d\":1}}}}", tight);
+  EXPECT_FALSE(obj.ok());
+}
+
+TEST(JsonParse, DepthLimitBoundaryExact) {
+  // A scalar wrapped in exactly max_depth arrays sits at depth max_depth
+  // and passes; one more wrapper trips.
+  JsonLimits limits;
+  std::string at_limit = "1";
+  for (size_t i = 0; i < limits.max_depth; ++i) {
+    at_limit = "[" + at_limit + "]";
+  }
+  EXPECT_TRUE(JsonValue::Parse(at_limit).ok());
+  EXPECT_FALSE(JsonValue::Parse("[" + at_limit + "]").ok());
+}
+
+TEST(JsonParse, SizeCapRejectsOversizedInputUpFront) {
+  JsonLimits tiny;
+  tiny.max_bytes = 16;
+  EXPECT_TRUE(JsonValue::Parse("{\"k\": 1}", tiny).ok());
+  auto v = JsonValue::Parse("{\"key\": \"0123456789abcdef\"}", tiny);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(v.status().message().find("exceeds"), std::string::npos);
+}
+
 TEST(JsonParse, DuplicateKeysPreservedFindReturnsFirst) {
   auto v = JsonValue::Parse("{\"k\": 1, \"k\": 2}");
   ASSERT_TRUE(v.ok());

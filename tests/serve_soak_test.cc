@@ -1,0 +1,393 @@
+// Chaos/soak harness for mdqa_serve's server core: seeded mixed traffic
+// (skewed tenants, queries, insert/delete bursts) from concurrent client
+// threads over real loopback sockets, with a chaos thread arming and
+// re-arming fault probes mid-flight. Asserts the daemon's robustness
+// contract end to end:
+//
+//   1. no crash, no protocol-level garbage (every response parses);
+//   2. no torn snapshot reads — every response's `generation` equals its
+//      `generation_check`, and generations observed by one client never
+//      go backwards;
+//   3. every response computed from partial work is labeled
+//      ("degraded": true + a truncation interruption) and nothing is
+//      silently dropped (no unexplained 404/500);
+//   4. after a graceful drain, the published report byte-matches a
+//      from-scratch serial assessment of the final database (the oracle).
+//
+// Duration: MDQA_SOAK_SECONDS (default 3 — tier-1 friendly;
+// scripts/check.sh --serve runs the full 30s under ASan and TSan).
+// Violations are collected per client and reported with (seed, op index)
+// so any failure reproduces from the log line alone.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.h"
+#include "base/net.h"
+#include "generators.h"
+#include "scenarios/hospital.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace mdqa::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+int SoakSeconds() {
+  const char* env = std::getenv("MDQA_SOAK_SECONDS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+double NumField(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.Find(key);
+  return f != nullptr && f->is_number() ? f->AsNumber() : -1.0;
+}
+
+std::string StrField(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.Find(key);
+  return f != nullptr ? f->AsString() : "";
+}
+
+/// Everything one client thread observed; violations carry (seed, op)
+/// coordinates. EXPECTs run on the main thread after join.
+struct ClientLog {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;       // 429 (tenant rate or queue full)
+  uint64_t pending = 0;    // 202 update acks
+  uint64_t degraded = 0;   // labeled partial results
+  uint64_t io_errors = 0;  // connect/read failures (drain races)
+  std::vector<std::string> violations;
+
+  void Violation(uint32_t seed, size_t op, const std::string& what) {
+    if (violations.size() < 20) {
+      violations.push_back("seed=" + std::to_string(seed) +
+                           " op=" + std::to_string(op) + ": " + what);
+    }
+  }
+};
+
+/// One client: replays seeded workload chunks until the deadline,
+/// checking every response against the robustness contract. `tolerate_io`
+/// is set for the drain-under-load scenario, where connection errors and
+/// 503s are the expected way to experience the shutdown.
+void RunClient(uint16_t port, uint32_t base_seed,
+               steady_clock::time_point until, bool tolerate_io,
+               ClientLog* log) {
+  std::set<std::string> acked_rows;
+  double last_generation = 0;
+  uint32_t chunk = 0;
+  size_t op_index = 0;
+  testgen::ServeWorkload workload =
+      testgen::GenerateServeWorkload(base_seed, 2000);
+
+  while (steady_clock::now() < until) {
+    if (op_index >= workload.ops.size()) {
+      // Fresh chunk, fresh seed — row keys never collide across chunks.
+      workload = testgen::GenerateServeWorkload(
+          base_seed + (++chunk) * 7919u, 2000);
+      op_index = 0;
+    }
+    const testgen::ServeOp& op = workload.ops[op_index];
+    const uint32_t seed = base_seed + chunk * 7919u;
+    const size_t at = op_index++;
+
+    // Deletes of rows whose insert was shed would be honest 404s; the
+    // contract under test is "no *unexplained* failure", so skip them.
+    if (op.kind == testgen::ServeOp::Kind::kDelete &&
+        acked_rows.count(op.row_times[0]) == 0) {
+      continue;
+    }
+
+    auto sock = net::ConnectLoopback(port, milliseconds(2000));
+    if (!sock.ok()) {
+      ++log->io_errors;
+      if (!tolerate_io) {
+        log->Violation(seed, at, "connect failed: " + sock.status().ToString());
+        return;
+      }
+      continue;
+    }
+    const bool is_update = op.kind == testgen::ServeOp::Kind::kInsert ||
+                           op.kind == testgen::ServeOp::Kind::kDelete;
+    const char* method =
+        op.kind == testgen::ServeOp::Kind::kReport ? "GET" : "POST";
+    const char* target = op.kind == testgen::ServeOp::Kind::kReport
+                             ? "/report"
+                             : (is_update ? "/update" : "/query");
+    auto resp = HttpRoundTrip(
+        *sock, method, target, op.body,
+        {{"X-Mdqa-Tenant", op.tenant}, {"X-Mdqa-Deadline-Ms", "300"}},
+        HttpLimits{});
+    ++log->requests;
+    if (!resp.ok()) {
+      ++log->io_errors;
+      if (!tolerate_io) {
+        log->Violation(seed, at, "round trip failed: " +
+                                     resp.status().ToString());
+      }
+      continue;
+    }
+
+    auto body = JsonValue::Parse(resp->body);
+    if (!body.ok()) {
+      log->Violation(seed, at, "unparseable body (status " +
+                                   std::to_string(resp->status) +
+                                   "): " + resp->body);
+      continue;
+    }
+
+    switch (resp->status) {
+      case 200: {
+        ++log->ok;
+        if (is_update) {
+          for (const std::string& row : op.row_times) {
+            if (op.kind == testgen::ServeOp::Kind::kInsert) {
+              acked_rows.insert(row);
+            } else {
+              acked_rows.erase(row);
+            }
+          }
+        }
+        const double gen = NumField(*body, "generation");
+        if (gen < 0) break;  // update acks carry only the new generation
+        if (gen < last_generation) {
+          log->Violation(seed, at, "generation went backwards");
+        }
+        last_generation = gen;
+        // Torn-read witness: both fields were read off the pinned
+        // snapshot, one before and one after rendering.
+        if (!is_update && gen != NumField(*body, "generation_check")) {
+          log->Violation(seed, at, "torn generation: " + resp->body);
+        }
+        if (!is_update && op.kind != testgen::ServeOp::Kind::kReport) {
+          const JsonValue* degraded = body->Find("degraded");
+          const std::string completeness = StrField(*body, "completeness");
+          if (degraded == nullptr) {
+            log->Violation(seed, at, "missing degraded label");
+          } else if (degraded->AsBool()) {
+            ++log->degraded;
+            if (completeness != "truncated") {
+              log->Violation(seed, at,
+                             "degraded but completeness=" + completeness);
+            }
+            if (StrField(*body, "interruption") == "OK") {
+              log->Violation(seed, at, "degraded without an interruption");
+            }
+          } else if (completeness == "truncated") {
+            log->Violation(seed, at, "truncated but not labeled degraded");
+          }
+        }
+        break;
+      }
+      case 202:  // update accepted, still queued: it WILL apply (FIFO)
+        ++log->pending;
+        for (const std::string& row : op.row_times) {
+          if (op.kind == testgen::ServeOp::Kind::kInsert) {
+            acked_rows.insert(row);
+          } else {
+            acked_rows.erase(row);
+          }
+        }
+        break;
+      case 429: {
+        ++log->shed;
+        if (resp->FindHeader("Retry-After") == nullptr) {
+          log->Violation(seed, at, "429 without Retry-After");
+        }
+        break;
+      }
+      case 503:  // draining — only tolerable while shutdown is racing us
+        if (!tolerate_io) {
+          log->Violation(seed, at, "unexpected 503: " + resp->body);
+        }
+        break;
+      default:
+        log->Violation(seed, at,
+                       "unexpected status " + std::to_string(resp->status) +
+                           ": " + resp->body);
+        break;
+    }
+  }
+}
+
+/// Re-arms and clears fault probes while traffic flows. Only truncation
+/// statuses are injected, so every trip must surface as a *labeled*
+/// degraded response, never a 500. Hits are accumulated into
+/// `total_hits` before every Reset (Reset clears the injector's counts).
+void RunChaos(FaultInjector* faults, std::atomic<bool>* stop,
+              std::atomic<uint64_t>* total_hits) {
+  uint32_t round = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    const uint64_t seen = faults->HitCount("cq:row");
+    faults->Arm("cq:row", seen + 5 + (round % 17),
+                Status::ResourceExhausted("chaos injection"),
+                /*count=*/20 + (round % 30));
+    std::this_thread::sleep_for(milliseconds(15));
+    if (++round % 7 == 0) {
+      total_hits->fetch_add(faults->HitCount("cq:row"),
+                            std::memory_order_relaxed);
+      faults->Reset();
+    }
+  }
+  total_hits->fetch_add(faults->HitCount("cq:row"),
+                        std::memory_order_relaxed);
+  faults->Reset();
+}
+
+std::unique_ptr<AssessmentServer> StartHospital(
+    const ServerOptions& options) {
+  auto context =
+      scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  EXPECT_TRUE(context.ok()) << context.status();
+  auto server = AssessmentServer::Start(std::move(*context), options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(*server);
+}
+
+/// From-scratch serial oracle: a fresh context whose database is the
+/// server's final database, fully assessed with default options — the
+/// report the incremental Reassess chain must byte-match (the PR-4
+/// guarantee, now verified across a daemon's whole lifetime).
+std::string OracleReportJson(const AssessmentServer& server) {
+  auto session = server.CurrentSession();
+  auto fresh = scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  EXPECT_TRUE(fresh.ok()) << fresh.status();
+  auto rel = session->database().GetRelation("Measurements");
+  EXPECT_TRUE(rel.ok()) << rel.status();
+  Database patch;
+  patch.PutRelation(**rel);
+  EXPECT_TRUE(fresh->SetDatabase(std::move(patch)).ok());
+  auto report = quality::Assessor(&*fresh).Assess();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report.ok() ? report->ToJson() : "";
+}
+
+TEST(ServeSoak, ChaosTrafficKeepsEveryInvariant) {
+  const int seconds = SoakSeconds();
+  FaultInjector faults;
+
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.queue_capacity = 16;
+  options.update_queue_capacity = 8;
+  options.default_deadline = milliseconds(300);
+  options.default_quota.requests_per_sec = 400.0;
+  options.default_quota.burst = 80.0;
+  options.max_retries = 2;
+  options.fault_injector = &faults;
+  auto server = StartHospital(options);
+  ASSERT_NE(server, nullptr);
+
+  // The hot tenant gets a tight quota so the rate limiter sheds under
+  // the skewed load while cold tenants sail through.
+  TenantQuota hot;
+  hot.requests_per_sec = 60.0;
+  hot.burst = 20.0;
+  server->SetTenantQuota("hot", hot);
+
+  std::atomic<bool> stop_chaos{false};
+  std::atomic<uint64_t> chaos_hits{0};
+  std::thread chaos(RunChaos, &faults, &stop_chaos, &chaos_hits);
+
+  constexpr int kClients = 4;
+  const auto until = steady_clock::now() + std::chrono::seconds(seconds);
+  std::vector<ClientLog> logs(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(RunClient, server->port(),
+                         static_cast<uint32_t>(1000 + 111 * c), until,
+                         /*tolerate_io=*/false, &logs[c]);
+  }
+  for (std::thread& t : clients) t.join();
+  stop_chaos.store(true, std::memory_order_release);
+  chaos.join();
+
+  // Graceful drain: everything queued finishes, then the drained state
+  // must be internally consistent.
+  server->Shutdown();
+  Status drained = server->DrainStatus();
+  EXPECT_TRUE(drained.ok()) << drained;
+
+  uint64_t requests = 0, ok = 0, shed = 0, degraded = 0, pending = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (const std::string& v : logs[c].violations) {
+      ADD_FAILURE() << "client " << c << " " << v;
+    }
+    EXPECT_EQ(logs[c].io_errors, 0u) << "client " << c;
+    requests += logs[c].requests;
+    ok += logs[c].ok;
+    shed += logs[c].shed;
+    degraded += logs[c].degraded;
+    pending += logs[c].pending;
+  }
+  EXPECT_GT(requests, 0u);
+  EXPECT_GT(ok, 0u);
+  // The chaos probes really fired, and every injected trip surfaced as a
+  // labeled degraded response — never a 500.
+  EXPECT_GT(chaos_hits.load(), 0u);
+  EXPECT_EQ(server->metrics().internal_errors.load(), 0u);
+
+  std::cout << "[soak] " << seconds << "s, " << requests << " requests, "
+            << ok << " ok, " << shed << " shed, " << degraded
+            << " degraded, " << pending << " pending updates, "
+            << server->metrics().updates_applied.load()
+            << " updates applied (generation " << server->generation()
+            << ")\n";
+
+  // The oracle: post-drain report byte-matches a from-scratch serial
+  // assessment of the final database.
+  EXPECT_EQ(server->CurrentReportJson(), OracleReportJson(*server))
+      << "post-drain report diverged from the from-scratch oracle";
+}
+
+TEST(ServeSoak, DrainUnderLoadFinishesConsistently) {
+  FaultInjector faults;
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 8;
+  options.default_deadline = milliseconds(300);
+  options.fault_injector = &faults;
+  auto server = StartHospital(options);
+  ASSERT_NE(server, nullptr);
+  faults.Arm("cq:row", 40, Status::ResourceExhausted("chaos"),
+             FaultInjector::kAlways);
+
+  // Clients hammer; shutdown lands mid-traffic. Clients treat connection
+  // failures and 503s as the expected face of the drain.
+  const auto until = steady_clock::now() + std::chrono::seconds(2);
+  std::vector<ClientLog> logs(2);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back(RunClient, server->port(),
+                         static_cast<uint32_t>(7000 + 13 * c), until,
+                         /*tolerate_io=*/true, &logs[c]);
+  }
+  std::this_thread::sleep_for(milliseconds(400));
+  server->Shutdown();  // blocks until drained, while clients still send
+  for (std::thread& t : clients) t.join();
+
+  for (const ClientLog& log : logs) {
+    for (const std::string& v : log.violations) ADD_FAILURE() << v;
+  }
+  Status drained = server->DrainStatus();
+  EXPECT_TRUE(drained.ok()) << drained;
+  EXPECT_EQ(server->CurrentReportJson(), OracleReportJson(*server))
+      << "post-drain report diverged from the from-scratch oracle";
+}
+
+}  // namespace
+}  // namespace mdqa::serve

@@ -1,0 +1,207 @@
+// mdqa_serve: a long-lived multi-tenant assessment daemon over a built-in
+// scenario's quality context (HTTP/1.1 + JSON, loopback only).
+//
+// Run:  mdqa_serve [flags]
+//
+// Flags:
+//   --scenario=NAME    hospital | synthetic (default: hospital)
+//   --port=N           listen port; 0 = ephemeral, printed at startup
+//   --threads=N        worker threads (default 4)
+//   --queue=N          bounded connection-queue capacity (default 64)
+//   --rate=R           per-tenant admission rate, requests/sec (default 200)
+//   --burst=N          per-tenant burst size (default 50)
+//   --deadline-ms=N    default per-request deadline (default 1000)
+//   --smoke            start, self-probe /healthz + /query + /update over a
+//                      real socket, drain, verify, exit (for CI)
+//   --help             this text
+//
+// Endpoints: GET /healthz /stats /report; POST /query /assess /update.
+// Tenant id in X-Mdqa-Tenant, per-request deadline in X-Mdqa-Deadline-Ms.
+//
+// SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish
+// in-flight requests against their pinned snapshots, quiesce the update
+// writer, verify the drained state (DrainStatus), then exit 0 — non-OK
+// drain exits 1. Exit code 2 is a usage or startup error.
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "scenarios/hospital.h"
+#include "scenarios/synthetic.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace {
+
+using mdqa::serve::AssessmentServer;
+using mdqa::serve::HttpLimits;
+using mdqa::serve::HttpRoundTrip;
+using mdqa::serve::ServerOptions;
+
+std::atomic<bool> g_drain_requested{false};
+
+void HandleSignal(int) {
+  // Async-signal-safe: one relaxed store; the main loop does the work.
+  g_drain_requested.store(true, std::memory_order_relaxed);
+}
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: mdqa_serve [--scenario=NAME] [--port=N] [--threads=N]\n"
+        "                  [--queue=N] [--rate=R] [--burst=N]\n"
+        "                  [--deadline-ms=N] [--smoke] [--help]\n"
+        "  NAME: hospital | synthetic (default: hospital)\n"
+        "  serves GET /healthz /stats /report, POST /query /assess /update\n"
+        "  on 127.0.0.1 (loopback only); SIGTERM drains gracefully.\n";
+  return code;
+}
+
+bool ParseInt(const std::string& text, long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+/// One request against the running server over a real socket; fails the
+/// smoke test unless the response status matches.
+mdqa::Status Probe(uint16_t port, const char* method, const char* target,
+                   const std::string& body, int want_status) {
+  MDQA_ASSIGN_OR_RETURN(
+      mdqa::net::Socket sock,
+      mdqa::net::ConnectLoopback(port, std::chrono::milliseconds(2000)));
+  MDQA_ASSIGN_OR_RETURN(
+      mdqa::serve::HttpResponse resp,
+      HttpRoundTrip(sock, method, target, body, {}, HttpLimits{}));
+  if (resp.status != want_status) {
+    return mdqa::Status::Internal(
+        std::string("smoke: ") + method + " " + target + " returned " +
+        std::to_string(resp.status) + ", want " +
+        std::to_string(want_status) + "; body: " + resp.body);
+  }
+  return mdqa::Status::Ok();
+}
+
+int RunSmoke(AssessmentServer* server) {
+  const uint16_t port = server->port();
+  mdqa::Status s = Probe(port, "GET", "/healthz", "", 200);
+  if (s.ok()) {
+    s = Probe(port, "POST", "/query",
+              R"({"query": "Q(P, V) :- Measurements(T, P, V).",)"
+              R"( "clean": true})",
+              200);
+  }
+  if (s.ok()) {
+    s = Probe(port, "POST", "/update",
+              R"({"relation": "Measurements",)"
+              R"( "insert": [["Sep/9-23:50", "Nick Cave", "36.9"]]})",
+              200);
+  }
+  if (s.ok()) s = Probe(port, "GET", "/report", "", 200);
+  if (s.ok()) s = Probe(port, "POST", "/query", "not json", 400);
+  if (!s.ok()) {
+    std::cerr << "mdqa_serve: smoke probe failed: " << s << "\n";
+    server->Shutdown();
+    return 1;
+  }
+  server->Shutdown();
+  mdqa::Status drained = server->DrainStatus();
+  if (!drained.ok()) {
+    std::cerr << "mdqa_serve: drain check failed: " << drained << "\n";
+    return 1;
+  }
+  std::cout << "mdqa_serve: smoke OK (generation "
+            << server->generation() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "hospital";
+  ServerOptions options;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto eat = [&arg](const char* prefix, std::string* value) {
+      const size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *value = arg.substr(n);
+      return true;
+    };
+    std::string value;
+    long n = 0;
+    if (arg == "--help" || arg == "-h") return Usage(std::cout, 0);
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (eat("--scenario=", &value)) {
+      scenario = value;
+    } else if (eat("--port=", &value) && ParseInt(value, &n) && n <= 65535) {
+      options.port = static_cast<uint16_t>(n);
+    } else if (eat("--threads=", &value) && ParseInt(value, &n) && n > 0) {
+      options.worker_threads = static_cast<int>(n);
+    } else if (eat("--queue=", &value) && ParseInt(value, &n) && n > 0) {
+      options.queue_capacity = static_cast<size_t>(n);
+    } else if (eat("--rate=", &value) && ParseInt(value, &n) && n > 0) {
+      options.default_quota.requests_per_sec = static_cast<double>(n);
+    } else if (eat("--burst=", &value) && ParseInt(value, &n) && n > 0) {
+      options.default_quota.burst = static_cast<double>(n);
+    } else if (eat("--deadline-ms=", &value) && ParseInt(value, &n) &&
+               n > 0) {
+      options.default_deadline = std::chrono::milliseconds(n);
+    } else {
+      std::cerr << "mdqa_serve: bad argument: " << arg << "\n";
+      return Usage(std::cerr, 2);
+    }
+  }
+
+  mdqa::Result<mdqa::quality::QualityContext> context =
+      mdqa::Status::InvalidArgument("unset");
+  if (scenario == "hospital") {
+    context = mdqa::scenarios::BuildHospitalContext(
+        mdqa::scenarios::HospitalOptions{});
+  } else if (scenario == "synthetic") {
+    context = mdqa::scenarios::BuildSyntheticContext(
+        mdqa::scenarios::SyntheticSpec{});
+  } else {
+    std::cerr << "mdqa_serve: unknown scenario: " << scenario << "\n";
+    return Usage(std::cerr, 2);
+  }
+  if (!context.ok()) {
+    std::cerr << "mdqa_serve: building context failed: " << context.status()
+              << "\n";
+    return 2;
+  }
+
+  auto server = AssessmentServer::Start(std::move(*context), options);
+  if (!server.ok()) {
+    std::cerr << "mdqa_serve: startup failed: " << server.status() << "\n";
+    return 2;
+  }
+  std::cout << "mdqa_serve: scenario " << scenario << " on 127.0.0.1:"
+            << (*server)->port() << " (" << options.worker_threads
+            << " workers)\n";
+
+  if (smoke) return RunSmoke(server->get());
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (!g_drain_requested.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "mdqa_serve: drain requested, shutting down\n";
+  (*server)->Shutdown();
+  mdqa::Status drained = (*server)->DrainStatus();
+  if (!drained.ok()) {
+    std::cerr << "mdqa_serve: drain check failed: " << drained << "\n";
+    return 1;
+  }
+  std::cout << "mdqa_serve: drained cleanly at generation "
+            << (*server)->generation() << "\n";
+  return 0;
+}
