@@ -1,0 +1,464 @@
+// Whole-program analysis + cost-based planner, measured: (a) the
+// overhead of building `datalog::ProgramAnalysis` + `analysis::CostModel`
+// relative to actually running the chase, (b) the planner's quality on a
+// sweep of programs spanning the engine space — is the picked engine the
+// measured-fastest *sound* engine, and how far is the predicted chase
+// size from the materialized truth, and (c) the materialize-vs-on-demand
+// crossover: a branching-rules family where UCQ rewriting's disjunct
+// blow-up eventually loses to one-shot chase materialization, with the
+// model's predicted flip point next to the measured one.
+//
+// All engine timings are medians of 3; every case cross-checks that the
+// measured engines return identical answer sets (the run aborts on
+// divergence). Results land in BENCH_analysis.json, stamped with git
+// SHA + hardware threads like every BENCH artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "base/json.h"
+#include "bench_common.h"
+#include "datalog/analysis.h"
+#include "datalog/chase.h"
+#include "datalog/instance.h"
+#include "datalog/parser.h"
+#include "qa/engines.h"
+#include "quality/context.h"
+#include "scenarios/hospital.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+using datalog::Chase;
+using datalog::ChaseOptions;
+using datalog::ChaseStats;
+using datalog::Instance;
+
+using Clock = std::chrono::steady_clock;
+
+double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Case {
+  std::string name;
+  datalog::Program program;
+  datalog::ConjunctiveQuery query;
+  bool egds_separable = false;
+};
+
+Case MakeCase(const std::string& name, const std::string& program_text,
+              const std::string& query_text) {
+  Case c;
+  c.name = name;
+  c.program = Check(datalog::Parser::ParseProgram(program_text), "program");
+  c.query = Check(
+      datalog::Parser::ParseQuery(query_text, c.program.mutable_vocab()),
+      "query");
+  return c;
+}
+
+// Sticky copy chain P0 -> P1 -> ... -> P<depth>, `rows` EDB facts.
+// Rewriting folds the chain into one CQ over P0; the chase materializes
+// every level.
+Case MakeChain(size_t rows, size_t depth) {
+  std::string text;
+  for (size_t i = 0; i < rows; ++i) {
+    text += "P0(\"k" + std::to_string(i) + "\", \"v" + std::to_string(i) +
+            "\").\n";
+  }
+  for (size_t d = 1; d <= depth; ++d) {
+    text += "P" + std::to_string(d) + "(X, Y) :- P" + std::to_string(d - 1) +
+            "(X, Y).\n";
+  }
+  return MakeCase("sticky-chain-n" + std::to_string(rows), text,
+                  "Out(X, Y) :- P" + std::to_string(depth) + "(X, Y).");
+}
+
+// `branch` alternative rules per level over `depth` levels: the UCQ
+// rewriting of the goal expands into branch^depth disjuncts while the
+// chase's materialized instance stays the same size — the
+// materialize-vs-on-demand knob, VLog-style.
+Case MakeBranchy(size_t rows, size_t depth, size_t branch) {
+  std::string text;
+  for (size_t i = 0; i < rows; ++i) {
+    text += "P0(\"k" + std::to_string(i) + "\").\n";
+  }
+  for (size_t b = 0; b < branch; ++b) {
+    for (size_t i = 0; i < rows; ++i) {
+      text += "A" + std::to_string(b) + "(\"k" + std::to_string(i) + "\").\n";
+    }
+  }
+  for (size_t d = 1; d <= depth; ++d) {
+    for (size_t b = 0; b < branch; ++b) {
+      text += "P" + std::to_string(d) + "(X) :- P" + std::to_string(d - 1) +
+              "(X), A" + std::to_string(b) + "(X).\n";
+    }
+  }
+  return MakeCase("branchy-b" + std::to_string(branch), text,
+                  "Out(X) :- P" + std::to_string(depth) + "(X).");
+}
+
+Case MakeWeaklySticky(size_t rows) {
+  std::string text;
+  for (size_t i = 0; i < rows; ++i) {
+    text += "S(\"k" + std::to_string(i) + "\", \"k" +
+            std::to_string((i + 1) % rows) + "\").\n";
+  }
+  text += "R(Y, Z) :- S(X, Y).\n";
+  text += "Q(X) :- S(X, Y), S(Y, X2).\n";
+  Case c = MakeCase("weakly-sticky", text, "Out(X) :- Q(X).");
+  return c;
+}
+
+Case MakeNegation(size_t rows) {
+  std::string text;
+  for (size_t i = 0; i < rows; ++i) {
+    text += "P(\"k" + std::to_string(i) + "\").\n";
+    if (i % 2 == 0) text += "Q(\"k" + std::to_string(i) + "\").\n";
+  }
+  text += "T(X) :- P(X), not Q(X).\n";
+  return MakeCase("stratified-negation", text, "Out(X) :- T(X).");
+}
+
+Case MakeHospital() {
+  scenarios::HospitalOptions options;
+  options.include_downward_rules = false;
+  auto context = Check(scenarios::BuildHospitalContext(options), "hospital");
+  Case c;
+  c.name = "hospital-upward";
+  c.program = Check(context.BuildProgram(), "program");
+  c.query = Check(datalog::Parser::ParseQuery(
+                      "Out(T, P, V) :- Measurementsq(T, P, V).",
+                      c.program.mutable_vocab()),
+                  "query");
+  auto props = Check(context.ontology().Analyze(), "analyze");
+  c.egds_separable = props.separable_egds;
+  return c;
+}
+
+struct CaseResult {
+  std::string name;
+  double analysis_ms = 0;
+  double chase_ms = 0;
+  uint64_t predicted_chase_facts = 0;
+  uint64_t actual_chase_facts = 0;
+  double chase_size_error = 0;  ///< |predicted - actual| / actual
+  qa::Engine picked = qa::Engine::kChase;
+  qa::Engine measured_fastest = qa::Engine::kChase;
+  bool pick_sound = false;
+  bool pick_fastest = false;  ///< picked within 25% of fastest sound
+  bool identical = true;      ///< all sound engines agree on answers
+  std::vector<std::pair<qa::Engine, double>> engine_ms;
+};
+
+CaseResult RunCase(const Case& c) {
+  CaseResult r;
+  r.name = c.name;
+
+  // (a) analysis + cost-model construction time, median of 3.
+  std::vector<double> analysis_samples;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    datalog::ProgramAnalysis analysis(c.program);
+    analysis::CostModel model(c.program, analysis,
+                              analysis::CostModel::CollectEdbStats(c.program));
+    benchmark::DoNotOptimize(&model);
+    analysis_samples.push_back(Ms(t0, Clock::now()));
+  }
+  r.analysis_ms = MedianMs(std::move(analysis_samples));
+
+  datalog::ProgramAnalysis analysis(c.program);
+  analysis::CostModel model(c.program, analysis,
+                            analysis::CostModel::CollectEdbStats(c.program));
+
+  // (b) predicted vs materialized chase size, and chase wall time.
+  {
+    std::vector<double> samples;
+    uint64_t total = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = Clock::now();
+      Instance inst = Instance::FromProgram(c.program);
+      ChaseOptions chase_options;
+      chase_options.egds_separable = c.egds_separable;
+      ChaseStats stats;
+      Check(Chase::Run(c.program, &inst, chase_options, &stats), "chase");
+      samples.push_back(Ms(t0, Clock::now()));
+      total = inst.CollectStatistics().total_facts;
+    }
+    r.chase_ms = MedianMs(std::move(samples));
+    r.predicted_chase_facts = model.PredictedChaseFacts();
+    r.actual_chase_facts = total;
+    r.chase_size_error =
+        total == 0 ? 0.0
+                   : std::abs(static_cast<double>(r.predicted_chase_facts) -
+                              static_cast<double>(total)) /
+                         static_cast<double>(total);
+  }
+
+  // (c) planner pick vs measured-fastest sound engine.
+  qa::EngineSelectOptions select_options;
+  select_options.egds_separable = c.egds_separable;
+  select_options.cost_model = &model;
+  auto selection = qa::SelectEngine(c.program, analysis, select_options);
+  r.picked = selection.engine;
+
+  double best_ms = 0;
+  bool first = true;
+  const qa::AnswerSet* reference = nullptr;
+  std::vector<qa::AnswerSet> answers;
+  answers.reserve(selection.candidates.size());
+  for (const qa::EngineCandidate& cand : selection.candidates) {
+    if (!cand.sound) continue;
+    if (cand.engine == r.picked) r.pick_sound = true;
+    std::vector<double> samples;
+    qa::AnswerSet got;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = Clock::now();
+      got = Check(qa::Answer(cand.engine, c.program, c.query), "answer");
+      samples.push_back(Ms(t0, Clock::now()));
+    }
+    answers.push_back(std::move(got));
+    if (reference == nullptr) {
+      reference = &answers.back();
+    } else if (!(answers.back() == *reference)) {
+      r.identical = false;
+    }
+    double median = MedianMs(std::move(samples));
+    r.engine_ms.emplace_back(cand.engine, median);
+    if (first || median < best_ms) {
+      best_ms = median;
+      r.measured_fastest = cand.engine;
+      first = false;
+    }
+  }
+  for (const auto& [engine, median] : r.engine_ms) {
+    if (engine == r.picked) {
+      r.pick_fastest = median <= best_ms * 1.25;
+    }
+  }
+  return r;
+}
+
+void Reproduce() {
+  std::vector<Case> cases;
+  cases.push_back(MakeChain(8, 4));
+  cases.push_back(MakeChain(256, 4));
+  cases.push_back(MakeWeaklySticky(64));
+  cases.push_back(MakeNegation(64));
+  cases.push_back(MakeBranchy(48, 4, 8));
+  cases.push_back(MakeHospital());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("experiment").String("analysis");
+  bench::StampProvenance(&w);
+  w.Key("target_pick_rate").Number(0.9);
+
+  std::cout << "\nplanner sweep (engine timings: median of 3):\n"
+            << "  case                 analysis(ms)  chase(ms)  "
+               "pred/actual facts  picked            fastest           "
+               "ok  identical\n";
+  w.Key("cases").BeginArray();
+  size_t correct = 0;
+  bool all_identical = true;
+  bool all_sound = true;
+  double error_sum = 0;
+  for (const Case& c : cases) {
+    CaseResult r = RunCase(c);
+    correct += r.pick_fastest ? 1 : 0;
+    all_identical = all_identical && r.identical;
+    all_sound = all_sound && r.pick_sound;
+    error_sum += r.chase_size_error;
+    std::printf(
+        "  %-20s %11.3f %10.3f %8llu /%8llu  %-17s %-17s %2s  %9s\n",
+        r.name.c_str(), r.analysis_ms, r.chase_ms,
+        static_cast<unsigned long long>(r.predicted_chase_facts),
+        static_cast<unsigned long long>(r.actual_chase_facts),
+        qa::EngineToString(r.picked), qa::EngineToString(r.measured_fastest),
+        r.pick_fastest ? "ok" : "NO", r.identical ? "yes" : "NO");
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("analysis_ms").Number(r.analysis_ms);
+    w.Key("chase_ms").Number(r.chase_ms);
+    w.Key("predicted_chase_facts")
+        .Number(static_cast<size_t>(r.predicted_chase_facts));
+    w.Key("actual_chase_facts")
+        .Number(static_cast<size_t>(r.actual_chase_facts));
+    w.Key("chase_size_error").Number(r.chase_size_error);
+    w.Key("picked").String(qa::EngineToString(r.picked));
+    w.Key("measured_fastest").String(qa::EngineToString(r.measured_fastest));
+    w.Key("pick_within_25pct_of_fastest").Bool(r.pick_fastest);
+    w.Key("answers_identical").Bool(r.identical);
+    w.Key("engines").BeginArray();
+    for (const auto& [engine, median] : r.engine_ms) {
+      w.BeginObject();
+      w.Key("engine").String(qa::EngineToString(engine));
+      w.Key("median_ms").Number(median);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  double pick_rate =
+      cases.empty() ? 0.0 : static_cast<double>(correct) / cases.size();
+  double mean_error = cases.empty() ? 0.0 : error_sum / cases.size();
+  w.Key("pick_rate").Number(pick_rate);
+  w.Key("mean_chase_size_error").Number(mean_error);
+  std::printf("  pick rate: %.0f%% (target >= 90%%), "
+              "mean chase-size prediction error: %.2f\n",
+              pick_rate * 100.0, mean_error);
+
+  // Materialize-vs-on-demand crossover: branching factor sweep.
+  std::cout << "\nmaterialize-vs-on-demand crossover (depth-4 branching "
+               "family, 48 rows):\n"
+            << "  branch  pred(chase)  pred(rewrite)  chase(ms)  "
+               "rewrite(ms)  model-prefers  measured-winner\n";
+  w.Key("crossover").BeginArray();
+  int predicted_flip = -1;
+  int measured_flip = -1;
+  for (size_t branch :
+       {size_t{1}, size_t{2}, size_t{4}, size_t{6}, size_t{8}}) {
+    Case c = MakeBranchy(48, 4, branch);
+    datalog::ProgramAnalysis analysis(c.program);
+    analysis::CostModel model(c.program, analysis,
+                              analysis::CostModel::CollectEdbStats(c.program));
+    std::vector<double> chase_samples, rewrite_samples;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = Clock::now();
+      auto via_chase =
+          Check(qa::Answer(qa::Engine::kChase, c.program, c.query), "chase");
+      auto t1 = Clock::now();
+      auto via_rewrite = Check(
+          qa::Answer(qa::Engine::kRewriting, c.program, c.query), "rewrite");
+      auto t2 = Clock::now();
+      chase_samples.push_back(Ms(t0, t1));
+      rewrite_samples.push_back(Ms(t1, t2));
+      if (!(via_chase == via_rewrite)) {
+        std::cerr << "!! chase and rewriting disagree at branch=" << branch
+                  << "\n";
+        std::exit(1);
+      }
+    }
+    double chase_ms = MedianMs(std::move(chase_samples));
+    double rewrite_ms = MedianMs(std::move(rewrite_samples));
+    bool model_chase = model.PredictedChaseCost() <
+                       model.PredictedRewritingCost();
+    bool measured_chase = chase_ms < rewrite_ms;
+    if (model_chase && predicted_flip < 0) {
+      predicted_flip = static_cast<int>(branch);
+    }
+    if (measured_chase && measured_flip < 0) {
+      measured_flip = static_cast<int>(branch);
+    }
+    std::printf("  %6zu  %11llu  %13llu  %9.3f  %11.3f  %-13s  %s\n", branch,
+                static_cast<unsigned long long>(model.PredictedChaseCost()),
+                static_cast<unsigned long long>(
+                    model.PredictedRewritingCost()),
+                chase_ms, rewrite_ms, model_chase ? "chase" : "rewriting",
+                measured_chase ? "chase" : "rewriting");
+    w.BeginObject();
+    w.Key("branch").Number(branch);
+    w.Key("predicted_chase_cost")
+        .Number(static_cast<size_t>(model.PredictedChaseCost()));
+    w.Key("predicted_rewriting_cost")
+        .Number(static_cast<size_t>(model.PredictedRewritingCost()));
+    w.Key("chase_ms").Number(chase_ms);
+    w.Key("rewriting_ms").Number(rewrite_ms);
+    w.Key("model_prefers").String(model_chase ? "chase" : "rewriting");
+    w.Key("measured_winner").String(measured_chase ? "chase" : "rewriting");
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("predicted_crossover_branch")
+      .Number(static_cast<int64_t>(predicted_flip));
+  w.Key("measured_crossover_branch")
+      .Number(static_cast<int64_t>(measured_flip));
+  std::cout << "  crossover branch factor: predicted "
+            << (predicted_flip < 0 ? std::string("none")
+                                   : std::to_string(predicted_flip))
+            << ", measured "
+            << (measured_flip < 0 ? std::string("none")
+                                  : std::to_string(measured_flip))
+            << "\n";
+
+  w.Key("pick_rate_meets_target").Bool(pick_rate >= 0.9);
+  w.Key("all_picks_sound").Bool(all_sound);
+  w.Key("all_answers_identical").Bool(all_identical);
+  w.EndObject();
+
+  std::ofstream out("BENCH_analysis.json");
+  out << w.TakeString() << "\n";
+  std::cout << "wrote BENCH_analysis.json\n";
+  if (!all_sound) {
+    std::cerr << "!! planner picked an unsound engine\n";
+    std::exit(1);
+  }
+  if (!all_identical) {
+    std::cerr << "!! sound engines disagreed on certain answers\n";
+    std::exit(1);
+  }
+  if (pick_rate < 0.9) {
+    std::cout << "note: pick rate " << pick_rate * 100.0
+              << "% below the 90% target on this host\n";
+  }
+}
+
+void BM_ProgramAnalysis_Hospital(benchmark::State& state) {
+  Case c = MakeHospital();
+  for (auto _ : state) {
+    datalog::ProgramAnalysis analysis(c.program);
+    benchmark::DoNotOptimize(&analysis);
+  }
+}
+BENCHMARK(BM_ProgramAnalysis_Hospital);
+
+void BM_CostModel_Hospital(benchmark::State& state) {
+  Case c = MakeHospital();
+  datalog::ProgramAnalysis analysis(c.program);
+  for (auto _ : state) {
+    analysis::CostModel model(c.program, analysis,
+                              analysis::CostModel::CollectEdbStats(c.program));
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_CostModel_Hospital);
+
+void BM_SelectEngine_Hospital(benchmark::State& state) {
+  Case c = MakeHospital();
+  datalog::ProgramAnalysis analysis(c.program);
+  analysis::CostModel model(c.program, analysis,
+                            analysis::CostModel::CollectEdbStats(c.program));
+  qa::EngineSelectOptions options;
+  options.egds_separable = c.egds_separable;
+  options.cost_model = &model;
+  for (auto _ : state) {
+    auto selection = qa::SelectEngine(c.program, analysis, options);
+    benchmark::DoNotOptimize(&selection);
+  }
+}
+BENCHMARK(BM_SelectEngine_Hospital);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "analysis",
+      "whole-program analysis overhead, planner quality, and the "
+      "materialize-vs-on-demand crossover",
+      [] { mdqa::Reproduce(); });
+}

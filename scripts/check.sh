@@ -3,6 +3,11 @@
 # AddressSanitizer + UndefinedBehaviorSanitizer in a second build tree,
 # plus an optional static-analysis pass.
 #
+# Thread-safety: every build here compiles with -Wthread-safety as
+# -Werror=thread-safety when the compiler supports it (clang; probed in
+# CMakeLists.txt), so annotation violations in base/thread_pool,
+# serve/admission, and serve/server fail the build rather than lint.
+#
 #   scripts/check.sh            # plain + sanitizer passes
 #   scripts/check.sh --plain    # skip the sanitizer pass
 #   scripts/check.sh --san      # sanitizer pass only
@@ -15,6 +20,12 @@
 #   scripts/check.sh --lint     # add the lint pass: clang-tidy over src/
 #                               # (skipped when not installed) and
 #                               # mdqa_lint --werror over examples/scripts/
+#   scripts/check.sh --analyze  # whole-program analysis pass: mdqa_lint
+#                               # --analyze --werror over every
+#                               # examples/scripts/*.dlg with the ASan/
+#                               # UBSan build, so the dataflow passes and
+#                               # the cost planner themselves run
+#                               # sanitized
 #   scripts/check.sh --incremental
 #                               # focused pass for the incremental-chase
 #                               # paths: runs the incremental differential
@@ -36,6 +47,7 @@ run_plain=1
 run_san=1
 run_tsan=0
 run_lint=0
+run_analyze=0
 run_incremental=0
 run_serve=0
 for arg in "$@"; do
@@ -44,6 +56,7 @@ for arg in "$@"; do
     --san) run_plain=0 ;;
     --tsan) run_tsan=1 ;;
     --lint) run_lint=1 ;;
+    --analyze) run_analyze=1; run_plain=0; run_san=0 ;;
     --incremental) run_incremental=1; run_plain=0; run_san=0 ;;
     --serve) run_serve=1; run_plain=0; run_san=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -111,6 +124,17 @@ if [[ $run_serve -eq 1 ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     MDQA_SOAK_SECONDS="$soak_secs" ./build-tsan/tests/serve_soak_test
   ./build-tsan/tools/mdqa_serve --smoke --threads=2
+fi
+
+if [[ $run_analyze -eq 1 ]]; then
+  echo "== whole-program analysis (mdqa_lint --analyze) under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" --target mdqa_lint
+  for script in examples/scripts/*.dlg; do
+    echo "-- $script"
+    UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+      ./build-san/tools/mdqa_lint --analyze --werror "$script" >/dev/null
+  done
 fi
 
 if [[ $run_lint -eq 1 ]]; then

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "datalog/analysis.h"
+#include "datalog/containment.h"
 #include "datalog/parser.h"
 
 namespace mdqa::analysis {
@@ -287,12 +289,24 @@ void LintRuleShapes(const Program& program, const LintOptions& options,
   }
 }
 
+// The caller-shared ProgramAnalysis, or a locally built one when the
+// caller didn't pass any (plain `mdqa_lint` runs).
+const datalog::ProgramAnalysis& SharedAnalysis(
+    const Program& program, const LintOptions& options,
+    std::optional<datalog::ProgramAnalysis>* local) {
+  if (options.analysis != nullptr) return *options.analysis;
+  local->emplace(program);
+  return **local;
+}
+
 // MDQA-W007: weak-stickiness witnesses, one per rule per repeated marked
 // variable whose occurrences all have infinite rank.
 void LintWeakStickiness(const Program& program, const LintOptions& options,
                         DiagnosticBag* bag) {
   const Vocabulary& vocab = *program.vocab();
-  datalog::ProgramAnalysis analysis(program);
+  std::optional<datalog::ProgramAnalysis> local;
+  const datalog::ProgramAnalysis& analysis =
+      SharedAnalysis(program, options, &local);
   for (const datalog::StickinessViolation& v :
        analysis.StickinessViolations()) {
     if (!v.breaks_weak_stickiness) continue;
@@ -310,6 +324,147 @@ void LintWeakStickiness(const Program& program, const LintOptions& options,
                   "), so the paper's tractability guarantee (Theorem 1) "
                   "does not apply",
               rule.span));
+  }
+}
+
+// MDQA-W041: TGDs the whole-program dead-rule analysis proves irrelevant
+// — no derivation through their head predicates can influence a goal
+// predicate (the caller's `goal_predicates`, e.g. the assessor's quality
+// predicates), an EGD, a negative constraint, or an output predicate (a
+// head predicate no rule body consumes). Such rules only grow the chase.
+void LintDeadRules(const Program& program, const LintOptions& options,
+                   DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  std::unordered_set<uint32_t> goals;
+  for (const std::string& name : options.goal_predicates) {
+    uint32_t pred = vocab.FindPredicate(name);
+    if (pred != StringPool::kNotFound) goals.insert(pred);
+  }
+  const datalog::DeadRuleAnalysis dead = datalog::FindDeadRules(program, goals);
+  for (size_t index : dead.dead_rules) {
+    const Rule& r = program.rules()[index];
+    std::string heads;
+    std::unordered_set<uint32_t> seen;
+    for (const Atom& h : r.head) {
+      if (!seen.insert(h.predicate).second) continue;
+      if (!heads.empty()) heads += ", ";
+      heads += "'" + vocab.PredicateName(h.predicate) + "'";
+    }
+    Diagnostic d = Make(
+        "MDQA-W041", Severity::kWarning,
+        "dead rule: no derivation through " + heads +
+            " can reach a goal or output predicate, an EGD, or a "
+            "constraint — the rule only grows the chase",
+        r.span);
+    d.fix_it =
+        "remove the rule, or consume its head predicate in a query, "
+        "rule body, or constraint";
+    Emit(options, bag, std::move(d));
+  }
+}
+
+// MDQA-W042: a plain single-head TGD whose derivations another rule with
+// the same head predicate already produces (Chandra-Merlin containment
+// of the rule bodies, viewed as CQs with the head arguments as the
+// answer). Of an equivalent pair only the later rule is flagged.
+void LintSubsumption(const Program& program, const LintOptions& options,
+                     DiagnosticBag* bag) {
+  const Vocabulary& vocab = *program.vocab();
+  struct Entry {
+    size_t rule_index;
+    datalog::ConjunctiveQuery cq;
+  };
+  std::unordered_map<uint32_t, std::vector<Entry>> by_head;
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    if (!r.IsTgd() || r.head.size() != 1) continue;
+    if (r.HasNegation()) continue;
+    if (!r.ExistentialVariables().empty()) continue;
+    datalog::ConjunctiveQuery cq;
+    cq.answer = r.head[0].terms;
+    cq.body = r.body;
+    cq.comparisons = r.comparisons;
+    by_head[r.head[0].predicate].push_back(Entry{i, std::move(cq)});
+  }
+  for (size_t j = 0; j < rules.size(); ++j) {
+    const Rule& r = rules[j];
+    if (!r.IsTgd() || r.head.size() != 1) continue;
+    auto group = by_head.find(r.head[0].predicate);
+    if (group == by_head.end() || group->second.size() < 2) continue;
+    const Entry* self = nullptr;
+    for (const Entry& e : group->second) {
+      if (e.rule_index == j) self = &e;
+    }
+    if (self == nullptr) continue;
+    for (const Entry& other : group->second) {
+      if (other.rule_index == j) continue;
+      if (!datalog::ContainedIn(self->cq, other.cq, vocab)) continue;
+      // Equivalent pair: keep the earlier rule, flag the later one (the
+      // strictly-contained rule is flagged regardless of order).
+      const bool equivalent = datalog::ContainedIn(other.cq, self->cq, vocab);
+      if (equivalent && j < other.rule_index) continue;
+      Diagnostic d = Make(
+          "MDQA-W042", Severity::kWarning,
+          "redundant rule: every fact it derives for '" +
+              vocab.PredicateName(r.head[0].predicate) +
+              "' is already derived by rule #" +
+              std::to_string(other.rule_index + 1) +
+              (equivalent ? " (the two rules are equivalent)"
+                          : " (this rule's body is more specific)"),
+          r.span);
+      d.fix_it = "remove this rule; subsumed by rule #" +
+                 std::to_string(other.rule_index + 1);
+      Emit(options, bag, std::move(d));
+      break;  // one witness per rule is enough
+    }
+  }
+}
+
+// MDQA-N043: position-granular null flow. Notes which head positions of
+// an existential rule may carry labeled nulls downstream (non-affected
+// positions provably never do), and which EGDs are null-free — the facts
+// the incremental chase's narrowed fallback matrix rests on.
+void LintNullFlow(const Program& program, const LintOptions& options,
+                  DiagnosticBag* bag) {
+  if (!options.form_notes) return;
+  const Vocabulary& vocab = *program.vocab();
+  std::optional<datalog::ProgramAnalysis> local;
+  const datalog::ProgramAnalysis& analysis =
+      SharedAnalysis(program, options, &local);
+  for (const Rule& r : program.rules()) {
+    if (r.IsEgd()) {
+      if (analysis.EgdIsNullFree(r)) {
+        Emit(options, bag,
+             Make("MDQA-N043", Severity::kNote,
+                  "null-free EGD: the equated variables only bind at "
+                  "positions that never carry labeled nulls, so the EGD "
+                  "can only no-op or report a constant clash — updates "
+                  "never force a full re-chase because of it",
+                  r.span));
+      }
+      continue;
+    }
+    if (!r.IsTgd() || r.ExistentialVariables().empty()) continue;
+    std::string positions;
+    std::unordered_set<datalog::Position, datalog::PositionHash> seen;
+    for (const Atom& h : r.head) {
+      for (size_t i = 0; i < h.terms.size(); ++i) {
+        datalog::Position p{h.predicate, static_cast<uint32_t>(i)};
+        if (!analysis.IsAffected(p) || !seen.insert(p).second) continue;
+        if (!positions.empty()) positions += ", ";
+        positions += PositionString(vocab, p);
+      }
+    }
+    if (positions.empty()) continue;
+    Emit(options, bag,
+         Make("MDQA-N043", Severity::kNote,
+              "null flow: position" +
+                  std::string(seen.size() > 1 ? "s " : " ") + positions +
+                  " may carry labeled nulls invented by this rule's "
+                  "existential variables; every other position is "
+                  "provably null-free",
+              r.span));
   }
 }
 
@@ -356,11 +511,13 @@ void LintSeparability(const core::MdOntology& ontology,
   }
 }
 
-// MDQA-N040: ontology features that force the incremental chase
+// MDQA-N040: ontology features that can force the incremental chase
 // (Chase::Extend / PreparedContext::ApplyUpdate) to fall back to a full
-// re-chase on every update — surfaced here so users learn *why* their
-// increments degrade before hitting the recorded fallback at runtime.
-// See the fallback matrix in docs/incremental.md.
+// re-chase — surfaced here so users learn *why* their increments degrade
+// before hitting the recorded fallback at runtime. The null-flow
+// analysis narrows the trigger to updates that actually reach the
+// feature (see the fallback matrix in docs/incremental.md), so the note
+// names a possibility, not a certainty.
 void LintIncrementality(const core::MdOntology& ontology,
                         const LintOptions& options, DiagnosticBag* bag) {
   if (!options.form_notes) return;
@@ -400,11 +557,12 @@ void LintIncrementality(const core::MdOntology& ontology,
   Diagnostic d = Make(
       "MDQA-N040", Severity::kNote,
       "ontology has " + joined +
-          ": incremental re-assessment of updates falls back to a full "
-          "re-chase (exact but not faster; see docs/incremental.md)");
+          ": incremental re-assessment falls back to a full re-chase "
+          "whenever an update can reach them (exact but not faster; see "
+          "docs/incremental.md)");
   d.fix_it =
-      "expect full-re-chase latency on updates, or restructure the "
-      "ontology to avoid the listed features";
+      "expect full-re-chase latency on updates that reach the listed "
+      "features, or restructure the ontology to avoid them";
   Emit(options, bag, std::move(d));
 }
 
@@ -488,7 +646,10 @@ const std::vector<CodeInfo>& AllCodes() {
       {"MDQA-W032", Severity::kWarning, "partial roll-up (non-homogeneous)"},
       {"MDQA-W033", Severity::kWarning, "orphan member"},
       {"MDQA-I034", Severity::kInfo, "empty category"},
-      {"MDQA-N040", Severity::kNote, "updates force a full re-chase"},
+      {"MDQA-N040", Severity::kNote, "updates can force a full re-chase"},
+      {"MDQA-W041", Severity::kWarning, "dead rule (feeds no goal or output)"},
+      {"MDQA-W042", Severity::kWarning, "redundant rule (subsumed by another)"},
+      {"MDQA-N043", Severity::kNote, "null-flow classification"},
   };
   return kCodes;
 }
@@ -526,6 +687,9 @@ void LintProgram(const datalog::Program& program, const LintOptions& options,
   LintStratification(program, options, bag);
   LintRuleShapes(program, options, bag);
   LintWeakStickiness(program, options, bag);
+  LintDeadRules(program, options, bag);
+  LintSubsumption(program, options, bag);
+  LintNullFlow(program, options, bag);
 }
 
 void LintOntology(const core::MdOntology& ontology, const LintOptions& options,

@@ -8,6 +8,7 @@
 
 #include "analysis/diagnostic.h"
 #include "core/md_ontology.h"
+#include "datalog/analysis.h"
 #include "datalog/program.h"
 #include "md/dimension.h"
 
@@ -18,11 +19,21 @@ struct LintOptions {
   /// Findings strictly below this severity are dropped at emission time.
   Severity min_severity = Severity::kNote;
   /// Emit the per-rule paper-form classification notes (MDQA-N012 /
-  /// MDQA-N023). Off for the Assessor gate, which only cares about
-  /// actionable findings.
+  /// MDQA-N023 / MDQA-N043). Off for the Assessor gate, which only cares
+  /// about actionable findings.
   bool form_notes = true;
   /// Artifact name recorded on every diagnostic.
   std::string file = "<input>";
+  /// Extra goal predicates (by name) anchoring the dead-rule pass —
+  /// the assessor passes its quality predicates. Rules only feeding
+  /// predicates unreachable backwards from the anchors (goals + EGD and
+  /// constraint bodies + unconsumed head predicates) are MDQA-W041.
+  std::vector<std::string> goal_predicates;
+  /// Pre-computed analysis of the linted program, so the weak-stickiness
+  /// and null-flow passes don't re-derive it (the assessor's gate shares
+  /// one analysis with the planner and the chase). When null, passes
+  /// build their own. Not owned; must describe the same program.
+  const datalog::ProgramAnalysis* analysis = nullptr;
 };
 
 /// Descriptor of one diagnostic code, for `mdqa_lint --list` and the

@@ -1,0 +1,134 @@
+#ifndef MDQA_BASE_THREAD_ANNOTATIONS_H_
+#define MDQA_BASE_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Clang thread-safety analysis (-Wthread-safety) annotations, plus the
+// annotated lock types the codebase uses instead of the raw std ones
+// (libstdc++'s std::mutex is not annotated, so the analysis cannot see
+// through it). On compilers without the attributes (GCC) everything
+// compiles away to the plain std behavior.
+//
+// Conventions:
+//  - Members touched by more than one thread carry MDQA_GUARDED_BY(mu).
+//  - Functions that must be called with a lock held carry
+//    MDQA_REQUIRES(mu).
+//  - Condition variables are std::condition_variable_any waiting on the
+//    annotated Mutex directly, in an explicit while-loop —
+//    `while (!cond) cv.wait(mu);` under a MutexLock — so the predicate
+//    check happens in the analyzed scope that visibly holds the lock.
+
+#if defined(__clang__)
+#define MDQA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MDQA_THREAD_ANNOTATION_(x)
+#endif
+
+#define MDQA_CAPABILITY(x) MDQA_THREAD_ANNOTATION_(capability(x))
+#define MDQA_SCOPED_CAPABILITY MDQA_THREAD_ANNOTATION_(scoped_lockable)
+#define MDQA_GUARDED_BY(x) MDQA_THREAD_ANNOTATION_(guarded_by(x))
+#define MDQA_PT_GUARDED_BY(x) MDQA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define MDQA_REQUIRES(...) \
+  MDQA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MDQA_REQUIRES_SHARED(...) \
+  MDQA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define MDQA_ACQUIRE(...) \
+  MDQA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MDQA_ACQUIRE_SHARED(...) \
+  MDQA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define MDQA_RELEASE(...) \
+  MDQA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MDQA_RELEASE_SHARED(...) \
+  MDQA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define MDQA_TRY_ACQUIRE(...) \
+  MDQA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MDQA_EXCLUDES(...) MDQA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MDQA_NO_THREAD_SAFETY_ANALYSIS \
+  MDQA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mdqa {
+
+/// std::mutex with the capability annotation. Satisfies Lockable, so it
+/// also works as the lock of a std::condition_variable_any — waiting on
+/// the mutex itself keeps the predicate loop in the annotated scope.
+class MDQA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MDQA_ACQUIRE() { mu_.lock(); }
+  void unlock() MDQA_RELEASE() { mu_.unlock(); }
+  bool try_lock() MDQA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability annotation (single writer,
+/// concurrent readers).
+class MDQA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MDQA_ACQUIRE() { mu_.lock(); }
+  void unlock() MDQA_RELEASE() { mu_.unlock(); }
+  void lock_shared() MDQA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MDQA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the annotated std::lock_guard).
+class MDQA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MDQA_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() MDQA_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class MDQA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) MDQA_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() MDQA_RELEASE() { mu_->unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class MDQA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) MDQA_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() MDQA_RELEASE() { mu_->unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// The condition variable that pairs with Mutex (any-lock flavor: its
+/// wait takes the Mutex itself, not a std::unique_lock).
+using CondVar = std::condition_variable_any;
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_THREAD_ANNOTATIONS_H_

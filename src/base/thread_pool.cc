@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     stop_.store(true, std::memory_order_release);
   }
   idle_cv_.notify_all();
@@ -48,7 +48,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
              queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(&queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
   pending_.fetch_add(1, std::memory_order_release);
@@ -58,7 +58,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
   // it) or already re-checks and sees the increment. Without it the
   // notify could land in the check-to-block window and be lost.
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
   }
   idle_cv_.notify_one();
 }
@@ -69,7 +69,7 @@ bool ThreadPool::TryRunOne(size_t self) {
   // keeps caches warm)...
   {
     Queue& q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -79,7 +79,7 @@ bool ThreadPool::TryRunOne(size_t self) {
   if (!task) {
     for (size_t d = 1; d < queues_.size() && !task; ++d) {
       Queue& q = *queues_[(self + d) % queues_.size()];
-      std::lock_guard<std::mutex> lock(q.mu);
+      MutexLock lock(&q.mu);
       if (!q.tasks.empty()) {
         task = std::move(q.tasks.back());
         q.tasks.pop_back();
@@ -97,11 +97,11 @@ void ThreadPool::WorkerLoop(size_t self) {
   tls_worker = self;
   while (true) {
     if (TryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(&idle_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      idle_cv_.wait(idle_mu_);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
@@ -127,8 +127,8 @@ void ThreadPool::ParallelFor(size_t n,
     std::atomic<size_t> done{0};
     size_t n;
     const std::function<void(size_t)>* fn;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<ForState>();
   state->n = n;
@@ -143,7 +143,7 @@ void ThreadPool::ParallelFor(size_t n,
         // Synchronize with the waiting caller: taking the lock before
         // notifying guarantees the waiter is either not yet in wait()
         // (and will see done == n) or inside it (and gets the notify).
-        std::lock_guard<std::mutex> lock(s->mu);
+        MutexLock lock(&s->mu);
         s->cv.notify_all();
       }
     }
@@ -154,10 +154,10 @@ void ThreadPool::ParallelFor(size_t n,
     Submit([state, drain] { drain(state.get()); });
   }
   drain(state.get());
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lock(&state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->cv.wait(state->mu);
+  }
 }
 
 }  // namespace mdqa

@@ -2,14 +2,14 @@
 #define MDQA_BASE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/thread_annotations.h"
 
 namespace mdqa {
 
@@ -66,8 +66,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks MDQA_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -78,8 +78,8 @@ class ThreadPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
   std::atomic<uint64_t> pending_{0};  // queued, not yet started
   std::atomic<bool> stop_{false};
   std::atomic<size_t> next_queue_{0};  // round-robin for external Submit

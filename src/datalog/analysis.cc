@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
+#include <utility>
 
 namespace mdqa::datalog {
 
@@ -108,6 +110,89 @@ std::unordered_set<uint32_t> DependentPredicates(
     }
   }
   return reach;
+}
+
+DeadRuleAnalysis FindDeadRules(const Program& program,
+                               const std::unordered_set<uint32_t>& goals) {
+  DeadRuleAnalysis out;
+  out.relevant = goals;
+
+  // Anchor 1: EGD and constraint bodies — their verdicts are always
+  // observable, so everything feeding them is relevant.
+  // Anchor 2: TGD head predicates no rule body consumes — presumptive
+  // query outputs (the same notion MDQA-I010 calls "query output").
+  std::unordered_set<uint32_t> consumed;
+  for (const Rule& r : program.rules()) {
+    for (const Atom& a : r.body) consumed.insert(a.predicate);
+    for (const Atom& a : r.negated) consumed.insert(a.predicate);
+  }
+  for (const Rule& r : program.rules()) {
+    if (r.IsTgd()) {
+      for (const Atom& h : r.head) {
+        if (consumed.count(h.predicate) == 0) out.relevant.insert(h.predicate);
+      }
+    } else {
+      for (const Atom& a : r.body) out.relevant.insert(a.predicate);
+      for (const Atom& a : r.negated) out.relevant.insert(a.predicate);
+    }
+  }
+
+  // Backward closure: a relevant head makes the whole body relevant
+  // (negated occurrences too — absence is observable under closed-world
+  // negation).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (!r.IsTgd()) continue;
+      bool head_relevant = false;
+      for (const Atom& h : r.head) {
+        if (out.relevant.count(h.predicate) > 0) {
+          head_relevant = true;
+          break;
+        }
+      }
+      if (!head_relevant) continue;
+      for (const Atom& a : r.body) {
+        if (out.relevant.insert(a.predicate).second) changed = true;
+      }
+      for (const Atom& a : r.negated) {
+        if (out.relevant.insert(a.predicate).second) changed = true;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& r = program.rules()[i];
+    if (!r.IsTgd()) continue;
+    bool head_relevant = false;
+    for (const Atom& h : r.head) {
+      if (out.relevant.count(h.predicate) > 0) {
+        head_relevant = true;
+        break;
+      }
+    }
+    if (!head_relevant) out.dead_rules.push_back(i);
+  }
+  return out;
+}
+
+Program PruneDeadRules(const Program& program,
+                       const std::unordered_set<uint32_t>& goals) {
+  DeadRuleAnalysis dead = FindDeadRules(program, goals);
+  std::unordered_set<size_t> drop(dead.dead_rules.begin(),
+                                  dead.dead_rules.end());
+  Program out(program.vocab());
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    if (drop.count(i) > 0) continue;
+    Status added = out.AddRule(program.rules()[i]);
+    (void)added;  // rules of a valid program re-validate
+  }
+  for (const Atom& f : program.facts()) {
+    Status added = out.AddFact(f);
+    (void)added;
+  }
+  return out;
 }
 
 ProgramAnalysis::ProgramAnalysis(const Program& program)
@@ -406,6 +491,31 @@ std::vector<Position> ProgramAnalysis::AffectedPositions() const {
   return out;
 }
 
+std::unordered_set<uint32_t> ProgramAnalysis::AffectedPredicates() const {
+  std::unordered_set<uint32_t> out;
+  for (Position p : affected_) out.insert(p.predicate);
+  return out;
+}
+
+bool ProgramAnalysis::EgdIsNullFree(const Rule& egd) const {
+  for (Term side : {egd.egd_lhs, egd.egd_rhs}) {
+    if (!side.IsVariable()) continue;  // a constant side is trivially fixed
+    bool pinned = false;
+    for (const Atom& a : egd.body) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (a.terms[i].IsVariable() && a.terms[i].id() == side.id() &&
+            affected_.count(Pos(a.predicate, i)) == 0) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) break;
+    }
+    if (!pinned) return false;
+  }
+  return true;
+}
+
 bool ProgramAnalysis::IsMarkedIn(size_t tgd_index, uint32_t var) const {
   return tgd_index < marked_.size() && marked_[tgd_index].count(var) > 0;
 }
@@ -446,6 +556,35 @@ std::string ProgramAnalysis::Report(const Vocabulary& vocab) const {
                : " — touches a finite-rank position: breaks stickiness "
                  "only\n";
   }
+  return out;
+}
+
+std::string ProgramAnalysis::GraphDump(const Vocabulary& vocab) const {
+  auto pos_str = [&vocab](Position p) {
+    return vocab.PredicateName(p.predicate) + "[" + std::to_string(p.index) +
+           "]";
+  };
+  std::set<std::pair<uint64_t, uint64_t>> special(special_edges_.begin(),
+                                                  special_edges_.end());
+  std::vector<std::string> lines;
+  std::unordered_set<std::string> seen;
+  for (const auto& [from_key, to_keys] : edges_) {
+    Position from = nodes_.at(from_key);
+    for (uint64_t to_key : to_keys) {
+      Position to = nodes_.at(to_key);
+      const bool is_special = special.count({from_key, to_key}) > 0;
+      std::string line = "  " + pos_str(from) +
+                         (is_special ? " =>* " : " -> ") + pos_str(to);
+      if (seen.insert(line).second) lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = "position dependency graph: " +
+                    std::to_string(nodes_.size()) + " positions, " +
+                    std::to_string(lines.size()) +
+                    " distinct edges (=>* marks special edges into "
+                    "existential positions)\n";
+  for (const std::string& line : lines) out += line + "\n";
   return out;
 }
 

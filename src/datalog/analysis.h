@@ -32,6 +32,33 @@ Result<std::unordered_map<uint32_t, int>> StratifyProgram(
 std::unordered_set<uint32_t> DependentPredicates(
     const Program& program, const std::unordered_set<uint32_t>& seeds);
 
+/// Result of the reachability/dead-rule pass. `relevant` is the backward
+/// closure of the goal predicates over TGD head→body edges (positive and
+/// negated occurrences), additionally anchored by (a) the body predicates
+/// of every EGD and negative constraint (their satisfaction is always
+/// observable) and (b) every TGD head predicate that no rule body
+/// consumes (a presumptive query output). `dead_rules` are the indexes
+/// into `program.rules()` of TGDs none of whose head predicates are
+/// relevant: no derivation starting from such a rule can influence a goal
+/// predicate, a constraint, an EGD, or an output, so dropping them
+/// preserves certain answers and consistency verdicts.
+struct DeadRuleAnalysis {
+  std::unordered_set<uint32_t> relevant;
+  std::vector<size_t> dead_rules;
+};
+
+/// Computes the dead-rule analysis with the given extra goal predicates
+/// (quality predicates, query goals). EGDs and constraints are never
+/// dead.
+DeadRuleAnalysis FindDeadRules(const Program& program,
+                               const std::unordered_set<uint32_t>& goals);
+
+/// A copy of `program` (same vocabulary, same facts, same EGDs and
+/// constraints) without the TGDs `FindDeadRules(program, goals)` reports
+/// dead. Answer-preserving for every relevant predicate.
+Program PruneDeadRules(const Program& program,
+                       const std::unordered_set<uint32_t>& goals);
+
 /// A predicate position (predicate id, argument index) — the node type of
 /// the TGD dependency graph used by the acyclicity/stickiness analyses.
 struct Position {
@@ -115,6 +142,19 @@ class ProgramAnalysis {
   /// Positions that may carry labeled nulls in the chase.
   std::vector<Position> AffectedPositions() const;
 
+  /// Predicates with at least one affected position — the only predicates
+  /// whose facts an EGD null merge can rewrite in place.
+  std::unordered_set<uint32_t> AffectedPredicates() const;
+
+  /// Position-granular null-flow check for one EGD: true when each
+  /// equated variable has at least one body occurrence at a non-affected
+  /// position. Non-affected positions provably never carry labeled nulls,
+  /// so such an occurrence pins the variable's binding to a constant —
+  /// the EGD can only no-op or report a constant clash, never merge
+  /// nulls. This is what lets `Chase::Extend` keep the delta path for
+  /// programs whose EGDs cannot interact with nulls.
+  bool EgdIsNullFree(const Rule& egd) const;
+
   /// True if variable `var` has a marked occurrence in the body of TGD
   /// `tgd_index` (index into `tgds()`).
   bool IsMarkedIn(size_t tgd_index, uint32_t var) const;
@@ -132,6 +172,11 @@ class ProgramAnalysis {
   /// Human-readable multi-line summary (class flags, Π∞, affected, and the
   /// offending rules when a property fails).
   std::string Report(const Vocabulary& vocab) const;
+
+  /// Deterministic listing of the position dependency graph: one line per
+  /// distinct edge, sorted, with special edges (into existential
+  /// positions) marked. Feeds `mdqa_lint --analyze`.
+  std::string GraphDump(const Vocabulary& vocab) const;
 
  private:
   void BuildGraph();

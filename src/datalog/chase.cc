@@ -1,6 +1,7 @@
 #include "datalog/chase.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "datalog/analysis.h"
@@ -633,7 +634,11 @@ Status Chase::Extend(const Program& program, Instance* instance,
   // Conservative fallback matrix (docs/incremental.md): program features
   // that break the soundness of a delta-seeded restart force an exact
   // full re-chase of program+delta instead — recorded, never silent.
+  // Negation and the semi-oblivious chase are unconditional; EGDs and
+  // form-(10) rules are narrowed by the position-dependency analysis —
+  // they fall back only when the delta can actually reach them.
   std::string fallback;
+  std::vector<const Rule*> form10_rules;
   for (const Rule& r : program.rules()) {
     if (!r.IsTgd()) continue;
     if (!r.negated.empty()) {
@@ -641,17 +646,76 @@ Status Chase::Extend(const Program& program, Instance* instance,
       break;
     }
     if (r.head.size() > 1 && !r.ExistentialVariables().empty()) {
-      fallback = "form-(10)-shaped rule (multi-atom head with existentials)";
-      break;
+      form10_rules.push_back(&r);
     }
-  }
-  if (fallback.empty() && has_egds && !options.egds_separable) {
-    fallback = "EGDs not declared separable";
   }
   if (fallback.empty() && !options.restricted) {
     // The semi-oblivious fired-trigger set is not part of the frontier,
     // so an extension cannot tell which frontier bindings already fired.
     fallback = "semi-oblivious chase (fired-trigger state not resumable)";
+  }
+  if (fallback.empty() && (has_egds || !form10_rules.empty())) {
+    std::optional<ProgramAnalysis> local_analysis;
+    const ProgramAnalysis* pa = options.analysis;
+    if (pa == nullptr) {
+      local_analysis.emplace(program);
+      pa = &*local_analysis;
+    }
+    std::unordered_set<uint32_t> delta_preds;
+    for (const Atom& f : delta_facts) delta_preds.insert(f.predicate);
+    const std::unordered_set<uint32_t> dirty_closure =
+        DependentPredicates(program, delta_preds);
+    // An EGD matters only if the delta can feed its body AND it can
+    // equate labeled nulls (a null-free EGD only no-ops or reports a
+    // constant clash — both of which the alternation below reproduces).
+    bool merges_possible = false;
+    if (has_egds) {
+      for (const Rule& egd : egds) {
+        bool reachable = false;
+        for (const Atom& b : egd.body) {
+          if (dirty_closure.count(b.predicate) > 0) {
+            reachable = true;
+            break;
+          }
+        }
+        if (reachable && !pa->EgdIsNullFree(egd)) {
+          merges_possible = true;
+          break;
+        }
+      }
+    }
+    if (!options.egds_separable && merges_possible) {
+      fallback =
+          "EGDs not declared separable, and the delta reaches an EGD "
+          "that can merge labeled nulls";
+    }
+    if (fallback.empty() && !form10_rules.empty()) {
+      // A form-(10) rule breaks delta soundness only when it can fire on
+      // something new: its body must depend on the delta predicates — or,
+      // when an EGD null merge is possible, on any predicate whose facts
+      // such a merge can rewrite in place.
+      std::unordered_set<uint32_t> seeds = delta_preds;
+      if (merges_possible) {
+        for (uint32_t p : pa->AffectedPredicates()) seeds.insert(p);
+      }
+      const std::unordered_set<uint32_t> feeds =
+          DependentPredicates(program, seeds);
+      for (const Rule* r : form10_rules) {
+        bool fed = false;
+        for (const Atom& b : r->body) {
+          if (feeds.count(b.predicate) > 0) {
+            fed = true;
+            break;
+          }
+        }
+        if (fed) {
+          fallback =
+              "form-(10)-shaped rule (multi-atom head with existentials) "
+              "reachable from the delta";
+          break;
+        }
+      }
+    }
   }
   if (!fallback.empty()) {
     ChaseStats inner;

@@ -16,6 +16,8 @@
 
 namespace mdqa::datalog {
 
+class ProgramAnalysis;
+
 /// How equality-generating dependencies participate in the chase.
 enum class EgdMode {
   kOff,          ///< ignore EGDs entirely
@@ -78,6 +80,15 @@ struct ChaseOptions {
   /// incrementally when this is set; otherwise it conservatively falls
   /// back to a full re-chase. `Run` ignores the flag.
   bool egds_separable = false;
+  /// Pre-computed position/dependency analysis of the program, used by
+  /// `Chase::Extend` to *narrow* its conservative fallbacks: EGDs whose
+  /// body predicates cannot be reached from the delta, or that provably
+  /// never equate labeled nulls, no longer force a full re-chase, and
+  /// form-(10) rules only do so when the delta (plus any possible null
+  /// merges) can actually feed them. When null, Extend builds a local
+  /// analysis on demand. `Run` ignores the field. Not owned; must
+  /// describe exactly `program`'s rules.
+  const ProgramAnalysis* analysis = nullptr;
 };
 
 /// Resume state of a completed chase, captured in `ChaseStats::frontier`:
@@ -136,9 +147,10 @@ struct ChaseStats {
   ChaseFrontier frontier;
   /// True when these stats come from `Chase::Extend`.
   bool incremental = false;
-  /// True when `Extend` had to fall back to a full re-chase (negation,
-  /// non-separable EGDs, a form-(10)-shaped rule, or a semi-oblivious
-  /// chase); `fallback_reason` says why. Fallbacks are recorded, never
+  /// True when `Extend` had to fall back to a full re-chase (negation, a
+  /// semi-oblivious chase, non-separable EGDs that the delta can reach
+  /// with possible null merges, or a form-(10)-shaped rule the delta can
+  /// feed); `fallback_reason` says why. Fallbacks are recorded, never
   /// silent — the result is still exact.
   bool extend_fallback = false;
   std::string fallback_reason;
@@ -185,12 +197,20 @@ class Chase {
   /// null-inventing programs may number their nulls differently
   /// (compare with `Instance::ToCanonicalString`). Programs whose
   /// features break delta soundness — stratified negation (inserts are
-  /// non-monotone), EGDs without `options.egds_separable`, form-(10)-
-  /// shaped rules (multi-atom head with existentials), or a
-  /// semi-oblivious chase (its fired-trigger set is not part of the
-  /// frontier) — conservatively fall back to a
-  /// full re-chase of `program`+delta, recorded in
-  /// `stats->extend_fallback` / `fallback_reason`. The fallback re-bases
+  /// non-monotone) or a semi-oblivious chase (its fired-trigger set is
+  /// not part of the frontier) — conservatively fall back to a full
+  /// re-chase of `program`+delta, recorded in `stats->extend_fallback` /
+  /// `fallback_reason`. EGDs without `options.egds_separable` and
+  /// form-(10)-shaped rules (multi-atom head with existentials) fall
+  /// back only when the position-dependency analysis
+  /// (`ChaseOptions::analysis`, built locally when unset) cannot rule
+  /// out an interaction with the delta: a non-separable EGD forces the
+  /// fallback only if some EGD body predicate depends on a delta
+  /// predicate *and* the EGD can equate labeled nulls (some occurrence
+  /// of an equated variable sits at an affected position); a form-(10)
+  /// rule only if one of its body predicates depends on the delta
+  /// predicates (widened by all affected predicates when such a null
+  /// merge is possible). The fallback re-bases
   /// on `program`'s facts, so the caller must keep the program's fact
   /// list in sync with previously applied deltas (ChaseQa::Extend does).
   ///

@@ -150,6 +150,23 @@ size_t Instance::CountFacts(uint32_t pred) const {
   return table == nullptr ? 0 : table->size();
 }
 
+InstanceStatistics Instance::CollectStatistics() const {
+  InstanceStatistics stats;
+  stats.tables.reserve(tables_.size());
+  for (const auto& [pred, table] : tables_) {
+    TableStatistics t;
+    t.rows = table->size();
+    t.distinct.reserve(table->arity());
+    for (size_t i = 0; i < table->arity(); ++i) {
+      t.distinct.push_back(table->DistinctAt(i));
+    }
+    stats.total_facts += t.rows;
+    stats.max_rows = std::max(stats.max_rows, t.rows);
+    stats.tables.emplace(pred, std::move(t));
+  }
+  return stats;
+}
+
 std::vector<Atom> Instance::Facts(uint32_t pred) const {
   std::vector<Atom> out;
   const FactTable* table = Table(pred);

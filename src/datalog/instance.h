@@ -54,6 +54,12 @@ class FactTable {
   /// reference if none).
   const std::vector<uint32_t>& Probe(size_t pos, Term t) const;
 
+  /// Number of distinct terms at position `pos` (the per-position index
+  /// size). Feeds the cost model's join-selectivity estimates.
+  size_t DistinctAt(size_t pos) const {
+    return pos < index_.size() ? index_[pos].size() : 0;
+  }
+
   /// Capacity-based estimate of heap bytes held by this table (rows,
   /// levels, dedup map, per-position indexes). Feeds the execution
   /// budget's memory high-water accounting.
@@ -70,6 +76,24 @@ class FactTable {
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;  // hash -> rows
   std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> index_;
   uint32_t frozen_rows_ = 0;  // base/overlay segment watermark
+};
+
+/// Per-predicate statistics of one table: row count and per-position
+/// distinct-term counts. Order-independent aggregates, so two instances
+/// holding the same fact multiset (e.g. an incremental session and a
+/// from-scratch rebuild) report identical statistics.
+struct TableStatistics {
+  uint64_t rows = 0;
+  std::vector<uint64_t> distinct;  ///< one entry per position
+};
+
+/// Snapshot statistics of a whole instance, collected once per snapshot
+/// by the holders of long-lived instances (PreparedContext) and consumed
+/// by `analysis::CostModel`.
+struct InstanceStatistics {
+  std::unordered_map<uint32_t, TableStatistics> tables;
+  uint64_t total_facts = 0;
+  uint64_t max_rows = 0;  ///< largest single table
 };
 
 /// A (possibly null-containing) Datalog± instance: fact tables keyed by
@@ -112,6 +136,13 @@ class Instance {
 
   size_t TotalFacts() const;
   size_t CountFacts(uint32_t pred) const;
+
+  /// Row counts and per-position distinct counts of every table, by
+  /// value. Cheap (O(#tables × arity), reading the always-maintained
+  /// per-position indexes); the instance itself caches nothing, so
+  /// concurrent snapshot readers stay race-free — callers holding a
+  /// snapshot collect once and reuse.
+  InstanceStatistics CollectStatistics() const;
 
   /// Sum of the tables' MemoryEstimateBytes. Tables shared with another
   /// instance still count in full here (the estimate is per-view).

@@ -72,6 +72,9 @@ class ChaseQa {
 
   const datalog::Instance& instance() const { return instance_; }
   const datalog::ChaseStats& stats() const { return stats_; }
+  /// The engine's program — rules as given, extensional facts kept in
+  /// sync with every applied update (Extend appends, Update rebuilds).
+  const datalog::Program& program() const { return program_; }
 
  private:
   ChaseQa(datalog::Program program, datalog::ChaseOptions options,

@@ -1,6 +1,7 @@
 #include "qa/engines.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace mdqa::qa {
 
@@ -33,31 +34,98 @@ EngineSelection SelectEngine(const Program& program,
     if (r.IsEgd()) has_egds = true;
     if (r.IsTgd() && r.head.size() > 1) multi_atom_head = true;
   }
+  const bool egds_blocked = has_egds && !options.egds_separable;
+
+  std::optional<analysis::CostModel> local_model;
+  const analysis::CostModel* model = options.cost_model;
+  if (model == nullptr) {
+    local_model.emplace(program, analysis,
+                        analysis::CostModel::CollectEdbStats(program));
+    model = &*local_model;
+  }
+
+  EngineSelection out;
+  out.candidates.push_back(
+      {Engine::kChase, true, model->PredictedChaseCost(), ""});
+  {
+    std::string note;
+    if (has_negation) {
+      note = "does not evaluate stratified negation";
+    } else if (egds_blocked) {
+      note = "ignores EGDs, unsound without separability";
+    } else if (!analysis.IsWeaklySticky()) {
+      note = "program is not weakly sticky";
+    }
+    out.candidates.push_back(
+        {Engine::kDeterministicWs, note.empty(), model->PredictedWsCost(),
+         std::move(note)});
+  }
+  {
+    std::string note;
+    if (has_negation) {
+      note = "does not evaluate stratified negation";
+    } else if (egds_blocked) {
+      note = "ignores EGDs, unsound without separability";
+    } else if (!analysis.IsSticky()) {
+      note = "program is not sticky";
+    } else if (multi_atom_head) {
+      note = "multi-atom heads are not UCQ-rewritable";
+    }
+    out.candidates.push_back(
+        {Engine::kRewriting, note.empty(), model->PredictedRewritingCost(),
+         std::move(note)});
+  }
+
+  // Minimum predicted cost among the sound candidates; on ties prefer
+  // the engines with the smaller memory footprint (rewriting, then WS,
+  // then chase).
+  auto rank = [](Engine e) {
+    switch (e) {
+      case Engine::kRewriting:
+        return 0;
+      case Engine::kDeterministicWs:
+        return 1;
+      case Engine::kChase:
+        return 2;
+    }
+    return 3;
+  };
+  const EngineCandidate* best = &out.candidates[0];
+  for (const EngineCandidate& c : out.candidates) {
+    if (!c.sound) continue;
+    if (c.predicted_cost < best->predicted_cost ||
+        (c.predicted_cost == best->predicted_cost &&
+         rank(c.engine) < rank(best->engine))) {
+      best = &c;
+    }
+  }
+  out.engine = best->engine;
+  out.predicted_cost = best->predicted_cost;
+
+  // Guard-forced picks keep the syntactic gate's explanations; free
+  // choices record the cost comparison.
   if (has_negation) {
-    return {Engine::kChase,
-            "rules use stratified negation, which only the chase engine "
-            "evaluates"};
+    out.reason =
+        "rules use stratified negation, which only the chase engine "
+        "evaluates";
+    return out;
   }
-  if (has_egds && !options.egds_separable) {
-    return {Engine::kChase,
-            "EGDs present without the separability guarantee: the chase "
-            "must enforce them"};
+  if (egds_blocked) {
+    out.reason =
+        "EGDs present without the separability guarantee: the chase "
+        "must enforce them";
+    return out;
   }
-  if (analysis.IsSticky() && !multi_atom_head) {
-    return {Engine::kRewriting,
-            "program is sticky with single-atom heads: first-order "
-            "rewritable, evaluate the UCQ rewriting on the EDB"};
+  std::string table;
+  for (const EngineCandidate& c : out.candidates) {
+    if (!table.empty()) table += ", ";
+    table += EngineToString(c.engine);
+    table += c.sound ? "=" + std::to_string(c.predicted_cost)
+                     : std::string("=unsound (") + c.note + ")";
   }
-  if (analysis.IsWeaklySticky()) {
-    return {Engine::kDeterministicWs,
-            std::string("program is ") +
-                (analysis.IsSticky() ? "sticky with multi-atom heads"
-                                     : "weakly sticky") +
-                ": DeterministicWSQAns answers in polynomial time"};
-  }
-  return {Engine::kChase,
-          "program is outside the sticky/weakly-sticky classes: fall back "
-          "to the chase with an execution budget"};
+  out.reason = std::string("cost model picked ") + EngineToString(out.engine) +
+               " (" + table + " work units)";
+  return out;
 }
 
 AnswerSet AnswerSet::Of(std::vector<std::vector<Term>> raw) {

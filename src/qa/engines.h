@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.h"
 #include "base/result.h"
 #include "datalog/analysis.h"
 #include "qa/chase_qa.h"
@@ -27,21 +28,41 @@ struct EngineSelectOptions {
   /// condition (§III). When false and EGDs are present, only the chase
   /// enforces them soundly.
   bool egds_separable = false;
+  /// Shared cost model (program shape + EDB statistics). When null,
+  /// SelectEngine builds one locally from the program's own facts. Not
+  /// owned.
+  const analysis::CostModel* cost_model = nullptr;
 };
 
-/// What the classification-driven gate picked, and why — recorded
-/// verbatim in the assessment report.
+/// One engine's entry in the planner's cost table.
+struct EngineCandidate {
+  Engine engine = Engine::kChase;
+  bool sound = false;
+  uint64_t predicted_cost = 0;
+  std::string note;  ///< why the engine is unsound; empty when sound
+};
+
+/// What the cost-based planner picked, and why — recorded verbatim in
+/// the assessment report, together with the predicted cost of the
+/// winner and the full candidate table.
 struct EngineSelection {
   Engine engine = Engine::kChase;
   std::string reason;
+  uint64_t predicted_cost = 0;
+  /// Always in the order chase, deterministic-ws, rewriting.
+  std::vector<EngineCandidate> candidates;
 };
 
-/// Picks the cheapest engine that is *sound* for `program` given its
-/// syntactic classification: sticky → UCQ rewriting, weakly-sticky →
-/// DeterministicWS, anything else → chase with budget. Feature guards
-/// run first: stratified negation and non-separable EGDs force the chase
-/// (the other engines reject or ignore them), and multi-atom heads
-/// exclude the rewriter.
+/// Cost-based planner over the three engines. Soundness guards run
+/// first and are unchanged from the syntactic gate: stratified negation
+/// and non-separable EGDs force the chase (the other engines reject or
+/// ignore them); the rewriter additionally needs stickiness and
+/// single-atom heads; DeterministicWS needs weak stickiness. Among the
+/// sound engines the planner picks the minimum `analysis::CostModel`
+/// predicted cost (ties prefer rewriting, then WS, then chase — the
+/// engines with the smaller memory footprint). The decision is a pure
+/// function of (rules, EDB statistics), so it is byte-stable across
+/// serial/parallel and incremental/from-scratch runs.
 EngineSelection SelectEngine(const datalog::Program& program,
                              const datalog::ProgramAnalysis& analysis,
                              const EngineSelectOptions& options);

@@ -7,6 +7,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include <memory>
+
+#include "analysis/cost_model.h"
 #include "analysis/lint.h"
 #include "base/json.h"
 #include "datalog/analysis.h"
@@ -21,6 +24,9 @@ std::string AssessmentReport::ToString() const {
     out += std::string("engine: ") + qa::EngineToString(engine_used) +
            " (recommended: " + qa::EngineToString(engine_recommended) +
            " — " + engine_reason + ")\n";
+    out += "cost: predicted " + std::to_string(predicted_cost) +
+           " work units, actual " + std::to_string(actual_cost) +
+           " facts materialized\n";
   }
   if (lint_errors + lint_warnings > 0) {
     out += "lint: " + std::to_string(lint_errors) + " error(s), " +
@@ -55,6 +61,8 @@ std::string AssessmentReport::ToJson() const {
   w.Key("engine_used").String(qa::EngineToString(engine_used));
   w.Key("engine_recommended").String(qa::EngineToString(engine_recommended));
   w.Key("engine_reason").String(engine_reason);
+  w.Key("predicted_cost").Number(static_cast<size_t>(predicted_cost));
+  w.Key("actual_cost").Number(static_cast<size_t>(actual_cost));
   w.Key("lint_errors").Number(lint_errors);
   w.Key("lint_warnings").Number(lint_warnings);
   w.Key("referential_check").String(referential_check.ToString());
@@ -107,24 +115,37 @@ Result<AssessmentReport> Assessor::Assess(qa::Engine engine) const {
 Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   AssessmentReport report;
 
-  // Pre-run gate: classify the compiled program, derive the engine
-  // recommendation, and (unless disabled) lint program + ontology before
-  // spending any chase budget on a broken input.
+  // Pre-run gate: compile and classify the contextual program ONCE —
+  // the analysis is shared by the lint gate, the cost-based engine
+  // planner, and (through the prepared session) the incremental chase.
+  MDQA_ASSIGN_OR_RETURN(datalog::Program program, context_->BuildProgram());
+  auto program_analysis =
+      std::make_shared<const datalog::ProgramAnalysis>(program);
+  std::vector<std::string> quality_preds;
+  for (const std::string& rel : context_->AssessedRelations()) {
+    Result<std::string> q = context_->QualityPredicateOf(rel);
+    if (q.ok()) quality_preds.push_back(*q);
+  }
   qa::Engine engine = opts.engine;
   {
-    MDQA_ASSIGN_OR_RETURN(datalog::Program program, context_->BuildProgram());
-    datalog::ProgramAnalysis program_analysis(program);
-    report.program_class = program_analysis.ClassName();
+    report.program_class = program_analysis->ClassName();
     MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
                           context_->ontology().Analyze());
     qa::EngineSelectOptions select_options;
     select_options.egds_separable = properties.separable_egds;
+    const analysis::CostModel cost_model(
+        program, *program_analysis,
+        analysis::CostModel::CollectEdbStats(program));
+    select_options.cost_model = &cost_model;
     qa::EngineSelection selection =
-        qa::SelectEngine(program, program_analysis, select_options);
+        qa::SelectEngine(program, *program_analysis, select_options);
     report.engine_recommended = selection.engine;
     report.engine_reason = std::move(selection.reason);
     if (opts.auto_engine) engine = report.engine_recommended;
     report.engine_used = engine;
+    for (const qa::EngineCandidate& c : selection.candidates) {
+      if (c.engine == engine) report.predicted_cost = c.predicted_cost;
+    }
 
     if (opts.lint_gate) {
       analysis::DiagnosticBag bag;
@@ -132,6 +153,8 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
       lint_options.min_severity = analysis::Severity::kWarning;
       lint_options.form_notes = false;
       lint_options.file = "<context>";
+      lint_options.analysis = program_analysis.get();
+      lint_options.goal_predicates = quality_preds;
       analysis::LintProgram(program, lint_options, &bag);
       analysis::LintOntology(context_->ontology(), lint_options, &bag);
       bag.Sort();
@@ -163,13 +186,33 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   datalog::ChaseOptions chase_options;
   chase_options.budget = opts.budget;
   chase_options.pool = opts.pool;
-  Result<PreparedContext> prepared = context_->Prepare(chase_options);
+  // Optional answer-preserving prune: TGDs that provably cannot reach a
+  // quality predicate, EGD, constraint, or output predicate are dropped
+  // from the *chased* program only — the gate above classified and
+  // linted the program as written.
+  datalog::Program chase_program = std::move(program);
+  std::shared_ptr<const datalog::ProgramAnalysis> chase_analysis =
+      program_analysis;
+  if (opts.prune_dead_rules) {
+    std::unordered_set<uint32_t> goals;
+    const datalog::Vocabulary* vocab = chase_program.vocab().get();
+    for (const std::string& q : quality_preds) {
+      const uint32_t pred = vocab->FindPredicate(q);
+      if (pred != StringPool::kNotFound) goals.insert(pred);
+    }
+    chase_program = datalog::PruneDeadRules(chase_program, goals);
+    chase_analysis =
+        std::make_shared<const datalog::ProgramAnalysis>(chase_program);
+  }
+  Result<PreparedContext> prepared = context_->Prepare(
+      chase_options, std::move(chase_program), std::move(chase_analysis));
   if (!prepared.ok() &&
       prepared.status().code() != StatusCode::kInconsistent) {
     return prepared.status();  // real failure (parse, validation, ...)
   }
   report.constraint_check =
       prepared.ok() ? Status::Ok() : prepared.status();
+  report.actual_cost = prepared.ok() ? prepared->statistics().total_facts : 0;
   if (prepared.ok() && prepared->chase_stats().completeness ==
                            Completeness::kTruncated) {
     note_truncated(prepared->chase_stats().interruption);
@@ -320,23 +363,38 @@ Result<AssessmentReport> Assessor::Reassess(const PreparedContext& session,
   AssessmentReport report;
   const datalog::Program& program = session.program();
 
-  // Same pre-run gate as Assess, over the session's (updated) program —
-  // recomputed fresh so the report renders byte-identically to a full
-  // assessment. The incremental path always reads the session's
-  // materialized instance, so the engine used is the chase regardless of
+  // Same pre-run gate as Assess, over the session's (updated) program,
+  // reusing the session's shared analysis (the rules never change across
+  // updates) — the report renders byte-identically to a full assessment.
+  // The incremental path always reads the session's materialized
+  // instance, so the engine used is the chase regardless of
   // `auto_engine` (the recommendation is still recorded).
+  std::vector<std::string> quality_preds;
+  for (const std::string& rel : context_->AssessedRelations()) {
+    Result<std::string> q = context_->QualityPredicateOf(rel);
+    if (q.ok()) quality_preds.push_back(*q);
+  }
   {
-    datalog::ProgramAnalysis program_analysis(program);
+    const datalog::ProgramAnalysis& program_analysis = session.analysis();
     report.program_class = program_analysis.ClassName();
     MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
                           context_->ontology().Analyze());
     qa::EngineSelectOptions select_options;
     select_options.egds_separable = properties.separable_egds;
+    const analysis::CostModel cost_model(
+        program, program_analysis,
+        analysis::CostModel::CollectEdbStats(program));
+    select_options.cost_model = &cost_model;
     qa::EngineSelection selection =
         qa::SelectEngine(program, program_analysis, select_options);
     report.engine_recommended = selection.engine;
     report.engine_reason = std::move(selection.reason);
     report.engine_used = qa::Engine::kChase;
+    for (const qa::EngineCandidate& c : selection.candidates) {
+      if (c.engine == report.engine_used) {
+        report.predicted_cost = c.predicted_cost;
+      }
+    }
 
     if (opts.lint_gate) {
       analysis::DiagnosticBag bag;
@@ -344,6 +402,8 @@ Result<AssessmentReport> Assessor::Reassess(const PreparedContext& session,
       lint_options.min_severity = analysis::Severity::kWarning;
       lint_options.form_notes = false;
       lint_options.file = "<context>";
+      lint_options.analysis = &program_analysis;
+      lint_options.goal_predicates = quality_preds;
       analysis::LintProgram(program, lint_options, &bag);
       analysis::LintOntology(context_->ontology(), lint_options, &bag);
       bag.Sort();
@@ -363,6 +423,7 @@ Result<AssessmentReport> Assessor::Reassess(const PreparedContext& session,
   report.referential_check = context_->ontology().ValidateReferential();
   // The session exists, so its (re-)chase passed the constraint check.
   report.constraint_check = Status::Ok();
+  report.actual_cost = session.statistics().total_facts;
 
   auto note_truncated = [&report](const Status& why) {
     report.completeness = Completeness::kTruncated;

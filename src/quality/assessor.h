@@ -58,10 +58,19 @@ struct AssessmentReport {
   std::string program_class;
   /// Engine the run actually used.
   qa::Engine engine_used = qa::Engine::kChase;
-  /// Engine the classification recommends (== engine_used under
+  /// Engine the cost-based planner recommends (== engine_used under
   /// `auto_engine`), and why.
   qa::Engine engine_recommended = qa::Engine::kChase;
   std::string engine_reason;
+  /// The planner's predicted cost of `engine_used` (deterministic work
+  /// units — a pure function of rules + EDB statistics, see
+  /// analysis::CostModel) and the measured counterpart: the total fact
+  /// count of the materialized instance the run evaluated on (0 when
+  /// materialization failed as kInconsistent). Both are integers so
+  /// reports stay byte-identical across serial/parallel and
+  /// incremental/from-scratch runs.
+  uint64_t predicted_cost = 0;
+  uint64_t actual_cost = 0;
   /// Lint findings over the compiled program and ontology (0/0 when the
   /// gate is disabled). `lint_text` renders warnings and errors.
   size_t lint_errors = 0;
@@ -104,11 +113,19 @@ struct AssessOptions {
   /// to a report entry. Findings are recorded in the report either way.
   bool lint_gate = true;
   bool lint_warn_only = false;
-  /// Adopt the engine the syntactic classification recommends (sticky →
-  /// rewriting, weakly-sticky → deterministic WS, else chase) instead of
-  /// `engine`. The recommendation is recorded in the report even when
-  /// this is off.
+  /// Adopt the engine the cost-based planner recommends (minimum
+  /// predicted cost among the engines that are sound for the program)
+  /// instead of `engine`. The recommendation is recorded in the report
+  /// even when this is off.
   bool auto_engine = false;
+  /// Drop TGDs the dead-rule analysis proves irrelevant (no influence on
+  /// any quality predicate, EGD, constraint, or output predicate) before
+  /// materializing — the chase then skips their consequences entirely.
+  /// Answer-preserving: quality versions, measures, and consistency
+  /// verdicts are unchanged; only the materialization (and therefore
+  /// `actual_cost`) shrinks. The pre-run gate still classifies and lints
+  /// the *unpruned* program. Off by default.
+  bool prune_dead_rules = false;
   /// When non-null: the materialization chase parallelizes its trigger
   /// matching on this pool, and — on the prepared kChase path — the
   /// per-relation quality versions are computed concurrently, each under

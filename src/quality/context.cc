@@ -279,13 +279,23 @@ Result<PreparedContext> QualityContext::Prepare() const {
 Result<PreparedContext> QualityContext::Prepare(
     const datalog::ChaseOptions& options) const {
   MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  auto analysis =
+      std::make_shared<const datalog::ProgramAnalysis>(program);
+  return Prepare(options, std::move(program), std::move(analysis));
+}
+
+Result<PreparedContext> QualityContext::Prepare(
+    const datalog::ChaseOptions& options, Program program,
+    std::shared_ptr<const datalog::ProgramAnalysis> analysis) const {
   // Thread the ontology's separability verdict into the chase options so
   // a later ApplyUpdate can maintain EGD programs incrementally when the
-  // paper's §III sufficient condition holds.
+  // paper's §III sufficient condition holds, and the shared program
+  // analysis so Chase::Extend can narrow its remaining fallbacks.
   datalog::ChaseOptions chase_options = options;
   MDQA_ASSIGN_OR_RETURN(core::OntologyProperties properties,
                         ontology_->Analyze());
   chase_options.egds_separable = properties.separable_egds;
+  chase_options.analysis = analysis.get();
   // Pre-bind the per-relation S^q read-off queries while we are still
   // single-threaded: interning predicates and variables mutates the
   // shared Vocabulary, which concurrent QualityVersion calls must never
@@ -309,8 +319,11 @@ Result<PreparedContext> QualityContext::Prepare(
   }
   MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased,
                         qa::ChaseQa::Create(program, chase_options));
-  return PreparedContext(quality_of_, std::move(queries), database_,
-                         std::move(program), std::move(chased));
+  PreparedContext out(quality_of_, std::move(queries), database_,
+                      std::move(chased));
+  out.analysis_ = std::move(analysis);
+  out.statistics_ = out.instance().CollectStatistics();
+  return out;
 }
 
 std::vector<std::string> DeltaBatch::Relations() const {
@@ -328,7 +341,7 @@ Result<PreparedContext> PreparedContext::ApplyUpdate(
   // instances); only tables the update actually touches get cloned.
   PreparedContext next(*this);
   next.updated_relations_ = batch.Relations();
-  Vocabulary* vocab = next.program_.vocab().get();
+  Vocabulary* vocab = next.program().vocab().get();
   std::vector<Atom> inserts;
   std::vector<Atom> deletes;
   for (const RelationDelta& d : batch.deltas) {
@@ -367,6 +380,9 @@ Result<PreparedContext> PreparedContext::ApplyUpdate(
     }
   }
   MDQA_RETURN_IF_ERROR(next.chased_.Update(inserts, deletes).status());
+  // New snapshot, new statistics — collected here, once, so concurrent
+  // readers of the session never race on a lazily filled cache.
+  next.statistics_ = next.instance().CollectStatistics();
   return next;
 }
 
@@ -387,7 +403,7 @@ Result<qa::AnswerSet> PreparedContext::RawAnswers(
     const std::string& query_text) const {
   MDQA_ASSIGN_OR_RETURN(
       ConjunctiveQuery query,
-      Parser::ParseQuery(query_text, program_.vocab().get()));
+      Parser::ParseQuery(query_text, program().vocab().get()));
   return Evaluate(std::move(query));
 }
 
@@ -400,7 +416,7 @@ Result<qa::AnswerSet> PreparedContext::CleanAnswers(
 
 Result<ConjunctiveQuery> PreparedContext::PrepareCleanQuery(
     const std::string& query_text) const {
-  Vocabulary* vocab = program_.vocab().get();
+  Vocabulary* vocab = program().vocab().get();
   MDQA_ASSIGN_OR_RETURN(ConjunctiveQuery query,
                         Parser::ParseQuery(query_text, vocab));
   for (Atom& a : query.body) {
@@ -416,7 +432,7 @@ Result<ConjunctiveQuery> PreparedContext::PrepareCleanQuery(
 
 Result<ConjunctiveQuery> PreparedContext::PrepareRawQuery(
     const std::string& query_text) const {
-  return Parser::ParseQuery(query_text, program_.vocab().get());
+  return Parser::ParseQuery(query_text, program().vocab().get());
 }
 
 Result<qa::AnswerSet> PreparedContext::Answer(const ConjunctiveQuery& query,
@@ -434,7 +450,7 @@ Result<Relation> PreparedContext::QualityVersion(const std::string& original,
                             "'");
   }
   MDQA_ASSIGN_OR_RETURN(const Relation* rel, database_.GetRelation(original));
-  const Vocabulary* vocab = program_.vocab().get();
+  const Vocabulary* vocab = program().vocab().get();
   // Pre-bound in Prepare: from here on this method only *reads* shared
   // state, which is what makes concurrent per-relation calls safe.
   auto qit = quality_queries_.find(original);

@@ -8,6 +8,8 @@
 
 #include "base/result.h"
 #include "core/md_ontology.h"
+#include "datalog/analysis.h"
+#include "datalog/instance.h"
 #include "datalog/program.h"
 #include "qa/engines.h"
 #include "relational/database.h"
@@ -134,6 +136,17 @@ class QualityContext {
   /// (sound) instance; check `PreparedContext::chase_stats()`.
   Result<PreparedContext> Prepare(const datalog::ChaseOptions& options) const;
 
+  /// As above with a pre-built contextual program (must equal
+  /// `BuildProgram()`'s output, possibly with provably-dead TGDs pruned)
+  /// and its shared analysis — so callers that already classified the
+  /// program (the assessor's pre-run gate) don't build either twice. The
+  /// analysis is threaded into `ChaseOptions::analysis` (narrowing the
+  /// incremental-extension fallbacks of later `ApplyUpdate`s) and kept
+  /// alive by the returned session.
+  Result<PreparedContext> Prepare(
+      const datalog::ChaseOptions& options, datalog::Program program,
+      std::shared_ptr<const datalog::ProgramAnalysis> analysis) const;
+
  private:
   friend class PreparedContext;
 
@@ -241,8 +254,26 @@ class PreparedContext {
   const datalog::Instance& instance() const { return chased_.instance(); }
   const datalog::ChaseStats& chase_stats() const { return chased_.stats(); }
 
-  /// The compiled contextual program this session materialized.
-  const datalog::Program& program() const { return program_; }
+  /// The compiled contextual program this session materialized, with its
+  /// extensional facts kept in sync across `ApplyUpdate`s.
+  const datalog::Program& program() const { return chased_.program(); }
+
+  /// The shared syntactic analysis of the contextual program's rules
+  /// (rules never change across updates, so neither does this). Kept
+  /// alive by the session; `Assessor::Reassess` reuses it instead of
+  /// re-classifying.
+  const datalog::ProgramAnalysis& analysis() const { return *analysis_; }
+  std::shared_ptr<const datalog::ProgramAnalysis> shared_analysis() const {
+    return analysis_;
+  }
+
+  /// Table statistics of the materialized instance, collected once per
+  /// snapshot (at Prepare and after each ApplyUpdate): row counts,
+  /// per-position distinct counts, totals. Feeds the planner's cost
+  /// model and the report's actual-cost field.
+  const datalog::InstanceStatistics& statistics() const {
+    return statistics_;
+  }
 
   /// The database as this session sees it (after any applied updates).
   const Database& database() const { return database_; }
@@ -251,12 +282,10 @@ class PreparedContext {
   friend class QualityContext;
   PreparedContext(std::map<std::string, std::string> quality_of,
                   std::map<std::string, datalog::ConjunctiveQuery> queries,
-                  Database database, datalog::Program program,
-                  qa::ChaseQa chased)
+                  Database database, qa::ChaseQa chased)
       : quality_of_(std::move(quality_of)),
         quality_queries_(std::move(queries)),
         database_(std::move(database)),
-        program_(std::move(program)),
         chased_(std::move(chased)) {}
 
   Result<qa::AnswerSet> Evaluate(datalog::ConjunctiveQuery query,
@@ -268,8 +297,11 @@ class PreparedContext {
   /// Vocabulary — the parallel assessor relies on this.
   std::map<std::string, datalog::ConjunctiveQuery> quality_queries_;
   Database database_;  // original relations (schemas for QualityVersion)
-  datalog::Program program_;
   qa::ChaseQa chased_;
+  /// Shared with ChaseQa's options (raw pointer) — the shared_ptr here
+  /// keeps it alive for the session and all sessions derived from it.
+  std::shared_ptr<const datalog::ProgramAnalysis> analysis_;
+  datalog::InstanceStatistics statistics_;
   std::vector<std::string> updated_relations_;  // set by ApplyUpdate
 };
 

@@ -11,7 +11,7 @@ TokenBucket::TokenBucket(double rate_per_sec, double burst)
 
 bool TokenBucket::TryAcquire(std::chrono::steady_clock::time_point now,
                              double* retry_after_sec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!started_) {
     started_ = true;
     last_ = now;
@@ -34,7 +34,7 @@ bool TokenBucket::TryAcquire(std::chrono::steady_clock::time_point now,
 
 void AdmissionController::SetQuota(const std::string& tenant,
                                    TenantQuota quota) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Tenant& t = tenants_[tenant];
   t.quota = quota;
   t.bucket = std::make_shared<TokenBucket>(quota.requests_per_sec,
@@ -46,7 +46,7 @@ AdmissionController::Decision AdmissionController::AdmitAt(
   std::shared_ptr<TokenBucket> bucket;
   Decision d;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = tenants_.find(tenant);
     if (it == tenants_.end()) {
       Tenant t;
@@ -67,7 +67,7 @@ AdmissionController::Decision AdmissionController::AdmitAt(
 }
 
 size_t AdmissionController::NumTenantsSeen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.size();
 }
 

@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "base/thread_annotations.h"
 
 namespace mdqa::serve {
 
@@ -42,12 +43,14 @@ class TokenBucket {
                   double* retry_after_sec);
 
  private:
-  std::mutex mu_;
-  double rate_;
-  double burst_;
-  double tokens_;
-  bool started_ = false;
-  std::chrono::steady_clock::time_point last_;
+  Mutex mu_;
+  /// Immutable after construction, but kept under the lock with the rest
+  /// of the bucket state so the invariant is one annotation, not prose.
+  double rate_ MDQA_GUARDED_BY(mu_);
+  double burst_ MDQA_GUARDED_BY(mu_);
+  double tokens_ MDQA_GUARDED_BY(mu_);
+  bool started_ MDQA_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_ MDQA_GUARDED_BY(mu_);
 };
 
 /// Per-tenant admission: a token bucket per tenant id (created on demand
@@ -84,9 +87,9 @@ class AdmissionController {
     std::shared_ptr<TokenBucket> bucket;
   };
 
-  mutable std::mutex mu_;
-  TenantQuota default_quota_;
-  std::map<std::string, Tenant> tenants_;
+  mutable Mutex mu_;
+  TenantQuota default_quota_ MDQA_GUARDED_BY(mu_);
+  std::map<std::string, Tenant> tenants_ MDQA_GUARDED_BY(mu_);
 };
 
 }  // namespace mdqa::serve

@@ -185,13 +185,13 @@ void AssessmentServer::Shutdown() {
 
 Status AssessmentServer::DrainStatus() const {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     if (!conn_queue_.empty()) {
       return Status::Internal("drain: connection queue not empty");
     }
   }
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     if (!update_queue_.empty()) {
       return Status::Internal("drain: update queue not empty");
     }
@@ -215,12 +215,12 @@ Status AssessmentServer::DrainStatus() const {
 
 std::shared_ptr<const AssessmentServer::Snapshot> AssessmentServer::Pin()
     const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   return snapshot_;
 }
 
 void AssessmentServer::Publish(std::shared_ptr<const Snapshot> snap) {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   snapshot_ = std::move(snap);
 }
 
@@ -245,7 +245,7 @@ void AssessmentServer::AcceptLoop() {
     net::Socket sock = std::move(*accepted);
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       if (conn_queue_.size() >= options_.queue_capacity) {
         shed = true;
       } else {
@@ -270,11 +270,11 @@ void AssessmentServer::WorkerLoop(size_t worker_index) {
   while (true) {
     net::Socket sock;
     {
-      std::unique_lock<std::mutex> lock(conn_mu_);
-      conn_cv_.wait(lock, [this] {
-        return !conn_queue_.empty() ||
-               accept_done_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(&conn_mu_);
+      while (conn_queue_.empty() &&
+             !accept_done_.load(std::memory_order_acquire)) {
+        conn_cv_.wait(conn_mu_);
+      }
       if (conn_queue_.empty()) {
         if (accept_done_.load(std::memory_order_acquire)) return;
         continue;
@@ -417,7 +417,7 @@ std::string AssessmentServer::HandleQuery(const HttpRequest& req,
 
   datalog::ConjunctiveQuery query;
   {
-    std::unique_lock<std::shared_mutex> lock(vocab_mu_);
+    WriterMutexLock lock(&vocab_mu_);
     session.program().vocab()->BindToCurrentThread();
     auto parsed = clean ? session.PrepareCleanQuery(qtext->AsString())
                         : session.PrepareRawQuery(qtext->AsString());
@@ -456,7 +456,7 @@ std::string AssessmentServer::HandleQuery(const HttpRequest& req,
 
     Result<qa::AnswerSet> r = Status::Internal("unreached");
     {
-      std::shared_lock<std::shared_mutex> lock(vocab_mu_);
+      ReaderMutexLock lock(&vocab_mu_);
       r = session.Answer(query, &budget);
     }
     ++attempts;
@@ -493,7 +493,7 @@ std::string AssessmentServer::HandleQuery(const HttpRequest& req,
   std::string response_body;
   {
     // Rendering reads the vocabulary (TermToDisplayString).
-    std::shared_lock<std::shared_mutex> lock(vocab_mu_);
+    ReaderMutexLock lock(&vocab_mu_);
     const datalog::Vocabulary& vocab = *session.program().vocab();
     JsonWriter w;
     w.BeginObject();
@@ -657,7 +657,7 @@ std::string AssessmentServer::HandleUpdate(const HttpRequest& req,
 
   std::future<Result<uint64_t>> done;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     if (draining()) {
       return ErrorResponse(
           503, Status::FailedPrecondition("serve: draining, not accepting "
@@ -714,11 +714,11 @@ void AssessmentServer::WriterLoop() {
   while (true) {
     UpdateJob job;
     {
-      std::unique_lock<std::mutex> lock(update_mu_);
-      update_cv_.wait(lock, [this] {
-        return !update_queue_.empty() ||
-               workers_done_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(&update_mu_);
+      while (update_queue_.empty() &&
+             !workers_done_.load(std::memory_order_acquire)) {
+        update_cv_.wait(update_mu_);
+      }
       if (update_queue_.empty()) {
         if (workers_done_.load(std::memory_order_acquire)) return;
         continue;
@@ -734,7 +734,7 @@ void AssessmentServer::WriterLoop() {
       // fresh nulls): exclusive access, deliberately handed to this
       // thread. Readers keep serving the old snapshot meanwhile — only
       // parse/render waits.
-      std::unique_lock<std::shared_mutex> lock(vocab_mu_);
+      WriterMutexLock lock(&vocab_mu_);
       snap->session->program().vocab()->BindToCurrentThread();
       auto next = snap->session->ApplyUpdate(job.batch);
       if (!next.ok()) {

@@ -3,18 +3,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/budget.h"
+#include "base/thread_annotations.h"
 #include "base/json.h"
 #include "base/net.h"
 #include "quality/assessor.h"
@@ -203,20 +201,22 @@ class AssessmentServer {
 
   net::Listener listener_;
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_ MDQA_GUARDED_BY(snapshot_mu_);
 
   /// Guards the shared Vocabulary: write = parse/intern/update, read =
-  /// evaluate/render. See the class comment.
-  mutable std::shared_mutex vocab_mu_;
+  /// evaluate/render. See the class comment. (The vocabulary itself is
+  /// reached through the pinned snapshot, so the annotation lives on the
+  /// lock discipline, not on a member.)
+  mutable SharedMutex vocab_mu_;
 
-  mutable std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::deque<net::Socket> conn_queue_;
+  mutable Mutex conn_mu_;
+  CondVar conn_cv_;
+  std::deque<net::Socket> conn_queue_ MDQA_GUARDED_BY(conn_mu_);
 
-  mutable std::mutex update_mu_;
-  std::condition_variable update_cv_;
-  std::deque<UpdateJob> update_queue_;
+  mutable Mutex update_mu_;
+  CondVar update_cv_;
+  std::deque<UpdateJob> update_queue_ MDQA_GUARDED_BY(update_mu_);
 
   std::vector<std::unique_ptr<RequestSlot>> slots_;
   std::atomic<uint64_t> in_flight_{0};

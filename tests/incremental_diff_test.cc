@@ -217,13 +217,76 @@ TEST(ExtendContract, SemiObliviousFallsBackExactly) {
       "PW(\"w0\", \"p1\")", options, "semi-oblivious");
 }
 
+// The narrowed no-fallback cases: exact (matches the from-scratch
+// rebuild) *without* leaving the delta path.
+void ExpectNoFallbackMatchesRebuild(const std::string& base_text,
+                                    const std::string& delta_stmt,
+                                    const ChaseOptions& options) {
+  auto program = Parser::ParseProgram(base_text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto inc = ChaseQa::Create(*program, options);
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  auto atom = Parser::ParseGroundAtom(delta_stmt, program->mutable_vocab());
+  ASSERT_TRUE(atom.ok()) << atom.status();
+  auto stats = inc->Extend({*atom});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_FALSE(stats->extend_fallback) << stats->fallback_reason;
+
+  auto rebuilt = Parser::ParseProgram(base_text + delta_stmt + ".\n");
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  auto full = ChaseQa::Create(*rebuilt, options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(inc->instance().ToCanonicalString(),
+            full->instance().ToCanonicalString());
+}
+
 TEST(ExtendContract, NonSeparableEgdFallsBackExactly) {
-  // egds_separable defaults to false: without the declared guarantee the
-  // extension must not assume the TGD/EGD alternation converges.
+  // egds_separable defaults to false, the EGD can merge labeled nulls
+  // (Z sits at an affected position), and the delta reaches it through
+  // U: the extension must not assume the TGD/EGD alternation converges.
   ExpectFallbackMatchesRebuild(
+      "T(\"a\").\nV(\"a\", \"b\").\nU(X, Z) :- T(X).\n"
+      "Z = W :- U(X, Z), V(X, W).\n",
+      "T(\"b\")", ChaseOptions{}, "separable");
+}
+
+TEST(ExtendContract, NullFreeEgdStaysIncremental) {
+  // The null-flow analysis proves this EGD null-free (the program has no
+  // existentials, so no position ever carries a labeled null): it can
+  // only no-op or report a constant clash, both of which the delta path
+  // handles — no declared separability needed. This family fell back
+  // before the position-granular analysis.
+  ExpectNoFallbackMatchesRebuild(
       "T(\"w1\", \"a\").\nT(\"w2\", \"b\").\nS(X) :- T(W, X).\n"
       "X = Y :- T(W, X), T(W, Y).\n",
-      "T(\"w3\", \"c\")", ChaseOptions{}, "separable");
+      "T(\"w3\", \"c\")", ChaseOptions{});
+}
+
+TEST(ExtendContract, UnreachableEgdStaysIncremental) {
+  // The EGD *can* merge nulls (Z is existential), but the delta's
+  // predicate-dependency closure ({P, S}) never reaches its body (U):
+  // the alternation is provably a no-op for this update.
+  ExpectNoFallbackMatchesRebuild(
+      "P(\"a\").\nN(\"n1\").\nU(X, Z) :- N(X).\n"
+      "Z = W :- U(X, Z), U(X, W).\nS(X) :- P(X).\n",
+      "P(\"b\")", ChaseOptions{});
+}
+
+TEST(ExtendContract, ReachableForm10FallsBackExactly) {
+  // A form-(10)-shaped rule (multi-atom head with existentials) fed by
+  // the delta still forces the re-chase.
+  ExpectFallbackMatchesRebuild(
+      "P(\"a\").\nR(X, Y), Q(Y) :- P(X).\n",
+      "P(\"b\")", ChaseOptions{}, "form-(10)");
+}
+
+TEST(ExtendContract, UnfedForm10StaysIncremental) {
+  // The same rule shape fed only by M, which the delta (over P) cannot
+  // feed: it never fires during the extension, so the delta path runs.
+  // This family fell back before the null-flow analysis.
+  ExpectNoFallbackMatchesRebuild(
+      "P(\"a\").\nM(\"m\").\nR(X, Y), Q(Y) :- M(X).\nS(X) :- P(X).\n",
+      "P(\"b\")", ChaseOptions{});
 }
 
 // --- Quality layer: ApplyUpdate + Reassess vs a fresh full assessment ---

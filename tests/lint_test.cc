@@ -157,6 +157,55 @@ TEST(LintGolden, N012FormClassification) {
   EXPECT_NE(d.message.find("form (2)"), std::string::npos);
 }
 
+TEST(LintGolden, W041DeadRule) {
+  // A/B feed only each other; neither reaches Out, an EGD, or a
+  // constraint — all three rules in the A/B island are dead.
+  auto bag = LintFixture("w041_dead_rule.dlg");
+  auto found = FindCode(bag, "MDQA-W041");
+  ASSERT_EQ(found.size(), 3u) << bag.ToText();
+  EXPECT_EQ(found[0]->span.line, 3u);
+  EXPECT_EQ(found[1]->span.line, 4u);
+  EXPECT_EQ(found[2]->span.line, 5u);
+  for (const Diagnostic* d : found) {
+    EXPECT_EQ(d->severity, Severity::kWarning);
+    EXPECT_EQ(d->span.column, 1u);
+    EXPECT_NE(d->message.find("dead rule"), std::string::npos);
+    EXPECT_NE(d->fix_it.find("remove the rule"), std::string::npos);
+  }
+  // The Out rule is live: exactly the island is flagged, nothing else.
+  EXPECT_TRUE(FindCode(bag, "MDQA-W042").empty()) << bag.ToText();
+}
+
+TEST(LintGolden, W042SubsumedRule) {
+  // Rule 3's body is rule 2's body plus an extra P atom: strictly more
+  // specific, so every Q fact it derives is already derived by rule 2.
+  auto bag = LintFixture("w042_subsumed_rule.dlg");
+  const Diagnostic& d =
+      ExpectAt(bag, "MDQA-W042", Severity::kWarning, 3, 1);
+  EXPECT_NE(d.message.find("'Q'"), std::string::npos);
+  EXPECT_NE(d.message.find("rule #1"), std::string::npos);
+  EXPECT_EQ(d.fix_it, "remove this rule; subsumed by rule #1");
+}
+
+TEST(LintGolden, N043NullFlow) {
+  // Z is existential: Q[1] is an affected position, Q[0] and P[0] are
+  // provably null-free.
+  auto bag = LintFixture("n043_null_flow.dlg");
+  const Diagnostic& d = ExpectAt(bag, "MDQA-N043", Severity::kNote, 2, 1);
+  EXPECT_NE(d.message.find("Q[1]"), std::string::npos);
+  EXPECT_NE(d.message.find("null"), std::string::npos);
+}
+
+TEST(LintGolden, GoalPredicatesAnchorDeadRules) {
+  // Declaring A a goal revives the whole A/B island: the reachability
+  // anchor set is caller-configurable, so nothing is dead here.
+  DiagnosticBag bag;
+  LintOptions options;
+  options.goal_predicates = {"A"};
+  LintText(ReadFixture("w041_dead_rule.dlg"), options, &bag);
+  EXPECT_TRUE(FindCode(bag, "MDQA-W041").empty()) << bag.ToText();
+}
+
 // --- options ---------------------------------------------------------------
 
 TEST(LintOptionsTest, MinSeverityFilters) {
@@ -173,6 +222,36 @@ TEST(LintOptionsTest, FormNotesToggle) {
   options.form_notes = false;
   LintText(ReadFixture("n012_forms.dlg"), options, &bag);
   EXPECT_TRUE(FindCode(bag, "MDQA-N012").empty());
+}
+
+TEST(LintOptionsTest, FormNotesToggleSuppressesNullFlow) {
+  DiagnosticBag bag;
+  LintOptions options;
+  options.form_notes = false;
+  LintText(ReadFixture("n043_null_flow.dlg"), options, &bag);
+  EXPECT_TRUE(FindCode(bag, "MDQA-N043").empty());
+}
+
+TEST(LintOptionsTest, SharedAnalysisMatchesLocalAnalysis) {
+  // Passing a precomputed ProgramAnalysis (the per-assessment sharing
+  // path) must produce byte-identical findings to the lint pass
+  // computing its own.
+  std::string text = ReadFixture("w041_dead_rule.dlg");
+  auto program = datalog::Parser::ParseProgram(text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  datalog::ProgramAnalysis analysis(*program);
+
+  DiagnosticBag local_bag;
+  LintText(text, LintOptions{}, &local_bag);
+  local_bag.Sort();
+
+  DiagnosticBag shared_bag;
+  LintOptions options;
+  options.analysis = &analysis;
+  LintProgram(*program, options, &shared_bag);
+  shared_bag.Sort();
+
+  EXPECT_EQ(local_bag.ToText(), shared_bag.ToText());
 }
 
 // --- catalogue and rendering ----------------------------------------------
@@ -208,12 +287,28 @@ TEST(LintCatalogue, EveryEmittedCodeIsCatalogued) {
         "e004_stratification.dlg", "w005_undefined.dlg",
         "w006_unreachable.dlg", "w007_weak_sticky.dlg",
         "i008_existential.dlg", "i009_duplicate.dlg", "i010_unused.dlg",
-        "n011_singleton.dlg", "n012_forms.dlg"}) {
+        "n011_singleton.dlg", "n012_forms.dlg", "w041_dead_rule.dlg",
+        "w042_subsumed_rule.dlg", "n043_null_flow.dlg"}) {
     DiagnosticBag bag = LintFixture(fixture);
     for (const Diagnostic& d : bag.diagnostics()) {
       EXPECT_EQ(catalogued.count(d.code), 1u)
           << d.code << " from " << fixture << " is not in AllCodes()";
     }
+  }
+}
+
+TEST(LintCatalogue, EveryCodeIsDocumented) {
+  // docs/static_analysis.md carries the authoritative code table; a code
+  // added to AllCodes() without a docs row fails here, and vice versa the
+  // table can't drift to codes the linter no longer knows.
+  std::ifstream in(std::string(MDQA_DOCS_DIR) + "/static_analysis.md");
+  ASSERT_TRUE(in.good()) << "missing docs/static_analysis.md";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  for (const CodeInfo& info : AllCodes()) {
+    EXPECT_NE(doc.find(info.code), std::string::npos)
+        << info.code << " is not documented in docs/static_analysis.md";
   }
 }
 
@@ -608,6 +703,37 @@ TEST(LintGate, SelectEnginePicksWsForWeaklySticky) {
   EXPECT_EQ(
       qa::SelectEngine(*program, analysis, qa::EngineSelectOptions{}).engine,
       qa::Engine::kDeterministicWs);
+}
+
+// Everything answer-relevant in the report, i.e. ToString() minus the
+// "cost: ..." line (pruning legitimately shrinks actual chase work).
+std::string AnswerRelevantReport(const quality::AssessmentReport& report) {
+  std::istringstream in(report.ToString());
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cost: ", 0) == 0) continue;
+    out += line + "\n";
+  }
+  return out;
+}
+
+TEST(LintGate, PruningDeadRulesPreservesAssessment) {
+  auto context = scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  ASSERT_TRUE(context.ok()) << context.status();
+  quality::Assessor assessor(&*context);
+
+  auto unpruned = assessor.Assess();
+  ASSERT_TRUE(unpruned.ok()) << unpruned.status();
+
+  quality::AssessOptions options;
+  options.prune_dead_rules = true;
+  auto pruned = assessor.Assess(options);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+
+  // Pruning is answer-preserving: measures, failures, checks, and the
+  // lint/classification sections are byte-identical; only cost may move.
+  EXPECT_EQ(AnswerRelevantReport(*unpruned), AnswerRelevantReport(*pruned));
+  EXPECT_LE(pruned->actual_cost, unpruned->actual_cost);
 }
 
 }  // namespace

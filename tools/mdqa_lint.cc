@@ -10,6 +10,10 @@
 //   --scenario=NAME         lint a built-in scenario's compiled contextual
 //                           program and ontology (hospital | finance |
 //                           synthetic); repeatable, mixes with files
+//   --analyze               after linting, dump the whole-program analysis
+//                           for each input: class report, position
+//                           dependency graph (Graphviz), per-engine cost
+//                           table, and the planner's pick
 //   --list                  print the diagnostic-code catalogue and exit
 //
 // Exit codes: 0 clean (or only suppressed findings), 1 findings that fail
@@ -21,7 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.h"
 #include "analysis/lint.h"
+#include "datalog/parser.h"
+#include "qa/engines.h"
 #include "scenarios/finance.h"
 #include "scenarios/hospital.h"
 #include "scenarios/synthetic.h"
@@ -36,12 +43,16 @@ using mdqa::analysis::Severity;
 
 int Usage() {
   std::cerr
-      << "usage: mdqa_lint [--json] [--werror] [--min-severity=LEVEL]\n"
-         "                 [--scenario=NAME]... [--list] [file.dlg]...\n"
+      << "usage: mdqa_lint [--json] [--werror] [--analyze]\n"
+         "                 [--min-severity=LEVEL] [--scenario=NAME]...\n"
+         "                 [--list] [file.dlg]...\n"
          "  LEVEL: note | info | warning | error (default: info)\n"
          "  NAME:  hospital | finance | synthetic\n";
   return 2;
 }
+
+void DumpAnalysis(const std::string& name,
+                  const mdqa::datalog::Program& program);
 
 bool ParseSeverity(const std::string& name, Severity* out) {
   if (name == "note") *out = Severity::kNote;
@@ -55,7 +66,7 @@ bool ParseSeverity(const std::string& name, Severity* out) {
 // Lints one built-in scenario the way the Assessor gate sees it: the
 // compiled contextual program plus the ontology passes.
 mdqa::Status LintScenario(const std::string& name, const LintOptions& base,
-                          DiagnosticBag* bag) {
+                          bool analyze, DiagnosticBag* bag) {
   namespace scenarios = mdqa::scenarios;
   LintOptions options = base;
   options.file = "<scenario:" + name + ">";
@@ -69,6 +80,7 @@ mdqa::Status LintScenario(const std::string& name, const LintOptions& base,
                           context.BuildProgram());
     mdqa::analysis::LintProgram(program, options, bag);
     mdqa::analysis::LintOntology(context.ontology(), options, bag);
+    if (analyze) DumpAnalysis(options.file, program);
     return mdqa::Status::Ok();
   }
   if (name == "synthetic") {
@@ -79,10 +91,30 @@ mdqa::Status LintScenario(const std::string& name, const LintOptions& base,
                           ontology->Compile());
     mdqa::analysis::LintProgram(program, options, bag);
     mdqa::analysis::LintOntology(*ontology, options, bag);
+    if (analyze) DumpAnalysis(options.file, program);
     return mdqa::Status::Ok();
   }
   return mdqa::Status::InvalidArgument("unknown scenario '" + name +
                                        "' (hospital | finance | synthetic)");
+}
+
+// The --analyze dump for one already-parsed program: syntactic class
+// report, Fagin position graph, cost table, and the planner's pick.
+void DumpAnalysis(const std::string& name,
+                  const mdqa::datalog::Program& program) {
+  const mdqa::datalog::Vocabulary& vocab = *program.vocab();
+  mdqa::datalog::ProgramAnalysis analysis(program);
+  const mdqa::analysis::CostModel model(
+      program, analysis, mdqa::analysis::CostModel::CollectEdbStats(program));
+  mdqa::qa::EngineSelectOptions select_options;
+  select_options.cost_model = &model;
+  const mdqa::qa::EngineSelection selection =
+      mdqa::qa::SelectEngine(program, analysis, select_options);
+  std::cout << "== analysis: " << name << " ==\n"
+            << analysis.Report(vocab) << analysis.GraphDump(vocab)
+            << model.ToString(vocab) << "planner: "
+            << mdqa::qa::EngineToString(selection.engine) << " — "
+            << selection.reason << "\n";
 }
 
 }  // namespace
@@ -90,6 +122,7 @@ mdqa::Status LintScenario(const std::string& name, const LintOptions& base,
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  bool analyze = false;
   bool list = false;
   mdqa::analysis::Severity min_severity = Severity::kInfo;
   std::vector<std::string> files;
@@ -101,6 +134,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--list") {
       list = true;
     } else if (arg.rfind("--min-severity=", 0) == 0) {
@@ -141,10 +176,16 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
     LintOptions file_options = options;
     file_options.file = path;
-    mdqa::analysis::LintText(buf.str(), file_options, &bag);
+    const std::string text = buf.str();
+    mdqa::analysis::LintText(text, file_options, &bag);
+    if (analyze) {
+      // A broken parse was already reported above; only dump what parsed.
+      auto program = mdqa::datalog::Parser::ParseProgram(text);
+      if (program.ok()) DumpAnalysis(path, *program);
+    }
   }
   for (const std::string& name : scenarios) {
-    mdqa::Status s = LintScenario(name, options, &bag);
+    mdqa::Status s = LintScenario(name, options, analyze, &bag);
     if (!s.ok()) {
       std::cerr << "mdqa_lint: " << s << "\n";
       return 2;
