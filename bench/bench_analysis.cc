@@ -400,9 +400,7 @@ void Reproduce() {
   w.Key("all_answers_identical").Bool(all_identical);
   w.EndObject();
 
-  std::ofstream out("BENCH_analysis.json");
-  out << w.TakeString() << "\n";
-  std::cout << "wrote BENCH_analysis.json\n";
+  bench::WriteArtifact("BENCH_analysis.json", w.TakeString() + "\n");
   if (!all_sound) {
     std::cerr << "!! planner picked an unsound engine\n";
     std::exit(1);

@@ -96,9 +96,7 @@ void Reproduce() {
   w.Key("overhead_pct").Number(overhead_pct);
   w.Key("target_pct").Number(2.0);
   w.EndObject();
-  std::ofstream out("BENCH_budget_overhead.json");
-  out << w.TakeString() << "\n";
-  std::cout << "wrote BENCH_budget_overhead.json\n";
+  bench::WriteArtifact("BENCH_budget_overhead.json", w.TakeString() + "\n");
 }
 
 void BM_Chase_Unbudgeted(benchmark::State& state) {

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -62,6 +63,20 @@ inline void Check(const Status& status, const char* what) {
     std::cerr << what << " failed: " << status << "\n";
     std::exit(1);
   }
+}
+
+/// Writes a BENCH_*.json artifact, failing loudly (exit 1) when the
+/// stream errors — a silently truncated artifact must never pass for a
+/// result. Every emitter goes through here instead of a bare ofstream.
+inline void WriteArtifact(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::cerr << "FATAL: writing " << path << " failed\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << "\n";
 }
 
 /// Prints the reproduction banner, then hands over to google-benchmark.

@@ -202,9 +202,7 @@ void Reproduce() {
   w.Key("all_identical").Bool(all_identical);
   w.EndObject();
 
-  std::ofstream out("BENCH_incremental.json");
-  out << w.TakeString() << "\n";
-  std::cout << "wrote BENCH_incremental.json\n";
+  bench::WriteArtifact("BENCH_incremental.json", w.TakeString() + "\n");
   if (!all_identical) {
     std::cerr << "!! incremental instance diverged from full re-chase\n";
     std::exit(1);

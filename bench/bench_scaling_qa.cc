@@ -146,9 +146,7 @@ void ReproduceParallel(int max_threads) {
   w.Key("all_identical").Bool(all_identical);
   w.EndObject();
 
-  std::ofstream out("BENCH_parallel.json");
-  out << w.TakeString() << "\n";
-  std::cout << "wrote BENCH_parallel.json\n";
+  bench::WriteArtifact("BENCH_parallel.json", w.TakeString() + "\n");
   if (!all_identical) {
     std::cerr << "!! pooled report diverged from serial\n";
     std::exit(1);

@@ -9,7 +9,7 @@
 //     completed requests stay 200/degraded-labeled, never 500.
 //
 // Traffic comes from the same seeded generator as the soak harness
-// (tests/generators.h): steady-state phases replay only its query/report
+// (src/testgen/generators.h): steady-state phases replay only its query/report
 // ops (updates would serialize on the single writer and measure the
 // chase, not the server); the overload phase replays everything.
 // Results land in BENCH_serve.json, stamped with git SHA + hardware
@@ -28,7 +28,7 @@
 #include "base/json.h"
 #include "base/net.h"
 #include "bench_common.h"
-#include "generators.h"
+#include "testgen/generators.h"
 #include "scenarios/hospital.h"
 #include "serve/http.h"
 #include "serve/server.h"
@@ -235,9 +235,7 @@ void Reproduce() {
   w.EndObject();
   w.EndObject();
 
-  std::ofstream out("BENCH_serve.json");
-  out << w.TakeString() << "\n";
-  std::cout << "wrote BENCH_serve.json\n";
+  bench::WriteArtifact("BENCH_serve.json", w.TakeString() + "\n");
 }
 
 // google-benchmark timing: one query round trip (connect + parse +

@@ -31,6 +31,16 @@
 #                               # paths: runs the incremental differential
 #                               # suite (Extend vs from-scratch, 1 and 4
 #                               # threads) under both ASan/UBSan and TSan
+#   scripts/check.sh --scenarios [--seed N]
+#                               # focused pass for the generated scenario
+#                               # corpus: the full matrix (testgen_test +
+#                               # scenario_matrix_test, seeds 1-3) under
+#                               # ASan/UBSan, then a reduced matrix (one
+#                               # seed per family, MDQA_SCENARIO_REDUCED=1)
+#                               # under TSan. --seed N pins every matrix
+#                               # cell to one seed (MDQA_SCENARIO_SEED) —
+#                               # use it to replay a failing cell from a
+#                               # ctest log; see docs/testing.md
 #   scripts/check.sh --serve    # focused pass for the assessment daemon:
 #                               # mdqa_serve --help + --smoke start/stop,
 #                               # then the chaos/soak harness at
@@ -50,7 +60,15 @@ run_lint=0
 run_analyze=0
 run_incremental=0
 run_serve=0
+run_scenarios=0
+scenario_seed=""
+expect_seed=0
 for arg in "$@"; do
+  if [[ $expect_seed -eq 1 ]]; then
+    scenario_seed="$arg"
+    expect_seed=0
+    continue
+  fi
   case "$arg" in
     --plain) run_san=0 ;;
     --san) run_plain=0 ;;
@@ -59,9 +77,20 @@ for arg in "$@"; do
     --analyze) run_analyze=1; run_plain=0; run_san=0 ;;
     --incremental) run_incremental=1; run_plain=0; run_san=0 ;;
     --serve) run_serve=1; run_plain=0; run_san=0 ;;
+    --scenarios) run_scenarios=1; run_plain=0; run_san=0 ;;
+    --seed) expect_seed=1 ;;
+    --seed=*) scenario_seed="${arg#--seed=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+if [[ $expect_seed -eq 1 ]]; then
+  echo "--seed requires a value" >&2
+  exit 2
+fi
+if [[ -n $scenario_seed && $run_scenarios -eq 0 ]]; then
+  echo "--seed only applies with --scenarios" >&2
+  exit 2
+fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -100,6 +129,37 @@ if [[ $run_incremental -eq 1 ]]; then
   cmake --build build-tsan -j "$jobs" --target incremental_diff_test
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/incremental_diff_test
+fi
+
+if [[ $run_scenarios -eq 1 ]]; then
+  # MDQA_SCENARIO_SEED pins every matrix cell to one seed for replaying a
+  # failure; otherwise the ASan pass runs the full seed set and the TSan
+  # pass a reduced one-seed-per-family matrix (TSan is ~10x slower).
+  seed_env=()
+  if [[ -n $scenario_seed ]]; then
+    seed_env=(MDQA_SCENARIO_SEED="$scenario_seed")
+    echo "== scenario matrix pinned to seed $scenario_seed =="
+  fi
+
+  echo "== scenario matrix (full) under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" \
+    --target testgen_test scenario_matrix_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    env "${seed_env[@]}" ./build-san/tests/testgen_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    env "${seed_env[@]}" ./build-san/tests/scenario_matrix_test
+
+  echo "== scenario matrix (reduced) under TSan =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" \
+    --target testgen_test scenario_matrix_test
+  TSAN_OPTIONS=halt_on_error=1 \
+    env MDQA_SCENARIO_REDUCED=1 "${seed_env[@]}" \
+    ./build-tsan/tests/testgen_test
+  TSAN_OPTIONS=halt_on_error=1 \
+    env MDQA_SCENARIO_REDUCED=1 "${seed_env[@]}" \
+    ./build-tsan/tests/scenario_matrix_test
 fi
 
 if [[ $run_serve -eq 1 ]]; then

@@ -17,6 +17,40 @@
 
 namespace mdqa::quality {
 
+namespace {
+
+// Index of `relation` in the report's parallel vectors, or -1.
+int RelationIndex(const std::vector<QualityMeasures>& per_relation,
+                  const std::string& relation) {
+  for (size_t i = 0; i < per_relation.size(); ++i) {
+    if (per_relation[i].relation == relation) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const Relation* AssessmentReport::QualityVersionOf(
+    const std::string& relation) const {
+  const int i = RelationIndex(per_relation, relation);
+  if (i < 0 || static_cast<size_t>(i) >= quality_versions.size()) {
+    return nullptr;
+  }
+  return &quality_versions[static_cast<size_t>(i)];
+}
+
+const Relation* AssessmentReport::DirtyOf(const std::string& relation) const {
+  const int i = RelationIndex(per_relation, relation);
+  if (i < 0 || static_cast<size_t>(i) >= dirty_tuples.size()) return nullptr;
+  return &dirty_tuples[static_cast<size_t>(i)];
+}
+
+const QualityMeasures* AssessmentReport::MeasuresOf(
+    const std::string& relation) const {
+  const int i = RelationIndex(per_relation, relation);
+  return i < 0 ? nullptr : &per_relation[static_cast<size_t>(i)];
+}
+
 std::string AssessmentReport::ToString() const {
   std::string out = "=== quality assessment report ===\n";
   if (!program_class.empty()) {

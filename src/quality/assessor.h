@@ -77,6 +77,14 @@ struct AssessmentReport {
   size_t lint_warnings = 0;
   std::string lint_text;
 
+  /// Per-tuple verdict lookups by relation name (the scenario-matrix
+  /// harness scores these against generated ground truth): the quality
+  /// version D^q, the dirty rows D \ D^q, and the measures entry.
+  /// nullptr when the relation was degraded or never assessed.
+  const Relation* QualityVersionOf(const std::string& relation) const;
+  const Relation* DirtyOf(const std::string& relation) const;
+  const QualityMeasures* MeasuresOf(const std::string& relation) const;
+
   std::string ToString() const;
 
   /// Machine-readable form: checks, per-relation measures, and the dirty

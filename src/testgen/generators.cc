@@ -1,33 +1,12 @@
-// Seeded random program/query generators shared by the property-test
-// harnesses (engines_property_test, parallel_diff_test). Everything here
-// is a pure function of its seed — no wall-clock randomness — so any
-// failing case reproduces from its test parameter alone.
-#ifndef MDQA_TESTS_GENERATORS_H_
-#define MDQA_TESTS_GENERATORS_H_
+#include "testgen/generators.h"
 
-#include <cstdint>
 #include <random>
 #include <sstream>
-#include <string>
 #include <string_view>
-#include <vector>
 
 namespace mdqa::testgen {
 
-/// A generated Datalog± program plus a batch of queries over it.
-struct GeneratedCase {
-  std::string program_text;
-  std::vector<std::string> queries;
-  /// True when the program includes the existential (downward) rule —
-  /// such programs are outside the rewriter's upward-only guarantee.
-  bool downward = false;
-};
-
-/// Random two-level hierarchy program in the MD ontology's shape: base
-/// facts PW(ward, patient), UW(unit, ward), WS(unit, nurse), an upward
-/// rule PU, and (on even seeds) a downward rule SH with an existential.
-/// Weakly acyclic, so every engine terminates on it.
-inline GeneratedCase GenerateHierarchy(uint32_t seed) {
+GeneratedCase GenerateHierarchy(uint32_t seed) {
   std::mt19937 rng(seed);
   auto pick = [&rng](int n) {
     return static_cast<int>(rng() % static_cast<uint32_t>(n));
@@ -69,11 +48,7 @@ inline GeneratedCase GenerateHierarchy(uint32_t seed) {
   return out;
 }
 
-/// Random directed graph with transitive-closure rules — plain recursive
-/// Datalog, the multi-round semi-naive stress case. Seed scrambling
-/// (`seed * 7919 + 3`) keeps the graph family decorrelated from the
-/// hierarchy family at equal seeds.
-inline GeneratedCase GenerateClosure(uint32_t seed) {
+GeneratedCase GenerateClosure(uint32_t seed) {
   std::mt19937 rng(seed * 7919 + 3);
   const int nodes = 4 + static_cast<int>(rng() % 4);
   std::ostringstream program;
@@ -94,18 +69,7 @@ inline GeneratedCase GenerateClosure(uint32_t seed) {
   return out;
 }
 
-/// A base case plus a sequence of update batches for the incremental-chase
-/// differential harness (tests/incremental_diff_test.cc): each batch is a
-/// list of ground atoms (rendered WITHOUT the trailing period, ready for
-/// `Parser::ParseGroundAtom`). Batches mix constants already present in
-/// the base program with fresh ones, so extensions both lengthen existing
-/// join frontiers and open brand-new ones.
-struct UpdateSequence {
-  GeneratedCase base;
-  std::vector<std::vector<std::string>> batches;
-};
-
-inline UpdateSequence GenerateUpdateSequence(uint32_t seed) {
+UpdateSequence GenerateUpdateSequence(uint32_t seed) {
   UpdateSequence out;
   // Every fifth sequence updates the recursive-closure family (multi-round
   // semi-naive re-derivation); the rest update the hierarchy family
@@ -144,38 +108,8 @@ inline UpdateSequence GenerateUpdateSequence(uint32_t seed) {
   return out;
 }
 
-/// One client action in a serve workload. Rows are triples for the
-/// hospital Measurements schema (Time, Patient, Value), rendered as the
-/// JSON bodies mdqa_serve's /query and /update endpoints accept.
-struct ServeOp {
-  enum class Kind { kQuery, kReport, kInsert, kDelete };
-  Kind kind = Kind::kQuery;
-  /// Tenant id, drawn from a skewed distribution so one hot tenant
-  /// exercises the rate limiter while the cold ones sail through.
-  std::string tenant;
-  /// Request body for POST /query or /update ("" for GET /report).
-  std::string body;
-  /// For kInsert: the time keys of the batch's rows; for kDelete: the one
-  /// row being deleted. Clients track which inserts the server actually
-  /// acknowledged (200/202, not shed) and skip deletes of unacknowledged
-  /// rows — the server rejects deleting absent rows with 404.
-  std::vector<std::string> row_times;
-};
-
-/// A seeded mixed serve workload: mostly queries, a stream of insert
-/// bursts, and deletes drawn only from this stream's own earlier inserts
-/// (rendered in emit order, so replaying ops[0..i] in order keeps every
-/// delete valid once its insert was acknowledged). Tenant choice is
-/// skewed: ~half the ops come from "hot", the rest spread over
-/// `tenants - 1` cold tenants. Pure function of the seed — shared by
-/// tests/serve_soak_test.cc and bench/bench_serve.cc so a soak failure
-/// reproduces from (seed, op index) alone.
-struct ServeWorkload {
-  std::vector<ServeOp> ops;
-};
-
-inline ServeWorkload GenerateServeWorkload(uint32_t seed, size_t n_ops,
-                                           int tenants = 4) {
+ServeWorkload GenerateServeWorkload(uint32_t seed, size_t n_ops,
+                                    int tenants) {
   std::mt19937 rng(seed * 40503u + 9973u);
   auto pick = [&rng](int n) {
     return static_cast<int>(rng() % static_cast<uint32_t>(n));
@@ -260,5 +194,3 @@ inline ServeWorkload GenerateServeWorkload(uint32_t seed, size_t n_ops,
 }
 
 }  // namespace mdqa::testgen
-
-#endif  // MDQA_TESTS_GENERATORS_H_

@@ -2,14 +2,14 @@
 // applicable. Random weakly-acyclic hierarchy programs and random CQs are
 // generated deterministically from the test parameter (no wall-clock
 // randomness, so failures reproduce). The generators live in
-// tests/generators.h, shared with the parallel-vs-serial differential
+// src/testgen/generators.h, shared with the parallel-vs-serial differential
 // harness (parallel_diff_test).
 
 #include <gtest/gtest.h>
 
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
-#include "generators.h"
+#include "testgen/generators.h"
 #include "qa/engines.h"
 
 namespace mdqa::qa {

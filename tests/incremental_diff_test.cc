@@ -10,13 +10,14 @@
 // the from-scratch runs mint their nulls in different orders.
 //
 // Generators are shared with the other property harnesses via
-// tests/generators.h — everything is a pure function of the seed, so
+// src/testgen/generators.h — everything is a pure function of the seed, so
 // failures reproduce from the test parameter alone. See
 // docs/incremental.md for the design and the fallback matrix.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,7 @@
 #include "datalog/chase.h"
 #include "datalog/instance.h"
 #include "datalog/parser.h"
-#include "generators.h"
+#include "testgen/generators.h"
 #include "qa/chase_qa.h"
 #include "quality/assessor.h"
 #include "scenarios/hospital.h"

@@ -7,7 +7,7 @@
 // regardless of how (or on how many threads) the triggers were matched;
 // see docs/parallelism.md.
 //
-// Generators are shared with engines_property_test via tests/generators.h
+// Generators are shared with engines_property_test via src/testgen/generators.h
 // — everything is a pure function of the seed, so failures reproduce.
 
 #include <gtest/gtest.h>
@@ -20,7 +20,7 @@
 #include "datalog/chase.h"
 #include "datalog/instance.h"
 #include "datalog/parser.h"
-#include "generators.h"
+#include "testgen/generators.h"
 #include "qa/engines.h"
 #include "quality/assessor.h"
 #include "scenarios/synthetic.h"

@@ -1,0 +1,220 @@
+// The scenario matrix: every generated family (src/testgen/scenario.h)
+// is assessed by every engine that is sound for it, and the verdicts are
+// scored against the generator's planted ground truth — precision and
+// recall must both be exactly 1.0 wherever the theory guarantees exact
+// certain-answer computation. On top of the ground-truth gate, reports
+// must stay byte-identical across serial/pooled assessment and across
+// incremental re-assessment vs a fresh full assessment after every
+// update batch (the same discipline as parallel_diff_test and
+// incremental_diff_test).
+//
+// Reproducing a failing cell: the test name carries (family, seed) —
+// e.g. Matrix/ScenarioMatrix.GroundTruth/deep_homogeneous_s2 is
+// SpecFor(kDeepHomogeneous, 2). MDQA_SCENARIO_SEED=<n> pins the whole
+// matrix to one seed; MDQA_SCENARIO_REDUCED=1 runs one seed per family
+// (the TSan configuration of scripts/check.sh --scenarios). See
+// docs/testing.md.
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "datalog/analysis.h"
+#include "qa/engines.h"
+#include "quality/assessor.h"
+#include "testgen/scenario.h"
+
+namespace mdqa::testgen {
+namespace {
+
+std::vector<uint32_t> MatrixSeeds() {
+  if (const char* s = std::getenv("MDQA_SCENARIO_SEED")) {
+    return {static_cast<uint32_t>(std::strtoul(s, nullptr, 10))};
+  }
+  if (std::getenv("MDQA_SCENARIO_REDUCED") != nullptr) return {1};
+  return {1, 2, 3};
+}
+
+using Cell = std::tuple<ScenarioFamily, uint32_t>;
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = ScenarioFamilyToString(std::get<0>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(std::get<1>(info.param));
+}
+
+std::string JoinMismatches(const VerdictScore& score) {
+  std::string out;
+  for (const std::string& m : score.mismatches) out += "  " + m + "\n";
+  return out;
+}
+
+Relation CopyRelation(const Database& db, const std::string& name) {
+  auto rel = db.GetRelation(name);
+  EXPECT_TRUE(rel.ok()) << rel.status();
+  return **rel;
+}
+
+class ScenarioMatrix : public ::testing::TestWithParam<Cell> {
+ protected:
+  ScenarioSpec Spec() const {
+    return SpecFor(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+// The headline gate: serial chase assessment must reproduce the planted
+// ground truth exactly — every planted violation flagged (recall) and
+// nothing clean flagged (precision).
+TEST_P(ScenarioMatrix, GroundTruth) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ASSERT_GE(scenario->planted_corrupt, 1u);
+  quality::Assessor assessor(&scenario->context);
+  auto report = assessor.Assess();
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto score = ScoreVerdicts(*report, scenario->relation, scenario->truth);
+  ASSERT_TRUE(score.ok()) << score.status();
+  EXPECT_GT(score->expected_dirty, 0u) << "matrix cell is vacuous";
+  EXPECT_LT(score->expected_dirty, score->rows)
+      << "matrix cell has no clean rows";
+  EXPECT_EQ(score->precision, 1.0) << JoinMismatches(*score);
+  EXPECT_EQ(score->recall, 1.0) << JoinMismatches(*score);
+  if (std::get<0>(GetParam()) == ScenarioFamily::kDisjunctiveDownward) {
+    // Phantom entities with only form-(10) (possible-world) support must
+    // exist and be expected-dirty: certain answers exclude them.
+    size_t possible_only = 0;
+    for (const TupleVerdict& v : scenario->truth) {
+      if (v.violation == ViolationKind::kPossibleOnly) ++possible_only;
+    }
+    EXPECT_GE(possible_only, 1u);
+  }
+}
+
+// Serial and pooled assessments must render byte-identical reports
+// (ToString AND ToJson) at every thread count.
+TEST_P(ScenarioMatrix, PooledReportsByteIdentical) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  quality::Assessor assessor(&scenario->context);
+  auto serial = assessor.Assess();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const std::string serial_text = serial->ToString();
+  const std::string serial_json = serial->ToJson();
+  for (size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    quality::AssessOptions options;
+    options.pool = &pool;
+    auto pooled = assessor.Assess(options);
+    ASSERT_TRUE(pooled.ok()) << pooled.status();
+    EXPECT_EQ(pooled->ToString(), serial_text) << "threads=" << threads;
+    EXPECT_EQ(pooled->ToJson(), serial_json) << "threads=" << threads;
+  }
+}
+
+// Every engine the cost-based planner declares sound for the compiled
+// contextual program must reproduce the same ground truth — P = R = 1.0
+// per engine, which also pins cross-engine agreement on the verdict
+// partition itself. The chase is always sound, so this covers >= 2
+// engines per cell wherever WS/rewriting qualify, and the planner's
+// soundness notes document why when they don't.
+TEST_P(ScenarioMatrix, SoundEnginesReproduceGroundTruth) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto program = scenario->context.BuildProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  datalog::ProgramAnalysis analysis(*program);
+  auto props = scenario->context.ontology().Analyze();
+  ASSERT_TRUE(props.ok()) << props.status();
+  qa::EngineSelectOptions options;
+  options.egds_separable = props->separable_egds;
+  const qa::EngineSelection selection =
+      qa::SelectEngine(*program, analysis, options);
+  quality::Assessor assessor(&scenario->context);
+  int sound = 0;
+  for (const qa::EngineCandidate& candidate : selection.candidates) {
+    if (!candidate.sound) continue;
+    ++sound;
+    auto report = assessor.Assess(candidate.engine);
+    ASSERT_TRUE(report.ok())
+        << qa::EngineToString(candidate.engine) << ": " << report.status();
+    auto score = ScoreVerdicts(*report, scenario->relation, scenario->truth);
+    ASSERT_TRUE(score.ok())
+        << qa::EngineToString(candidate.engine) << ": " << score.status();
+    EXPECT_EQ(score->precision, 1.0)
+        << qa::EngineToString(candidate.engine) << "\n"
+        << JoinMismatches(*score);
+    EXPECT_EQ(score->recall, 1.0)
+        << qa::EngineToString(candidate.engine) << "\n"
+        << JoinMismatches(*score);
+  }
+  EXPECT_GE(sound, 1) << "planner declared no engine sound";
+}
+
+// The seeded update stream: after every batch, the incremental Reassess
+// must (a) match the generator's post-batch ground truth exactly and
+// (b) render byte-identically to a fresh full assessment of the updated
+// database on a regenerated context.
+TEST_P(ScenarioMatrix, IncrementalReassessMatchesGroundTruthAndFullAssess) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ASSERT_FALSE(scenario->updates.empty());
+  quality::Assessor assessor(&scenario->context);
+  auto prepared = scenario->context.Prepare();
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto previous = assessor.Assess();
+  ASSERT_TRUE(previous.ok()) << previous.status();
+
+  quality::PreparedContext session = std::move(*prepared);
+  quality::AssessmentReport last_report = std::move(*previous);
+  for (size_t b = 0; b < scenario->updates.size(); ++b) {
+    const ScenarioUpdate& update = scenario->updates[b];
+    auto next = session.ApplyUpdate(update.batch);
+    ASSERT_TRUE(next.ok()) << "batch " << b << ": " << next.status();
+    if (update.batch.HasDeletions()) {
+      // Deletions force the recorded exact full-re-chase fallback.
+      EXPECT_TRUE(next->chase_stats().extend_fallback)
+          << next->chase_stats().fallback_reason;
+    }
+    auto report = assessor.Reassess(*next, last_report);
+    ASSERT_TRUE(report.ok()) << "batch " << b << ": " << report.status();
+
+    auto score =
+        ScoreVerdicts(*report, scenario->relation, update.verdicts_after);
+    ASSERT_TRUE(score.ok()) << "batch " << b << ": " << score.status();
+    EXPECT_EQ(score->precision, 1.0)
+        << "batch " << b << "\n" << JoinMismatches(*score);
+    EXPECT_EQ(score->recall, 1.0)
+        << "batch " << b << "\n" << JoinMismatches(*score);
+
+    // Fresh baseline: regenerate the identical scenario and swap in the
+    // updated database (same discipline as incremental_diff_test).
+    auto baseline = ScenarioGenerator::Generate(Spec());
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    Database patch;
+    patch.PutRelation(CopyRelation(next->database(), scenario->relation));
+    ASSERT_TRUE(baseline->context.SetDatabase(std::move(patch)).ok());
+    quality::Assessor baseline_assessor(&baseline->context);
+    auto full = baseline_assessor.Assess();
+    ASSERT_TRUE(full.ok()) << full.status();
+    EXPECT_EQ(report->ToString(), full->ToString()) << "batch " << b;
+    EXPECT_EQ(report->ToJson(), full->ToJson()) << "batch " << b;
+
+    session = std::move(*next);
+    last_report = std::move(*report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScenarioMatrix,
+    ::testing::Combine(::testing::ValuesIn(kAllScenarioFamilies),
+                       ::testing::ValuesIn(MatrixSeeds())),
+    CellName);
+
+}  // namespace
+}  // namespace mdqa::testgen

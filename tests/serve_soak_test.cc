@@ -31,7 +31,7 @@
 
 #include "base/json.h"
 #include "base/net.h"
-#include "generators.h"
+#include "testgen/generators.h"
 #include "scenarios/hospital.h"
 #include "serve/http.h"
 #include "serve/server.h"

@@ -1,0 +1,235 @@
+// Determinism and ground-truth sanity of the mdqa_testgen library
+// (src/testgen/): the scenario generator must be a pure function of its
+// spec — byte-identical output when generated concurrently on 1/4/8
+// threads and across two separate process runs — and the ground truth it
+// records must be internally consistent (planted counts match the truth
+// table, update verdicts track the row set). See docs/testing.md.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testgen/generators.h"
+#include "testgen/scenario.h"
+
+namespace mdqa::testgen {
+namespace {
+
+// FNV-1a: a process-independent digest for comparing fingerprints across
+// runs without printing kilobytes of scenario text.
+uint64_t Digest(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FingerprintOf(const ScenarioSpec& spec) {
+  auto scenario = ScenarioGenerator::Generate(spec);
+  EXPECT_TRUE(scenario.ok()) << scenario.status();
+  if (!scenario.ok()) return std::string();
+  auto fp = ScenarioFingerprint(*scenario);
+  EXPECT_TRUE(fp.ok()) << fp.status();
+  return fp.ok() ? *fp : std::string();
+}
+
+TEST(ScenarioDeterminism, SameSeedSameBytes) {
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    const ScenarioSpec spec = SpecFor(family, 7);
+    const std::string first = FingerprintOf(spec);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(FingerprintOf(spec), first)
+        << ScenarioFamilyToString(family);
+  }
+}
+
+TEST(ScenarioDeterminism, DifferentSeedsDiffer) {
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    EXPECT_NE(FingerprintOf(SpecFor(family, 1)),
+              FingerprintOf(SpecFor(family, 2)))
+        << ScenarioFamilyToString(family);
+  }
+}
+
+TEST(ScenarioDeterminism, FamiliesDifferAtEqualSeed) {
+  std::vector<std::string> prints;
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    prints.push_back(FingerprintOf(SpecFor(family, 3)));
+  }
+  for (size_t i = 0; i < prints.size(); ++i) {
+    for (size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j]) << i << " vs " << j;
+    }
+  }
+}
+
+// Concurrent generation at 1/4/8 threads: every thread generating the
+// same spec must produce the same bytes as the serial reference (no
+// hidden global state in the generator).
+TEST(ScenarioDeterminism, AcrossThreadCounts) {
+  const ScenarioSpec spec = SpecFor(ScenarioFamily::kMultiDimensional, 5);
+  const std::string reference = FingerprintOf(spec);
+  ASSERT_FALSE(reference.empty());
+  for (size_t n : {1u, 4u, 8u}) {
+    std::vector<std::string> prints(n);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t t = 0; t < n; ++t) {
+      threads.emplace_back([&prints, &spec, t] {
+        auto scenario = ScenarioGenerator::Generate(spec);
+        if (!scenario.ok()) return;
+        auto fp = ScenarioFingerprint(*scenario);
+        if (fp.ok()) prints[t] = *fp;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(prints[t], reference) << "threads=" << n << " t=" << t;
+    }
+  }
+}
+
+// The dump mode the cross-process test re-execs into: prints one digest
+// line per family and exits. Skipped in a normal run.
+TEST(ScenarioDump, PrintDigests) {
+  if (std::getenv("MDQA_TESTGEN_DUMP") == nullptr) {
+    GTEST_SKIP() << "dump mode only (used by AcrossProcessRuns)";
+  }
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    printf("FP %s %llu\n", ScenarioFamilyToString(family),
+           static_cast<unsigned long long>(
+               Digest(FingerprintOf(SpecFor(family, 11)))));
+  }
+}
+
+std::vector<std::string> DigestLinesFromChildProcess() {
+  // Re-exec this binary in dump mode and collect the FP lines.
+  char exe[4096];
+  const ssize_t len = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (len <= 0) return {};
+  exe[len] = '\0';
+  const std::string cmd =
+      std::string("MDQA_TESTGEN_DUMP=1 \"") + exe +
+      "\" --gtest_filter=ScenarioDump.PrintDigests 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  std::vector<std::string> lines;
+  char buf[256];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) {
+    if (buf[0] == 'F' && buf[1] == 'P' && buf[2] == ' ') {
+      lines.emplace_back(buf);
+    }
+  }
+  pclose(pipe);
+  return lines;
+}
+
+// Two separate process runs must print identical digests, and they must
+// match the digests computed in this process.
+TEST(ScenarioDeterminism, AcrossProcessRuns) {
+  const std::vector<std::string> first = DigestLinesFromChildProcess();
+  ASSERT_EQ(first.size(), std::size(kAllScenarioFamilies))
+      << "child run produced no digests";
+  const std::vector<std::string> second = DigestLinesFromChildProcess();
+  EXPECT_EQ(first, second);
+  size_t i = 0;
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    char expected[256];
+    snprintf(expected, sizeof(expected), "FP %s %llu\n",
+             ScenarioFamilyToString(family),
+             static_cast<unsigned long long>(
+                 Digest(FingerprintOf(SpecFor(family, 11)))));
+    EXPECT_EQ(first[i], expected);
+    ++i;
+  }
+}
+
+// --- ground-truth sanity ----------------------------------------------
+
+TEST(ScenarioGroundTruth, PlantedCountsMatchTruthTable) {
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    auto scenario = ScenarioGenerator::Generate(SpecFor(family, 4));
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    size_t corrupt = 0, misplaced = 0, missing = 0, dirty = 0;
+    for (const TupleVerdict& v : scenario->truth) {
+      EXPECT_EQ(v.clean, v.violation == ViolationKind::kNone);
+      if (!v.clean) ++dirty;
+      if (v.violation == ViolationKind::kCorruptAttribute) ++corrupt;
+      if (v.violation == ViolationKind::kMisplacedMember) ++misplaced;
+      if (v.violation == ViolationKind::kMissingContext) ++missing;
+    }
+    EXPECT_EQ(scenario->planted_corrupt, corrupt);
+    EXPECT_EQ(scenario->planted_misplaced, misplaced);
+    EXPECT_EQ(scenario->planted_missing, missing);
+    EXPECT_GE(corrupt, 1u) << ScenarioFamilyToString(family);
+    EXPECT_GT(scenario->truth.size(), dirty)
+        << "no clean rows in " << ScenarioFamilyToString(family);
+  }
+}
+
+TEST(ScenarioGroundTruth, UpdateVerdictsTrackRowSet) {
+  for (ScenarioFamily family : kAllScenarioFamilies) {
+    const ScenarioSpec spec = SpecFor(family, 6);
+    auto scenario = ScenarioGenerator::Generate(spec);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    ASSERT_EQ(scenario->updates.size(),
+              static_cast<size_t>(spec.update_batches));
+    size_t rows = scenario->truth.size();
+    for (const ScenarioUpdate& u : scenario->updates) {
+      for (const quality::RelationDelta& d : u.batch.deltas) {
+        rows += d.insert_rows.size();
+        rows -= d.delete_rows.size();
+      }
+      EXPECT_EQ(u.verdicts_after.size(), rows);
+    }
+    // The last batch exercises the deletion (full-re-chase) path.
+    ASSERT_TRUE(spec.delete_in_last_batch);
+    EXPECT_TRUE(scenario->updates.back().batch.HasDeletions());
+  }
+}
+
+TEST(ScenarioGroundTruth, SpecForCoversFamilies) {
+  EXPECT_EQ(SpecFor(ScenarioFamily::kDeepHomogeneous, 0).depth, 5);
+  EXPECT_TRUE(SpecFor(ScenarioFamily::kSkewedTenants, 0).zipf_s > 0.0);
+  EXPECT_EQ(SpecFor(ScenarioFamily::kRaggedHeterogeneous, 0).depth, 4);
+}
+
+TEST(ScenarioGroundTruth, RejectsDegenerateSpecs) {
+  ScenarioSpec spec = SpecFor(ScenarioFamily::kDeepHomogeneous, 0);
+  spec.depth = 2;
+  EXPECT_FALSE(ScenarioGenerator::Generate(spec).ok());
+  spec = SpecFor(ScenarioFamily::kDisjunctiveDownward, 0);
+  spec.depth = 2;  // no room for the region level above certification
+  EXPECT_FALSE(ScenarioGenerator::Generate(spec).ok());
+}
+
+// The promoted legacy generators (formerly header-only in
+// tests/generators.h) must stay pure functions of their seeds too.
+TEST(LegacyGenerators, StillDeterministic) {
+  for (uint32_t seed : {0u, 3u, 9u}) {
+    EXPECT_EQ(GenerateHierarchy(seed).program_text,
+              GenerateHierarchy(seed).program_text);
+    EXPECT_EQ(GenerateClosure(seed).program_text,
+              GenerateClosure(seed).program_text);
+    const ServeWorkload a = GenerateServeWorkload(seed, 50);
+    const ServeWorkload b = GenerateServeWorkload(seed, 50);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t i = 0; i < a.ops.size(); ++i) {
+      EXPECT_EQ(a.ops[i].body, b.ops[i].body);
+      EXPECT_EQ(a.ops[i].tenant, b.ops[i].tenant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdqa::testgen
