@@ -41,6 +41,18 @@
 #                               # cell to one seed (MDQA_SCENARIO_SEED) —
 #                               # use it to replay a failing cell from a
 #                               # ctest log; see docs/testing.md
+#   scripts/check.sh --columnar [--seed N]
+#                               # focused pass for the columnar storage
+#                               # layer and the vectorized join executor:
+#                               # the storage unit tests plus the full
+#                               # row-vs-columnar differential matrix
+#                               # (columnar_test + columnar_diff_test,
+#                               # byte-identical reports across layouts,
+#                               # thread counts, and incremental
+#                               # reassessment) under ASan/UBSan, then a
+#                               # reduced matrix (MDQA_SCENARIO_REDUCED=1)
+#                               # under TSan. --seed N pins the matrix
+#                               # cells (MDQA_SCENARIO_SEED)
 #   scripts/check.sh --serve    # focused pass for the assessment daemon:
 #                               # mdqa_serve --help + --smoke start/stop,
 #                               # then the chaos/soak harness at
@@ -61,6 +73,7 @@ run_analyze=0
 run_incremental=0
 run_serve=0
 run_scenarios=0
+run_columnar=0
 scenario_seed=""
 expect_seed=0
 for arg in "$@"; do
@@ -78,6 +91,7 @@ for arg in "$@"; do
     --incremental) run_incremental=1; run_plain=0; run_san=0 ;;
     --serve) run_serve=1; run_plain=0; run_san=0 ;;
     --scenarios) run_scenarios=1; run_plain=0; run_san=0 ;;
+    --columnar) run_columnar=1; run_plain=0; run_san=0 ;;
     --seed) expect_seed=1 ;;
     --seed=*) scenario_seed="${arg#--seed=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -87,8 +101,8 @@ if [[ $expect_seed -eq 1 ]]; then
   echo "--seed requires a value" >&2
   exit 2
 fi
-if [[ -n $scenario_seed && $run_scenarios -eq 0 ]]; then
-  echo "--seed only applies with --scenarios" >&2
+if [[ -n $scenario_seed && $run_scenarios -eq 0 && $run_columnar -eq 0 ]]; then
+  echo "--seed only applies with --scenarios or --columnar" >&2
   exit 2
 fi
 
@@ -160,6 +174,34 @@ if [[ $run_scenarios -eq 1 ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     env MDQA_SCENARIO_REDUCED=1 "${seed_env[@]}" \
     ./build-tsan/tests/scenario_matrix_test
+fi
+
+if [[ $run_columnar -eq 1 ]]; then
+  seed_env=()
+  if [[ -n $scenario_seed ]]; then
+    seed_env=(MDQA_SCENARIO_SEED="$scenario_seed")
+    echo "== columnar matrix pinned to seed $scenario_seed =="
+  fi
+
+  echo "== columnar storage + row-vs-columnar matrix (full) under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" \
+    --target columnar_test columnar_diff_test instance_test cq_eval_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/columnar_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/instance_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/cq_eval_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    env "${seed_env[@]}" ./build-san/tests/columnar_diff_test
+
+  echo "== row-vs-columnar matrix (reduced) under TSan =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" --target columnar_diff_test
+  TSAN_OPTIONS=halt_on_error=1 \
+    env MDQA_SCENARIO_REDUCED=1 "${seed_env[@]}" \
+    ./build-tsan/tests/columnar_diff_test
 fi
 
 if [[ $run_serve -eq 1 ]]; then

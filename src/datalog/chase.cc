@@ -158,7 +158,7 @@ class TermUnionFind {
 // Rewrites the whole instance through `uf`, keeping the minimum level of
 // merged duplicates. Only called when at least one merge happened.
 Instance Canonicalize(const Instance& in, TermUnionFind* uf) {
-  Instance out(in.vocab());
+  Instance out(in.vocab(), in.storage_mode());
   for (uint32_t pred : in.Predicates()) {
     const FactTable* table = in.Table(pred);
     const size_t arity = table->arity();
@@ -719,7 +719,8 @@ Status Chase::Extend(const Program& program, Instance* instance,
   }
   if (!fallback.empty()) {
     ChaseStats inner;
-    Instance rebuilt = Instance::FromProgram(program);
+    Instance rebuilt =
+        Instance::FromProgram(program, instance->storage_mode());
     for (const Atom& f : delta_facts) rebuilt.AddFact(f, /*level=*/0);
     MDQA_RETURN_IF_ERROR(Run(program, &rebuilt, options, &inner));
     inner.incremental = true;

@@ -80,6 +80,15 @@ struct ChaseOptions {
   /// incrementally when this is set; otherwise it conservatively falls
   /// back to a full re-chase. `Run` ignores the flag.
   bool egds_separable = false;
+  /// Physical layout of fact tables built by chase entry points that
+  /// construct their own `Instance` (e.g. `qa::ChaseQa`, the assessor).
+  /// Columnar (the default) dictionary-encodes every position into
+  /// immutable shared segments plus an append-only overlay and unlocks
+  /// the vectorized block-join executor; `kRow` keeps the legacy row
+  /// store with per-position hash indexes. Results are byte-identical
+  /// either way (gated by tests/columnar_diff_test.cc); the flag exists
+  /// as an escape hatch and benchmark ablation.
+  StorageMode storage = StorageMode::kColumnar;
   /// Pre-computed position/dependency analysis of the program, used by
   /// `Chase::Extend` to *narrow* its conservative fallbacks: EGDs whose
   /// body predicates cannot be reached from the delta, or that provably

@@ -1,0 +1,46 @@
+#include "datalog/column.h"
+
+namespace mdqa::datalog {
+
+uint32_t Column::Append(Term t, bool* new_code) {
+  uint32_t code = CodeOf(t);
+  const bool fresh = code == kNoCode;
+  if (fresh) {
+    code = static_cast<uint32_t>(dict_.size());
+    dict_.push_back(t);
+    postings_.emplace_back();
+    encode_[HashTerm(t)].push_back(code);
+  }
+  postings_[code].push_back(static_cast<uint32_t>(codes_.size()));
+  codes_.push_back(code);
+  if (new_code != nullptr) *new_code = fresh;
+  return code;
+}
+
+uint32_t Column::CodeOf(Term t) const {
+  auto it = encode_.find(HashTerm(t));
+  if (it == encode_.end()) return kNoCode;
+  // The bucket may hold codes of several distinct terms (lossy hash);
+  // only a dictionary-verified candidate counts.
+  for (uint32_t code : it->second) {
+    if (dict_[code] == t) return code;
+  }
+  return kNoCode;
+}
+
+uint64_t Column::MemoryEstimateBytes() const {
+  uint64_t bytes = codes_.capacity() * sizeof(uint32_t) +
+                   dict_.capacity() * sizeof(Term);
+  bytes += postings_.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& rows : postings_) {
+    bytes += rows.capacity() * sizeof(uint32_t);
+  }
+  bytes += encode_.bucket_count() *
+           (sizeof(uint64_t) + sizeof(std::vector<uint32_t>));
+  for (const auto& [_, codes] : encode_) {
+    bytes += codes.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace mdqa::datalog

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "datalog/join.h"
+
 namespace mdqa::datalog {
 
 namespace {
@@ -156,10 +158,10 @@ void Recurse(EvalState* s, size_t remaining) {
   for (size_t p = 0; p < atom.terms.size(); ++p) {
     Term t = Resolve(s->subst, atom.terms[p]);
     if (!t.IsGround()) continue;
-    const auto& rows = table->Probe(p, t);
-    if (probe_pos < 0 || rows.size() < probe_size) {
+    const size_t count = table->ProbeCount(p, t);
+    if (probe_pos < 0 || count < probe_size) {
       probe_pos = static_cast<int>(p);
-      probe_size = rows.size();
+      probe_size = count;
       probe_term = t;
     }
   }
@@ -167,8 +169,14 @@ void Recurse(EvalState* s, size_t remaining) {
     if (s->stats != nullptr) ++s->stats->index_probes;
     // Evaluation is read-only, so holding the index's row list by
     // reference is safe; the chase only mutates between evaluations.
-    const std::vector<uint32_t>& rows = table->Probe(probe_pos, probe_term);
-    for (uint32_t r : rows) {
+    // Columnar tables with a multi-segment chain materialize the gather.
+    std::vector<uint32_t> scratch;
+    const std::vector<uint32_t>* rows = table->ProbeRef(probe_pos, probe_term);
+    if (rows == nullptr) {
+      scratch = table->Probe(probe_pos, probe_term);
+      rows = &scratch;
+    }
+    for (uint32_t r : *rows) {
       if (s->stop || !s->error.ok()) return;
       if (!level_ok(r)) continue;
       TryRow(s, idx, table->Row(r), remaining);
@@ -192,6 +200,24 @@ Status CqEvaluator::Enumerate(
     const std::function<bool(const Subst&)>& on_match) const {
   if (!windows.empty() && windows.size() != atoms.size()) {
     return Status::InvalidArgument("level-window count must match atom count");
+  }
+  if (instance_.storage_mode() == StorageMode::kColumnar && initial.empty()) {
+    // Vectorized block executor over the columnar segments. Its
+    // enumeration order, stats and budget pacing reproduce the
+    // backtracking path exactly (see datalog/join.h); the up-front
+    // budget poll below still runs first. Dispatch is a pure cost
+    // heuristic — both executors produce the same bytes — and only
+    // whole-relation enumerations (empty initial bindings: trigger
+    // collection passes, query answering) amortize the executor's
+    // plan-compilation setup; seeded point lookups (per-trigger
+    // head-satisfaction and constraint checks, parallel shard seeds)
+    // stay on the low-setup backtracking path.
+    if (budget_ != nullptr) {
+      Status bs = budget_->Check("cq:row");
+      if (!bs.ok()) return bs;
+    }
+    BlockJoin join(instance_, stats_, budget_);
+    return join.Run(atoms, negated, comparisons, initial, windows, on_match);
   }
   EvalState s;
   s.instance = &instance_;

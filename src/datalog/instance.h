@@ -10,29 +10,61 @@
 
 #include "base/result.h"
 #include "datalog/program.h"
+#include "datalog/segment.h"
 #include "relational/database.h"
 
 namespace mdqa::datalog {
 
-/// Deduplicated ground-fact storage for one predicate: a flat row store
-/// with a hash-based dedup table and always-maintained per-position term
-/// indexes (dimensional navigation is join-heavy, so probes dominate).
-/// Each row carries a derivation level: 0 for extensional facts, and
-/// 1 + max(body levels) for chase-derived facts — the level-bounded chase
-/// used for weakly-sticky query answering keys off this.
+/// Physical layout of a FactTable's probe structures. Both modes keep the
+/// flattened term rows and per-row levels (the `Row()` pointer contract);
+/// they differ in how equality probes are indexed.
+enum class StorageMode : uint8_t {
+  /// Legacy flat row store: per-position hash indexes from term to rows.
+  kRow = 0,
+  /// Dictionary-encoded column segments (see Segment): per-position code
+  /// columns with postings, organized as immutable shared sealed segments
+  /// plus one mutable overlay. The vectorized join executor
+  /// (datalog/join.h) probes these block-at-a-time. Default.
+  kColumnar = 1,
+};
+
+const char* StorageModeToString(StorageMode mode);
+
+/// Deduplicated ground-fact storage for one predicate: flattened term
+/// rows with a hash-based dedup table, plus per-position probe structures
+/// in one of two layouts (StorageMode). Each row carries a derivation
+/// level: 0 for extensional facts, and 1 + max(body levels) for
+/// chase-derived facts — the level-bounded chase used for weakly-sticky
+/// query answering keys off this.
 ///
 /// A table is segmented into a *frozen base* (rows below `frozen_rows()`,
 /// written before the last `MarkFrozen()`) and a *mutable overlay* (rows
 /// appended since). Insertion is append-only, so freezing is purely a
 /// watermark — it never copies. Snapshots share whole tables through
 /// `Instance`'s copy-on-write handles; the watermark records where the
-/// shared base ends when an update path appends.
+/// shared base ends when an update path appends. In columnar mode the
+/// sealed segments of the chain are additionally shared *between* cloned
+/// tables (immutable `shared_ptr<const Segment>`), so a copy-on-write
+/// clone re-copies only the rows, dedup table and mutable overlay — the
+/// dictionary/postings structures of the frozen base are never duplicated.
+///
+/// Every hash-keyed probe structure here (the dedup table, the row-mode
+/// per-position indexes, the columnar dictionaries) verifies candidates
+/// by full row/term equality before trusting them: a colliding 64-bit
+/// key must never alias two rows. `set_hash_mask_for_test` forces total
+/// collision so tests keep that verification load-bearing.
 class FactTable {
  public:
-  explicit FactTable(size_t arity) : arity_(arity), index_(arity) {}
+  explicit FactTable(size_t arity, StorageMode mode = StorageMode::kColumnar)
+      : arity_(arity),
+        mode_(mode),
+        index_(mode == StorageMode::kRow ? arity : 0),
+        distinct_(arity, 0),
+        overlay_(arity) {}
 
   size_t arity() const { return arity_; }
   size_t size() const { return levels_.size(); }
+  StorageMode storage_mode() const { return mode_; }
 
   /// Inserts a ground row. Returns true if the row was new. If the row
   /// already exists its level is lowered to `level` when smaller.
@@ -50,32 +82,90 @@ class FactTable {
   /// above it are the mutable overlay appended since the last freeze.
   uint32_t frozen_rows() const { return frozen_rows_; }
 
-  /// Row indexes whose position `pos` holds exactly term `t` (empty vector
-  /// reference if none).
-  const std::vector<uint32_t>& Probe(size_t pos, Term t) const;
+  /// Row indexes whose position `pos` holds exactly term `t`, ascending.
+  /// Materializes a fresh vector in columnar mode (rows gathered across
+  /// segments); hot paths should prefer `ProbeRef`/`ProbeCount`.
+  std::vector<uint32_t> Probe(size_t pos, Term t) const;
 
-  /// Number of distinct terms at position `pos` (the per-position index
-  /// size). Feeds the cost model's join-selectivity estimates.
+  /// Zero-copy variant: a pointer to the (verified) row list when the
+  /// layout holds one contiguously — row mode always, columnar mode only
+  /// when the term lives entirely in a single segment's postings with no
+  /// offset (i.e. the first segment). nullptr means "materialize via
+  /// Probe".
+  const std::vector<uint32_t>* ProbeRef(size_t pos, Term t) const;
+
+  /// Number of rows `Probe(pos, t)` would return, without materializing.
+  size_t ProbeCount(size_t pos, Term t) const;
+
+  /// Number of distinct terms at position `pos`, maintained incrementally
+  /// on insert. Feeds the cost model's join-selectivity estimates and the
+  /// vectorized executor's batch-build heuristic.
   size_t DistinctAt(size_t pos) const {
-    return pos < index_.size() ? index_[pos].size() : 0;
+    return pos < distinct_.size() ? distinct_[pos] : 0;
   }
 
+  /// Columnar segment chain, for the vectorized join executor: sealed
+  /// segments in base order, then the mutable overlay (always last, may
+  /// be empty). Zero segments in row mode.
+  size_t NumSegments() const {
+    return mode_ == StorageMode::kColumnar ? sealed_.size() + 1 : 0;
+  }
+  struct SegmentView {
+    const Segment* segment;
+    uint32_t base;  ///< global row index of the segment's first row
+  };
+  SegmentView SegmentAt(size_t k) const {
+    return k < sealed_.size()
+               ? SegmentView{sealed_[k].get(), sealed_base_[k]}
+               : SegmentView{&overlay_, overlay_base_};
+  }
+
+  /// Seals the mutable overlay into the shared segment chain (columnar
+  /// mode; no-op when the overlay is empty or the mode is kRow). Called
+  /// by `Instance::Freeze` on unshared tables only: sealed segments are
+  /// immutable and may be read concurrently by snapshot holders, so a
+  /// shared table must never restructure its chain.
+  void SealOverlay();
+
   /// Capacity-based estimate of heap bytes held by this table (rows,
-  /// levels, dedup map, per-position indexes). Feeds the execution
-  /// budget's memory high-water accounting.
+  /// levels, dedup map, and the per-position probe structures of the
+  /// active layout). Feeds the execution budget's memory high-water
+  /// accounting. Sealed segments shared with a cloned table still count
+  /// in full here (the estimate is per-view).
   uint64_t MemoryEstimateBytes() const;
+
+  /// Test-only: masks every hash key (dedup rows, row-mode index terms,
+  /// columnar dictionary terms) so distinct keys collide; mask 0 forces
+  /// every key into one bucket. Call on an empty table.
+  void set_hash_mask_for_test(uint64_t mask);
 
  private:
   int64_t FindRow(const Term* row) const;
-
-  static size_t HashRow(const Term* row, size_t arity);
+  size_t HashRow(const Term* row) const;
+  /// True when `t` occurs at position `pos` of any sealed segment.
+  bool InSealedDict(size_t pos, Term t) const;
 
   size_t arity_;
-  std::vector<Term> data_;       // flattened rows
+  StorageMode mode_;
+  std::vector<Term> data_;        // flattened rows (both modes)
   std::vector<uint32_t> levels_;  // per-row derivation level
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;  // hash -> rows
-  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> index_;
-  uint32_t frozen_rows_ = 0;  // base/overlay segment watermark
+  // Row mode: per-position hash indexes, term-hash -> verified (term,
+  // rows) buckets.
+  std::vector<
+      std::unordered_map<uint64_t,
+                         std::vector<std::pair<Term, std::vector<uint32_t>>>>>
+      index_;
+  std::vector<size_t> distinct_;  // per-position distinct terms (both modes)
+  // Columnar mode: sealed immutable segments (shared across CoW clones)
+  // then the private mutable overlay.
+  std::vector<std::shared_ptr<const Segment>> sealed_;
+  std::vector<uint32_t> sealed_base_;  // global base row of sealed_[k]
+  Segment overlay_;
+  uint32_t overlay_base_ = 0;  // global base row of the overlay
+  uint32_t frozen_rows_ = 0;   // base/overlay watermark (see MarkFrozen)
+  uint64_t hash_mask_ = ~0ull;
+  std::vector<uint8_t> fresh_scratch_;  // per-insert new-term flags
 };
 
 /// Per-predicate statistics of one table: row count and per-position
@@ -112,13 +202,20 @@ struct InstanceStatistics {
 /// has since been touched.
 class Instance {
  public:
-  explicit Instance(std::shared_ptr<Vocabulary> vocab)
-      : vocab_(std::move(vocab)) {}
+  explicit Instance(std::shared_ptr<Vocabulary> vocab,
+                    StorageMode storage = StorageMode::kColumnar)
+      : vocab_(std::move(vocab)), storage_(storage) {}
 
   /// An instance holding exactly `program`'s extensional facts (level 0).
-  static Instance FromProgram(const Program& program);
+  static Instance FromProgram(const Program& program,
+                              StorageMode storage = StorageMode::kColumnar);
 
   const std::shared_ptr<Vocabulary>& vocab() const { return vocab_; }
+
+  /// Physical layout of this instance's tables, fixed at construction.
+  /// Copies (snapshots) inherit it; rebuilds (EGD canonicalization, the
+  /// incremental-extension fallback) must construct with the same mode.
+  StorageMode storage_mode() const { return storage_; }
 
   /// Adds a ground fact at `level`; returns true if new.
   bool AddFact(const Atom& fact, uint32_t level);
@@ -138,9 +235,9 @@ class Instance {
   size_t CountFacts(uint32_t pred) const;
 
   /// Row counts and per-position distinct counts of every table, by
-  /// value. Cheap (O(#tables × arity), reading the always-maintained
-  /// per-position indexes); the instance itself caches nothing, so
-  /// concurrent snapshot readers stay race-free — callers holding a
+  /// value. Cheap (O(#tables × arity), reading the incrementally
+  /// maintained distinct counters); the instance itself caches nothing,
+  /// so concurrent snapshot readers stay race-free — callers holding a
   /// snapshot collect once and reuse.
   InstanceStatistics CollectStatistics() const;
 
@@ -154,7 +251,12 @@ class Instance {
   uint64_t generation() const { return generation_; }
 
   /// Marks every table's current rows as the frozen base segment (see
-  /// FactTable::MarkFrozen). Purely a watermark; no copying.
+  /// FactTable::MarkFrozen). Purely a watermark; no copying. In columnar
+  /// mode, tables not shared with any snapshot additionally seal their
+  /// mutable overlay into the immutable segment chain, so future
+  /// copy-on-write clones share the frozen base's probe structures
+  /// (shared tables are left untouched — concurrent snapshot readers may
+  /// be probing their segments).
   void Freeze();
 
   /// Raises the generation counter to at least `floor + 1`. Used when an
@@ -212,6 +314,7 @@ class Instance {
   FactTable* EnsureOwnedTable(uint32_t pred, size_t arity);
 
   std::shared_ptr<Vocabulary> vocab_;
+  StorageMode storage_;
   std::unordered_map<uint32_t, std::shared_ptr<FactTable>> tables_;
   uint64_t generation_ = 0;
 };

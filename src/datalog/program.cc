@@ -120,6 +120,7 @@ Status Program::AddRule(Rule rule) {
     }
   }
   rules_.push_back(std::move(rule));
+  ++generation_;
   return Status::Ok();
 }
 
@@ -129,6 +130,7 @@ Status Program::AddFact(Atom fact) {
                                    vocab_->AtomToString(fact));
   }
   facts_.push_back(std::move(fact));
+  ++generation_;
   return Status::Ok();
 }
 

@@ -1,0 +1,15 @@
+#include "datalog/segment.h"
+
+namespace mdqa::datalog {
+
+uint64_t Segment::MemoryEstimateBytes() const {
+  uint64_t bytes = columns_.capacity() * sizeof(Column);
+  for (const Column& c : columns_) bytes += c.MemoryEstimateBytes();
+  return bytes;
+}
+
+void Segment::set_hash_mask_for_test(uint64_t mask) {
+  for (Column& c : columns_) c.set_hash_mask_for_test(mask);
+}
+
+}  // namespace mdqa::datalog

@@ -13,7 +13,7 @@ using datalog::Term;
 
 Result<ChaseQa> ChaseQa::Create(const Program& program,
                                 const ChaseOptions& options) {
-  Instance instance = Instance::FromProgram(program);
+  Instance instance = Instance::FromProgram(program, options.storage);
   MDQA_ASSIGN_OR_RETURN(ChaseStats stats,
                         Chase::Run(program, &instance, options));
   return ChaseQa(program, options, std::move(instance), stats);
@@ -78,7 +78,7 @@ Result<ChaseStats> ChaseQa::Update(const std::vector<datalog::Atom>& inserts,
   for (const datalog::Atom& f : inserts) {
     MDQA_RETURN_IF_ERROR(next.AddFact(f));
   }
-  Instance instance = Instance::FromProgram(next);
+  Instance instance = Instance::FromProgram(next, options_.storage);
   ChaseStats stats;
   MDQA_RETURN_IF_ERROR(Chase::Run(next, &instance, options_, &stats));
   stats.incremental = true;

@@ -240,10 +240,10 @@ Status DeterministicWsQa::SolveGoals(
   for (size_t p = 0; p < goal_inst.terms.size(); ++p) {
     Term t = goal_inst.terms[p];
     if (!t.IsGround()) continue;
-    const auto& rows = table->Probe(p, t);
-    if (probe_pos < 0 || rows.size() < probe_size) {
+    const size_t count = table->ProbeCount(p, t);
+    if (probe_pos < 0 || count < probe_size) {
       probe_pos = static_cast<int>(p);
-      probe_size = rows.size();
+      probe_size = count;
       probe_term = t;
     }
   }

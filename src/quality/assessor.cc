@@ -220,6 +220,7 @@ Result<AssessmentReport> Assessor::Assess(const AssessOptions& opts) const {
   datalog::ChaseOptions chase_options;
   chase_options.budget = opts.budget;
   chase_options.pool = opts.pool;
+  chase_options.storage = opts.storage;
   // Optional answer-preserving prune: TGDs that provably cannot reach a
   // quality predicate, EGD, constraint, or output predicate are dropped
   // from the *chased* program only — the gate above classified and
@@ -415,9 +416,8 @@ Result<AssessmentReport> Assessor::Reassess(const PreparedContext& session,
                           context_->ontology().Analyze());
     qa::EngineSelectOptions select_options;
     select_options.egds_separable = properties.separable_egds;
-    const analysis::CostModel cost_model(
-        program, program_analysis,
-        analysis::CostModel::CollectEdbStats(program));
+    const analysis::CostModel cost_model(program, program_analysis,
+                                         session.EdbStatistics());
     select_options.cost_model = &cost_model;
     qa::EngineSelection selection =
         qa::SelectEngine(program, program_analysis, select_options);

@@ -145,6 +145,13 @@ struct AssessOptions {
   /// run may still report relations a serial run would have skipped —
   /// work already finished is kept. Not owned.
   ThreadPool* pool = nullptr;
+  /// Physical fact-table layout for the materialization chase and every
+  /// per-relation evaluation. Columnar (the default) enables the
+  /// vectorized block-join executor; `kRow` is the legacy row store,
+  /// kept as an escape hatch and as the reference side of the
+  /// row-vs-columnar differential harness. Reports are byte-identical
+  /// under either mode.
+  datalog::StorageMode storage = datalog::StorageMode::kColumnar;
 };
 
 /// Drives the Fig. 2 pipeline end to end: validates the ontology, runs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "analysis/cost_model.h"
 #include "datalog/chase.h"
 #include "datalog/parser.h"
 #include "datalog/provenance.h"
@@ -333,6 +334,21 @@ std::vector<std::string> DeltaBatch::Relations() const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+const datalog::InstanceStatistics& PreparedContext::EdbStatistics() const {
+  std::lock_guard<std::mutex> lock(edb_stats_.mu);
+  const uint64_t generation = program().generation();
+  if (!edb_stats_.valid || edb_stats_.generation != generation) {
+    edb_stats_.stats = analysis::CostModel::CollectEdbStats(program());
+    edb_stats_.generation = generation;
+    edb_stats_.valid = true;
+  }
+  // Safe to hand out by reference: the entry is only invalidated by a
+  // program mutation, and a session's program is immutable once the
+  // session is constructed (ApplyUpdate mutates its private copy before
+  // returning it).
+  return edb_stats_.stats;
 }
 
 Result<PreparedContext> PreparedContext::ApplyUpdate(

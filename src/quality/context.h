@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -275,6 +276,15 @@ class PreparedContext {
     return statistics_;
   }
 
+  /// Statistics of the session program's *extensional* facts (the EDB
+  /// the cost model prices engines against), computed lazily on first
+  /// use and cached keyed on `Program::generation()` — `ApplyUpdate`
+  /// hands the derived session a mutated fact list, whose bumped
+  /// generation (plus the cache resetting on session copy) invalidates
+  /// the cache. Thread-safe; `Assessor::Reassess` calls this instead of
+  /// recomputing per reassessment.
+  const datalog::InstanceStatistics& EdbStatistics() const;
+
   /// The database as this session sees it (after any applied updates).
   const Database& database() const { return database_; }
 
@@ -303,6 +313,25 @@ class PreparedContext {
   std::shared_ptr<const datalog::ProgramAnalysis> analysis_;
   datalog::InstanceStatistics statistics_;
   std::vector<std::string> updated_relations_;  // set by ApplyUpdate
+
+  /// Lazy EDB-statistics cache behind EdbStatistics(). Copying a session
+  /// (ApplyUpdate's starting point) RESETS the cache rather than copying
+  /// it: a rebuilt program (the deletion path constructs one from
+  /// scratch) can coincidentally land on the parent's generation value
+  /// with a different fact list, so inherited entries are never safe.
+  struct EdbStatsCache {
+    std::mutex mu;
+    bool valid = false;
+    uint64_t generation = 0;
+    datalog::InstanceStatistics stats;
+    EdbStatsCache() = default;
+    EdbStatsCache(const EdbStatsCache&) {}  // fresh, invalid cache
+    EdbStatsCache& operator=(const EdbStatsCache&) {
+      valid = false;
+      return *this;
+    }
+  };
+  mutable EdbStatsCache edb_stats_;
 };
 
 }  // namespace mdqa::quality

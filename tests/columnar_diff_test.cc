@@ -1,0 +1,171 @@
+// The row-vs-columnar differential harness: every scenario family is
+// assessed under both physical layouts (AssessOptions::storage) at every
+// thread count, and the rendered AssessmentReports must be byte-identical
+// — ToString AND ToJson. The same gate runs across the seeded update
+// stream: row and columnar sessions apply identical batches and their
+// incremental Reassess reports must stay byte-identical after each one.
+// This is the contract that lets the columnar store and the vectorized
+// block-join executor (datalog/join.h) replace the legacy row store as
+// the default without any observable change.
+//
+// Reproducing a failing cell: the test name carries (family, seed), e.g.
+// Matrix/ColumnarDiff.FullAssessByteIdentical/deep_homogeneous_s2 is
+// SpecFor(kDeepHomogeneous, 2). MDQA_SCENARIO_SEED=<n> pins the matrix
+// to one seed; MDQA_SCENARIO_REDUCED=1 runs one seed per family (the
+// TSan configuration of scripts/check.sh --columnar). See docs/testing.md.
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "datalog/chase.h"
+#include "datalog/instance.h"
+#include "quality/assessor.h"
+#include "testgen/scenario.h"
+
+namespace mdqa::testgen {
+namespace {
+
+using datalog::StorageMode;
+
+std::vector<uint32_t> MatrixSeeds() {
+  if (const char* s = std::getenv("MDQA_SCENARIO_SEED")) {
+    return {static_cast<uint32_t>(std::strtoul(s, nullptr, 10))};
+  }
+  if (std::getenv("MDQA_SCENARIO_REDUCED") != nullptr) return {1};
+  return {1, 2, 3};
+}
+
+using Cell = std::tuple<ScenarioFamily, uint32_t>;
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = ScenarioFamilyToString(std::get<0>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(std::get<1>(info.param));
+}
+
+class ColumnarDiff : public ::testing::TestWithParam<Cell> {
+ protected:
+  ScenarioSpec Spec() const {
+    return SpecFor(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+// Full assessment: columnar serial is the baseline; row and columnar at
+// 1/2/4 threads must all render the identical report.
+TEST_P(ColumnarDiff, FullAssessByteIdentical) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  quality::Assessor assessor(&scenario->context);
+
+  quality::AssessOptions baseline_options;
+  baseline_options.storage = StorageMode::kColumnar;
+  auto baseline = assessor.Assess(baseline_options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const std::string text = baseline->ToString();
+  const std::string json = baseline->ToJson();
+
+  for (StorageMode storage : {StorageMode::kRow, StorageMode::kColumnar}) {
+    for (size_t threads : {1u, 2u, 4u}) {
+      quality::AssessOptions options;
+      options.storage = storage;
+      ThreadPool pool(threads);
+      if (threads > 1) options.pool = &pool;
+      auto report = assessor.Assess(options);
+      ASSERT_TRUE(report.ok())
+          << datalog::StorageModeToString(storage) << " threads=" << threads
+          << ": " << report.status();
+      EXPECT_EQ(report->ToString(), text)
+          << datalog::StorageModeToString(storage) << " threads=" << threads;
+      EXPECT_EQ(report->ToJson(), json)
+          << datalog::StorageModeToString(storage) << " threads=" << threads;
+    }
+  }
+}
+
+// The update stream: a row session and a columnar session apply the same
+// batches; after every batch the incremental Reassess reports must match
+// byte-for-byte, at every thread count. The sessions must also keep
+// their storage mode across ApplyUpdate (both the Extend path and the
+// deletion-forced full-re-chase fallback rebuild in the session's mode).
+TEST_P(ColumnarDiff, IncrementalReassessByteIdentical) {
+  auto scenario = ScenarioGenerator::Generate(Spec());
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ASSERT_FALSE(scenario->updates.empty());
+  quality::Assessor assessor(&scenario->context);
+
+  datalog::ChaseOptions row_chase;
+  row_chase.storage = StorageMode::kRow;
+  auto row_prepared = scenario->context.Prepare(row_chase);
+  ASSERT_TRUE(row_prepared.ok()) << row_prepared.status();
+  auto col_prepared = scenario->context.Prepare();  // columnar default
+  ASSERT_TRUE(col_prepared.ok()) << col_prepared.status();
+  ASSERT_EQ(row_prepared->instance().storage_mode(), StorageMode::kRow);
+  ASSERT_EQ(col_prepared->instance().storage_mode(), StorageMode::kColumnar);
+
+  quality::AssessOptions row_options;
+  row_options.storage = StorageMode::kRow;
+  auto row_report = assessor.Assess(row_options);
+  ASSERT_TRUE(row_report.ok()) << row_report.status();
+  auto col_report = assessor.Assess();
+  ASSERT_TRUE(col_report.ok()) << col_report.status();
+  ASSERT_EQ(row_report->ToString(), col_report->ToString());
+
+  quality::PreparedContext row_session = std::move(*row_prepared);
+  quality::PreparedContext col_session = std::move(*col_prepared);
+  quality::AssessmentReport row_previous = std::move(*row_report);
+  quality::AssessmentReport col_previous = std::move(*col_report);
+  for (size_t b = 0; b < scenario->updates.size(); ++b) {
+    const ScenarioUpdate& update = scenario->updates[b];
+    auto row_next = row_session.ApplyUpdate(update.batch);
+    ASSERT_TRUE(row_next.ok()) << "batch " << b << ": " << row_next.status();
+    auto col_next = col_session.ApplyUpdate(update.batch);
+    ASSERT_TRUE(col_next.ok()) << "batch " << b << ": " << col_next.status();
+    EXPECT_EQ(row_next->instance().storage_mode(), StorageMode::kRow);
+    EXPECT_EQ(col_next->instance().storage_mode(), StorageMode::kColumnar);
+
+    std::string baseline_text, baseline_json;
+    for (size_t threads : {1u, 2u, 4u}) {
+      quality::AssessOptions options;
+      ThreadPool pool(threads);
+      if (threads > 1) options.pool = &pool;
+      auto row_re = assessor.Reassess(*row_next, row_previous, options);
+      ASSERT_TRUE(row_re.ok()) << "batch " << b << ": " << row_re.status();
+      auto col_re = assessor.Reassess(*col_next, col_previous, options);
+      ASSERT_TRUE(col_re.ok()) << "batch " << b << ": " << col_re.status();
+      if (threads == 1) {
+        baseline_text = col_re->ToString();
+        baseline_json = col_re->ToJson();
+      }
+      EXPECT_EQ(row_re->ToString(), baseline_text)
+          << "batch " << b << " threads=" << threads;
+      EXPECT_EQ(row_re->ToJson(), baseline_json)
+          << "batch " << b << " threads=" << threads;
+      EXPECT_EQ(col_re->ToString(), baseline_text)
+          << "batch " << b << " threads=" << threads;
+      EXPECT_EQ(col_re->ToJson(), baseline_json)
+          << "batch " << b << " threads=" << threads;
+      if (threads == 1) {
+        row_previous = std::move(*row_re);
+        col_previous = std::move(*col_re);
+      }
+    }
+    row_session = std::move(*row_next);
+    col_session = std::move(*col_next);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ColumnarDiff,
+    ::testing::Combine(::testing::ValuesIn(kAllScenarioFamilies),
+                       ::testing::ValuesIn(MatrixSeeds())),
+    CellName);
+
+}  // namespace
+}  // namespace mdqa::testgen
