@@ -1,0 +1,304 @@
+// Durability-layer benchmark (docs/durability.md): checkpoint encode /
+// write / load throughput, fsync'd WAL append latency, and the headline
+// number for the restart story — cold start (full chase) vs resume
+// (checkpoint restore + no re-chase) wall time on the same knowledge
+// base. The reproduction aborts (exit 1) if the resumed session's
+// assessment report is not byte-identical to the cold-start one, so the
+// speedup can never come from a wrong answer. Artifact:
+// BENCH_durability.json (git-SHA stamped).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "bench_common.h"
+#include "quality/assessor.h"
+#include "quality/context.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
+#include "storage/kb_store.h"
+#include "storage/session_image.h"
+#include "storage/wal.h"
+#include "testgen/scenario.h"
+
+namespace mdqa {
+namespace {
+
+using bench::Check;
+using testgen::GeneratedScenario;
+using testgen::ScenarioGenerator;
+using testgen::ScenarioSpec;
+
+constexpr uint32_t kSeed = 1;
+constexpr char kDataDir[] = "bench_durability_data";
+
+// Scaled past unit-test size so the image is megabytes and the chase is
+// long enough for the cold/resume contrast to mean something.
+ScenarioSpec ScaledSpec() {
+  ScenarioSpec spec = testgen::SpecFor(testgen::kAllScenarioFamilies[0],
+                                       kSeed);
+  spec.entities = 600;
+  spec.rows = 6000;
+  spec.days = 10;
+  spec.corruptions = 40;
+  spec.misplacements = 20;
+  spec.missing_facts = 20;
+  return spec;
+}
+
+std::string ScenarioStamp() {
+  return testgen::ScenarioFamilyToString(testgen::kAllScenarioFamilies[0]);
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeMs(Fn&& fn, int reps = 3) {
+  std::vector<double> samples;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return MedianMs(std::move(samples));
+}
+
+quality::DeltaBatch SmallBatch(int i) {
+  quality::RelationDelta delta;
+  delta.relation = "Measurements";
+  delta.insert_rows.push_back({Value::FromText("Sep/9-" + std::to_string(i)),
+                               Value::FromText("Patient " + std::to_string(i)),
+                               Value::FromText("37.0")});
+  quality::DeltaBatch batch;
+  batch.deltas.push_back(std::move(delta));
+  return batch;
+}
+
+void Reproduce() {
+  std::filesystem::remove_all(kDataDir);
+  storage::Env* env = storage::Env::Posix();
+
+  GeneratedScenario scenario =
+      Check(ScenarioGenerator::Generate(ScaledSpec()), "generate");
+  quality::QualityContext& context = scenario.context;
+  quality::Assessor assessor(&context);
+
+  // ---- cold start: Prepare runs the full chase; Reassess renders the
+  // report. This is what a server without --data-dir pays on every boot.
+  double cold_ms = 0;
+  std::string cold_report;
+  uint64_t chase_facts = 0;
+  auto cold_session = [&] {
+    auto session = Check(context.Prepare(), "prepare");
+    auto report =
+        Check(assessor.Reassess(session, quality::AssessmentReport{}),
+              "reassess");
+    cold_report = report.ToJson();
+    return session;
+  };
+  std::optional<quality::PreparedContext> session;
+  cold_ms = TimeMs([&] { session = cold_session(); });
+  chase_facts = session->instance().TotalFacts();
+
+  // ---- checkpoint encode / write / load throughput.
+  storage::KbImage image = Check(
+      storage::CaptureSessionImage(*session, /*generation=*/1,
+                                   /*applied_updates=*/0, ScenarioStamp()),
+      "capture");
+  std::string encoded;
+  const double encode_ms = TimeMs([&] {
+    encoded = storage::EncodeCheckpoint(image);
+  });
+  const double image_mb = static_cast<double>(encoded.size()) / (1 << 20);
+  const double decode_ms = TimeMs([&] {
+    Check(storage::DecodeCheckpoint(encoded), "decode");
+  });
+
+  auto store = Check(storage::OpenDiskKbStore(env, kDataDir), "open store");
+  const double write_ms = TimeMs([&] {
+    Check(store->WriteCheckpoint(image), "write checkpoint");
+  });
+
+  // ---- WAL append latency: fsync'd commits, one batch each. This is
+  // the latency every /update pays between validation and publication.
+  std::vector<double> append_us;
+  constexpr int kAppends = 200;
+  uint64_t generation = 1;
+  for (int i = 0; i < kAppends; ++i) {
+    const quality::DeltaBatch batch = SmallBatch(i);
+    const auto start = std::chrono::steady_clock::now();
+    Check(store->AppendBatch(batch, generation + 1), "append");
+    const auto stop = std::chrono::steady_clock::now();
+    ++generation;
+    append_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  std::sort(append_us.begin(), append_us.end());
+  const double append_p50_us = append_us[append_us.size() / 2];
+  const double append_p99_us = append_us[append_us.size() * 99 / 100];
+
+  // Collapse the WAL again so the resume measurement below restores from
+  // a checkpoint alone (the server writes exactly such a checkpoint at
+  // startup and drain).
+  Check(store->WriteCheckpoint(image), "re-checkpoint");
+
+  // ---- resume: Recover + restore the database + rebuild the chased
+  // instance from the image (PrepareRestored: no chase) + Reassess.
+  // This is the --data-dir boot path.
+  double resume_ms = 0;
+  double recover_ms = 0;
+  std::string resumed_report;
+  resume_ms = TimeMs([&] {
+    auto boot_store =
+        Check(storage::OpenDiskKbStore(env, kDataDir), "reopen");
+    const auto recover_start = std::chrono::steady_clock::now();
+    storage::RecoveredState recovered =
+        Check(boot_store->Recover(), "recover");
+    recover_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - recover_start)
+                     .count();
+    Check(context.ReplaceDatabase(
+              Check(storage::DatabaseFromImage(recovered.image), "database")),
+          "replace database");
+    auto shared =
+        std::make_shared<storage::KbImage>(std::move(recovered.image));
+    auto restored = Check(context.PrepareRestored(
+                              datalog::ChaseOptions{},
+                              storage::ImageRebuilder(shared)),
+                          "prepare restored");
+    auto report =
+        Check(assessor.Reassess(restored, quality::AssessmentReport{}),
+              "reassess restored");
+    resumed_report = report.ToJson();
+  });
+
+  const double speedup = resume_ms > 0 ? cold_ms / resume_ms : 0;
+  const bool reports_identical = resumed_report == cold_report;
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "image %.2f MiB (%llu chase facts): encode %.1fms (%.0f MB/s) "
+           "decode %.1fms (%.0f MB/s) write+fsync %.1fms (%.0f MB/s)\n"
+           "wal append (fsync'd): p50 %.0fus p99 %.0fus over %d commits\n"
+           "cold start %.1fms vs resume %.1fms (recover %.1fms) -> %.2fx%s",
+           image_mb, static_cast<unsigned long long>(chase_facts), encode_ms,
+           encode_ms > 0 ? image_mb / (encode_ms / 1000) : 0, decode_ms,
+           decode_ms > 0 ? image_mb / (decode_ms / 1000) : 0, write_ms,
+           write_ms > 0 ? image_mb / (write_ms / 1000) : 0, append_p50_us,
+           append_p99_us, kAppends, cold_ms, resume_ms, recover_ms, speedup,
+           reports_identical ? "" : " REPORTS DIVERGE");
+  std::cout << buf << "\n";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("experiment").String("durability");
+  bench::StampProvenance(&w);
+  w.Key("seed").Number(static_cast<int64_t>(kSeed));
+  w.Key("scenario").String(ScenarioStamp());
+  w.Key("chase_facts").Number(static_cast<int64_t>(chase_facts));
+  w.Key("checkpoint_bytes").Number(static_cast<int64_t>(encoded.size()));
+  w.Key("encode_ms").Number(encode_ms);
+  w.Key("encode_mb_per_s")
+      .Number(encode_ms > 0 ? image_mb / (encode_ms / 1000) : 0);
+  w.Key("decode_ms").Number(decode_ms);
+  w.Key("decode_mb_per_s")
+      .Number(decode_ms > 0 ? image_mb / (decode_ms / 1000) : 0);
+  w.Key("checkpoint_write_ms").Number(write_ms);
+  w.Key("checkpoint_write_mb_per_s")
+      .Number(write_ms > 0 ? image_mb / (write_ms / 1000) : 0);
+  w.Key("wal_commits").Number(static_cast<int64_t>(kAppends));
+  w.Key("wal_append_p50_us").Number(append_p50_us);
+  w.Key("wal_append_p99_us").Number(append_p99_us);
+  w.Key("cold_start_ms").Number(cold_ms);
+  w.Key("resume_ms").Number(resume_ms);
+  w.Key("recover_ms").Number(recover_ms);
+  w.Key("resume_speedup").Number(speedup);
+  w.Key("reports_identical").Bool(reports_identical);
+  w.EndObject();
+  bench::WriteArtifact("BENCH_durability.json", w.TakeString() + "\n");
+
+  std::filesystem::remove_all(kDataDir);
+  if (!reports_identical) {
+    std::cerr << "FATAL: resumed report diverges from cold-start report\n";
+    std::exit(1);
+  }
+  if (resume_ms >= cold_ms) {
+    // Loud but non-fatal: on a noisy box the contrast can flatten, and a
+    // bench artifact that says so honestly beats a flaky gate.
+    std::cerr << "WARNING: resume was not faster than cold start\n";
+  }
+}
+
+void BM_EncodeCheckpoint(benchmark::State& state) {
+  auto scenario = ScenarioGenerator::Generate(ScaledSpec());
+  if (!scenario.ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
+  auto session = scenario->context.Prepare();
+  if (!session.ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  auto image = storage::CaptureSessionImage(*session, 1, 0, ScenarioStamp());
+  if (!image.ok()) {
+    state.SkipWithError("capture failed");
+    return;
+  }
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::string encoded = storage::EncodeCheckpoint(*image);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  std::filesystem::remove_all("bench_wal_data");
+  auto store =
+      storage::OpenDiskKbStore(storage::Env::Posix(), "bench_wal_data");
+  if (!store.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  storage::KbImage image;
+  image.meta.generation = 1;
+  image.meta.scenario = "bench";
+  if (!(*store)->WriteCheckpoint(image).ok()) {
+    state.SkipWithError("checkpoint failed");
+    return;
+  }
+  uint64_t generation = 1;
+  const quality::DeltaBatch batch = SmallBatch(0);
+  for (auto _ : state) {
+    if (!(*store)->AppendBatch(batch, ++generation).ok()) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  std::filesystem::remove_all("bench_wal_data");
+}
+BENCHMARK(BM_WalAppend)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mdqa
+
+int main(int argc, char** argv) {
+  return mdqa::bench::RunBench(
+      argc, argv, "durability",
+      "checkpoint/WAL throughput and cold-start vs resume", [] {
+        mdqa::Reproduce();
+      });
+}

@@ -32,6 +32,11 @@
 //   explain <ground atom>  derivation tree, e.g. explain T(1, 3)
 //   whynot <ground atom>   why a fact is NOT derivable
 //   save <file>            serialize rules + chased facts (re-loadable)
+//   save-kb <dir>          checkpoint the chased instance into a durable
+//                          KB directory (binary, checksummed; see
+//                          docs/durability.md)
+//   load-kb <dir>          restore a checkpointed instance over the
+//                          current program WITHOUT re-chasing
 //   demo hospital|finance|synthetic   load a built-in scenario
 //   reset | help | quit
 
@@ -44,6 +49,7 @@
 
 #include "analysis/lint.h"
 #include "base/budget.h"
+#include "base/fs.h"
 #include "base/thread_pool.h"
 #include "datalog/analysis.h"
 #include "datalog/chase.h"
@@ -55,6 +61,9 @@
 #include "scenarios/finance.h"
 #include "scenarios/hospital.h"
 #include "scenarios/synthetic.h"
+#include "storage/env.h"
+#include "storage/kb_store.h"
+#include "storage/session_image.h"
 
 namespace mdqa {
 namespace {
@@ -130,6 +139,10 @@ class Shell {
       WhyNot(rest);
     } else if (cmd == "save") {
       Save(rest);
+    } else if (cmd == "save-kb") {
+      SaveKb(rest);
+    } else if (cmd == "load-kb") {
+      LoadKb(rest);
     } else if (cmd == "demo") {
       Demo(rest);
     } else {
@@ -163,6 +176,8 @@ class Shell {
         "  whynot <ground atom>    why a fact is NOT derivable\n"
         "  save <file>   write rules + chased facts (re-loadable;\n"
         "                labeled nulls serialize as _nK)\n"
+        "  save-kb <dir> checkpoint the chased instance (binary, crc'd)\n"
+        "  load-kb <dir> restore a checkpoint without re-chasing\n"
         "  demo hospital|finance|synthetic   load a built-in scenario\n"
         "  reset | quit\n";
   }
@@ -176,14 +191,14 @@ class Shell {
   }
 
   void Load(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cout << "cannot open '" << path << "'\n";
+    // Capped read: a fat-fingered path to a huge binary must fail with a
+    // Status, not swallow the machine (docs/robustness.md).
+    auto text = fs::ReadFileToString(path);
+    if (!text.ok()) {
+      std::cout << text.status() << "\n";
       return;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    Report(datalog::Parser::ParseInto(buf.str(), &program_), "loaded");
+    Report(datalog::Parser::ParseInto(*text, &program_), "loaded");
     chased_ = false;
   }
 
@@ -445,6 +460,84 @@ class Shell {
     out << instance_->ToString();
     std::cout << "saved " << program_.rules().size() << " rules and "
               << instance_->TotalFacts() << " facts to " << path << "\n";
+  }
+
+  // `save-kb`: checkpoint the chased instance into a durable KB
+  // directory via the storage layer (same format mdqa_serve resumes
+  // from). The program itself still travels as text (`save`).
+  void SaveKb(const std::string& dir) {
+    if (dir.empty()) {
+      std::cout << "usage: save-kb <dir>\n";
+      return;
+    }
+    EnsureChased();
+    if (!chased_ || !frontier_.valid) {
+      std::cout << "nothing checkpointable (chase first; truncated chases "
+                   "have no resume point)\n";
+      return;
+    }
+    auto image = storage::CaptureInstanceImage(*instance_, frontier_,
+                                               /*generation=*/1, "shell");
+    if (!image.ok()) {
+      std::cout << image.status() << "\n";
+      return;
+    }
+    auto store = storage::OpenDiskKbStore(storage::Env::Posix(), dir);
+    if (!store.ok()) {
+      std::cout << store.status() << "\n";
+      return;
+    }
+    Status s = (*store)->WriteCheckpoint(*image);
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      return;
+    }
+    std::cout << "checkpointed " << instance_->TotalFacts() << " facts to "
+              << dir << "\n";
+  }
+
+  // `load-kb`: rebuild the chased instance from a checkpoint over the
+  // CURRENT program's vocabulary — no re-chase. The rules must already
+  // be loaded (load/parse/demo); only the materialization is restored.
+  void LoadKb(const std::string& dir) {
+    if (dir.empty()) {
+      std::cout << "usage: load-kb <dir>\n";
+      return;
+    }
+    auto store = storage::OpenDiskKbStore(storage::Env::Posix(), dir);
+    if (!store.ok()) {
+      std::cout << store.status() << "\n";
+      return;
+    }
+    auto recovered = (*store)->Recover();
+    if (!recovered.ok()) {
+      std::cout << recovered.status() << "\n";
+      return;
+    }
+    for (const std::string& line : recovered->degradations) {
+      std::cout << "recovery: " << line << "\n";
+    }
+    if (!recovered->has_checkpoint) {
+      std::cout << "no checkpoint in '" << dir << "'\n";
+      return;
+    }
+    auto image =
+        std::make_shared<storage::KbImage>(std::move(recovered->image));
+    auto restored = storage::ImageRebuilder(image)(program_);
+    if (!restored.ok()) {
+      std::cout << restored.status() << "\n";
+      return;
+    }
+    instance_ = std::make_unique<datalog::Instance>(
+        std::move(restored->instance));
+    frontier_ = restored->stats.frontier;
+    provenance_ = datalog::ProvenanceStore();  // not persisted
+    pending_.clear();
+    chased_ = true;
+    std::cout << "restored " << instance_->TotalFacts() << " facts from "
+              << dir << " (scenario '" << image->meta.scenario
+              << "', no re-chase; provenance empty — explain needs a "
+                 "fresh chase)\n";
   }
 
   void Explain(const std::string& text) {

@@ -53,6 +53,17 @@
 #                               # reduced matrix (MDQA_SCENARIO_REDUCED=1)
 #                               # under TSan. --seed N pins the matrix
 #                               # cells (MDQA_SCENARIO_SEED)
+#   scripts/check.sh --durability
+#                               # focused pass for the crash-safe storage
+#                               # layer (docs/durability.md): the storage
+#                               # unit tests, the seeded crash matrix
+#                               # (>=200 kill points, recovery
+#                               # byte-matched against a from-scratch
+#                               # oracle), and the serve restart-resume
+#                               # suite under ASan/UBSan, then the crash
+#                               # matrix again under TSan (the WAL append
+#                               # runs on the writer thread; the drain
+#                               # checkpoint on the shutdown path)
 #   scripts/check.sh --serve    # focused pass for the assessment daemon:
 #                               # mdqa_serve --help + --smoke start/stop,
 #                               # then the chaos/soak harness at
@@ -74,6 +85,7 @@ run_incremental=0
 run_serve=0
 run_scenarios=0
 run_columnar=0
+run_durability=0
 scenario_seed=""
 expect_seed=0
 for arg in "$@"; do
@@ -92,6 +104,7 @@ for arg in "$@"; do
     --serve) run_serve=1; run_plain=0; run_san=0 ;;
     --scenarios) run_scenarios=1; run_plain=0; run_san=0 ;;
     --columnar) run_columnar=1; run_plain=0; run_san=0 ;;
+    --durability) run_durability=1; run_plain=0; run_san=0 ;;
     --seed) expect_seed=1 ;;
     --seed=*) scenario_seed="${arg#--seed=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -202,6 +215,34 @@ if [[ $run_columnar -eq 1 ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     env MDQA_SCENARIO_REDUCED=1 "${seed_env[@]}" \
     ./build-tsan/tests/columnar_diff_test
+fi
+
+if [[ $run_durability -eq 1 ]]; then
+  echo "== durability suite (storage units + crash matrix + serve resume) under ASan/UBSan =="
+  cmake -B build-san -S . -DMDQA_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$jobs" \
+    --target storage_test durability_crash_test serve_durability_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/storage_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/durability_crash_test
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-san/tests/serve_durability_test
+
+  # TSan pass: the crash matrix itself is single-threaded filesystem
+  # modeling, but the serve resume suite drives the real writer thread's
+  # WAL appends and the drain checkpoint — that is where a race would
+  # live. The bit-rot battery is skipped under TSan (pure re-decoding,
+  # ~10x slower, no threads).
+  echo "== durability suite (reduced) under TSan =="
+  cmake -B build-tsan -S . -DMDQA_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" \
+    --target durability_crash_test serve_durability_test
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/durability_crash_test \
+    --gtest_filter='-CrashMatrix.BitRotNeverServesACorruptImage'
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/serve_durability_test
 fi
 
 if [[ $run_serve -eq 1 ]]; then

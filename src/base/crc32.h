@@ -1,0 +1,39 @@
+#ifndef MDQA_BASE_CRC32_H_
+#define MDQA_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mdqa {
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven.
+/// Every persisted frame in src/storage/ — checkpoint sections and WAL
+/// records alike — carries one of these so that torn writes, bit rot,
+/// and truncation are detected instead of silently replayed.
+///
+/// `Crc32` computes the checksum of `data` seeded with `seed` (pass the
+/// previous return value to checksum discontiguous buffers as one
+/// stream). The empty-input CRC is 0.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+/// Masked variant for stored checksums (same trick as LevelDB): a CRC
+/// stored alongside the very bytes it covers is vulnerable to systematic
+/// errors where both are zeroed together. Masking makes an all-zero
+/// frame fail verification.
+inline uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc32(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace mdqa
+
+#endif  // MDQA_BASE_CRC32_H_

@@ -1,0 +1,35 @@
+#include "base/fs.h"
+
+#include <fstream>
+
+namespace mdqa::fs {
+
+Result<std::string> ReadFileToString(const std::string& path,
+                                     uint64_t max_bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("fs: cannot open file: " + path);
+  }
+  std::streamoff size = in.tellg();
+  if (size < 0) {
+    return Status::Internal("fs: cannot stat file size: " + path);
+  }
+  if (static_cast<uint64_t>(size) > max_bytes) {
+    return Status::ResourceExhausted(
+        "fs: file exceeds size cap (" + std::to_string(size) + " > " +
+        std::to_string(max_bytes) + " bytes): " + path);
+  }
+  in.seekg(0, std::ios::beg);
+  std::string data(static_cast<size_t>(size), '\0');
+  if (size > 0) {
+    in.read(data.data(), size);
+    if (!in || in.gcount() != size) {
+      return Status::Internal(
+          "fs: short read (" + std::to_string(in.gcount()) + " of " +
+          std::to_string(size) + " bytes): " + path);
+    }
+  }
+  return data;
+}
+
+}  // namespace mdqa::fs

@@ -1,0 +1,30 @@
+#ifndef MDQA_BASE_FS_H_
+#define MDQA_BASE_FS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+
+namespace mdqa::fs {
+
+/// Default size cap for text inputs (CSV data files, datalog programs,
+/// quota configs). Anything larger is almost certainly a mistake — a
+/// binary dropped in place of a config, a runaway generator — and
+/// loading it would OOM the process before any validation runs.
+inline constexpr uint64_t kDefaultMaxFileBytes = 64ull << 20;  // 64 MiB
+
+/// Reads an entire regular file into a string with explicit failure
+/// surfacing:
+///   - kNotFound          if the file cannot be opened,
+///   - kResourceExhausted if its size exceeds `max_bytes`,
+///   - kInternal          if the stream fails mid-read or the byte count
+///                        read disagrees with the size observed at open
+///                        (truncation race / I/O error) — a partial read
+///                        is never returned as success.
+Result<std::string> ReadFileToString(
+    const std::string& path, uint64_t max_bytes = kDefaultMaxFileBytes);
+
+}  // namespace mdqa::fs
+
+#endif  // MDQA_BASE_FS_H_

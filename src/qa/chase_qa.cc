@@ -19,6 +19,23 @@ Result<ChaseQa> ChaseQa::Create(const Program& program,
   return ChaseQa(program, options, std::move(instance), stats);
 }
 
+Result<ChaseQa> ChaseQa::Adopt(Program program, const ChaseOptions& options,
+                               Instance instance, ChaseStats stats) {
+  if (instance.vocab().get() != program.vocab().get()) {
+    return Status::InvalidArgument(
+        "ChaseQa::Adopt: instance and program must share one vocabulary");
+  }
+  if (stats.frontier.valid &&
+      stats.frontier.generation != instance.generation()) {
+    return Status::FailedPrecondition(
+        "ChaseQa::Adopt: frontier generation " +
+        std::to_string(stats.frontier.generation) +
+        " does not match instance generation " +
+        std::to_string(instance.generation()));
+  }
+  return ChaseQa(std::move(program), options, std::move(instance), stats);
+}
+
 Result<ChaseStats> ChaseQa::AddFactsAndRechase(
     const std::vector<datalog::Atom>& facts) {
   for (const datalog::Atom& f : facts) {

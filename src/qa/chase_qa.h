@@ -24,6 +24,20 @@ class ChaseQa {
       const datalog::Program& program,
       const datalog::ChaseOptions& options = datalog::ChaseOptions());
 
+  /// Adopts an already-materialized chase result instead of running one —
+  /// the checkpoint-restore path (storage/session_image.h): the instance
+  /// was rebuilt from a persisted image of a completed chase over exactly
+  /// this program's extensional facts, and `stats` are the stats of that
+  /// original run (with the frontier regenerated against the rebuilt
+  /// instance). Validates the wiring it can see: the instance must share
+  /// the program's vocabulary, and a valid frontier must match the
+  /// instance's generation — everything deeper is the caller's contract,
+  /// enforced end-to-end by the crash matrix's oracle byte-compare.
+  static Result<ChaseQa> Adopt(datalog::Program program,
+                               const datalog::ChaseOptions& options,
+                               datalog::Instance instance,
+                               datalog::ChaseStats stats);
+
   /// Adds new extensional facts and re-chases the existing materialized
   /// instance (facts already derived are kept; the restricted chase
   /// skips satisfied heads, so only consequences of the new facts are

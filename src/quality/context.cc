@@ -1,6 +1,7 @@
 #include "quality/context.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "analysis/cost_model.h"
@@ -33,6 +34,32 @@ Status QualityContext::SetDatabase(Database database) {
     MDQA_ASSIGN_OR_RETURN(const Relation* rel, database.GetRelation(name));
     database_.PutRelation(*rel);
   }
+  return Status::Ok();
+}
+
+Status QualityContext::ReplaceDatabase(Database database) {
+  // Same shape, different rows: the stored mappings, quality definitions
+  // and contextual rules were all derived from the current schemas, so a
+  // recovered database must agree on them exactly.
+  std::vector<std::string> current = database_.RelationNames();
+  std::vector<std::string> incoming = database.RelationNames();
+  if (current != incoming) {
+    return Status::InvalidArgument(
+        "ReplaceDatabase: relation set mismatch (expected " +
+        std::to_string(current.size()) + " relations, got " +
+        std::to_string(incoming.size()) + " or a different name/order)");
+  }
+  for (const std::string& name : current) {
+    MDQA_ASSIGN_OR_RETURN(const Relation* have, database_.GetRelation(name));
+    MDQA_ASSIGN_OR_RETURN(const Relation* want, database.GetRelation(name));
+    if (have->arity() != want->arity()) {
+      return Status::InvalidArgument(
+          "ReplaceDatabase: relation '" + name + "' arity mismatch (" +
+          std::to_string(have->arity()) + " vs " +
+          std::to_string(want->arity()) + ")");
+    }
+  }
+  database_ = std::move(database);
   return Status::Ok();
 }
 
@@ -288,6 +315,23 @@ Result<PreparedContext> QualityContext::Prepare(
 Result<PreparedContext> QualityContext::Prepare(
     const datalog::ChaseOptions& options, Program program,
     std::shared_ptr<const datalog::ProgramAnalysis> analysis) const {
+  return FinishPrepare(options, std::move(program), std::move(analysis),
+                       /*rebuild=*/nullptr);
+}
+
+Result<PreparedContext> QualityContext::PrepareRestored(
+    const datalog::ChaseOptions& options,
+    const MaterializationRebuilder& rebuild) const {
+  MDQA_ASSIGN_OR_RETURN(Program program, BuildProgram());
+  auto analysis = std::make_shared<const datalog::ProgramAnalysis>(program);
+  return FinishPrepare(options, std::move(program), std::move(analysis),
+                       &rebuild);
+}
+
+Result<PreparedContext> QualityContext::FinishPrepare(
+    const datalog::ChaseOptions& options, Program program,
+    std::shared_ptr<const datalog::ProgramAnalysis> analysis,
+    const MaterializationRebuilder* rebuild) const {
   // Thread the ontology's separability verdict into the chase options so
   // a later ApplyUpdate can maintain EGD programs incrementally when the
   // paper's §III sufficient condition holds, and the shared program
@@ -318,10 +362,24 @@ Result<PreparedContext> QualityContext::Prepare(
     query.body.push_back(Atom(pred, vars));
     queries.emplace(original, std::move(query));
   }
-  MDQA_ASSIGN_OR_RETURN(qa::ChaseQa chased,
-                        qa::ChaseQa::Create(program, chase_options));
+  std::optional<qa::ChaseQa> chased;
+  if (rebuild == nullptr) {
+    MDQA_ASSIGN_OR_RETURN(qa::ChaseQa created,
+                          qa::ChaseQa::Create(program, chase_options));
+    chased.emplace(std::move(created));
+  } else {
+    // Checkpoint restore: the instance was rebuilt from a persisted image
+    // of a completed chase over this very program — adopt it instead of
+    // re-chasing (the whole point of durable resume).
+    MDQA_ASSIGN_OR_RETURN(RestoredMaterialization mat, (*rebuild)(program));
+    MDQA_ASSIGN_OR_RETURN(
+        qa::ChaseQa adopted,
+        qa::ChaseQa::Adopt(std::move(program), chase_options,
+                           std::move(mat.instance), std::move(mat.stats)));
+    chased.emplace(std::move(adopted));
+  }
   PreparedContext out(quality_of_, std::move(queries), database_,
-                      std::move(chased));
+                      std::move(*chased));
   out.analysis_ = std::move(analysis);
   out.statistics_ = out.instance().CollectStatistics();
   return out;

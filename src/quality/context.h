@@ -1,6 +1,7 @@
 #ifndef MDQA_QUALITY_CONTEXT_H_
 #define MDQA_QUALITY_CONTEXT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,23 @@
 namespace mdqa::quality {
 
 class PreparedContext;
+
+/// An externally rebuilt materialization, produced by the checkpoint
+/// restore path (storage/session_image.h): the chased instance
+/// reconstructed over the program's vocabulary, plus the stats of the
+/// chase run that originally produced it (frontier regenerated against
+/// the rebuilt instance).
+struct RestoredMaterialization {
+  datalog::Instance instance;
+  datalog::ChaseStats stats;
+};
+
+/// Builds a RestoredMaterialization against the freshly compiled
+/// contextual program (interning its constants/nulls into the program's
+/// vocabulary). Supplied by the storage layer to `PrepareRestored`, which
+/// keeps the quality layer free of any dependency on on-disk formats.
+using MaterializationRebuilder =
+    std::function<Result<RestoredMaterialization>(datalog::Program&)>;
 
 /// The paper's context for data quality assessment (Fig. 2): the original
 /// instance `D` is mapped into a contextual schema `C` that embeds the MD
@@ -40,6 +58,14 @@ class QualityContext {
   Status SetDatabase(Database database);
 
   const Database& database() const { return database_; }
+
+  /// Swaps in a recovered database (checkpoint restore): the same
+  /// relations — names, arities, attribute types — with whatever rows the
+  /// persisted generation had after its applied updates. Everything
+  /// schema-derived (mappings, quality definitions, stored rules) remains
+  /// valid; only the extensional rows change. Rejects a database whose
+  /// relation set or schemas disagree with the current one.
+  Status ReplaceDatabase(Database database);
 
   /// Maps an original relation into its contextual copy (the paper's
   /// `Measurements → Measurements_c` nickname mapping): adds the rule
@@ -148,8 +174,30 @@ class QualityContext {
       const datalog::ChaseOptions& options, datalog::Program program,
       std::shared_ptr<const datalog::ProgramAnalysis> analysis) const;
 
+  /// `Prepare` without the chase: builds the contextual program and all
+  /// session plumbing (pre-bound S^q queries, shared analysis,
+  /// separability verdict) exactly as `Prepare` does, but materializes
+  /// the instance through `rebuild` — the storage layer's checkpoint
+  /// restore — instead of running `ChaseQa::Create`. Call after
+  /// `ReplaceDatabase` installed the recovered rows, so the compiled
+  /// program's extensional facts match the image the rebuild replays.
+  /// This is what lets `mdqa_serve --data-dir` resume at the last
+  /// committed generation without re-chasing.
+  Result<PreparedContext> PrepareRestored(
+      const datalog::ChaseOptions& options,
+      const MaterializationRebuilder& rebuild) const;
+
  private:
   friend class PreparedContext;
+
+  /// Shared tail of Prepare/PrepareRestored: everything after the program
+  /// is built. `rebuild == nullptr` runs the chase (`ChaseQa::Create`);
+  /// otherwise the materialization comes from the callback
+  /// (`ChaseQa::Adopt`).
+  Result<PreparedContext> FinishPrepare(
+      const datalog::ChaseOptions& options, datalog::Program program,
+      std::shared_ptr<const datalog::ProgramAnalysis> analysis,
+      const MaterializationRebuilder* rebuild) const;
 
   std::shared_ptr<core::MdOntology> ontology_;
   Database database_;

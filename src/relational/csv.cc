@@ -1,8 +1,8 @@
 #include "relational/csv.h"
 
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+
+#include "base/fs.h"
 
 namespace mdqa {
 
@@ -107,15 +107,13 @@ Result<Relation> ParseCsv(std::string_view content, const std::string& name,
 
 Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
                              const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open CSV file '" + path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  // Capped, failure-surfacing read: oversized files and truncation races
+  // come back as Status errors, never as a silently partial parse.
+  MDQA_ASSIGN_OR_RETURN(std::string content,
+                        fs::ReadFileToString(path, options.max_bytes));
   std::string relation_name =
       name.empty() ? std::filesystem::path(path).stem().string() : name;
-  return ParseCsv(buffer.str(), relation_name, options);
+  return ParseCsv(content, relation_name, options);
 }
 
 }  // namespace mdqa

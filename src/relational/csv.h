@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/fs.h"
 #include "base/result.h"
 #include "relational/database.h"
 
@@ -16,6 +17,10 @@ struct CsvOptions {
   /// Parse fields through Value::FromText (ints/doubles recognized);
   /// false keeps every field a string.
   bool infer_types = true;
+  /// ReadCsvFile refuses files larger than this (kResourceExhausted)
+  /// instead of buffering them — a mispointed path must not OOM the
+  /// process before the parser even sees a byte.
+  uint64_t max_bytes = fs::kDefaultMaxFileBytes;
 };
 
 /// Parses CSV `content` into a relation named `name`. Supports quoted

@@ -1,0 +1,66 @@
+#include "serve/access_log.h"
+
+#include <utility>
+
+#include "base/json.h"
+
+namespace mdqa::serve {
+
+AccessLog::AccessLog(std::unique_ptr<storage::WritableFile> sink,
+                     uint64_t max_bytes)
+    : sink_(std::move(sink)), max_bytes_(max_bytes) {}
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(storage::Env* env,
+                                                   const std::string& path,
+                                                   uint64_t max_bytes) {
+  MDQA_ASSIGN_OR_RETURN(std::unique_ptr<storage::WritableFile> sink,
+                        env->NewAppendableFile(path));
+  return std::make_unique<AccessLog>(std::move(sink), max_bytes);
+}
+
+void AccessLog::Record(const Entry& entry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tenant").String(entry.tenant);
+  w.Key("method").String(entry.method);
+  w.Key("target").String(entry.target);
+  w.Key("generation").Number(static_cast<int64_t>(entry.generation));
+  w.Key("engine").String(entry.engine);
+  w.Key("status").Number(static_cast<int64_t>(entry.http_status));
+  w.Key("latency_us").Number(static_cast<int64_t>(entry.latency_us));
+  w.Key("outcome").String(entry.outcome);
+  w.EndObject();
+  std::string line = w.TakeString();
+  line.push_back('\n');
+
+  MutexLock lock(&mu_);
+  if (max_bytes_ != 0 && bytes_written_ + line.size() > max_bytes_) {
+    ++lines_dropped_;  // capped: count, never block or grow
+    return;
+  }
+  // Append only — no Sync. A crash may lose tail lines; that is the
+  // documented trade (the WAL owns durability, the log owns visibility).
+  if (!sink_->Append(line).ok()) {
+    ++lines_dropped_;
+    return;
+  }
+  bytes_written_ += line.size();
+  ++lines_written_;
+}
+
+uint64_t AccessLog::lines_written() const {
+  MutexLock lock(&mu_);
+  return lines_written_;
+}
+
+uint64_t AccessLog::lines_dropped() const {
+  MutexLock lock(&mu_);
+  return lines_dropped_;
+}
+
+uint64_t AccessLog::bytes_written() const {
+  MutexLock lock(&mu_);
+  return bytes_written_;
+}
+
+}  // namespace mdqa::serve

@@ -1,0 +1,62 @@
+#ifndef MDQA_SERVE_ACCESS_LOG_H_
+#define MDQA_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "base/thread_annotations.h"
+#include "storage/env.h"
+
+namespace mdqa::serve {
+
+/// Bounded structured access logging: one JSON object per line per
+/// request. Deliberately fsync-free — observability must never pay
+/// durability's latency (the WAL does that; see docs/durability.md) —
+/// and byte-capped: once the cap is hit, lines are counted as dropped
+/// instead of written, so a hot loop cannot fill the disk. Thread-safe;
+/// workers call `Record` concurrently.
+class AccessLog {
+ public:
+  struct Entry {
+    std::string tenant;   // sanitized (or "anonymous" / "-" pre-parse)
+    std::string method;   // "-" when the request never parsed
+    std::string target;
+    uint64_t generation = 0;  // snapshot generation the request observed
+    std::string engine;       // engine of the observed snapshot's report
+    int http_status = 0;
+    uint64_t latency_us = 0;
+    /// "ok", "degraded", "shed", "timeout", "rejected", or "error" —
+    /// every response is classified, including sheds and read failures.
+    std::string outcome;
+  };
+
+  /// `max_bytes` caps total bytes written over the log's lifetime
+  /// (0 = uncapped).
+  AccessLog(std::unique_ptr<storage::WritableFile> sink, uint64_t max_bytes);
+
+  /// Opens `path` for appending via `env` (storage::Env::Posix() for the
+  /// real daemon; a FaultyEnv in tests).
+  static Result<std::unique_ptr<AccessLog>> Open(storage::Env* env,
+                                                 const std::string& path,
+                                                 uint64_t max_bytes);
+
+  void Record(const Entry& entry);
+
+  uint64_t lines_written() const;
+  uint64_t lines_dropped() const;
+  uint64_t bytes_written() const;
+
+ private:
+  mutable Mutex mu_;
+  std::unique_ptr<storage::WritableFile> sink_ MDQA_GUARDED_BY(mu_);
+  const uint64_t max_bytes_;
+  uint64_t bytes_written_ MDQA_GUARDED_BY(mu_) = 0;
+  uint64_t lines_written_ MDQA_GUARDED_BY(mu_) = 0;
+  uint64_t lines_dropped_ MDQA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mdqa::serve
+
+#endif  // MDQA_SERVE_ACCESS_LOG_H_

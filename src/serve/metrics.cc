@@ -66,6 +66,8 @@ std::string ServerMetrics::ToJson() const {
   n("updates_applied", updates_applied);
   n("update_fallbacks", update_fallbacks);
   n("internal_errors", internal_errors);
+  n("quota_reloads", quota_reloads);
+  n("wal_appends", wal_appends);
   w.Key("latency_count").Number(static_cast<int64_t>(latency.Count()));
   w.Key("latency_p50_us")
       .Number(static_cast<int64_t>(latency.PercentileMicros(0.50)));

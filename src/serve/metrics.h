@@ -44,6 +44,8 @@ struct ServerMetrics {
   std::atomic<uint64_t> updates_applied{0};
   std::atomic<uint64_t> update_fallbacks{0};  // full re-chase fallbacks
   std::atomic<uint64_t> internal_errors{0};   // 5xx responses
+  std::atomic<uint64_t> quota_reloads{0};     // accepted quota configs
+  std::atomic<uint64_t> wal_appends{0};       // durable update commits
   LatencyHistogram latency;
 
   /// One JSON object with every counter plus p50/p95/p99 latency (µs).

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 
 #include "datalog/rule.h"
+#include "storage/session_image.h"
 
 namespace mdqa::serve {
 
@@ -130,19 +132,89 @@ Result<std::unique_ptr<AssessmentServer>> AssessmentServer::Start(
   std::unique_ptr<AssessmentServer> server(
       new AssessmentServer(std::move(context), options));
 
-  // Initial snapshot: materialize once, assess fully. Constraint
-  // violations (kInconsistent) and lint errors refuse startup — a daemon
-  // must not come up serving a world it knows to be broken.
-  MDQA_ASSIGN_OR_RETURN(PreparedContext prepared, server->context_.Prepare());
-  quality::Assessor assessor(&server->context_);
-  MDQA_ASSIGN_OR_RETURN(quality::AssessmentReport report, assessor.Assess());
+  // Initial snapshot. With a store: recover the newest durable state and
+  // resume at its committed generation without re-chasing. Without one
+  // (or with an empty store): materialize once, assess fully. Constraint
+  // violations (kInconsistent) and lint errors refuse startup either way
+  // — a daemon must not come up serving a world it knows to be broken.
+  std::shared_ptr<const storage::KbImage> image;
+  std::vector<storage::WalRecord> wal_records;
+  if (options.store != nullptr) {
+    MDQA_ASSIGN_OR_RETURN(storage::RecoveredState rec,
+                          options.store->Recover());
+    server->recovery_degradations_ = std::move(rec.degradations);
+    if (rec.has_checkpoint) {
+      if (rec.image.meta.scenario != options.scenario) {
+        return Status::FailedPrecondition(
+            "serve: checkpoint was written by scenario '" +
+            rec.image.meta.scenario + "', not '" + options.scenario +
+            "'; refusing to resume from a foreign knowledge base");
+      }
+      image = std::make_shared<const storage::KbImage>(std::move(rec.image));
+      wal_records = std::move(rec.wal_records);
+    }
+  }
 
+  quality::Assessor assessor(&server->context_);
+  std::optional<PreparedContext> prepared;
+  std::optional<quality::AssessmentReport> report;
+  uint64_t generation = 1;
+  if (image != nullptr) {
+    // Restore: swap in the persisted database, rebuild the materialized
+    // instance from the image (no chase), and recompute the report off
+    // the materialization (Reassess against an empty previous recomputes
+    // every relation).
+    MDQA_ASSIGN_OR_RETURN(Database db, storage::DatabaseFromImage(*image));
+    MDQA_RETURN_IF_ERROR(server->context_.ReplaceDatabase(std::move(db)));
+    MDQA_ASSIGN_OR_RETURN(
+        PreparedContext restored,
+        server->context_.PrepareRestored(datalog::ChaseOptions{},
+                                         storage::ImageRebuilder(image)));
+    quality::AssessmentReport none;
+    MDQA_ASSIGN_OR_RETURN(quality::AssessmentReport rep,
+                          assessor.Reassess(restored, none));
+    prepared = std::move(restored);
+    report = std::move(rep);
+    generation = image->meta.generation;
+
+    // Roll the WAL forward: each committed-but-not-checkpointed batch is
+    // re-applied exactly as the writer thread originally did.
+    for (const storage::WalRecord& wr : wal_records) {
+      if (wr.target_generation <= generation) continue;
+      MDQA_ASSIGN_OR_RETURN(PreparedContext next,
+                            prepared->ApplyUpdate(wr.batch));
+      MDQA_ASSIGN_OR_RETURN(quality::AssessmentReport rep2,
+                            assessor.Reassess(next, *report));
+      prepared = std::move(next);
+      report = std::move(rep2);
+      generation = wr.target_generation;
+    }
+  } else {
+    MDQA_ASSIGN_OR_RETURN(PreparedContext fresh, server->context_.Prepare());
+    MDQA_ASSIGN_OR_RETURN(quality::AssessmentReport rep, assessor.Assess());
+    prepared = std::move(fresh);
+    report = std::move(rep);
+  }
+
+  if (options.store != nullptr) {
+    // Collapse recovery into a fresh checkpoint: replayed WAL records are
+    // folded in and the log rotates, so the next restart replays nothing;
+    // a fresh store gets its durable base (AppendBatch needs an open WAL).
+    MDQA_ASSIGN_OR_RETURN(
+        storage::KbImage captured,
+        storage::CaptureSessionImage(*prepared, generation, generation - 1,
+                                     options.scenario));
+    MDQA_RETURN_IF_ERROR(options.store->WriteCheckpoint(captured));
+  }
+
+  server->base_generation_ = generation;
   auto snap = std::make_shared<Snapshot>();
-  snap->generation = 1;
-  snap->session = std::make_shared<const PreparedContext>(std::move(prepared));
-  snap->report_json = report.ToJson();
+  snap->generation = generation;
+  snap->session =
+      std::make_shared<const PreparedContext>(std::move(*prepared));
+  snap->report_json = report->ToJson();
   snap->report = std::make_shared<const quality::AssessmentReport>(
-      std::move(report));
+      std::move(*report));
   server->snapshot_ = std::move(snap);
 
   MDQA_ASSIGN_OR_RETURN(server->listener_,
@@ -181,6 +253,23 @@ void AssessmentServer::Shutdown() {
   if (writer_thread_.joinable()) writer_thread_.join();
   stop_watchdog_.store(true, std::memory_order_release);
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  if (options_.store != nullptr) {
+    // Drain-time checkpoint: the final generation becomes the restart
+    // base, so the next process resumes here without replaying the WAL.
+    // Failure is recorded, never swallowed — DrainStatus reports it.
+    // A null snapshot means Start failed before the first publish (this
+    // runs from the destructor of the half-built server): nothing was
+    // served, so there is nothing to persist.
+    auto snap = Pin();
+    if (snap == nullptr) return;
+    auto image = storage::CaptureSessionImage(
+        *snap->session, snap->generation, snap->generation - 1,
+        options_.scenario);
+    final_persist_status_ = image.ok()
+                                ? options_.store->WriteCheckpoint(*image)
+                                : image.status();
+  }
 }
 
 Status AssessmentServer::DrainStatus() const {
@@ -202,14 +291,85 @@ Status AssessmentServer::DrainStatus() const {
   auto snap = Pin();
   const uint64_t applied =
       metrics_.updates_applied.load(std::memory_order_relaxed);
-  if (snap->generation != 1 + applied) {
+  if (snap->generation != base_generation_ + applied) {
     return Status::Internal(
-        "drain: generation " + std::to_string(snap->generation) +
-        " != 1 + " + std::to_string(applied) + " applied updates");
+        "drain: generation " + std::to_string(snap->generation) + " != " +
+        std::to_string(base_generation_) + " (base) + " +
+        std::to_string(applied) + " applied updates");
   }
   if (snap->report == nullptr || snap->report_json.empty()) {
     return Status::Internal("drain: no published report");
   }
+  if (!final_persist_status_.ok()) {
+    return Status::Internal("drain: final checkpoint failed: " +
+                            final_persist_status_.ToString());
+  }
+  return Status::Ok();
+}
+
+Status AssessmentServer::ApplyQuotaConfig(const std::string& json_text) {
+  auto cfg = JsonValue::Parse(json_text, options_.json_limits);
+  if (!cfg.ok()) return cfg.status();
+  if (!cfg->is_object()) {
+    return Status::InvalidArgument(
+        "serve: quota config must be a JSON object of tenant -> quota");
+  }
+  // Validate everything before applying anything: a config with one bad
+  // entry must not half-apply.
+  std::vector<std::pair<std::string, TenantQuota>> parsed;
+  for (const auto& [tenant, spec] : cfg->Members()) {
+    if (tenant.empty() || tenant.size() > 64) {
+      return Status::InvalidArgument(
+          "serve: quota config: tenant id must be 1..64 chars");
+    }
+    if (!spec.is_object()) {
+      return Status::InvalidArgument("serve: quota config: entry for '" +
+                                     tenant + "' must be an object");
+    }
+    TenantQuota quota = options_.default_quota;
+    for (const auto& [key, value] : spec.Members()) {
+      if (!value.is_number() || value.AsNumber() < 0) {
+        return Status::InvalidArgument(
+            "serve: quota config: '" + tenant + "." + key +
+            "' must be a non-negative number");
+      }
+      const double n = value.AsNumber();
+      if (key == "requests_per_sec") {
+        if (n <= 0) {
+          return Status::InvalidArgument(
+              "serve: quota config: '" + tenant +
+              ".requests_per_sec' must be positive");
+        }
+        quota.requests_per_sec = n;
+      } else if (key == "burst") {
+        if (n <= 0) {
+          return Status::InvalidArgument("serve: quota config: '" + tenant +
+                                         ".burst' must be positive");
+        }
+        quota.burst = n;
+      } else if (key == "max_deadline_ms") {
+        if (n < 1 || n > 3600 * 1000) {
+          return Status::InvalidArgument(
+              "serve: quota config: '" + tenant +
+              ".max_deadline_ms' out of range [1, 3600000]");
+        }
+        quota.max_deadline = std::chrono::milliseconds(
+            static_cast<int64_t>(n));
+      } else if (key == "max_steps") {
+        quota.max_steps_per_request = static_cast<uint64_t>(n);
+      } else if (key == "max_facts") {
+        quota.max_facts_per_request = static_cast<uint64_t>(n);
+      } else {
+        return Status::InvalidArgument("serve: quota config: unknown key '" +
+                                       tenant + "." + key + "'");
+      }
+    }
+    parsed.emplace_back(tenant, quota);
+  }
+  for (auto& [tenant, quota] : parsed) {
+    admission_.SetQuota(tenant, quota);
+  }
+  metrics_.quota_reloads.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -288,25 +448,84 @@ void AssessmentServer::WorkerLoop(size_t worker_index) {
   }
 }
 
+namespace {
+
+/// Status code off a serialized response ("HTTP/1.1 NNN ..."); 0 when
+/// the prefix is malformed (never the case for our own serializer).
+int StatusOfResponse(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return 0;
+  }
+  int code = 0;
+  for (size_t i = 9; i < 12; ++i) {
+    char c = response[i];
+    if (c < '0' || c > '9') return 0;
+    code = code * 10 + (c - '0');
+  }
+  return code;
+}
+
+/// Wire-status → outcome label. A 200 whose body is labeled degraded
+/// (partial answers under a tripped budget) logs as "degraded" — the
+/// body is our own serializer's output, so the marker probe is exact.
+const char* OutcomeOf(int status, const std::string& response) {
+  if (status == 429) return "shed";
+  if (status == 408) return "timeout";
+  if (status >= 500) return "error";
+  if (status >= 400) return "rejected";
+  if (response.find("\"degraded\":true") != std::string::npos) {
+    return "degraded";
+  }
+  return "ok";
+}
+
+}  // namespace
+
 void AssessmentServer::HandleConnection(net::Socket sock, RequestSlot* slot) {
   const auto start = std::chrono::steady_clock::now();
   auto req = ReadHttpRequest(sock, options_.http_limits);
   sock.SetSendTimeout(options_.http_limits.read_timeout);
+  AccessLog::Entry log_entry;
+  if (options_.access_log != nullptr) {
+    auto snap = Pin();
+    log_entry.generation = snap->generation;
+    log_entry.engine = qa::EngineToString(snap->report->engine_used);
+  }
+  auto finish = [&](const std::string& response, bool record_latency) {
+    const auto end = std::chrono::steady_clock::now();
+    const auto us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count());
+    if (record_latency) metrics_.latency.Record(us);
+    if (options_.access_log == nullptr) return;
+    log_entry.latency_us = us;
+    log_entry.http_status = StatusOfResponse(response);
+    log_entry.outcome = OutcomeOf(log_entry.http_status, response);
+    options_.access_log->Record(log_entry);
+  };
   if (!req.ok()) {
+    log_entry.tenant = "-";
+    log_entry.method = "-";
+    log_entry.target = "-";
     auto resp = ResponseForReadError(req.status());
     if (resp != nullptr) {
       metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
       sock.SendAll(*resp);
+      finish(*resp, /*record_latency=*/false);
     }
     return;
+  }
+  log_entry.method = req->method;
+  log_entry.target = req->target;
+  if (const std::string* t = req->FindHeader("X-Mdqa-Tenant")) {
+    log_entry.tenant = t->substr(0, 64);
+  } else {
+    log_entry.tenant = "anonymous";
   }
   metrics_.requests_parsed.fetch_add(1, std::memory_order_relaxed);
   std::string response = Dispatch(*req, slot);
   sock.SendAll(response);
-  const auto end = std::chrono::steady_clock::now();
-  metrics_.latency.Record(static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-          .count()));
+  finish(response, /*record_latency=*/true);
 }
 
 std::string AssessmentServer::Dispatch(const HttpRequest& req,
@@ -319,6 +538,7 @@ std::string AssessmentServer::Dispatch(const HttpRequest& req,
     if (req.target == "/query") return HandleQuery(req, slot);
     if (req.target == "/assess") return HandleAssess(req);
     if (req.target == "/update") return HandleUpdate(req, slot);
+    if (req.target == "/admin/quotas") return HandleAdminQuotas(req);
   } else {
     metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(405,
@@ -710,6 +930,20 @@ std::string AssessmentServer::HandleUpdate(const HttpRequest& req,
   return SerializeHttpResponse(200, w.TakeString());
 }
 
+std::string AssessmentServer::HandleAdminQuotas(const HttpRequest& req) {
+  Status applied = ApplyQuotaConfig(req.body);
+  if (!applied.ok()) {
+    metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, applied);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("applied").Bool(true);
+  w.EndObject();
+  metrics_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+  return SerializeHttpResponse(200, w.TakeString());
+}
+
 void AssessmentServer::WriterLoop() {
   while (true) {
     UpdateJob job;
@@ -742,8 +976,20 @@ void AssessmentServer::WriterLoop() {
       } else {
         quality::Assessor assessor(&context_);
         auto report = assessor.Reassess(*next, *snap->report);
+        // The WAL append (fsync) is the commit point: a batch that cannot
+        // be made durable fails the request and never publishes — a
+        // client ack must survive a crash.
+        Status logged =
+            report.ok() && options_.store != nullptr
+                ? options_.store->AppendBatch(job.batch, snap->generation + 1)
+                : Status::Ok();
+        if (report.ok() && options_.store != nullptr && logged.ok()) {
+          metrics_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+        }
         if (!report.ok()) {
           outcome = report.status();
+        } else if (!logged.ok()) {
+          outcome = logged;
         } else {
           const bool fallback = next->chase_stats().extend_fallback;
           auto ns = std::make_shared<Snapshot>();

@@ -17,9 +17,11 @@
 #include "base/net.h"
 #include "quality/assessor.h"
 #include "quality/context.h"
+#include "serve/access_log.h"
 #include "serve/admission.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
+#include "storage/kb_store.h"
 
 namespace mdqa::serve {
 
@@ -73,6 +75,26 @@ struct ServerOptions {
   /// application is exact or failed, never silently partial, which is
   /// what keeps the drain-time oracle byte-comparison meaningful.
   FaultInjector* fault_injector = nullptr;
+
+  /// Durability (docs/durability.md). When non-null: Start() recovers the
+  /// newest durable state and resumes at its committed generation WITHOUT
+  /// re-running the chase (checkpoint restore + WAL roll-forward, then a
+  /// fresh collapsing checkpoint); the writer thread WAL-appends (fsync)
+  /// every DeltaBatch after it validates and BEFORE its snapshot
+  /// publishes — the append is the commit point; and Shutdown writes a
+  /// final checkpoint of the drained state. Not owned.
+  storage::KbStore* store = nullptr;
+  /// Fingerprint of the program/scenario this server runs, stamped into
+  /// every checkpoint. Recovery refuses a checkpoint stamped with a
+  /// different scenario (resuming a foreign KB would silently marry rows
+  /// to the wrong rules).
+  std::string scenario;
+
+  /// Structured access logging: one JSON line per handled request
+  /// (tenant, generation, engine, status, latency, outcome — including
+  /// sheds, timeouts, and parse rejections). Capped and fsync-free by
+  /// the AccessLog contract. Not owned.
+  AccessLog* access_log = nullptr;
 };
 
 /// A long-lived multi-tenant assessment daemon: HTTP/1.1 + JSON over
@@ -119,6 +141,16 @@ class AssessmentServer {
     admission_.SetQuota(tenant, quota);
   }
 
+  /// Hot tenant-quota reload (POST /admin/quotas, and SIGHUP in
+  /// mdqa_serve): a JSON object mapping tenant id to a quota spec —
+  /// {"acme": {"requests_per_sec": 50, "burst": 10, "max_deadline_ms":
+  /// 500, "max_steps": 100000, "max_facts": 50000}} — with every field
+  /// optional (defaults from ServerOptions::default_quota). All-or-
+  /// nothing: every entry is validated before any is applied, so a
+  /// malformed config is rejected (kInvalidArgument) and changes NO
+  /// quota.
+  Status ApplyQuotaConfig(const std::string& json_text);
+
   /// Graceful drain; idempotent, returns when every thread has exited.
   void Shutdown();
 
@@ -129,9 +161,23 @@ class AssessmentServer {
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   /// Post-drain internal consistency check: queues empty, no in-flight
-  /// requests, published generation == 1 + applied updates, final
-  /// snapshot's report present and complete. kInternal on violation.
+  /// requests, published generation == base generation + applied updates,
+  /// final snapshot's report present and complete, final checkpoint (when
+  /// a store is attached) written. kInternal on violation.
   Status DrainStatus() const;
+
+  /// Generation of the initial snapshot: 1 for a fresh start, the
+  /// recovered generation (checkpoint + WAL roll-forward) with a store.
+  uint64_t base_generation() const { return base_generation_; }
+  /// The store's degradation report from recovery (corrupt checkpoints
+  /// fallen past, torn WAL tails cut). Empty for a clean start. Loud by
+  /// design: mdqa_serve prints these at startup.
+  const std::vector<std::string>& recovery_degradations() const {
+    return recovery_degradations_;
+  }
+  /// Outcome of the drain-time checkpoint (Ok before Shutdown, and
+  /// always Ok without a store). Read after Shutdown() returns.
+  const Status& final_persist_status() const { return final_persist_status_; }
 
   uint64_t generation() const;
   /// The current (or, post-drain, final) published report, as rendered at
@@ -193,6 +239,7 @@ class AssessmentServer {
   std::string HandleQuery(const HttpRequest& req, RequestSlot* slot);
   std::string HandleAssess(const HttpRequest& req);
   std::string HandleUpdate(const HttpRequest& req, RequestSlot* slot);
+  std::string HandleAdminQuotas(const HttpRequest& req);
 
   quality::QualityContext context_;
   ServerOptions options_;
@@ -231,6 +278,12 @@ class AssessmentServer {
   std::thread writer_thread_;
   std::thread watchdog_thread_;
   bool shut_down_ = false;  // Shutdown() already ran (main thread only)
+
+  /// Durability state (set once in Start; final_persist_status_ written
+  /// by Shutdown on the owning thread, read after it returns).
+  uint64_t base_generation_ = 1;
+  std::vector<std::string> recovery_degradations_;
+  Status final_persist_status_;
 };
 
 }  // namespace mdqa::serve

@@ -1,0 +1,267 @@
+#include "storage/checkpoint.h"
+
+#include "base/crc32.h"
+#include "relational/schema.h"
+#include "storage/format.h"
+
+namespace mdqa::storage {
+
+namespace {
+
+constexpr char kMagic[] = "MDQAKB1\n";
+constexpr size_t kMagicLen = 8;
+constexpr uint64_t kFormatVersion = 1;
+
+enum SectionTag : uint8_t {
+  kMetaTag = 1,
+  kValuesTag = 2,
+  kRelationTag = 3,
+  kTableTag = 4,
+  kEndTag = 0xFE,
+};
+
+void AppendSection(std::string* out, uint8_t tag, std::string_view payload) {
+  out->push_back(static_cast<char>(tag));
+  PutVarint64(out, payload.size());
+  out->append(payload.data(), payload.size());
+  uint32_t crc = Crc32(&tag, 1);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  PutFixed32(out, MaskCrc32(crc));
+}
+
+Status Corrupt(const std::string& why) {
+  return Status::Internal("checkpoint: corrupt: " + why);
+}
+
+std::string EncodeMeta(const KbMeta& m) {
+  std::string p;
+  PutVarint64(&p, kFormatVersion);
+  PutVarint64(&p, m.generation);
+  PutVarint64(&p, m.applied_updates);
+  PutLengthPrefixed(&p, m.scenario);
+  p.push_back(m.reached_fixpoint ? 1 : 0);
+  PutVarint64(&p, m.rounds);
+  PutVarint64(&p, m.tgd_firings);
+  PutVarint64(&p, m.facts_added);
+  PutVarint64(&p, m.nulls_created);
+  PutVarint64(&p, m.egd_merges);
+  PutVarint32(&p, m.null_watermark);
+  return p;
+}
+
+Status DecodeMeta(std::string_view payload, KbMeta* m) {
+  SliceReader r(payload);
+  MDQA_ASSIGN_OR_RETURN(uint64_t version, r.GetVarint64());
+  if (version != kFormatVersion) {
+    return Corrupt("unsupported format version " + std::to_string(version));
+  }
+  MDQA_ASSIGN_OR_RETURN(m->generation, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->applied_updates, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(std::string_view scenario, r.GetLengthPrefixed());
+  m->scenario = std::string(scenario);
+  MDQA_ASSIGN_OR_RETURN(std::string_view fixpoint, r.GetBytes(1));
+  m->reached_fixpoint = fixpoint[0] != 0;
+  MDQA_ASSIGN_OR_RETURN(m->rounds, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->tgd_firings, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->facts_added, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->nulls_created, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->egd_merges, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(m->null_watermark, r.GetVarint32());
+  if (!r.empty()) return Corrupt("trailing bytes in meta section");
+  return Status::Ok();
+}
+
+std::string EncodeValues(const std::vector<Value>& values) {
+  std::string p;
+  PutVarint64(&p, values.size());
+  for (const auto& v : values) PutValue(&p, v);
+  return p;
+}
+
+Status DecodeValues(std::string_view payload,
+                    std::vector<Value>* values) {
+  SliceReader r(payload);
+  MDQA_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint64());
+  values->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDQA_ASSIGN_OR_RETURN(Value v, GetValue(&r));
+    values->push_back(std::move(v));
+  }
+  if (!r.empty()) return Corrupt("trailing bytes in values section");
+  return Status::Ok();
+}
+
+std::string EncodeRelation(const KbRelationImage& rel) {
+  std::string p;
+  PutLengthPrefixed(&p, rel.name);
+  PutVarint64(&p, rel.attr_names.size());
+  for (size_t i = 0; i < rel.attr_names.size(); ++i) {
+    PutLengthPrefixed(&p, rel.attr_names[i]);
+    p.push_back(static_cast<char>(rel.attr_types[i]));
+  }
+  PutVarint64(&p, rel.rows.size());
+  for (const auto& row : rel.rows) {
+    for (uint32_t idx : row) PutVarint32(&p, idx);
+  }
+  return p;
+}
+
+Status DecodeRelation(std::string_view payload, size_t num_values,
+                      KbRelationImage* rel) {
+  SliceReader r(payload);
+  MDQA_ASSIGN_OR_RETURN(std::string_view name, r.GetLengthPrefixed());
+  rel->name = std::string(name);
+  MDQA_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint64());
+  for (uint64_t i = 0; i < arity; ++i) {
+    MDQA_ASSIGN_OR_RETURN(std::string_view attr, r.GetLengthPrefixed());
+    MDQA_ASSIGN_OR_RETURN(std::string_view type, r.GetBytes(1));
+    rel->attr_names.push_back(std::string(attr));
+    rel->attr_types.push_back(static_cast<uint8_t>(type[0]));
+  }
+  MDQA_ASSIGN_OR_RETURN(uint64_t rows, r.GetVarint64());
+  rel->rows.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    std::vector<uint32_t> row(arity);
+    for (uint64_t j = 0; j < arity; ++j) {
+      MDQA_ASSIGN_OR_RETURN(row[j], r.GetVarint32());
+      if (row[j] >= num_values) {
+        return Corrupt("relation " + rel->name +
+                       ": value index out of range");
+      }
+    }
+    rel->rows.push_back(std::move(row));
+  }
+  if (!r.empty()) return Corrupt("trailing bytes in relation section");
+  return Status::Ok();
+}
+
+std::string EncodeTable(const KbTableImage& t) {
+  std::string p;
+  PutLengthPrefixed(&p, t.predicate);
+  PutVarint32(&p, t.arity);
+  PutVarint32(&p, t.frozen_rows);
+  PutVarint64(&p, t.segment_rows.size());
+  for (uint32_t n : t.segment_rows) PutVarint32(&p, n);
+  PutVarint64(&p, t.levels.size());
+  for (uint64_t term : t.terms) PutVarint64(&p, term);
+  for (uint32_t level : t.levels) PutVarint32(&p, level);
+  return p;
+}
+
+Status DecodeTable(std::string_view payload, size_t num_values,
+                   KbTableImage* t) {
+  SliceReader r(payload);
+  MDQA_ASSIGN_OR_RETURN(std::string_view pred, r.GetLengthPrefixed());
+  t->predicate = std::string(pred);
+  MDQA_ASSIGN_OR_RETURN(t->arity, r.GetVarint32());
+  MDQA_ASSIGN_OR_RETURN(t->frozen_rows, r.GetVarint32());
+  MDQA_ASSIGN_OR_RETURN(uint64_t segments, r.GetVarint64());
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < segments; ++i) {
+    uint32_t n;
+    MDQA_ASSIGN_OR_RETURN(n, r.GetVarint32());
+    t->segment_rows.push_back(n);
+    total += n;
+  }
+  MDQA_ASSIGN_OR_RETURN(uint64_t rows, r.GetVarint64());
+  if (total != rows) {
+    return Corrupt("table " + t->predicate +
+                   ": segment row counts disagree with row count");
+  }
+  if (t->frozen_rows > rows) {
+    return Corrupt("table " + t->predicate + ": freeze watermark beyond rows");
+  }
+  uint64_t num_terms = rows * t->arity;
+  t->terms.reserve(num_terms);
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    MDQA_ASSIGN_OR_RETURN(uint64_t term, r.GetVarint64());
+    if (!ImageTermIsNull(term) && ImageTermId(term) >= num_values) {
+      return Corrupt("table " + t->predicate + ": value index out of range");
+    }
+    t->terms.push_back(term);
+  }
+  t->levels.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    uint32_t level;
+    MDQA_ASSIGN_OR_RETURN(level, r.GetVarint32());
+    t->levels.push_back(level);
+  }
+  if (!r.empty()) return Corrupt("trailing bytes in table section");
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const KbImage& image) {
+  std::string out(kMagic, kMagicLen);
+  AppendSection(&out, kMetaTag, EncodeMeta(image.meta));
+  AppendSection(&out, kValuesTag, EncodeValues(image.values));
+  for (const auto& rel : image.relations) {
+    AppendSection(&out, kRelationTag, EncodeRelation(rel));
+  }
+  for (const auto& table : image.tables) {
+    AppendSection(&out, kTableTag, EncodeTable(table));
+  }
+  AppendSection(&out, kEndTag, "");
+  return out;
+}
+
+Result<KbImage> DecodeCheckpoint(std::string_view data) {
+  if (data.size() < kMagicLen ||
+      data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Corrupt("bad magic");
+  }
+  SliceReader r(data.substr(kMagicLen));
+  KbImage image;
+  bool saw_meta = false;
+  bool saw_values = false;
+  while (true) {
+    if (r.empty()) return Corrupt("missing end section (truncated file)");
+    MDQA_ASSIGN_OR_RETURN(std::string_view tag_bytes, r.GetBytes(1));
+    uint8_t tag = static_cast<uint8_t>(tag_bytes[0]);
+    MDQA_ASSIGN_OR_RETURN(std::string_view payload, r.GetLengthPrefixed());
+    MDQA_ASSIGN_OR_RETURN(uint32_t stored_crc, r.GetFixed32());
+    uint32_t crc = Crc32(&tag, 1);
+    crc = Crc32(payload.data(), payload.size(), crc);
+    if (MaskCrc32(crc) != stored_crc) {
+      return Corrupt("section checksum mismatch (tag " + std::to_string(tag) +
+                     ")");
+    }
+    switch (tag) {
+      case kMetaTag:
+        if (saw_meta) return Corrupt("duplicate meta section");
+        MDQA_RETURN_IF_ERROR(DecodeMeta(payload, &image.meta));
+        saw_meta = true;
+        break;
+      case kValuesTag:
+        if (saw_values) return Corrupt("duplicate values section");
+        MDQA_RETURN_IF_ERROR(DecodeValues(payload, &image.values));
+        saw_values = true;
+        break;
+      case kRelationTag: {
+        if (!saw_values) return Corrupt("relation section before values");
+        KbRelationImage rel;
+        MDQA_RETURN_IF_ERROR(
+            DecodeRelation(payload, image.values.size(), &rel));
+        image.relations.push_back(std::move(rel));
+        break;
+      }
+      case kTableTag: {
+        if (!saw_values) return Corrupt("table section before values");
+        KbTableImage table;
+        MDQA_RETURN_IF_ERROR(DecodeTable(payload, image.values.size(), &table));
+        image.tables.push_back(std::move(table));
+        break;
+      }
+      case kEndTag:
+        if (!saw_meta) return Corrupt("missing meta section");
+        if (!saw_values) return Corrupt("missing values section");
+        if (!r.empty()) return Corrupt("trailing bytes after end section");
+        return image;
+      default:
+        return Corrupt("unknown section tag " + std::to_string(tag));
+    }
+  }
+}
+
+}  // namespace mdqa::storage

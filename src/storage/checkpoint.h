@@ -1,0 +1,107 @@
+#ifndef MDQA_STORAGE_CHECKPOINT_H_
+#define MDQA_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "relational/value.h"
+
+namespace mdqa::storage {
+
+/// Decoded checkpoint: a self-contained, vocabulary-independent image of
+/// a prepared quality session — the extensional database, the chased
+/// contextual instance (sealed segment chains, levels, freeze
+/// watermarks), and the chase/frontier metadata needed to resume
+/// incrementally. Everything symbolic is dictionary-interned through one
+/// value table; fact rows are value-table indices (constants) or labeled
+/// null ids, never raw strings. Term ids are NOT stable across processes
+/// — values are, and restore re-interns them — so the image speaks
+/// values, not term ids.
+///
+/// On-disk layout (docs/durability.md has the full story):
+///   "MDQAKB1\n" magic, then a sequence of sections
+///   [u8 tag][varint len][payload][fixed32 masked-crc32(tag||payload)]
+///   terminated by an end section. Every section is independently
+///   checksummed; any mismatch, overrun, or missing terminator decodes
+///   to a Status, never to a partial image.
+
+struct KbMeta {
+  /// Server generation the image was committed at (PreparedContext
+  /// lineage: 1 for the freshly prepared session, +1 per applied batch).
+  uint64_t generation = 1;
+  /// DeltaBatches folded into this image since the initial Prepare.
+  uint64_t applied_updates = 0;
+  /// Identifies what program/scenario produced the image; recovery
+  /// refuses to marry a checkpoint to a different scenario.
+  std::string scenario;
+
+  // ChaseStats of the run that materialized the instance (the frontier
+  // itself is regenerated against the rebuilt instance on restore).
+  bool reached_fixpoint = true;
+  uint64_t rounds = 0;
+  uint64_t tgd_firings = 0;
+  uint64_t facts_added = 0;
+  uint64_t nulls_created = 0;
+  uint64_t egd_merges = 0;
+  /// Labeled nulls minted in the vocabulary at capture time; restore
+  /// reserves null ids through this so replayed updates mint fresh ones.
+  uint32_t null_watermark = 0;
+};
+
+struct KbRelationImage {
+  std::string name;
+  std::vector<std::string> attr_names;
+  std::vector<uint8_t> attr_types;  // AttrType
+  /// Rows in insertion order; each entry indexes KbImage::values.
+  std::vector<std::vector<uint32_t>> rows;
+};
+
+/// One term of one instance fact: a value-table index (constant) or a
+/// labeled null id, tagged in the low bit.
+inline uint64_t PackImageTerm(bool is_null, uint32_t id) {
+  return (static_cast<uint64_t>(id) << 1) | (is_null ? 1u : 0u);
+}
+inline bool ImageTermIsNull(uint64_t packed) { return (packed & 1u) != 0; }
+inline uint32_t ImageTermId(uint64_t packed) {
+  return static_cast<uint32_t>(packed >> 1);
+}
+
+struct KbTableImage {
+  std::string predicate;
+  uint32_t arity = 0;
+  /// Rows below this watermark were in sealed segments at capture.
+  uint32_t frozen_rows = 0;
+  /// Sealed-chain shape: row count per segment, in chain order (the
+  /// overlay tail, if any, is the last entry). Sums to the row count.
+  std::vector<uint32_t> segment_rows;
+  /// Packed terms, row-major (`arity` per row), in Facts() order — the
+  /// byte-identity contract of the instance.
+  std::vector<uint64_t> terms;
+  /// Derivation level per row.
+  std::vector<uint32_t> levels;
+};
+
+struct KbImage {
+  KbMeta meta;
+  /// The dictionary: every constant in the database and the instance,
+  /// deduplicated.
+  std::vector<Value> values;
+  std::vector<KbRelationImage> relations;
+  std::vector<KbTableImage> tables;
+};
+
+/// Serializes the image. Deterministic: the same image always encodes to
+/// the same bytes (the crash matrix relies on this for byte-matching).
+std::string EncodeCheckpoint(const KbImage& image);
+
+/// Decodes and fully validates a checkpoint: magic, per-section CRCs,
+/// terminator, index bounds. Returns kInternal with a labeled reason on
+/// any corruption.
+Result<KbImage> DecodeCheckpoint(std::string_view data);
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,145 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "base/fs.h"
+
+namespace mdqa::storage {
+
+namespace {
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::Internal(std::string("storage: ") + what + " failed for " +
+                          path + ": " + strerror(errno));
+}
+
+/// Unbuffered fd-backed file: every Append is a write(2) loop (EINTR and
+/// short writes retried), Sync is fsync(2). No stdio buffering — the
+/// fault model and the fsync discipline both reason about syscalls.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("storage: file closed");
+    size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("storage: file closed");
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::string> ReadFile(const std::string& path,
+                               uint64_t max_bytes) override {
+    return fs::ReadFileToString(path, max_bytes);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("opendir", dir);
+    std::vector<std::string> names;
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", dir);
+    }
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open(dir)", dir);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Errno("fsync(dir)", dir);
+    return Status::Ok();
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> Open(const std::string& path,
+                                             int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace mdqa::storage

@@ -1,0 +1,77 @@
+#ifndef MDQA_STORAGE_ENV_H_
+#define MDQA_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace mdqa::storage {
+
+/// A sequential output file. `Append` buffers or writes; nothing is
+/// promised durable until `Sync` returns OK (the fsync barrier). `Close`
+/// flushes but does NOT sync — the commit points in checkpoint/WAL code
+/// call Sync explicitly so the durability contract is visible at every
+/// call site.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem abstraction for the durability layer — the narrow set of
+/// operations checkpointing, WAL, and recovery actually need (LevelDB's
+/// Env, cut down). Two implementations: `PosixEnv` (real filesystem) and
+/// `FaultyEnv` (in-memory model of a crash-prone disk, fault_env.h).
+/// Everything in src/storage/ goes through this interface so the crash
+/// matrix can exercise every injection point deterministically.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it if absent (the WAL reopen
+  /// path after a clean restart).
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file. kNotFound when absent; kResourceExhausted
+  /// when larger than `max_bytes`.
+  virtual Result<std::string> ReadFile(const std::string& path,
+                                       uint64_t max_bytes) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Base names (not full paths) of entries in `dir`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Creates `dir`; OK if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics: the
+  /// namespace switch is atomic, but durable only after SyncDir on the
+  /// containing directory).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// fsyncs the directory itself so completed renames/creates survive a
+  /// crash. The checkpoint commit protocol is: write tmp, fsync tmp,
+  /// rename, SyncDir.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The real filesystem (process-wide singleton; thread-safe).
+  static Env* Posix();
+};
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_ENV_H_

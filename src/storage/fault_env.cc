@@ -1,0 +1,347 @@
+#include "storage/fault_env.h"
+
+namespace mdqa::storage {
+
+/// Writable handle into the in-memory filesystem. Looks its record up by
+/// path on every call so a rename/remove of an open file surfaces as a
+/// loud error instead of resurrecting stale bytes.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    MDQA_RETURN_IF_ERROR(env_->CheckCrashedLocked());
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::Internal("fs: file vanished under writer: " + path_);
+    }
+    Status full_fault = env_->HitLocked("fs.append");
+    if (!full_fault.ok()) return full_fault;
+    Status short_fault = env_->HitLocked("fs.append.short");
+    if (!short_fault.ok()) {
+      // A short write: a strict prefix lands in the page cache, then the
+      // syscall reports failure. The caller sees an error; the bytes are
+      // nonetheless in flight toward the platter.
+      size_t keep =
+          data.empty() ? 0 : env_->NextRandLocked() % data.size();
+      it->second.unsynced.append(data.data(), keep);
+      return short_fault;
+    }
+    size_t applied = 0;
+    Status crash = env_->ChargeOpLocked(data.size(), &applied);
+    it->second.unsynced.append(data.data(), applied);
+    return crash;
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    MDQA_RETURN_IF_ERROR(env_->CheckCrashedLocked());
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::Internal("fs: file vanished under writer: " + path_);
+    }
+    Status fault = env_->HitLocked("fs.sync");
+    if (!fault.ok()) return fault;
+    Status lie = env_->HitLocked("fs.sync.lie");
+    size_t unused = 0;
+    MDQA_RETURN_IF_ERROR(env_->ChargeOpLocked(0, &unused));
+    if (!lie.ok()) {
+      // The lying disk: report success, persist nothing. The armed status
+      // is only the trigger — callers must never see it.
+      return Status::Ok();
+    }
+    it->second.persisted.append(it->second.unsynced);
+    it->second.unsynced.clear();
+    return Status::Ok();
+  }
+
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  FaultyEnv* env_;
+  std::string path_;
+};
+
+FaultyEnv::FaultyEnv(uint64_t seed, FaultInjector* injector)
+    : injector_(injector), rng_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+void FaultyEnv::set_injector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
+void FaultyEnv::ArmCrashAtOp(uint64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_ = op == 0 ? 0 : op_count_ + op;
+}
+
+void FaultyEnv::SetTornTailOnCrash(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_tail_ = enabled;
+}
+
+void FaultyEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Page cache is gone. With torn tails, a seeded prefix of each file's
+  // unsynced suffix made it to the platter before the power cut.
+  for (auto& [path, rec] : files_) {
+    (void)path;
+    if (torn_tail_ && !rec.unsynced.empty()) {
+      size_t keep = NextRandLocked() % (rec.unsynced.size() + 1);
+      rec.persisted.append(rec.unsynced, 0, keep);
+    }
+    rec.unsynced.clear();
+  }
+  // Namespace operations not covered by a SyncDir roll back, newest
+  // first.
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    switch (it->kind) {
+      case PendingOp::kCreate:
+        if (it->had_prior) {
+          files_[it->path] = it->prior;
+        } else {
+          files_.erase(it->path);
+        }
+        break;
+      case PendingOp::kRename: {
+        auto moved = files_.find(it->path);
+        if (moved != files_.end()) {
+          files_[it->other] = moved->second;
+          files_.erase(it->path);
+        }
+        if (it->had_prior) files_[it->path] = it->prior;
+        break;
+      }
+      case PendingOp::kRemove:
+        files_[it->path] = it->prior;
+        break;
+    }
+  }
+  pending_.clear();
+  crashed_ = false;
+  crash_at_op_ = 0;
+}
+
+bool FaultyEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultyEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+Status FaultyEnv::CorruptByte(const std::string& path, size_t offset,
+                              uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("fs: no file: " + path);
+  if (offset >= it->second.persisted.size()) {
+    return Status::InvalidArgument("fs: corrupt offset beyond file: " + path);
+  }
+  it->second.persisted[offset] =
+      static_cast<char>(it->second.persisted[offset] ^ xor_mask);
+  return Status::Ok();
+}
+
+Status FaultyEnv::TruncateTo(const std::string& path, size_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("fs: no file: " + path);
+  if (new_size < it->second.persisted.size()) {
+    it->second.persisted.resize(new_size);
+  }
+  it->second.unsynced.clear();
+  return Status::Ok();
+}
+
+Result<size_t> FaultyEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("fs: no file: " + path);
+  return it->second.persisted.size() + it->second.unsynced.size();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.open"));
+  size_t unused = 0;
+  MDQA_RETURN_IF_ERROR(ChargeOpLocked(0, &unused));
+  PendingOp op;
+  op.kind = PendingOp::kCreate;
+  op.path = path;
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    op.had_prior = true;
+    op.prior.persisted = it->second.persisted;
+  }
+  pending_.push_back(std::move(op));
+  files_[path] = FileRec{};
+  return std::unique_ptr<WritableFile>(new FaultyWritableFile(this, path));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewAppendableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.open"));
+  if (files_.find(path) == files_.end()) {
+    size_t unused = 0;
+    MDQA_RETURN_IF_ERROR(ChargeOpLocked(0, &unused));
+    PendingOp op;
+    op.kind = PendingOp::kCreate;
+    op.path = path;
+    pending_.push_back(std::move(op));
+    files_[path] = FileRec{};
+  }
+  return std::unique_ptr<WritableFile>(new FaultyWritableFile(this, path));
+}
+
+Result<std::string> FaultyEnv::ReadFile(const std::string& path,
+                                        uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.read"));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("fs: cannot open file: " + path);
+  }
+  uint64_t size = it->second.persisted.size() + it->second.unsynced.size();
+  if (size > max_bytes) {
+    return Status::ResourceExhausted(
+        "fs: file exceeds size cap (" + std::to_string(size) + " > " +
+        std::to_string(max_bytes) + " bytes): " + path);
+  }
+  return it->second.persisted + it->second.unsynced;
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return files_.find(path) != files_.end();
+}
+
+Result<std::vector<std::string>> FaultyEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.read"));
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, rec] : files_) {
+    (void)rec;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+Status FaultyEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  (void)dir;  // Directories are implicit; creation always succeeds.
+  return Status::Ok();
+}
+
+Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.rename"));
+  size_t unused = 0;
+  MDQA_RETURN_IF_ERROR(ChargeOpLocked(0, &unused));
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("fs: no file: " + from);
+  PendingOp op;
+  op.kind = PendingOp::kRename;
+  op.path = to;
+  op.other = from;
+  auto old = files_.find(to);
+  if (old != files_.end()) {
+    op.had_prior = true;
+    op.prior.persisted = old->second.persisted;
+  }
+  pending_.push_back(std::move(op));
+  files_[to] = it->second;
+  files_.erase(from);
+  return Status::Ok();
+}
+
+Status FaultyEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.remove"));
+  size_t unused = 0;
+  MDQA_RETURN_IF_ERROR(ChargeOpLocked(0, &unused));
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("fs: no file: " + path);
+  PendingOp op;
+  op.kind = PendingOp::kRemove;
+  op.path = path;
+  op.had_prior = true;
+  op.prior.persisted = it->second.persisted;
+  pending_.push_back(std::move(op));
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status FaultyEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MDQA_RETURN_IF_ERROR(CheckCrashedLocked());
+  MDQA_RETURN_IF_ERROR(HitLocked("fs.syncdir"));
+  size_t unused = 0;
+  MDQA_RETURN_IF_ERROR(ChargeOpLocked(0, &unused));
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  auto under_dir = [&prefix](const std::string& p) {
+    return p.compare(0, prefix.size(), prefix) == 0;
+  };
+  std::vector<PendingOp> keep;
+  for (auto& op : pending_) {
+    if (!under_dir(op.path)) keep.push_back(std::move(op));
+  }
+  pending_ = std::move(keep);
+  return Status::Ok();
+}
+
+Status FaultyEnv::CheckCrashedLocked() {
+  if (crashed_) return Status::Cancelled("fs: simulated crash (machine down)");
+  return Status::Ok();
+}
+
+Status FaultyEnv::ChargeOpLocked(size_t partial_budget,
+                                 size_t* partial_applied) {
+  ++op_count_;
+  if (crash_at_op_ != 0 && op_count_ >= crash_at_op_) {
+    crashed_ = true;
+    *partial_applied =
+        partial_budget == 0 ? 0 : NextRandLocked() % (partial_budget + 1);
+    return Status::Cancelled("fs: simulated crash at op " +
+                             std::to_string(op_count_));
+  }
+  *partial_applied = partial_budget;
+  return Status::Ok();
+}
+
+Status FaultyEnv::HitLocked(const char* probe) {
+  if (injector_ == nullptr) return Status::Ok();
+  return injector_->Hit(probe);
+}
+
+uint64_t FaultyEnv::NextRandLocked() {
+  // splitmix64 — deterministic per seed, cheap, good enough to pick torn
+  // prefix lengths.
+  rng_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mdqa::storage

@@ -1,0 +1,131 @@
+#ifndef MDQA_STORAGE_FAULT_ENV_H_
+#define MDQA_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "storage/env.h"
+
+namespace mdqa::storage {
+
+/// In-memory filesystem that models a crash-prone disk, so the crash
+/// matrix can kill and restart the store at every injection point
+/// deterministically — no real process kills, no real disks, runs clean
+/// under sanitizers.
+///
+/// Durability model (strict POSIX):
+///   - Each file keeps `persisted` bytes (on the platter) and an
+///     `unsynced` suffix (in the page cache). `Sync` promotes unsynced to
+///     persisted. `Crash()` drops unsynced data — or, when torn tails are
+///     enabled, lets a seeded prefix of it reach the platter first, which
+///     is exactly how a torn WAL tail is born.
+///   - Directory entries are volatile until `SyncDir`: a file created or
+///     renamed into place without a directory sync disappears (or rolls
+///     back) at the next crash. The checkpoint commit protocol must spell
+///     out its full write→fsync→rename→dirsync sequence or the matrix
+///     will catch it.
+///
+/// Fault arms extend the existing `FaultInjector` (base/budget.h) with a
+/// filesystem layer — arm these probe names on the injector passed in:
+///   - "fs.append"        fail the Nth Append, no bytes applied (EIO)
+///   - "fs.append.short"  fail the Nth Append after a seeded strict
+///                        prefix of the payload lands (short write)
+///   - "fs.sync"          fail the Nth Sync, nothing promoted
+///   - "fs.sync.lie"      the Nth Sync returns OK but persists nothing
+///                        (a lying disk; the armed status text is the
+///                        label, its code is ignored)
+///   - "fs.open", "fs.read", "fs.rename", "fs.remove", "fs.syncdir"
+/// plus `ArmCrashAtOp(n)`: the nth mutating operation (append / sync /
+/// create / rename / remove / syncdir) takes partial effect, then every
+/// subsequent call fails with kCancelled("fs: simulated crash") until
+/// `Crash()` is called to model the restart.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(uint64_t seed = 1, FaultInjector* injector = nullptr);
+  ~FaultyEnv() override = default;
+
+  void set_injector(FaultInjector* injector);
+
+  /// Arms a process-kill at the `op`th mutating operation (1-based).
+  /// 0 disarms.
+  void ArmCrashAtOp(uint64_t op);
+
+  /// When enabled, Crash() persists a seeded prefix of each file's
+  /// unsynced suffix instead of dropping it whole (torn write).
+  void SetTornTailOnCrash(bool enabled);
+
+  /// Simulates the machine coming back up: drops page-cache state, rolls
+  /// back non-durable directory operations, clears the crashed flag and
+  /// any armed crash so recovery code can run against the survivors.
+  void Crash();
+
+  bool crashed() const;
+  uint64_t ops() const;
+
+  /// Direct corruption helpers for bit-rot / truncation cases (applied to
+  /// the persisted image; the file must exist).
+  Status CorruptByte(const std::string& path, size_t offset,
+                     uint8_t xor_mask);
+  Status TruncateTo(const std::string& path, size_t new_size);
+  Result<size_t> FileSize(const std::string& path);
+
+  // Env interface.
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path,
+                               uint64_t max_bytes) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultyWritableFile;
+
+  struct FileRec {
+    std::string persisted;
+    std::string unsynced;
+  };
+
+  /// Namespace operations not yet made durable by SyncDir, in order.
+  /// Crash() undoes them in reverse.
+  struct PendingOp {
+    enum Kind { kCreate, kRename, kRemove } kind;
+    std::string path;        // created path / rename target / removed path
+    std::string other;       // rename source
+    bool had_prior = false;  // target existed before (rename/create/remove)
+    FileRec prior;           // its durable image, for rollback
+  };
+
+  // All private helpers assume mu_ is held.
+  Status CheckCrashedLocked();
+  /// Charges one mutating op; returns the simulated-crash status when the
+  /// armed op count is reached. `partial_budget`/`partial_applied` let
+  /// Append land a seeded prefix before dying.
+  Status ChargeOpLocked(size_t partial_budget, size_t* partial_applied);
+  Status HitLocked(const char* probe);
+  uint64_t NextRandLocked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileRec> files_;
+  std::vector<PendingOp> pending_;
+  FaultInjector* injector_;
+  uint64_t rng_;
+  uint64_t op_count_ = 0;
+  uint64_t crash_at_op_ = 0;
+  bool crashed_ = false;
+  bool torn_tail_ = false;
+};
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_FAULT_ENV_H_

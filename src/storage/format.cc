@@ -1,0 +1,129 @@
+#include "storage/format.h"
+
+namespace mdqa::storage {
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::Internal(std::string("format: truncated ") + what);
+}
+}  // namespace
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint32(std::string* dst, uint32_t v) { PutVarint64(dst, v); }
+
+void PutLengthPrefixed(std::string* dst, std::string_view data) {
+  PutVarint64(dst, data.size());
+  dst->append(data.data(), data.size());
+}
+
+Result<uint32_t> SliceReader::GetFixed32() {
+  if (remaining() < 4) return Truncated("fixed32");
+  const auto* p = reinterpret_cast<const unsigned char*>(p_);
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+  p_ += 4;
+  return v;
+}
+
+Result<uint64_t> SliceReader::GetFixed64() {
+  MDQA_ASSIGN_OR_RETURN(uint32_t lo, GetFixed32());
+  MDQA_ASSIGN_OR_RETURN(uint32_t hi, GetFixed32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<uint64_t> SliceReader::GetVarint64() {
+  uint64_t v = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (p_ == end_) return Truncated("varint");
+    uint8_t byte = static_cast<uint8_t>(*p_++);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::Internal("format: varint too long");
+}
+
+Result<uint32_t> SliceReader::GetVarint32() {
+  MDQA_ASSIGN_OR_RETURN(uint64_t v, GetVarint64());
+  if (v > 0xffffffffull) {
+    return Status::Internal("format: varint32 out of range");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+Result<std::string_view> SliceReader::GetLengthPrefixed() {
+  MDQA_ASSIGN_OR_RETURN(uint64_t len, GetVarint64());
+  return GetBytes(len);
+}
+
+Result<std::string_view> SliceReader::GetBytes(size_t n) {
+  if (remaining() < n) return Truncated("bytes");
+  std::string_view out(p_, n);
+  p_ += n;
+  return out;
+}
+
+void PutValue(std::string* dst, const Value& v) {
+  dst->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      PutFixed64(dst, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      PutFixed64(dst, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(dst, v.AsString());
+      break;
+  }
+}
+
+Result<Value> GetValue(SliceReader* r) {
+  MDQA_ASSIGN_OR_RETURN(std::string_view tag, r->GetBytes(1));
+  switch (static_cast<uint8_t>(tag[0])) {
+    case static_cast<uint8_t>(ValueType::kInt64): {
+      MDQA_ASSIGN_OR_RETURN(uint64_t bits, r->GetFixed64());
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case static_cast<uint8_t>(ValueType::kDouble): {
+      MDQA_ASSIGN_OR_RETURN(uint64_t bits, r->GetFixed64());
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case static_cast<uint8_t>(ValueType::kString): {
+      MDQA_ASSIGN_OR_RETURN(std::string_view s, r->GetLengthPrefixed());
+      return Value::Str(std::string(s));
+    }
+    default:
+      return Status::Internal("format: unknown value tag");
+  }
+}
+
+}  // namespace mdqa::storage

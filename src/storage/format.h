@@ -1,0 +1,56 @@
+#ifndef MDQA_STORAGE_FORMAT_H_
+#define MDQA_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "relational/value.h"
+
+namespace mdqa::storage {
+
+/// Little-endian fixed and LEB128 varint primitives shared by the
+/// checkpoint format and the WAL. Encoders append to a std::string;
+/// the decoder is a bounds-checked cursor that turns any overrun or
+/// malformed varint into a Status instead of UB — corrupt files must
+/// fail loudly, never read out of bounds.
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// varint length + raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view data);
+
+class SliceReader;
+
+/// Tagged Value: [u8 ValueType][fixed64 int/double bits |
+/// length-prefixed string]. Shared by the checkpoint value table and WAL
+/// tuple payloads.
+void PutValue(std::string* dst, const Value& v);
+Result<Value> GetValue(SliceReader* r);
+
+class SliceReader {
+ public:
+  explicit SliceReader(std::string_view data) : p_(data.data()), end_(p_ + data.size()) {}
+
+  bool empty() const { return p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  Result<uint32_t> GetFixed32();
+  Result<uint64_t> GetFixed64();
+  Result<uint32_t> GetVarint32();
+  Result<uint64_t> GetVarint64();
+  Result<std::string_view> GetLengthPrefixed();
+  /// Raw `n` bytes.
+  Result<std::string_view> GetBytes(size_t n);
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_FORMAT_H_

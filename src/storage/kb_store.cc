@@ -1,0 +1,291 @@
+#include "storage/kb_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <optional>
+
+namespace mdqa::storage {
+
+namespace {
+
+constexpr char kCkptPrefix[] = "ckpt-";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+constexpr char kTmpSuffix[] = ".tmp";
+
+std::string PadGeneration(uint64_t gen) {
+  std::string digits = std::to_string(gen);
+  return std::string(20 - std::min<size_t>(20, digits.size()), '0') + digits;
+}
+
+std::string CkptName(uint64_t gen) { return kCkptPrefix + PadGeneration(gen); }
+
+std::string WalName(uint64_t gen) {
+  return kWalPrefix + PadGeneration(gen) + kWalSuffix;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Parses "<prefix><20 digits><suffix>" into the generation; nullopt for
+/// anything else (foreign files are ignored, never deleted).
+std::optional<uint64_t> ParseGeneration(const std::string& name,
+                                        const char* prefix,
+                                        const char* suffix) {
+  size_t pre = strlen(prefix), suf = strlen(suffix);
+  if (name.size() != pre + 20 + suf) return std::nullopt;
+  if (name.compare(0, pre, prefix) != 0) return std::nullopt;
+  if (suf != 0 && name.compare(name.size() - suf, suf, suffix) != 0) {
+    return std::nullopt;
+  }
+  uint64_t gen = 0;
+  for (size_t i = pre; i < pre + 20; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return gen;
+}
+
+class DiskKbStore : public KbStore {
+ public:
+  DiskKbStore(Env* env, std::string dir, StoreOptions options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Result<RecoveredState> Recover() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecoveredState state;
+    MDQA_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
+    std::vector<uint64_t> ckpt_gens;
+    for (const auto& name : names) {
+      if (EndsWith(name, kTmpSuffix)) {
+        // In-flight write that never committed; sweep it.
+        (void)env_->RemoveFile(Path(name));
+        continue;
+      }
+      if (auto gen = ParseGeneration(name, kCkptPrefix, "")) {
+        ckpt_gens.push_back(*gen);
+      }
+    }
+    std::sort(ckpt_gens.rbegin(), ckpt_gens.rend());
+
+    for (uint64_t gen : ckpt_gens) {
+      auto data = env_->ReadFile(Path(CkptName(gen)), options_.max_checkpoint_bytes);
+      if (!data.ok()) {
+        state.degradations.push_back("checkpoint " + CkptName(gen) +
+                                     " unreadable: " +
+                                     data.status().message() +
+                                     "; falling back to an older checkpoint");
+        continue;
+      }
+      auto image = DecodeCheckpoint(*data);
+      if (!image.ok()) {
+        state.degradations.push_back("checkpoint " + CkptName(gen) +
+                                     " rejected: " + image.status().message() +
+                                     "; falling back to an older checkpoint");
+        continue;
+      }
+      state.has_checkpoint = true;
+      state.image = std::move(image).value();
+      checkpoint_gen_ = gen;
+      break;
+    }
+
+    if (!state.has_checkpoint) {
+      if (!ckpt_gens.empty()) {
+        state.degradations.push_back(
+            "all " + std::to_string(ckpt_gens.size()) +
+            " checkpoints corrupt; starting from scratch (committed "
+            "generations lost)");
+      }
+      recovered_ = true;
+      return state;
+    }
+
+    // If we fell back past the newest checkpoint, its WAL-era updates are
+    // beyond the surviving WAL; say exactly what window is replayable.
+    if (checkpoint_gen_ != ckpt_gens.front()) {
+      state.degradations.push_back(
+          "resuming from checkpoint generation " +
+          std::to_string(checkpoint_gen_) + " instead of " +
+          std::to_string(ckpt_gens.front()) +
+          "; updates committed after the older checkpoint's log window are "
+          "lost");
+    }
+
+    std::string wal_path = Path(WalName(checkpoint_gen_));
+    MDQA_ASSIGN_OR_RETURN(WalReplay replay,
+                          ReadWal(env_, wal_path, options_.max_wal_bytes));
+    if (replay.truncated) {
+      state.degradations.push_back("wal " + WalName(checkpoint_gen_) +
+                                   " tail cut: " + replay.truncated_reason);
+      // Rewrite the valid prefix so future appends land after good bytes,
+      // never after garbage.
+      MDQA_RETURN_IF_ERROR(
+          RewriteWalPrefix(wal_path, replay.valid_bytes));
+    }
+    // The image plus contiguous WAL records is the committed state;
+    // a gap inside CRC-valid records is a store bug, not damage — refuse.
+    uint64_t expect = state.image.meta.generation;
+    for (const auto& rec : replay.records) {
+      if (rec.target_generation != expect + 1) {
+        return Status::Internal(
+            "kb_store: wal generation gap: record targets " +
+            std::to_string(rec.target_generation) + " after " +
+            std::to_string(expect));
+      }
+      expect = rec.target_generation;
+    }
+    state.wal_records = std::move(replay.records);
+
+    MDQA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, wal_path));
+    recovered_ = true;
+    return state;
+  }
+
+  Status AppendBatch(const quality::DeltaBatch& batch,
+                     uint64_t target_generation) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!wal_.has_value()) {
+      return Status::FailedPrecondition(
+          "kb_store: no open WAL (write a checkpoint first)");
+    }
+    return wal_->Append(batch, target_generation);
+  }
+
+  Status WriteCheckpoint(const KbImage& image) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t gen = image.meta.generation;
+    std::string final_path = Path(CkptName(gen));
+    std::string tmp_path = final_path + kTmpSuffix;
+
+    std::string encoded = EncodeCheckpoint(image);
+    {
+      MDQA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                            env_->NewWritableFile(tmp_path));
+      MDQA_RETURN_IF_ERROR(file->Append(encoded));
+      MDQA_RETURN_IF_ERROR(file->Sync());
+      MDQA_RETURN_IF_ERROR(file->Close());
+    }
+    MDQA_RETURN_IF_ERROR(env_->RenameFile(tmp_path, final_path));
+    MDQA_RETURN_IF_ERROR(env_->SyncDir(dir_));
+
+    // The checkpoint is durable; updates from here on belong to its WAL.
+    wal_.reset();
+    MDQA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> fresh,
+                          env_->NewWritableFile(Path(WalName(gen))));
+    MDQA_RETURN_IF_ERROR(fresh->Sync());
+    MDQA_RETURN_IF_ERROR(fresh->Close());
+    MDQA_RETURN_IF_ERROR(env_->SyncDir(dir_));
+    MDQA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, Path(WalName(gen))));
+    checkpoint_gen_ = gen;
+
+    PruneOldCheckpoints(gen);
+    return Status::Ok();
+  }
+
+ private:
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  Status RewriteWalPrefix(const std::string& path, uint64_t valid_bytes) {
+    MDQA_ASSIGN_OR_RETURN(std::string data,
+                          env_->ReadFile(path, options_.max_wal_bytes));
+    std::string tmp = path + kTmpSuffix;
+    MDQA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          env_->NewWritableFile(tmp));
+    MDQA_RETURN_IF_ERROR(
+        file->Append(std::string_view(data).substr(0, valid_bytes)));
+    MDQA_RETURN_IF_ERROR(file->Sync());
+    MDQA_RETURN_IF_ERROR(file->Close());
+    MDQA_RETURN_IF_ERROR(env_->RenameFile(tmp, path));
+    return env_->SyncDir(dir_);
+  }
+
+  /// Best-effort removal of checkpoints (and their logs) beyond the
+  /// retention window. Failures are ignored — stale files cost disk, not
+  /// correctness; recovery simply never picks them over newer ones.
+  void PruneOldCheckpoints(uint64_t newest) {
+    auto names = env_->ListDir(dir_);
+    if (!names.ok()) return;
+    std::vector<uint64_t> gens;
+    for (const auto& name : *names) {
+      if (auto gen = ParseGeneration(name, kCkptPrefix, "")) {
+        gens.push_back(*gen);
+      }
+    }
+    std::sort(gens.rbegin(), gens.rend());
+    uint32_t kept = 0;
+    for (uint64_t gen : gens) {
+      if (gen > newest) continue;  // never touch anything newer than us
+      if (++kept <= options_.checkpoints_to_keep) continue;
+      (void)env_->RemoveFile(Path(CkptName(gen)));
+      (void)env_->RemoveFile(Path(WalName(gen)));
+    }
+  }
+
+  Env* env_;
+  std::string dir_;
+  StoreOptions options_;
+  std::mutex mu_;
+  std::optional<WalWriter> wal_;
+  uint64_t checkpoint_gen_ = 0;
+  bool recovered_ = false;
+};
+
+class InMemoryKbStore : public KbStore {
+ public:
+  Result<RecoveredState> Recover() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecoveredState state;
+    state.has_checkpoint = has_image_;
+    if (has_image_) state.image = image_;
+    state.wal_records = records_;
+    return state;
+  }
+
+  Status AppendBatch(const quality::DeltaBatch& batch,
+                     uint64_t target_generation) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_image_) {
+      return Status::FailedPrecondition(
+          "kb_store: no checkpoint to log against");
+    }
+    records_.push_back(WalRecord{target_generation, batch});
+    return Status::Ok();
+  }
+
+  Status WriteCheckpoint(const KbImage& image) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    image_ = image;
+    has_image_ = true;
+    records_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  std::mutex mu_;
+  bool has_image_ = false;
+  KbImage image_;
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<KbStore>> OpenDiskKbStore(Env* env,
+                                                 const std::string& dir,
+                                                 StoreOptions options) {
+  if (options.checkpoints_to_keep == 0) {
+    return Status::InvalidArgument("kb_store: checkpoints_to_keep must be > 0");
+  }
+  MDQA_RETURN_IF_ERROR(env->CreateDir(dir));
+  return std::unique_ptr<KbStore>(new DiskKbStore(env, dir, options));
+}
+
+std::unique_ptr<KbStore> NewInMemoryKbStore() {
+  return std::make_unique<InMemoryKbStore>();
+}
+
+}  // namespace mdqa::storage

@@ -1,0 +1,92 @@
+#ifndef MDQA_STORAGE_KB_STORE_H_
+#define MDQA_STORAGE_KB_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace mdqa::storage {
+
+struct StoreOptions {
+  /// Size caps on what recovery will even attempt to read — a corrupt
+  /// length field must not allocate the machine away.
+  uint64_t max_checkpoint_bytes = 1ull << 30;  // 1 GiB
+  uint64_t max_wal_bytes = 256ull << 20;       // 256 MiB
+  /// Committed checkpoints retained for corruption fallback (the newest
+  /// plus `keep - 1` predecessors, each with its WAL).
+  uint32_t checkpoints_to_keep = 2;
+};
+
+/// What recovery found. `degradations` is the loud part of the contract:
+/// every deviation from "newest checkpoint + full WAL" — a corrupt
+/// checkpoint skipped, a torn WAL tail cut, a fallback that lost
+/// generations — lands here as a labeled line. Empty degradations means
+/// the recovered state is exactly the last committed one; non-empty means
+/// the caller MUST surface them (the server refuses silent divergence by
+/// construction: it either replays to the committed generation or says
+/// what it lost).
+struct RecoveredState {
+  bool has_checkpoint = false;
+  KbImage image;
+  /// Committed batches to replay on top of the image, oldest first;
+  /// target generations are contiguous from image.meta.generation + 1.
+  std::vector<WalRecord> wal_records;
+  std::vector<std::string> degradations;
+};
+
+/// Durability backend for the assessment KB: checkpoints of the full
+/// session image plus a WAL of committed DeltaBatches since the last
+/// checkpoint. One writer at a time; calls are internally serialized.
+///
+/// Commit protocol (the server's writer thread):
+///   1. apply the batch in memory (ApplyUpdate + Reassess),
+///   2. AppendBatch — fsync'd WAL append; THIS is the commit point,
+///   3. publish the new snapshot to readers.
+/// Checkpoints (startup, drain) fold the WAL into a new image:
+///   write ckpt tmp → fsync → rename → dir fsync → start fresh WAL →
+///   prune old checkpoints beyond the retention window.
+class KbStore {
+ public:
+  virtual ~KbStore() = default;
+
+  /// Scans the store and reconstructs the newest recoverable state,
+  /// falling back across retained checkpoints on corruption. Also
+  /// prepares the store for appending (reopens the WAL, truncating a
+  /// torn tail to its valid prefix). Call exactly once, before any
+  /// AppendBatch.
+  virtual Result<RecoveredState> Recover() = 0;
+
+  /// Durably records a committed batch. Requires an open WAL — i.e.
+  /// Recover() found a checkpoint, or WriteCheckpoint() created one.
+  /// On error the store is wedged: stop committing.
+  virtual Status AppendBatch(const quality::DeltaBatch& batch,
+                             uint64_t target_generation) = 0;
+
+  /// Atomically commits `image` as the newest checkpoint, rotates the
+  /// WAL, and prunes beyond the retention window.
+  virtual Status WriteCheckpoint(const KbImage& image) = 0;
+};
+
+/// On-disk layout under `dir` (created if missing):
+///   ckpt-<generation, 20 digits>        committed checkpoints
+///   wal-<generation, 20 digits>.log     batches committed after that
+///                                       checkpoint
+///   *.tmp                               in-flight writes; ignored and
+///                                       swept by recovery
+Result<std::unique_ptr<KbStore>> OpenDiskKbStore(Env* env,
+                                                 const std::string& dir,
+                                                 StoreOptions options = {});
+
+/// Volatile backend: images and batches live in memory only. Useful for
+/// tests and as the no-data-dir default — same interface, no durability.
+std::unique_ptr<KbStore> NewInMemoryKbStore();
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_KB_STORE_H_

@@ -1,0 +1,143 @@
+#include "storage/wal.h"
+
+#include "base/crc32.h"
+#include "storage/format.h"
+
+namespace mdqa::storage {
+
+namespace {
+
+std::string EncodeRecord(const quality::DeltaBatch& batch,
+                         uint64_t target_generation) {
+  std::string payload;
+  PutVarint64(&payload, target_generation);
+  PutVarint64(&payload, batch.deltas.size());
+  for (const auto& delta : batch.deltas) {
+    PutLengthPrefixed(&payload, delta.relation);
+    PutVarint64(&payload, delta.insert_rows.size());
+    for (const auto& row : delta.insert_rows) {
+      PutVarint64(&payload, row.size());
+      for (const auto& v : row) PutValue(&payload, v);
+    }
+    PutVarint64(&payload, delta.delete_rows.size());
+    for (const auto& row : delta.delete_rows) {
+      PutVarint64(&payload, row.size());
+      for (const auto& v : row) PutValue(&payload, v);
+    }
+  }
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, MaskCrc32(Crc32(payload)));
+  frame.append(payload);
+  return frame;
+}
+
+Result<WalRecord> DecodePayload(std::string_view payload) {
+  SliceReader r(payload);
+  WalRecord rec;
+  MDQA_ASSIGN_OR_RETURN(rec.target_generation, r.GetVarint64());
+  MDQA_ASSIGN_OR_RETURN(uint64_t num_deltas, r.GetVarint64());
+  for (uint64_t i = 0; i < num_deltas; ++i) {
+    quality::RelationDelta delta;
+    MDQA_ASSIGN_OR_RETURN(std::string_view name, r.GetLengthPrefixed());
+    delta.relation = std::string(name);
+    MDQA_ASSIGN_OR_RETURN(uint64_t num_inserts, r.GetVarint64());
+    for (uint64_t j = 0; j < num_inserts; ++j) {
+      MDQA_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint64());
+      Tuple row;
+      for (uint64_t k = 0; k < arity; ++k) {
+        MDQA_ASSIGN_OR_RETURN(Value v, GetValue(&r));
+        row.push_back(std::move(v));
+      }
+      delta.insert_rows.push_back(std::move(row));
+    }
+    MDQA_ASSIGN_OR_RETURN(uint64_t num_deletes, r.GetVarint64());
+    for (uint64_t j = 0; j < num_deletes; ++j) {
+      MDQA_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint64());
+      Tuple row;
+      for (uint64_t k = 0; k < arity; ++k) {
+        MDQA_ASSIGN_OR_RETURN(Value v, GetValue(&r));
+        row.push_back(std::move(v));
+      }
+      delta.delete_rows.push_back(std::move(row));
+    }
+    rec.batch.deltas.push_back(std::move(delta));
+  }
+  if (!r.empty()) {
+    return Status::Internal("wal: trailing bytes inside record payload");
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(Env* env, const std::string& path) {
+  MDQA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewAppendableFile(path));
+  // Make the directory entry durable up front: a log that exists but is
+  // empty must still exist after a crash, or recovery would mistake
+  // "never had a log" for "lost the log".
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    MDQA_RETURN_IF_ERROR(env->SyncDir(path.substr(0, slash)));
+  }
+  return WalWriter(std::move(file));
+}
+
+Status WalWriter::Append(const quality::DeltaBatch& batch,
+                         uint64_t target_generation) {
+  std::string frame = EncodeRecord(batch, target_generation);
+  MDQA_RETURN_IF_ERROR(file_->Append(frame));
+  MDQA_RETURN_IF_ERROR(file_->Sync());
+  bytes_appended_ += frame.size();
+  return Status::Ok();
+}
+
+Result<WalReplay> ReadWal(Env* env, const std::string& path,
+                          uint64_t max_bytes) {
+  WalReplay replay;
+  auto data_or = env->ReadFile(path, max_bytes);
+  if (!data_or.ok()) {
+    if (data_or.status().code() == StatusCode::kNotFound) return replay;
+    return data_or.status();
+  }
+  const std::string& data = *data_or;
+  size_t off = 0;
+  while (off < data.size()) {
+    // Frame header: fixed32 len + fixed32 masked crc.
+    if (data.size() - off < 8) {
+      replay.truncated = true;
+      replay.truncated_reason =
+          "torn frame header at offset " + std::to_string(off) + " (" +
+          std::to_string(data.size() - off) + " trailing bytes)";
+      break;
+    }
+    SliceReader header(std::string_view(data).substr(off, 8));
+    uint32_t len = *header.GetFixed32();
+    uint32_t stored_crc = *header.GetFixed32();
+    if (data.size() - off - 8 < len) {
+      replay.truncated = true;
+      replay.truncated_reason =
+          "torn record at offset " + std::to_string(off) + " (payload wants " +
+          std::to_string(len) + " bytes, " +
+          std::to_string(data.size() - off - 8) + " present)";
+      break;
+    }
+    std::string_view payload = std::string_view(data).substr(off + 8, len);
+    if (MaskCrc32(Crc32(payload)) != stored_crc) {
+      replay.truncated = true;
+      replay.truncated_reason =
+          "checksum mismatch at offset " + std::to_string(off);
+      break;
+    }
+    // CRC vouches for the bytes; a decode failure now means the format
+    // itself is broken — that is corruption, not a torn tail.
+    MDQA_ASSIGN_OR_RETURN(WalRecord rec, DecodePayload(payload));
+    replay.records.push_back(std::move(rec));
+    off += 8 + len;
+    replay.valid_bytes = off;
+  }
+  return replay;
+}
+
+}  // namespace mdqa::storage

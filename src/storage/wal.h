@@ -1,0 +1,82 @@
+#ifndef MDQA_STORAGE_WAL_H_
+#define MDQA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "quality/context.h"
+#include "storage/env.h"
+
+namespace mdqa::storage {
+
+/// Write-ahead log of committed `DeltaBatch` updates. One record per
+/// batch, framed as
+///   [fixed32 payload_len][fixed32 masked-crc32(payload)][payload]
+/// where the payload carries the generation the batch produced plus the
+/// full batch (relation names and raw tuple values — batches are small,
+/// so no dictionary here). `Append` fsyncs before returning: a batch is
+/// committed iff its record is durable, and the server publishes a new
+/// generation only after the WAL ack (write-ahead in the strict sense).
+///
+/// Replay tolerates exactly one kind of damage silently-at-the-data-level
+/// but loudly-at-the-report-level: a torn tail. The first record whose
+/// frame is short or whose CRC mismatches ends the replay; everything
+/// after it is ignored and the cut is reported in `truncated_reason`.
+/// A torn tail is a normal crash artifact (the record never committed —
+/// its fsync cannot have been acked); mid-log corruption is
+/// indistinguishable from it on disk, which is why recovery
+/// cross-checks the replayed generation count against expectations and
+/// the caller surfaces `truncated_reason` in the degradation report.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it and syncing the directory
+  /// entry so an empty log survives a crash).
+  static Result<WalWriter> Open(Env* env, const std::string& path);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one record and fsyncs. On any error the WAL must be
+  /// considered wedged: the caller stops committing (the in-memory state
+  /// may be ahead of the log, never behind).
+  Status Append(const quality::DeltaBatch& batch, uint64_t target_generation);
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_appended_ = 0;
+};
+
+struct WalRecord {
+  uint64_t target_generation = 0;
+  quality::DeltaBatch batch;
+};
+
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// True when a torn/corrupt tail was cut; `truncated_reason` labels
+  /// where and why. Zero records + untruncated means a clean empty log.
+  bool truncated = false;
+  std::string truncated_reason;
+  /// Bytes of the valid prefix (the offset of the cut).
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every valid record of the log at `path`. A missing file is an
+/// empty replay (a store that never committed a batch writes no log).
+/// Decode failures inside a CRC-valid frame are real corruption and fail
+/// the whole replay (kInternal) — CRC said the bytes are what we wrote,
+/// so the format itself is broken.
+Result<WalReplay> ReadWal(Env* env, const std::string& path,
+                          uint64_t max_bytes);
+
+}  // namespace mdqa::storage
+
+#endif  // MDQA_STORAGE_WAL_H_

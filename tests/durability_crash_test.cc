@@ -1,0 +1,491 @@
+// The crash matrix: a seeded sweep that kills the durability layer at
+// EVERY mutating filesystem operation of a full server lifecycle
+// (recover → checkpoint → commit batches → drain checkpoint), restarts
+// it on the surviving bytes, and byte-matches the recovered knowledge
+// base against a from-scratch oracle. The contract under test
+// (docs/durability.md):
+//
+//   1. Recovery never fails silently — a crash can lose only unacked
+//      work, and every deviation is a labeled degradation line.
+//   2. The recovered generation G satisfies acked ≤ G ≤ attempted.
+//   3. The recovered state at G is BYTE-IDENTICAL (canonical image) to a
+//      session built from scratch and fed the first G-1 batches, and so
+//      is its assessment report — zero silent divergence.
+//
+// Runs entirely on FaultyEnv (in-memory disk model): deterministic,
+// sanitizer-clean, no real process kills. ≥200 cases by construction
+// (asserted), across crash points, seeds, and torn-tail modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quality/assessor.h"
+#include "quality/context.h"
+#include "scenarios/hospital.h"
+#include "storage/checkpoint.h"
+#include "storage/fault_env.h"
+#include "storage/kb_store.h"
+#include "storage/session_image.h"
+
+namespace mdqa::storage {
+namespace {
+
+constexpr int kNumBatches = 3;
+constexpr char kScenario[] = "hospital";
+
+/// Deterministic update stream: two insert-only batches, then one with a
+/// deletion (which forces ApplyUpdate down the full re-chase path — both
+/// maintenance strategies sit inside the matrix).
+quality::DeltaBatch BatchFor(int i) {
+  quality::RelationDelta delta;
+  delta.relation = "Measurements";
+  switch (i) {
+    case 0:
+      delta.insert_rows.push_back({Value::FromText("Sep/9-23:50"),
+                                   Value::FromText("Nick Cave"),
+                                   Value::FromText("36.9")});
+      break;
+    case 1:
+      delta.insert_rows.push_back({Value::FromText("Sep/10-08:15"),
+                                   Value::FromText("PJ Harvey"),
+                                   Value::FromText("37.2")});
+      delta.insert_rows.push_back({Value::FromText("Sep/10-12:05"),
+                                   Value::FromText("PJ Harvey"),
+                                   Value::FromText("37.4")});
+      break;
+    default:
+      delta.delete_rows.push_back({Value::FromText("Sep/9-23:50"),
+                                   Value::FromText("Nick Cave"),
+                                   Value::FromText("36.9")});
+      delta.insert_rows.push_back({Value::FromText("Sep/11-09:40"),
+                                   Value::FromText("Nick Cave"),
+                                   Value::FromText("36.8")});
+      break;
+  }
+  quality::DeltaBatch batch;
+  batch.deltas.push_back(std::move(delta));
+  return batch;
+}
+
+/// Canonical serialization of a session's logical knowledge base:
+/// database rows, instance facts (values + null ids, in Facts() order),
+/// levels — with the physical layout (segment chain shape, freeze
+/// watermarks) and run statistics masked out, because a rebuilt instance
+/// legitimately re-seals its chain differently while holding the same
+/// facts in the same order.
+std::string CanonicalState(const quality::PreparedContext& session,
+                           uint64_t generation) {
+  auto image = CaptureSessionImage(session, generation, generation - 1,
+                                   kScenario);
+  EXPECT_TRUE(image.ok()) << image.status();
+  if (!image.ok()) return "<capture failed>";
+  const uint32_t watermark = image->meta.null_watermark;
+  image->meta = KbMeta{};
+  image->meta.generation = generation;
+  image->meta.scenario = kScenario;
+  image->meta.null_watermark = watermark;
+  for (KbTableImage& table : image->tables) {
+    table.frozen_rows = 0;
+    table.segment_rows.clear();
+  }
+  return EncodeCheckpoint(*image);
+}
+
+/// The user-visible half of "no silent divergence": measures, quality
+/// versions, and dirty tuples, rendered deterministically.
+std::string RenderReport(const quality::AssessmentReport& report) {
+  std::string out;
+  for (const quality::QualityMeasures& m : report.per_relation) {
+    out += m.ToJson();
+    out += '\n';
+  }
+  auto render_rows = [&out](const Relation& rel) {
+    for (const Tuple& row : rel.rows()) {
+      for (const Value& v : row) {
+        out += v.ToString();
+        out += '|';
+      }
+      out += '\n';
+    }
+  };
+  for (const Relation& rel : report.quality_versions) render_rows(rel);
+  for (const Relation& rel : report.dirty_tuples) render_rows(rel);
+  out += "precision=" + std::to_string(report.overall_precision);
+  return out;
+}
+
+quality::QualityContext BuildContext() {
+  auto context = scenarios::BuildHospitalContext(scenarios::HospitalOptions{});
+  EXPECT_TRUE(context.ok()) << context.status();
+  return std::move(*context);
+}
+
+/// Per-generation expectations, built once from scratch with no storage
+/// involved: oracle state/report at generation g is Prepare + the first
+/// g-1 batches.
+struct Oracle {
+  std::vector<std::string> state;   // [g-1] -> canonical image bytes
+  std::vector<std::string> report;  // [g-1] -> rendered report
+};
+
+Oracle BuildOracle() {
+  Oracle oracle;
+  quality::QualityContext context = BuildContext();
+  quality::Assessor assessor(&context);
+  auto session = context.Prepare();
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto report = assessor.Reassess(*session, quality::AssessmentReport{});
+  EXPECT_TRUE(report.ok()) << report.status();
+  oracle.state.push_back(CanonicalState(*session, 1));
+  oracle.report.push_back(RenderReport(*report));
+  std::optional<quality::PreparedContext> current = std::move(*session);
+  for (int i = 0; i < kNumBatches; ++i) {
+    auto next = current->ApplyUpdate(BatchFor(i));
+    EXPECT_TRUE(next.ok()) << next.status();
+    auto next_report = assessor.Reassess(*next, *report);
+    EXPECT_TRUE(next_report.ok()) << next_report.status();
+    current = std::move(*next);
+    report = std::move(next_report);
+    oracle.state.push_back(
+        CanonicalState(*current, static_cast<uint64_t>(i) + 2));
+    oracle.report.push_back(RenderReport(*report));
+  }
+  return oracle;
+}
+
+/// What the lifecycle managed to durably acknowledge before dying.
+/// `acked_generation` is 0 until the initial checkpoint commits, then
+/// the highest generation whose WAL append returned OK.
+struct LifecycleOutcome {
+  uint64_t acked_generation = 0;
+  uint64_t attempted_generation = 1;
+};
+
+/// One server lifetime against `env`, mirroring mdqa_serve --data-dir:
+/// recover (the dir may be empty — or hold a previous lifetime's state,
+/// which is resumed exactly as the server does: restore + WAL
+/// roll-forward, no re-chase), write the collapsing startup checkpoint,
+/// commit the remaining batches through the WAL, then write the drain
+/// checkpoint. Every storage error aborts the lifecycle — that is the
+/// simulated process death.
+LifecycleOutcome RunLifecycle(Env* env) {
+  LifecycleOutcome outcome;
+  auto store = OpenDiskKbStore(env, "db");
+  if (!store.ok()) return outcome;
+  auto recovered = (*store)->Recover();
+  if (!recovered.ok()) return outcome;
+
+  quality::QualityContext context = BuildContext();
+  quality::Assessor assessor(&context);
+  std::optional<quality::PreparedContext> current;
+  std::optional<quality::AssessmentReport> report;
+  uint64_t generation = 1;
+
+  if (recovered->has_checkpoint) {
+    auto database = DatabaseFromImage(recovered->image);
+    EXPECT_TRUE(database.ok()) << database.status();
+    if (!database.ok()) return outcome;
+    if (!context.ReplaceDatabase(std::move(*database)).ok()) return outcome;
+    auto shared = std::make_shared<KbImage>(std::move(recovered->image));
+    auto restored = context.PrepareRestored(datalog::ChaseOptions{},
+                                            ImageRebuilder(shared));
+    EXPECT_TRUE(restored.ok()) << restored.status();
+    if (!restored.ok()) return outcome;
+    auto rep = assessor.Reassess(*restored, quality::AssessmentReport{});
+    EXPECT_TRUE(rep.ok()) << rep.status();
+    if (!rep.ok()) return outcome;
+    current = std::move(*restored);
+    report = std::move(*rep);
+    generation = shared->meta.generation;
+    for (const WalRecord& record : recovered->wal_records) {
+      auto next = current->ApplyUpdate(record.batch);
+      EXPECT_TRUE(next.ok()) << next.status();
+      if (!next.ok()) return outcome;
+      auto next_report = assessor.Reassess(*next, *report);
+      EXPECT_TRUE(next_report.ok()) << next_report.status();
+      if (!next_report.ok()) return outcome;
+      current = std::move(*next);
+      report = std::move(*next_report);
+      generation = record.target_generation;
+    }
+    // Everything recovered was already durable before this lifetime.
+    outcome.acked_generation = generation;
+    outcome.attempted_generation = generation;
+  } else {
+    auto session = context.Prepare();
+    EXPECT_TRUE(session.ok()) << session.status();
+    if (!session.ok()) return outcome;
+    auto rep = assessor.Reassess(*session, quality::AssessmentReport{});
+    EXPECT_TRUE(rep.ok()) << rep.status();
+    if (!rep.ok()) return outcome;
+    current = std::move(*session);
+    report = std::move(*rep);
+  }
+
+  // The collapsing startup checkpoint (folds replayed WAL records in;
+  // gives a fresh store its durable base so AppendBatch has a WAL).
+  auto image = CaptureSessionImage(*current, generation, generation - 1,
+                                   kScenario);
+  EXPECT_TRUE(image.ok()) << image.status();
+  if (!image.ok()) return outcome;
+  if (!(*store)->WriteCheckpoint(*image).ok()) return outcome;
+  outcome.acked_generation = generation;
+
+  for (int i = static_cast<int>(generation) - 1; i < kNumBatches; ++i) {
+    auto next = current->ApplyUpdate(BatchFor(i));
+    EXPECT_TRUE(next.ok()) << next.status();
+    if (!next.ok()) return outcome;
+    auto next_report = assessor.Reassess(*next, *report);
+    EXPECT_TRUE(next_report.ok()) << next_report.status();
+    if (!next_report.ok()) return outcome;
+    // The WAL append is the commit point; a failure here means the
+    // client was never acked and the batch may legally be lost.
+    outcome.attempted_generation = generation + 1;
+    if (!(*store)->AppendBatch(BatchFor(i), generation + 1).ok()) {
+      return outcome;
+    }
+    ++generation;
+    outcome.acked_generation = generation;
+    current = std::move(*next);
+    report = std::move(*next_report);
+  }
+
+  // The drain checkpoint (mdqa_serve Shutdown): folds the WAL into a
+  // fresh image. Crashing inside it must leave the pre-drain state
+  // (checkpoint 1 + full WAL) recoverable.
+  auto drain_image = CaptureSessionImage(*current, generation,
+                                         generation - 1, kScenario);
+  EXPECT_TRUE(drain_image.ok()) << drain_image.status();
+  if (drain_image.ok()) {
+    (void)(*store)->WriteCheckpoint(*drain_image);
+  }
+  return outcome;
+}
+
+/// Restart on the survivors and check the three contract clauses against
+/// the oracle. Writes the recovered generation (0 = nothing recoverable)
+/// to `*recovered_generation`.
+void VerifyRecovery(Env* env, const Oracle& oracle,
+                    const LifecycleOutcome& outcome, const std::string& label,
+                    uint64_t* recovered_generation) {
+  *recovered_generation = 0;
+  auto store = OpenDiskKbStore(env, "db");
+  ASSERT_TRUE(store.ok()) << label << ": " << store.status();
+  auto recovered = (*store)->Recover();
+  if (!recovered.ok() || !recovered->has_checkpoint) {
+    // Nothing recoverable is only legal when nothing was ever acked.
+    EXPECT_EQ(outcome.acked_generation, 0u)
+        << label << ": acked state vanished: "
+        << (recovered.ok() ? "no checkpoint" : recovered.status().ToString());
+    return;
+  }
+
+  const uint64_t generation =
+      recovered->image.meta.generation + recovered->wal_records.size();
+  EXPECT_GE(generation, outcome.acked_generation) << label;
+  EXPECT_LE(generation, outcome.attempted_generation) << label;
+  ASSERT_LE(generation, oracle.state.size()) << label;
+
+  // Rebuild exactly as mdqa_serve --data-dir does: restored database →
+  // PrepareRestored (no chase) → WAL roll-forward via ApplyUpdate.
+  quality::QualityContext context = BuildContext();
+  auto database = DatabaseFromImage(recovered->image);
+  ASSERT_TRUE(database.ok()) << label << ": " << database.status();
+  ASSERT_TRUE(context.ReplaceDatabase(std::move(*database)).ok()) << label;
+  auto image = std::make_shared<KbImage>(std::move(recovered->image));
+  auto restored = context.PrepareRestored(datalog::ChaseOptions{},
+                                          ImageRebuilder(image));
+  ASSERT_TRUE(restored.ok()) << label << ": " << restored.status();
+  quality::Assessor assessor(&context);
+  auto report = assessor.Reassess(*restored, quality::AssessmentReport{});
+  ASSERT_TRUE(report.ok()) << label << ": " << report.status();
+
+  std::optional<quality::PreparedContext> session = std::move(*restored);
+  uint64_t replayed = image->meta.generation;
+  for (const WalRecord& record : recovered->wal_records) {
+    ASSERT_EQ(record.target_generation, replayed + 1) << label;
+    auto next = session->ApplyUpdate(record.batch);
+    ASSERT_TRUE(next.ok()) << label << ": " << next.status();
+    auto next_report = assessor.Reassess(*next, *report);
+    ASSERT_TRUE(next_report.ok()) << label << ": " << next_report.status();
+    session = std::move(*next);
+    report = std::move(next_report);
+    ++replayed;
+  }
+  ASSERT_EQ(replayed, generation) << label;
+
+  EXPECT_EQ(CanonicalState(*session, generation), oracle.state[generation - 1])
+      << label << ": recovered KB diverges from the from-scratch oracle at "
+      << "generation " << generation;
+  EXPECT_EQ(RenderReport(*report), oracle.report[generation - 1])
+      << label << ": recovered assessment report diverges at generation "
+      << generation;
+  *recovered_generation = generation;
+}
+
+TEST(CrashMatrix, EveryCrashPointRecoversToTheOracle) {
+  const Oracle oracle = BuildOracle();
+  ASSERT_EQ(oracle.state.size(), static_cast<size_t>(kNumBatches) + 1);
+
+  // Dry run: count the mutating filesystem operations of one lifecycle.
+  uint64_t total_ops = 0;
+  {
+    FaultyEnv env(/*seed=*/1);
+    LifecycleOutcome outcome = RunLifecycle(&env);
+    ASSERT_EQ(outcome.acked_generation, 1u + kNumBatches);
+    total_ops = env.ops();
+    ASSERT_GT(total_ops, 10u);
+    // The no-crash path must also verify (and doubles as the baseline).
+    uint64_t generation = 0;
+    VerifyRecovery(&env, oracle, outcome, "no-crash", &generation);
+    EXPECT_EQ(generation, 1u + kNumBatches);
+  }
+
+  // Enough (seed × torn-tail) sweeps of every crash point to clear the
+  // 200-case floor no matter how compact a lifecycle gets.
+  std::vector<uint64_t> seeds = {1, 2, 3};
+  while (seeds.size() * 2 * total_ops < 200) {
+    seeds.push_back(seeds.back() + 1);
+  }
+
+  size_t cases = 0;
+  size_t nothing_recoverable = 0;
+  for (uint64_t seed : seeds) {
+    for (bool torn : {false, true}) {
+      for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+        FaultyEnv env(seed);
+        env.SetTornTailOnCrash(torn);
+        env.ArmCrashAtOp(crash_at);
+        LifecycleOutcome outcome = RunLifecycle(&env);
+        env.Crash();  // the machine comes back up
+        const std::string label = "seed=" + std::to_string(seed) +
+                                  " torn=" + std::to_string(torn) +
+                                  " crash_at=" + std::to_string(crash_at);
+        uint64_t generation = 0;
+        VerifyRecovery(&env, oracle, outcome, label, &generation);
+        if (generation == 0) ++nothing_recoverable;
+        ++cases;
+        if (HasFatalFailure()) {
+          FAIL() << "aborting matrix after first contract violation: "
+                 << label;
+        }
+      }
+    }
+  }
+  // The acceptance floor: a real matrix, not a handful of spot checks.
+  EXPECT_GE(cases, 200u) << "crash matrix shrank below the contract";
+  // Early crash points legitimately recover nothing, but most of the
+  // lifecycle happens after the first checkpoint committed.
+  EXPECT_LT(nothing_recoverable, cases / 2);
+}
+
+/// Double-crash: die once mid-lifecycle, restart, then die again during
+/// the *second* lifetime — recovery must be idempotent, not a one-shot.
+TEST(CrashMatrix, CrashDuringSecondLifetimeIsStillRecoverable) {
+  const Oracle oracle = BuildOracle();
+  size_t cases = 0;
+  for (uint64_t first_crash : {8u, 14u, 22u}) {
+    for (uint64_t second_delta = 2; second_delta <= 10; second_delta += 2) {
+      FaultyEnv env(/*seed=*/7);
+      env.ArmCrashAtOp(first_crash);
+      LifecycleOutcome first = RunLifecycle(&env);
+      env.Crash();
+      env.ArmCrashAtOp(second_delta);  // relative to the restart
+      LifecycleOutcome second = RunLifecycle(&env);
+      env.Crash();
+      // Whatever survived two crashes must satisfy the contract against
+      // the union of both lifetimes' acknowledgements (durable state
+      // only ever grows).
+      LifecycleOutcome combined;
+      combined.acked_generation =
+          std::max(first.acked_generation, second.acked_generation);
+      combined.attempted_generation =
+          std::max({first.attempted_generation, second.attempted_generation,
+                    combined.acked_generation});
+      const std::string label = "first=" + std::to_string(first_crash) +
+                                " second=+" + std::to_string(second_delta);
+      uint64_t generation = 0;
+      VerifyRecovery(&env, oracle, combined, label, &generation);
+      ++cases;
+      if (HasFatalFailure()) FAIL() << label;
+    }
+  }
+  EXPECT_EQ(cases, 15u);
+}
+
+/// Clones the persisted bytes of `from` into a fresh FaultyEnv (files
+/// only — all synced), so corruption batteries don't re-run the whole
+/// lifecycle per case.
+std::unique_ptr<FaultyEnv> ClonePersisted(FaultyEnv* from,
+                                          const std::string& dir) {
+  auto clone = std::make_unique<FaultyEnv>(/*seed=*/99);
+  EXPECT_TRUE(clone->CreateDir(dir).ok());
+  auto entries = from->ListDir(dir);
+  EXPECT_TRUE(entries.ok());
+  if (!entries.ok()) return clone;
+  for (const std::string& name : *entries) {
+    auto content = from->ReadFile(dir + "/" + name, 1ull << 30);
+    EXPECT_TRUE(content.ok()) << name << ": " << content.status();
+    if (!content.ok()) continue;
+    auto file = clone->NewWritableFile(dir + "/" + name);
+    EXPECT_TRUE(file.ok());
+    if (!file.ok()) continue;
+    EXPECT_TRUE((*file)->Append(*content).ok());
+    EXPECT_TRUE((*file)->Sync().ok());
+  }
+  EXPECT_TRUE(clone->SyncDir(dir).ok());
+  return clone;
+}
+
+/// Bit-rot battery: flip one persisted byte of the newest checkpoint at
+/// many offsets; recovery must either fall back to the older checkpoint
+/// (loudly, replaying its WAL back to the committed generation) or
+/// refuse — never serve the rotten image as healthy.
+TEST(CrashMatrix, BitRotNeverServesACorruptImage) {
+  const Oracle oracle = BuildOracle();
+  // One full lifecycle: leaves ckpt-1 (+ its 3-record WAL) and the
+  // drain checkpoint ckpt-4 behind (retention keeps both).
+  FaultyEnv pristine(/*seed=*/5);
+  LifecycleOutcome outcome = RunLifecycle(&pristine);
+  ASSERT_EQ(outcome.acked_generation, 4u);
+  const std::string newest = "db/ckpt-00000000000000000004";
+  ASSERT_TRUE(pristine.FileExists(newest));
+  auto size = pristine.FileSize(newest);
+  ASSERT_TRUE(size.ok()) << size.status();
+
+  size_t cases = 0;
+  size_t fallbacks = 0;
+  for (size_t offset = 0; offset < *size; offset += 1 + offset / 5) {
+    auto env = ClonePersisted(&pristine, "db");
+    ASSERT_TRUE(env->CorruptByte(newest, offset, 0x20).ok());
+    const std::string label = "bitrot offset=" + std::to_string(offset);
+    uint64_t generation = 0;
+    // The older checkpoint and its WAL are intact, so the full committed
+    // generation must still be recovered — just via the fallback path,
+    // with a degradation line naming the rotten file.
+    VerifyRecovery(env.get(), oracle, outcome, label, &generation);
+    if (HasFatalFailure()) FAIL() << label;
+    EXPECT_EQ(generation, 4u) << label;
+
+    auto reopened = OpenDiskKbStore(env.get(), "db");
+    ASSERT_TRUE(reopened.ok());
+    auto state = (*reopened)->Recover();
+    ASSERT_TRUE(state.ok()) << label << ": " << state.status();
+    if (state->image.meta.generation == 1) {
+      ++fallbacks;
+      EXPECT_FALSE(state->degradations.empty())
+          << label << ": silent fallback past a corrupt checkpoint";
+    }
+    ++cases;
+  }
+  EXPECT_GE(cases, 30u);
+  EXPECT_GT(fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace mdqa::storage

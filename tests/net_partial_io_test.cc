@@ -1,0 +1,228 @@
+// Partial-I/O coverage for the blocking socket layer (base/net.h): the
+// EINTR retry loops in ReadSome/SendAll, SendAll's short-write loop
+// under a tiny send buffer, short-read accumulation, and the recv
+// timeout contract. The storage-side analogue (short writes and EIO
+// through FaultyEnv's fs.* probes) lives in tests/storage_test.cc.
+
+#include "base/net.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace mdqa::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+void NoopHandler(int) {}
+
+/// Installs a SIGUSR1 handler WITHOUT SA_RESTART for the test's
+/// lifetime, so a signal delivered mid-recv/mid-send makes the syscall
+/// fail with EINTR instead of transparently restarting — that is the
+/// path the retry loops in ReadSome/SendAll exist for.
+class ScopedEintrSignal {
+ public:
+  ScopedEintrSignal() {
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = NoopHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGUSR1, &sa, &old_);
+  }
+  ~ScopedEintrSignal() { sigaction(SIGUSR1, &old_, nullptr); }
+
+ private:
+  struct sigaction old_;
+};
+
+struct LoopbackPair {
+  Socket client;
+  Socket server;
+};
+
+LoopbackPair MakePair() {
+  auto listener = Listener::Bind(0);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  auto client = ConnectLoopback(listener->port(), milliseconds(2000));
+  EXPECT_TRUE(client.ok()) << client.status();
+  auto server = listener->Accept(milliseconds(2000));
+  EXPECT_TRUE(server.ok()) << server.status();
+  return {std::move(*client), std::move(*server)};
+}
+
+/// Repeating byte pattern long enough that any dropped, duplicated, or
+/// reordered short-write chunk shifts the phase and fails the compare.
+std::string Pattern(size_t n) {
+  std::string out(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>('A' + (i * 131 + i / 251) % 53);
+  }
+  return out;
+}
+
+/// Pelts `thread` with SIGUSR1 until `done` flips, pausing briefly so
+/// the victim actually re-enters the syscall between interruptions.
+void SignalUntilDone(std::thread& thread, const std::atomic<bool>& done) {
+  while (!done.load(std::memory_order_acquire)) {
+    pthread_kill(thread.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+TEST(NetPartialIo, ReadSomeRetriesThroughEintr) {
+  ScopedEintrSignal eintr;
+  LoopbackPair pair = MakePair();
+
+  std::atomic<bool> done{false};
+  std::string received;
+  std::thread reader([&] {
+    char buf[64];
+    auto n = pair.server.ReadSome(buf, sizeof(buf));
+    EXPECT_TRUE(n.ok()) << n.status();
+    if (n.ok()) received.assign(buf, *n);
+    done.store(true, std::memory_order_release);
+  });
+
+  // Let the reader block in recv, interrupt it a few times, then feed
+  // it — the interruptions must be invisible to the caller.
+  std::this_thread::sleep_for(milliseconds(20));
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  ASSERT_TRUE(pair.client.SendAll("interrupted hello").ok());
+  SignalUntilDone(reader, done);
+  reader.join();
+  EXPECT_EQ(received, "interrupted hello");
+}
+
+TEST(NetPartialIo, SendAllLoopsOverShortWritesByteIdentical) {
+  LoopbackPair pair = MakePair();
+
+  // Starve the kernel buffers so a multi-megabyte SendAll cannot
+  // possibly complete in one write(2): the loop must stitch the short
+  // writes back together with no gaps and no duplication.
+  int small = 4096;
+  ASSERT_EQ(setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                       sizeof(small)),
+            0);
+  const std::string payload = Pattern(2 << 20);
+
+  std::string received;
+  std::thread reader([&] {
+    char buf[8192];
+    while (received.size() < payload.size()) {
+      auto n = pair.server.ReadSome(buf, sizeof(buf));
+      ASSERT_TRUE(n.ok()) << n.status();
+      if (*n == 0) break;  // premature EOF → size check below fails loudly
+      received.append(buf, *n);
+    }
+  });
+
+  Status sent = pair.client.SendAll(payload);
+  EXPECT_TRUE(sent.ok()) << sent;
+  reader.join();
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_TRUE(received == payload) << "short-write reassembly corrupted bytes";
+}
+
+TEST(NetPartialIo, SendAllRetriesThroughEintrWhileBlocked) {
+  ScopedEintrSignal eintr;
+  LoopbackPair pair = MakePair();
+
+  int small = 4096;
+  ASSERT_EQ(setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                       sizeof(small)),
+            0);
+  const std::string payload = Pattern(1 << 20);
+
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    Status sent = pair.client.SendAll(payload);
+    EXPECT_TRUE(sent.ok()) << sent;
+    done.store(true, std::memory_order_release);
+  });
+
+  // The sender wedges as soon as the 4 KiB buffer fills (nobody is
+  // reading yet). Interrupt it there, then drain slowly while the
+  // signals keep landing — every blocked send sees EINTR at least once.
+  std::this_thread::sleep_for(milliseconds(20));
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(sender.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  std::string received;
+  std::thread signaler([&] { SignalUntilDone(sender, done); });
+  char buf[8192];
+  while (received.size() < payload.size()) {
+    auto n = pair.server.ReadSome(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;
+    received.append(buf, *n);
+  }
+  sender.join();
+  signaler.join();
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_TRUE(received == payload) << "EINTR retry corrupted the stream";
+}
+
+TEST(NetPartialIo, ReadSomeAccumulatesShortReads) {
+  LoopbackPair pair = MakePair();
+  int one = 1;
+  ASSERT_EQ(setsockopt(pair.client.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one)),
+            0);
+  const std::string payload = Pattern(9973);  // prime: never chunk-aligned
+
+  // Dribble the payload in 7-byte writes with pauses, so the reader's
+  // recv returns whatever fragments have arrived — the caller-side
+  // accumulation contract ("0 means EOF, anything else is a fragment").
+  std::thread writer([&] {
+    for (size_t off = 0; off < payload.size(); off += 7) {
+      size_t len = std::min<size_t>(7, payload.size() - off);
+      ASSERT_TRUE(pair.client.SendAll(payload.substr(off, len)).ok());
+      if (off % 1400 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    pair.client.Close();  // orderly EOF terminates the read loop
+  });
+
+  std::string received;
+  size_t reads = 0;
+  char buf[65536];
+  while (true) {
+    auto n = pair.server.ReadSome(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;
+    received.append(buf, *n);
+    ++reads;
+  }
+  writer.join();
+  EXPECT_EQ(received, payload);
+  // With 1426 paced writes the stream cannot arrive in a single recv.
+  EXPECT_GT(reads, 1u);
+}
+
+TEST(NetPartialIo, RecvTimeoutSurfacesAsResourceExhausted) {
+  LoopbackPair pair = MakePair();
+  ASSERT_TRUE(pair.server.SetRecvTimeout(milliseconds(50)).ok());
+  char buf[16];
+  auto n = pair.server.ReadSome(buf, sizeof(buf));
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kResourceExhausted) << n.status();
+}
+
+}  // namespace
+}  // namespace mdqa::net

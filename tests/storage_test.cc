@@ -1,0 +1,638 @@
+// Unit coverage for the durability layer (src/storage/): encoding
+// primitives and CRCs, the FaultyEnv disk model, the checkpoint format's
+// corruption battery, WAL framing and torn-tail replay, KbStore
+// recovery/rotation/fallback, the session-image bridge, and the serve
+// access log. The seeded crash matrix lives in
+// tests/durability_crash_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/crc32.h"
+#include "quality/context.h"
+#include "serve/access_log.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "storage/format.h"
+#include "storage/kb_store.h"
+#include "storage/wal.h"
+
+namespace mdqa::storage {
+namespace {
+
+// ------------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVectors) {
+  // The standard zlib-polynomial check value.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32, SeedChainsIncrementally) {
+  const std::string data = "the quick brown fox";
+  uint32_t whole = Crc32(data);
+  uint32_t split = Crc32(data.substr(9), Crc32(data.substr(0, 9)));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xcbf43926u, 0xffffffffu}) {
+    EXPECT_EQ(UnmaskCrc32(MaskCrc32(crc)), crc);
+    EXPECT_NE(MaskCrc32(crc), crc);
+  }
+}
+
+// ------------------------------------------------------------------ format
+
+TEST(Format, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  EXPECT_EQ(buf.size(), 12u);
+  // Little-endian on the wire.
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0xef);
+  SliceReader r(buf);
+  EXPECT_EQ(r.GetFixed32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetFixed64().value(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Format, VarintRoundTripAtBoundaries) {
+  const std::vector<uint64_t> cases = {
+      0,       1,          127,        128,        16383,
+      16384,   (1u << 21), 0xffffffff, 1ull << 32, 0x7fffffffffffffffull,
+      0xffffffffffffffffull};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  SliceReader r(buf);
+  for (uint64_t v : cases) EXPECT_EQ(r.GetVarint64().value(), v);
+  EXPECT_TRUE(r.empty());
+
+  std::string buf32;
+  PutVarint32(&buf32, 0);
+  PutVarint32(&buf32, 300);
+  PutVarint32(&buf32, 0xffffffffu);
+  SliceReader r32(buf32);
+  EXPECT_EQ(r32.GetVarint32().value(), 0u);
+  EXPECT_EQ(r32.GetVarint32().value(), 300u);
+  EXPECT_EQ(r32.GetVarint32().value(), 0xffffffffu);
+}
+
+TEST(Format, ReaderRejectsOverruns) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  SliceReader r(std::string_view(buf).substr(0, 3));
+  EXPECT_FALSE(r.GetFixed32().ok());  // 3 bytes < 4
+
+  // A varint whose continuation bits never end.
+  std::string runaway(11, static_cast<char>(0x80));
+  SliceReader v(runaway);
+  EXPECT_FALSE(v.GetVarint64().ok());
+
+  // Length prefix longer than the remaining bytes.
+  std::string lp;
+  PutVarint32(&lp, 100);
+  lp += "short";
+  SliceReader l(lp);
+  EXPECT_FALSE(l.GetLengthPrefixed().ok());
+}
+
+TEST(Format, ValueRoundTrip) {
+  const std::vector<Value> values = {Value::Int(-42), Value::Int(1ll << 40),
+                                     Value::Real(36.9), Value::Str(""),
+                                     Value::Str("Nick Cave")};
+  std::string buf;
+  for (const Value& v : values) PutValue(&buf, v);
+  SliceReader r(buf);
+  for (const Value& v : values) {
+    auto got = GetValue(&r);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(*got == v);
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+// --------------------------------------------------------------- fault env
+
+TEST(FaultyEnv, SyncPromotesUnsyncedAndCrashDropsIt) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto file = env.NewWritableFile("d/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());  // never synced
+
+  env.Crash();
+  auto back = env.ReadFile("d/f", 1 << 20);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, "durable");
+}
+
+TEST(FaultyEnv, UnsyncedDirectoryEntriesRollBackAtCrash) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  {
+    auto f = env.NewWritableFile("d/tmp");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("payload").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  // Created + renamed but the directory was never synced: both namespace
+  // ops must roll back at the crash.
+  ASSERT_TRUE(env.RenameFile("d/tmp", "d/final").ok());
+  env.Crash();
+  EXPECT_FALSE(env.FileExists("d/final"));
+  EXPECT_FALSE(env.FileExists("d/tmp"));
+}
+
+TEST(FaultyEnv, SyncDirMakesRenameDurable) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  {
+    auto f = env.NewWritableFile("d/tmp");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("payload").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  ASSERT_TRUE(env.RenameFile("d/tmp", "d/final").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.Crash();
+  EXPECT_TRUE(env.FileExists("d/final"));
+  EXPECT_EQ(env.ReadFile("d/final", 1 << 20).value(), "payload");
+}
+
+TEST(FaultyEnv, InjectedAppendAndSyncFaults) {
+  FaultInjector injector;
+  FaultyEnv env(/*seed=*/7, &injector);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto f = env.NewWritableFile("d/f");
+  ASSERT_TRUE(f.ok());
+
+  injector.Arm("fs.append", /*at_hit=*/1, Status::Internal("EIO"));
+  EXPECT_FALSE((*f)->Append("lost").ok());
+  EXPECT_TRUE((*f)->Append("kept").ok());
+
+  injector.Arm("fs.sync", /*at_hit=*/1, Status::Internal("EIO"));
+  EXPECT_FALSE((*f)->Sync().ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.Crash();
+  EXPECT_EQ(env.ReadFile("d/f", 1 << 20).value(), "kept");
+}
+
+TEST(FaultyEnv, LyingSyncLosesDataAtCrash) {
+  FaultInjector injector;
+  FaultyEnv env(/*seed=*/7, &injector);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  auto f = env.NewWritableFile("d/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("gone").ok());
+  injector.Arm("fs.sync.lie", /*at_hit=*/1, Status::Internal("liar"));
+  EXPECT_TRUE((*f)->Sync().ok());  // the lie: OK without persisting
+  env.Crash();
+  // The file's durable image is empty; only the (synced) dir entry knows
+  // it existed at all — and that entry was never SyncDir'd, so it may be
+  // gone entirely. Either way "gone" must not survive.
+  if (env.FileExists("d/f")) {
+    EXPECT_EQ(env.ReadFile("d/f", 1 << 20).value(), "");
+  }
+}
+
+TEST(FaultyEnv, CrashAtOpWedgesUntilCrash) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto f = env.NewWritableFile("d/f");
+  ASSERT_TRUE(f.ok());
+  env.ArmCrashAtOp(1);  // relative: the very next mutating op
+  EXPECT_FALSE((*f)->Append("x").ok());
+  EXPECT_TRUE(env.crashed());
+  // Every subsequent mutation fails until the restart.
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_FALSE(env.RenameFile("d/f", "d/g").ok());
+  env.Crash();
+  EXPECT_FALSE(env.crashed());
+  auto g = env.NewWritableFile("d/g");
+  EXPECT_TRUE(g.ok());
+}
+
+TEST(FaultyEnv, CorruptByteAndTruncateEditThePersistedImage) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto f = env.NewWritableFile("d/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("abcdef").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE(env.CorruptByte("d/f", 1, 0x01).ok());
+  EXPECT_EQ(env.ReadFile("d/f", 1 << 20).value(), std::string("ac") + "cdef");
+  ASSERT_TRUE(env.TruncateTo("d/f", 3).ok());
+  EXPECT_EQ(env.FileSize("d/f").value(), 3u);
+}
+
+// -------------------------------------------------------------- checkpoint
+
+KbImage SmallImage() {
+  KbImage image;
+  image.meta.generation = 4;
+  image.meta.applied_updates = 3;
+  image.meta.scenario = "hospital";
+  image.meta.rounds = 5;
+  image.meta.tgd_firings = 17;
+  image.meta.facts_added = 11;
+  image.meta.nulls_created = 2;
+  image.meta.egd_merges = 1;
+  image.meta.null_watermark = 2;
+  image.values = {Value::Str("Nick Cave"), Value::Int(38), Value::Real(36.9)};
+
+  KbRelationImage rel;
+  rel.name = "Measurements";
+  rel.attr_names = {"patient", "value"};
+  rel.attr_types = {static_cast<uint8_t>(AttrType::kString),
+                    static_cast<uint8_t>(AttrType::kAny)};
+  rel.rows = {{0, 1}, {0, 2}};
+  image.relations.push_back(rel);
+
+  KbTableImage table;
+  table.predicate = "MeasurementsC";
+  table.arity = 2;
+  table.frozen_rows = 2;
+  table.segment_rows = {2, 1};
+  table.terms = {PackImageTerm(false, 0), PackImageTerm(false, 1),
+                 PackImageTerm(false, 0), PackImageTerm(false, 2),
+                 PackImageTerm(true, 1),  PackImageTerm(false, 2)};
+  table.levels = {0, 0, 1};
+  image.tables.push_back(table);
+  return image;
+}
+
+TEST(Checkpoint, RoundTripIsExactAndDeterministic) {
+  const KbImage image = SmallImage();
+  const std::string bytes = EncodeCheckpoint(image);
+  EXPECT_EQ(bytes, EncodeCheckpoint(image));  // deterministic
+
+  auto decoded = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Re-encoding the decoded image must reproduce the bytes — the
+  // checkpoint is a fixpoint of encode∘decode.
+  EXPECT_EQ(EncodeCheckpoint(*decoded), bytes);
+  EXPECT_EQ(decoded->meta.generation, 4u);
+  EXPECT_EQ(decoded->meta.scenario, "hospital");
+  EXPECT_EQ(decoded->meta.null_watermark, 2u);
+  ASSERT_EQ(decoded->values.size(), 3u);
+  EXPECT_TRUE(decoded->values[2] == Value::Real(36.9));
+  ASSERT_EQ(decoded->relations.size(), 1u);
+  EXPECT_EQ(decoded->relations[0].rows.size(), 2u);
+  ASSERT_EQ(decoded->tables.size(), 1u);
+  EXPECT_EQ(decoded->tables[0].segment_rows, (std::vector<uint32_t>{2, 1}));
+  EXPECT_EQ(decoded->tables[0].levels.size(), 3u);
+}
+
+TEST(Checkpoint, EverySingleByteFlipIsDetected) {
+  const std::string bytes = EncodeCheckpoint(SmallImage());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] ^= 0x01;
+    auto decoded = DecodeCheckpoint(bad);
+    EXPECT_FALSE(decoded.ok())
+        << "flip at byte " << i << " of " << bytes.size()
+        << " decoded successfully — corruption passed the CRCs";
+  }
+}
+
+TEST(Checkpoint, EveryTruncationIsDetected) {
+  const std::string bytes = EncodeCheckpoint(SmallImage());
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    auto decoded = DecodeCheckpoint(std::string_view(bytes).substr(0, n));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(Checkpoint, TrailingGarbageIsDetected) {
+  std::string bytes = EncodeCheckpoint(SmallImage());
+  bytes += "x";
+  EXPECT_FALSE(DecodeCheckpoint(bytes).ok());
+}
+
+TEST(Checkpoint, RejectsInconsistentSegmentSums) {
+  KbImage image = SmallImage();
+  image.tables[0].segment_rows = {2, 2};  // sums to 4, table has 3 rows
+  EXPECT_FALSE(DecodeCheckpoint(EncodeCheckpoint(image)).ok());
+}
+
+TEST(Checkpoint, RejectsValueIndexOutOfBounds) {
+  KbImage image = SmallImage();
+  image.relations[0].rows[0][0] = 99;  // values table has 3 entries
+  EXPECT_FALSE(DecodeCheckpoint(EncodeCheckpoint(image)).ok());
+}
+
+// --------------------------------------------------------------------- wal
+
+quality::DeltaBatch MakeBatch(int i) {
+  quality::RelationDelta delta;
+  delta.relation = "Measurements";
+  delta.insert_rows.push_back(
+      {Value::Str("Sep/9-12:1" + std::to_string(i)), Value::Str("PJ Harvey"),
+       Value::Real(37.0 + i)});
+  if (i % 2 == 1) {
+    delta.delete_rows.push_back({Value::Str("t"), Value::Str("p"),
+                                 Value::Int(i)});
+  }
+  quality::DeltaBatch batch;
+  batch.deltas.push_back(std::move(delta));
+  return batch;
+}
+
+void ExpectBatchesEqual(const quality::DeltaBatch& a,
+                        const quality::DeltaBatch& b) {
+  ASSERT_EQ(a.deltas.size(), b.deltas.size());
+  for (size_t i = 0; i < a.deltas.size(); ++i) {
+    EXPECT_EQ(a.deltas[i].relation, b.deltas[i].relation);
+    ASSERT_EQ(a.deltas[i].insert_rows.size(), b.deltas[i].insert_rows.size());
+    ASSERT_EQ(a.deltas[i].delete_rows.size(), b.deltas[i].delete_rows.size());
+    for (size_t r = 0; r < a.deltas[i].insert_rows.size(); ++r) {
+      EXPECT_TRUE(a.deltas[i].insert_rows[r] == b.deltas[i].insert_rows[r]);
+    }
+    for (size_t r = 0; r < a.deltas[i].delete_rows.size(); ++r) {
+      EXPECT_TRUE(a.deltas[i].delete_rows[r] == b.deltas[i].delete_rows[r]);
+    }
+  }
+}
+
+TEST(Wal, AppendThenReplayRoundTrips) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Open(&env, "d/wal-1.log");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer->Append(MakeBatch(i), /*target_generation=*/2 + i).ok());
+  }
+  EXPECT_GT(writer->bytes_appended(), 0u);
+
+  auto replay = ReadWal(&env, "d/wal-1.log", 1 << 20);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->truncated);
+  ASSERT_EQ(replay->records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(replay->records[i].target_generation, 2u + i);
+    ExpectBatchesEqual(replay->records[i].batch, MakeBatch(i));
+  }
+}
+
+TEST(Wal, MissingFileIsAnEmptyReplay) {
+  FaultyEnv env;
+  auto replay = ReadWal(&env, "d/none.log", 1 << 20);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->truncated);
+}
+
+TEST(Wal, TornTailIsCutAndReported) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Open(&env, "d/wal-1.log");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeBatch(0), 2).ok());
+  const uint64_t one_record = writer->bytes_appended();
+  ASSERT_TRUE(writer->Append(MakeBatch(1), 3).ok());
+
+  // Tear the second record at every possible length: the replay must
+  // always keep exactly the first record and flag the cut.
+  const uint64_t total = writer->bytes_appended();
+  for (uint64_t cut = one_record; cut < total; ++cut) {
+    FaultyEnv copy;
+    ASSERT_TRUE(copy.CreateDir("d").ok());
+    auto w = WalWriter::Open(&copy, "d/wal-1.log");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append(MakeBatch(0), 2).ok());
+    ASSERT_TRUE(w->Append(MakeBatch(1), 3).ok());
+    ASSERT_TRUE(copy.TruncateTo("d/wal-1.log", cut).ok());
+    auto replay = ReadWal(&copy, "d/wal-1.log", 1 << 20);
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    ASSERT_EQ(replay->records.size(), cut == one_record ? 1u : 1u);
+    EXPECT_EQ(replay->valid_bytes, one_record);
+    if (cut > one_record) {
+      EXPECT_TRUE(replay->truncated);
+      EXPECT_FALSE(replay->truncated_reason.empty());
+    }
+  }
+}
+
+TEST(Wal, CorruptMidRecordCutsThereToo) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Open(&env, "d/wal-1.log");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeBatch(0), 2).ok());
+  const uint64_t one_record = writer->bytes_appended();
+  ASSERT_TRUE(writer->Append(MakeBatch(1), 3).ok());
+  // Flip a payload byte of record 2 (past its 8-byte frame header).
+  ASSERT_TRUE(env.CorruptByte("d/wal-1.log", one_record + 8, 0x40).ok());
+  auto replay = ReadWal(&env, "d/wal-1.log", 1 << 20);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->records.size(), 1u);
+  EXPECT_TRUE(replay->truncated);
+  EXPECT_EQ(replay->valid_bytes, one_record);
+}
+
+// ---------------------------------------------------------------- kb store
+
+TEST(KbStore, FreshDirRecoversEmptyAndRefusesAppends) {
+  FaultyEnv env;
+  auto store = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto recovered = (*store)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->has_checkpoint);
+  EXPECT_TRUE(recovered->wal_records.empty());
+  EXPECT_TRUE(recovered->degradations.empty());
+  // No checkpoint yet — there is nothing a WAL record could apply to.
+  EXPECT_EQ((*store)->AppendBatch(MakeBatch(0), 2).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KbStore, CheckpointThenWalThenRecover) {
+  FaultyEnv env;
+  auto store = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+  KbImage image = SmallImage();
+  image.meta.generation = 1;
+  ASSERT_TRUE((*store)->WriteCheckpoint(image).ok());
+  ASSERT_TRUE((*store)->AppendBatch(MakeBatch(0), 2).ok());
+  ASSERT_TRUE((*store)->AppendBatch(MakeBatch(1), 3).ok());
+
+  // A crash drops everything unsynced; the committed state must survive.
+  env.Crash();
+  auto reopened = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(reopened.ok());
+  auto recovered = (*reopened)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->has_checkpoint);
+  EXPECT_EQ(recovered->image.meta.generation, 1u);
+  ASSERT_EQ(recovered->wal_records.size(), 2u);
+  EXPECT_EQ(recovered->wal_records[0].target_generation, 2u);
+  EXPECT_EQ(recovered->wal_records[1].target_generation, 3u);
+  EXPECT_TRUE(recovered->degradations.empty());
+}
+
+TEST(KbStore, CheckpointRotatesWalAndPrunes) {
+  FaultyEnv env;
+  StoreOptions options;
+  options.checkpoints_to_keep = 2;
+  auto store = OpenDiskKbStore(&env, "db", options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+  for (uint64_t gen = 1; gen <= 4; ++gen) {
+    KbImage image = SmallImage();
+    image.meta.generation = gen;
+    ASSERT_TRUE((*store)->WriteCheckpoint(image).ok());
+  }
+  auto entries = env.ListDir("db");
+  ASSERT_TRUE(entries.ok());
+  size_t checkpoints = 0;
+  for (const std::string& name : *entries) {
+    if (name.rfind("ckpt-", 0) == 0) ++checkpoints;
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+  EXPECT_EQ(checkpoints, 2u);  // retention window
+
+  auto recovered = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(recovered.ok());
+  auto state = (*recovered)->Recover();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->image.meta.generation, 4u);
+  EXPECT_TRUE(state->wal_records.empty());  // rotated at every checkpoint
+}
+
+TEST(KbStore, FallsBackPastCorruptNewestCheckpointLoudly) {
+  FaultyEnv env;
+  auto store = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+  for (uint64_t gen : {1u, 5u}) {
+    KbImage image = SmallImage();
+    image.meta.generation = gen;
+    ASSERT_TRUE((*store)->WriteCheckpoint(image).ok());
+  }
+  // Rot a byte in the newest checkpoint's body.
+  ASSERT_TRUE(env.CorruptByte("db/ckpt-00000000000000000005", 40, 0x10).ok());
+
+  auto reopened = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(reopened.ok());
+  auto state = (*reopened)->Recover();
+  ASSERT_TRUE(state.ok()) << state.status();
+  ASSERT_TRUE(state->has_checkpoint);
+  EXPECT_EQ(state->image.meta.generation, 1u);  // the older survivor
+  EXPECT_FALSE(state->degradations.empty());    // and it says so
+}
+
+TEST(KbStore, AllCheckpointsCorruptStartsFromScratchLoudly) {
+  FaultyEnv env;
+  auto store = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+  KbImage image = SmallImage();
+  image.meta.generation = 1;
+  ASSERT_TRUE((*store)->WriteCheckpoint(image).ok());
+  ASSERT_TRUE(env.CorruptByte("db/ckpt-00000000000000000001", 20, 0x10).ok());
+  auto reopened = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(reopened.ok());
+  // With every checkpoint rotten there is nothing to resume from; the
+  // contract is a fresh start that SAYS committed generations were lost
+  // — recovery is Ok but has_checkpoint is false and the degradation
+  // names the damage. (Silently serving the rotten image would be the
+  // only wrong answer.)
+  auto state = (*reopened)->Recover();
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_FALSE(state->has_checkpoint);
+  ASSERT_EQ(state->degradations.size(), 2u);
+  EXPECT_NE(state->degradations[1].find("checkpoints corrupt"),
+            std::string::npos);
+}
+
+TEST(KbStore, WalGenerationGapIsAnError) {
+  FaultyEnv env;
+  auto store = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+  KbImage image = SmallImage();
+  image.meta.generation = 1;
+  ASSERT_TRUE((*store)->WriteCheckpoint(image).ok());
+  ASSERT_TRUE((*store)->AppendBatch(MakeBatch(0), 2).ok());
+  ASSERT_TRUE((*store)->AppendBatch(MakeBatch(1), 4).ok());  // gap: no 3
+  auto reopened = OpenDiskKbStore(&env, "db");
+  ASSERT_TRUE(reopened.ok());
+  auto state = (*reopened)->Recover();
+  EXPECT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kInternal);
+}
+
+TEST(KbStore, InMemoryMirrorsTheContract) {
+  auto store = NewInMemoryKbStore();
+  auto empty = store->Recover();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_checkpoint);
+  EXPECT_EQ(store->AppendBatch(MakeBatch(0), 2).code(),
+            StatusCode::kFailedPrecondition);
+  KbImage image = SmallImage();
+  image.meta.generation = 1;
+  ASSERT_TRUE(store->WriteCheckpoint(image).ok());
+  ASSERT_TRUE(store->AppendBatch(MakeBatch(0), 2).ok());
+  auto state = store->Recover();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->has_checkpoint);
+  EXPECT_EQ(state->image.meta.generation, 1u);
+  ASSERT_EQ(state->wal_records.size(), 1u);
+  ExpectBatchesEqual(state->wal_records[0].batch, MakeBatch(0));
+}
+
+// -------------------------------------------------------------- access log
+
+TEST(AccessLog, WritesOneJsonLinePerEntryAndCaps) {
+  FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto log = serve::AccessLog::Open(&env, "d/access.log", /*max_bytes=*/400);
+  ASSERT_TRUE(log.ok()) << log.status();
+  serve::AccessLog::Entry entry;
+  entry.tenant = "icu";
+  entry.method = "POST";
+  entry.target = "/query";
+  entry.generation = 3;
+  entry.engine = "chase";
+  entry.http_status = 200;
+  entry.latency_us = 1234;
+  entry.outcome = "ok";
+  size_t recorded = 0;
+  for (int i = 0; i < 50; ++i) {
+    (*log)->Record(entry);
+  }
+  recorded = (*log)->lines_written();
+  EXPECT_GT(recorded, 0u);
+  EXPECT_LT(recorded, 50u);  // the cap bit
+  EXPECT_EQ((*log)->lines_written() + (*log)->lines_dropped(), 50u);
+  EXPECT_LE((*log)->bytes_written(), 400u);
+
+  auto content = env.ReadFile("d/access.log", 1 << 20);
+  ASSERT_TRUE(content.ok());
+  // No fsync: FaultyEnv keeps it all unsynced, but reads see it.
+  EXPECT_NE(content->find("\"tenant\":\"icu\""), std::string::npos);
+  EXPECT_NE(content->find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(content->find("\"latency_us\":1234"), std::string::npos);
+  size_t lines = 0;
+  for (char c : *content) lines += c == '\n';
+  EXPECT_EQ(lines, recorded);
+}
+
+}  // namespace
+}  // namespace mdqa::storage

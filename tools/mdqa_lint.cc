@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/cost_model.h"
+#include "base/fs.h"
 #include "analysis/lint.h"
 #include "datalog/parser.h"
 #include "qa/engines.h"
@@ -167,16 +168,16 @@ int main(int argc, char** argv) {
 
   DiagnosticBag bag;
   for (const std::string& path : files) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "mdqa_lint: cannot open '" << path << "'\n";
+    // Capped read: oversized or truncated program files fail loudly
+    // instead of being buffered whole or linted as a partial prefix.
+    auto read = mdqa::fs::ReadFileToString(path);
+    if (!read.ok()) {
+      std::cerr << "mdqa_lint: " << path << ": " << read.status() << "\n";
       return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
     LintOptions file_options = options;
     file_options.file = path;
-    const std::string text = buf.str();
+    const std::string text = std::move(*read);
     mdqa::analysis::LintText(text, file_options, &bag);
     if (analyze) {
       // A broken parse was already reported above; only dump what parsed.

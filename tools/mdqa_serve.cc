@@ -11,17 +11,27 @@
 //   --rate=R           per-tenant admission rate, requests/sec (default 200)
 //   --burst=N          per-tenant burst size (default 50)
 //   --deadline-ms=N    default per-request deadline (default 1000)
+//   --data-dir=DIR     durable KB: recover/resume from DIR at startup
+//                      (checkpoint + WAL), WAL-commit every update, and
+//                      checkpoint on drain (docs/durability.md)
+//   --access-log=FILE  structured JSON access log (one line per request;
+//                      capped at 64 MiB, fsync-free)
+//   --quota-config=F   tenant-quota JSON, loaded at startup and hot-
+//                      reloaded on SIGHUP (malformed reloads are rejected
+//                      loudly and change nothing)
 //   --smoke            start, self-probe /healthz + /query + /update over a
 //                      real socket, drain, verify, exit (for CI)
 //   --help             this text
 //
-// Endpoints: GET /healthz /stats /report; POST /query /assess /update.
-// Tenant id in X-Mdqa-Tenant, per-request deadline in X-Mdqa-Deadline-Ms.
+// Endpoints: GET /healthz /stats /report; POST /query /assess /update
+// /admin/quotas. Tenant id in X-Mdqa-Tenant, per-request deadline in
+// X-Mdqa-Deadline-Ms.
 //
 // SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish
 // in-flight requests against their pinned snapshots, quiesce the update
-// writer, verify the drained state (DrainStatus), then exit 0 — non-OK
-// drain exits 1. Exit code 2 is a usage or startup error.
+// writer, checkpoint (with --data-dir), verify the drained state
+// (DrainStatus), then exit 0 — non-OK drain exits 1. Exit code 2 is a
+// usage or startup error.
 
 #include <atomic>
 #include <csignal>
@@ -30,10 +40,14 @@
 #include <string>
 #include <thread>
 
+#include "base/fs.h"
 #include "scenarios/hospital.h"
 #include "scenarios/synthetic.h"
+#include "serve/access_log.h"
 #include "serve/http.h"
 #include "serve/server.h"
+#include "storage/env.h"
+#include "storage/kb_store.h"
 
 namespace {
 
@@ -43,19 +57,45 @@ using mdqa::serve::HttpRoundTrip;
 using mdqa::serve::ServerOptions;
 
 std::atomic<bool> g_drain_requested{false};
+std::atomic<bool> g_reload_requested{false};
 
 void HandleSignal(int) {
   // Async-signal-safe: one relaxed store; the main loop does the work.
   g_drain_requested.store(true, std::memory_order_relaxed);
 }
 
+void HandleReload(int) { g_reload_requested.store(true, std::memory_order_relaxed); }
+
+/// Loads and applies the quota-config file; returns false (and leaves
+/// every quota untouched) on any read/parse/validation failure.
+bool LoadQuotaConfig(AssessmentServer* server, const std::string& path) {
+  auto text = mdqa::fs::ReadFileToString(path);
+  if (!text.ok()) {
+    std::cerr << "mdqa_serve: quota config unreadable: " << text.status()
+              << "\n";
+    return false;
+  }
+  mdqa::Status applied = server->ApplyQuotaConfig(*text);
+  if (!applied.ok()) {
+    std::cerr << "mdqa_serve: quota config rejected (keeping current "
+                 "quotas): " << applied << "\n";
+    return false;
+  }
+  std::cout << "mdqa_serve: quota config applied from " << path << "\n";
+  return true;
+}
+
 int Usage(std::ostream& os, int code) {
   os << "usage: mdqa_serve [--scenario=NAME] [--port=N] [--threads=N]\n"
         "                  [--queue=N] [--rate=R] [--burst=N]\n"
-        "                  [--deadline-ms=N] [--smoke] [--help]\n"
+        "                  [--deadline-ms=N] [--data-dir=DIR]\n"
+        "                  [--access-log=FILE] [--quota-config=FILE]\n"
+        "                  [--smoke] [--help]\n"
         "  NAME: hospital | synthetic (default: hospital)\n"
         "  serves GET /healthz /stats /report, POST /query /assess /update\n"
-        "  on 127.0.0.1 (loopback only); SIGTERM drains gracefully.\n";
+        "  /admin/quotas on 127.0.0.1 (loopback only); SIGTERM drains\n"
+        "  gracefully (checkpointing with --data-dir), SIGHUP reloads\n"
+        "  --quota-config.\n";
   return code;
 }
 
@@ -125,6 +165,9 @@ int RunSmoke(AssessmentServer* server) {
 int main(int argc, char** argv) {
   std::string scenario = "hospital";
   ServerOptions options;
+  std::string data_dir;
+  std::string access_log_path;
+  std::string quota_config_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,6 +197,12 @@ int main(int argc, char** argv) {
     } else if (eat("--deadline-ms=", &value) && ParseInt(value, &n) &&
                n > 0) {
       options.default_deadline = std::chrono::milliseconds(n);
+    } else if (eat("--data-dir=", &value) && !value.empty()) {
+      data_dir = value;
+    } else if (eat("--access-log=", &value) && !value.empty()) {
+      access_log_path = value;
+    } else if (eat("--quota-config=", &value) && !value.empty()) {
+      quota_config_path = value;
     } else {
       std::cerr << "mdqa_serve: bad argument: " << arg << "\n";
       return Usage(std::cerr, 2);
@@ -178,20 +227,61 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // ServerOptions holds raw pointers; these must outlive the server.
+  std::unique_ptr<mdqa::storage::KbStore> store;
+  std::unique_ptr<mdqa::serve::AccessLog> access_log;
+  if (!data_dir.empty()) {
+    auto opened = mdqa::storage::OpenDiskKbStore(mdqa::storage::Env::Posix(),
+                                                 data_dir,
+                                                 mdqa::storage::StoreOptions{});
+    if (!opened.ok()) {
+      std::cerr << "mdqa_serve: opening data dir failed: " << opened.status()
+                << "\n";
+      return 2;
+    }
+    store = std::move(*opened);
+    options.store = store.get();
+    options.scenario = scenario;
+  }
+  if (!access_log_path.empty()) {
+    auto opened = mdqa::serve::AccessLog::Open(mdqa::storage::Env::Posix(),
+                                               access_log_path,
+                                               /*max_bytes=*/64ull << 20);
+    if (!opened.ok()) {
+      std::cerr << "mdqa_serve: opening access log failed: "
+                << opened.status() << "\n";
+      return 2;
+    }
+    access_log = std::move(*opened);
+    options.access_log = access_log.get();
+  }
+
   auto server = AssessmentServer::Start(std::move(*context), options);
   if (!server.ok()) {
     std::cerr << "mdqa_serve: startup failed: " << server.status() << "\n";
     return 2;
   }
+  for (const std::string& line : (*server)->recovery_degradations()) {
+    std::cerr << "mdqa_serve: recovery: " << line << "\n";
+  }
+  if (!quota_config_path.empty() &&
+      !LoadQuotaConfig(server->get(), quota_config_path)) {
+    return 2;  // startup config must be valid; reloads may fail softly
+  }
   std::cout << "mdqa_serve: scenario " << scenario << " on 127.0.0.1:"
             << (*server)->port() << " (" << options.worker_threads
-            << " workers)\n";
+            << " workers, generation " << (*server)->generation() << ")\n";
 
   if (smoke) return RunSmoke(server->get());
 
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
+  std::signal(SIGHUP, HandleReload);
   while (!g_drain_requested.load(std::memory_order_relaxed)) {
+    if (g_reload_requested.exchange(false, std::memory_order_relaxed) &&
+        !quota_config_path.empty()) {
+      LoadQuotaConfig(server->get(), quota_config_path);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << "mdqa_serve: drain requested, shutting down\n";
